@@ -1,0 +1,754 @@
+//! Distributed Conjugate Gradient solver (paper §IV, Figs. 5 & 10).
+//!
+//! Row-partitioned dense CG: each worker holds a horizontal block of
+//! the SPD matrix `A` as a GPU-resident variable (loaded once —
+//! the data-locality trick the paper uses to stay under the 2 GB graph
+//! limit: only the loop *body* is a graph; state lives in variables).
+//! Per iteration:
+//!
+//! 1. `q_w = A_w · p` on the GPU, plus the partial `p_wᵀ q_w`;
+//! 2. scalar all-reduce of `pᵀAp` through the queue-pair reducer;
+//! 3. GPU updates `x += α p_w`, `r -= α q_w`, partial `r_wᵀ r_w`;
+//! 4. scalar all-reduce of `rᵀr`;
+//! 5. `p_w ← r_w + β p_w`, then an all-gather of the `p` slices
+//!    through the reducer so every worker holds the full new `p`.
+//!
+//! Double precision throughout (64-bit, as the paper specifies).
+//! Optional checkpoint/restart via the framework `Saver` — the
+//! capability §II-B highlights.
+
+use crate::AppError;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tfhpc_core::{CoreError, Graph, Placement, Result as CoreResult, Saver, TileStore};
+use tfhpc_dist::{
+    launch_traced, launch_with_setup, ring_all_reduce, worker_all_reduce, JobSpec, LaunchConfig,
+    ReduceOp, Reducer, TaskCtx, TaskKey,
+};
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::Platform;
+use tfhpc_tensor::{DType, Tensor};
+
+/// How the CG iteration's reductions are performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CgReduction {
+    /// The paper's queue-pair reducer task (Fig. 5).
+    #[default]
+    QueuePair,
+    /// Horovod-style ring all-reduce among the workers — no dedicated
+    /// reducer task (the §VIII future-work direction, implemented).
+    Ring,
+}
+
+/// CG configuration.
+#[derive(Debug, Clone)]
+pub struct CgConfig {
+    /// Problem dimension N (N×N SPD matrix).
+    pub n: usize,
+    /// Number of GPU workers (row blocks).
+    pub workers: usize,
+    /// Iterations to run (the paper times 500).
+    pub iterations: usize,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Simulated or real execution.
+    pub simulated: bool,
+    /// Checkpoint every k iterations (None = never).
+    pub checkpoint_every: Option<usize>,
+    /// Resume from a checkpoint left in the shared store.
+    pub resume: bool,
+    /// Reduction strategy (queue-pair reducer vs ring all-reduce).
+    pub reduction: CgReduction,
+}
+
+impl CgConfig {
+    /// Rows owned by each worker.
+    pub fn rows_per_worker(&self) -> usize {
+        assert!(
+            self.n.is_multiple_of(self.workers),
+            "N={} not divisible by {} workers",
+            self.n,
+            self.workers
+        );
+        self.n / self.workers
+    }
+
+    /// Paper's flop estimate: `iterations × 2 × N²` (mat-vec dominated).
+    pub fn flops(&self) -> f64 {
+        self.iterations as f64 * 2.0 * (self.n as f64) * (self.n as f64)
+    }
+}
+
+/// CG result.
+#[derive(Debug, Clone)]
+pub struct CgReport {
+    /// Sustained Gflop/s.
+    pub gflops: f64,
+    /// Elapsed seconds.
+    pub elapsed_s: f64,
+    /// Final squared residual norm (meaningful in real mode).
+    pub rs_final: f64,
+    /// Iterations actually executed (differs from config when resuming).
+    pub iterations_run: usize,
+}
+
+fn amat_key(w: usize) -> Vec<i64> {
+    vec![0, w as i64]
+}
+
+fn b_key() -> Vec<i64> {
+    vec![1]
+}
+
+fn x_key(w: usize) -> Vec<i64> {
+    vec![2, w as i64]
+}
+
+fn ckpt_key(w: usize) -> Vec<i64> {
+    vec![3, w as i64]
+}
+
+fn ckpt_meta_key(w: usize) -> Vec<i64> {
+    vec![4, w as i64]
+}
+
+/// Populate the shared store with the row blocks of a seeded SPD matrix
+/// and the right-hand side `b` (offline pre-processing).
+pub fn populate_problem(store: &TileStore, cfg: &CgConfig, seed: u64) {
+    let rows = cfg.rows_per_worker();
+    if cfg.simulated {
+        for w in 0..cfg.workers {
+            store.put(
+                amat_key(w),
+                Tensor::synthetic(DType::F64, [rows, cfg.n], seed.wrapping_add(w as u64)),
+            );
+        }
+        store.put(b_key(), Tensor::synthetic(DType::F64, [cfg.n], seed ^ 0xB));
+    } else {
+        let a = tfhpc_tensor::rng::random_spd(cfg.n, seed, cfg.n as f64);
+        for w in 0..cfg.workers {
+            store.put(amat_key(w), a.slice_rows(w * rows, (w + 1) * rows).unwrap());
+        }
+        // b = A · ones so the solution is known to exist nicely.
+        let ones = Tensor::full_f64([cfg.n], 1.0);
+        let b = tfhpc_tensor::matmul::matvec(&a, &ones).unwrap();
+        store.put(b_key(), b);
+    }
+}
+
+struct WorkerGraph {
+    graph: Arc<Graph>,
+    ph_p: tfhpc_core::NodeId,
+    ph_pw: tfhpc_core::NodeId,
+    ph_alpha: tfhpc_core::NodeId,
+    ph_beta: tfhpc_core::NodeId,
+    assign_q: tfhpc_core::NodeId,
+    pap_part: tfhpc_core::NodeId,
+    rs_part: tfhpc_core::NodeId,
+    p_new: tfhpc_core::NodeId,
+}
+
+/// Build the loop-body graph once (state in variables, as §IV advises
+/// to stay under the 2 GB GraphDef limit).
+fn build_worker_graph(n: usize, rows: usize) -> WorkerGraph {
+    let mut g = Graph::new();
+    let ph_p = g.placeholder(DType::F64, Some([n].into()));
+    let ph_pw = g.placeholder(DType::F64, Some([rows].into()));
+    let ph_alpha = g.placeholder(DType::F64, Some(tfhpc_tensor::Shape::scalar()));
+    let ph_beta = g.placeholder(DType::F64, Some(tfhpc_tensor::Shape::scalar()));
+
+    let (assign_q, pap_part, rs_part, p_new) = g.with_device(Placement::Gpu(0), |g| {
+        // Phase 1: q = A·p ; partial p_wᵀ q.
+        let a = g.var_read("A");
+        let q = g.matvec(a, ph_p);
+        let assign_q = g.assign("q", q);
+        let pap_part = g.dot(ph_pw, q);
+
+        // Phase 2: x += α p_w ; r -= α q ; partial rᵀr.
+        let alpha_pw = g.mul_scalar(ph_pw, ph_alpha);
+        let x_up = g.assign_add("x", alpha_pw);
+        let qv = g.var_read("q");
+        let alpha_q = g.mul_scalar(qv, ph_alpha);
+        let r_old = g.var_read("r");
+        let r_sub = g.sub(r_old, alpha_q);
+        let r_up = g.assign("r", r_sub);
+        let rs_part = g.dot(r_up, r_up);
+        g.add_control(rs_part, x_up).expect("control edge");
+
+        // Phase 3: p_w ← r + β p_w.
+        let beta_pw = g.mul_scalar(ph_pw, ph_beta);
+        let rv = g.var_read("r");
+        let p_new = g.add(rv, beta_pw);
+
+        (assign_q, pap_part, rs_part, p_new)
+    });
+
+    WorkerGraph {
+        graph: Arc::new(g),
+        ph_p,
+        ph_pw,
+        ph_alpha,
+        ph_beta,
+        assign_q,
+        pap_part,
+        rs_part,
+        p_new,
+    }
+}
+
+/// Gather service: collect `(index, slice)` pairs from every worker,
+/// concatenate in index order, broadcast the full vector back.
+fn serve_gather_round(ctx: &TaskCtx, workers: usize) -> CoreResult<()> {
+    if let Some(me) = tfhpc_sim::des::current() {
+        me.advance(tfhpc_dist::reducer::ROUND_OVERHEAD_S);
+    }
+    let in_q = ctx.server.resources.queue("gather.in")?;
+    let mut parts: Vec<Option<Tensor>> = vec![None; workers];
+    for _ in 0..workers {
+        let tuple = in_q.dequeue()?;
+        let idx = tuple[0].scalar_value_i64()? as usize;
+        parts[idx] = Some(tuple[1].clone());
+    }
+    let slices: Vec<Tensor> = parts.into_iter().map(|p| p.expect("gather slice")).collect();
+    let bytes: f64 = slices.iter().map(|s| s.byte_size() as f64).sum();
+    let full = Tensor::concat_vecs(&slices)?;
+    // Host-side concatenation cost on the reducer.
+    ctx.server.devices.charge_kernel(
+        Placement::Cpu,
+        &tfhpc_sim::device::Cost {
+            flops: 0.0,
+            bytes: 2.0 * bytes,
+            class: tfhpc_sim::device::KernelClass::Elementwise,
+        },
+        true,
+    );
+    for w in 0..workers {
+        ctx.server
+            .resources
+            .queue(&format!("gather.out.{w}"))?
+            .enqueue(vec![full.clone()])?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+/// Reduce a scalar partial across workers under the configured strategy.
+fn reduce_scalar(
+    ctx: &TaskCtx,
+    cfg: &CgConfig,
+    channel: &str,
+    w: usize,
+    part: Tensor,
+) -> CoreResult<f64> {
+    match cfg.reduction {
+        CgReduction::QueuePair => Ok(worker_all_reduce(
+            &ctx.server,
+            &TaskKey::new("reducer", 0),
+            channel,
+            w,
+            part,
+            Some(0),
+        )?
+        .scalar_value_f64()?),
+        CgReduction::Ring => {
+            let group: Vec<TaskKey> =
+                (0..cfg.workers).map(|i| TaskKey::new("worker", i)).collect();
+            let v = part.reshape([1])?;
+            Ok(ring_all_reduce(&ctx.server, &group, w, v, Some(0))?
+                .slice_range(0, 1)?
+                .scalar_value_f64()?)
+        }
+    }
+}
+
+/// All-gather the new `p` slices into the full vector.
+fn gather_p(
+    ctx: &TaskCtx,
+    cfg: &CgConfig,
+    w: usize,
+    rows: usize,
+    p_w_new: Tensor,
+) -> CoreResult<Tensor> {
+    match cfg.reduction {
+        CgReduction::QueuePair => {
+            let reducer = TaskKey::new("reducer", 0);
+            ctx.server.remote_enqueue(
+                &reducer,
+                "gather.in",
+                vec![Tensor::scalar_i64(w as i64), p_w_new],
+                Some(0),
+            )?;
+            let full = ctx
+                .server
+                .remote_dequeue(&reducer, &format!("gather.out.{w}"), Some(0))?;
+            Ok(full.into_iter().next().expect("gathered p"))
+        }
+        CgReduction::Ring => {
+            // Pad the slice with zeros and ring-sum: the sum of disjoint
+            // padded slices IS the concatenation.
+            let group: Vec<TaskKey> =
+                (0..cfg.workers).map(|i| TaskKey::new("worker", i)).collect();
+            let mut parts: Vec<Tensor> = Vec::with_capacity(3);
+            if w > 0 {
+                parts.push(Tensor::zeros(DType::F64, [w * rows]));
+            }
+            parts.push(p_w_new);
+            if (w + 1) * rows < cfg.n {
+                parts.push(Tensor::zeros(DType::F64, [cfg.n - (w + 1) * rows]));
+            }
+            let padded = Tensor::concat_vecs(&parts)?;
+            ring_all_reduce(&ctx.server, &group, w, padded, Some(0))
+        }
+    }
+}
+
+fn worker_task(
+    ctx: &TaskCtx,
+    cfg: &CgConfig,
+    store: &Arc<TileStore>,
+    rs_out: &Arc<Mutex<f64>>,
+) -> CoreResult<()> {
+    let w = ctx.index();
+    let n = cfg.n;
+    let rows = cfg.rows_per_worker();
+    let gpu = Some(0);
+
+    // Load this worker's block of A from the PFS into a GPU variable
+    // (once — reused every iteration).
+    let a_block = store.get(&amat_key(w))?;
+    if let Some(sim) = &ctx.server.devices.sim {
+        sim.cluster.pfs.read(sim.node, a_block.byte_size() as u64);
+        // H2D of the block through our PCIe link.
+        ctx.server
+            .devices
+            .charge_transfer(Placement::Cpu, Placement::Gpu(0), a_block.byte_size() as u64);
+        // The resident block must fit in device memory.
+        if let Some(cap) = ctx.server.devices.usable_memory(Placement::Gpu(0)) {
+            if a_block.byte_size() as u64 > cap {
+                return Err(CoreError::OutOfMemory {
+                    device: ctx.server.devices.device_name(Placement::Gpu(0)),
+                    needed: a_block.byte_size() as u64,
+                    capacity: cap,
+                });
+            }
+        }
+    }
+    let b = store.get(&b_key())?;
+    let b_w = b.slice_range(w * rows, (w + 1) * rows)?;
+
+    ctx.server.resources.create_variable("A", a_block);
+    ctx.server
+        .resources
+        .create_variable("q", Tensor::zeros(DType::F64, [rows]));
+
+    // Mutable driver state (host side): full p and scalar bookkeeping.
+    let mut p = b.clone();
+    let mut start_iter = 0usize;
+    if cfg.resume {
+        // Restore variables + driver state from the shared checkpoint.
+        let blob = store.get(&ckpt_key(w))?;
+        Saver::restore_from_bytes(&ctx.server.resources, blob.as_u8()?)?;
+        let meta = store.get(&ckpt_meta_key(w))?;
+        let meta = meta.as_f64()?;
+        start_iter = meta[0] as usize;
+    } else {
+        ctx.server
+            .resources
+            .create_variable("x", Tensor::zeros(DType::F64, [rows]));
+        ctx.server.resources.create_variable("r", b_w.clone());
+        ctx.server
+            .resources
+            .create_variable("p_full", p.clone());
+        ctx.server
+            .resources
+            .create_variable("rs_old", Tensor::scalar_f64(0.0));
+    }
+    if cfg.resume {
+        p = ctx.server.resources.variable("p_full")?.read();
+    }
+
+    let wg = build_worker_graph(n, rows);
+    let sess = ctx.server.session(Arc::clone(&wg.graph));
+
+    // Initial residual reduction: rs = Σ_w r_wᵀ r_w.
+    let mut rs_old = if cfg.resume {
+        ctx.server
+            .resources
+            .variable("rs_old")?
+            .read()
+            .scalar_value_f64()?
+    } else {
+        let r = ctx.server.resources.variable("r")?.read();
+        let part = tfhpc_tensor::ops::dot(&r, &r)?;
+        reduce_scalar(ctx, cfg, "rs", w, part)?
+    };
+
+    for iter in start_iter..cfg.iterations {
+        let p_w = p.slice_range(w * rows, (w + 1) * rows)?;
+
+        // Phase 1: q = A p (GPU), partial pᵀAp, reduce.
+        let out = sess.run(
+            &[wg.pap_part, wg.assign_q],
+            &[(wg.ph_p, p.clone()), (wg.ph_pw, p_w.clone())],
+        )?;
+        let pap = reduce_scalar(ctx, cfg, "pap", w, out[0].clone())?;
+        let alpha = rs_old / pap;
+
+        // Phase 2: x, r updates + partial rᵀr, reduce.
+        let out = sess.run(
+            &[wg.rs_part],
+            &[
+                (wg.ph_pw, p_w.clone()),
+                (wg.ph_alpha, Tensor::scalar_f64(alpha)),
+            ],
+        )?;
+        let rs_new = reduce_scalar(ctx, cfg, "rs", w, out[0].clone())?;
+        let beta = rs_new / rs_old;
+        rs_old = rs_new;
+
+        // Phase 3: p_w ← r + β p_w, all-gather the new p.
+        let out = sess.run(
+            &[wg.p_new],
+            &[(wg.ph_pw, p_w), (wg.ph_beta, Tensor::scalar_f64(beta))],
+        )?;
+        p = gather_p(ctx, cfg, w, rows, out[0].clone())?;
+        let _ = gpu;
+
+        // Checkpoint: variables + driver state into the shared store.
+        if let Some(k) = cfg.checkpoint_every {
+            if (iter + 1) % k == 0 {
+                ctx.server.resources.variable("p_full")?.assign(p.clone())?;
+                ctx.server
+                    .resources
+                    .variable("rs_old")?
+                    .assign(Tensor::scalar_f64(rs_old))?;
+                let blob = Saver::save_to_bytes(&ctx.server.resources)?;
+                let len = blob.len();
+                store.put(ckpt_key(w), Tensor::from_u8([len], blob)?);
+                store.put(
+                    ckpt_meta_key(w),
+                    Tensor::from_f64([1], vec![(iter + 1) as f64])?,
+                );
+                if let Some(sim) = &ctx.server.devices.sim {
+                    sim.cluster.pfs.write(sim.node, len as u64);
+                }
+            }
+        }
+    }
+
+    // Publish the solution block and the final residual.
+    store.put(x_key(w), ctx.server.resources.variable("x")?.read());
+    if w == 0 {
+        *rs_out.lock() = rs_old;
+    }
+    Ok(())
+}
+
+/// Run distributed CG on `platform`.
+pub fn run_cg(platform: &Platform, cfg: &CgConfig) -> Result<CgReport, AppError> {
+    run_cg_with_store(platform, cfg, None).map(|(r, _)| r)
+}
+
+/// [`run_cg`] with an optional pre-existing shared store (the
+/// persistent Lustre namespace) — required when resuming from a
+/// checkpoint written by an earlier job. Returns the report and the
+/// store (holding the solution blocks and any checkpoints).
+pub fn run_cg_with_store(
+    platform: &Platform,
+    cfg: &CgConfig,
+    external: Option<Arc<TileStore>>,
+) -> Result<(CgReport, Arc<TileStore>), AppError> {
+    run_cg_inner(platform, cfg, external, false).map(|(r, s, _)| (r, s))
+}
+
+/// Run CG with DES occupancy tracing and return the Chrome-trace JSON
+/// of the whole distributed execution — the reproduction of the paper's
+/// Fig. 3 TensorFlow Timeline for the CG solver.
+pub fn run_cg_traced(
+    platform: &Platform,
+    cfg: &CgConfig,
+) -> Result<(CgReport, String), AppError> {
+    run_cg_inner(platform, cfg, None, true).map(|(r, _, json)| (r, json))
+}
+
+fn run_cg_inner(
+    platform: &Platform,
+    cfg: &CgConfig,
+    external: Option<Arc<TileStore>>,
+    trace: bool,
+) -> Result<(CgReport, Arc<TileStore>, String), AppError> {
+    if cfg.workers == 0 {
+        return Err(AppError::Config("workers must be > 0".into()));
+    }
+    if !cfg.n.is_multiple_of(cfg.workers) {
+        return Err(AppError::Config(format!(
+            "N={} must be divisible by the worker count {}",
+            cfg.n, cfg.workers
+        )));
+    }
+    if cfg.resume && external.is_none() {
+        return Err(AppError::Config(
+            "resume requires the store holding the checkpoint".into(),
+        ));
+    }
+    let jobs = match cfg.reduction {
+        CgReduction::QueuePair => vec![
+            JobSpec::new("reducer", 1, 0),
+            JobSpec::new("worker", cfg.workers, 1),
+        ],
+        // Horovod-style: workers only, no dedicated reducer task.
+        CgReduction::Ring => vec![JobSpec::new("worker", cfg.workers, 1)],
+    };
+    let launch_cfg = LaunchConfig {
+        platform: platform.clone(),
+        jobs,
+        protocol: cfg.protocol,
+        simulated: cfg.simulated,
+    };
+    let cfg2 = cfg.clone();
+    let rs_out = Arc::new(Mutex::new(f64::NAN));
+    let rs_out2 = Arc::clone(&rs_out);
+    let store_slot: Arc<Mutex<Option<Arc<TileStore>>>> = Arc::new(Mutex::new(None));
+    let store_slot2 = Arc::clone(&store_slot);
+
+    let cfg_body = cfg.clone();
+    let setup = move |cluster: &Arc<tfhpc_dist::TfCluster>| {
+        if let Some(store) = external {
+            cluster.register_shared_store("cg", store);
+        }
+        let store = cluster.shared_store("cg");
+        if !cfg2.resume {
+            populate_problem(&store, &cfg2, 0xC6);
+        }
+        *store_slot2.lock() = Some(store);
+    };
+    let body = move |ctx: TaskCtx| {
+            let store = ctx.server.cluster().shared_store("cg");
+            ctx.server.resources.register_store(Arc::clone(&store));
+            if ctx.job() == "reducer" {
+                // When resuming, fewer rounds remain.
+                let done = if cfg_body.resume {
+                    store
+                        .get(&ckpt_meta_key(0))
+                        .ok()
+                        .and_then(|m| m.as_f64().ok().map(|v| v[0] as usize))
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
+                let remaining = cfg_body.iterations - done;
+                reducer_task_resumable(&ctx, &cfg_body, remaining)
+            } else {
+                worker_task(&ctx, &cfg_body, &store, &rs_out2)
+            }
+    };
+    let launched = if trace {
+        launch_traced(&launch_cfg, setup, body)
+    } else {
+        launch_with_setup(&launch_cfg, setup, body)
+    }
+    .map_err(AppError::Core)?;
+
+    let json = launched
+        .sim
+        .as_ref()
+        .map(|s| s.trace_chrome_json())
+        .unwrap_or_default();
+    let store = store_slot.lock().take().expect("store captured");
+    Ok((
+        CgReport {
+            gflops: cfg.flops() / launched.elapsed_s / 1e9,
+            elapsed_s: launched.elapsed_s,
+            rs_final: { let v = *rs_out.lock(); v },
+            iterations_run: cfg.iterations,
+        },
+        store,
+        json,
+    ))
+}
+
+fn reducer_task_resumable(ctx: &TaskCtx, cfg: &CgConfig, remaining: usize) -> CoreResult<()> {
+    let workers = cfg.workers;
+    let pap = Reducer::new(Arc::clone(&ctx.server), "pap", workers, ReduceOp::Sum);
+    let rs = Reducer::new(Arc::clone(&ctx.server), "rs", workers, ReduceOp::Sum);
+    ctx.server.resources.create_queue("gather.in", workers * 2);
+    for w in 0..workers {
+        ctx.server
+            .resources
+            .create_queue(&format!("gather.out.{w}"), 2);
+    }
+    if !cfg.resume {
+        rs.serve_round()?; // initial residual reduction
+    }
+    for _ in 0..remaining {
+        pap.serve_round()?;
+        rs.serve_round()?;
+        serve_gather_round(ctx, workers)?;
+    }
+    Ok(())
+}
+
+/// Retrieve the assembled solution vector from a finished run's store.
+pub fn gather_solution(store: &TileStore, cfg: &CgConfig) -> Result<Tensor, AppError> {
+    let parts: Vec<Tensor> = (0..cfg.workers)
+        .map(|w| store.get(&x_key(w)).map_err(AppError::Core))
+        .collect::<Result<_, _>>()?;
+    Tensor::concat_vecs(&parts).map_err(|e| AppError::Core(e.into()))
+}
+
+/// Serial reference CG (baseline for correctness + comparison).
+pub fn serial_cg(a: &Tensor, b: &Tensor, iterations: usize) -> Result<(Tensor, f64), AppError> {
+    use tfhpc_tensor::{matmul::matvec, ops};
+    let n = b.num_elements();
+    let mut x = Tensor::zeros(DType::F64, [n]);
+    let mut r = b.clone();
+    let mut p = b.clone();
+    let mut rs_old = ops::dot(&r, &r)
+        .map_err(|e| AppError::Core(e.into()))?
+        .scalar_value_f64()
+        .map_err(|e| AppError::Core(e.into()))?;
+    for _ in 0..iterations {
+        let q = matvec(a, &p).map_err(|e| AppError::Core(e.into()))?;
+        let pap = ops::dot(&p, &q)
+            .map_err(|e| AppError::Core(e.into()))?
+            .scalar_value_f64()
+            .map_err(|e| AppError::Core(e.into()))?;
+        let alpha = rs_old / pap;
+        x = ops::axpy(alpha, &p, &x).map_err(|e| AppError::Core(e.into()))?;
+        r = ops::axpy(-alpha, &q, &r).map_err(|e| AppError::Core(e.into()))?;
+        let rs_new = ops::dot(&r, &r)
+            .map_err(|e| AppError::Core(e.into()))?
+            .scalar_value_f64()
+            .map_err(|e| AppError::Core(e.into()))?;
+        let beta = rs_new / rs_old;
+        rs_old = rs_new;
+        p = ops::axpy(beta, &p, &r).map_err(|e| AppError::Core(e.into()))?;
+    }
+    Ok((x, rs_old))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfhpc_sim::platform;
+
+    fn sim_cfg(n: usize, workers: usize) -> CgConfig {
+        CgConfig {
+            n,
+            workers,
+            iterations: 20,
+            protocol: Protocol::Rdma,
+            simulated: true,
+            checkpoint_every: None,
+            resume: false,
+            reduction: CgReduction::QueuePair,
+        }
+    }
+
+    #[test]
+    fn flops_estimate_matches_paper_formula() {
+        let c = CgConfig {
+            iterations: 500,
+            ..sim_cfg(16384, 4)
+        };
+        assert_eq!(c.flops(), 500.0 * 2.0 * 16384.0 * 16384.0);
+        assert_eq!(c.rows_per_worker(), 4096);
+    }
+
+    #[test]
+    fn simulated_run_completes() {
+        let r = run_cg(&platform::kebnekaise_k80(), &sim_cfg(16384, 2)).unwrap();
+        assert!(r.gflops > 0.0);
+        assert!(r.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn scaling_improves_with_more_gpus_at_32k() {
+        // Paper: 1.6x (Keb K80) / 1.74x (Tegner K80) from 2→4 GPUs at
+        // 32k over 500 timed iterations (shorter runs are dominated by
+        // the one-time A-block load, which anti-scales on shared
+        // Lustre clients).
+        let p = platform::kebnekaise_k80();
+        let cfg2 = CgConfig { iterations: 500, ..sim_cfg(32768, 2) };
+        let cfg4 = CgConfig { iterations: 500, ..sim_cfg(32768, 4) };
+        let r2 = run_cg(&p, &cfg2).unwrap();
+        let r4 = run_cg(&p, &cfg4).unwrap();
+        let speedup = r4.gflops / r2.gflops;
+        assert!((1.3..1.9).contains(&speedup), "2→4 speedup {speedup}");
+    }
+
+    #[test]
+    fn small_problems_scale_poorly() {
+        // Paper: little scaling at 16384² (GPU under-utilization).
+        let p = platform::kebnekaise_v100();
+        let small2 = run_cg(&p, &CgConfig { iterations: 50, ..sim_cfg(16384, 2) }).unwrap();
+        let small4 = run_cg(&p, &CgConfig { iterations: 50, ..sim_cfg(16384, 4) }).unwrap();
+        let big2 = run_cg(&p, &CgConfig { iterations: 50, ..sim_cfg(32768, 2) }).unwrap();
+        let big4 = run_cg(&p, &CgConfig { iterations: 50, ..sim_cfg(32768, 4) }).unwrap();
+        let small_speedup = small4.gflops / small2.gflops;
+        let big_speedup = big4.gflops / big2.gflops;
+        assert!(
+            small_speedup < big_speedup,
+            "small {small_speedup} vs big {big_speedup}"
+        );
+    }
+
+    #[test]
+    fn ring_reduction_matches_queue_pair_numerically() {
+        let mk = |reduction| CgConfig {
+            n: 64,
+            workers: 2,
+            iterations: 20,
+            protocol: Protocol::Grpc,
+            simulated: false,
+            checkpoint_every: None,
+            resume: false,
+            reduction,
+        };
+        let p = platform::tegner_k80();
+        let (r1, s1) = run_cg_with_store(&p, &mk(CgReduction::QueuePair), None).unwrap();
+        let (r2, s2) = run_cg_with_store(&p, &mk(CgReduction::Ring), None).unwrap();
+        let x1 = gather_solution(&s1, &mk(CgReduction::QueuePair)).unwrap();
+        let x2 = gather_solution(&s2, &mk(CgReduction::Ring)).unwrap();
+        assert_eq!(x1.as_f64().unwrap(), x2.as_f64().unwrap());
+        assert!((r1.rs_final - r2.rs_final).abs() < 1e-15 * (1.0 + r1.rs_final));
+    }
+
+    #[test]
+    fn ring_reduction_runs_simulated() {
+        let cfg = CgConfig {
+            reduction: CgReduction::Ring,
+            iterations: 30,
+            ..sim_cfg(16384, 4)
+        };
+        let r = run_cg(&platform::kebnekaise_k80(), &cfg).unwrap();
+        assert!(r.gflops > 0.0);
+    }
+
+    #[test]
+    fn indivisible_worker_count_rejected() {
+        let cfg = CgConfig { workers: 3, ..sim_cfg(32768, 3) };
+        assert!(matches!(
+            run_cg(&platform::tegner_k80(), &cfg),
+            Err(crate::AppError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn real_mode_converges_to_reference() {
+        let cfg = CgConfig {
+            n: 64,
+            workers: 2,
+            iterations: 30,
+            protocol: Protocol::Grpc,
+            simulated: false,
+            checkpoint_every: None,
+            resume: false,
+            reduction: CgReduction::QueuePair,
+        };
+        let r = run_cg(&platform::tegner_k80(), &cfg).unwrap();
+        // b = A·ones with a heavily diagonal SPD matrix: CG converges
+        // fast; residual must be tiny.
+        assert!(r.rs_final < 1e-9, "rs_final = {}", r.rs_final);
+    }
+}

@@ -1,0 +1,56 @@
+//! # tfhpc-apps
+//!
+//! The paper's four HPC applications, written against the `tfhpc`
+//! dataflow framework exactly as §IV describes them:
+//!
+//! * [`stream`] — the STREAM-like transfer micro-benchmark (Fig. 7):
+//!   an `assign_add` pushing a vector from a worker to a parameter
+//!   server over gRPC/MPI/RDMA.
+//! * [`matmul`] — tiled matrix-matrix multiply as map-reduce over tile
+//!   products, with two parity reducers (Figs. 4 & 8).
+//! * [`cg`] — the row-partitioned Conjugate Gradient solver with
+//!   queue-pair reductions and checkpoint/restart (Figs. 5 & 10).
+//! * [`fft`] — interleaved-tile Cooley–Tukey FFT with a serial host
+//!   merger (Figs. 6 & 11).
+//!
+//! Every application runs in two modes: *real* (host threads, dense
+//! tensors, wall-clock — used to validate numerics against serial
+//! baselines) and *simulated* (virtual time on the modeled Tegner /
+//! Kebnekaise clusters, synthetic payloads — used to regenerate the
+//! paper's figures).
+
+pub mod cg;
+pub mod fft;
+pub mod matmul;
+pub mod stream;
+
+pub use cg::{run_cg, run_cg_with_store, CgConfig, CgReduction, CgReport};
+pub use fft::{run_fft, run_fft_with_store, FftConfig, FftReport};
+pub use matmul::{run_matmul, MatmulConfig, MatmulReport};
+pub use stream::{run_stream, StreamConfig, StreamReport};
+
+/// Application-level errors.
+#[derive(Debug)]
+pub enum AppError {
+    /// Configuration rejected before launch.
+    Config(String),
+    /// Failure from the framework / runtime layers.
+    Core(tfhpc_core::CoreError),
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::Config(s) => write!(f, "config error: {s}"),
+            AppError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+impl From<tfhpc_core::CoreError> for AppError {
+    fn from(e: tfhpc_core::CoreError) -> Self {
+        AppError::Core(e)
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the framework runtime: session
+//! dispatch, queue throughput, wire-format round-trips, thread-pool
+//! loops and DES event rate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use tfhpc_core::{DeviceCtx, Graph, Resources, Session};
+use tfhpc_proto::Message;
+use tfhpc_sim::des::Sim;
+use tfhpc_tensor::{DType, Tensor};
+
+fn bench_session_dispatch(c: &mut Criterion) {
+    let mut g = Graph::new();
+    let a = g.constant(Tensor::scalar_f64(1.0));
+    let b = g.constant(Tensor::scalar_f64(2.0));
+    let s1 = g.add(a, b);
+    let s2 = g.mul(s1, s1);
+    let sess = Session::new(Arc::new(g), Resources::new(), DeviceCtx::real(1));
+    c.bench_function("session_run_4node_graph", |bench| {
+        bench.iter(|| sess.run(&[s2], &[]).unwrap());
+    });
+}
+
+fn bench_queue_throughput(c: &mut Criterion) {
+    let q = tfhpc_core::FifoQueue::new("bench", 1024);
+    let v = vec![Tensor::scalar_f64(1.0)];
+    let mut group = c.benchmark_group("queue");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("enqueue_dequeue", |bench| {
+        bench.iter(|| {
+            q.enqueue(v.clone()).unwrap();
+            q.dequeue().unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_proto_roundtrip(c: &mut Criterion) {
+    let t = Tensor::from_f64([1024], (0..1024).map(|i| i as f64).collect()).unwrap();
+    let mut group = c.benchmark_group("proto");
+    group.throughput(Throughput::Bytes(8 * 1024));
+    group.bench_function("tensor_8k_roundtrip", |bench| {
+        bench.iter(|| {
+            let bytes = tfhpc_core::TensorProto(t.clone()).to_bytes().unwrap();
+            tfhpc_core::TensorProto::decode(&bytes).unwrap().0
+        });
+    });
+    group.finish();
+}
+
+fn bench_parallel_for(c: &mut Criterion) {
+    let n = 1 << 20;
+    let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut group = c.benchmark_group("parallel");
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("reduce_1m", |bench| {
+        bench.iter(|| {
+            tfhpc_parallel::parallel_reduce(
+                n,
+                tfhpc_parallel::default_chunk(n, tfhpc_parallel::global_pool().size()),
+                0.0f64,
+                |lo, hi| data[lo..hi].iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_des_event_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.throughput(Throughput::Elements(4 * 250));
+    group.bench_function("4proc_1k_events", |bench| {
+        bench.iter(|| {
+            let sim = Sim::new();
+            for i in 0..4 {
+                sim.spawn(&format!("p{i}"), move || {
+                    let me = tfhpc_sim::des::current().unwrap();
+                    for _ in 0..250 {
+                        me.advance(0.001 * (i + 1) as f64);
+                    }
+                });
+            }
+            sim.run()
+        });
+    });
+    group.finish();
+}
+
+fn bench_graphdef_serialize(c: &mut Criterion) {
+    let mut g = Graph::new();
+    let mut last = g.constant(Tensor::scalar_f64(0.0));
+    for _ in 0..100 {
+        let one = g.constant(Tensor::scalar_f64(1.0));
+        last = g.add(last, one);
+    }
+    c.bench_function("graphdef_201_nodes", |bench| {
+        bench.iter(|| {
+            let bytes = tfhpc_core::graph_to_bytes(&g).unwrap();
+            tfhpc_core::graph_from_bytes(&bytes).unwrap()
+        });
+    });
+    let _ = Tensor::zeros(DType::F64, [1]);
+}
+
+criterion_group! {
+    name = runtime;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_session_dispatch, bench_queue_throughput, bench_proto_roundtrip, bench_parallel_for, bench_des_event_rate, bench_graphdef_serialize
+}
+criterion_main!(runtime);

@@ -1,0 +1,50 @@
+//! A4 — FFT host-merge (Python tax) ablation. The paper's §VIII blames
+//! the serial Python merge for eating the FFT's scaling: this sweep
+//! multiplies the modeled merge cost by {0, 1, 4} and reports both the
+//! collection-phase Gflop/s (unchanged) and the total wall time
+//! (dominated by the merge as the factor grows).
+
+use tfhpc_apps::fft::{run_fft, FftConfig};
+use tfhpc_bench::{print_table, Row};
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::tegner_k80;
+
+fn main() {
+    let platform = tegner_k80();
+    let mut rows = Vec::new();
+    for factor in [0.0f64, 1.0, 4.0] {
+        let r = run_fft(
+            &platform,
+            &FftConfig {
+                log2_n: 31,
+                tiles: 128,
+                workers: 4,
+                protocol: Protocol::Rdma,
+                simulated: true,
+                merge_cost_factor: factor,
+            },
+        )
+        .expect("fft");
+        rows.push(Row::new(
+            format!("2^31 / 4 GPUs / merge tax x{factor} (collect)"),
+            r.collect_s,
+            None,
+            "s",
+        ));
+        rows.push(Row::new(
+            format!("2^31 / 4 GPUs / merge tax x{factor} (total)"),
+            r.total_s,
+            None,
+            "s",
+        ));
+    }
+    print_table("A4: FFT serial host-merge tax (Tegner K80)", &rows);
+    let collect = rows[2].measured;
+    let total_1x = rows[3].measured;
+    println!(
+        "\nat the paper-calibrated tax the serial merge takes {:.1}s on top of a {:.1}s",
+        total_1x - collect,
+        collect
+    );
+    println!("parallel phase — why the paper only times to last-tile-collected (§VI-D/§VIII).");
+}

@@ -1,0 +1,51 @@
+//! A2 — NUMA/I-O contention ablation (the paper's Fig. 8/9 analysis):
+//! run the same 8-GPU tiled matmul on Kebnekaise-class nodes while
+//! varying how many TensorFlow instances share each node (1, 2, 4).
+//! Fewer ranks per node means less contention on the shared Lustre
+//! client, NIC and PCIe links — at the price of more nodes.
+
+use tfhpc_apps::matmul::{run_matmul, MatmulConfig};
+use tfhpc_bench::{print_table, Row};
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::kebnekaise_k80;
+
+fn main() {
+    let mut rows = Vec::new();
+    for ranks_per_node in [1usize, 2, 4] {
+        // 4 GPUs: small enough that the shared-client contention (not
+        // the reducers) sets the pace.
+        let mut platform = kebnekaise_k80();
+        platform.node.tf_instances_per_node = ranks_per_node;
+        let r = run_matmul(
+            &platform,
+            &MatmulConfig {
+                n: 32768,
+                tile: 8192,
+                workers: 4,
+                reducers: 2,
+                protocol: Protocol::Rdma,
+                simulated: true,
+                prefetch: 3,
+            },
+        )
+        .expect("matmul");
+        rows.push(Row::new(
+            format!(
+                "Kebnekaise / 32k / 4 GPUs / {ranks_per_node} rank(s) per node ({} nodes)",
+                4usize.div_ceil(ranks_per_node)
+            ),
+            r.gflops,
+            None,
+            "Gflop/s",
+        ));
+    }
+    print_table(
+        "A2: ranks-per-node ablation (shared Lustre client / NIC / PCIe)",
+        &rows,
+    );
+    let spread = rows[0].measured / rows[2].measured;
+    println!(
+        "\nspreading 4 ranks over 4 nodes instead of 1 is {spread:.2}x faster —"
+    );
+    println!("the node-level contention the paper blames for Kebnekaise's sub-optimal scaling.");
+}

@@ -1,0 +1,63 @@
+//! Fig. 3 — "Execution TensorFlow Timeline of a particular stage of our
+//! CG solver. The individual time lines of a device show parallel
+//! execution." This harness runs a short simulated CG stage with DES
+//! occupancy tracing and writes a Chrome trace (`chrome://tracing` /
+//! Perfetto) with one row per task and hardware resource, plus a
+//! textual per-track summary.
+
+use std::collections::BTreeMap;
+use tfhpc_apps::cg::{run_cg_traced, CgConfig, CgReduction};
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::tegner_k80;
+
+fn main() {
+    let cfg = CgConfig {
+        n: 16384,
+        workers: 4,
+        iterations: 20,
+        protocol: Protocol::Rdma,
+        simulated: true,
+        checkpoint_every: None,
+        resume: false,
+        reduction: CgReduction::QueuePair,
+    };
+    let (report, json) = run_cg_traced(&tegner_k80(), &cfg).expect("traced CG run");
+
+    let path = std::path::Path::new("results").join("fig3_cg_timeline.json");
+    std::fs::create_dir_all("results").ok();
+    std::fs::write(&path, &json).expect("write trace");
+
+    println!("== Fig. 3: CG solver execution timeline (simulated Tegner K80) ==");
+    println!(
+        "20 iterations / 4 workers: {:.3} virtual s, {:.1} Gflop/s",
+        report.elapsed_s, report.gflops
+    );
+    println!("Chrome trace written to {} ({} bytes)", path.display(), json.len());
+
+    // Per-track summary from the JSON (tid = track, dur in us).
+    let mut tracks: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+    for ev in json.split("{\"name\":").skip(1) {
+        let tid = ev
+            .split("\"tid\":\"")
+            .nth(1)
+            .and_then(|s| s.split('"').next())
+            .unwrap_or("?");
+        let dur: f64 = ev
+            .split("\"dur\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.0);
+        let e = tracks.entry(tid.to_string()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += dur / 1e6;
+    }
+    println!("\n{:<28} {:>8} {:>12}", "timeline row", "events", "busy [s]");
+    println!("{}", "-".repeat(52));
+    for (track, (events, busy)) in &tracks {
+        println!("{track:<28} {events:>8} {busy:>12.3}");
+    }
+    println!("\n(the per-device rows show the workers' GPU streams executing in");
+    println!(" parallel while the reducer's host serializes the queue rounds —");
+    println!(" the structure visible in the paper's Fig. 3)");
+}

@@ -1,0 +1,109 @@
+//! # tfhpc-bench
+//!
+//! Figure-regeneration harnesses and micro-benchmarks. One binary per
+//! table/figure of the paper's evaluation (§VI):
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table I — TF instances per node |
+//! | `fig7_stream` | Fig. 7 — STREAM bandwidth by protocol |
+//! | `fig8_matmul` | Fig. 8 — tiled matmul strong scaling (+ Fig. 9 topology via `--topology`) |
+//! | `fig10_cg` | Fig. 10 — CG solver strong scaling |
+//! | `fig11_fft` | Fig. 11 — FFT strong scaling |
+//! | `ablation_transport` | A1 — transport choice vs app throughput |
+//! | `ablation_numa` | A2 — Kebnekaise ranks-per-node contention |
+//! | `ablation_tiles` | A3 — tile size & reducer count |
+//! | `ablation_merge` | A4 — FFT host-merge (Python) tax |
+//!
+//! Each binary prints aligned rows of *measured* values next to the
+//! paper's reported numbers/shape so `EXPERIMENTS.md` can be refreshed
+//! by copy-paste.
+
+/// One row of a figure table: a label, the measured value, and the
+/// paper's reported value/shape (when the paper gives one).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (platform / size / protocol combination).
+    pub label: String,
+    /// Measured value in the figure's unit.
+    pub measured: f64,
+    /// Paper-reported value, if the text/figure gives a number.
+    pub paper: Option<f64>,
+    /// Unit string.
+    pub unit: &'static str,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(
+        label: impl Into<String>,
+        measured: f64,
+        paper: Option<f64>,
+        unit: &'static str,
+    ) -> Row {
+        Row {
+            label: label.into(),
+            measured,
+            paper,
+            unit,
+        }
+    }
+}
+
+/// Print a titled table of rows with a measured-vs-paper column.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<44} {:>14} {:>14}  unit",
+        "configuration", "measured", "paper"
+    );
+    println!("{}", "-".repeat(84));
+    for r in rows {
+        let paper = r
+            .paper
+            .map(|p| format!("{p:>14.1}"))
+            .unwrap_or_else(|| format!("{:>14}", "—"));
+        println!("{:<44} {:>14.1} {paper}  {}", r.label, r.measured, r.unit);
+    }
+}
+
+/// Print the speedup between successive rows (strong-scaling factor).
+pub fn print_scaling(rows: &[Row]) {
+    for pair in rows.windows(2) {
+        if pair[0].measured > 0.0 {
+            println!(
+                "  scaling {} -> {}: {:.2}x",
+                pair[0].label,
+                pair[1].label,
+                pair[1].measured / pair[0].measured
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_construct() {
+        let r = Row::new("Tegner K420 / RDMA / 128MB", 1300.0, Some(1300.0), "MB/s");
+        assert_eq!(r.unit, "MB/s");
+        assert_eq!(r.paper, Some(1300.0));
+    }
+
+    #[test]
+    fn printing_does_not_panic() {
+        print_table(
+            "smoke",
+            &[
+                Row::new("a", 1.0, Some(2.0), "x"),
+                Row::new("b", 3.0, None, "x"),
+            ],
+        );
+        print_scaling(&[
+            Row::new("2", 10.0, None, "gf"),
+            Row::new("4", 18.0, None, "gf"),
+        ]);
+    }
+}

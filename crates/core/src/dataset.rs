@@ -1,0 +1,222 @@
+//! The Dataset input-pipeline API (`tf.data` analogue).
+//!
+//! The paper's matmul and FFT workers consume a *shared list of tile
+//! indices* through a dataset, with loading and prefetching overlapped
+//! against GPU compute — exactly what [`Dataset::make_prefetch_iterator`] provides
+//! here (the prefetcher runs as its own thread / sim process, like
+//! TensorFlow's input pipeline threads).
+
+use crate::error::{CoreError, Result};
+use crate::queue::FifoQueue;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use tfhpc_tensor::Tensor;
+
+/// A source of tensor-tuple elements.
+#[derive(Clone)]
+pub struct Dataset {
+    elements: Arc<Vec<Vec<Tensor>>>,
+    /// (index, count) sharding — this worker takes elements where
+    /// `i % count == index`.
+    shard: Option<(usize, usize)>,
+}
+
+impl Dataset {
+    /// Dataset over an explicit element list (`from_tensor_slices`).
+    pub fn from_elements(elements: Vec<Vec<Tensor>>) -> Dataset {
+        Dataset {
+            elements: Arc::new(elements),
+            shard: None,
+        }
+    }
+
+    /// Shard for worker `index` of `count` (each worker sees a disjoint
+    /// interleaved subset, the way the paper splits the tile list).
+    pub fn shard(&self, index: usize, count: usize) -> Dataset {
+        assert!(count > 0 && index < count, "bad shard {index}/{count}");
+        Dataset {
+            elements: Arc::clone(&self.elements),
+            shard: Some((index, count)),
+        }
+    }
+
+    /// Elements this dataset will yield, in order.
+    fn materialize(&self) -> Vec<Vec<Tensor>> {
+        match self.shard {
+            None => self.elements.as_ref().clone(),
+            Some((index, count)) => self
+                .elements
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % count == index)
+                .map(|(_, e)| e.clone())
+                .collect(),
+        }
+    }
+
+    /// Number of elements this dataset yields.
+    pub fn len(&self) -> usize {
+        match self.shard {
+            None => self.elements.len(),
+            Some((index, count)) => (self.elements.len() + count - 1 - index) / count,
+        }
+    }
+
+    /// True when the dataset yields nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sequential iterator over the dataset.
+    pub fn make_iterator(&self) -> DatasetIterator {
+        DatasetIterator {
+            inner: IteratorKind::Plain {
+                elements: self.materialize(),
+                next: Mutex::new(0),
+            },
+        }
+    }
+
+    /// An iterator backed by a prefetch buffer of `buffer` elements,
+    /// filled by `spawn` (a closure that starts the filler thread or
+    /// sim process — supplied by the caller so datasets work in both
+    /// execution modes).
+    pub fn make_prefetch_iterator(
+        &self,
+        buffer: usize,
+        spawn: impl FnOnce(Box<dyn FnOnce() + Send>),
+    ) -> DatasetIterator {
+        let queue = FifoQueue::new("dataset.prefetch", buffer.max(1));
+        let elements = self.materialize();
+        let q2 = Arc::clone(&queue);
+        spawn(Box::new(move || {
+            for e in elements {
+                if q2.enqueue(e).is_err() {
+                    return; // consumer went away
+                }
+            }
+            q2.close();
+        }));
+        DatasetIterator {
+            inner: IteratorKind::Prefetched { queue },
+        }
+    }
+}
+
+impl DatasetIterator {
+    /// An iterator draining an externally-filled queue (used by input
+    /// pipelines whose filler also performs I/O, e.g. tile loading with
+    /// parallel-file-system cost accounting). Queue closure maps to
+    /// `EndOfSequence`.
+    pub fn from_queue(queue: Arc<FifoQueue>) -> DatasetIterator {
+        DatasetIterator {
+            inner: IteratorKind::Prefetched { queue },
+        }
+    }
+}
+
+enum IteratorKind {
+    Plain {
+        elements: Vec<Vec<Tensor>>,
+        next: Mutex<usize>,
+    },
+    Prefetched {
+        queue: Arc<FifoQueue>,
+    },
+}
+
+/// A one-shot iterator over a dataset.
+pub struct DatasetIterator {
+    inner: IteratorKind,
+}
+
+impl DatasetIterator {
+    /// Next element, or `EndOfSequence`.
+    pub fn get_next(&self) -> Result<Vec<Tensor>> {
+        match &self.inner {
+            IteratorKind::Plain { elements, next } => {
+                let mut n = next.lock();
+                if *n >= elements.len() {
+                    return Err(CoreError::EndOfSequence);
+                }
+                let e = elements[*n].clone();
+                *n += 1;
+                Ok(e)
+            }
+            IteratorKind::Prefetched { queue } => queue.dequeue().map_err(|e| match e {
+                CoreError::QueueClosed(_) => CoreError::EndOfSequence,
+                other => other,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elems(n: usize) -> Vec<Vec<Tensor>> {
+        (0..n)
+            .map(|i| vec![Tensor::scalar_i64(i as i64)])
+            .collect()
+    }
+
+    fn drain(it: &DatasetIterator) -> Vec<i64> {
+        let mut out = Vec::new();
+        loop {
+            match it.get_next() {
+                Ok(e) => out.push(e[0].scalar_value_i64().unwrap()),
+                Err(CoreError::EndOfSequence) => return out,
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn plain_iterator_yields_all_in_order() {
+        let ds = Dataset::from_elements(elems(5));
+        assert_eq!(ds.len(), 5);
+        let it = ds.make_iterator();
+        assert_eq!(drain(&it), vec![0, 1, 2, 3, 4]);
+        // Iterator is one-shot.
+        assert!(matches!(it.get_next(), Err(CoreError::EndOfSequence)));
+    }
+
+    #[test]
+    fn shards_partition_disjointly() {
+        let ds = Dataset::from_elements(elems(10));
+        let mut seen = Vec::new();
+        for w in 0..3 {
+            let shard = ds.shard(w, 3);
+            assert_eq!(shard.len(), drain(&shard.make_iterator()).len());
+            seen.extend(drain(&shard.make_iterator()));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::from_elements(vec![]);
+        assert!(ds.is_empty());
+        assert!(matches!(
+            ds.make_iterator().get_next(),
+            Err(CoreError::EndOfSequence)
+        ));
+    }
+
+    #[test]
+    fn prefetch_iterator_with_thread_filler() {
+        let ds = Dataset::from_elements(elems(20));
+        let it = ds.make_prefetch_iterator(4, |fill| {
+            std::thread::spawn(fill);
+        });
+        assert_eq!(drain(&it), (0..20).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad shard")]
+    fn invalid_shard_panics() {
+        Dataset::from_elements(elems(3)).shard(3, 3);
+    }
+}

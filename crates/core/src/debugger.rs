@@ -1,0 +1,263 @@
+//! A `tfdbg`-style graph debugger (§II-B): inspect the tensors flowing
+//! through a session run — values, shapes, numeric health — without
+//! modifying the graph.
+//!
+//! Attach a [`Debugger`] to a session with
+//! [`crate::session::Session::set_debugger`]; every executed node
+//! records a [`TensorWatch`] per output. Watches can be filtered by
+//! node-name prefix at capture time, queried afterwards, and scanned
+//! with health predicates like [`Debugger::first_nonfinite`] (the
+//! classic `has_inf_or_nan` tfdbg filter).
+
+use parking_lot::Mutex;
+use tfhpc_tensor::{DType, Tensor, TensorData};
+
+/// Numeric summary of one tensor observed during execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorWatch {
+    /// Producing node name.
+    pub node: String,
+    /// Output slot.
+    pub output: usize,
+    /// Element type.
+    pub dtype: DType,
+    /// Shape dims.
+    pub dims: Vec<usize>,
+    /// Whether the payload was synthetic (metadata-only).
+    pub synthetic: bool,
+    /// Min element (float tensors; NaN-propagating).
+    pub min: Option<f64>,
+    /// Max element.
+    pub max: Option<f64>,
+    /// Mean element.
+    pub mean: Option<f64>,
+    /// Count of non-finite elements (NaN/Inf).
+    pub nonfinite: usize,
+}
+
+fn float_stats(t: &Tensor) -> (Option<f64>, Option<f64>, Option<f64>, usize) {
+    let Ok(data) = t.data() else {
+        return (None, None, None, 0);
+    };
+    let values: Vec<f64> = match data {
+        TensorData::F64(v) => v.clone(),
+        TensorData::F32(v) => v.iter().map(|x| *x as f64).collect(),
+        TensorData::C128(v) => v.iter().map(|c| c.abs()).collect(),
+        _ => return (None, None, None, 0),
+    };
+    if values.is_empty() {
+        return (None, None, None, 0);
+    }
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut nonfinite = 0;
+    for v in &values {
+        if !v.is_finite() {
+            nonfinite += 1;
+            continue;
+        }
+        min = min.min(*v);
+        max = max.max(*v);
+        sum += v;
+    }
+    let finite = values.len() - nonfinite;
+    if finite == 0 {
+        (None, None, None, nonfinite)
+    } else {
+        (
+            Some(min),
+            Some(max),
+            Some(sum / finite as f64),
+            nonfinite,
+        )
+    }
+}
+
+/// Recorder of tensor watches for one or more session runs.
+#[derive(Default)]
+pub struct Debugger {
+    watches: Mutex<Vec<TensorWatch>>,
+    prefixes: Mutex<Vec<String>>,
+}
+
+impl Debugger {
+    /// Watch every node.
+    pub fn new() -> Debugger {
+        Debugger::default()
+    }
+
+    /// Restrict capture to nodes whose name starts with any `prefix`
+    /// (no prefixes = watch everything).
+    pub fn watch_prefix(&self, prefix: &str) {
+        self.prefixes.lock().push(prefix.to_string());
+    }
+
+    /// Whether `node` passes the prefix filter.
+    pub fn interested_in(&self, node: &str) -> bool {
+        let p = self.prefixes.lock();
+        p.is_empty() || p.iter().any(|pre| node.starts_with(pre.as_str()))
+    }
+
+    /// Record the outputs of one node execution.
+    pub fn record(&self, node: &str, outputs: &[Tensor]) {
+        if !self.interested_in(node) {
+            return;
+        }
+        let mut watches = self.watches.lock();
+        for (i, t) in outputs.iter().enumerate() {
+            let (min, max, mean, nonfinite) = float_stats(t);
+            watches.push(TensorWatch {
+                node: node.to_string(),
+                output: i,
+                dtype: t.dtype(),
+                dims: t.shape().dims().to_vec(),
+                synthetic: t.is_synthetic(),
+                min,
+                max,
+                mean,
+                nonfinite,
+            });
+        }
+    }
+
+    /// All recorded watches.
+    pub fn watches(&self) -> Vec<TensorWatch> {
+        self.watches.lock().clone()
+    }
+
+    /// Number of recorded watches.
+    pub fn len(&self) -> usize {
+        self.watches.lock().len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Watches for one node, in execution order.
+    pub fn node_history(&self, node: &str) -> Vec<TensorWatch> {
+        self.watches
+            .lock()
+            .iter()
+            .filter(|w| w.node == node)
+            .cloned()
+            .collect()
+    }
+
+    /// The tfdbg `has_inf_or_nan` filter: first watch carrying a
+    /// non-finite element, if any.
+    pub fn first_nonfinite(&self) -> Option<TensorWatch> {
+        self.watches
+            .lock()
+            .iter()
+            .find(|w| w.nonfinite > 0)
+            .cloned()
+    }
+
+    /// Drop recorded watches (keep filters).
+    pub fn clear(&self) {
+        self.watches.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceCtx;
+    use crate::graph::Graph;
+    use crate::resources::Resources;
+    use crate::session::Session;
+    use std::sync::Arc;
+
+    fn traced_session(g: Graph) -> (Session, Arc<Debugger>) {
+        let mut sess = Session::new(Arc::new(g), Resources::new(), DeviceCtx::real(0));
+        let dbg = Arc::new(Debugger::new());
+        sess.set_debugger(Arc::clone(&dbg));
+        (sess, dbg)
+    }
+
+    #[test]
+    fn records_values_through_a_run() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_f64([3], vec![1.0, -2.0, 4.0]).unwrap());
+        let n = g.neg(a);
+        let (sess, dbg) = traced_session(g);
+        sess.run(&[n], &[]).unwrap();
+        let watches = dbg.watches();
+        assert_eq!(watches.len(), 2);
+        let neg = watches.iter().find(|w| w.node.starts_with("Neg")).unwrap();
+        assert_eq!(neg.min, Some(-4.0));
+        assert_eq!(neg.max, Some(2.0));
+        assert_eq!(neg.dims, vec![3]);
+        assert_eq!(neg.nonfinite, 0);
+    }
+
+    #[test]
+    fn prefix_filter_limits_capture() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::scalar_f64(1.0));
+        let n = g.neg(a);
+        let mut sess = Session::new(Arc::new(g), Resources::new(), DeviceCtx::real(0));
+        let dbg = Arc::new(Debugger::new());
+        dbg.watch_prefix("Neg");
+        sess.set_debugger(Arc::clone(&dbg));
+        sess.run(&[n], &[]).unwrap();
+        assert_eq!(dbg.len(), 1);
+        assert!(dbg.watches()[0].node.starts_with("Neg"));
+    }
+
+    #[test]
+    fn detects_nonfinite_values() {
+        let mut g = Graph::new();
+        let num = g.constant(Tensor::scalar_f64(1.0));
+        let zero = g.constant(Tensor::scalar_f64(0.0));
+        let div = g.div(num, zero); // inf
+        let (sess, dbg) = traced_session(g);
+        sess.run(&[div], &[]).unwrap();
+        let bad = dbg.first_nonfinite().expect("must flag inf");
+        assert!(bad.node.starts_with("Div"));
+        assert_eq!(bad.nonfinite, 1);
+    }
+
+    #[test]
+    fn synthetic_tensors_recorded_as_metadata() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::synthetic(
+            tfhpc_tensor::DType::F32,
+            [1024, 1024],
+            7,
+        ));
+        let b = g.constant(Tensor::synthetic(
+            tfhpc_tensor::DType::F32,
+            [1024, 1024],
+            8,
+        ));
+        let c = g.matmul(a, b);
+        let (sess, dbg) = traced_session(g);
+        sess.run(&[c], &[]).unwrap();
+        let mm = dbg.node_history(&dbg.watches().last().unwrap().node.clone());
+        assert!(mm[0].synthetic);
+        assert_eq!(mm[0].dims, vec![1024, 1024]);
+        assert_eq!(mm[0].min, None);
+    }
+
+    #[test]
+    fn history_accumulates_across_runs_and_clears() {
+        let mut g = Graph::new();
+        let one = g.constant(Tensor::scalar_f64(1.0));
+        let bump = g.assign_add("v", one);
+        let (sess, dbg) = traced_session(g);
+        sess.resources().create_variable("v", Tensor::scalar_f64(0.0));
+        for _ in 0..3 {
+            sess.run(&[bump], &[]).unwrap();
+        }
+        let hist = dbg.node_history(&dbg.watches().last().unwrap().node.clone());
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[0].mean, Some(1.0));
+        assert_eq!(hist[2].mean, Some(3.0));
+        dbg.clear();
+        assert!(dbg.is_empty());
+    }
+}

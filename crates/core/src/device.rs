@@ -1,0 +1,310 @@
+//! Device placement: the `tf.device()` mechanism.
+//!
+//! Within one task a node is pinned to the host CPU or one of the
+//! visible GPUs. If no device is specified, *simple placement* applies:
+//! ops that support GPU execution land on GPU 0 when one is visible
+//! (exactly the paper's description of TensorFlow's default). *Soft
+//! placement* silently re-pins an op whose requested device cannot run
+//! it.
+
+use crate::error::{CoreError, Result};
+use std::fmt;
+use std::sync::Arc;
+use tfhpc_sim::des::SimResource;
+use tfhpc_sim::device::{Cost, DeviceModel};
+use tfhpc_sim::topology::ClusterSim;
+
+/// Placement of a graph node within a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Let the placer decide (simple placement).
+    #[default]
+    Auto,
+    /// Host CPU (`/cpu:0`).
+    Cpu,
+    /// Visible GPU `i` (`/gpu:i`).
+    Gpu(usize),
+}
+
+impl Placement {
+    /// Parse a TensorFlow-style device string (`"/cpu:0"`, `"/gpu:1"`,
+    /// `"/device:GPU:0"`).
+    pub fn parse(s: &str) -> Result<Placement> {
+        let lower = s.to_ascii_lowercase();
+        let lower = lower
+            .trim_start_matches('/')
+            .replace("device:", "");
+        if lower.is_empty() {
+            return Ok(Placement::Auto);
+        }
+        let (kind, idx) = lower
+            .split_once(':')
+            .ok_or_else(|| CoreError::Placement(format!("cannot parse device `{s}`")))?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|_| CoreError::Placement(format!("bad device index in `{s}`")))?;
+        match kind {
+            "cpu" => Ok(Placement::Cpu),
+            "gpu" => Ok(Placement::Gpu(idx)),
+            _ => Err(CoreError::Placement(format!("unknown device kind `{s}`"))),
+        }
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::Auto => write!(f, "/auto"),
+            Placement::Cpu => write!(f, "/cpu:0"),
+            Placement::Gpu(i) => write!(f, "/gpu:{i}"),
+        }
+    }
+}
+
+/// Binding of a task to its simulated node (absent in real mode).
+#[derive(Clone)]
+pub struct SimBinding {
+    /// The simulated cluster.
+    pub cluster: Arc<ClusterSim>,
+    /// Node index this task runs on.
+    pub node: usize,
+    /// Visible GPU index → physical GPU slot on the node (the
+    /// `CUDA_VISIBLE_DEVICES` mapping installed by the resolver).
+    pub gpu_map: Vec<usize>,
+}
+
+/// Per-task device context: visible devices, optional sim binding and
+/// memory accounting.
+#[derive(Clone)]
+pub struct DeviceCtx {
+    /// Number of visible GPUs.
+    pub n_gpus: usize,
+    /// Soft placement: re-pin unsupported ops instead of erroring.
+    pub allow_soft_placement: bool,
+    /// Simulation binding, if running on the simulated cluster.
+    pub sim: Option<SimBinding>,
+}
+
+impl DeviceCtx {
+    /// Real-mode context with `n_gpus` pretend GPUs (kernels run on the
+    /// host; placement logic still applies).
+    pub fn real(n_gpus: usize) -> DeviceCtx {
+        DeviceCtx {
+            n_gpus,
+            allow_soft_placement: true,
+            sim: None,
+        }
+    }
+
+    /// Simulated context: the task runs on `node` of `cluster` and sees
+    /// the GPUs in `gpu_map`.
+    pub fn simulated(cluster: Arc<ClusterSim>, node: usize, gpu_map: Vec<usize>) -> DeviceCtx {
+        DeviceCtx {
+            n_gpus: gpu_map.len(),
+            allow_soft_placement: true,
+            sim: Some(SimBinding {
+                cluster,
+                node,
+                gpu_map,
+            }),
+        }
+    }
+
+    /// Resolve a requested placement into a concrete device.
+    ///
+    /// `gpu_capable` declares whether the op has a GPU kernel.
+    pub fn resolve(&self, requested: Placement, gpu_capable: bool) -> Result<Placement> {
+        match requested {
+            Placement::Auto => {
+                if gpu_capable && self.n_gpus > 0 {
+                    Ok(Placement::Gpu(0))
+                } else {
+                    Ok(Placement::Cpu)
+                }
+            }
+            Placement::Cpu => Ok(Placement::Cpu),
+            Placement::Gpu(i) => {
+                if i < self.n_gpus && gpu_capable {
+                    Ok(Placement::Gpu(i))
+                } else if self.allow_soft_placement {
+                    // Soft placement: fall back to CPU (or GPU 0 when the
+                    // index was simply out of range for a capable op).
+                    if gpu_capable && self.n_gpus > 0 {
+                        Ok(Placement::Gpu(i.min(self.n_gpus - 1)))
+                    } else {
+                        Ok(Placement::Cpu)
+                    }
+                } else {
+                    Err(CoreError::Placement(format!(
+                        "op pinned to /gpu:{i} but task sees {} GPUs (gpu kernel: {gpu_capable})",
+                        self.n_gpus
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Device model for a resolved placement (None in real mode).
+    pub fn model(&self, p: Placement) -> Option<&DeviceModel> {
+        let sim = self.sim.as_ref()?;
+        Some(match p {
+            Placement::Cpu | Placement::Auto => &sim.cluster.platform.node.cpu,
+            Placement::Gpu(_) => &sim.cluster.platform.node.gpu,
+        })
+    }
+
+    /// The kernel-stream resource for a resolved placement.
+    fn stream(&self, p: Placement) -> Option<&SimResource> {
+        let sim = self.sim.as_ref()?;
+        match p {
+            Placement::Gpu(i) => {
+                let slot = *sim.gpu_map.get(i)?;
+                Some(sim.cluster.stream_for(sim.node, slot))
+            }
+            _ => None,
+        }
+    }
+
+    /// Charge `cost` of a kernel executing on `p` to virtual time
+    /// (no-op in real mode). Returns the modeled seconds.
+    pub fn charge_kernel(&self, p: Placement, cost: &Cost, double_precision: bool) -> f64 {
+        let Some(model) = self.model(p) else {
+            return 0.0;
+        };
+        let dur = model.kernel_time(cost, double_precision);
+        match self.stream(p) {
+            Some(stream) => {
+                stream.acquire_for(dur);
+            }
+            None => {
+                if let Some(me) = tfhpc_sim::des::current() {
+                    me.advance(dur);
+                }
+            }
+        }
+        dur
+    }
+
+    /// Charge a host↔device transfer of `bytes` for data moving between
+    /// placements `from` → `to` (PCIe staging; no-op when same device
+    /// or in real mode).
+    pub fn charge_transfer(&self, from: Placement, to: Placement, bytes: u64) -> f64 {
+        if from == to || bytes == 0 {
+            return 0.0;
+        }
+        let Some(sim) = self.sim.as_ref() else {
+            return 0.0;
+        };
+        // Only host↔GPU and GPU↔GPU hops cost PCIe time.
+        let hops: Vec<usize> = [from, to]
+            .iter()
+            .filter_map(|p| match p {
+                Placement::Gpu(i) => sim.gpu_map.get(*i).copied(),
+                _ => None,
+            })
+            .collect();
+        if hops.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for slot in hops {
+            let link = sim.cluster.pcie_for(sim.node, slot);
+            let dur = bytes as f64 / (sim.cluster.platform.node.pcie_gbs * 1e9);
+            link.acquire_for(dur);
+            total += dur;
+        }
+        total
+    }
+
+    /// Usable memory of the device at `p` (90% of capacity, leaving the
+    /// allocator reserve TensorFlow keeps), or `None` in real mode.
+    pub fn usable_memory(&self, p: Placement) -> Option<u64> {
+        self.model(p).map(|m| (m.mem_bytes as f64 * 0.9) as u64)
+    }
+
+    /// Human-readable device name at `p`.
+    pub fn device_name(&self, p: Placement) -> String {
+        match (&self.sim, p) {
+            (Some(sim), Placement::Gpu(i)) => format!(
+                "node{}:{}{}",
+                sim.node,
+                sim.cluster.platform.node.gpu.name,
+                sim.gpu_map.get(i).copied().unwrap_or(i)
+            ),
+            (_, p) => p.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_device_strings() {
+        assert_eq!(Placement::parse("/cpu:0").unwrap(), Placement::Cpu);
+        assert_eq!(Placement::parse("/gpu:1").unwrap(), Placement::Gpu(1));
+        assert_eq!(Placement::parse("/device:GPU:0").unwrap(), Placement::Gpu(0));
+        assert_eq!(Placement::parse("").unwrap(), Placement::Auto);
+        assert!(Placement::parse("/tpu:0").is_err());
+        assert!(Placement::parse("/gpu:x").is_err());
+    }
+
+    #[test]
+    fn simple_placement_prefers_gpu0() {
+        let ctx = DeviceCtx::real(2);
+        assert_eq!(
+            ctx.resolve(Placement::Auto, true).unwrap(),
+            Placement::Gpu(0)
+        );
+        assert_eq!(ctx.resolve(Placement::Auto, false).unwrap(), Placement::Cpu);
+        let cpu_only = DeviceCtx::real(0);
+        assert_eq!(
+            cpu_only.resolve(Placement::Auto, true).unwrap(),
+            Placement::Cpu
+        );
+    }
+
+    #[test]
+    fn soft_placement_repins() {
+        let ctx = DeviceCtx::real(1);
+        // GPU-incapable op pinned to GPU falls back to CPU.
+        assert_eq!(
+            ctx.resolve(Placement::Gpu(0), false).unwrap(),
+            Placement::Cpu
+        );
+        // Out-of-range GPU index clamps.
+        assert_eq!(
+            ctx.resolve(Placement::Gpu(5), true).unwrap(),
+            Placement::Gpu(0)
+        );
+    }
+
+    #[test]
+    fn hard_placement_errors() {
+        let mut ctx = DeviceCtx::real(0);
+        ctx.allow_soft_placement = false;
+        assert!(matches!(
+            ctx.resolve(Placement::Gpu(0), true),
+            Err(CoreError::Placement(_))
+        ));
+    }
+
+    #[test]
+    fn real_mode_charges_nothing() {
+        let ctx = DeviceCtx::real(1);
+        assert_eq!(
+            ctx.charge_kernel(Placement::Gpu(0), &Cost::bytes(1e9), false),
+            0.0
+        );
+        assert_eq!(ctx.charge_transfer(Placement::Cpu, Placement::Gpu(0), 1 << 30), 0.0);
+        assert!(ctx.usable_memory(Placement::Gpu(0)).is_none());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(Placement::Cpu.to_string(), "/cpu:0");
+        assert_eq!(Placement::Gpu(2).to_string(), "/gpu:2");
+        assert_eq!(Placement::parse("/gpu:2").unwrap(), Placement::Gpu(2));
+    }
+}

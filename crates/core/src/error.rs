@@ -1,0 +1,75 @@
+//! Unified error type for the dataflow framework.
+
+use tfhpc_proto::ProtoError;
+use tfhpc_tensor::TensorError;
+
+/// Errors surfaced by graph construction, session execution, queues,
+/// datasets, checkpoints and placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Tensor math / shape error.
+    Tensor(TensorError),
+    /// Serialization error (includes the 2 GB GraphDef limit).
+    Proto(ProtoError),
+    /// Graph is structurally invalid (cycle, bad input arity, ...).
+    Graph(String),
+    /// No kernel/device combination satisfies the placement request.
+    Placement(String),
+    /// Queue was closed and drained (TensorFlow's `OutOfRangeError`).
+    QueueClosed(String),
+    /// Dataset iterator is exhausted.
+    EndOfSequence,
+    /// A device ran out of memory.
+    OutOfMemory {
+        /// Device name.
+        device: String,
+        /// Bytes the op needed resident.
+        needed: u64,
+        /// Usable capacity of the device.
+        capacity: u64,
+    },
+    /// Named resource (variable, queue, iterator, tile) not found.
+    NotFound(String),
+    /// Anything else.
+    Invalid(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Proto(e) => write!(f, "proto error: {e}"),
+            CoreError::Graph(s) => write!(f, "graph error: {s}"),
+            CoreError::Placement(s) => write!(f, "placement error: {s}"),
+            CoreError::QueueClosed(q) => write!(f, "queue `{q}` is closed"),
+            CoreError::EndOfSequence => write!(f, "end of sequence"),
+            CoreError::OutOfMemory {
+                device,
+                needed,
+                capacity,
+            } => write!(
+                f,
+                "out of memory on {device}: need {needed} bytes, capacity {capacity}"
+            ),
+            CoreError::NotFound(s) => write!(f, "not found: {s}"),
+            CoreError::Invalid(s) => write!(f, "invalid: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<ProtoError> for CoreError {
+    fn from(e: ProtoError) -> Self {
+        CoreError::Proto(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

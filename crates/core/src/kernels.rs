@@ -1,0 +1,482 @@
+//! Kernel execution and cost accounting for the built-in op set.
+//!
+//! `execute` produces output tensors (running real host math through
+//! `tfhpc-tensor`, or propagating synthetic metadata); `cost_of`
+//! produces the [`Cost`] record the session charges to the placed
+//! device's performance model in simulated runs.
+
+use crate::error::{CoreError, Result};
+use crate::op::Op;
+use crate::resources::Resources;
+use tfhpc_sim::device::{Cost, KernelClass};
+use tfhpc_tensor::tensor::mix_seed;
+use tfhpc_tensor::{fft, matmul, ops, DType, Tensor};
+
+/// Default Python-tax factor for `py_func` host callbacks: NumPy
+/// slice-insertion style merge loops touch memory ~150x slower than
+/// `memcpy` (calibrated so the FFT merger costs what §VIII describes).
+pub const PY_FUNC_DEFAULT_COST_FACTOR: f64 = 150.0;
+
+/// Cast between float dtypes (f32 <-> f64); identity when same dtype.
+pub fn cast(t: &Tensor, to: DType) -> Result<Tensor> {
+    if t.dtype() == to {
+        return Ok(t.clone());
+    }
+    if let Some(seed) = t.synthetic_seed() {
+        return Ok(Tensor::synthetic(to, t.shape().clone(), mix_seed(seed, 0xCA57)));
+    }
+    match (t.dtype(), to) {
+        (DType::F32, DType::F64) => {
+            let v: Vec<f64> = t.as_f32()?.iter().map(|x| *x as f64).collect();
+            Ok(Tensor::from_f64(t.shape().clone(), v)?)
+        }
+        (DType::F64, DType::F32) => {
+            let v: Vec<f32> = t.as_f64()?.iter().map(|x| *x as f32).collect();
+            Ok(Tensor::from_f32(t.shape().clone(), v)?)
+        }
+        (DType::I64, DType::F64) => {
+            let v: Vec<f64> = t.as_i64()?.iter().map(|x| *x as f64).collect();
+            Ok(Tensor::from_f64(t.shape().clone(), v)?)
+        }
+        (from, to) => Err(CoreError::Invalid(format!(
+            "unsupported cast {from} -> {to}"
+        ))),
+    }
+}
+
+fn bytes_of(ts: &[&Tensor]) -> f64 {
+    ts.iter().map(|t| t.byte_size() as f64).sum()
+}
+
+/// Execute `op` on `inputs`. Placeholders are resolved by the session
+/// (never reach this function).
+pub fn execute(
+    op: &Op,
+    inputs: &[Tensor],
+    resources: &Resources,
+    run_seed: u64,
+) -> Result<Vec<Tensor>> {
+    match op {
+        Op::Placeholder { .. } => Err(CoreError::Graph(
+            "placeholder reached kernel execution without a feed".into(),
+        )),
+        Op::Const { value } => Ok(vec![value.clone()]),
+        Op::RandomUniform { dtype, shape, seed } => Ok(vec![tfhpc_tensor::rng::random_uniform(
+            *dtype,
+            shape.clone(),
+            mix_seed(*seed, run_seed),
+        )?]),
+        Op::RandomNormal { dtype, shape, seed } => Ok(vec![tfhpc_tensor::rng::random_normal(
+            *dtype,
+            shape.clone(),
+            mix_seed(*seed, run_seed),
+        )?]),
+        Op::VarRead { var } => Ok(vec![resources.variable(var)?.read()]),
+        Op::Assign { var } => Ok(vec![resources.variable(var)?.assign(inputs[0].clone())?]),
+        Op::AssignAdd { var } => Ok(vec![resources.variable(var)?.assign_add(&inputs[0])?]),
+        Op::Add => Ok(vec![ops::add(&inputs[0], &inputs[1])?]),
+        Op::Sub => Ok(vec![ops::sub(&inputs[0], &inputs[1])?]),
+        Op::Mul => Ok(vec![ops::mul(&inputs[0], &inputs[1])?]),
+        Op::Div => Ok(vec![ops::div(&inputs[0], &inputs[1])?]),
+        Op::Neg => Ok(vec![ops::neg(&inputs[0])?]),
+        Op::Scale { factor } => Ok(vec![ops::scale(&inputs[0], *factor)?]),
+        Op::MulScalar => {
+            let s = inputs[1].scalar_value_f64()?;
+            Ok(vec![ops::scale(&inputs[0], s)?])
+        }
+        Op::AddN => {
+            if inputs.is_empty() {
+                return Err(CoreError::Graph("AddN with no inputs".into()));
+            }
+            let mut acc = inputs[0].clone();
+            for x in &inputs[1..] {
+                acc = ops::add(&acc, x)?;
+            }
+            Ok(vec![acc])
+        }
+        Op::MatMul => Ok(vec![matmul::matmul(&inputs[0], &inputs[1])?]),
+        Op::MatVec => Ok(vec![matmul::matvec(&inputs[0], &inputs[1])?]),
+        Op::Dot => Ok(vec![ops::dot(&inputs[0], &inputs[1])?]),
+        Op::Sum => Ok(vec![ops::sum(&inputs[0])?]),
+        Op::Norm2 => Ok(vec![ops::norm2(&inputs[0])?]),
+        Op::Max => Ok(vec![ops::max(&inputs[0])?]),
+        Op::Sqrt => {
+            let x = &inputs[0];
+            if x.is_synthetic() {
+                return Ok(vec![Tensor::synthetic(
+                    x.dtype(),
+                    x.shape().clone(),
+                    mix_seed(x.synthetic_seed().unwrap(), 0x5157),
+                )]);
+            }
+            match x.dtype() {
+                DType::F64 => {
+                    let v: Vec<f64> = x.as_f64()?.iter().map(|v| v.sqrt()).collect();
+                    Ok(vec![Tensor::from_f64(x.shape().clone(), v)?])
+                }
+                DType::F32 => {
+                    let v: Vec<f32> = x.as_f32()?.iter().map(|v| v.sqrt()).collect();
+                    Ok(vec![Tensor::from_f32(x.shape().clone(), v)?])
+                }
+                other => Err(CoreError::Tensor(
+                    tfhpc_tensor::TensorError::UnsupportedDType {
+                        op: "sqrt",
+                        dtype: other,
+                    },
+                )),
+            }
+        }
+        Op::Fft => Ok(vec![fft::fft_tensor(&inputs[0])?]),
+        Op::Reshape { shape } => Ok(vec![inputs[0].reshape(shape.clone())?]),
+        Op::SliceRange { start, end } => Ok(vec![inputs[0].slice_range(*start, *end)?]),
+        Op::SliceRows { start, end } => Ok(vec![inputs[0].slice_rows(*start, *end)?]),
+        Op::ConcatVecs => Ok(vec![Tensor::concat_vecs(inputs)?]),
+        Op::Transpose => Ok(vec![matmul::transpose(&inputs[0])?]),
+        Op::Cast { to } => Ok(vec![cast(&inputs[0], *to)?]),
+        Op::Identity => Ok(vec![inputs[0].clone()]),
+        Op::NoOp => Ok(vec![]),
+        Op::QueueEnqueue { queue } => {
+            resources.queue(queue)?.enqueue(inputs.to_vec())?;
+            Ok(vec![])
+        }
+        Op::QueueDequeue { queue, arity } => {
+            let tuple = resources.queue(queue)?.dequeue()?;
+            if tuple.len() != *arity {
+                return Err(CoreError::Graph(format!(
+                    "queue `{queue}` yielded {} tensors, dequeue expects {arity}",
+                    tuple.len()
+                )));
+            }
+            Ok(tuple)
+        }
+        Op::QueueClose { queue } => {
+            resources.queue(queue)?.close();
+            Ok(vec![])
+        }
+        Op::QueueSize { queue } => Ok(vec![Tensor::scalar_i64(
+            resources.queue(queue)?.len() as i64
+        )]),
+        Op::DatasetNext { iterator, arity } => {
+            let tuple = resources.iterator(iterator)?.get_next()?;
+            if tuple.len() != *arity {
+                return Err(CoreError::Graph(format!(
+                    "iterator `{iterator}` yielded {} tensors, expected {arity}",
+                    tuple.len()
+                )));
+            }
+            Ok(tuple)
+        }
+        Op::ReadTile { store } => {
+            let key = inputs[0].as_i64()?.to_vec();
+            Ok(vec![resources.store(store)?.get(&key)?])
+        }
+        Op::WriteTile { store } => {
+            let key = inputs[0].as_i64()?.to_vec();
+            resources.store(store)?.put(key, inputs[1].clone());
+            Ok(vec![])
+        }
+        Op::PyFunc { func, outputs, .. } => {
+            let out = func(resources, inputs)?;
+            if out.len() != *outputs {
+                return Err(CoreError::Graph(format!(
+                    "py_func returned {} outputs, declared {}",
+                    out.len(),
+                    outputs
+                )));
+            }
+            Ok(out)
+        }
+        Op::Custom(k) => k.compute(resources, inputs),
+    }
+}
+
+/// Device cost of one execution of `op` given its inputs and outputs.
+pub fn cost_of(op: &Op, inputs: &[Tensor], outputs: &[Tensor]) -> Cost {
+    let in_refs: Vec<&Tensor> = inputs.iter().collect();
+    let out_refs: Vec<&Tensor> = outputs.iter().collect();
+    let io_bytes = bytes_of(&in_refs) + bytes_of(&out_refs);
+    match op {
+        Op::MatMul => {
+            let (m, k) = match inputs[0].shape().dims() {
+                [m, k] => (*m as f64, *k as f64),
+                _ => (0.0, 0.0),
+            };
+            let n = inputs[1]
+                .shape()
+                .dims()
+                .get(1)
+                .copied()
+                .unwrap_or(0) as f64;
+            Cost {
+                flops: 2.0 * m * k * n,
+                bytes: io_bytes,
+                class: KernelClass::Gemm,
+            }
+        }
+        Op::MatVec => Cost {
+            flops: 2.0 * inputs[0].num_elements() as f64,
+            bytes: io_bytes,
+            class: KernelClass::Blas1,
+        },
+        Op::Dot => Cost {
+            flops: 2.0 * inputs[0].num_elements() as f64,
+            bytes: io_bytes,
+            class: KernelClass::Blas1,
+        },
+        Op::Fft => {
+            let n = inputs[0].num_elements() as f64;
+            Cost {
+                flops: 5.0 * n * n.max(2.0).log2(),
+                bytes: io_bytes,
+                class: KernelClass::Fft,
+            }
+        }
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::AddN | Op::AssignAdd { .. } => Cost {
+            flops: inputs.iter().map(|t| t.num_elements() as f64).sum(),
+            bytes: io_bytes,
+            class: KernelClass::Blas1,
+        },
+        Op::Neg | Op::Scale { .. } | Op::MulScalar | Op::Sqrt | Op::Sum | Op::Norm2 | Op::Max => Cost {
+            flops: inputs[0].num_elements() as f64,
+            bytes: io_bytes,
+            class: KernelClass::Blas1,
+        },
+        Op::RandomUniform { .. } | Op::RandomNormal { .. } => Cost {
+            flops: outputs.first().map(|t| t.num_elements() as f64).unwrap_or(0.0) * 8.0,
+            bytes: bytes_of(&out_refs),
+            class: KernelClass::Elementwise,
+        },
+        Op::Assign { .. }
+        | Op::SliceRange { .. }
+        | Op::SliceRows { .. }
+        | Op::ConcatVecs
+        | Op::Transpose
+        | Op::Cast { .. } => Cost::bytes(io_bytes),
+        // Reads and identities hand out references, not copies.
+        Op::VarRead { .. } | Op::Identity => Cost::zero(),
+        Op::PyFunc {
+            host_cost_factor, ..
+        } => Cost::bytes(bytes_of(&in_refs) * host_cost_factor),
+        Op::Custom(k) => k.cost(inputs),
+        // Queues, datasets, tiles, reshape and control ops are charged
+        // elsewhere (transfers/PFS) or are free metadata ops.
+        _ => Cost::zero(),
+    }
+}
+
+/// Whether the op computes in double precision (drives the DP peak).
+pub fn is_double_precision(inputs: &[Tensor], outputs: &[Tensor]) -> bool {
+    inputs
+        .iter()
+        .chain(outputs.iter())
+        .any(|t| matches!(t.dtype(), DType::F64 | DType::C128))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfhpc_tensor::Shape;
+
+    fn r() -> std::sync::Arc<Resources> {
+        Resources::new()
+    }
+
+    #[test]
+    fn arithmetic_kernels_execute() {
+        let res = r();
+        let a = Tensor::from_f64([2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f64([2], vec![3.0, 4.0]).unwrap();
+        let out = execute(&Op::Add, &[a.clone(), b.clone()], &res, 0).unwrap();
+        assert_eq!(out[0].as_f64().unwrap(), &[4.0, 6.0]);
+        let out = execute(&Op::Dot, &[a, b], &res, 0).unwrap();
+        assert_eq!(out[0].scalar_value_f64().unwrap(), 11.0);
+    }
+
+    #[test]
+    fn random_differs_per_run_seed() {
+        let res = r();
+        let op = Op::RandomUniform {
+            dtype: DType::F64,
+            shape: Shape::vector(4),
+            seed: 7,
+        };
+        let a = execute(&op, &[], &res, 1).unwrap();
+        let b = execute(&op, &[], &res, 2).unwrap();
+        let a2 = execute(&op, &[], &res, 1).unwrap();
+        assert_ne!(a[0].as_f64().unwrap(), b[0].as_f64().unwrap());
+        assert_eq!(a[0].as_f64().unwrap(), a2[0].as_f64().unwrap());
+    }
+
+    #[test]
+    fn variable_kernels_mutate_store() {
+        let res = r();
+        res.create_variable("v", Tensor::scalar_f64(10.0));
+        execute(
+            &Op::AssignAdd { var: "v".into() },
+            &[Tensor::scalar_f64(5.0)],
+            &res,
+            0,
+        )
+        .unwrap();
+        let out = execute(&Op::VarRead { var: "v".into() }, &[], &res, 0).unwrap();
+        assert_eq!(out[0].scalar_value_f64().unwrap(), 15.0);
+    }
+
+    #[test]
+    fn queue_kernels_roundtrip() {
+        let res = r();
+        res.create_queue("q", 4);
+        execute(
+            &Op::QueueEnqueue { queue: "q".into() },
+            &[Tensor::scalar_i64(1), Tensor::scalar_i64(2)],
+            &res,
+            0,
+        )
+        .unwrap();
+        let size = execute(&Op::QueueSize { queue: "q".into() }, &[], &res, 0).unwrap();
+        assert_eq!(size[0].scalar_value_i64().unwrap(), 1);
+        let out = execute(
+            &Op::QueueDequeue {
+                queue: "q".into(),
+                arity: 2,
+            },
+            &[],
+            &res,
+            0,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        execute(&Op::QueueClose { queue: "q".into() }, &[], &res, 0).unwrap();
+        assert!(matches!(
+            execute(
+                &Op::QueueDequeue {
+                    queue: "q".into(),
+                    arity: 2
+                },
+                &[],
+                &res,
+                0
+            ),
+            Err(CoreError::QueueClosed(_))
+        ));
+    }
+
+    #[test]
+    fn tile_kernels_roundtrip() {
+        let res = r();
+        res.create_store("tiles");
+        let key = Tensor::from_i64([2], vec![3, 4]).unwrap();
+        execute(
+            &Op::WriteTile {
+                store: "tiles".into(),
+            },
+            &[key.clone(), Tensor::scalar_f32(1.5)],
+            &res,
+            0,
+        )
+        .unwrap();
+        let out = execute(
+            &Op::ReadTile {
+                store: "tiles".into(),
+            },
+            &[key],
+            &res,
+            0,
+        )
+        .unwrap();
+        assert_eq!(out[0].scalar_value_f64().unwrap(), 1.5);
+    }
+
+    #[test]
+    fn matmul_cost_is_2mkn_gemm() {
+        let a = Tensor::synthetic(DType::F32, [128, 64], 1);
+        let b = Tensor::synthetic(DType::F32, [64, 32], 2);
+        let c = Tensor::synthetic(DType::F32, [128, 32], 3);
+        let cost = cost_of(&Op::MatMul, &[a, b], &[c]);
+        assert_eq!(cost.flops, 2.0 * 128.0 * 64.0 * 32.0);
+        assert_eq!(cost.class, KernelClass::Gemm);
+    }
+
+    #[test]
+    fn fft_cost_is_5nlogn() {
+        let x = Tensor::synthetic(DType::C128, [1024], 1);
+        let cost = cost_of(&Op::Fft, std::slice::from_ref(&x), std::slice::from_ref(&x));
+        assert_eq!(cost.flops, 5.0 * 1024.0 * 10.0);
+        assert_eq!(cost.class, KernelClass::Fft);
+    }
+
+    #[test]
+    fn pyfunc_cost_scales_with_factor() {
+        let x = Tensor::zeros(DType::F64, [1000]);
+        let mk = |factor| Op::PyFunc {
+            func: std::sync::Arc::new(|_, i| Ok(i.to_vec())),
+            label: "merge".into(),
+            outputs: 1,
+            host_cost_factor: factor,
+        };
+        let free = cost_of(&mk(0.0), std::slice::from_ref(&x), &[]);
+        let taxed = cost_of(&mk(150.0), std::slice::from_ref(&x), &[]);
+        assert_eq!(free.bytes, 0.0);
+        assert_eq!(taxed.bytes, 8000.0 * 150.0);
+    }
+
+    #[test]
+    fn precision_detection() {
+        let f32s = [Tensor::zeros(DType::F32, [2])];
+        let f64s = [Tensor::zeros(DType::F64, [2])];
+        assert!(!is_double_precision(&f32s, &[]));
+        assert!(is_double_precision(&f64s, &[]));
+        assert!(is_double_precision(&[Tensor::zeros(DType::C128, [2])], &[]));
+    }
+
+    #[test]
+    fn slice_and_concat_kernels() {
+        let res = r();
+        let v = Tensor::from_f64([6], vec![0., 1., 2., 3., 4., 5.]).unwrap();
+        let out = execute(&Op::SliceRange { start: 2, end: 5 }, std::slice::from_ref(&v), &res, 0).unwrap();
+        assert_eq!(out[0].as_f64().unwrap(), &[2., 3., 4.]);
+        let m = Tensor::from_f64([3, 2], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let out = execute(&Op::SliceRows { start: 1, end: 2 }, &[m], &res, 0).unwrap();
+        assert_eq!(out[0].as_f64().unwrap(), &[3., 4.]);
+        let a = Tensor::from_f64([2], vec![1., 2.]).unwrap();
+        let b = Tensor::from_f64([3], vec![3., 4., 5.]).unwrap();
+        let out = execute(&Op::ConcatVecs, &[a, b], &res, 0).unwrap();
+        assert_eq!(out[0].as_f64().unwrap(), &[1., 2., 3., 4., 5.]);
+        // Out-of-range slices error rather than panic.
+        assert!(execute(&Op::SliceRange { start: 4, end: 9 }, &[v], &res, 0).is_err());
+    }
+
+    #[test]
+    fn cast_kernels_convert_precision() {
+        let res = r();
+        let f32s = Tensor::from_f32([3], vec![1.5, -2.0, 0.25]).unwrap();
+        let out = execute(&Op::Cast { to: DType::F64 }, std::slice::from_ref(&f32s), &res, 0).unwrap();
+        assert_eq!(out[0].dtype(), DType::F64);
+        assert_eq!(out[0].as_f64().unwrap(), &[1.5, -2.0, 0.25]);
+        // Round trip through f64 -> f32 is lossless for representables.
+        let back = execute(&Op::Cast { to: DType::F32 }, &out, &res, 0).unwrap();
+        assert_eq!(back[0].as_f32().unwrap(), f32s.as_f32().unwrap());
+        // Same-dtype cast is the identity.
+        let same = execute(&Op::Cast { to: DType::F32 }, &[f32s], &res, 0).unwrap();
+        assert_eq!(same[0].dtype(), DType::F32);
+        // Unsupported pair errors.
+        let c = Tensor::zeros(DType::C128, [2]);
+        assert!(execute(&Op::Cast { to: DType::F32 }, &[c], &res, 0).is_err());
+        // Synthetic passes through with the new dtype.
+        let s = Tensor::synthetic(DType::F32, [4, 4], 9);
+        let out = execute(&Op::Cast { to: DType::F64 }, &[s], &res, 0).unwrap();
+        assert!(out[0].is_synthetic());
+        assert_eq!(out[0].dtype(), DType::F64);
+    }
+
+    #[test]
+    fn synthetic_inputs_stay_synthetic_through_kernels() {
+        let res = r();
+        let a = Tensor::synthetic(DType::F32, [64, 64], 1);
+        let b = Tensor::synthetic(DType::F32, [64, 64], 2);
+        let out = execute(&Op::MatMul, &[a, b], &res, 0).unwrap();
+        assert!(out[0].is_synthetic());
+        let out = execute(&Op::Sqrt, &out, &res, 0).unwrap();
+        assert!(out[0].is_synthetic());
+    }
+}

@@ -1,0 +1,370 @@
+//! Bounded FIFO queues of tensor tuples — the `tf.FIFOQueue` the
+//! paper's reducers and map-reduce pipelines are built from.
+//!
+//! A queue blocks consumers when empty and producers when full, in both
+//! execution modes:
+//!
+//! * **real mode** — parking_lot mutex + condvars across OS threads;
+//! * **sim mode** — [`tfhpc_sim::des::SimCondvar`]s, so blocking
+//!   dequeues park the simulated process and wake at the notifier's
+//!   virtual time (this is what makes the queue-pair reducer pattern
+//!   cost what it should).
+//!
+//! Closing a queue follows TensorFlow semantics: further enqueues fail;
+//! dequeues drain remaining elements and then fail with
+//! `QueueClosed` (TensorFlow's `OutOfRangeError`).
+
+use crate::error::{CoreError, Result};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use tfhpc_sim::des::SimCondvar;
+use tfhpc_tensor::Tensor;
+
+struct QueueState {
+    items: VecDeque<Vec<Tensor>>,
+    closed: bool,
+}
+
+enum Waiters {
+    Real {
+        not_empty: Condvar,
+        not_full: Condvar,
+    },
+    Sim {
+        not_empty: SimCondvar,
+        not_full: SimCondvar,
+    },
+}
+
+/// A bounded FIFO queue of tensor tuples.
+pub struct FifoQueue {
+    name: String,
+    capacity: usize,
+    state: Mutex<QueueState>,
+    waiters: Waiters,
+}
+
+impl FifoQueue {
+    /// Create a queue. When called from inside a simulated process the
+    /// queue binds to that simulation's virtual clock.
+    pub fn new(name: &str, capacity: usize) -> Arc<FifoQueue> {
+        let waiters = match tfhpc_sim::des::current() {
+            Some(me) => Waiters::Sim {
+                not_empty: me.sim().condvar(&format!("queue:{name}:not_empty")),
+                not_full: me.sim().condvar(&format!("queue:{name}:not_full")),
+            },
+            None => Waiters::Real {
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+            },
+        };
+        Arc::new(FifoQueue {
+            name: name.to_string(),
+            capacity: capacity.max(1),
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            waiters,
+        })
+    }
+
+    /// Queue name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current element count.
+    pub fn len(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// True when no elements are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// Blocking enqueue of one tuple.
+    pub fn enqueue(&self, tuple: Vec<Tensor>) -> Result<()> {
+        match &self.waiters {
+            Waiters::Real {
+                not_empty,
+                not_full,
+            } => {
+                let mut st = self.state.lock();
+                while st.items.len() >= self.capacity && !st.closed {
+                    not_full.wait(&mut st);
+                }
+                if st.closed {
+                    return Err(CoreError::QueueClosed(self.name.clone()));
+                }
+                st.items.push_back(tuple);
+                not_empty.notify_one();
+                Ok(())
+            }
+            Waiters::Sim {
+                not_empty,
+                not_full,
+            } => {
+                loop {
+                    {
+                        let mut st = self.state.lock();
+                        if st.closed {
+                            return Err(CoreError::QueueClosed(self.name.clone()));
+                        }
+                        if st.items.len() < self.capacity {
+                            st.items.push_back(tuple);
+                            break;
+                        }
+                    }
+                    // Only one sim process runs at a time: no lost
+                    // wakeups between the unlock above and this wait.
+                    not_full.wait();
+                }
+                not_empty.notify_all();
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocking dequeue of one tuple. Errors with `QueueClosed` once
+    /// the queue is closed *and* drained.
+    pub fn dequeue(&self) -> Result<Vec<Tensor>> {
+        match &self.waiters {
+            Waiters::Real {
+                not_empty,
+                not_full,
+            } => {
+                let mut st = self.state.lock();
+                loop {
+                    if let Some(tuple) = st.items.pop_front() {
+                        not_full.notify_one();
+                        return Ok(tuple);
+                    }
+                    if st.closed {
+                        return Err(CoreError::QueueClosed(self.name.clone()));
+                    }
+                    not_empty.wait(&mut st);
+                }
+            }
+            Waiters::Sim {
+                not_empty,
+                not_full,
+            } => loop {
+                {
+                    let mut st = self.state.lock();
+                    if let Some(tuple) = st.items.pop_front() {
+                        drop(st);
+                        not_full.notify_all();
+                        return Ok(tuple);
+                    }
+                    if st.closed {
+                        return Err(CoreError::QueueClosed(self.name.clone()));
+                    }
+                }
+                not_empty.wait();
+            },
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub fn try_dequeue(&self) -> Option<Vec<Tensor>> {
+        let mut st = self.state.lock();
+        let out = st.items.pop_front();
+        drop(st);
+        if out.is_some() {
+            match &self.waiters {
+                Waiters::Real { not_full, .. } => {
+                    not_full.notify_one();
+                }
+                Waiters::Sim { not_full, .. } => {
+                    if tfhpc_sim::des::current().is_some() {
+                        not_full.notify_all();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Close the queue: wake all waiters; enqueues fail from now on.
+    pub fn close(&self) {
+        {
+            self.state.lock().closed = true;
+        }
+        match &self.waiters {
+            Waiters::Real {
+                not_empty,
+                not_full,
+            } => {
+                not_empty.notify_all();
+                not_full.notify_all();
+            }
+            Waiters::Sim {
+                not_empty,
+                not_full,
+            } => {
+                if tfhpc_sim::des::current().is_some() {
+                    not_empty.notify_all();
+                    not_full.notify_all();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    fn t(v: f64) -> Vec<Tensor> {
+        vec![Tensor::scalar_f64(v)]
+    }
+
+    #[test]
+    fn fifo_order() {
+        let q = FifoQueue::new("q", 10);
+        for i in 0..5 {
+            q.enqueue(t(i as f64)).unwrap();
+        }
+        for i in 0..5 {
+            let v = q.dequeue().unwrap();
+            assert_eq!(v[0].scalar_value_f64().unwrap(), i as f64);
+        }
+    }
+
+    #[test]
+    fn dequeue_blocks_until_enqueue() {
+        let q = FifoQueue::new("q", 4);
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.dequeue().unwrap()[0].scalar_value_f64().unwrap());
+        thread::sleep(Duration::from_millis(20));
+        q.enqueue(t(7.0)).unwrap();
+        assert_eq!(h.join().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn enqueue_blocks_at_capacity() {
+        let q = FifoQueue::new("q", 1);
+        q.enqueue(t(1.0)).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || {
+            q2.enqueue(t(2.0)).unwrap();
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1); // producer is parked
+        assert_eq!(q.dequeue().unwrap()[0].scalar_value_f64().unwrap(), 1.0);
+        h.join().unwrap();
+        assert_eq!(q.dequeue().unwrap()[0].scalar_value_f64().unwrap(), 2.0);
+    }
+
+    #[test]
+    fn close_drains_then_errors() {
+        let q = FifoQueue::new("q", 4);
+        q.enqueue(t(1.0)).unwrap();
+        q.close();
+        assert!(matches!(
+            q.enqueue(t(2.0)),
+            Err(CoreError::QueueClosed(_))
+        ));
+        assert!(q.dequeue().is_ok()); // drain
+        assert!(matches!(q.dequeue(), Err(CoreError::QueueClosed(_))));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = FifoQueue::new("q", 4);
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.dequeue());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert!(matches!(h.join().unwrap(), Err(CoreError::QueueClosed(_))));
+    }
+
+    #[test]
+    fn try_dequeue_nonblocking() {
+        let q = FifoQueue::new("q", 4);
+        assert!(q.try_dequeue().is_none());
+        q.enqueue(t(3.0)).unwrap();
+        assert!(q.try_dequeue().is_some());
+    }
+
+    #[test]
+    fn sim_mode_queue_carries_virtual_time() {
+        use tfhpc_sim::des::{current, Sim};
+        let sim = Sim::new();
+        let q_slot: Arc<Mutex<Option<Arc<FifoQueue>>>> = Arc::new(Mutex::new(None));
+        let consumer_time = Arc::new(Mutex::new(0.0f64));
+        // Owner process creates the queue inside the sim, then consumes.
+        {
+            let q_slot = Arc::clone(&q_slot);
+            let consumer_time = Arc::clone(&consumer_time);
+            sim.spawn("owner", move || {
+                let q = FifoQueue::new("simq", 4);
+                *q_slot.lock() = Some(Arc::clone(&q));
+                let v = q.dequeue().unwrap();
+                assert_eq!(v[0].scalar_value_f64().unwrap(), 42.0);
+                *consumer_time.lock() = current().unwrap().now();
+            });
+        }
+        {
+            let q_slot = Arc::clone(&q_slot);
+            sim.spawn("producer", move || {
+                let me = current().unwrap();
+                me.advance(3.0); // produce at t=3
+                let q = q_slot.lock().as_ref().unwrap().clone();
+                q.enqueue(vec![Tensor::scalar_f64(42.0)]).unwrap();
+            });
+        }
+        sim.run();
+        // Consumer was blocked until the producer's t=3.
+        assert!(*consumer_time.lock() >= 3.0);
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_counts() {
+        let q = FifoQueue::new("q", 8);
+        let total = 200;
+        let mut handles = Vec::new();
+        for p in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(thread::spawn(move || {
+                for i in 0..total / 4 {
+                    q.enqueue(t((p * 1000 + i) as f64)).unwrap();
+                }
+            }));
+        }
+        let got = Arc::new(Mutex::new(0usize));
+        let mut consumers = Vec::new();
+        for _ in 0..2 {
+            let q = Arc::clone(&q);
+            let got = Arc::clone(&got);
+            consumers.push(thread::spawn(move || {
+                while q.dequeue().is_ok() {
+                    *got.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        for c in consumers {
+            c.join().unwrap();
+        }
+        assert_eq!(*got.lock(), total);
+    }
+}

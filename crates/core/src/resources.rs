@@ -1,0 +1,313 @@
+//! The per-server resource manager: variables, queues, dataset
+//! iterators and tile stores, shared by every session attached to the
+//! same server (TensorFlow's resource-manager role).
+
+use crate::dataset::{Dataset, DatasetIterator};
+use crate::error::{CoreError, Result};
+use crate::queue::FifoQueue;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tfhpc_tensor::{Tensor, TensorError};
+
+/// A mutable named tensor (`tf.Variable`) — the only mutable state in
+/// the framework.
+pub struct Variable {
+    name: String,
+    value: Mutex<Tensor>,
+}
+
+impl Variable {
+    /// Variable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Snapshot the current value.
+    pub fn read(&self) -> Tensor {
+        self.value.lock().clone()
+    }
+
+    /// Replace the value (shape/dtype must match the initial value).
+    pub fn assign(&self, v: Tensor) -> Result<Tensor> {
+        let mut cur = self.value.lock();
+        if cur.shape() != v.shape() || cur.dtype() != v.dtype() {
+            return Err(CoreError::Tensor(TensorError::ShapeMismatch {
+                op: "assign",
+                lhs: cur.shape().clone(),
+                rhs: v.shape().clone(),
+            }));
+        }
+        *cur = v.clone();
+        Ok(v)
+    }
+
+    /// `value += v`; returns the new value.
+    pub fn assign_add(&self, v: &Tensor) -> Result<Tensor> {
+        let mut cur = self.value.lock();
+        let next = tfhpc_tensor::ops::add(&cur, v)?;
+        *cur = next.clone();
+        Ok(next)
+    }
+}
+
+/// A named store of tiles (the stand-in for the `.npy` tile files the
+/// paper keeps on Lustre). Keys are small i64 vectors, e.g. `[i, j]`.
+pub struct TileStore {
+    name: String,
+    tiles: RwLock<HashMap<Vec<i64>, Tensor>>,
+}
+
+impl TileStore {
+    /// Store name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Insert or replace a tile.
+    pub fn put(&self, key: Vec<i64>, tile: Tensor) {
+        self.tiles.write().insert(key, tile);
+    }
+
+    /// Fetch a tile.
+    pub fn get(&self, key: &[i64]) -> Result<Tensor> {
+        self.tiles
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("tile {:?} in store `{}`", key, self.name)))
+    }
+
+    /// Number of tiles stored.
+    pub fn len(&self) -> usize {
+        self.tiles.read().len()
+    }
+
+    /// True when the store has no tiles.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Keys currently present (sorted, for deterministic iteration).
+    pub fn keys(&self) -> Vec<Vec<i64>> {
+        let mut keys: Vec<Vec<i64>> = self.tiles.read().keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+}
+
+/// The resource manager shared across sessions of one server/task.
+#[derive(Default)]
+pub struct Resources {
+    variables: RwLock<HashMap<String, Arc<Variable>>>,
+    queues: RwLock<HashMap<String, Arc<FifoQueue>>>,
+    iterators: RwLock<HashMap<String, Arc<DatasetIterator>>>,
+    stores: RwLock<HashMap<String, Arc<TileStore>>>,
+}
+
+impl Resources {
+    /// Fresh, empty manager.
+    pub fn new() -> Arc<Resources> {
+        Arc::new(Resources::default())
+    }
+
+    // ---- variables ---------------------------------------------------------
+
+    /// Create (or re-initialize) a variable with an initial value.
+    pub fn create_variable(&self, name: &str, init: Tensor) -> Arc<Variable> {
+        let var = Arc::new(Variable {
+            name: name.to_string(),
+            value: Mutex::new(init),
+        });
+        self.variables
+            .write()
+            .insert(name.to_string(), Arc::clone(&var));
+        var
+    }
+
+    /// Look up a variable.
+    pub fn variable(&self, name: &str) -> Result<Arc<Variable>> {
+        self.variables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("variable `{name}`")))
+    }
+
+    /// Names of all variables (sorted — checkpoint order).
+    pub fn variable_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.variables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    // ---- queues ------------------------------------------------------------
+
+    /// Create a FIFO queue (binds to the current sim, if any).
+    pub fn create_queue(&self, name: &str, capacity: usize) -> Arc<FifoQueue> {
+        let q = FifoQueue::new(name, capacity);
+        self.queues.write().insert(name.to_string(), Arc::clone(&q));
+        q
+    }
+
+    /// Register an externally-created queue (used by the distributed
+    /// runtime to expose a remote task's queue locally).
+    pub fn register_queue(&self, q: Arc<FifoQueue>) {
+        self.queues.write().insert(q.name().to_string(), q);
+    }
+
+    /// Fetch a queue, creating it with `capacity` if absent — used by
+    /// collectives where either side of a channel may arrive first.
+    pub fn get_or_create_queue(&self, name: &str, capacity: usize) -> Arc<FifoQueue> {
+        if let Some(q) = self.queues.read().get(name) {
+            return Arc::clone(q);
+        }
+        let mut queues = self.queues.write();
+        queues
+            .entry(name.to_string())
+            .or_insert_with(|| FifoQueue::new(name, capacity))
+            .clone()
+    }
+
+    /// Look up a queue.
+    pub fn queue(&self, name: &str) -> Result<Arc<FifoQueue>> {
+        self.queues
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("queue `{name}`")))
+    }
+
+    // ---- dataset iterators ---------------------------------------------------
+
+    /// Create a plain iterator over `dataset` under `name`.
+    pub fn create_iterator(&self, name: &str, dataset: &Dataset) -> Arc<DatasetIterator> {
+        let it = Arc::new(dataset.make_iterator());
+        self.iterators
+            .write()
+            .insert(name.to_string(), Arc::clone(&it));
+        it
+    }
+
+    /// Register an externally-built iterator (e.g. a prefetched one).
+    pub fn register_iterator(&self, name: &str, it: DatasetIterator) -> Arc<DatasetIterator> {
+        let it = Arc::new(it);
+        self.iterators
+            .write()
+            .insert(name.to_string(), Arc::clone(&it));
+        it
+    }
+
+    /// Look up an iterator.
+    pub fn iterator(&self, name: &str) -> Result<Arc<DatasetIterator>> {
+        self.iterators
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("iterator `{name}`")))
+    }
+
+    // ---- tile stores -----------------------------------------------------------
+
+    /// Create (or fetch) a tile store.
+    pub fn create_store(&self, name: &str) -> Arc<TileStore> {
+        let mut stores = self.stores.write();
+        stores
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(TileStore {
+                    name: name.to_string(),
+                    tiles: RwLock::new(HashMap::new()),
+                })
+            })
+            .clone()
+    }
+
+    /// Register a shared tile store (cluster-wide Lustre namespace).
+    pub fn register_store(&self, store: Arc<TileStore>) {
+        self.stores
+            .write()
+            .insert(store.name().to_string(), store);
+    }
+
+    /// Look up a tile store.
+    pub fn store(&self, name: &str) -> Result<Arc<TileStore>> {
+        self.stores
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("tile store `{name}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfhpc_tensor::DType;
+
+    #[test]
+    fn variable_lifecycle() {
+        let r = Resources::new();
+        let v = r.create_variable("x", Tensor::scalar_f64(1.0));
+        assert_eq!(v.read().scalar_value_f64().unwrap(), 1.0);
+        v.assign(Tensor::scalar_f64(5.0)).unwrap();
+        v.assign_add(&Tensor::scalar_f64(2.0)).unwrap();
+        assert_eq!(
+            r.variable("x").unwrap().read().scalar_value_f64().unwrap(),
+            7.0
+        );
+        assert!(matches!(r.variable("y"), Err(CoreError::NotFound(_))));
+    }
+
+    #[test]
+    fn assign_shape_checked() {
+        let r = Resources::new();
+        let v = r.create_variable("x", Tensor::zeros(DType::F64, [3]));
+        assert!(v.assign(Tensor::zeros(DType::F64, [4])).is_err());
+        assert!(v.assign(Tensor::zeros(DType::F32, [3])).is_err());
+        assert!(v.assign(Tensor::zeros(DType::F64, [3])).is_ok());
+    }
+
+    #[test]
+    fn queue_registry() {
+        let r = Resources::new();
+        r.create_queue("q", 4);
+        r.queue("q").unwrap().enqueue(vec![Tensor::scalar_i64(1)]).unwrap();
+        assert_eq!(r.queue("q").unwrap().len(), 1);
+        assert!(r.queue("nope").is_err());
+    }
+
+    #[test]
+    fn tile_store_roundtrip() {
+        let r = Resources::new();
+        let s = r.create_store("tiles");
+        s.put(vec![1, 2], Tensor::scalar_f32(9.0));
+        assert_eq!(
+            s.get(&[1, 2]).unwrap().scalar_value_f64().unwrap(),
+            9.0
+        );
+        assert!(s.get(&[0, 0]).is_err());
+        assert_eq!(s.keys(), vec![vec![1, 2]]);
+        // create_store is idempotent — same instance.
+        let s2 = r.create_store("tiles");
+        assert_eq!(s2.len(), 1);
+    }
+
+    #[test]
+    fn iterator_registry() {
+        let r = Resources::new();
+        let ds = Dataset::from_elements(vec![vec![Tensor::scalar_i64(4)]]);
+        r.create_iterator("it", &ds);
+        let it = r.iterator("it").unwrap();
+        assert_eq!(it.get_next().unwrap()[0].scalar_value_i64().unwrap(), 4);
+        assert!(matches!(it.get_next(), Err(CoreError::EndOfSequence)));
+    }
+
+    #[test]
+    fn variable_names_sorted() {
+        let r = Resources::new();
+        r.create_variable("b", Tensor::scalar_f64(0.0));
+        r.create_variable("a", Tensor::scalar_f64(0.0));
+        assert_eq!(r.variable_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

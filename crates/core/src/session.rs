@@ -1,0 +1,450 @@
+//! The Session: deferred execution of graph subsets.
+//!
+//! `Session::run(fetches, feeds)` resolves the subgraph required for
+//! the fetches, executes it in topological order with simple/soft
+//! device placement, and returns the fetched tensors — TensorFlow's
+//! Graph-mode contract. In simulated runs every kernel, host↔device
+//! transfer and tile read is charged to the bound node's virtual
+//! hardware.
+
+use crate::device::{DeviceCtx, Placement};
+use crate::error::{CoreError, Result};
+use crate::graph::{Graph, NodeId};
+use crate::kernels;
+use crate::op::Op;
+use crate::debugger::Debugger;
+use crate::resources::Resources;
+use crate::timeline::Timeline;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tfhpc_tensor::Tensor;
+
+/// Effective throughput of feeding placeholders through the Python
+/// client (`feed_dict` serialization + GIL), GB/s. The paper's §VIII
+/// singles out Python-side data handling as a scaling limiter; feeds
+/// pay this tax while Dataset pipelines (matmul, FFT) do not — exactly
+/// the asymmetry between Fig. 8's and Fig. 10's overhead profiles.
+pub const FEED_GBS: f64 = 0.08;
+
+/// Statistics of one `Session::run` (TensorFlow's `RunMetadata`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunMetadata {
+    /// Nodes executed (placeholders included).
+    pub ops_executed: usize,
+    /// Bytes of output tensors produced.
+    pub output_bytes: u64,
+    /// Total modeled kernel seconds charged (0 in real mode).
+    pub kernel_seconds: f64,
+    /// Elapsed seconds for the run (virtual or wall).
+    pub elapsed_s: f64,
+}
+
+/// An execution handle over a graph (TensorFlow's `tf.Session`).
+pub struct Session {
+    graph: Arc<Graph>,
+    resources: Arc<Resources>,
+    devices: DeviceCtx,
+    timeline: Option<Arc<Timeline>>,
+    debugger: Option<Arc<Debugger>>,
+    run_counter: AtomicU64,
+    created: Instant,
+}
+
+impl Session {
+    /// Create a session over `graph` with the given resource manager
+    /// and device context.
+    pub fn new(graph: Arc<Graph>, resources: Arc<Resources>, devices: DeviceCtx) -> Session {
+        Session {
+            graph,
+            resources,
+            devices,
+            timeline: None,
+            debugger: None,
+            run_counter: AtomicU64::new(0),
+            created: Instant::now(),
+        }
+    }
+
+    /// Enable op-level tracing into `timeline`.
+    pub fn set_timeline(&mut self, timeline: Arc<Timeline>) {
+        self.timeline = Some(timeline);
+    }
+
+    /// Attach a `tfdbg`-style tensor debugger.
+    pub fn set_debugger(&mut self, debugger: Arc<Debugger>) {
+        self.debugger = Some(debugger);
+    }
+
+    /// The session's resource manager.
+    pub fn resources(&self) -> &Arc<Resources> {
+        &self.resources
+    }
+
+    /// The session's graph.
+    pub fn graph(&self) -> &Arc<Graph> {
+        &self.graph
+    }
+
+    /// The session's device context.
+    pub fn devices(&self) -> &DeviceCtx {
+        &self.devices
+    }
+
+    fn now(&self) -> f64 {
+        match tfhpc_sim::des::current() {
+            Some(me) => me.now(),
+            None => self.created.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Execute the subgraph required for `fetches`, feeding
+    /// placeholders from `feeds`. Returns one tensor per fetch.
+    pub fn run(&self, fetches: &[NodeId], feeds: &[(NodeId, Tensor)]) -> Result<Vec<Tensor>> {
+        self.run_with_metadata(fetches, feeds).map(|(out, _)| out)
+    }
+
+    /// [`Session::run`] additionally returning per-run statistics
+    /// (TensorFlow's `RunMetadata` — the raw material Fig. 3's Timeline
+    /// is built from).
+    pub fn run_with_metadata(
+        &self,
+        fetches: &[NodeId],
+        feeds: &[(NodeId, Tensor)],
+    ) -> Result<(Vec<Tensor>, RunMetadata)> {
+        let (computed, meta) = self.exec_subgraph(fetches, feeds)?;
+        let fetched: Result<Vec<Tensor>> = fetches
+            .iter()
+            .map(|f| {
+                let node = self.graph.node(*f);
+                let (outs, _) = computed
+                    .get(f)
+                    .ok_or_else(|| CoreError::Graph(format!("fetch `{}` not computed", node.name)))?;
+                outs.first().cloned().ok_or_else(|| {
+                    CoreError::Graph(format!(
+                        "fetch `{}` has no outputs (op `{}`)",
+                        node.name,
+                        node.op.name()
+                    ))
+                })
+            })
+            .collect();
+        Ok((fetched?, meta))
+    }
+
+    /// Run with no fetch value needed (side effects only) — the
+    /// "do not return the evaluated value" mode the paper's STREAM
+    /// benchmark uses to avoid measuring the client transfer.
+    pub fn run_no_fetch(&self, targets: &[NodeId], feeds: &[(NodeId, Tensor)]) -> Result<()> {
+        self.exec_subgraph(targets, feeds).map(|_| ())
+    }
+
+    /// The single executor behind every run flavour: dispatch + feed
+    /// costs, topological execution with transfer/PFS/kernel charging,
+    /// memory feasibility, timeline/debugger hooks.
+    #[allow(clippy::type_complexity)]
+    fn exec_subgraph(
+        &self,
+        targets: &[NodeId],
+        feeds: &[(NodeId, Tensor)],
+    ) -> Result<(HashMap<NodeId, (Vec<Tensor>, Placement)>, RunMetadata)> {
+        let fetches = targets;
+        let mut meta = RunMetadata::default();
+        let run_t0 = self.now();
+        let run_seed = self.run_counter.fetch_add(1, Ordering::Relaxed) + 1;
+
+        // Every invocation goes through the client→server dispatch the
+        // paper measures as part of STREAM (gRPC administrative path),
+        // plus Python-side serialization of any fed tensors.
+        if let (Some(me), Some(sim)) = (tfhpc_sim::des::current(), self.devices.sim.as_ref()) {
+            me.advance(sim.cluster.platform.net.session_dispatch_s);
+            let feed_bytes: f64 = feeds.iter().map(|(_, t)| t.byte_size() as f64).sum();
+            if feed_bytes > 0.0 {
+                me.advance(feed_bytes / (FEED_GBS * 1e9));
+            }
+        }
+
+        let feed_map: HashMap<NodeId, &Tensor> = feeds.iter().map(|(id, t)| (*id, t)).collect();
+        let needed = self.graph.required_for(fetches);
+
+        // node id -> (outputs, resolved placement)
+        let mut computed: HashMap<NodeId, (Vec<Tensor>, Placement)> = HashMap::new();
+
+        for id in needed {
+            let node = self.graph.node(id);
+
+            // Placeholders resolve straight from feeds.
+            if let Op::Placeholder { dtype, shape } = &node.op {
+                let fed = feed_map.get(&id).ok_or_else(|| {
+                    CoreError::Graph(format!("placeholder `{}` was not fed", node.name))
+                })?;
+                if fed.dtype() != *dtype {
+                    return Err(CoreError::Graph(format!(
+                        "placeholder `{}` fed {} but declared {}",
+                        node.name,
+                        fed.dtype(),
+                        dtype
+                    )));
+                }
+                if let Some(s) = shape {
+                    if fed.shape() != s {
+                        return Err(CoreError::Graph(format!(
+                            "placeholder `{}` fed shape {} but declared {}",
+                            node.name,
+                            fed.shape(),
+                            s
+                        )));
+                    }
+                }
+                computed.insert(id, (vec![(*fed).clone()], Placement::Cpu));
+                meta.ops_executed += 1;
+                continue;
+            }
+
+            let placement = self.devices.resolve(node.device, node.op.gpu_capable())?;
+
+            // Gather inputs, charging host↔device transfers when the
+            // producer sat on a different device.
+            let mut inputs = Vec::with_capacity(node.inputs.len());
+            for (src, out_idx) in &node.inputs {
+                let (outs, src_placement) = computed
+                    .get(src)
+                    .ok_or_else(|| CoreError::Graph("input not computed (cycle?)".into()))?;
+                let t = outs
+                    .get(*out_idx)
+                    .ok_or_else(|| CoreError::Graph("missing producer output".into()))?
+                    .clone();
+                self.devices
+                    .charge_transfer(*src_placement, placement, t.byte_size() as u64);
+                inputs.push(t);
+            }
+
+            // PFS traffic for tile I/O in simulated runs.
+            if let (Some(sim), Op::ReadTile { store }) = (self.devices.sim.as_ref(), &node.op) {
+                if let Ok(key) = inputs[0].as_i64() {
+                    if let Ok(tile) = self.resources.store(store)?.get(key) {
+                        sim.cluster.pfs.read(sim.node, tile.byte_size() as u64);
+                    }
+                }
+            }
+            if let (Some(sim), Op::WriteTile { .. }) = (self.devices.sim.as_ref(), &node.op) {
+                sim.cluster
+                    .pfs
+                    .write(sim.node, inputs[1].byte_size() as u64);
+            }
+
+            let start = self.now();
+            let outputs = kernels::execute(&node.op, &inputs, &self.resources, run_seed)?;
+
+            // Device-memory feasibility: the op's working set must fit.
+            if let Some(capacity) = self.devices.usable_memory(placement) {
+                let working_set: u64 = inputs
+                    .iter()
+                    .chain(outputs.iter())
+                    .map(|t| t.byte_size() as u64)
+                    .sum();
+                if working_set > capacity {
+                    return Err(CoreError::OutOfMemory {
+                        device: self.devices.device_name(placement),
+                        needed: working_set,
+                        capacity,
+                    });
+                }
+            }
+
+            let cost = kernels::cost_of(&node.op, &inputs, &outputs);
+            let dp = kernels::is_double_precision(&inputs, &outputs);
+            let dur = self.devices.charge_kernel(placement, &cost, dp);
+            if let Some(tl) = &self.timeline {
+                let end = self.now();
+                let dur = if self.devices.sim.is_some() {
+                    dur
+                } else {
+                    end - start
+                };
+                tl.record(&node.name, &self.devices.device_name(placement), start, dur);
+            }
+            if let Some(dbg) = &self.debugger {
+                dbg.record(&node.name, &outputs);
+            }
+
+            meta.ops_executed += 1;
+            meta.kernel_seconds += dur;
+            meta.output_bytes += outputs.iter().map(|t| t.byte_size() as u64).sum::<u64>();
+            computed.insert(id, (outputs, placement));
+        }
+
+        meta.elapsed_s = self.now() - run_t0;
+        Ok((computed, meta))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfhpc_tensor::{DType, Shape};
+
+    fn session(g: Graph) -> Session {
+        Session::new(Arc::new(g), Resources::new(), DeviceCtx::real(1))
+    }
+
+    #[test]
+    fn run_computes_fetches() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::scalar_f64(2.0));
+        let b = g.constant(Tensor::scalar_f64(3.0));
+        let c = g.add(a, b);
+        let d = g.mul(c, c);
+        let s = session(g);
+        let out = s.run(&[d], &[]).unwrap();
+        assert_eq!(out[0].scalar_value_f64().unwrap(), 25.0);
+    }
+
+    #[test]
+    fn placeholders_require_feeds() {
+        let mut g = Graph::new();
+        let p = g.placeholder(DType::F64, Some(Shape::vector(2)));
+        let n = g.neg(p);
+        let s = session(g);
+        assert!(matches!(s.run(&[n], &[]), Err(CoreError::Graph(_))));
+        let fed = Tensor::from_f64([2], vec![1.0, -2.0]).unwrap();
+        let out = s.run(&[n], &[(p, fed)]).unwrap();
+        assert_eq!(out[0].as_f64().unwrap(), &[-1.0, 2.0]);
+        // Wrong dtype and wrong shape both rejected.
+        assert!(s
+            .run(&[n], &[(p, Tensor::from_f32([2], vec![0.0; 2]).unwrap())])
+            .is_err());
+        assert!(s
+            .run(&[n], &[(p, Tensor::from_f64([3], vec![0.0; 3]).unwrap())])
+            .is_err());
+    }
+
+    #[test]
+    fn listing1_matmul_example() {
+        // The paper's Listing 1: random A, B on CPU; C = A·B on GPU.
+        let mut g = Graph::new();
+        let (a, b) = g.with_device(Placement::Cpu, |g| {
+            (
+                g.random_uniform(DType::F32, [3, 3], 1),
+                g.random_uniform(DType::F32, [3, 3], 2),
+            )
+        });
+        let c = g.with_device(Placement::Gpu(0), |g| g.matmul(a, b));
+        let s = session(g);
+        let out = s.run(&[c], &[]).unwrap();
+        assert_eq!(out[0].shape().dims(), &[3, 3]);
+        // Product of uniforms in [0,1): all entries in [0, 3).
+        for v in out[0].as_f32().unwrap() {
+            assert!((0.0..3.0).contains(v));
+        }
+    }
+
+    #[test]
+    fn variables_persist_across_runs() {
+        let mut g = Graph::new();
+        let inc = g.constant(Tensor::scalar_f64(1.0));
+        let add = g.assign_add("counter", inc);
+        let read = g.var_read("counter");
+        let s = session(g);
+        s.resources().create_variable("counter", Tensor::scalar_f64(0.0));
+        for _ in 0..3 {
+            s.run(&[add], &[]).unwrap();
+        }
+        let out = s.run(&[read], &[]).unwrap();
+        assert_eq!(out[0].scalar_value_f64().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn random_ops_resample_each_run() {
+        let mut g = Graph::new();
+        let r = g.random_uniform(DType::F64, [4], 42);
+        let s = session(g);
+        let a = s.run(&[r], &[]).unwrap();
+        let b = s.run(&[r], &[]).unwrap();
+        assert_ne!(a[0].as_f64().unwrap(), b[0].as_f64().unwrap());
+    }
+
+    #[test]
+    fn control_dependencies_execute_side_effects() {
+        let mut g = Graph::new();
+        let one = g.constant(Tensor::scalar_f64(1.0));
+        let bump = g.assign_add("v", one);
+        let read = g.var_read("v");
+        g.add_control(read, bump).unwrap();
+        let s = session(g);
+        s.resources().create_variable("v", Tensor::scalar_f64(0.0));
+        let out = s.run(&[read], &[]).unwrap();
+        assert_eq!(out[0].scalar_value_f64().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn unneeded_side_effects_are_pruned() {
+        // Like TF: ops not reachable from fetches do not run.
+        let mut g = Graph::new();
+        let one = g.constant(Tensor::scalar_f64(1.0));
+        let _bump = g.assign_add("v", one);
+        let read = g.var_read("v");
+        let s = session(g);
+        s.resources().create_variable("v", Tensor::scalar_f64(0.0));
+        let out = s.run(&[read], &[]).unwrap();
+        assert_eq!(out[0].scalar_value_f64().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn timeline_records_ops() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::scalar_f64(1.0));
+        let b = g.neg(a);
+        let mut s = session(g);
+        let tl = Arc::new(Timeline::new());
+        s.set_timeline(Arc::clone(&tl));
+        s.run(&[b], &[]).unwrap();
+        assert!(tl.len() >= 2);
+        let names: Vec<String> = tl.events().iter().map(|e| e.name.clone()).collect();
+        assert!(names.iter().any(|n| n.starts_with("Neg")));
+    }
+
+    #[test]
+    fn run_metadata_counts_ops_and_bytes() {
+        let mut g = Graph::new();
+        let a = g.constant(Tensor::from_f64([4], vec![1., 2., 3., 4.]).unwrap());
+        let b = g.neg(a);
+        let c = g.add(a, b);
+        let s = session(g);
+        let (out, meta) = s.run_with_metadata(&[c], &[]).unwrap();
+        assert_eq!(out[0].as_f64().unwrap(), &[0.0; 4]);
+        assert_eq!(meta.ops_executed, 3);
+        // const(32) + neg(32) + add(32) output bytes
+        assert_eq!(meta.output_bytes, 96);
+        // Real mode: no modeled kernel time.
+        assert_eq!(meta.kernel_seconds, 0.0);
+        assert!(meta.elapsed_s >= 0.0);
+    }
+
+    #[test]
+    fn queue_ops_via_session() {
+        let mut g = Graph::new();
+        let v = g.constant(Tensor::scalar_f64(5.0));
+        let enq = g.queue_enqueue("q", &[v]);
+        let deq = g.queue_dequeue("q", 1);
+        let s = session(g);
+        s.resources().create_queue("q", 4);
+        s.run_no_fetch(&[enq], &[]).unwrap();
+        let out = s.run(&[deq[0]], &[]).unwrap();
+        assert_eq!(out[0].scalar_value_f64().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn fetch_of_no_output_op_errors() {
+        let mut g = Graph::new();
+        let n = g.group(&[]);
+        let s = session(g);
+        assert!(matches!(s.run(&[n], &[]), Err(CoreError::Graph(_))));
+        // ... but run_no_fetch on it is fine.
+        let mut g2 = Graph::new();
+        let n2 = g2.group(&[]);
+        let s2 = session(g2);
+        s2.run_no_fetch(&[n2], &[]).unwrap();
+    }
+}

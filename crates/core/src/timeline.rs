@@ -1,0 +1,127 @@
+//! Execution timeline (TensorFlow Timeline analogue).
+//!
+//! Sessions can record per-op events (device, start, duration) and
+//! export them as Chrome trace-event JSON, loadable in
+//! `chrome://tracing` / Perfetto — the same workflow the paper's Fig. 3
+//! shows.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// One op execution span.
+#[derive(Debug, Clone, Serialize, PartialEq)]
+pub struct TimelineEvent {
+    /// Op/node name.
+    pub name: String,
+    /// Device label (`/cpu:0`, `node0:GK2100`, ...).
+    pub device: String,
+    /// Start time in seconds (virtual in sim mode, wall in real mode).
+    pub start_s: f64,
+    /// Duration in seconds.
+    pub dur_s: f64,
+}
+
+/// Recorder of op execution spans.
+#[derive(Default)]
+pub struct Timeline {
+    events: Mutex<Vec<TimelineEvent>>,
+}
+
+impl Timeline {
+    /// Fresh, empty timeline.
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Append an event.
+    pub fn record(&self, name: &str, device: &str, start_s: f64, dur_s: f64) {
+        self.events.lock().push(TimelineEvent {
+            name: name.to_string(),
+            device: device.to_string(),
+            start_s,
+            dur_s,
+        });
+    }
+
+    /// Snapshot of recorded events.
+    pub fn events(&self) -> Vec<TimelineEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Export in Chrome trace-event format (the `traceEvents` array of
+    /// complete events; timestamps in microseconds as the format wants).
+    pub fn to_chrome_trace(&self) -> String {
+        #[derive(Serialize)]
+        struct ChromeEvent<'a> {
+            name: &'a str,
+            cat: &'a str,
+            ph: &'a str,
+            ts: f64,
+            dur: f64,
+            pid: u32,
+            tid: &'a str,
+        }
+        #[derive(Serialize)]
+        struct Trace<'a> {
+            #[serde(rename = "traceEvents")]
+            trace_events: Vec<ChromeEvent<'a>>,
+        }
+        let events = self.events.lock();
+        let trace = Trace {
+            trace_events: events
+                .iter()
+                .map(|e| ChromeEvent {
+                    name: &e.name,
+                    cat: "op",
+                    ph: "X",
+                    ts: e.start_s * 1e6,
+                    dur: e.dur_s * 1e6,
+                    pid: 0,
+                    tid: &e.device,
+                })
+                .collect(),
+        };
+        serde_json::to_string_pretty(&trace).expect("timeline serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let t = Timeline::new();
+        assert!(t.is_empty());
+        t.record("MatMul_1", "/gpu:0", 1.0, 0.5);
+        t.record("Add_2", "/cpu:0", 1.5, 0.1);
+        assert_eq!(t.len(), 2);
+        let ev = t.events();
+        assert_eq!(ev[0].name, "MatMul_1");
+        assert_eq!(ev[1].device, "/cpu:0");
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_microseconds() {
+        let t = Timeline::new();
+        t.record("FFT_3", "node0:GK210", 2.0, 0.25);
+        let json = t.to_chrome_trace();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let ev = &parsed["traceEvents"][0];
+        assert_eq!(ev["name"], "FFT_3");
+        assert_eq!(ev["ph"], "X");
+        assert_eq!(ev["ts"], 2e6);
+        assert_eq!(ev["dur"], 0.25e6);
+        assert_eq!(ev["tid"], "node0:GK210");
+    }
+}

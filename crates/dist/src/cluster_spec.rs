@@ -1,0 +1,129 @@
+//! `tf.train.ClusterSpec`: named jobs mapping to task addresses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies one task: a job name and task index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskKey {
+    /// Job name (`"ps"`, `"worker"`, `"reducer"`, ...).
+    pub job: String,
+    /// Task index within the job.
+    pub index: usize,
+}
+
+impl TaskKey {
+    /// Build a key.
+    pub fn new(job: &str, index: usize) -> TaskKey {
+        TaskKey {
+            job: job.to_string(),
+            index,
+        }
+    }
+}
+
+impl fmt::Display for TaskKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "/job:{}/task:{}", self.job, self.index)
+    }
+}
+
+/// A cluster specification: jobs → ordered task addresses
+/// (`host:port`), mirroring the paper's Listing 2.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterSpec {
+    jobs: BTreeMap<String, Vec<String>>,
+}
+
+impl ClusterSpec {
+    /// Build from `(job, addresses)` pairs.
+    pub fn new(jobs: impl IntoIterator<Item = (String, Vec<String>)>) -> ClusterSpec {
+        ClusterSpec {
+            jobs: jobs.into_iter().collect(),
+        }
+    }
+
+    /// Job names, sorted.
+    pub fn job_names(&self) -> Vec<&str> {
+        self.jobs.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Addresses of a job's tasks.
+    pub fn job_tasks(&self, job: &str) -> Option<&[String]> {
+        self.jobs.get(job).map(|v| v.as_slice())
+    }
+
+    /// Number of tasks in a job (0 if absent).
+    pub fn num_tasks(&self, job: &str) -> usize {
+        self.jobs.get(job).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Address of one task.
+    pub fn task_address(&self, key: &TaskKey) -> Option<&str> {
+        self.jobs
+            .get(&key.job)
+            .and_then(|v| v.get(key.index))
+            .map(|s| s.as_str())
+    }
+
+    /// Total number of tasks across jobs.
+    pub fn total_tasks(&self) -> usize {
+        self.jobs.values().map(|v| v.len()).sum()
+    }
+
+    /// All task keys, job-sorted then index-ordered.
+    pub fn all_tasks(&self) -> Vec<TaskKey> {
+        self.jobs
+            .iter()
+            .flat_map(|(job, tasks)| {
+                (0..tasks.len()).map(move |i| TaskKey::new(job, i))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        // The paper's Listing 2.
+        ClusterSpec::new([
+            ("ps".to_string(), vec!["t01n01:8888".to_string()]),
+            (
+                "worker".to_string(),
+                vec!["t01n02:8888".to_string(), "t01n03:8888".to_string()],
+            ),
+        ])
+    }
+
+    #[test]
+    fn listing2_shape() {
+        let s = spec();
+        assert_eq!(s.job_names(), vec!["ps", "worker"]);
+        assert_eq!(s.num_tasks("worker"), 2);
+        assert_eq!(s.num_tasks("ps"), 1);
+        assert_eq!(s.num_tasks("absent"), 0);
+        assert_eq!(s.total_tasks(), 3);
+    }
+
+    #[test]
+    fn task_addresses() {
+        let s = spec();
+        assert_eq!(
+            s.task_address(&TaskKey::new("worker", 1)),
+            Some("t01n03:8888")
+        );
+        assert_eq!(s.task_address(&TaskKey::new("worker", 2)), None);
+        assert_eq!(s.task_address(&TaskKey::new("nope", 0)), None);
+    }
+
+    #[test]
+    fn all_tasks_enumerates() {
+        let s = spec();
+        let all = s.all_tasks();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], TaskKey::new("ps", 0));
+        assert_eq!(all[2].to_string(), "/job:worker/task:1");
+    }
+}

@@ -1,0 +1,210 @@
+//! Ring all-reduce — the Horovod-style collective §VIII points to as
+//! the fix for the parameter-server model's scalability limits ("Uber's
+//! Horovod and Cray's Machine Learning Plugin ... enable ... MPI like
+//! interfaces ... for functions such as allreduce without needing the
+//! use of dedicated servers").
+//!
+//! Each of `P` workers contributes a same-shape vector; after the call
+//! every worker holds the elementwise sum. The ring moves `2(P−1)`
+//! chunk messages per worker of `n/P` elements each, so per-worker
+//! traffic is `~2n` *independent of P* — versus the queue-pair reducer
+//! where the central task receives and sends `P·n` elements per round.
+//! The `ablation_allreduce` harness (A5) measures exactly that
+//! asymmetry on the simulated clusters.
+
+use crate::cluster_spec::TaskKey;
+use crate::server::Server;
+use std::sync::Arc;
+use tfhpc_core::{CoreError, Result};
+use tfhpc_tensor::{ops, Tensor};
+
+/// Balanced chunk boundaries: `n` elements into `parts` ranges.
+fn chunk_bounds(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    out
+}
+
+fn ring_queue(step_kind: &str, to: usize) -> String {
+    format!("ring.{step_kind}.{to}")
+}
+
+/// Participate in a ring all-reduce (sum) over `group`.
+///
+/// `my` is this worker's index in `group`; `value` must be a rank-1
+/// tensor of identical length on every participant. Blocks until the
+/// reduction completes; returns the full reduced vector.
+pub fn ring_all_reduce(
+    worker: &Arc<Server>,
+    group: &[TaskKey],
+    my: usize,
+    value: Tensor,
+    gpu: Option<usize>,
+) -> Result<Tensor> {
+    let p = group.len();
+    if p == 0 || my >= p {
+        return Err(CoreError::Invalid(format!(
+            "bad ring membership: {my} of {p}"
+        )));
+    }
+    if value.shape().rank() != 1 {
+        return Err(CoreError::Invalid(
+            "ring_all_reduce expects rank-1 tensors".into(),
+        ));
+    }
+    if p == 1 {
+        return Ok(value);
+    }
+    let n = value.num_elements();
+    let bounds = chunk_bounds(n, p);
+    let right = (my + 1) % p;
+    let cluster = worker.cluster();
+    let right_server = cluster.server(&group[right])?;
+
+    // My queue must exist before my left neighbour pushes into it.
+    worker
+        .resources
+        .get_or_create_queue(&ring_queue("rs", my), 2);
+    worker
+        .resources
+        .get_or_create_queue(&ring_queue("ag", my), 2);
+
+    let mut chunks: Vec<Tensor> = bounds
+        .iter()
+        .map(|(s, e)| value.slice_range(*s, *e))
+        .collect::<std::result::Result<_, _>>()?;
+
+    let send = |kind: &str, chunk: Tensor| -> Result<()> {
+        // Receiver-side queue (created on demand so arrival order
+        // between ring members does not matter).
+        let q = right_server
+            .resources
+            .get_or_create_queue(&ring_queue(kind, right), 2);
+        worker.charge_transfer_to(&right_server, gpu, None, chunk.byte_size() as u64);
+        q.enqueue(vec![chunk])
+    };
+    let recv = |kind: &str| -> Result<Tensor> {
+        let q = worker
+            .resources
+            .get_or_create_queue(&ring_queue(kind, my), 2);
+        let tuple = q.dequeue()?;
+        tuple
+            .into_iter()
+            .next()
+            .ok_or_else(|| CoreError::Invalid("empty ring message".into()))
+    };
+
+    // Phase 1 — reduce-scatter: after P−1 steps, chunk (my+1) mod P
+    // holds the full sum at this worker.
+    for step in 0..p - 1 {
+        let send_idx = (my + p - step) % p;
+        let recv_idx = (my + p - step - 1) % p;
+        send("rs", chunks[send_idx].clone())?;
+        let incoming = recv("rs")?;
+        chunks[recv_idx] = ops::add(&chunks[recv_idx], &incoming)?;
+    }
+
+    // Phase 2 — all-gather: circulate the finished chunks.
+    for step in 0..p - 1 {
+        let send_idx = (my + 1 + p - step) % p;
+        let recv_idx = (my + p - step) % p;
+        send("ag", chunks[send_idx].clone())?;
+        chunks[recv_idx] = recv("ag")?;
+    }
+
+    Tensor::concat_vecs(&chunks).map_err(CoreError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_spec::ClusterSpec;
+    use crate::server::TfCluster;
+    use tfhpc_sim::net::Protocol;
+
+    fn workers(p: usize) -> (Arc<TfCluster>, Vec<Arc<Server>>) {
+        let spec = ClusterSpec::new([(
+            "worker".to_string(),
+            (0..p).map(|i| format!("n{i}:8888")).collect(),
+        )]);
+        let c = TfCluster::new(spec, Protocol::Rdma, None);
+        let servers = (0..p)
+            .map(|i| c.start_server(TaskKey::new("worker", i), i, vec![0]))
+            .collect();
+        (c, servers)
+    }
+
+    fn group(p: usize) -> Vec<TaskKey> {
+        (0..p).map(|i| TaskKey::new("worker", i)).collect()
+    }
+
+    #[test]
+    fn chunk_bounds_cover_exactly() {
+        assert_eq!(chunk_bounds(10, 3), vec![(0, 4), (4, 7), (7, 10)]);
+        assert_eq!(chunk_bounds(4, 4), vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(chunk_bounds(2, 4), vec![(0, 1), (1, 2), (2, 2), (2, 2)]);
+    }
+
+    fn run_ring(p: usize, n: usize) {
+        let (_c, servers) = workers(p);
+        let g = group(p);
+        let mut handles = Vec::new();
+        for (i, s) in servers.into_iter().enumerate() {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                let v: Vec<f64> = (0..n).map(|k| (i * n + k) as f64).collect();
+                let t = Tensor::from_f64([n], v).unwrap();
+                ring_all_reduce(&s, &g, i, t, None).unwrap()
+            }));
+        }
+        let results: Vec<Tensor> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Expected sum at element k: sum_i (i*n + k).
+        let base: f64 = (0..p).map(|i| (i * n) as f64).sum();
+        for r in &results {
+            let rv = r.as_f64().unwrap();
+            assert_eq!(rv.len(), n);
+            for (k, x) in rv.iter().enumerate() {
+                assert_eq!(*x, base + (p * k) as f64, "element {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_worker_ring() {
+        run_ring(2, 8);
+    }
+
+    #[test]
+    fn four_worker_ring_uneven_chunks() {
+        run_ring(4, 10); // 10 % 4 != 0
+    }
+
+    #[test]
+    fn eight_worker_ring() {
+        run_ring(8, 64);
+    }
+
+    #[test]
+    fn single_worker_is_identity() {
+        let (_c, servers) = workers(1);
+        let t = Tensor::from_f64([3], vec![1.0, 2.0, 3.0]).unwrap();
+        let r = ring_all_reduce(&servers[0], &group(1), 0, t.clone(), None).unwrap();
+        assert_eq!(r.as_f64().unwrap(), t.as_f64().unwrap());
+    }
+
+    #[test]
+    fn bad_membership_rejected() {
+        let (_c, servers) = workers(2);
+        let t = Tensor::from_f64([2], vec![0.0, 0.0]).unwrap();
+        assert!(ring_all_reduce(&servers[0], &group(2), 5, t.clone(), None).is_err());
+        let m = Tensor::zeros(tfhpc_tensor::DType::F64, [2, 2]);
+        assert!(ring_all_reduce(&servers[0], &group(2), 0, m, None).is_err());
+    }
+}

@@ -1,0 +1,433 @@
+//! End-to-end distributed launch: Slurm allocation → resolver →
+//! servers → one process per task.
+//!
+//! This is the experiment driver: given a platform preset, a job list
+//! and a transport, it allocates simulated nodes, resolves the cluster
+//! spec (paper §III), starts a server per task and runs the supplied
+//! task body — as a DES process per task in simulated mode, or as an
+//! OS thread per task in real mode. The returned elapsed time is
+//! virtual (simulated) or wall-clock (real).
+
+use crate::cluster_spec::TaskKey;
+use crate::resolver::{resolve_with_policy, JobSpec, Resolved};
+use crate::server::{Server, TfCluster};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+use tfhpc_core::{CoreError, Result};
+use tfhpc_sim::des::Sim;
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::Platform;
+use tfhpc_sim::topology::ClusterSim;
+use tfhpc_slurm::{Distribution, JobRequest, SlurmCluster};
+
+/// A distributed run request.
+#[derive(Clone)]
+pub struct LaunchConfig {
+    /// Hardware platform preset.
+    pub platform: Platform,
+    /// Jobs to lay out (in order; each starts on a fresh node).
+    pub jobs: Vec<JobSpec>,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Run on the simulated cluster (virtual time) or on host threads.
+    pub simulated: bool,
+}
+
+impl LaunchConfig {
+    /// Simulated-run config.
+    pub fn simulated(platform: Platform, jobs: Vec<JobSpec>, protocol: Protocol) -> LaunchConfig {
+        LaunchConfig {
+            platform,
+            jobs,
+            protocol,
+            simulated: true,
+        }
+    }
+
+    /// Real-mode (host threads, wall clock) config.
+    pub fn real(platform: Platform, jobs: Vec<JobSpec>, protocol: Protocol) -> LaunchConfig {
+        LaunchConfig {
+            platform,
+            jobs,
+            protocol,
+            simulated: false,
+        }
+    }
+}
+
+/// Context handed to each task body.
+pub struct TaskCtx {
+    /// This task's server.
+    pub server: Arc<Server>,
+    /// This task's identity.
+    pub key: TaskKey,
+    /// GPU ids visible to this task.
+    pub gpu_ids: Vec<usize>,
+    start: Instant,
+}
+
+impl TaskCtx {
+    /// Job name.
+    pub fn job(&self) -> &str {
+        &self.key.job
+    }
+
+    /// Task index within the job.
+    pub fn index(&self) -> usize {
+        self.key.index
+    }
+
+    /// Number of tasks in `job`.
+    pub fn num_tasks(&self, job: &str) -> usize {
+        self.server.cluster().spec.num_tasks(job)
+    }
+
+    /// Seconds since launch: virtual time in simulated mode, wall time
+    /// otherwise.
+    pub fn now(&self) -> f64 {
+        match tfhpc_sim::des::current() {
+            Some(me) => me.now(),
+            None => self.start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Result of a distributed run.
+pub struct Launched {
+    /// Total elapsed seconds (virtual or wall).
+    pub elapsed_s: f64,
+    /// Resolver output (spec + placements).
+    pub resolved: Resolved,
+    /// The DES, for counter inspection (simulated runs only).
+    pub sim: Option<Arc<Sim>>,
+    /// The runtime cluster (servers remain queryable after the run).
+    pub cluster: Arc<TfCluster>,
+}
+
+/// Nodes needed for `jobs` at `tasks_per_node`, one fresh start per job.
+pub fn nodes_needed(jobs: &[JobSpec], tasks_per_node: usize) -> usize {
+    jobs.iter()
+        .map(|j| j.tasks.div_ceil(tasks_per_node.max(1)))
+        .sum()
+}
+
+/// Run `body` once per task across a freshly-allocated cluster.
+pub fn launch<F>(cfg: &LaunchConfig, body: F) -> Result<Launched>
+where
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    launch_with_setup(cfg, |_| {}, body)
+}
+
+/// [`launch`] with a setup hook that runs once (outside virtual time)
+/// after servers exist but before any task body starts — used to
+/// pre-populate shared tile stores, mirroring the paper's offline
+/// tile pre-processing step which is excluded from measurements.
+pub fn launch_with_setup<S, F>(cfg: &LaunchConfig, setup: S, body: F) -> Result<Launched>
+where
+    S: FnOnce(&Arc<TfCluster>),
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    launch_inner(cfg, setup, body, false)
+}
+
+/// [`launch_with_setup`] with DES occupancy tracing enabled — the
+/// returned `Launched::sim` then carries a Fig. 3-style execution
+/// trace (`Sim::trace` / `Sim::trace_chrome_json`).
+pub fn launch_traced<S, F>(cfg: &LaunchConfig, setup: S, body: F) -> Result<Launched>
+where
+    S: FnOnce(&Arc<TfCluster>),
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    launch_inner(cfg, setup, body, true)
+}
+
+fn launch_inner<S, F>(cfg: &LaunchConfig, setup: S, body: F, trace: bool) -> Result<Launched>
+where
+    S: FnOnce(&Arc<TfCluster>),
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    let tasks_per_node = cfg.platform.node.tf_instances_per_node.max(1);
+    let n_nodes = nodes_needed(&cfg.jobs, tasks_per_node);
+    if n_nodes == 0 {
+        return Err(CoreError::Invalid("no tasks requested".into()));
+    }
+
+    // Allocate through the simulated workload manager.
+    let mut slurm = SlurmCluster::for_platform(&cfg.platform, n_nodes);
+    let total_tasks: usize = cfg.jobs.iter().map(|j| j.tasks).sum();
+    let alloc = slurm
+        .submit(&JobRequest {
+            nodes: n_nodes,
+            ntasks: total_tasks,
+            distribution: Distribution::Plane(tasks_per_node),
+            gpus_per_task: 0,
+        })
+        .map_err(|e| CoreError::Invalid(format!("slurm: {e}")))?;
+
+    // Resolve the TensorFlow cluster spec (the paper's resolver).
+    let resolved = resolve_with_policy(&alloc, &cfg.jobs, tasks_per_node, true)
+        .map_err(CoreError::Invalid)?;
+
+    // Check GPU feasibility ("insufficient number of GPUs available").
+    for t in &resolved.tasks {
+        if let Some(max) = t.gpu_ids.iter().max() {
+            if *max >= cfg.platform.node.gpus_per_node {
+                return Err(CoreError::Invalid(format!(
+                    "task {} needs GPU {} but nodes have {}",
+                    t.key, max, cfg.platform.node.gpus_per_node
+                )));
+            }
+        }
+    }
+
+    // Instantiate hardware and the runtime cluster.
+    let sim = cfg.simulated.then(Sim::new);
+    if trace {
+        if let Some(s) = &sim {
+            s.enable_tracing();
+        }
+    }
+    let cluster_sim = sim
+        .as_ref()
+        .map(|s| Arc::new(ClusterSim::new(s, cfg.platform.clone(), n_nodes)));
+    let cluster = TfCluster::new(resolved.spec.clone(), cfg.protocol, cluster_sim);
+
+    let servers: Vec<(TaskKey, Arc<Server>, Vec<usize>)> = resolved
+        .tasks
+        .iter()
+        .map(|t| {
+            let server = cluster.start_server(t.key.clone(), t.node_index, t.gpu_ids.clone());
+            (t.key.clone(), server, t.gpu_ids.clone())
+        })
+        .collect();
+
+    setup(&cluster);
+
+    let body = Arc::new(body);
+    let start = Instant::now();
+
+    let elapsed_s = match &sim {
+        Some(sim) => {
+            for (key, server, gpu_ids) in servers {
+                let body = Arc::clone(&body);
+                let ctx = TaskCtx {
+                    server,
+                    key: key.clone(),
+                    gpu_ids,
+                    start,
+                };
+                sim.spawn(&key.to_string(), move || {
+                    if let Err(e) = body(ctx) {
+                        panic!("task failed: {e}");
+                    }
+                });
+            }
+            sim.run()
+        }
+        None => {
+            let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            for (key, server, gpu_ids) in servers {
+                let body = Arc::clone(&body);
+                let errors = Arc::clone(&errors);
+                let ctx = TaskCtx {
+                    server,
+                    key: key.clone(),
+                    gpu_ids,
+                    start,
+                };
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(key.to_string())
+                        .spawn(move || {
+                            if let Err(e) = body(ctx) {
+                                errors.lock().push(format!("{key}: {e}"));
+                            }
+                        })
+                        .expect("spawn task thread"),
+                );
+            }
+            // Teardown discipline: join everything that finishes, but a
+            // panicked task can leave siblings parked on queues forever
+            // — so after a failure is observed, give the rest a bounded
+            // grace period instead of hanging the caller, and report
+            // any still-running tasks in the error.
+            let mut handles = handles;
+            let mut panicked = 0usize;
+            let mut deadline: Option<Instant> = None;
+            while !handles.is_empty() {
+                let failed_so_far = panicked > 0 || !errors.lock().is_empty();
+                if failed_so_far && deadline.is_none() {
+                    deadline = Some(Instant::now() + std::time::Duration::from_secs(5));
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() > d {
+                        break; // leak stragglers, but report it below
+                    }
+                }
+                let mut progressed = false;
+                let mut i = 0;
+                while i < handles.len() {
+                    if handles[i].is_finished() {
+                        if handles.swap_remove(i).join().is_err() {
+                            panicked += 1;
+                        }
+                        progressed = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if !progressed && !handles.is_empty() {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+            }
+            if panicked > 0 {
+                errors.lock().push(format!("{panicked} task(s) panicked"));
+            }
+            if !handles.is_empty() {
+                errors.lock().push(format!(
+                    "{} task(s) still blocked after failure; detached",
+                    handles.len()
+                ));
+            }
+            let errs = errors.lock();
+            if !errs.is_empty() {
+                return Err(CoreError::Invalid(errs.join("; ")));
+            }
+            start.elapsed().as_secs_f64()
+        }
+    };
+
+    Ok(Launched {
+        elapsed_s,
+        resolved,
+        sim,
+        cluster,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfhpc_sim::platform;
+    use tfhpc_tensor::Tensor;
+
+    #[test]
+    fn nodes_needed_per_job_fresh() {
+        let jobs = vec![JobSpec::new("ps", 1, 0), JobSpec::new("worker", 4, 1)];
+        // Kebnekaise K80: 4 instances/node → 1 + 1 nodes.
+        assert_eq!(nodes_needed(&jobs, 4), 2);
+        // Tegner K420: 1 instance/node → 1 + 4 nodes.
+        assert_eq!(nodes_needed(&jobs, 1), 5);
+    }
+
+    #[test]
+    fn simulated_launch_runs_every_task() {
+        let cfg = LaunchConfig::simulated(
+            platform::tegner_k80(),
+            vec![JobSpec::new("worker", 4, 1)],
+            Protocol::Rdma,
+        );
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let out = launch(&cfg, move |ctx| {
+            assert_eq!(ctx.job(), "worker");
+            c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            // Spend some virtual time.
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(1.0 + ctx.index() as f64);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 4);
+        // Slowest task advanced 4 seconds.
+        assert!((out.elapsed_s - 4.0).abs() < 1e-9);
+        assert_eq!(out.resolved.spec.num_tasks("worker"), 4);
+    }
+
+    #[test]
+    fn real_launch_measures_wall_time() {
+        let cfg = LaunchConfig::real(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 2, 1)],
+            Protocol::Grpc,
+        );
+        let out = launch(&cfg, |_ctx| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            Ok(())
+        })
+        .unwrap();
+        assert!(out.elapsed_s >= 0.01);
+        assert!(out.sim.is_none());
+    }
+
+    #[test]
+    fn body_error_fails_launch_in_real_mode() {
+        let cfg = LaunchConfig::real(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 1, 0)],
+            Protocol::Grpc,
+        );
+        let result = launch(&cfg, |_ctx| {
+            Err(CoreError::Invalid("intentional".into()))
+        });
+        match result {
+            Err(CoreError::Invalid(msg)) => assert!(msg.contains("intentional")),
+            _ => panic!("expected launch to surface the task error"),
+        }
+    }
+
+    #[test]
+    fn insufficient_gpus_detected() {
+        // Tegner K420 nodes have 1 GPU; asking 2 GPUs per task fails.
+        let cfg = LaunchConfig::simulated(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 1, 2)],
+            Protocol::Rdma,
+        );
+        assert!(launch(&cfg, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn cross_task_communication_in_sim() {
+        // ps + 2 workers: workers push into a ps variable.
+        let cfg = LaunchConfig::simulated(
+            platform::tegner_k420(),
+            vec![JobSpec::new("ps", 1, 0), JobSpec::new("worker", 2, 1)],
+            Protocol::Rdma,
+        );
+        let out = launch(&cfg, |ctx| {
+            let ps = TaskKey::new("ps", 0);
+            if ctx.job() == "ps" {
+                ctx.server
+                    .resources
+                    .create_variable("acc", Tensor::scalar_f64(0.0));
+                // ps stays alive long enough to receive (barrier-free
+                // model: variable exists from t=0 since creation is at
+                // virtual time 0 before any worker sends at t>0).
+                Ok(())
+            } else {
+                if let Some(me) = tfhpc_sim::des::current() {
+                    me.advance(0.001 * (ctx.index() + 1) as f64);
+                }
+                ctx.server
+                    .remote_assign_add(&ps, "acc", &Tensor::scalar_f64(1.0), None, None)?;
+                Ok(())
+            }
+        })
+        .unwrap();
+        let ps = out.cluster.server(&TaskKey::new("ps", 0)).unwrap();
+        assert_eq!(
+            ps.resources
+                .variable("acc")
+                .unwrap()
+                .read()
+                .scalar_value_f64()
+                .unwrap(),
+            2.0
+        );
+    }
+}

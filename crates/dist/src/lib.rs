@@ -1,0 +1,27 @@
+//! # tfhpc-dist
+//!
+//! The distributed runtime: TensorFlow's parameter-server/worker model
+//! rebuilt for this reproduction. Provides cluster specifications
+//! ([`cluster_spec`]), the Slurm Cluster Resolver the paper contributes
+//! ([`resolver`]), in-process servers with remote tensor primitives
+//! over simulated gRPC/MPI/RDMA transports ([`server`]), the queue-pair
+//! reducer of paper Fig. 5 ([`reducer`]) and an end-to-end launcher
+//! that turns a platform + job list into one process per task
+//! ([`mod@launch`]), plus the Horovod-style ring all-reduce ([`collective`])
+//! §VIII proposes as the parameter-server model's successor.
+
+pub mod cluster_spec;
+pub mod collective;
+pub mod launch;
+pub mod reducer;
+pub mod rendezvous;
+pub mod resolver;
+pub mod server;
+
+pub use cluster_spec::{ClusterSpec, TaskKey};
+pub use collective::ring_all_reduce;
+pub use launch::{launch, launch_traced, launch_with_setup, LaunchConfig, Launched, TaskCtx};
+pub use reducer::{worker_all_reduce, ReduceOp, Reducer};
+pub use rendezvous::{recv, send, RecvKernel, RendezvousKey, SendKernel};
+pub use resolver::{resolve, resolve_with_policy, JobSpec, Resolved, ResolvedTask};
+pub use server::{Server, TfCluster};

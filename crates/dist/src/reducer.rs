@@ -1,0 +1,270 @@
+//! The queue-pair reducer (paper Fig. 5).
+//!
+//! TensorFlow's parameter-server model has no collective reduction, so
+//! the paper builds one from queues: workers push partial values into
+//! the reducer's *incoming* queue and block on an *outgoing* queue; the
+//! reducer pops one partial per worker, applies the reduction, then
+//! pushes one copy of the result per worker. We split the outgoing side
+//! into one queue per worker: with a single shared outgoing queue a
+//! fast worker's next-round dequeue can steal a slow worker's copy of
+//! the previous round (TensorFlow's `SyncReplicasOptimizer` avoids the
+//! same race by tagging its token queue with the global step).
+
+use crate::cluster_spec::TaskKey;
+use crate::server::Server;
+use std::sync::Arc;
+use tfhpc_core::{CoreError, Result};
+use tfhpc_sim::device::{Cost, KernelClass};
+use tfhpc_tensor::{ops, Tensor};
+
+/// Per-round software overhead on the reducer: its own `session.run`
+/// dispatch plus Python-side queue handling (GIL'd QueueRunners — the
+/// §VIII limitation). Dominates CG iterations at high worker counts and
+/// produces the strong-scaling saturation of Fig. 10.
+pub const ROUND_OVERHEAD_S: f64 = 1.2e-3;
+
+/// Reduction operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise max (scalar tensors).
+    Max,
+}
+
+/// Server-side reduction service over a queue pair.
+pub struct Reducer {
+    server: Arc<Server>,
+    name: String,
+    n_workers: usize,
+    op: ReduceOp,
+}
+
+impl Reducer {
+    /// Create the reducer's queue pair (`<name>.in`, `<name>.out`) on
+    /// `server` and return the service handle.
+    pub fn new(server: Arc<Server>, name: &str, n_workers: usize, op: ReduceOp) -> Reducer {
+        assert!(n_workers > 0);
+        server
+            .resources
+            .create_queue(&format!("{name}.in"), n_workers.max(1) * 2);
+        for w in 0..n_workers {
+            server
+                .resources
+                .create_queue(&format!("{name}.out.{w}"), 2);
+        }
+        Reducer {
+            server,
+            name: name.to_string(),
+            n_workers,
+            op,
+        }
+    }
+
+    fn reduce(&self, values: Vec<Tensor>) -> Result<Tensor> {
+        let mut it = values.into_iter();
+        let mut acc = it
+            .next()
+            .ok_or_else(|| CoreError::Invalid("reduce of zero values".into()))?;
+        for v in it {
+            acc = match self.op {
+                ReduceOp::Sum => ops::add(&acc, &v)?,
+                ReduceOp::Max => {
+                    let a = acc.scalar_value_f64()?;
+                    let b = v.scalar_value_f64()?;
+                    Tensor::scalar_f64(a.max(b))
+                }
+            };
+        }
+        Ok(acc)
+    }
+
+    /// Serve one reduction round: collect `n_workers` partials, reduce,
+    /// broadcast `n_workers` copies.
+    pub fn serve_round(&self) -> Result<()> {
+        if let Some(me) = tfhpc_sim::des::current() {
+            me.advance(ROUND_OVERHEAD_S);
+        }
+        let in_q = self.server.resources.queue(&format!("{}.in", self.name))?;
+        let mut partials = Vec::with_capacity(self.n_workers);
+        for _ in 0..self.n_workers {
+            let tuple = in_q.dequeue()?;
+            partials.push(tuple.into_iter().next().ok_or_else(|| {
+                CoreError::Invalid("reducer received an empty tuple".into())
+            })?);
+        }
+        // The reduction itself runs on the reducer's host CPU.
+        let bytes: f64 = partials.iter().map(|t| t.byte_size() as f64).sum();
+        let flops: f64 = partials.iter().map(|t| t.num_elements() as f64).sum();
+        let reduced = self.reduce(partials)?;
+        self.server.devices.charge_kernel(
+            tfhpc_core::Placement::Cpu,
+            &Cost {
+                flops,
+                bytes,
+                class: KernelClass::Blas1,
+            },
+            true,
+        );
+        for w in 0..self.n_workers {
+            self.server
+                .resources
+                .queue(&format!("{}.out.{w}", self.name))?
+                .enqueue(vec![reduced.clone()])?;
+        }
+        Ok(())
+    }
+
+    /// Serve `rounds` reduction rounds.
+    pub fn serve(&self, rounds: usize) -> Result<()> {
+        for _ in 0..rounds {
+            self.serve_round()?;
+        }
+        Ok(())
+    }
+
+    /// Serve until the incoming queue is closed; returns rounds served.
+    pub fn serve_until_closed(&self) -> Result<usize> {
+        let mut rounds = 0;
+        loop {
+            match self.serve_round() {
+                Ok(()) => rounds += 1,
+                Err(CoreError::QueueClosed(_)) => return Ok(rounds),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Close the reducer's queues (shutdown).
+    pub fn close(&self) -> Result<()> {
+        self.server
+            .resources
+            .queue(&format!("{}.in", self.name))?
+            .close();
+        for w in 0..self.n_workers {
+            self.server
+                .resources
+                .queue(&format!("{}.out.{w}", self.name))?
+                .close();
+        }
+        Ok(())
+    }
+}
+
+/// Worker-side participation in one reduction round: send `value` into
+/// the reducer's incoming queue, block on the outgoing queue, return
+/// the reduced value (paper Fig. 5's workflow).
+pub fn worker_all_reduce(
+    worker: &Arc<Server>,
+    reducer: &TaskKey,
+    name: &str,
+    worker_index: usize,
+    value: Tensor,
+    gpu: Option<usize>,
+) -> Result<Tensor> {
+    worker.remote_enqueue(reducer, &format!("{name}.in"), vec![value], gpu)?;
+    let tuple = worker.remote_dequeue(reducer, &format!("{name}.out.{worker_index}"), gpu)?;
+    tuple
+        .into_iter()
+        .next()
+        .ok_or_else(|| CoreError::Invalid("empty reduction result".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_spec::ClusterSpec;
+    use crate::server::TfCluster;
+    use tfhpc_sim::net::Protocol;
+
+    fn cluster(n_workers: usize) -> (Arc<TfCluster>, Arc<Server>, Vec<Arc<Server>>) {
+        let spec = ClusterSpec::new([
+            ("reducer".to_string(), vec!["a:8888".to_string()]),
+            (
+                "worker".to_string(),
+                (0..n_workers).map(|i| format!("b{i}:8888")).collect(),
+            ),
+        ]);
+        let c = TfCluster::new(spec, Protocol::Rdma, None);
+        let red = c.start_server(TaskKey::new("reducer", 0), 0, vec![]);
+        let workers = (0..n_workers)
+            .map(|i| c.start_server(TaskKey::new("worker", i), 1 + i, vec![0]))
+            .collect();
+        (c, red, workers)
+    }
+
+    #[test]
+    fn sum_reduction_across_threads() {
+        let (_c, red, workers) = cluster(3);
+        let reducer = Reducer::new(Arc::clone(&red), "r", 3, ReduceOp::Sum);
+        let svc = std::thread::spawn(move || reducer.serve(2).unwrap());
+        let mut handles = Vec::new();
+        for (i, w) in workers.into_iter().enumerate() {
+            handles.push(std::thread::spawn(move || {
+                let key = TaskKey::new("reducer", 0);
+                let r1 =
+                    worker_all_reduce(&w, &key, "r", i, Tensor::scalar_f64((i + 1) as f64), None)
+                        .unwrap();
+                assert_eq!(r1.scalar_value_f64().unwrap(), 6.0);
+                let r2 =
+                    worker_all_reduce(&w, &key, "r", i, Tensor::scalar_f64(10.0), None).unwrap();
+                assert_eq!(r2.scalar_value_f64().unwrap(), 30.0);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        svc.join().unwrap();
+    }
+
+    #[test]
+    fn max_reduction() {
+        let (_c, red, workers) = cluster(2);
+        let reducer = Reducer::new(Arc::clone(&red), "m", 2, ReduceOp::Max);
+        let svc = std::thread::spawn(move || reducer.serve(1).unwrap());
+        let mut handles = Vec::new();
+        for (i, w) in workers.into_iter().enumerate() {
+            handles.push(std::thread::spawn(move || {
+                let key = TaskKey::new("reducer", 0);
+                let r = worker_all_reduce(&w, &key, "m", i, Tensor::scalar_f64(i as f64), None)
+                    .unwrap();
+                assert_eq!(r.scalar_value_f64().unwrap(), 1.0);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        svc.join().unwrap();
+    }
+
+    #[test]
+    fn vector_sum_reduction() {
+        let (_c, red, workers) = cluster(2);
+        let reducer = Reducer::new(Arc::clone(&red), "v", 2, ReduceOp::Sum);
+        let svc = std::thread::spawn(move || reducer.serve(1).unwrap());
+        let mut handles = Vec::new();
+        for (i, w) in workers.into_iter().enumerate() {
+            handles.push(std::thread::spawn(move || {
+                let key = TaskKey::new("reducer", 0);
+                let v = Tensor::from_f64([3], vec![1.0, 2.0, 3.0]).unwrap();
+                let r = worker_all_reduce(&w, &key, "v", i, v, None).unwrap();
+                assert_eq!(r.as_f64().unwrap(), &[2.0, 4.0, 6.0]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        svc.join().unwrap();
+    }
+
+    #[test]
+    fn close_unblocks_service_loop() {
+        let (_c, red, _workers) = cluster(2);
+        let reducer = Arc::new(Reducer::new(Arc::clone(&red), "c", 2, ReduceOp::Sum));
+        let r2 = Arc::clone(&reducer);
+        let svc = std::thread::spawn(move || r2.serve_until_closed().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        reducer.close().unwrap();
+        assert_eq!(svc.join().unwrap(), 0);
+    }
+}

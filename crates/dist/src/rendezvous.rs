@@ -1,0 +1,265 @@
+//! Send/Recv rendezvous — the primitive TensorFlow's distributed
+//! runtime inserts at cross-task graph edges (§II-B's C++ runtime
+//! "handling communication across the network").
+//!
+//! A rendezvous channel matches [`send`]`(key, tensor)` against [`recv`]`(key)`
+//! across tasks: the value is transferred over the cluster's modeled
+//! transport and handed to the receiver, whichever side arrives first.
+//! Keys follow TensorFlow's convention of naming producer, consumer and
+//! edge, so the same graph edge used twice (two steps) gets two
+//! distinct keys via the step counter.
+
+use crate::cluster_spec::TaskKey;
+use crate::server::Server;
+use std::sync::Arc;
+use tfhpc_core::{CoreError, OpKernel, Resources, Result};
+use tfhpc_tensor::Tensor;
+
+/// A rendezvous key: one logical tensor handoff.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RendezvousKey {
+    /// Producing task.
+    pub src: TaskKey,
+    /// Consuming task.
+    pub dst: TaskKey,
+    /// Edge name (tensor name in the producing graph).
+    pub edge: String,
+    /// Step counter distinguishing successive executions.
+    pub step: u64,
+}
+
+impl RendezvousKey {
+    /// Build a key.
+    pub fn new(src: TaskKey, dst: TaskKey, edge: &str, step: u64) -> RendezvousKey {
+        RendezvousKey {
+            src,
+            dst,
+            edge: edge.to_string(),
+            step,
+        }
+    }
+
+    /// The queue name backing this key on the consumer.
+    fn channel(&self) -> String {
+        format!("rendezvous:{}->{};{};{}", self.src, self.dst, self.edge, self.step)
+    }
+}
+
+/// Send `value` to the consumer named in `key`. Charges the transfer
+/// (src residency `gpu`) and never blocks beyond transport time: the
+/// rendezvous buffers one value per key.
+pub fn send(worker: &Arc<Server>, key: &RendezvousKey, value: Tensor, gpu: Option<usize>) -> Result<()> {
+    if worker.key != key.src {
+        return Err(CoreError::Invalid(format!(
+            "send of {} from wrong task {}",
+            key.channel(),
+            worker.key
+        )));
+    }
+    let peer = worker.cluster().server(&key.dst)?;
+    worker.charge_transfer_to(&peer, gpu, None, value.byte_size() as u64);
+    let q = peer.resources.get_or_create_queue(&key.channel(), 1);
+    q.enqueue(vec![value])
+}
+
+/// Receive the tensor for `key`, blocking until the producer sent it.
+pub fn recv(worker: &Arc<Server>, key: &RendezvousKey, gpu: Option<usize>) -> Result<Tensor> {
+    if worker.key != key.dst {
+        return Err(CoreError::Invalid(format!(
+            "recv of {} on wrong task {}",
+            key.channel(),
+            worker.key
+        )));
+    }
+    let q = worker.resources.get_or_create_queue(&key.channel(), 1);
+    let tuple = q.dequeue()?;
+    let value = tuple
+        .into_iter()
+        .next()
+        .ok_or_else(|| CoreError::Invalid("empty rendezvous message".into()))?;
+    if gpu.is_some() {
+        // Land the tensor on the consumer's GPU.
+        worker.devices.charge_transfer(
+            tfhpc_core::Placement::Cpu,
+            tfhpc_core::Placement::Gpu(gpu.unwrap_or(0)),
+            value.byte_size() as u64,
+        );
+    }
+    Ok(value)
+}
+
+/// Graph kernel sending its single input through the rendezvous (the
+/// `_Send` node TensorFlow splits cross-device edges into).
+pub struct SendKernel {
+    /// Local server.
+    pub server: Arc<Server>,
+    /// Destination task.
+    pub dst: TaskKey,
+    /// Edge name.
+    pub edge: String,
+    /// Source GPU residency.
+    pub gpu: Option<usize>,
+    /// Per-execution step counter.
+    step: std::sync::atomic::AtomicU64,
+}
+
+impl SendKernel {
+    /// Build a `_Send` kernel.
+    pub fn new(server: Arc<Server>, dst: TaskKey, edge: &str, gpu: Option<usize>) -> SendKernel {
+        SendKernel {
+            server,
+            dst,
+            edge: edge.to_string(),
+            gpu,
+            step: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl OpKernel for SendKernel {
+    fn name(&self) -> &str {
+        "_Send"
+    }
+
+    fn compute(&self, _res: &Resources, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let step = self.step.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let key = RendezvousKey::new(self.server.key.clone(), self.dst.clone(), &self.edge, step);
+        send(&self.server, &key, inputs[0].clone(), self.gpu)?;
+        Ok(vec![])
+    }
+}
+
+/// Graph kernel receiving one tensor from the rendezvous (`_Recv`).
+pub struct RecvKernel {
+    /// Local server.
+    pub server: Arc<Server>,
+    /// Producing task.
+    pub src: TaskKey,
+    /// Edge name.
+    pub edge: String,
+    /// Destination GPU residency.
+    pub gpu: Option<usize>,
+    step: std::sync::atomic::AtomicU64,
+}
+
+impl RecvKernel {
+    /// Build a `_Recv` kernel.
+    pub fn new(server: Arc<Server>, src: TaskKey, edge: &str, gpu: Option<usize>) -> RecvKernel {
+        RecvKernel {
+            server,
+            src,
+            edge: edge.to_string(),
+            gpu,
+            step: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl OpKernel for RecvKernel {
+    fn name(&self) -> &str {
+        "_Recv"
+    }
+
+    fn compute(&self, _res: &Resources, _inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let step = self.step.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let key = RendezvousKey::new(self.src.clone(), self.server.key.clone(), &self.edge, step);
+        Ok(vec![recv(&self.server, &key, self.gpu)?])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster_spec::ClusterSpec;
+    use crate::server::TfCluster;
+    use tfhpc_core::Graph;
+    use tfhpc_sim::net::Protocol;
+
+    fn pair() -> (Arc<TfCluster>, Arc<Server>, Arc<Server>) {
+        let spec = ClusterSpec::new([
+            ("a".to_string(), vec!["a:1".to_string()]),
+            ("b".to_string(), vec!["b:1".to_string()]),
+        ]);
+        let c = TfCluster::new(spec, Protocol::Rdma, None);
+        let a = c.start_server(TaskKey::new("a", 0), 0, vec![]);
+        let b = c.start_server(TaskKey::new("b", 0), 1, vec![]);
+        (c, a, b)
+    }
+
+    #[test]
+    fn send_then_recv() {
+        let (_c, a, b) = pair();
+        let key = RendezvousKey::new(a.key.clone(), b.key.clone(), "x", 0);
+        send(&a, &key, Tensor::scalar_f64(5.0), None).unwrap();
+        let got = recv(&b, &key, None).unwrap();
+        assert_eq!(got.scalar_value_f64().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (_c, a, b) = pair();
+        let key = RendezvousKey::new(a.key.clone(), b.key.clone(), "y", 3);
+        let k2 = key.clone();
+        let h = std::thread::spawn(move || recv(&b, &k2, None).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        send(&a, &key, Tensor::scalar_f64(9.0), None).unwrap();
+        assert_eq!(h.join().unwrap().scalar_value_f64().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn steps_keep_values_separate() {
+        let (_c, a, b) = pair();
+        for step in 0..3u64 {
+            let key = RendezvousKey::new(a.key.clone(), b.key.clone(), "z", step);
+            send(&a, &key, Tensor::scalar_i64(step as i64), None).unwrap();
+        }
+        // Receive out of order: each step's value is its own.
+        for step in [2u64, 0, 1] {
+            let key = RendezvousKey::new(a.key.clone(), b.key.clone(), "z", step);
+            let got = recv(&b, &key, None).unwrap();
+            assert_eq!(got.scalar_value_i64().unwrap(), step as i64);
+        }
+    }
+
+    #[test]
+    fn wrong_task_rejected() {
+        let (_c, a, b) = pair();
+        let key = RendezvousKey::new(a.key.clone(), b.key.clone(), "w", 0);
+        assert!(send(&b, &key, Tensor::scalar_f64(0.0), None).is_err());
+        assert!(recv(&a, &key, None).is_err());
+    }
+
+    #[test]
+    fn send_recv_kernels_split_a_graph_edge() {
+        let (_c, a, b) = pair();
+        // Producer graph on task a: c = 21, send(c).
+        let mut ga = Graph::new();
+        let c = ga.constant(Tensor::scalar_f64(21.0));
+        let send_k: Arc<dyn OpKernel> = Arc::new(SendKernel::new(
+            Arc::clone(&a),
+            b.key.clone(),
+            "edge0",
+            None,
+        ));
+        let send_node = ga.custom(send_k, &[c], &[]);
+        // Consumer graph on task b: recv -> double.
+        let mut gb = Graph::new();
+        let recv_k: Arc<dyn OpKernel> = Arc::new(RecvKernel::new(
+            Arc::clone(&b),
+            a.key.clone(),
+            "edge0",
+            None,
+        ));
+        let r = gb.custom(recv_k, &[], &[]);
+        let doubled = gb.scale(r, 2.0);
+
+        let sa = a.session(Arc::new(ga));
+        let sb = b.session(Arc::new(gb));
+        // Run both steps twice: the step counter separates executions.
+        for _ in 0..2 {
+            sa.run_no_fetch(&[send_node], &[]).unwrap();
+            let out = sb.run(&[doubled], &[]).unwrap();
+            assert_eq!(out[0].scalar_value_f64().unwrap(), 42.0);
+        }
+    }
+}

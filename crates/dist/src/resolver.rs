@@ -1,0 +1,262 @@
+//! The Slurm Cluster Resolver — the paper's §III contribution.
+//!
+//! Given a Slurm allocation and a list of jobs, the resolver produces
+//! the TensorFlow [`ClusterSpec`] automatically: it reads the host list
+//! (as `scontrol show hostnames` would), distributes jobs and tasks
+//! over the allocated nodes with the plane distribution, assigns a port
+//! per co-located task, and computes the GPU-visibility mask for every
+//! task so multiple TensorFlow instances on one node expose disjoint
+//! GPUs.
+
+use crate::cluster_spec::{ClusterSpec, TaskKey};
+use tfhpc_slurm::{Allocation, SlurmCluster};
+
+/// A job the resolver should lay out (`("worker", 4)` etc.).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Job name.
+    pub name: String,
+    /// Number of tasks.
+    pub tasks: usize,
+    /// GPUs each task needs exposed (0 for CPU-only ps/reducer jobs).
+    pub gpus_per_task: usize,
+}
+
+impl JobSpec {
+    /// Convenience constructor.
+    pub fn new(name: &str, tasks: usize, gpus_per_task: usize) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            tasks,
+            gpus_per_task,
+        }
+    }
+}
+
+/// Placement of one resolved task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedTask {
+    /// Which task.
+    pub key: TaskKey,
+    /// Node index within the allocation.
+    pub node_index: usize,
+    /// Hostname.
+    pub hostname: String,
+    /// Port the task's server listens on.
+    pub port: u16,
+    /// GPU ids exposed to this task (`CUDA_VISIBLE_DEVICES`).
+    pub gpu_ids: Vec<usize>,
+}
+
+/// The resolver output: a cluster spec plus physical placements.
+#[derive(Debug, Clone)]
+pub struct Resolved {
+    /// The TensorFlow cluster specification.
+    pub spec: ClusterSpec,
+    /// Physical placement per task, in `spec.all_tasks()`-independent
+    /// job order (jobs in the order given, indexes ascending).
+    pub tasks: Vec<ResolvedTask>,
+}
+
+impl Resolved {
+    /// Placement for a task key.
+    pub fn task(&self, key: &TaskKey) -> Option<&ResolvedTask> {
+        self.tasks.iter().find(|t| &t.key == key)
+    }
+}
+
+/// Base port for TensorFlow servers (TF convention in the paper's
+/// listings).
+pub const BASE_PORT: u16 = 8888;
+
+/// Resolve a cluster spec from a Slurm allocation.
+///
+/// Layout policy (homogeneous allocation, plane distribution — what
+/// the paper's resolver supports): jobs are laid out in order; each
+/// job's tasks fill nodes at `tasks_per_node` before advancing. GPU
+/// jobs must not exceed the node's GPU count; co-located tasks get
+/// consecutive ports and disjoint GPU ranges.
+pub fn resolve(
+    alloc: &Allocation,
+    jobs: &[JobSpec],
+    tasks_per_node: usize,
+) -> Result<Resolved, String> {
+    resolve_with_policy(alloc, jobs, tasks_per_node, false)
+}
+
+/// [`resolve`] with an explicit co-location policy: when
+/// `fresh_node_per_job` is set, each job starts on an empty node (the
+/// paper's STREAM places the ps and the worker on separate nodes, and
+/// the experiment harness keeps CPU-only reducers off worker nodes).
+pub fn resolve_with_policy(
+    alloc: &Allocation,
+    jobs: &[JobSpec],
+    tasks_per_node: usize,
+    fresh_node_per_job: bool,
+) -> Result<Resolved, String> {
+    let hosts = SlurmCluster::scontrol_show_hostnames(&SlurmCluster::nodelist(alloc));
+    if hosts.is_empty() {
+        return Err("empty allocation".into());
+    }
+    let tasks_per_node = tasks_per_node.max(1);
+
+    let mut placements: Vec<ResolvedTask> = Vec::new();
+    let mut spec_jobs: Vec<(String, Vec<String>)> = Vec::new();
+    // Per-node occupancy (tasks already placed on each node).
+    let mut occupancy = vec![0usize; hosts.len()];
+    let mut next_node = 0usize;
+
+    for job in jobs {
+        if fresh_node_per_job && occupancy[next_node] > 0 {
+            // Advance to the next empty node for this job.
+            let start = next_node;
+            loop {
+                next_node = (next_node + 1) % hosts.len();
+                if occupancy[next_node] == 0 {
+                    break;
+                }
+                if next_node == start {
+                    return Err("no empty node available for job boundary".into());
+                }
+            }
+        }
+        let mut addresses = Vec::with_capacity(job.tasks);
+        for index in 0..job.tasks {
+            // Find the next node with spare slots (plane fill).
+            let mut scanned = 0;
+            while occupancy[next_node] >= tasks_per_node {
+                next_node = (next_node + 1) % hosts.len();
+                scanned += 1;
+                if scanned > hosts.len() {
+                    return Err(format!(
+                        "allocation of {} nodes x {} slots cannot host all tasks",
+                        hosts.len(),
+                        tasks_per_node
+                    ));
+                }
+            }
+            let node_index = next_node;
+            let local_rank = occupancy[node_index];
+            occupancy[node_index] += 1;
+
+            let port = BASE_PORT + local_rank as u16;
+            let gpu_lo = local_rank * job.gpus_per_task;
+            let gpu_ids: Vec<usize> = (gpu_lo..gpu_lo + job.gpus_per_task).collect();
+            addresses.push(format!("{}:{}", hosts[node_index], port));
+            placements.push(ResolvedTask {
+                key: TaskKey::new(&job.name, index),
+                node_index,
+                hostname: hosts[node_index].clone(),
+                port,
+                gpu_ids,
+            });
+        }
+        spec_jobs.push((job.name.clone(), addresses));
+    }
+
+    Ok(Resolved {
+        spec: ClusterSpec::new(spec_jobs),
+        tasks: placements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfhpc_slurm::{Distribution, JobRequest, NodeInfo, SlurmCluster};
+
+    fn alloc(nodes: usize, gpus: usize, ntasks: usize) -> Allocation {
+        let mut c = SlurmCluster::new(
+            "gpu",
+            (0..nodes)
+                .map(|i| NodeInfo {
+                    name: format!("t01n{:02}", i + 1),
+                    gpus,
+                    cpus: 24,
+                })
+                .collect(),
+        );
+        c.submit(&JobRequest {
+            nodes,
+            ntasks,
+            distribution: Distribution::Plane(ntasks.div_ceil(nodes)),
+            gpus_per_task: 0,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn stream_layout_ps_and_worker_on_distinct_nodes() {
+        // The paper's STREAM: a ps and a worker on two nodes.
+        let a = alloc(2, 1, 2);
+        let r = resolve(
+            &a,
+            &[JobSpec::new("ps", 1, 1), JobSpec::new("worker", 1, 1)],
+            1,
+        )
+        .unwrap();
+        let ps = r.task(&TaskKey::new("ps", 0)).unwrap();
+        let worker = r.task(&TaskKey::new("worker", 0)).unwrap();
+        assert_ne!(ps.node_index, worker.node_index);
+        assert_eq!(r.spec.task_address(&TaskKey::new("ps", 0)).unwrap(), "t01n01:8888");
+        assert_eq!(
+            r.spec.task_address(&TaskKey::new("worker", 0)).unwrap(),
+            "t01n02:8888"
+        );
+    }
+
+    #[test]
+    fn colocated_tasks_get_disjoint_gpus_and_ports() {
+        // Kebnekaise-style: 4 TF instances per K80 node.
+        let a = alloc(2, 4, 8);
+        let r = resolve(&a, &[JobSpec::new("worker", 8, 1)], 4).unwrap();
+        for node in 0..2 {
+            let on_node: Vec<&ResolvedTask> =
+                r.tasks.iter().filter(|t| t.node_index == node).collect();
+            assert_eq!(on_node.len(), 4);
+            let mut ports: Vec<u16> = on_node.iter().map(|t| t.port).collect();
+            ports.sort_unstable();
+            assert_eq!(ports, vec![8888, 8889, 8890, 8891]);
+            let mut gpus: Vec<usize> =
+                on_node.iter().flat_map(|t| t.gpu_ids.clone()).collect();
+            gpus.sort_unstable();
+            assert_eq!(gpus, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn mixed_jobs_fill_in_order() {
+        let a = alloc(3, 2, 6);
+        let r = resolve(
+            &a,
+            &[JobSpec::new("reducer", 2, 0), JobSpec::new("worker", 4, 1)],
+            2,
+        )
+        .unwrap();
+        // Reducers fill node 0; workers fill nodes 1..2.
+        assert_eq!(r.task(&TaskKey::new("reducer", 0)).unwrap().node_index, 0);
+        assert_eq!(r.task(&TaskKey::new("reducer", 1)).unwrap().node_index, 0);
+        assert_eq!(r.task(&TaskKey::new("worker", 0)).unwrap().node_index, 1);
+        assert_eq!(r.task(&TaskKey::new("worker", 2)).unwrap().node_index, 2);
+        // CPU-only job exposes no GPUs.
+        assert!(r.task(&TaskKey::new("reducer", 0)).unwrap().gpu_ids.is_empty());
+    }
+
+    #[test]
+    fn over_subscription_rejected() {
+        let a = alloc(1, 1, 2);
+        assert!(resolve(&a, &[JobSpec::new("worker", 3, 0)], 2).is_err());
+    }
+
+    #[test]
+    fn spec_matches_placements() {
+        let a = alloc(2, 2, 4);
+        let r = resolve(&a, &[JobSpec::new("worker", 4, 1)], 2).unwrap();
+        for t in &r.tasks {
+            assert_eq!(
+                r.spec.task_address(&t.key).unwrap(),
+                format!("{}:{}", t.hostname, t.port)
+            );
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! TensorFlow servers and the in-process runtime cluster.
+//!
+//! A [`Server`] is one TensorFlow task: it owns a resource manager
+//! (variables, queues, iterators) and a device context, and can reach
+//! peer servers through the [`TfCluster`] registry — the in-process
+//! analogue of the gRPC connections a `tf.train.Server` establishes
+//! from a cluster spec. Remote primitives (`remote_enqueue`,
+//! `remote_assign_add`, ...) move tensors between tasks, charging the
+//! simulated transport (gRPC/MPI/RDMA) with the correct source and
+//! destination device residency.
+
+use crate::cluster_spec::{ClusterSpec, TaskKey};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+use tfhpc_core::{
+    CoreError, DeviceCtx, FifoQueue, Graph, OpKernel, Resources, Result, Session, TileStore,
+};
+use tfhpc_sim::device::{Cost, KernelClass};
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::topology::{ClusterSim, Loc};
+use tfhpc_tensor::Tensor;
+
+/// The runtime cluster: a registry of in-process servers plus the
+/// transport configuration and (optionally) the simulated hardware.
+pub struct TfCluster {
+    /// The logical cluster specification.
+    pub spec: ClusterSpec,
+    /// Transport used for inter-task tensor movement.
+    pub protocol: Protocol,
+    /// Simulated hardware, when running on the virtual platform.
+    pub sim: Option<Arc<ClusterSim>>,
+    servers: RwLock<HashMap<TaskKey, Arc<Server>>>,
+    stores: RwLock<HashMap<String, Arc<TileStore>>>,
+}
+
+impl TfCluster {
+    /// Create a runtime cluster.
+    pub fn new(spec: ClusterSpec, protocol: Protocol, sim: Option<Arc<ClusterSim>>) -> Arc<Self> {
+        Arc::new(TfCluster {
+            spec,
+            protocol,
+            sim,
+            servers: RwLock::new(HashMap::new()),
+            stores: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Create and register the server for `key`, bound to `node` with
+    /// the given visible-GPU mapping.
+    pub fn start_server(self: &Arc<Self>, key: TaskKey, node: usize, gpu_map: Vec<usize>) -> Arc<Server> {
+        let devices = match &self.sim {
+            Some(sim) => DeviceCtx::simulated(Arc::clone(sim), node, gpu_map),
+            None => DeviceCtx::real(gpu_map.len()),
+        };
+        let server = Arc::new(Server {
+            key: key.clone(),
+            node,
+            resources: Resources::new(),
+            devices,
+            cluster: Arc::downgrade(self),
+        });
+        self.servers.write().insert(key, Arc::clone(&server));
+        server
+    }
+
+    /// Look up a running server.
+    pub fn server(&self, key: &TaskKey) -> Result<Arc<Server>> {
+        self.servers
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| CoreError::NotFound(format!("server {key}")))
+    }
+
+    /// Mount an existing tile store into this cluster's shared
+    /// namespace (persistent Lustre data surviving across job
+    /// allocations — e.g. checkpoints picked up by a restarted job).
+    pub fn register_shared_store(&self, name: &str, store: Arc<TileStore>) {
+        self.stores.write().insert(name.to_string(), store);
+    }
+
+    /// A cluster-wide shared tile store (the Lustre namespace both
+    /// systems mount; every task sees the same files).
+    pub fn shared_store(&self, name: &str) -> Arc<TileStore> {
+        let mut stores = self.stores.write();
+        if let Some(s) = stores.get(name) {
+            return Arc::clone(s);
+        }
+        // Build through a scratch resource manager to reuse its ctor.
+        let tmp = Resources::new();
+        let store = tmp.create_store(name);
+        stores.insert(name.to_string(), Arc::clone(&store));
+        store
+    }
+}
+
+/// One TensorFlow task's server.
+pub struct Server {
+    /// This task's identity.
+    pub key: TaskKey,
+    /// Node index on the (possibly simulated) cluster.
+    pub node: usize,
+    /// The task's resource manager.
+    pub resources: Arc<Resources>,
+    /// The task's device context.
+    pub devices: DeviceCtx,
+    cluster: Weak<TfCluster>,
+}
+
+impl Server {
+    /// The owning runtime cluster.
+    pub fn cluster(&self) -> Arc<TfCluster> {
+        self.cluster.upgrade().expect("cluster dropped")
+    }
+
+    /// Open a session on this server over `graph`.
+    pub fn session(&self, graph: Arc<Graph>) -> Session {
+        Session::new(graph, Arc::clone(&self.resources), self.devices.clone())
+    }
+
+    /// Physical location of a tensor on this task (`gpu` is the
+    /// *visible* GPU index).
+    pub fn loc(&self, gpu: Option<usize>) -> Loc {
+        let slot = match (&self.devices.sim, gpu) {
+            (Some(sim), Some(g)) => sim.gpu_map.get(g).copied(),
+            _ => None,
+        };
+        Loc {
+            node: self.node,
+            gpu: slot,
+        }
+    }
+
+    /// Charge the wire+staging cost of moving `bytes` from this task to
+    /// `dst` (no-op in real mode). Returns modeled seconds.
+    pub fn charge_transfer_to(
+        &self,
+        dst: &Server,
+        src_gpu: Option<usize>,
+        dst_gpu: Option<usize>,
+        bytes: u64,
+    ) -> f64 {
+        let cluster = self.cluster();
+        let Some(sim) = &cluster.sim else { return 0.0 };
+        let path = sim.path(self.loc(src_gpu), dst.loc(dst_gpu), cluster.protocol);
+        path.transfer(bytes)
+    }
+
+    fn peer(&self, target: &TaskKey) -> Result<Arc<Server>> {
+        self.cluster().server(target)
+    }
+
+    /// Push a tuple into a queue owned by `target`, paying the transfer
+    /// from this task (optionally from GPU-resident memory).
+    pub fn remote_enqueue(
+        &self,
+        target: &TaskKey,
+        queue: &str,
+        tuple: Vec<Tensor>,
+        src_gpu: Option<usize>,
+    ) -> Result<()> {
+        let peer = self.peer(target)?;
+        let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
+        self.charge_transfer_to(&peer, src_gpu, None, bytes);
+        peer.resources.queue(queue)?.enqueue(tuple)
+    }
+
+    /// Pop a tuple from a queue owned by `target`, paying the return
+    /// transfer to this task.
+    pub fn remote_dequeue(
+        &self,
+        target: &TaskKey,
+        queue: &str,
+        dst_gpu: Option<usize>,
+    ) -> Result<Vec<Tensor>> {
+        let peer = self.peer(target)?;
+        let tuple = peer.resources.queue(queue)?.dequeue()?;
+        let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
+        peer.charge_transfer_to(self, None, dst_gpu, bytes);
+        Ok(tuple)
+    }
+
+    /// `target_var += value` on the parameter server `target` — the
+    /// paper's STREAM operation. `dst_gpu` says where the variable
+    /// lives on the target.
+    pub fn remote_assign_add(
+        &self,
+        target: &TaskKey,
+        var: &str,
+        value: &Tensor,
+        src_gpu: Option<usize>,
+        dst_gpu: Option<usize>,
+    ) -> Result<()> {
+        let peer = self.peer(target)?;
+        self.charge_transfer_to(&peer, src_gpu, dst_gpu, value.byte_size() as u64);
+        peer.resources.variable(var)?.assign_add(value)?;
+        // The add itself executes on the target's device.
+        let placement = match dst_gpu {
+            Some(g) => tfhpc_core::Placement::Gpu(g),
+            None => tfhpc_core::Placement::Cpu,
+        };
+        // The accumulate streams through the target's memory as data
+        // lands (pipelined with the receive), so charge one pass.
+        let cost = Cost {
+            flops: value.num_elements() as f64,
+            bytes: value.byte_size() as f64,
+            class: KernelClass::Blas1,
+        };
+        let dp = !matches!(value.dtype(), tfhpc_tensor::DType::F32);
+        peer.devices.charge_kernel(placement, &cost, dp);
+        Ok(())
+    }
+
+    /// Read a variable from `target`, paying the transfer back.
+    pub fn remote_var_read(
+        &self,
+        target: &TaskKey,
+        var: &str,
+        dst_gpu: Option<usize>,
+    ) -> Result<Tensor> {
+        let peer = self.peer(target)?;
+        let value = peer.resources.variable(var)?.read();
+        peer.charge_transfer_to(self, None, dst_gpu, value.byte_size() as u64);
+        Ok(value)
+    }
+
+    /// A graph kernel that enqueues its inputs into `target`'s queue.
+    pub fn enqueue_kernel(
+        self: &Arc<Self>,
+        target: TaskKey,
+        queue: &str,
+        src_gpu: Option<usize>,
+    ) -> Arc<dyn OpKernel> {
+        Arc::new(RemoteEnqueueKernel {
+            server: Arc::clone(self),
+            target,
+            queue: queue.to_string(),
+            src_gpu,
+        })
+    }
+
+    /// A graph kernel that dequeues an `arity`-tuple from `target`'s
+    /// queue.
+    pub fn dequeue_kernel(
+        self: &Arc<Self>,
+        target: TaskKey,
+        queue: &str,
+        arity: usize,
+        dst_gpu: Option<usize>,
+    ) -> Arc<dyn OpKernel> {
+        Arc::new(RemoteDequeueKernel {
+            server: Arc::clone(self),
+            target,
+            queue: queue.to_string(),
+            arity,
+            dst_gpu,
+        })
+    }
+}
+
+struct RemoteEnqueueKernel {
+    server: Arc<Server>,
+    target: TaskKey,
+    queue: String,
+    src_gpu: Option<usize>,
+}
+
+impl OpKernel for RemoteEnqueueKernel {
+    fn name(&self) -> &str {
+        "RemoteEnqueue"
+    }
+
+    fn compute(&self, _resources: &Resources, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        self.server
+            .remote_enqueue(&self.target, &self.queue, inputs.to_vec(), self.src_gpu)?;
+        Ok(vec![])
+    }
+}
+
+struct RemoteDequeueKernel {
+    server: Arc<Server>,
+    target: TaskKey,
+    queue: String,
+    arity: usize,
+    dst_gpu: Option<usize>,
+}
+
+impl OpKernel for RemoteDequeueKernel {
+    fn name(&self) -> &str {
+        "RemoteDequeue"
+    }
+
+    fn compute(&self, _resources: &Resources, _inputs: &[Tensor]) -> Result<Vec<Tensor>> {
+        let tuple = self
+            .server
+            .remote_dequeue(&self.target, &self.queue, self.dst_gpu)?;
+        if tuple.len() != self.arity {
+            return Err(CoreError::Graph(format!(
+                "remote queue `{}` yielded {} tensors, expected {}",
+                self.queue,
+                tuple.len(),
+                self.arity
+            )));
+        }
+        Ok(tuple)
+    }
+}
+
+/// Queues created on a server must be registered under the server's
+/// resources so remote ops can find them by name.
+pub fn create_task_queue(server: &Server, name: &str, capacity: usize) -> Arc<FifoQueue> {
+    server.resources.create_queue(name, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_task_cluster() -> (Arc<TfCluster>, Arc<Server>, Arc<Server>) {
+        let spec = ClusterSpec::new([
+            ("ps".to_string(), vec!["a:8888".to_string()]),
+            ("worker".to_string(), vec!["b:8888".to_string()]),
+        ]);
+        let cluster = TfCluster::new(spec, Protocol::Rdma, None);
+        let ps = cluster.start_server(TaskKey::new("ps", 0), 0, vec![]);
+        let worker = cluster.start_server(TaskKey::new("worker", 0), 1, vec![0]);
+        (cluster, ps, worker)
+    }
+
+    #[test]
+    fn servers_register_and_resolve() {
+        let (cluster, _ps, _w) = two_task_cluster();
+        assert!(cluster.server(&TaskKey::new("ps", 0)).is_ok());
+        assert!(cluster.server(&TaskKey::new("worker", 5)).is_err());
+    }
+
+    #[test]
+    fn remote_assign_add_updates_ps_variable() {
+        let (_c, ps, worker) = two_task_cluster();
+        ps.resources
+            .create_variable("acc", Tensor::from_f64([2], vec![1.0, 1.0]).unwrap());
+        worker
+            .remote_assign_add(
+                &TaskKey::new("ps", 0),
+                "acc",
+                &Tensor::from_f64([2], vec![2.0, 3.0]).unwrap(),
+                None,
+                None,
+            )
+            .unwrap();
+        assert_eq!(
+            ps.resources.variable("acc").unwrap().read().as_f64().unwrap(),
+            &[3.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn remote_queue_roundtrip() {
+        let (_c, ps, worker) = two_task_cluster();
+        create_task_queue(&ps, "results", 4);
+        worker
+            .remote_enqueue(
+                &TaskKey::new("ps", 0),
+                "results",
+                vec![Tensor::scalar_f64(9.0)],
+                None,
+            )
+            .unwrap();
+        let got = worker
+            .remote_dequeue(&TaskKey::new("ps", 0), "results", None)
+            .unwrap();
+        assert_eq!(got[0].scalar_value_f64().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn remote_kernels_work_in_graphs() {
+        let (_c, ps, worker) = two_task_cluster();
+        create_task_queue(&ps, "q", 4);
+        let mut g = Graph::new();
+        let v = g.constant(Tensor::scalar_f64(7.0));
+        let k = worker.enqueue_kernel(TaskKey::new("ps", 0), "q", None);
+        let enq = g.custom(k, &[v], &[]);
+        let dk = worker.dequeue_kernel(TaskKey::new("ps", 0), "q", 1, None);
+        let deq = g.custom(dk, &[], &[enq]);
+        let sess = worker.session(Arc::new(g));
+        let out = sess.run(&[deq], &[]).unwrap();
+        assert_eq!(out[0].scalar_value_f64().unwrap(), 7.0);
+    }
+
+    #[test]
+    fn shared_store_is_cluster_wide() {
+        let (c, ps, worker) = two_task_cluster();
+        let store = c.shared_store("tiles");
+        ps.resources.register_store(Arc::clone(&store));
+        worker.resources.register_store(Arc::clone(&store));
+        ps.resources
+            .store("tiles")
+            .unwrap()
+            .put(vec![0], Tensor::scalar_f64(1.0));
+        assert!(worker.resources.store("tiles").unwrap().get(&[0]).is_ok());
+        // Idempotent.
+        assert!(Arc::ptr_eq(&c.shared_store("tiles"), &store));
+    }
+
+    #[test]
+    fn remote_var_read_returns_value() {
+        let (_c, ps, worker) = two_task_cluster();
+        ps.resources.create_variable("w", Tensor::scalar_f64(3.5));
+        let v = worker
+            .remote_var_read(&TaskKey::new("ps", 0), "w", None)
+            .unwrap();
+        assert_eq!(v.scalar_value_f64().unwrap(), 3.5);
+    }
+}

@@ -1,0 +1,92 @@
+//! A Go-style wait group: counts outstanding tasks and lets one thread
+//! block until the count returns to zero.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Counter of in-flight tasks with blocking wait-for-zero.
+pub struct WaitGroup {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl WaitGroup {
+    /// New group with a zero count.
+    pub fn new() -> Self {
+        WaitGroup {
+            count: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Register `n` additional tasks.
+    pub fn add(&self, n: usize) {
+        *self.count.lock() += n;
+    }
+
+    /// Mark one task finished; wakes waiters when the count hits zero.
+    pub fn done(&self) {
+        let mut c = self.count.lock();
+        debug_assert!(*c > 0, "WaitGroup::done without matching add");
+        *c -= 1;
+        if *c == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until the count is zero.
+    pub fn wait(&self) {
+        let mut c = self.count.lock();
+        while *c != 0 {
+            self.cv.wait(&mut c);
+        }
+    }
+
+    /// Current count (racy; for diagnostics only).
+    pub fn pending(&self) -> usize {
+        *self.count.lock()
+    }
+}
+
+impl Default for WaitGroup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_returns_immediately_at_zero() {
+        let wg = WaitGroup::new();
+        wg.wait();
+    }
+
+    #[test]
+    fn wait_blocks_until_done() {
+        let wg = Arc::new(WaitGroup::new());
+        wg.add(3);
+        let wg2 = Arc::clone(&wg);
+        let t = std::thread::spawn(move || {
+            for _ in 0..3 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                wg2.done();
+            }
+        });
+        wg.wait();
+        assert_eq!(wg.pending(), 0);
+        t.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic]
+    fn done_without_add_panics_in_debug() {
+        if !cfg!(debug_assertions) {
+            panic!("skip: release mode");
+        }
+        let wg = WaitGroup::new();
+        wg.done();
+    }
+}

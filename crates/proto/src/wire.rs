@@ -1,0 +1,137 @@
+//! Low-level varint and ZigZag primitives.
+
+use crate::ProtoError;
+use bytes::{BufMut, BytesMut};
+
+/// Append `v` as a base-128 varint (1–10 bytes).
+pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read a varint from the front of `bytes`; returns `(value, rest)`.
+pub fn get_uvarint(bytes: &[u8]) -> Result<(u64, &[u8]), ProtoError> {
+    let mut value: u64 = 0;
+    for (i, byte) in bytes.iter().enumerate() {
+        if i >= 10 {
+            return Err(ProtoError::VarintOverflow);
+        }
+        let payload = (byte & 0x7f) as u64;
+        // The 10th byte may only contribute one bit.
+        if i == 9 && payload > 1 {
+            return Err(ProtoError::VarintOverflow);
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok((value, &bytes[i + 1..]));
+        }
+    }
+    Err(ProtoError::Truncated)
+}
+
+/// Map a signed integer onto unsigned so small magnitudes stay short.
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Number of bytes `v` occupies as a varint.
+pub fn uvarint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, v);
+        assert_eq!(buf.len(), uvarint_len(v));
+        let (back, rest) = get_uvarint(&buf).unwrap();
+        assert_eq!(back, v);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn varint_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn varint_dense_small_range() {
+        for v in 0..=4096u64 {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn varint_truncated() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, u64::MAX);
+        assert_eq!(
+            get_uvarint(&buf[..buf.len() - 1]),
+            Err(ProtoError::Truncated)
+        );
+        assert_eq!(get_uvarint(&[]), Err(ProtoError::Truncated));
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 continuation bytes.
+        let bytes = [0x80u8; 11];
+        assert_eq!(get_uvarint(&bytes), Err(ProtoError::VarintOverflow));
+        // 10 bytes but 10th contributes >1 bit.
+        let mut bytes = [0x80u8; 10];
+        bytes[9] = 0x02;
+        assert_eq!(get_uvarint(&bytes), Err(ProtoError::VarintOverflow));
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [
+            0i64,
+            -1,
+            1,
+            -2,
+            2,
+            i64::MAX,
+            i64::MIN,
+            i32::MAX as i64,
+            i32::MIN as i64,
+        ] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+        // Small magnitudes encode small.
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+    }
+}

@@ -1,0 +1,839 @@
+//! The discrete-event simulation kernel.
+//!
+//! ## Model
+//!
+//! A [`Sim`] owns a set of *processes*, each backed by a real OS thread
+//! running arbitrary Rust code. Exactly one process executes at a time;
+//! whenever the running process *yields* (by advancing its clock,
+//! blocking on a [`SimCondvar`], or finishing) the scheduler resumes
+//! the runnable process with the smallest local virtual time (ties keep
+//! the current process or pick the lowest process id). Because events
+//! are therefore handled in nondecreasing virtual-time order, shared
+//! [`SimResource`]s serialize in correct timestamp order and the whole
+//! simulation is deterministic.
+//!
+//! ## Discipline
+//!
+//! Code running inside a process must not hold an application mutex
+//! across a yielding call (`advance`, `SimCondvar::wait`,
+//! `SimResource::acquire_for`) unless every other accessor of that
+//! mutex is also a sim process (the kernel guarantees only one sim
+//! process runs at a time, so such locks are never contended).
+//!
+//! ## Deadlock
+//!
+//! If every live process is blocked, [`Sim::run`] panics with a dump of
+//! per-process states — the same failure mode a hung distributed
+//! TensorFlow job exhibits, and a useful oracle for queue-protocol bugs.
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Identifier of a simulated process.
+pub type ProcId = usize;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Running,
+    Blocked,
+    Done,
+}
+
+struct ProcState {
+    name: String,
+    time: f64,
+    status: Status,
+    waiting_on: Option<String>,
+}
+
+struct SchedState {
+    procs: Vec<ProcState>,
+    running: Option<ProcId>,
+    started: bool,
+    deadlock: bool,
+    /// waiter lists per condvar id
+    cv_waiters: Vec<Vec<ProcId>>,
+    cv_names: Vec<String>,
+    /// availability time per resource id
+    res_available: Vec<f64>,
+    res_names: Vec<String>,
+    /// accumulated busy seconds per resource id
+    res_busy: Vec<f64>,
+    /// free-form counters (bytes over links, op counts, ...)
+    counters: HashMap<String, f64>,
+    /// execution trace (when enabled): device/process occupancy segments
+    tracing: bool,
+    trace: Vec<TraceSegment>,
+}
+
+/// One occupancy segment of the execution trace: `track` (a process or
+/// hardware resource) was busy with `label` during `[start, start+dur)`
+/// of virtual time — the raw material of a Fig. 3-style timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSegment {
+    /// Timeline row (process name or resource name).
+    pub track: String,
+    /// What occupied it.
+    pub label: String,
+    /// Virtual start time, seconds.
+    pub start: f64,
+    /// Duration, seconds.
+    pub dur: f64,
+}
+
+/// A discrete-event simulation instance.
+pub struct Sim {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Sim>, ProcId)>> = const { RefCell::new(None) };
+}
+
+/// Handle to the sim process executing on the current thread.
+#[derive(Clone)]
+pub struct CurrentProc {
+    sim: Arc<Sim>,
+    id: ProcId,
+}
+
+/// The current thread's sim process, if it is one.
+pub fn current() -> Option<CurrentProc> {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|(sim, id)| CurrentProc {
+                sim: Arc::clone(sim),
+                id: *id,
+            })
+    })
+}
+
+impl CurrentProc {
+    /// Local virtual time of this process, in seconds.
+    pub fn now(&self) -> f64 {
+        self.sim.state.lock().procs[self.id].time
+    }
+
+    /// Advance this process's clock by `dt` seconds of modeled work,
+    /// yielding to any process whose clock is further behind.
+    pub fn advance(&self, dt: f64) {
+        self.sim.advance_proc(self.id, dt);
+    }
+
+    /// The owning simulation.
+    pub fn sim(&self) -> &Arc<Sim> {
+        &self.sim
+    }
+
+    /// Process id.
+    pub fn id(&self) -> ProcId {
+        self.id
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new_inner()
+    }
+}
+
+impl Sim {
+    fn new_inner() -> Sim {
+        Sim {
+            state: Mutex::new(SchedState {
+                procs: Vec::new(),
+                running: None,
+                started: false,
+                deadlock: false,
+                cv_waiters: Vec::new(),
+                cv_names: Vec::new(),
+                res_available: Vec::new(),
+                res_names: Vec::new(),
+                res_busy: Vec::new(),
+                counters: HashMap::new(),
+                tracing: false,
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Fresh simulation.
+    pub fn new() -> Arc<Sim> {
+        Arc::new(Sim::new_inner())
+    }
+
+    /// Register a process and spawn its backing thread. The process
+    /// starts at virtual time 0 (or at the spawner's time when spawned
+    /// from inside another process).
+    pub fn spawn<F>(self: &Arc<Sim>, name: &str, f: F) -> ProcId
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let id;
+        {
+            let mut st = self.state.lock();
+            let t0 = current()
+                .filter(|c| Arc::ptr_eq(&c.sim, self))
+                .map(|c| st.procs[c.id].time)
+                .unwrap_or(0.0);
+            id = st.procs.len();
+            st.procs.push(ProcState {
+                name: name.to_string(),
+                time: t0,
+                status: Status::Ready,
+                waiting_on: None,
+            });
+        }
+        let sim = Arc::clone(self);
+        let tname = format!("sim-{name}");
+        let handle = std::thread::Builder::new()
+            .name(tname)
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&sim), id)));
+                // Park until scheduled for the first time.
+                {
+                    let mut st = sim.state.lock();
+                    while st.running != Some(id) && !st.deadlock {
+                        sim.cv.wait(&mut st);
+                    }
+                    if st.deadlock {
+                        return;
+                    }
+                }
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                let mut st = sim.state.lock();
+                st.procs[id].status = Status::Done;
+                if st.running == Some(id) {
+                    st.running = None;
+                }
+                if let Err(payload) = result {
+                    // Propagate by poisoning the run: mark deadlock with a note.
+                    st.procs[id].waiting_on = Some(format!(
+                        "PANICKED: {}",
+                        payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<non-string panic>".into())
+                    ));
+                    st.deadlock = true;
+                }
+                if !st.deadlock && st.running.is_none() {
+                    Self::schedule(&mut st);
+                }
+                sim.cv.notify_all();
+            })
+            .expect("failed to spawn sim process thread");
+        self.threads.lock().push(handle);
+        id
+    }
+
+    /// Pick the minimum-time Ready process and mark it Running.
+    /// Must be called with no process Running.
+    fn schedule(st: &mut SchedState) {
+        debug_assert!(st.running.is_none());
+        let next = st
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.status == Status::Ready)
+            .min_by(|(ia, a), (ib, b)| {
+                a.time
+                    .partial_cmp(&b.time)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ia.cmp(ib))
+            })
+            .map(|(i, _)| i);
+        match next {
+            Some(i) => {
+                st.procs[i].status = Status::Running;
+                st.running = Some(i);
+            }
+            None => {
+                let live = st
+                    .procs
+                    .iter()
+                    .filter(|p| p.status != Status::Done)
+                    .count();
+                if live > 0 {
+                    st.deadlock = true;
+                }
+            }
+        }
+    }
+
+    fn advance_proc(&self, id: ProcId, dt: f64) {
+        assert!(dt >= 0.0, "cannot advance virtual time backwards ({dt})");
+        let mut st = self.state.lock();
+        debug_assert_eq!(st.running, Some(id), "advance from non-running process");
+        if st.tracing && dt > 0.0 {
+            let seg = TraceSegment {
+                track: st.procs[id].name.clone(),
+                label: "work".to_string(),
+                start: st.procs[id].time,
+                dur: dt,
+            };
+            st.trace.push(seg);
+        }
+        st.procs[id].time += dt;
+        let my_time = st.procs[id].time;
+        // Yield if someone Ready is further behind.
+        let behind = st
+            .procs
+            .iter()
+            .any(|p| p.status == Status::Ready && p.time < my_time);
+        if behind {
+            st.procs[id].status = Status::Ready;
+            st.running = None;
+            Self::schedule(&mut st);
+            self.cv.notify_all();
+            while st.running != Some(id) && !st.deadlock {
+                self.cv.wait(&mut st);
+            }
+            if st.deadlock && st.running != Some(id) {
+                // Unwind this thread quietly; run() reports the failure.
+                drop(st);
+                panic!("simulation aborted");
+            }
+        }
+    }
+
+    /// Run the simulation to completion; returns the final virtual time
+    /// (max over process clocks). Panics on deadlock or process panic.
+    pub fn run(self: &Arc<Sim>) -> f64 {
+        {
+            let mut st = self.state.lock();
+            assert!(!st.started, "Sim::run called twice");
+            st.started = true;
+            Self::schedule(&mut st);
+            self.cv.notify_all();
+            while !st.deadlock && st.procs.iter().any(|p| p.status != Status::Done) {
+                self.cv.wait(&mut st);
+            }
+            if st.deadlock {
+                let dump = Self::dump(&st);
+                st.deadlock = true;
+                self.cv.notify_all();
+                drop(st);
+                panic!("simulation deadlock or process panic:\n{dump}");
+            }
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        let st = self.state.lock();
+        st.procs.iter().map(|p| p.time).fold(0.0, f64::max)
+    }
+
+    fn dump(st: &SchedState) -> String {
+        let mut s = String::new();
+        for (i, p) in st.procs.iter().enumerate() {
+            s.push_str(&format!(
+                "  [{}] {:<24} t={:<12.6} {:?}{}\n",
+                i,
+                p.name,
+                p.time,
+                p.status,
+                p.waiting_on
+                    .as_deref()
+                    .map(|w| format!(" waiting on {w}"))
+                    .unwrap_or_default()
+            ));
+        }
+        s
+    }
+
+    /// Create a virtual condition variable.
+    pub fn condvar(self: &Arc<Sim>, name: &str) -> SimCondvar {
+        let mut st = self.state.lock();
+        let id = st.cv_waiters.len();
+        st.cv_waiters.push(Vec::new());
+        st.cv_names.push(name.to_string());
+        SimCondvar {
+            sim: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Create a FIFO-serialized shared resource (a PCIe link, NIC,
+    /// Lustre client, GPU stream ...).
+    pub fn resource(self: &Arc<Sim>, name: &str) -> SimResource {
+        let mut st = self.state.lock();
+        let id = st.res_available.len();
+        st.res_available.push(0.0);
+        st.res_names.push(name.to_string());
+        st.res_busy.push(0.0);
+        SimResource {
+            sim: Arc::clone(self),
+            id,
+        }
+    }
+
+    /// Add `v` to a named statistic counter.
+    pub fn count(&self, key: &str, v: f64) {
+        *self.state.lock().counters.entry(key.to_string()).or_insert(0.0) += v;
+    }
+
+    /// Read a named statistic counter.
+    pub fn counter(&self, key: &str) -> f64 {
+        self.state.lock().counters.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Total busy time accumulated on a resource (utilization probe).
+    pub fn resource_busy(&self, res: &SimResource) -> f64 {
+        self.state.lock().res_busy[res.id]
+    }
+
+    /// Record occupancy segments from now on (Fig. 3-style timelines).
+    pub fn enable_tracing(&self) {
+        self.state.lock().tracing = true;
+    }
+
+    /// Snapshot of the recorded trace.
+    pub fn trace(&self) -> Vec<TraceSegment> {
+        self.state.lock().trace.clone()
+    }
+
+    /// Export the trace as Chrome trace-event JSON (`chrome://tracing`
+    /// / Perfetto-compatible), one row per process/resource — the
+    /// distributed analogue of the paper's Fig. 3 TensorFlow Timeline.
+    pub fn trace_chrome_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let st = self.state.lock();
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, seg) in st.trace.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"sim\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":\"{}\"}}",
+                esc(&seg.label),
+                seg.start * 1e6,
+                seg.dur * 1e6,
+                esc(&seg.track),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Per-resource busy seconds for the whole run, sorted descending —
+    /// the "where did the time go" utilization report.
+    pub fn resource_report(&self) -> Vec<(String, f64)> {
+        let st = self.state.lock();
+        let mut rows: Vec<(String, f64)> = st
+            .res_names
+            .iter()
+            .cloned()
+            .zip(st.res_busy.iter().copied())
+            .filter(|(_, busy)| *busy > 0.0)
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        rows
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        write!(f, "Sim({} procs)", st.procs.len())
+    }
+}
+
+/// A virtual condition variable usable only from sim processes.
+#[derive(Clone)]
+pub struct SimCondvar {
+    sim: Arc<Sim>,
+    id: usize,
+}
+
+impl SimCondvar {
+    /// Block the calling process until another process notifies.
+    ///
+    /// As with real condvars, callers must re-check their predicate in
+    /// a loop (a notify may wake several waiters).
+    pub fn wait(&self) {
+        let me = current().expect("SimCondvar::wait outside a sim process");
+        assert!(
+            Arc::ptr_eq(&me.sim, &self.sim),
+            "condvar used across simulations"
+        );
+        let mut st = self.sim.state.lock();
+        let id = me.id;
+        debug_assert_eq!(st.running, Some(id));
+        st.procs[id].status = Status::Blocked;
+        let cv_name = st.cv_names[self.id].clone();
+        st.procs[id].waiting_on = Some(cv_name);
+        st.cv_waiters[self.id].push(id);
+        st.running = None;
+        Sim::schedule(&mut st);
+        self.sim.cv.notify_all();
+        while st.running != Some(id) && !st.deadlock {
+            self.sim.cv.wait(&mut st);
+        }
+        if st.deadlock && st.running != Some(id) {
+            drop(st);
+            panic!("simulation aborted");
+        }
+        st.procs[id].waiting_on = None;
+    }
+
+    /// Wake every waiter; their clocks jump to at least the notifier's.
+    pub fn notify_all(&self) {
+        let me = current().expect("SimCondvar::notify_all outside a sim process");
+        let mut st = self.sim.state.lock();
+        let now = st.procs[me.id].time;
+        let waiters = std::mem::take(&mut st.cv_waiters[self.id]);
+        for w in waiters {
+            st.procs[w].status = Status::Ready;
+            st.procs[w].time = st.procs[w].time.max(now);
+        }
+    }
+
+    /// Wake the longest-waiting process, if any.
+    pub fn notify_one(&self) {
+        let me = current().expect("SimCondvar::notify_one outside a sim process");
+        let mut st = self.sim.state.lock();
+        let now = st.procs[me.id].time;
+        if !st.cv_waiters[self.id].is_empty() {
+            let w = st.cv_waiters[self.id].remove(0);
+            st.procs[w].status = Status::Ready;
+            st.procs[w].time = st.procs[w].time.max(now);
+        }
+    }
+}
+
+/// A shared hardware resource that serializes use in virtual-time
+/// (FIFO) order — the contention primitive of the whole simulator.
+#[derive(Clone)]
+pub struct SimResource {
+    sim: Arc<Sim>,
+    id: usize,
+}
+
+impl SimResource {
+    /// Occupy the resource for `duration` virtual seconds, queueing
+    /// behind earlier users. Advances the calling process to the end of
+    /// its occupancy and returns the start time of the occupancy.
+    pub fn acquire_for(&self, duration: f64) -> f64 {
+        assert!(duration >= 0.0);
+        let me = current().expect("SimResource::acquire_for outside a sim process");
+        assert!(
+            Arc::ptr_eq(&me.sim, &self.sim),
+            "resource used across simulations"
+        );
+        let start;
+        {
+            let mut st = self.sim.state.lock();
+            let now = st.procs[me.id].time;
+            start = st.res_available[self.id].max(now);
+            st.res_available[self.id] = start + duration;
+            st.res_busy[self.id] += duration;
+            if st.tracing && duration > 0.0 {
+                let seg = TraceSegment {
+                    track: st.res_names[self.id].clone(),
+                    label: st.procs[me.id].name.clone(),
+                    start,
+                    dur: duration,
+                };
+                st.trace.push(seg);
+            }
+            let wait = start + duration - now;
+            drop(st);
+            me.advance(wait);
+        }
+        start
+    }
+
+    /// Reserve the resource for `duration` virtual seconds *without
+    /// blocking the caller*: the occupancy is appended after existing
+    /// reservations and the end time returned. Used for pipelined
+    /// transfers where a message occupies several resources
+    /// concurrently — the caller advances to the max end across stages.
+    pub fn reserve(&self, duration: f64) -> f64 {
+        assert!(duration >= 0.0);
+        let me = current().expect("SimResource::reserve outside a sim process");
+        assert!(
+            Arc::ptr_eq(&me.sim, &self.sim),
+            "resource used across simulations"
+        );
+        let mut st = self.sim.state.lock();
+        let now = st.procs[me.id].time;
+        let start = st.res_available[self.id].max(now);
+        st.res_available[self.id] = start + duration;
+        st.res_busy[self.id] += duration;
+        if st.tracing && duration > 0.0 {
+            let seg = TraceSegment {
+                track: st.res_names[self.id].clone(),
+                label: st.procs[me.id].name.clone(),
+                start,
+                dur: duration,
+            };
+            st.trace.push(seg);
+        }
+        start + duration
+    }
+
+    /// Next instant the resource is free (diagnostics).
+    pub fn available_at(&self) -> f64 {
+        self.sim.state.lock().res_available[self.id]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn single_proc_advances() {
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            let me = current().unwrap();
+            me.advance(1.5);
+            me.advance(0.5);
+            assert!((me.now() - 2.0).abs() < 1e-12);
+        });
+        let end = sim.run();
+        assert!((end - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn processes_interleave_in_time_order() {
+        let sim = Sim::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (name, step) in [("fast", 1.0f64), ("slow", 3.0)] {
+            let order = Arc::clone(&order);
+            sim.spawn(name, move || {
+                let me = current().unwrap();
+                for _ in 0..3 {
+                    me.advance(step);
+                    order.lock().push((name, me.now()));
+                }
+            });
+        }
+        sim.run();
+        let order = order.lock();
+        // Events must be recorded in nondecreasing virtual time.
+        for w in order.windows(2) {
+            assert!(w[0].1 <= w[1].1, "{order:?}");
+        }
+        // fast at t=1,2,3 and slow at t=3: fast events come first.
+        assert_eq!(order[0], ("fast", 1.0));
+        assert_eq!(order[1], ("fast", 2.0));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run_once = || {
+            let sim = Sim::new();
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for i in 0..4u64 {
+                let log = Arc::clone(&log);
+                sim.spawn(&format!("p{i}"), move || {
+                    let me = current().unwrap();
+                    for k in 0..5 {
+                        me.advance(0.1 * (i + 1) as f64);
+                        log.lock().push((i, k, (me.now() * 1e9) as u64));
+                    }
+                });
+            }
+            sim.run();
+            let v = log.lock().clone();
+            v
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn condvar_wakes_at_notifier_time() {
+        let sim = Sim::new();
+        let cv = sim.condvar("data-ready");
+        let flag = Arc::new(AtomicUsize::new(0));
+        {
+            let cv = cv.clone();
+            let flag = Arc::clone(&flag);
+            sim.spawn("consumer", move || {
+                let me = current().unwrap();
+                while flag.load(Ordering::SeqCst) == 0 {
+                    cv.wait();
+                }
+                // Producer notified at t=5; our clock must have jumped.
+                assert!(me.now() >= 5.0);
+            });
+        }
+        {
+            let cv = cv.clone();
+            let flag = Arc::clone(&flag);
+            sim.spawn("producer", move || {
+                let me = current().unwrap();
+                me.advance(5.0);
+                flag.store(1, Ordering::SeqCst);
+                cv.notify_all();
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn resource_serializes_fifo() {
+        let sim = Sim::new();
+        let res = sim.resource("pcie");
+        let spans = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let res = res.clone();
+            let spans = Arc::clone(&spans);
+            sim.spawn(&format!("w{i}"), move || {
+                let me = current().unwrap();
+                let start = res.acquire_for(2.0);
+                spans.lock().push((start, me.now()));
+            });
+        }
+        let end = sim.run();
+        assert!((end - 6.0).abs() < 1e-9);
+        let spans = spans.lock();
+        // Non-overlapping: starts at 0, 2, 4.
+        let mut starts: Vec<f64> = spans.iter().map(|s| s.0).collect();
+        starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(starts, vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn all_blocked_is_deadlock() {
+        let sim = Sim::new();
+        let cv = sim.condvar("never");
+        sim.spawn("stuck", move || {
+            cv.wait();
+        });
+        sim.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn process_panic_aborts_run() {
+        let sim = Sim::new();
+        sim.spawn("boom", || panic!("kernel exploded"));
+        sim.run();
+    }
+
+    #[test]
+    fn spawn_from_inside_inherits_time() {
+        let sim = Sim::new();
+        let child_start = Arc::new(Mutex::new(0.0f64));
+        {
+            let cs = Arc::clone(&child_start);
+            let sim2 = Arc::clone(&sim);
+            sim.spawn("parent", move || {
+                let me = current().unwrap();
+                me.advance(7.0);
+                let cs = Arc::clone(&cs);
+                sim2.spawn("child", move || {
+                    *cs.lock() = current().unwrap().now();
+                });
+            });
+        }
+        sim.run();
+        assert!((*child_start.lock() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let sim = Sim::new();
+        {
+            let sim2 = Arc::clone(&sim);
+            sim.spawn("c", move || {
+                sim2.count("bytes", 100.0);
+                sim2.count("bytes", 28.0);
+            });
+        }
+        sim.run();
+        assert_eq!(sim.counter("bytes"), 128.0);
+        assert_eq!(sim.counter("missing"), 0.0);
+    }
+
+    #[test]
+    fn resource_report_sorts_by_busy() {
+        let sim = Sim::new();
+        let a = sim.resource("pcie");
+        let b = sim.resource("nic");
+        let _idle = sim.resource("eth");
+        {
+            let (a, b) = (a.clone(), b.clone());
+            sim.spawn("u", move || {
+                a.acquire_for(1.0);
+                b.acquire_for(3.0);
+            });
+        }
+        sim.run();
+        let report = sim.resource_report();
+        assert_eq!(report.len(), 2); // idle resources omitted
+        assert_eq!(report[0].0, "nic");
+        assert!((report[0].1 - 3.0).abs() < 1e-12);
+        assert_eq!(report[1].0, "pcie");
+    }
+
+    #[test]
+    fn tracing_records_segments_and_exports_json() {
+        let sim = Sim::new();
+        sim.enable_tracing();
+        let res = sim.resource("gpu0.stream");
+        {
+            let res = res.clone();
+            sim.spawn("worker", move || {
+                let me = current().unwrap();
+                me.advance(0.5);
+                res.acquire_for(1.0);
+            });
+        }
+        sim.run();
+        let trace = sim.trace();
+        assert!(trace
+            .iter()
+            .any(|s| s.track == "worker" && s.label == "work" && s.dur == 0.5));
+        assert!(trace
+            .iter()
+            .any(|s| s.track == "gpu0.stream" && s.label == "worker" && s.dur == 1.0));
+        let json = sim.trace_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("gpu0.stream"));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn tracing_off_by_default() {
+        let sim = Sim::new();
+        sim.spawn("p", || {
+            current().unwrap().advance(1.0);
+        });
+        sim.run();
+        assert!(sim.trace().is_empty());
+    }
+
+    #[test]
+    fn resource_busy_tracks_utilization() {
+        let sim = Sim::new();
+        let res = sim.resource("nic");
+        {
+            let res = res.clone();
+            sim.spawn("u", move || {
+                res.acquire_for(1.25);
+                res.acquire_for(0.75);
+            });
+        }
+        sim.run();
+        assert!((sim.resource_busy(&res) - 2.0).abs() < 1e-12);
+    }
+}

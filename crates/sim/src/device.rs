@@ -1,0 +1,245 @@
+//! Analytic device performance models.
+//!
+//! Kernels report a [`Cost`] (flops and bytes touched); a
+//! [`DeviceModel`] converts that into virtual seconds using a
+//! roofline-style bound: `time = max(flops/peak, bytes/bandwidth) +
+//! launch overhead`. Peaks carry per-kernel-class efficiency factors
+//! calibrated against published GEMM/FFT numbers for the paper's GPUs
+//! (see `platform.rs` and `EXPERIMENTS.md`).
+
+/// Resource demand of one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Floating-point operations performed.
+    pub flops: f64,
+    /// Bytes read + written in device memory.
+    pub bytes: f64,
+    /// Kernel class, selecting the efficiency factor.
+    pub class: KernelClass,
+}
+
+/// Broad kernel classes with distinct achievable-efficiency profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelClass {
+    /// Dense matrix-matrix multiply (compute bound, high efficiency).
+    Gemm,
+    /// Matrix-vector / dot / axpy (memory-bandwidth bound).
+    #[default]
+    Blas1,
+    /// Fast Fourier transforms (latency + bandwidth sensitive).
+    Fft,
+    /// Everything else (elementwise, copies).
+    Elementwise,
+}
+
+impl Cost {
+    /// A pure-flops cost.
+    pub fn flops(flops: f64, class: KernelClass) -> Cost {
+        Cost {
+            flops,
+            bytes: 0.0,
+            class,
+        }
+    }
+
+    /// A pure-bandwidth cost.
+    pub fn bytes(bytes: f64) -> Cost {
+        Cost {
+            flops: 0.0,
+            bytes,
+            class: KernelClass::Elementwise,
+        }
+    }
+
+    /// Zero cost (metadata ops).
+    pub fn zero() -> Cost {
+        Cost::default()
+    }
+}
+
+/// Kind of compute device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Host CPU socket.
+    Cpu,
+    /// GPU (or one GPU engine of a dual-engine card).
+    Gpu,
+}
+
+/// Performance description of one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    /// Human-readable name ("K420", "GK210", "V100", "E5-2690v3").
+    pub name: &'static str,
+    /// CPU or GPU.
+    pub kind: DeviceKind,
+    /// Peak single-precision Gflop/s.
+    pub sp_gflops: f64,
+    /// Peak double-precision Gflop/s.
+    pub dp_gflops: f64,
+    /// Achievable device-memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Device memory capacity in bytes.
+    pub mem_bytes: u64,
+    /// Fraction of peak reachable by dense GEMM.
+    pub gemm_eff: f64,
+    /// Fraction of peak reachable by FFT kernels.
+    pub fft_eff: f64,
+    /// Fraction of peak for BLAS-1 style kernels (further bounded by
+    /// memory bandwidth).
+    pub blas1_eff: f64,
+    /// Fixed per-kernel launch overhead, seconds.
+    pub launch_overhead_s: f64,
+}
+
+impl DeviceModel {
+    /// Virtual seconds to execute `cost` in the given precision
+    /// (`double = true` selects the DP peak).
+    pub fn kernel_time(&self, cost: &Cost, double_precision: bool) -> f64 {
+        let peak_gflops = if double_precision {
+            self.dp_gflops
+        } else {
+            self.sp_gflops
+        };
+        let eff = match cost.class {
+            KernelClass::Gemm => self.gemm_eff,
+            KernelClass::Fft => self.fft_eff,
+            KernelClass::Blas1 => self.blas1_eff,
+            KernelClass::Elementwise => self.blas1_eff,
+        };
+        let flop_time = if cost.flops > 0.0 {
+            cost.flops / (peak_gflops * 1e9 * eff)
+        } else {
+            0.0
+        };
+        let mem_time = if cost.bytes > 0.0 {
+            cost.bytes / (self.mem_bw_gbs * 1e9)
+        } else {
+            0.0
+        };
+        self.launch_overhead_s + flop_time.max(mem_time)
+    }
+}
+
+/// NVIDIA Quadro K420 (Tegner's small GPU): 1 GB, modest Kepler part.
+pub fn k420() -> DeviceModel {
+    DeviceModel {
+        name: "K420",
+        kind: DeviceKind::Gpu,
+        sp_gflops: 300.0,
+        dp_gflops: 12.5,
+        mem_bw_gbs: 29.0,
+        mem_bytes: 1 << 30,
+        gemm_eff: 0.70,
+        fft_eff: 0.10,
+        blas1_eff: 0.80,
+        launch_overhead_s: 12e-6,
+    }
+}
+
+/// One GK210 engine — half of a Tesla K80 board. The paper exposes each
+/// engine to its own TensorFlow instance, so this is the unit "GPU".
+pub fn gk210() -> DeviceModel {
+    DeviceModel {
+        name: "GK210",
+        kind: DeviceKind::Gpu,
+        sp_gflops: 2800.0,
+        dp_gflops: 935.0,
+        mem_bw_gbs: 170.0,
+        mem_bytes: 12 << 30,
+        // Achievable through the data-driven pipeline (well below the
+        // cuBLAS peak: per-tile launches, no double buffering).
+        gemm_eff: 0.50,
+        fft_eff: 0.12,
+        blas1_eff: 0.85,
+        launch_overhead_s: 10e-6,
+    }
+}
+
+/// Tesla V100 (PCIe, 16 GB).
+pub fn v100() -> DeviceModel {
+    DeviceModel {
+        name: "V100",
+        kind: DeviceKind::Gpu,
+        sp_gflops: 14000.0,
+        dp_gflops: 7000.0,
+        mem_bw_gbs: 780.0,
+        mem_bytes: 16 << 30,
+        gemm_eff: 0.85,
+        fft_eff: 0.15,
+        blas1_eff: 0.90,
+        launch_overhead_s: 8e-6,
+    }
+}
+
+/// Host CPU node model (dual-socket Haswell/Broadwell Xeon of the two
+/// systems; bandwidth is the node-level STREAM aggregate).
+pub fn xeon_haswell() -> DeviceModel {
+    DeviceModel {
+        name: "E5-2690",
+        kind: DeviceKind::Cpu,
+        sp_gflops: 800.0,
+        dp_gflops: 400.0,
+        mem_bw_gbs: 110.0,
+        mem_bytes: 256 << 30,
+        gemm_eff: 0.75,
+        fft_eff: 0.20,
+        blas1_eff: 0.80,
+        launch_overhead_s: 1e-6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_time_scales_with_flops() {
+        let dev = gk210();
+        let t1 = dev.kernel_time(&Cost::flops(1e12, KernelClass::Gemm), false);
+        let t2 = dev.kernel_time(&Cost::flops(2e12, KernelClass::Gemm), false);
+        assert!(t2 > t1 * 1.9 && t2 < t1 * 2.1);
+        // 1 Tflop at 2.8 Tflop/s * 0.50 eff ≈ 0.71 s
+        assert!((t1 - 1e12 / (2800e9 * 0.50)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn memory_bound_kernel_uses_bandwidth() {
+        let dev = gk210();
+        // A pure-streaming cost: 1.7 GB at 170 GB/s = 10 ms.
+        let t = dev.kernel_time(&Cost::bytes(1.7e9), true);
+        assert!((t - 0.01).abs() < 1e-4, "t={t}");
+    }
+
+    #[test]
+    fn roofline_takes_max_of_bounds() {
+        let dev = k420();
+        let cost = Cost {
+            flops: 1e9,
+            bytes: 1e9,
+            class: KernelClass::Blas1,
+        };
+        // DP on K420 is tiny (12.5 Gflop/s): flop-bound dominates.
+        let t_dp = dev.kernel_time(&cost, true);
+        assert!(t_dp > 1e9 / (12.5e9) * 0.9);
+        // SP: memory-bound dominates (1 GB / 29 GB/s ≈ 34 ms).
+        let t_sp = dev.kernel_time(&cost, false);
+        assert!((t_sp - 1e9 / 29e9).abs() < 5e-3);
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_kernels() {
+        let dev = v100();
+        let t = dev.kernel_time(&Cost::zero(), false);
+        assert!((t - 8e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_peaks_ordered_as_expected() {
+        assert!(v100().sp_gflops > gk210().sp_gflops);
+        assert!(gk210().sp_gflops > k420().sp_gflops);
+        assert!(v100().mem_bw_gbs > gk210().mem_bw_gbs);
+        // K420 has 1 GB only — the paper had to shrink tiles for it.
+        assert_eq!(k420().mem_bytes, 1 << 30);
+    }
+}

@@ -1,0 +1,262 @@
+//! Transport cost models for the three protocols the paper benchmarks.
+//!
+//! The decisive mechanics (paper §VI-A):
+//!
+//! * **RDMA (InfiniBand Verbs)** transfers from registered host buffers
+//!   and *pipelines* chunked GPU staging with wire transfer, so the
+//!   effective bandwidth is the **minimum** stage bandwidth — PCIe
+//!   staging (~1.3–2.4 GB/s without GPUDirect) for GPU-resident
+//!   tensors, near line rate for host-resident ones.
+//! * **MPI** (as configured by TensorFlow's MPI module on systems
+//!   without GPUDirect) copies and serializes tensors to host memory
+//!   before sending — a **store-and-forward** chain whose per-stage
+//!   times add up, which is why it lands around 300–500 MB/s.
+//! * **gRPC** adds protobuf serialization at both ends and, on Tegner,
+//!   resolves to the Ethernet management network, capping it at
+//!   ~110 MB/s; on Kebnekaise it rides IPoIB and lands near MPI.
+
+use crate::des::{current, SimResource};
+
+/// Wire protocol used for tensor transfers between TensorFlow servers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Google RPC over the cluster's IP network.
+    Grpc,
+    /// MPI point-to-point with host staging.
+    Mpi,
+    /// InfiniBand Verbs RDMA.
+    Rdma,
+}
+
+impl Protocol {
+    /// All protocols, in the paper's Fig. 7 order.
+    pub const ALL: [Protocol; 3] = [Protocol::Grpc, Protocol::Mpi, Protocol::Rdma];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Grpc => "gRPC",
+            Protocol::Mpi => "MPI",
+            Protocol::Rdma => "RDMA",
+        }
+    }
+}
+
+/// One stage of a transfer path.
+#[derive(Clone)]
+pub struct PathStage {
+    /// Shared resource this stage serializes through (`None` for
+    /// uncontended host work such as serialization on the sender's own
+    /// cores).
+    pub resource: Option<SimResource>,
+    /// Stage bandwidth in GB/s.
+    pub gbs: f64,
+    /// Label for diagnostics.
+    pub label: &'static str,
+}
+
+/// A fully-resolved transfer path between two task locations.
+#[derive(Clone)]
+pub struct TransferModel {
+    /// Fixed software + wire latency per message, seconds.
+    pub latency_s: f64,
+    /// Pipelined (RDMA-style, bandwidth = min stage) versus
+    /// store-and-forward (per-stage times add).
+    pub pipelined: bool,
+    /// Ordered stages from source to destination.
+    pub stages: Vec<PathStage>,
+    /// Counter key incremented by transferred bytes (traffic report).
+    pub counter: Option<&'static str>,
+}
+
+impl TransferModel {
+    /// Execute a transfer of `bytes` from the calling sim process,
+    /// advancing virtual time and occupying shared resources. Returns
+    /// the modeled duration in seconds.
+    ///
+    /// Outside a simulation this is a no-op returning 0 (real-mode
+    /// transfers are plain memory movement performed by the caller).
+    pub fn transfer(&self, bytes: u64) -> f64 {
+        let Some(me) = current() else { return 0.0 };
+        if let Some(key) = self.counter {
+            me.sim().count(key, bytes as f64);
+        }
+        let t0 = me.now();
+        me.advance(self.latency_s);
+        if self.pipelined {
+            // Chunked pipelining: the message occupies every stage
+            // concurrently for that stage's share; wall time is the
+            // latest stage completion (the bottleneck when uncontended,
+            // later when a shared stage is queued behind other traffic).
+            let now = me.now();
+            let mut end = now;
+            for stage in &self.stages {
+                let dur = bytes as f64 / (stage.gbs * 1e9);
+                let stage_end = match &stage.resource {
+                    Some(res) => res.reserve(dur),
+                    None => now + dur,
+                };
+                end = end.max(stage_end);
+            }
+            me.advance(end - now);
+        } else {
+            for stage in &self.stages {
+                let dur = bytes as f64 / (stage.gbs * 1e9);
+                match &stage.resource {
+                    Some(res) => {
+                        res.acquire_for(dur);
+                    }
+                    None => me.advance(dur),
+                }
+            }
+        }
+        me.now() - t0
+    }
+
+    /// Modeled duration for `bytes` with zero contention (analytic,
+    /// no simulation needed) — used by tests and quick estimates.
+    pub fn uncontended_seconds(&self, bytes: u64) -> f64 {
+        let b = bytes as f64;
+        if self.pipelined {
+            let min_gbs = self
+                .stages
+                .iter()
+                .map(|s| s.gbs)
+                .fold(f64::INFINITY, f64::min);
+            self.latency_s + b / (min_gbs * 1e9)
+        } else {
+            self.latency_s
+                + self
+                    .stages
+                    .iter()
+                    .map(|s| b / (s.gbs * 1e9))
+                    .sum::<f64>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::Sim;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn stage(gbs: f64) -> PathStage {
+        PathStage {
+            resource: None,
+            gbs,
+            label: "s",
+        }
+    }
+
+    #[test]
+    fn pipelined_takes_min_stage() {
+        let m = TransferModel {
+            latency_s: 0.0,
+            pipelined: true,
+            stages: vec![stage(1.35), stage(6.2)],
+            counter: None,
+        };
+        let t = m.uncontended_seconds(1_350_000_000);
+        assert!((t - 1.0).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn store_and_forward_sums_stages() {
+        let m = TransferModel {
+            latency_s: 0.001,
+            pipelined: false,
+            stages: vec![stage(1.0), stage(1.0)],
+            counter: None,
+        };
+        let t = m.uncontended_seconds(1_000_000_000);
+        assert!((t - 2.001).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn transfer_counts_bytes() {
+        let sim = Sim::new();
+        let m = TransferModel {
+            latency_s: 0.0,
+            pipelined: true,
+            stages: vec![stage(1.0)],
+            counter: Some("bytes.rdma"),
+        };
+        {
+            let m = m.clone();
+            sim.spawn("s", move || {
+                m.transfer(1000);
+                m.transfer(500);
+            });
+        }
+        sim.run();
+        assert_eq!(sim.counter("bytes.rdma"), 1500.0);
+    }
+
+    #[test]
+    fn transfer_advances_sim_clock() {
+        let sim = Sim::new();
+        let res = sim.resource("nic");
+        let m = TransferModel {
+            latency_s: 0.5,
+            pipelined: false,
+            stages: vec![PathStage {
+                resource: Some(res),
+                gbs: 2.0,
+                label: "nic",
+            }],
+            counter: Some("bytes.test"),
+        };
+        let done = Arc::new(Mutex::new(0.0f64));
+        {
+            let done = Arc::clone(&done);
+            sim.spawn("sender", move || {
+                m.transfer(2_000_000_000); // 1 s at 2 GB/s + 0.5 s latency
+                *done.lock() = current().unwrap().now();
+            });
+        }
+        sim.run();
+        assert!((*done.lock() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_transfers_contend_on_shared_stage() {
+        let sim = Sim::new();
+        let res = sim.resource("nic");
+        let ends = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2 {
+            let m = TransferModel {
+                latency_s: 0.0,
+                pipelined: true,
+                stages: vec![PathStage {
+                    resource: Some(res.clone()),
+                    gbs: 1.0,
+                    label: "nic",
+                }],
+                counter: None,
+            };
+            let ends = Arc::clone(&ends);
+            sim.spawn(&format!("w{i}"), move || {
+                m.transfer(1_000_000_000);
+                ends.lock().push(current().unwrap().now());
+            });
+        }
+        let end = sim.run();
+        // Two 1-second transfers through one link: 2 s total.
+        assert!((end - 2.0).abs() < 1e-9);
+        let e = ends.lock();
+        assert!(e.contains(&1.0) && e.contains(&2.0));
+    }
+
+    #[test]
+    fn transfer_outside_sim_is_noop() {
+        let m = TransferModel {
+            latency_s: 1.0,
+            pipelined: true,
+            stages: vec![stage(1.0)],
+            counter: None,
+        };
+        assert_eq!(m.transfer(1 << 30), 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Lustre-like parallel file system model.
+//!
+//! The paper's matmul and FFT applications stream tiles from Lustre;
+//! tile reads are a first-class cost here. Each node owns a *client*
+//! resource (per-node achievable Lustre bandwidth, shared by every
+//! TensorFlow instance on the node — four on Kebnekaise K80 nodes!),
+//! and all nodes share the *server* aggregate bandwidth.
+
+use crate::des::{current, Sim, SimResource};
+use crate::platform::PfsSpec;
+use std::sync::Arc;
+
+/// Instantiated parallel file system.
+pub struct PfsSim {
+    spec: PfsSpec,
+    /// Aggregate OST bandwidth shared cluster-wide.
+    servers: SimResource,
+    /// Per-node client bandwidth.
+    clients: Vec<SimResource>,
+}
+
+impl PfsSim {
+    /// Instantiate for `n_nodes` nodes.
+    pub fn new(sim: &Arc<Sim>, spec: &PfsSpec, n_nodes: usize) -> PfsSim {
+        PfsSim {
+            spec: spec.clone(),
+            servers: sim.resource("lustre.servers"),
+            clients: (0..n_nodes)
+                .map(|n| sim.resource(&format!("n{n}.lustre.client")))
+                .collect(),
+        }
+    }
+
+    /// Model a file read of `bytes` into host memory of `node`,
+    /// advancing the calling process. Returns modeled seconds
+    /// (0 outside a simulation).
+    pub fn read(&self, node: usize, bytes: u64) -> f64 {
+        self.io(node, bytes)
+    }
+
+    /// Model a file write of `bytes` from host memory of `node`.
+    pub fn write(&self, node: usize, bytes: u64) -> f64 {
+        self.io(node, bytes)
+    }
+
+    fn io(&self, node: usize, bytes: u64) -> f64 {
+        let Some(me) = current() else { return 0.0 };
+        let t0 = me.now();
+        me.advance(self.spec.open_lat_s);
+        // Server side: charge occupancy at the aggregate rate (tiny per
+        // node unless many nodes hammer the OSTs at once).
+        self.servers
+            .acquire_for(bytes as f64 / (self.spec.aggregate_gbs * 1e9));
+        // Client side: the per-node pipe, where rank-level contention
+        // actually bites.
+        self.clients[node].acquire_for(bytes as f64 / (self.spec.client_gbs * 1e9));
+        me.now() - t0
+    }
+
+    /// Per-node client bandwidth, GB/s.
+    pub fn client_gbs(&self) -> f64 {
+        self.spec.client_gbs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    fn spec() -> PfsSpec {
+        PfsSpec {
+            client_gbs: 2.0,
+            aggregate_gbs: 8.0,
+            open_lat_s: 0.001,
+        }
+    }
+
+    #[test]
+    fn single_read_near_client_rate() {
+        let sim = Sim::new();
+        let pfs = Arc::new(PfsSim::new(&sim, &spec(), 2));
+        let dur = Arc::new(Mutex::new(0.0f64));
+        {
+            let pfs = Arc::clone(&pfs);
+            let dur = Arc::clone(&dur);
+            sim.spawn("reader", move || {
+                *dur.lock() = pfs.read(0, 2_000_000_000);
+            });
+        }
+        sim.run();
+        // 2 GB at client 2 GB/s (+0.25 s server share + 1 ms open)
+        let d = *dur.lock();
+        assert!((1.2..1.35).contains(&d), "read took {d}");
+    }
+
+    #[test]
+    fn same_node_readers_contend_on_client() {
+        let sim = Sim::new();
+        let pfs = Arc::new(PfsSim::new(&sim, &spec(), 2));
+        for i in 0..4 {
+            let pfs = Arc::clone(&pfs);
+            sim.spawn(&format!("r{i}"), move || {
+                pfs.read(0, 1_000_000_000);
+            });
+        }
+        let end = sim.run();
+        // Four 0.5 s reads through one 2 GB/s client: ≥ 2 s.
+        assert!(end >= 2.0, "end={end}");
+    }
+
+    #[test]
+    fn different_nodes_share_only_servers() {
+        let sim = Sim::new();
+        let pfs = Arc::new(PfsSim::new(&sim, &spec(), 4));
+        for i in 0..4 {
+            let pfs = Arc::clone(&pfs);
+            sim.spawn(&format!("r{i}"), move || {
+                pfs.read(i, 1_000_000_000);
+            });
+        }
+        let end = sim.run();
+        // Clients run in parallel (0.5 s each); servers serialize
+        // 4 x 0.125 s = 0.5 s of aggregate occupancy.
+        assert!(end < 1.2, "end={end}");
+    }
+
+    #[test]
+    fn noop_outside_sim() {
+        let sim = Sim::new();
+        let pfs = PfsSim::new(&sim, &spec(), 1);
+        assert_eq!(pfs.read(0, 123), 0.0);
+    }
+}

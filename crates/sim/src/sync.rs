@@ -1,0 +1,214 @@
+//! Higher-level synchronization for simulated processes: semaphores and
+//! barriers built on the DES kernel's condvars — the toolbox distributed
+//! protocols (and their tests) are written with.
+
+use crate::des::{current, Sim, SimCondvar};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A counting semaphore for sim processes.
+pub struct SimSemaphore {
+    permits: Mutex<usize>,
+    cv: SimCondvar,
+}
+
+impl SimSemaphore {
+    /// Semaphore with `permits` initial permits.
+    pub fn new(sim: &Arc<Sim>, name: &str, permits: usize) -> Arc<SimSemaphore> {
+        Arc::new(SimSemaphore {
+            permits: Mutex::new(permits),
+            cv: sim.condvar(&format!("sem:{name}")),
+        })
+    }
+
+    /// Acquire one permit, blocking in virtual time until available.
+    pub fn acquire(&self) {
+        loop {
+            {
+                let mut p = self.permits.lock();
+                if *p > 0 {
+                    *p -= 1;
+                    return;
+                }
+            }
+            self.cv.wait();
+        }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_acquire(&self) -> bool {
+        let mut p = self.permits.lock();
+        if *p > 0 {
+            *p -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release one permit, waking a waiter.
+    pub fn release(&self) {
+        *self.permits.lock() += 1;
+        if current().is_some() {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Permits currently available.
+    pub fn available(&self) -> usize {
+        *self.permits.lock()
+    }
+}
+
+/// A reusable barrier for a fixed party count: everyone's virtual clock
+/// leaves the barrier at the latest arrival time.
+pub struct SimBarrier {
+    parties: usize,
+    state: Mutex<BarrierState>,
+    cv: SimCondvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl SimBarrier {
+    /// Barrier for `parties` processes.
+    pub fn new(sim: &Arc<Sim>, name: &str, parties: usize) -> Arc<SimBarrier> {
+        assert!(parties > 0);
+        Arc::new(SimBarrier {
+            parties,
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: sim.condvar(&format!("barrier:{name}")),
+        })
+    }
+
+    /// Wait for all parties; returns true for exactly one "leader" per
+    /// round (the last arriver).
+    pub fn wait(&self) -> bool {
+        let my_generation;
+        {
+            let mut st = self.state.lock();
+            my_generation = st.generation;
+            st.arrived += 1;
+            if st.arrived == self.parties {
+                st.arrived = 0;
+                st.generation += 1;
+                drop(st);
+                self.cv.notify_all();
+                return true;
+            }
+        }
+        loop {
+            {
+                let st = self.state.lock();
+                if st.generation != my_generation {
+                    return false;
+                }
+            }
+            self.cv.wait();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::current;
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sim = Sim::new();
+        let sem = SimSemaphore::new(&sim, "slots", 2);
+        let peak = Arc::new(Mutex::new((0usize, 0usize))); // (current, peak)
+        for i in 0..5 {
+            let sem = Arc::clone(&sem);
+            let peak = Arc::clone(&peak);
+            sim.spawn(&format!("w{i}"), move || {
+                sem.acquire();
+                {
+                    let mut p = peak.lock();
+                    p.0 += 1;
+                    p.1 = p.1.max(p.0);
+                }
+                current().unwrap().advance(1.0);
+                peak.lock().0 -= 1;
+                sem.release();
+            });
+        }
+        let end = sim.run();
+        assert_eq!(peak.lock().1, 2, "at most two holders");
+        // 5 holders x 1 s through 2 slots: ceil(5/2) = 3 rounds.
+        assert!((end - 3.0).abs() < 1e-9, "end={end}");
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn try_acquire_never_blocks() {
+        let sim = Sim::new();
+        let sem = SimSemaphore::new(&sim, "s", 1);
+        {
+            let sem = Arc::clone(&sem);
+            sim.spawn("p", move || {
+                assert!(sem.try_acquire());
+                assert!(!sem.try_acquire());
+                sem.release();
+                assert!(sem.try_acquire());
+                sem.release();
+            });
+        }
+        sim.run();
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_to_latest_arrival() {
+        let sim = Sim::new();
+        let bar = SimBarrier::new(&sim, "b", 3);
+        let exits = Arc::new(Mutex::new(Vec::new()));
+        let leaders = Arc::new(Mutex::new(0usize));
+        for i in 0..3u64 {
+            let bar = Arc::clone(&bar);
+            let exits = Arc::clone(&exits);
+            let leaders = Arc::clone(&leaders);
+            sim.spawn(&format!("p{i}"), move || {
+                let me = current().unwrap();
+                me.advance(i as f64 + 1.0); // arrive at t = 1, 2, 3
+                if bar.wait() {
+                    *leaders.lock() += 1;
+                }
+                exits.lock().push(me.now());
+            });
+        }
+        sim.run();
+        // Everyone leaves at (or after) the last arrival, t = 3.
+        for t in exits.lock().iter() {
+            assert!(*t >= 3.0, "exit at {t}");
+        }
+        assert_eq!(*leaders.lock(), 1);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let sim = Sim::new();
+        let bar = SimBarrier::new(&sim, "b", 2);
+        let rounds = Arc::new(Mutex::new(0usize));
+        for i in 0..2 {
+            let bar = Arc::clone(&bar);
+            let rounds = Arc::clone(&rounds);
+            sim.spawn(&format!("p{i}"), move || {
+                for _ in 0..3 {
+                    current().unwrap().advance(0.5);
+                    if bar.wait() {
+                        *rounds.lock() += 1;
+                    }
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*rounds.lock(), 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Slurm hostlist expansion/compression (`t01n[01-03,05]` ⇄ names).
+
+/// Expand a compressed hostlist (`prefix[a-b,c]suffix` or a comma
+/// list of such expressions) into individual hostnames.
+pub fn expand(list: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for expr in split_top_level(list) {
+        expand_one(&expr, &mut out);
+    }
+    out
+}
+
+/// Split on commas that are not inside brackets.
+fn split_top_level(list: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in list.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    parts.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur.trim().to_string());
+    }
+    parts
+}
+
+fn expand_one(expr: &str, out: &mut Vec<String>) {
+    let Some(open) = expr.find('[') else {
+        out.push(expr.to_string());
+        return;
+    };
+    let Some(close) = expr[open..].find(']').map(|i| i + open) else {
+        out.push(expr.to_string());
+        return;
+    };
+    let prefix = &expr[..open];
+    let body = &expr[open + 1..close];
+    let suffix = &expr[close + 1..];
+    for range in body.split(',') {
+        match range.split_once('-') {
+            Some((lo, hi)) => {
+                let width = lo.len();
+                let (Ok(lo), Ok(hi)) = (lo.parse::<u64>(), hi.parse::<u64>()) else {
+                    out.push(expr.to_string());
+                    return;
+                };
+                for i in lo..=hi {
+                    out.push(format!("{prefix}{i:0width$}{suffix}"));
+                }
+            }
+            None => {
+                out.push(format!("{prefix}{range}{suffix}"));
+            }
+        }
+    }
+}
+
+/// Compress hostnames sharing a numeric-suffix pattern into Slurm's
+/// bracket form. Names that do not share the dominant prefix pass
+/// through verbatim.
+pub fn compress(hosts: &[String]) -> String {
+    if hosts.is_empty() {
+        return String::new();
+    }
+    // Group by (prefix, digit width).
+    let mut groups: Vec<(String, usize, Vec<u64>)> = Vec::new();
+    let mut literals: Vec<String> = Vec::new();
+    for h in hosts {
+        let digits_at = h
+            .char_indices()
+            .rev()
+            .take_while(|(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .min();
+        match digits_at {
+            Some(start) if start < h.len() => {
+                let prefix = h[..start].to_string();
+                let numpart = &h[start..];
+                let width = numpart.len();
+                let num: u64 = numpart.parse().unwrap_or(0);
+                if let Some(g) = groups
+                    .iter_mut()
+                    .find(|(p, w, _)| *p == prefix && *w == width)
+                {
+                    g.2.push(num);
+                } else {
+                    groups.push((prefix, width, vec![num]));
+                }
+            }
+            _ => literals.push(h.clone()),
+        }
+    }
+    let mut parts: Vec<String> = Vec::new();
+    for (prefix, width, mut nums) in groups {
+        nums.sort_unstable();
+        nums.dedup();
+        if nums.len() == 1 {
+            parts.push(format!("{prefix}{:0width$}", nums[0]));
+            continue;
+        }
+        let mut ranges: Vec<String> = Vec::new();
+        let mut lo = nums[0];
+        let mut hi = nums[0];
+        for &n in &nums[1..] {
+            if n == hi + 1 {
+                hi = n;
+            } else {
+                ranges.push(fmt_range(lo, hi, width));
+                lo = n;
+                hi = n;
+            }
+        }
+        ranges.push(fmt_range(lo, hi, width));
+        parts.push(format!("{prefix}[{}]", ranges.join(",")));
+    }
+    parts.extend(literals);
+    parts.join(",")
+}
+
+fn fmt_range(lo: u64, hi: u64, width: usize) -> String {
+    if lo == hi {
+        format!("{lo:0width$}")
+    } else {
+        format!("{lo:0width$}-{hi:0width$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn expand_simple_range() {
+        assert_eq!(
+            expand("t01n[01-03]"),
+            s(&["t01n01", "t01n02", "t01n03"])
+        );
+    }
+
+    #[test]
+    fn expand_mixed_ranges_and_singles() {
+        assert_eq!(
+            expand("gpu[1-2,5]"),
+            s(&["gpu1", "gpu2", "gpu5"])
+        );
+    }
+
+    #[test]
+    fn expand_plain_names_and_lists() {
+        assert_eq!(expand("login1"), s(&["login1"]));
+        assert_eq!(
+            expand("t01n[01-02],login1"),
+            s(&["t01n01", "t01n02", "login1"])
+        );
+    }
+
+    #[test]
+    fn compress_contiguous() {
+        assert_eq!(
+            compress(&s(&["t01n01", "t01n02", "t01n03"])),
+            "t01n[01-03]"
+        );
+    }
+
+    #[test]
+    fn compress_with_gap() {
+        assert_eq!(
+            compress(&s(&["n001", "n002", "n005"])),
+            "n[001-002,005]"
+        );
+    }
+
+    #[test]
+    fn compress_single_host() {
+        assert_eq!(compress(&s(&["t01n07"])), "t01n07");
+        assert_eq!(compress(&[]), "");
+    }
+
+    #[test]
+    fn roundtrip_expand_compress() {
+        for list in ["t01n[01-04]", "n[001-002,005]", "gpu[1-3]"] {
+            let hosts = expand(list);
+            assert_eq!(compress(&hosts), list, "roundtrip of {list}");
+            assert_eq!(expand(&compress(&hosts)), hosts);
+        }
+    }
+
+    #[test]
+    fn zero_padding_preserved() {
+        let hosts = expand("t01n[08-11]");
+        assert_eq!(hosts, s(&["t01n08", "t01n09", "t01n10", "t01n11"]));
+    }
+}

@@ -1,0 +1,180 @@
+//! Double-precision complex numbers (the paper's FFT element type).
+//!
+//! Implemented in-repo rather than pulling `num-complex`, keeping the
+//! workspace within the approved dependency set.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts (16 bytes —
+/// "complex double precision (128-bit)" in the paper's words).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Construct from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Zero.
+    pub const ZERO: Complex64 = Complex64::new(0.0, 0.0);
+    /// One.
+    pub const ONE: Complex64 = Complex64::new(1.0, 0.0);
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64::new(0.0, 1.0);
+
+    /// `e^{i theta}` — the FFT twiddle-factor primitive.
+    pub fn cis(theta: f64) -> Self {
+        Complex64::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Modulus |z|.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus |z|² (no sqrt).
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex64::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(3.0, -4.0);
+        assert!(close(z + Complex64::ZERO, z));
+        assert!(close(z * Complex64::ONE, z));
+        assert!(close(z - z, Complex64::ZERO));
+        assert!(close(z / z, Complex64::ONE));
+        assert!(close(-z + z, Complex64::ZERO));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn modulus_345() {
+        assert!((Complex64::new(3.0, 4.0).abs() - 5.0).abs() < 1e-15);
+        assert!((Complex64::new(3.0, 4.0).norm_sqr() - 25.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = Complex64::cis(std::f64::consts::PI / 2.0);
+        assert!(close(z, Complex64::I));
+        assert!((Complex64::cis(1.234).abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn conj_mul_is_norm() {
+        let z = Complex64::new(2.5, -1.5);
+        let n = z * z.conj();
+        assert!((n.re - z.norm_sqr()).abs() < 1e-12);
+        assert!(n.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn compound_assignment() {
+        let mut z = Complex64::new(1.0, 1.0);
+        z += Complex64::new(1.0, -1.0);
+        assert!(close(z, Complex64::new(2.0, 0.0)));
+        z *= Complex64::I;
+        assert!(close(z, Complex64::new(0.0, 2.0)));
+        z -= Complex64::I;
+        assert!(close(z, Complex64::I));
+    }
+}

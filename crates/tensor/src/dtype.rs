@@ -1,0 +1,127 @@
+//! Element types supported by tensors.
+
+use std::fmt;
+
+/// Element type of a tensor.
+///
+/// The four applications of the paper use `F32` (tiled matmul), `F64`
+/// (CG solver, STREAM) and `C128` (FFT); integer types carry dataset
+/// indices and shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Complex double precision (two f64: 16 bytes), the paper's FFT type.
+    C128,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// Unsigned byte.
+    U8,
+    /// Boolean.
+    Bool,
+}
+
+impl DType {
+    /// Size of one element in bytes (as stored on a device).
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F64 => 8,
+            DType::C128 => 16,
+            DType::I32 => 4,
+            DType::I64 => 8,
+            DType::U8 => 1,
+            DType::Bool => 1,
+        }
+    }
+
+    /// Whether the type is a floating-point (or complex) type.
+    pub fn is_floating(self) -> bool {
+        matches!(self, DType::F32 | DType::F64 | DType::C128)
+    }
+
+    /// Stable numeric id used by the wire format.
+    pub fn wire_id(self) -> u64 {
+        match self {
+            DType::F32 => 1,
+            DType::F64 => 2,
+            DType::C128 => 3,
+            DType::I32 => 4,
+            DType::I64 => 5,
+            DType::U8 => 6,
+            DType::Bool => 7,
+        }
+    }
+
+    /// Inverse of [`DType::wire_id`].
+    pub fn from_wire_id(id: u64) -> Option<DType> {
+        Some(match id {
+            1 => DType::F32,
+            2 => DType::F64,
+            3 => DType::C128,
+            4 => DType::I32,
+            5 => DType::I64,
+            6 => DType::U8,
+            7 => DType::Bool,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+            DType::C128 => "c128",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::U8 => "u8",
+            DType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [DType; 7] = [
+        DType::F32,
+        DType::F64,
+        DType::C128,
+        DType::I32,
+        DType::I64,
+        DType::U8,
+        DType::Bool,
+    ];
+
+    #[test]
+    fn sizes_match_ieee() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F64.size_bytes(), 8);
+        assert_eq!(DType::C128.size_bytes(), 16);
+    }
+
+    #[test]
+    fn wire_id_roundtrip() {
+        for dt in ALL {
+            assert_eq!(DType::from_wire_id(dt.wire_id()), Some(dt));
+        }
+        assert_eq!(DType::from_wire_id(0), None);
+        assert_eq!(DType::from_wire_id(99), None);
+    }
+
+    #[test]
+    fn floating_classification() {
+        assert!(DType::F32.is_floating());
+        assert!(DType::C128.is_floating());
+        assert!(!DType::I64.is_floating());
+        assert!(!DType::Bool.is_floating());
+    }
+}

@@ -1,0 +1,31 @@
+//! # tfhpc-tensor
+//!
+//! Dense n-dimensional tensors and the host math kernels behind every
+//! op in `tfhpc-core`. Mirrors the tensor model of the paper's
+//! framework: a tensor is an n-dimensional array of one of a fixed set
+//! of element types ([`DType`]), with a [`Shape`] and immutable
+//! contents (mutation happens by producing new tensors, except through
+//! `Variable`s at the framework layer).
+//!
+//! Two storage modes exist (see `DESIGN.md` §2):
+//!
+//! * **Dense** — a real, materialized buffer; all math executes on the
+//!   host through `tfhpc-parallel`.
+//! * **Synthetic** — shape/dtype/seed metadata without a payload, used
+//!   for supercomputer-scale simulated runs where materializing tens of
+//!   gigabytes is impossible. Math on synthetic tensors propagates
+//!   metadata; extracting values errors.
+
+pub mod complex;
+pub mod dtype;
+pub mod fft;
+pub mod matmul;
+pub mod ops;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use complex::Complex64;
+pub use dtype::DType;
+pub use shape::Shape;
+pub use tensor::{Storage, Tensor, TensorData, TensorError};

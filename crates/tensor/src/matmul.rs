@@ -1,0 +1,330 @@
+//! Blocked, parallel matrix multiplication and matrix-vector products.
+//!
+//! These are the host implementations behind the `MatMul`/`MatVec`
+//! graph ops — the same roles cuBLAS plays for the paper's GPU runs.
+
+use crate::tensor::{mix_seed, Storage, Tensor, TensorData, TensorError};
+use crate::Shape;
+use tfhpc_parallel::par_chunks_mut;
+
+/// Cache-block edge for the k/j dimensions of the micro-kernel.
+const BLOCK: usize = 64;
+
+fn mm_shapes(op: &'static str, a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize), TensorError> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "{op}: operands must be rank-2, got {} and {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    if a.dtype() != b.dtype() {
+        return Err(TensorError::DTypeMismatch {
+            op,
+            lhs: a.dtype(),
+            rhs: b.dtype(),
+        });
+    }
+    Ok((m, k, n))
+}
+
+/// `C = A · B` for rank-2 tensors (f32 or f64).
+///
+/// Parallelized over row panels of `C`; each panel uses a k-blocked
+/// j-vectorizable micro-kernel (i-k-j loop order, unit-stride inner
+/// loop) so the compiler can auto-vectorize.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = mm_shapes("matmul", a, b)?;
+    let out_shape = Shape::matrix(m, n);
+    match (a.storage(), b.storage()) {
+        (Storage::Synthetic { seed: sa }, _) | (_, Storage::Synthetic { seed: sa }) => {
+            let sb = b.synthetic_seed().or(a.synthetic_seed()).unwrap_or(0);
+            return Ok(Tensor::synthetic(
+                a.dtype(),
+                out_shape,
+                mix_seed(*sa, mix_seed(sb, 0xD0)),
+            ));
+        }
+        _ => {}
+    }
+    match (a.data()?, b.data()?) {
+        (TensorData::F32(av), TensorData::F32(bv)) => {
+            let mut c = vec![0f32; m * n];
+            par_chunks_mut(&mut c, n.max(1), |row, crow| {
+                gemm_row_f32(row, av, bv, crow, k, n);
+            });
+            Tensor::from_f32(out_shape, c)
+        }
+        (TensorData::F64(av), TensorData::F64(bv)) => {
+            let mut c = vec![0f64; m * n];
+            par_chunks_mut(&mut c, n.max(1), |row, crow| {
+                gemm_row_f64(row, av, bv, crow, k, n);
+            });
+            Tensor::from_f64(out_shape, c)
+        }
+        (other, _) => Err(TensorError::UnsupportedDType {
+            op: "matmul",
+            dtype: other.dtype(),
+        }),
+    }
+}
+
+fn gemm_row_f32(row: usize, a: &[f32], b: &[f32], crow: &mut [f32], k: usize, n: usize) {
+    let arow = &a[row * k..(row + 1) * k];
+    for kb in (0..k).step_by(BLOCK) {
+        let kend = (kb + BLOCK).min(k);
+        for (kk, &aik) in arow[kb..kend].iter().enumerate() {
+            let brow = &b[(kb + kk) * n..(kb + kk) * n + n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+fn gemm_row_f64(row: usize, a: &[f64], b: &[f64], crow: &mut [f64], k: usize, n: usize) {
+    let arow = &a[row * k..(row + 1) * k];
+    for kb in (0..k).step_by(BLOCK) {
+        let kend = (kb + BLOCK).min(k);
+        for (kk, &aik) in arow[kb..kend].iter().enumerate() {
+            let brow = &b[(kb + kk) * n..(kb + kk) * n + n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+/// `y = A · x` for a rank-2 `A` and rank-1 `x` (f64 or f32).
+pub fn matvec(a: &Tensor, x: &Tensor) -> Result<Tensor, TensorError> {
+    if a.shape().rank() != 2 || x.shape().rank() != 1 {
+        return Err(TensorError::InvalidArgument(format!(
+            "matvec: want rank-2 · rank-1, got {} · {}",
+            a.shape(),
+            x.shape()
+        )));
+    }
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    if x.shape().dim(0) != k {
+        return Err(TensorError::ShapeMismatch {
+            op: "matvec",
+            lhs: a.shape().clone(),
+            rhs: x.shape().clone(),
+        });
+    }
+    if a.dtype() != x.dtype() {
+        return Err(TensorError::DTypeMismatch {
+            op: "matvec",
+            lhs: a.dtype(),
+            rhs: x.dtype(),
+        });
+    }
+    if a.is_synthetic() || x.is_synthetic() {
+        let seed = mix_seed(
+            a.synthetic_seed().unwrap_or(3),
+            mix_seed(x.synthetic_seed().unwrap_or(4), 0xD1),
+        );
+        return Ok(Tensor::synthetic(a.dtype(), Shape::vector(m), seed));
+    }
+    match (a.data()?, x.data()?) {
+        (TensorData::F64(av), TensorData::F64(xv)) => {
+            let mut y = vec![0f64; m];
+            par_chunks_mut(&mut y, 64, |ci, yslice| {
+                let base = ci * 64;
+                for (i, yo) in yslice.iter_mut().enumerate() {
+                    let row = &av[(base + i) * k..(base + i + 1) * k];
+                    *yo = row.iter().zip(xv).map(|(a, b)| a * b).sum();
+                }
+            });
+            Tensor::from_f64(Shape::vector(m), y)
+        }
+        (TensorData::F32(av), TensorData::F32(xv)) => {
+            let mut y = vec![0f32; m];
+            par_chunks_mut(&mut y, 64, |ci, yslice| {
+                let base = ci * 64;
+                for (i, yo) in yslice.iter_mut().enumerate() {
+                    let row = &av[(base + i) * k..(base + i + 1) * k];
+                    *yo = row.iter().zip(xv).map(|(a, b)| a * b).sum::<f32>();
+                }
+            });
+            Tensor::from_f32(Shape::vector(m), y)
+        }
+        (other, _) => Err(TensorError::UnsupportedDType {
+            op: "matvec",
+            dtype: other.dtype(),
+        }),
+    }
+}
+
+/// Transpose a rank-2 tensor (blocked copy; synthetic passes through).
+pub fn transpose(a: &Tensor) -> Result<Tensor, TensorError> {
+    if a.shape().rank() != 2 {
+        return Err(TensorError::InvalidArgument(format!(
+            "transpose on rank-{} tensor",
+            a.shape().rank()
+        )));
+    }
+    let (m, n) = (a.shape().dim(0), a.shape().dim(1));
+    let out_shape = Shape::matrix(n, m);
+    if let Some(seed) = a.synthetic_seed() {
+        return Ok(Tensor::synthetic(a.dtype(), out_shape, mix_seed(seed, 0xD7)));
+    }
+    match a.data()? {
+        TensorData::F64(v) => {
+            let mut out = vec![0f64; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    out[j * m + i] = v[i * n + j];
+                }
+            }
+            Tensor::from_f64(out_shape, out)
+        }
+        TensorData::F32(v) => {
+            let mut out = vec![0f32; m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    out[j * m + i] = v[i * n + j];
+                }
+            }
+            Tensor::from_f32(out_shape, out)
+        }
+        other => Err(TensorError::UnsupportedDType {
+            op: "transpose",
+            dtype: other.dtype(),
+        }),
+    }
+}
+
+/// Naive reference multiply used by tests (no blocking, no parallelism).
+pub fn matmul_naive_f64(a: &[f64], b: &[f64], m: usize, k: usize, n: usize) -> Vec<f64> {
+    let mut c = vec![0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DType;
+
+    #[test]
+    fn identity_multiply() {
+        let eye = Tensor::from_f64([2, 2], vec![1., 0., 0., 1.]).unwrap();
+        let a = Tensor::from_f64([2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let c = matmul(&eye, &a).unwrap();
+        assert_eq!(c.as_f64().unwrap(), a.as_f64().unwrap());
+    }
+
+    #[test]
+    fn known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Tensor::from_f64([2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let b = Tensor::from_f64([2, 2], vec![5., 6., 7., 8.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_f64().unwrap(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn rectangular_matches_naive() {
+        let (m, k, n) = (17, 31, 23);
+        let a: Vec<f64> = (0..m * k).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let b: Vec<f64> = (0..k * n).map(|i| ((i * 11) % 17) as f64 - 8.0).collect();
+        let ta = Tensor::from_f64([m, k], a.clone()).unwrap();
+        let tb = Tensor::from_f64([k, n], b.clone()).unwrap();
+        let c = matmul(&ta, &tb).unwrap();
+        let want = matmul_naive_f64(&a, &b, m, k, n);
+        for (x, y) in c.as_f64().unwrap().iter().zip(&want) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn f32_product() {
+        let a = Tensor::from_f32([1, 3], vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_f32([3, 1], vec![4., 5., 6.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_f32().unwrap(), &[32.0]);
+        assert_eq!(c.shape().dims(), &[1, 1]);
+    }
+
+    #[test]
+    fn inner_dim_mismatch() {
+        let a = Tensor::from_f64([2, 3], vec![0.; 6]).unwrap();
+        let b = Tensor::from_f64([2, 2], vec![0.; 4]).unwrap();
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let a = Tensor::from_f64([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let x = Tensor::from_f64([3], vec![1., 0., -1.]).unwrap();
+        let y = matvec(&a, &x).unwrap();
+        assert_eq!(y.as_f64().unwrap(), &[-2., -2.]);
+    }
+
+    #[test]
+    fn matvec_large_rows_parallel() {
+        let m = 301;
+        let k = 17;
+        let a: Vec<f64> = (0..m * k).map(|i| (i % 5) as f64).collect();
+        let x: Vec<f64> = (0..k).map(|i| i as f64 * 0.5).collect();
+        let ta = Tensor::from_f64([m, k], a.clone()).unwrap();
+        let tx = Tensor::from_f64([k], x.clone()).unwrap();
+        let y = matvec(&ta, &tx).unwrap();
+        for i in 0..m {
+            let want: f64 = (0..k).map(|p| a[i * k + p] * x[p]).sum();
+            assert!((y.as_f64().unwrap()[i] - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_f64([2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.shape().dims(), &[3, 2]);
+        assert_eq!(t.as_f64().unwrap(), &[1., 4., 2., 5., 3., 6.]);
+        let tt = transpose(&t).unwrap();
+        assert_eq!(tt.as_f64().unwrap(), a.as_f64().unwrap());
+        // (AB)^T = B^T A^T
+        let b = Tensor::from_f64([3, 2], vec![1., 0., 0., 1., 2., 2.]).unwrap();
+        let ab_t = transpose(&matmul(&a, &b).unwrap()).unwrap();
+        let bt_at = matmul(&transpose(&b).unwrap(), &transpose(&a).unwrap()).unwrap();
+        assert_eq!(ab_t.as_f64().unwrap(), bt_at.as_f64().unwrap());
+        // synthetic + errors
+        assert!(transpose(&Tensor::synthetic(DType::F32, [8, 4], 1)).unwrap().is_synthetic());
+        assert!(transpose(&Tensor::zeros(DType::F64, [3])).is_err());
+    }
+
+    #[test]
+    fn synthetic_matmul_metadata_only() {
+        let a = Tensor::synthetic(DType::F32, [4096, 4096], 1);
+        let b = Tensor::synthetic(DType::F32, [4096, 4096], 2);
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.is_synthetic());
+        assert_eq!(c.shape().dims(), &[4096, 4096]);
+        let d = Tensor::from_f32([2, 4096], vec![0.; 2 * 4096]).unwrap();
+        let e = matmul(&d, &a).unwrap();
+        assert!(e.is_synthetic());
+        assert_eq!(e.shape().dims(), &[2, 4096]);
+    }
+}

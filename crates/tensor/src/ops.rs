@@ -1,0 +1,515 @@
+//! Elementwise math and reductions over tensors.
+//!
+//! All dense paths run data-parallel on the host pool; synthetic
+//! operands short-circuit into synthetic results with derived seeds so
+//! simulation-scale graphs execute the same control flow without
+//! materializing payloads.
+
+use crate::complex::Complex64;
+use crate::tensor::{mix_seed, Storage, Tensor, TensorData, TensorError};
+use crate::DType;
+use tfhpc_parallel::{default_chunk, par_chunks_mut, parallel_reduce};
+
+fn binary_shape_check(op: &'static str, a: &Tensor, b: &Tensor) -> Result<(), TensorError> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op,
+            lhs: a.shape().clone(),
+            rhs: b.shape().clone(),
+        });
+    }
+    if a.dtype() != b.dtype() {
+        return Err(TensorError::DTypeMismatch {
+            op,
+            lhs: a.dtype(),
+            rhs: b.dtype(),
+        });
+    }
+    Ok(())
+}
+
+fn synthetic_binary(op_tag: u64, a: &Tensor, b: &Tensor) -> Option<Tensor> {
+    let sa = match a.storage() {
+        Storage::Synthetic { seed } => Some(*seed),
+        Storage::Dense(_) => None,
+    };
+    let sb = match b.storage() {
+        Storage::Synthetic { seed } => Some(*seed),
+        Storage::Dense(_) => None,
+    };
+    if sa.is_none() && sb.is_none() {
+        return None;
+    }
+    let seed = mix_seed(sa.unwrap_or(0x5eed), mix_seed(sb.unwrap_or(0xfeed), op_tag));
+    Some(Tensor::synthetic(a.dtype(), a.shape().clone(), seed))
+}
+
+macro_rules! zip_elementwise {
+    ($name:ident, $op_tag:expr, $f32op:expr, $f64op:expr, $c128op:expr) => {
+        /// Elementwise operation over two same-shape, same-dtype tensors.
+        // The fn-typed locals exist so the macro accepts any closure
+        // literal per dtype; calling them immediately is the point.
+        #[allow(clippy::redundant_closure_call)]
+        pub fn $name(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+            binary_shape_check(stringify!($name), a, b)?;
+            if let Some(t) = synthetic_binary($op_tag, a, b) {
+                return Ok(t);
+            }
+            let n = a.num_elements();
+            let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+            match (a.data()?, b.data()?) {
+                (TensorData::F32(x), TensorData::F64(_)) => {
+                    let _ = x;
+                    unreachable!("dtype checked")
+                }
+                (TensorData::F32(x), TensorData::F32(y)) => {
+                    let mut out = vec![0f32; n];
+                    par_chunks_mut(&mut out, chunk, |ci, slice| {
+                        let start = ci * chunk;
+                        for (i, o) in slice.iter_mut().enumerate() {
+                            let f: fn(f32, f32) -> f32 = $f32op;
+                            *o = f(x[start + i], y[start + i]);
+                        }
+                    });
+                    Tensor::from_f32(a.shape().clone(), out)
+                }
+                (TensorData::F64(x), TensorData::F64(y)) => {
+                    let mut out = vec![0f64; n];
+                    par_chunks_mut(&mut out, chunk, |ci, slice| {
+                        let start = ci * chunk;
+                        for (i, o) in slice.iter_mut().enumerate() {
+                            let f: fn(f64, f64) -> f64 = $f64op;
+                            *o = f(x[start + i], y[start + i]);
+                        }
+                    });
+                    Tensor::from_f64(a.shape().clone(), out)
+                }
+                (TensorData::C128(x), TensorData::C128(y)) => {
+                    let mut out = vec![Complex64::ZERO; n];
+                    par_chunks_mut(&mut out, chunk, |ci, slice| {
+                        let start = ci * chunk;
+                        for (i, o) in slice.iter_mut().enumerate() {
+                            let f: fn(Complex64, Complex64) -> Complex64 = $c128op;
+                            *o = f(x[start + i], y[start + i]);
+                        }
+                    });
+                    Tensor::from_c128(a.shape().clone(), out)
+                }
+                (other, _) => Err(TensorError::UnsupportedDType {
+                    op: stringify!($name),
+                    dtype: other.dtype(),
+                }),
+            }
+        }
+    };
+}
+
+zip_elementwise!(add, 0xA0, |a, b| a + b, |a, b| a + b, |a, b| a + b);
+zip_elementwise!(sub, 0xA1, |a, b| a - b, |a, b| a - b, |a, b| a - b);
+zip_elementwise!(mul, 0xA2, |a, b| a * b, |a, b| a * b, |a, b| a * b);
+zip_elementwise!(div, 0xA3, |a, b| a / b, |a, b| a / b, |a, b| a / b);
+
+/// Elementwise negation.
+pub fn neg(a: &Tensor) -> Result<Tensor, TensorError> {
+    scale(a, -1.0)
+}
+
+/// Multiply every element by a real scalar.
+pub fn scale(a: &Tensor, s: f64) -> Result<Tensor, TensorError> {
+    if let Storage::Synthetic { seed } = a.storage() {
+        return Ok(Tensor::synthetic(
+            a.dtype(),
+            a.shape().clone(),
+            mix_seed(*seed, 0xB0 ^ s.to_bits()),
+        ));
+    }
+    let n = a.num_elements();
+    let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+    match a.data()? {
+        TensorData::F32(x) => {
+            let s32 = s as f32;
+            let mut out = vec![0f32; n];
+            par_chunks_mut(&mut out, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for (i, o) in slice.iter_mut().enumerate() {
+                    *o = x[start + i] * s32;
+                }
+            });
+            Tensor::from_f32(a.shape().clone(), out)
+        }
+        TensorData::F64(x) => {
+            let mut out = vec![0f64; n];
+            par_chunks_mut(&mut out, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for (i, o) in slice.iter_mut().enumerate() {
+                    *o = x[start + i] * s;
+                }
+            });
+            Tensor::from_f64(a.shape().clone(), out)
+        }
+        TensorData::C128(x) => {
+            let mut out = vec![Complex64::ZERO; n];
+            par_chunks_mut(&mut out, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for (i, o) in slice.iter_mut().enumerate() {
+                    *o = x[start + i].scale(s);
+                }
+            });
+            Tensor::from_c128(a.shape().clone(), out)
+        }
+        other => Err(TensorError::UnsupportedDType {
+            op: "scale",
+            dtype: other.dtype(),
+        }),
+    }
+}
+
+/// `alpha * x + y` (the BLAS axpy at the heart of CG updates).
+pub fn axpy(alpha: f64, x: &Tensor, y: &Tensor) -> Result<Tensor, TensorError> {
+    binary_shape_check("axpy", x, y)?;
+    if let Some(t) = synthetic_binary(0xB1 ^ alpha.to_bits(), x, y) {
+        return Ok(t);
+    }
+    let n = x.num_elements();
+    let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+    match (x.data()?, y.data()?) {
+        (TensorData::F64(xv), TensorData::F64(yv)) => {
+            let mut out = vec![0f64; n];
+            par_chunks_mut(&mut out, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for (i, o) in slice.iter_mut().enumerate() {
+                    *o = alpha * xv[start + i] + yv[start + i];
+                }
+            });
+            Tensor::from_f64(x.shape().clone(), out)
+        }
+        (TensorData::F32(xv), TensorData::F32(yv)) => {
+            let a32 = alpha as f32;
+            let mut out = vec![0f32; n];
+            par_chunks_mut(&mut out, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for (i, o) in slice.iter_mut().enumerate() {
+                    *o = a32 * xv[start + i] + yv[start + i];
+                }
+            });
+            Tensor::from_f32(x.shape().clone(), out)
+        }
+        (other, _) => Err(TensorError::UnsupportedDType {
+            op: "axpy",
+            dtype: other.dtype(),
+        }),
+    }
+}
+
+/// Deterministic pseudo-value standing in for a reduction over
+/// synthetic data: positive, O(1), and stable in the seed. Scalar
+/// reduction results are *materialized* even for synthetic inputs so
+/// that driver-side control flow (CG's alpha/beta updates, convergence
+/// bookkeeping) can execute at simulation scale.
+fn synthetic_scalar_value(seed: u64) -> f64 {
+    1.0 + (seed % 1024) as f64 / 1024.0
+}
+
+/// Dot product of two same-length float vectors; rank-0 result.
+///
+/// Synthetic inputs yield a *dense* pseudo-valued scalar (positive,
+/// O(1), deterministic in the operand seeds).
+pub fn dot(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    binary_shape_check("dot", a, b)?;
+    if synthetic_binary(0xC0, a, b).is_some() {
+        let seed = mix_seed(
+            a.synthetic_seed().unwrap_or(1),
+            b.synthetic_seed().unwrap_or(2),
+        );
+        let v = synthetic_scalar_value(seed);
+        return Ok(match a.dtype() {
+            DType::F32 => Tensor::scalar_f32(v as f32),
+            _ => Tensor::scalar_f64(v),
+        });
+    }
+    let n = a.num_elements();
+    let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+    match (a.data()?, b.data()?) {
+        (TensorData::F64(x), TensorData::F64(y)) => {
+            let s = parallel_reduce(
+                n,
+                chunk,
+                0f64,
+                |lo, hi| (lo..hi).map(|i| x[i] * y[i]).sum::<f64>(),
+                |p, q| p + q,
+            );
+            Ok(Tensor::scalar_f64(s))
+        }
+        (TensorData::F32(x), TensorData::F32(y)) => {
+            // Accumulate in f64 for reproducibility across chunkings.
+            let s = parallel_reduce(
+                n,
+                chunk,
+                0f64,
+                |lo, hi| (lo..hi).map(|i| x[i] as f64 * y[i] as f64).sum::<f64>(),
+                |p, q| p + q,
+            );
+            Ok(Tensor::scalar_f32(s as f32))
+        }
+        (other, _) => Err(TensorError::UnsupportedDType {
+            op: "dot",
+            dtype: other.dtype(),
+        }),
+    }
+}
+
+/// Sum of all elements; rank-0 result of the same dtype family.
+pub fn sum(a: &Tensor) -> Result<Tensor, TensorError> {
+    if let Storage::Synthetic { seed } = a.storage() {
+        let v = synthetic_scalar_value(mix_seed(*seed, 0xC1));
+        return Ok(match a.dtype() {
+            DType::F32 => Tensor::scalar_f32(v as f32),
+            DType::I64 => Tensor::scalar_i64(v as i64),
+            _ => Tensor::scalar_f64(v),
+        });
+    }
+    let n = a.num_elements();
+    let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+    match a.data()? {
+        TensorData::F64(x) => {
+            let s = parallel_reduce(
+                n,
+                chunk,
+                0f64,
+                |lo, hi| x[lo..hi].iter().sum::<f64>(),
+                |p, q| p + q,
+            );
+            Ok(Tensor::scalar_f64(s))
+        }
+        TensorData::F32(x) => {
+            let s = parallel_reduce(
+                n,
+                chunk,
+                0f64,
+                |lo, hi| x[lo..hi].iter().map(|v| *v as f64).sum::<f64>(),
+                |p, q| p + q,
+            );
+            Ok(Tensor::scalar_f32(s as f32))
+        }
+        TensorData::I64(x) => {
+            let s = parallel_reduce(
+                n,
+                chunk,
+                0i64,
+                |lo, hi| x[lo..hi].iter().sum::<i64>(),
+                |p, q| p + q,
+            );
+            Ok(Tensor::scalar_i64(s))
+        }
+        other => Err(TensorError::UnsupportedDType {
+            op: "sum",
+            dtype: other.dtype(),
+        }),
+    }
+}
+
+/// Euclidean norm of a float vector; rank-0 f64 result.
+pub fn norm2(a: &Tensor) -> Result<Tensor, TensorError> {
+    if let Storage::Synthetic { seed } = a.storage() {
+        return Ok(Tensor::scalar_f64(synthetic_scalar_value(mix_seed(
+            *seed, 0xC2,
+        ))));
+    }
+    let n = a.num_elements();
+    let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+    let ssq = match a.data()? {
+        TensorData::F64(x) => parallel_reduce(
+            n,
+            chunk,
+            0f64,
+            |lo, hi| x[lo..hi].iter().map(|v| v * v).sum::<f64>(),
+            |p, q| p + q,
+        ),
+        TensorData::F32(x) => parallel_reduce(
+            n,
+            chunk,
+            0f64,
+            |lo, hi| x[lo..hi].iter().map(|v| (*v as f64) * (*v as f64)).sum(),
+            |p, q| p + q,
+        ),
+        TensorData::C128(x) => parallel_reduce(
+            n,
+            chunk,
+            0f64,
+            |lo, hi| x[lo..hi].iter().map(|v| v.norm_sqr()).sum(),
+            |p, q| p + q,
+        ),
+        other => {
+            return Err(TensorError::UnsupportedDType {
+                op: "norm2",
+                dtype: other.dtype(),
+            })
+        }
+    };
+    Ok(Tensor::scalar_f64(ssq.sqrt()))
+}
+
+/// Maximum element of a float tensor; rank-0 f64 result.
+pub fn max(a: &Tensor) -> Result<Tensor, TensorError> {
+    if let Storage::Synthetic { seed } = a.storage() {
+        return Ok(Tensor::scalar_f64(synthetic_scalar_value(mix_seed(
+            *seed, 0xC3,
+        ))));
+    }
+    let n = a.num_elements();
+    if n == 0 {
+        return Err(TensorError::InvalidArgument("max of empty tensor".into()));
+    }
+    let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+    let m = match a.data()? {
+        TensorData::F64(x) => parallel_reduce(
+            n,
+            chunk,
+            f64::NEG_INFINITY,
+            |lo, hi| x[lo..hi].iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            f64::max,
+        ),
+        TensorData::F32(x) => parallel_reduce(
+            n,
+            chunk,
+            f64::NEG_INFINITY,
+            |lo, hi| {
+                x[lo..hi]
+                    .iter()
+                    .map(|v| *v as f64)
+                    .fold(f64::NEG_INFINITY, f64::max)
+            },
+            f64::max,
+        ),
+        other => {
+            return Err(TensorError::UnsupportedDType {
+                op: "max",
+                dtype: other.dtype(),
+            })
+        }
+    };
+    Ok(Tensor::scalar_f64(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t64(v: &[f64]) -> Tensor {
+        Tensor::from_f64([v.len()], v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul_div_f64() {
+        let a = t64(&[1., 2., 3., 4.]);
+        let b = t64(&[4., 3., 2., 1.]);
+        assert_eq!(add(&a, &b).unwrap().as_f64().unwrap(), &[5., 5., 5., 5.]);
+        assert_eq!(sub(&a, &b).unwrap().as_f64().unwrap(), &[-3., -1., 1., 3.]);
+        assert_eq!(mul(&a, &b).unwrap().as_f64().unwrap(), &[4., 6., 6., 4.]);
+        assert_eq!(div(&a, &b).unwrap().as_f64().unwrap(), &[0.25, 2. / 3., 1.5, 4.]);
+    }
+
+    #[test]
+    fn add_f32_and_c128() {
+        let a = Tensor::from_f32([2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_f32([2], vec![0.5, 0.5]).unwrap();
+        assert_eq!(add(&a, &b).unwrap().as_f32().unwrap(), &[1.5, 2.5]);
+        let ca = Tensor::from_c128([1], vec![Complex64::new(1.0, 2.0)]).unwrap();
+        let cb = Tensor::from_c128([1], vec![Complex64::new(0.0, -2.0)]).unwrap();
+        let s = add(&ca, &cb).unwrap();
+        assert_eq!(s.as_c128().unwrap()[0], Complex64::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn shape_and_dtype_mismatch() {
+        let a = t64(&[1., 2.]);
+        let b = t64(&[1., 2., 3.]);
+        assert!(matches!(
+            add(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+        let c = Tensor::from_f32([2], vec![1.0, 2.0]).unwrap();
+        assert!(matches!(
+            add(&a, &c),
+            Err(TensorError::DTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scale_and_neg() {
+        let a = t64(&[1., -2., 3.]);
+        assert_eq!(scale(&a, 2.0).unwrap().as_f64().unwrap(), &[2., -4., 6.]);
+        assert_eq!(neg(&a).unwrap().as_f64().unwrap(), &[-1., 2., -3.]);
+    }
+
+    #[test]
+    fn axpy_matches_formula() {
+        let x = t64(&[1., 2., 3.]);
+        let y = t64(&[10., 10., 10.]);
+        assert_eq!(
+            axpy(2.0, &x, &y).unwrap().as_f64().unwrap(),
+            &[12., 14., 16.]
+        );
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = t64(&[3., 4.]);
+        assert_eq!(dot(&a, &a).unwrap().scalar_value_f64().unwrap(), 25.0);
+        assert_eq!(norm2(&a).unwrap().scalar_value_f64().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn dot_large_parallel_consistent() {
+        let n = 100_000;
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.25).collect();
+        let t = Tensor::from_f64([n], x.clone()).unwrap();
+        let expect: f64 = x.iter().map(|v| v * v).sum();
+        let got = dot(&t, &t).unwrap().scalar_value_f64().unwrap();
+        assert!((got - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+
+    #[test]
+    fn sum_and_max() {
+        let a = t64(&[1., 5., -2.]);
+        assert_eq!(sum(&a).unwrap().scalar_value_f64().unwrap(), 4.0);
+        assert_eq!(max(&a).unwrap().scalar_value_f64().unwrap(), 5.0);
+        let i = Tensor::from_i64([3], vec![1, 2, 3]).unwrap();
+        assert_eq!(sum(&i).unwrap().scalar_value_i64().unwrap(), 6);
+    }
+
+    #[test]
+    fn synthetic_propagates() {
+        let a = Tensor::synthetic(DType::F64, [8], 1);
+        let b = Tensor::synthetic(DType::F64, [8], 2);
+        let c = add(&a, &b).unwrap();
+        assert!(c.is_synthetic());
+        assert_eq!(c.shape().dims(), &[8]);
+        // deterministic seeds
+        let c2 = add(&a, &b).unwrap();
+        assert_eq!(c.synthetic_seed(), c2.synthetic_seed());
+        // different op → different seed
+        let d = mul(&a, &b).unwrap();
+        assert_ne!(c.synthetic_seed(), d.synthetic_seed());
+        // scalar reductions are realized as dense pseudo-values so
+        // driver control flow works at simulation scale
+        let s = dot(&a, &b).unwrap();
+        assert!(!s.is_synthetic());
+        assert!(s.shape().is_scalar());
+        let v = s.scalar_value_f64().unwrap();
+        assert!((1.0..2.0).contains(&v));
+        // ... and are deterministic in the operand seeds
+        assert_eq!(dot(&a, &b).unwrap().scalar_value_f64().unwrap(), v);
+        assert!(!norm2(&a).unwrap().is_synthetic());
+        assert!(!sum(&a).unwrap().is_synthetic());
+        assert!(!max(&a).unwrap().is_synthetic());
+    }
+
+    #[test]
+    fn mixed_synthetic_dense_is_synthetic() {
+        let a = Tensor::synthetic(DType::F64, [2], 1);
+        let b = t64(&[1., 2.]);
+        assert!(add(&a, &b).unwrap().is_synthetic());
+        assert!(add(&b, &a).unwrap().is_synthetic());
+    }
+}

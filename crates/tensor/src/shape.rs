@@ -1,0 +1,170 @@
+//! Tensor shapes: dimension lists with row-major stride math.
+
+use std::fmt;
+
+/// The shape of a tensor: an ordered list of dimension sizes.
+///
+/// Rank 0 is a scalar, rank 1 a vector, rank 2 a matrix — exactly the
+/// tensor taxonomy the paper describes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Shape from a dimension list.
+    pub fn new(dims: impl Into<Vec<usize>>) -> Self {
+        Shape { dims: dims.into() }
+    }
+
+    /// The rank-0 scalar shape.
+    pub fn scalar() -> Self {
+        Shape { dims: vec![] }
+    }
+
+    /// A rank-1 shape of length `n`.
+    pub fn vector(n: usize) -> Self {
+        Shape { dims: vec![n] }
+    }
+
+    /// A rank-2 shape `rows x cols`.
+    pub fn matrix(rows: usize, cols: usize) -> Self {
+        Shape {
+            dims: vec![rows, cols],
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Size of dimension `i`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Total element count (1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True for rank-0 shapes.
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Linear offset of a multi-index; panics if out of range.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let strides = self.strides();
+        index
+            .iter()
+            .zip(&self.dims)
+            .zip(&strides)
+            .map(|((&i, &d), &s)| {
+                assert!(i < d, "index {i} out of range for dim of size {d}");
+                i * s
+            })
+            .sum()
+    }
+
+    /// Whether `self` can be reshaped into `other` (same element count).
+    pub fn reshape_compatible(&self, other: &Shape) -> bool {
+        self.num_elements() == other.num_elements()
+    }
+}
+
+impl fmt::Display for Shape {
+    /// Renders like `[3, 4]` / `[]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.num_elements(), 1);
+        assert!(s.is_scalar());
+        assert_eq!(s.to_string(), "[]");
+    }
+
+    #[test]
+    fn matrix_strides_row_major() {
+        let s = Shape::matrix(3, 4);
+        assert_eq!(s.strides(), vec![4, 1]);
+        assert_eq!(s.offset(&[0, 0]), 0);
+        assert_eq!(s.offset(&[1, 0]), 4);
+        assert_eq!(s.offset(&[2, 3]), 11);
+        assert_eq!(s.num_elements(), 12);
+    }
+
+    #[test]
+    fn rank3_strides() {
+        let s = Shape::new([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn offset_bounds_checked() {
+        Shape::matrix(2, 2).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn reshape_compat() {
+        assert!(Shape::matrix(6, 4).reshape_compatible(&Shape::new([2, 12])));
+        assert!(!Shape::matrix(6, 4).reshape_compatible(&Shape::vector(23)));
+    }
+
+    #[test]
+    fn display_matrix() {
+        assert_eq!(Shape::matrix(3, 4).to_string(), "[3, 4]");
+    }
+}

@@ -1,0 +1,64 @@
+//! Domain example: spectral analysis of a synthetic signal with the
+//! distributed FFT in *real* mode — tiles are transformed by workers,
+//! collected and merged by the merger, and the dominant frequencies are
+//! read off the assembled spectrum (signal processing, §IV's FFT
+//! motivation).
+//!
+//! Run with: `cargo run --release --example fft_signal`
+
+use tfhpc_apps::fft::{run_fft_with_store, FftConfig};
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::tegner_k80;
+
+fn main() {
+    let cfg = FftConfig {
+        log2_n: 13, // 8192-point signal
+        tiles: 8,
+        workers: 4,
+        protocol: Protocol::Grpc,
+        simulated: false,
+        merge_cost_factor: 0.0,
+    };
+    println!(
+        "distributed FFT of a 2^{} signal across {} workers ({} interleaved tiles)...",
+        cfg.log2_n, cfg.workers, cfg.tiles
+    );
+    let (report, store) = run_fft_with_store(&tegner_k80(), &cfg).expect("fft run");
+    println!(
+        "collection {:.4} s, total (incl. merge) {:.4} s",
+        report.collect_s, report.total_s
+    );
+
+    let spectrum = store.get(&[-1]).expect("merged spectrum");
+    let sv = spectrum.as_c128().expect("dense spectrum");
+    let n = sv.len();
+
+    // Top-3 spectral peaks (positive frequencies).
+    let mut peaks: Vec<(usize, f64)> = (1..n / 2).map(|k| (k, sv[k].abs())).collect();
+    peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\ndominant frequency bins (positive half):");
+    for (k, mag) in peaks.iter().take(3) {
+        println!("  bin {k:>5}  |X| = {mag:.1}  (f = {:.4} cycles/sample)", *k as f64 / n as f64);
+    }
+    // The generator mixes sin(0.37 t) and 0.5 cos(1.7 t) (plus an
+    // imaginary cos(0.11 t)): the bins nearest those frequencies must
+    // stand far above the spectrum's average level (leakage spreads
+    // each tone over a few neighbouring bins, so exact top-3 membership
+    // is not required).
+    let avg: f64 = sv.iter().map(|v| v.abs()).sum::<f64>() / n as f64;
+    for omega in [0.37f64, 1.7, 0.11] {
+        let f = omega / (2.0 * std::f64::consts::PI);
+        let bin = (f * n as f64).round() as usize;
+        let local = (bin.saturating_sub(1)..=bin + 1)
+            .map(|k| sv[k].abs())
+            .fold(0.0, f64::max);
+        println!(
+            "  tone omega={omega:.2} -> bin {bin}: |X| = {local:.1} (avg level {avg:.1})"
+        );
+        assert!(
+            local > 20.0 * avg,
+            "tone at omega={omega} not prominent: {local} vs avg {avg}"
+        );
+    }
+    println!("ok: spectrum shows the injected tones.");
+}

@@ -1,0 +1,238 @@
+//! `tfhpc` — command-line driver for the simulated experiments.
+//!
+//! ```text
+//! tfhpc platforms
+//! tfhpc stream  [--platform <p>] [--proto grpc|mpi|rdma] [--mb N] [--cpu]
+//! tfhpc matmul  [--platform <p>] [--n N] [--tile T] [--gpus G] [--proto ..]
+//! tfhpc cg      [--platform <p>] [--n N] [--gpus G] [--iters I] [--ring]
+//! tfhpc fft     [--platform <p>] [--log2n L] [--tiles T] [--gpus G]
+//! ```
+//!
+//! Platforms: `tegner-k420`, `tegner-k80`, `kebnekaise-k80`,
+//! `kebnekaise-v100`. Everything runs in virtual time on the modeled
+//! clusters; no GPUs required.
+
+use std::collections::HashMap;
+use tfhpc::apps::{
+    run_cg, run_fft, run_matmul, run_stream, CgConfig, CgReduction, FftConfig, MatmulConfig,
+    StreamConfig,
+};
+use tfhpc::sim::net::Protocol;
+use tfhpc::sim::platform::{self, Platform};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tfhpc <platforms|stream|matmul|cg|fft> [options]\n\
+         common options: --platform <tegner-k420|tegner-k80|kebnekaise-k80|kebnekaise-v100>\n\
+         \x20               --proto <grpc|mpi|rdma>\n\
+         stream: --mb <size MB> --cpu (host-resident tensors)\n\
+         matmul: --n <dim> --tile <dim> --gpus <workers>\n\
+         cg:     --n <dim> --gpus <workers> --iters <k> --ring (allreduce)\n\
+         fft:    --log2n <L> --tiles <T> --gpus <workers>"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> (HashMap<String, String>, Vec<String>) {
+    let mut flags = HashMap::new();
+    let mut bare = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            // Boolean flags take no value; valued flags consume the next arg.
+            let boolean = matches!(name, "cpu" | "ring");
+            if boolean {
+                flags.insert(name.to_string(), "true".to_string());
+            } else {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    eprintln!("flag --{name} needs a value");
+                    usage();
+                };
+                flags.insert(name.to_string(), v.clone());
+            }
+        } else {
+            bare.push(a.clone());
+        }
+        i += 1;
+    }
+    (flags, bare)
+}
+
+fn platform_by_name(name: &str) -> Option<Platform> {
+    match name {
+        "tegner-k420" => Some(platform::tegner_k420()),
+        "tegner-k80" => Some(platform::tegner_k80()),
+        "kebnekaise-k80" => Some(platform::kebnekaise_k80()),
+        "kebnekaise-v100" => Some(platform::kebnekaise_v100()),
+        _ => None,
+    }
+}
+
+fn proto_by_name(name: &str) -> Option<Protocol> {
+    match name {
+        "grpc" => Some(Protocol::Grpc),
+        "mpi" => Some(Protocol::Mpi),
+        "rdma" => Some(Protocol::Rdma),
+        _ => None,
+    }
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags
+        .get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else { usage() };
+    let (flags, _bare) = parse_flags(&args[1..]);
+
+    if cmd == "platforms" {
+        println!("{:<18} {:<8} {:>10} {:>16}", "name", "gpu", "gpus/node", "tf-instances");
+        for (name, p) in [
+            ("tegner-k420", platform::tegner_k420()),
+            ("tegner-k80", platform::tegner_k80()),
+            ("kebnekaise-k80", platform::kebnekaise_k80()),
+            ("kebnekaise-v100", platform::kebnekaise_v100()),
+        ] {
+            println!(
+                "{:<18} {:<8} {:>10} {:>16}",
+                name, p.node.gpu.name, p.node.gpus_per_node, p.node.tf_instances_per_node
+            );
+        }
+        return;
+    }
+
+    let platform = match platform_by_name(
+        flags.get("platform").map(String::as_str).unwrap_or("tegner-k80"),
+    ) {
+        Some(p) => p,
+        None => {
+            eprintln!("unknown platform");
+            usage()
+        }
+    };
+    let proto = match proto_by_name(flags.get("proto").map(String::as_str).unwrap_or("rdma")) {
+        Some(p) => p,
+        None => {
+            eprintln!("unknown protocol");
+            usage()
+        }
+    };
+
+    match cmd.as_str() {
+        "stream" => {
+            let mb: u64 = get(&flags, "mb", 16);
+            let cfg = StreamConfig {
+                size_bytes: mb << 20,
+                invocations: 100,
+                on_gpu: !flags.contains_key("cpu"),
+                protocol: proto,
+                simulated: true,
+            };
+            let r = match run_stream(&platform, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "{} / {} / {} MB / {}: {:.0} MB/s ({:.4} s for 100 invocations)",
+                platform.label,
+                proto.name(),
+                mb,
+                if cfg.on_gpu { "GPU" } else { "CPU" },
+                r.mbs,
+                r.elapsed_s
+            );
+        }
+        "matmul" => {
+            let cfg = MatmulConfig {
+                n: get(&flags, "n", 32768),
+                tile: get(&flags, "tile", 8192),
+                workers: get(&flags, "gpus", 4),
+                reducers: 2,
+                protocol: proto,
+                simulated: true,
+                prefetch: 3,
+            };
+            let r = match run_matmul(&platform, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "{} / {}x{} / tiles {} / {} GPUs: {:.0} Gflop/s in {:.1} virtual s",
+                platform.label, cfg.n, cfg.n, cfg.tile, cfg.workers, r.gflops, r.elapsed_s
+            );
+        }
+        "cg" => {
+            let cfg = CgConfig {
+                n: get(&flags, "n", 32768),
+                workers: get(&flags, "gpus", 4),
+                iterations: get(&flags, "iters", 500),
+                protocol: proto,
+                simulated: true,
+                checkpoint_every: None,
+                resume: false,
+                reduction: if flags.contains_key("ring") {
+                    CgReduction::Ring
+                } else {
+                    CgReduction::QueuePair
+                },
+            };
+            let r = match run_cg(&platform, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "{} / N={} / {} GPUs / {} iters / {:?}: {:.1} Gflop/s in {:.1} virtual s",
+                platform.label,
+                cfg.n,
+                cfg.workers,
+                cfg.iterations,
+                cfg.reduction,
+                r.gflops,
+                r.elapsed_s
+            );
+        }
+        "fft" => {
+            let cfg = FftConfig {
+                log2_n: get(&flags, "log2n", 31),
+                tiles: get(&flags, "tiles", 128),
+                workers: get(&flags, "gpus", 4),
+                protocol: proto,
+                simulated: true,
+                merge_cost_factor: 1.0,
+            };
+            let r = match run_fft(&platform, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "{} / 2^{} / {} tiles / {} GPUs: {:.1} Gflop/s (collect {:.1} s, total {:.1} s)",
+                platform.label,
+                cfg.log2_n,
+                cfg.tiles,
+                cfg.workers,
+                r.gflops,
+                r.collect_s,
+                r.total_s
+            );
+        }
+        _ => usage(),
+    }
+}

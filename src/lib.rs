@@ -1,0 +1,77 @@
+//! # tfhpc — TensorFlow-style dataflow for HPC, with a simulated
+//! heterogeneous supercomputer substrate
+//!
+//! A from-scratch Rust reproduction of *"TensorFlow Doing HPC: An
+//! Evaluation of TensorFlow Performance in HPC Applications"* (Chien et
+//! al., 2019). This facade crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — dense n-d tensors, host math kernels (GEMM, FFT,
+//!   BLAS-1), synthetic payloads for simulation-scale runs.
+//! * [`parallel`] — the scoped thread pool behind every CPU kernel.
+//! * [`proto`] — the protobuf-style wire format (GraphDefs,
+//!   checkpoints, 2 GB limit).
+//! * [`core`] — the dataflow framework: graphs, sessions, placement,
+//!   variables, FIFO queues, datasets, checkpoints, timelines.
+//! * [`sim`] — the discrete-event simulation of the paper's two
+//!   supercomputers (Tegner, Kebnekaise): device/network/PFS models.
+//! * [`slurm`] — the simulated workload manager.
+//! * [`dist`] — the distributed runtime: cluster specs, the Slurm
+//!   Cluster Resolver, servers, remote tensor ops, queue-pair reducers.
+//! * [`apps`] — the paper's four applications: STREAM, tiled matmul,
+//!   CG, FFT.
+//!
+//! ## Example
+//!
+//! The paper's Listing 1 — random matrices on the CPU, multiplied on
+//! the GPU, executed through a session:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tfhpc::core::{DeviceCtx, Graph, Placement, Resources, Session};
+//! use tfhpc::tensor::DType;
+//!
+//! let mut g = Graph::new();
+//! let (a, b) = g.with_device(Placement::Cpu, |g| {
+//!     (
+//!         g.random_uniform(DType::F32, [3, 3], 1),
+//!         g.random_uniform(DType::F32, [3, 3], 2),
+//!     )
+//! });
+//! let c = g.with_device(Placement::Gpu(0), |g| g.matmul(a, b));
+//!
+//! let sess = Session::new(Arc::new(g), Resources::new(), DeviceCtx::real(1));
+//! let ret_c = sess.run(&[c], &[]).unwrap();
+//! assert_eq!(ret_c[0].shape().dims(), &[3, 3]);
+//! ```
+//!
+//! ## Running a paper experiment
+//!
+//! ```
+//! use tfhpc::apps::{run_stream, StreamConfig};
+//! use tfhpc::sim::net::Protocol;
+//!
+//! // Fig. 7, one point: 16 MB over RDMA between two simulated Tegner
+//! // nodes with GPU-resident tensors.
+//! let report = run_stream(
+//!     &tfhpc::sim::platform::tegner_k420(),
+//!     &StreamConfig {
+//!         size_bytes: 16 << 20,
+//!         invocations: 10,
+//!         on_gpu: true,
+//!         protocol: Protocol::Rdma,
+//!         simulated: true,
+//!     },
+//! )
+//! .unwrap();
+//! // The paper records saturation near 1300 MB/s on this path.
+//! assert!(report.mbs > 800.0 && report.mbs < 1500.0);
+//! ```
+
+pub use tfhpc_apps as apps;
+pub use tfhpc_core as core;
+pub use tfhpc_dist as dist;
+pub use tfhpc_parallel as parallel;
+pub use tfhpc_proto as proto;
+pub use tfhpc_sim as sim;
+pub use tfhpc_slurm as slurm;
+pub use tfhpc_tensor as tensor;

@@ -1,0 +1,200 @@
+//! Failure injection: the framework must fail loudly and accurately —
+//! closed queues, deadlocks (detected by the DES), device OOM, GPU
+//! over-subscription, unserializable graphs and unfed placeholders.
+
+use std::sync::Arc;
+use tfhpc_core::{CoreError, DeviceCtx, Graph, Placement, Resources, Session};
+use tfhpc_dist::{launch, JobSpec, LaunchConfig, TaskKey};
+use tfhpc_sim::des::Sim;
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::{tegner_k420, tegner_k80};
+use tfhpc_tensor::{DType, Tensor};
+
+#[test]
+fn queue_closed_mid_run_surfaces_out_of_range() {
+    // Consumer drains a queue that the producer closes after 3 items:
+    // dequeues past the drain must error with QueueClosed.
+    let cfg = LaunchConfig::simulated(
+        tegner_k420(),
+        vec![JobSpec::new("cons", 1, 0), JobSpec::new("prod", 1, 0)],
+        Protocol::Rdma,
+    );
+    let outcomes = Arc::new(parking_lot::Mutex::new((0usize, false)));
+    let outcomes2 = Arc::clone(&outcomes);
+    launch(&cfg, move |ctx| {
+        if ctx.job() == "cons" {
+            let q = ctx.server.resources.create_queue("work", 8);
+            loop {
+                match q.dequeue() {
+                    Ok(_) => outcomes2.lock().0 += 1,
+                    Err(CoreError::QueueClosed(_)) => {
+                        outcomes2.lock().1 = true;
+                        return Ok(());
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        } else {
+            for i in 0..3 {
+                ctx.server.remote_enqueue(
+                    &TaskKey::new("cons", 0),
+                    "work",
+                    vec![Tensor::scalar_i64(i)],
+                    None,
+                )?;
+            }
+            ctx.server
+                .cluster()
+                .server(&TaskKey::new("cons", 0))?
+                .resources
+                .queue("work")?
+                .close();
+            Ok(())
+        }
+    })
+    .unwrap();
+    assert_eq!(*outcomes.lock(), (3, true));
+}
+
+#[test]
+fn deadlocked_protocol_is_detected_not_hung() {
+    // Two tasks each waiting on the other's queue: the DES must detect
+    // the all-blocked state and abort with a diagnostic, not hang.
+    let result = std::panic::catch_unwind(|| {
+        let sim = Sim::new();
+        let q1 = Arc::new(parking_lot::Mutex::new(None::<Arc<tfhpc_core::FifoQueue>>));
+        let q2 = Arc::new(parking_lot::Mutex::new(None::<Arc<tfhpc_core::FifoQueue>>));
+        {
+            let q1 = Arc::clone(&q1);
+            let q2 = Arc::clone(&q2);
+            sim.spawn("a", move || {
+                let mine = tfhpc_core::FifoQueue::new("qa", 1);
+                *q1.lock() = Some(Arc::clone(&mine));
+                // Wait for b's queue then block on it while b blocks on ours.
+                loop {
+                    if let Some(q) = q2.lock().clone() {
+                        let _ = q.dequeue();
+                        return;
+                    }
+                    tfhpc_sim::des::current().unwrap().advance(0.001);
+                }
+            });
+        }
+        {
+            let q1 = Arc::clone(&q1);
+            let q2 = Arc::clone(&q2);
+            sim.spawn("b", move || {
+                let mine = tfhpc_core::FifoQueue::new("qb", 1);
+                *q2.lock() = Some(Arc::clone(&mine));
+                loop {
+                    if let Some(q) = q1.lock().clone() {
+                        let _ = q.dequeue();
+                        return;
+                    }
+                    tfhpc_sim::des::current().unwrap().advance(0.001);
+                }
+            });
+        }
+        sim.run();
+    });
+    let err = result.expect_err("deadlock must panic");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(msg.contains("deadlock"), "got: {msg}");
+    assert!(msg.contains("waiting on"), "diagnostic dump missing: {msg}");
+}
+
+#[test]
+fn k420_oom_on_oversized_working_set() {
+    // A K420 exposes ~0.9 GB usable: a 512 MB x 2 + 512 MB matmul
+    // working set cannot fit — the session must report OOM, mirroring
+    // why the paper had to shrink K420 tiles.
+    let cfg = LaunchConfig::simulated(
+        tegner_k420(),
+        vec![JobSpec::new("worker", 1, 1)],
+        Protocol::Rdma,
+    );
+    let result = std::panic::catch_unwind(|| {
+        launch(&cfg, |ctx| {
+            let mut g = Graph::new();
+            let n = 12000; // 12000^2 f32 = 576 MB per operand
+            let a = g.constant(Tensor::synthetic(DType::F32, [n, n], 1));
+            let b = g.constant(Tensor::synthetic(DType::F32, [n, n], 2));
+            let c = g.with_device(Placement::Gpu(0), |g| g.matmul(a, b));
+            let sess = ctx.server.session(Arc::new(g));
+            sess.run(&[c], &[]).map(|_| ())
+        })
+        .unwrap();
+    });
+    let err = result.expect_err("OOM must abort the run");
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("out of memory"), "got: {msg}");
+}
+
+#[test]
+fn same_working_set_fits_on_k80() {
+    // The identical graph runs fine on a 12 GB GK210.
+    let cfg = LaunchConfig::simulated(
+        tegner_k80(),
+        vec![JobSpec::new("worker", 1, 1)],
+        Protocol::Rdma,
+    );
+    launch(&cfg, |ctx| {
+        let mut g = Graph::new();
+        let n = 12000;
+        let a = g.constant(Tensor::synthetic(DType::F32, [n, n], 1));
+        let b = g.constant(Tensor::synthetic(DType::F32, [n, n], 2));
+        let c = g.with_device(Placement::Gpu(0), |g| g.matmul(a, b));
+        let sess = ctx.server.session(Arc::new(g));
+        sess.run(&[c], &[]).map(|_| ())
+    })
+    .unwrap();
+}
+
+#[test]
+fn gpu_oversubscription_rejected_at_launch() {
+    // K420 nodes have one GPU; two GPUs per task cannot be satisfied.
+    let cfg = LaunchConfig::simulated(
+        tegner_k420(),
+        vec![JobSpec::new("worker", 2, 2)],
+        Protocol::Rdma,
+    );
+    assert!(matches!(
+        launch(&cfg, |_| Ok(())),
+        Err(CoreError::Invalid(_))
+    ));
+}
+
+#[test]
+fn unfed_placeholder_and_bad_feed_shapes() {
+    let mut g = Graph::new();
+    let p = g.placeholder(DType::F64, Some([4].into()));
+    let n = g.neg(p);
+    let sess = Session::new(Arc::new(g), Resources::new(), DeviceCtx::real(0));
+    assert!(matches!(sess.run(&[n], &[]), Err(CoreError::Graph(_))));
+    let wrong_shape = Tensor::zeros(DType::F64, [5]);
+    assert!(sess.run(&[n], &[(p, wrong_shape)]).is_err());
+    let wrong_dtype = Tensor::zeros(DType::F32, [4]);
+    assert!(sess.run(&[n], &[(p, wrong_dtype)]).is_err());
+}
+
+#[test]
+fn pyfunc_graph_serialization_rejected() {
+    let mut g = Graph::new();
+    let a = g.constant(Tensor::scalar_f64(1.0));
+    g.py_func("host", &[a], 1, 0.0, Arc::new(|_, i| Ok(i.to_vec())));
+    assert!(tfhpc_core::graph_to_bytes(&g).is_err());
+}
+
+#[test]
+fn missing_resources_reported_by_name() {
+    let mut g = Graph::new();
+    let v = g.var_read("not_created");
+    let sess = Session::new(Arc::new(g), Resources::new(), DeviceCtx::real(0));
+    match sess.run(&[v], &[]) {
+        Err(CoreError::NotFound(msg)) => assert!(msg.contains("not_created")),
+        other => panic!("expected NotFound, got {other:?}"),
+    }
+}

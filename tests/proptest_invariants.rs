@@ -1,0 +1,346 @@
+//! Property-based tests of the core invariants: tiled matmul equals
+//! whole matmul, FFT equals the naive DFT (and split/merge equals the
+//! whole transform), CG converges on random SPD systems, the wire
+//! format round-trips arbitrary payloads, hostlists round-trip, queues
+//! preserve FIFO order, and the DES is deterministic.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tfhpc_proto::{wire, Message};
+use tfhpc_tensor::{fft, matmul, ops, Complex64, DType, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tiled_matmul_equals_whole(
+        nt in 1usize..4,
+        tile in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // C computed tile-by-tile (the paper's map-reduce) must equal
+        // the direct product.
+        let n = nt * tile;
+        let a = tfhpc_tensor::rng::random_uniform(DType::F64, [n, n], seed).unwrap();
+        let b = tfhpc_tensor::rng::random_uniform(DType::F64, [n, n], seed ^ 1).unwrap();
+        let direct = matmul::matmul(&a, &b).unwrap();
+        let dv = direct.as_f64().unwrap();
+
+        for i in 0..nt {
+            for j in 0..nt {
+                let mut acc: Option<Tensor> = None;
+                for k in 0..nt {
+                    let a_ik = slice_tile(&a, i, k, tile, n);
+                    let b_kj = slice_tile(&b, k, j, tile, n);
+                    let p = matmul::matmul(&a_ik, &b_kj).unwrap();
+                    acc = Some(match acc {
+                        None => p,
+                        Some(c) => ops::add(&c, &p).unwrap(),
+                    });
+                }
+                let tile_c = acc.unwrap();
+                let tv = tile_c.as_f64().unwrap();
+                for r in 0..tile {
+                    for c in 0..tile {
+                        let want = dv[(i * tile + r) * n + (j * tile + c)];
+                        let got = tv[r * tile + c];
+                        prop_assert!((want - got).abs() < 1e-9 * (1.0 + want.abs()));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fft_equals_dft_and_split_merge(
+        log2 in 1u32..8,
+        tiles_log2 in 0u32..3,
+        seed in 0u64..1000,
+    ) {
+        let n = 1usize << log2;
+        let tiles = (1usize << tiles_log2).min(n);
+        let signal: Vec<Complex64> = (0..n)
+            .map(|i| {
+                let t = i as f64 + seed as f64 * 0.37;
+                Complex64::new((t * 0.9).sin(), (t * 0.31).cos())
+            })
+            .collect();
+        let want = fft::dft_naive(&signal);
+        let mut direct = signal.clone();
+        fft::fft_inplace(&mut direct);
+        for (a, b) in direct.iter().zip(&want) {
+            prop_assert!((*a - *b).abs() < 1e-7 * n as f64);
+        }
+        // Distributed decomposition: interleave-split, per-tile FFT, merge.
+        let subs: Vec<Vec<Complex64>> = fft::split_interleaved(&signal, tiles)
+            .into_iter()
+            .map(|mut t| {
+                fft::fft_inplace(&mut t);
+                t
+            })
+            .collect();
+        let merged = fft::merge_interleaved(subs);
+        for (a, b) in merged.iter().zip(&want) {
+            prop_assert!((*a - *b).abs() < 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(log2 in 1u32..10, seed in 0u64..500) {
+        let n = 1usize << log2;
+        let signal: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(((i as f64) * (seed as f64 + 0.1)).sin(), 0.3))
+            .collect();
+        let te: f64 = signal.iter().map(|v| v.norm_sqr()).sum();
+        let mut f = signal;
+        fft::fft_inplace(&mut f);
+        let fe: f64 = f.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((te - fe).abs() < 1e-7 * (1.0 + te));
+    }
+
+    #[test]
+    fn cg_reduces_residual_on_random_spd(n in 4usize..32, seed in 0u64..200) {
+        let a = tfhpc_tensor::rng::random_spd(n, seed, n as f64);
+        let b = tfhpc_tensor::rng::random_uniform(DType::F64, [n], seed ^ 7).unwrap();
+        let (x, rs) = tfhpc_apps::cg::serial_cg(&a, &b, n.max(10)).unwrap();
+        // Residual must be tiny for a well-conditioned SPD system.
+        prop_assert!(rs < 1e-12, "rs = {rs}");
+        let ax = matmul::matvec(&a, &x).unwrap();
+        let r = ops::sub(&b, &ax).unwrap();
+        let rn = ops::norm2(&r).unwrap().scalar_value_f64().unwrap();
+        prop_assert!(rn < 1e-5, "|b - Ax| = {rn}");
+    }
+
+    #[test]
+    fn varint_roundtrips(v in any::<u64>()) {
+        let mut buf = bytes::BytesMut::new();
+        wire::put_uvarint(&mut buf, v);
+        let (back, rest) = wire::get_uvarint(&buf).unwrap();
+        prop_assert_eq!(back, v);
+        prop_assert!(rest.is_empty());
+        prop_assert_eq!(buf.len(), wire::uvarint_len(v));
+    }
+
+    #[test]
+    fn zigzag_roundtrips(v in any::<i64>()) {
+        prop_assert_eq!(wire::zigzag_decode(wire::zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn tensor_proto_roundtrips_f64(data in prop::collection::vec(-1e6f64..1e6, 0..64)) {
+        let n = data.len();
+        let t = Tensor::from_f64([n], data).unwrap();
+        let bytes = tfhpc_core::TensorProto(t.clone()).to_bytes().unwrap();
+        let back = tfhpc_core::TensorProto::decode(&bytes).unwrap().0;
+        prop_assert_eq!(back.as_f64().unwrap(), t.as_f64().unwrap());
+    }
+
+    #[test]
+    fn hostlist_roundtrips(start in 0u64..50, count in 1u64..20, width in 1usize..4) {
+        let hosts: Vec<String> = (start..start + count)
+            .map(|i| format!("node{i:0width$}"))
+            .collect();
+        // Skip widths too narrow for the numbers (padding undefined).
+        prop_assume!(hosts.iter().all(|h| h.len() == "node".len() + width));
+        let compressed = tfhpc_slurm::hostlist::compress(&hosts);
+        prop_assert_eq!(tfhpc_slurm::hostlist::expand(&compressed), hosts);
+    }
+
+    #[test]
+    fn queue_preserves_fifo_order(values in prop::collection::vec(any::<i64>(), 1..64)) {
+        let q = tfhpc_core::FifoQueue::new("prop", values.len());
+        for v in &values {
+            q.enqueue(vec![Tensor::scalar_i64(*v)]).unwrap();
+        }
+        for v in &values {
+            prop_assert_eq!(q.dequeue().unwrap()[0].scalar_value_i64().unwrap(), *v);
+        }
+    }
+
+    #[test]
+    fn des_is_deterministic(steps in prop::collection::vec(1u64..50, 2..5)) {
+        let run = |steps: &[u64]| {
+            let sim = tfhpc_sim::des::Sim::new();
+            let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+            for (i, &s) in steps.iter().enumerate() {
+                let log = Arc::clone(&log);
+                sim.spawn(&format!("p{i}"), move || {
+                    let me = tfhpc_sim::des::current().unwrap();
+                    for k in 0..s {
+                        me.advance(0.01 * (i + 1) as f64);
+                        log.lock().push((i, k, (me.now() * 1e9).round() as u64));
+                    }
+                });
+            }
+            let end = sim.run();
+            let events = log.lock().clone();
+            (end.to_bits(), events)
+        };
+        prop_assert_eq!(run(&steps), run(&steps));
+    }
+
+    #[test]
+    fn optimizer_preserves_semantics(
+        ops_seq in prop::collection::vec(0usize..5, 1..12),
+        consts in prop::collection::vec(-8.0f64..8.0, 2..5),
+        seed in 0u64..100,
+    ) {
+        // Build a random pure graph over a few constants, optimize it,
+        // and check every node still evaluates to the same value.
+        use tfhpc_core::{DeviceCtx, Graph, Resources, Session};
+        let mut g = Graph::new();
+        let mut values: Vec<tfhpc_core::NodeId> = consts
+            .iter()
+            .map(|c| g.constant(Tensor::scalar_f64(*c)))
+            .collect();
+        let mut pick = seed;
+        let mut next = |n: usize| {
+            pick = pick.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (pick >> 33) as usize % n
+        };
+        for op in &ops_seq {
+            let a = values[next(values.len())];
+            let b = values[next(values.len())];
+            let node = match op {
+                0 => g.add(a, b),
+                1 => g.sub(a, b),
+                2 => g.mul(a, b),
+                3 => g.neg(a),
+                _ => g.scale(a, 0.5),
+            };
+            values.push(node);
+        }
+        let fetches: Vec<tfhpc_core::NodeId> = values.clone();
+        let sess = Session::new(
+            Arc::new(tfhpc_core::graph_from_bytes(&tfhpc_core::graph_to_bytes(&g).unwrap()).unwrap()),
+            Resources::new(),
+            DeviceCtx::real(0),
+        );
+        let original = sess.run(&fetches, &[]).unwrap();
+
+        let opt = tfhpc_core::optimize_for(&g, &fetches).unwrap();
+        let new_fetches: Vec<tfhpc_core::NodeId> =
+            fetches.iter().map(|f| opt.remap(*f)).collect();
+        let sess2 = Session::new(Arc::new(opt.graph), Resources::new(), DeviceCtx::real(0));
+        let optimized = sess2.run(&new_fetches, &[]).unwrap();
+        for (a, b) in original.iter().zip(&optimized) {
+            let x = a.scalar_value_f64().unwrap();
+            let y = b.scalar_value_f64().unwrap();
+            prop_assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+        prop_assert!(opt.stats.nodes_after <= opt.stats.nodes_before);
+    }
+
+    #[test]
+    fn ring_all_reduce_sums_arbitrary_vectors(
+        p in 1usize..6,
+        n in 1usize..24,
+        seed in 0u64..100,
+    ) {
+        use tfhpc_dist::{ring_all_reduce, ClusterSpec, TaskKey, TfCluster};
+        use tfhpc_sim::net::Protocol;
+        let spec = ClusterSpec::new([(
+            "worker".to_string(),
+            (0..p).map(|i| format!("n{i}:8888")).collect::<Vec<_>>(),
+        )]);
+        let cluster = TfCluster::new(spec, Protocol::Rdma, None);
+        let servers: Vec<_> = (0..p)
+            .map(|i| cluster.start_server(TaskKey::new("worker", i), i, vec![]))
+            .collect();
+        let group: Vec<TaskKey> = (0..p).map(|i| TaskKey::new("worker", i)).collect();
+        let inputs: Vec<Vec<f64>> = (0..p)
+            .map(|i| {
+                (0..n)
+                    .map(|k| ((seed as usize + i * 31 + k * 7) % 13) as f64 - 6.0)
+                    .collect()
+            })
+            .collect();
+        let expected: Vec<f64> =
+            (0..n).map(|k| inputs.iter().map(|v| v[k]).sum()).collect();
+        let mut handles = Vec::new();
+        for (i, s) in servers.into_iter().enumerate() {
+            let g = group.clone();
+            let v = inputs[i].clone();
+            handles.push(std::thread::spawn(move || {
+                let t = Tensor::from_f64([v.len()], v).unwrap();
+                ring_all_reduce(&s, &g, i, t, None).unwrap()
+            }));
+        }
+        for h in handles {
+            let r = h.join().unwrap();
+            let rv = r.as_f64().unwrap();
+            for (a, b) in rv.iter().zip(&expected) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn slice_concat_reconstructs_vector(
+        data in prop::collection::vec(-1e3f64..1e3, 1..64),
+        cuts in prop::collection::vec(0usize..64, 0..4),
+    ) {
+        // Splitting a vector at arbitrary cut points and concatenating
+        // the pieces must reproduce it.
+        let n = data.len();
+        let t = Tensor::from_f64([n], data.clone()).unwrap();
+        let mut points: Vec<usize> = cuts.into_iter().map(|c| c % (n + 1)).collect();
+        points.push(0);
+        points.push(n);
+        points.sort_unstable();
+        points.dedup();
+        let parts: Vec<Tensor> = points
+            .windows(2)
+            .map(|w| t.slice_range(w[0], w[1]).unwrap())
+            .collect();
+        let back = Tensor::concat_vecs(&parts).unwrap();
+        prop_assert_eq!(back.as_f64().unwrap(), data.as_slice());
+    }
+
+    #[test]
+    fn transpose_involution_and_product_rule(
+        m in 1usize..12,
+        n in 1usize..12,
+        seed in 0u64..500,
+    ) {
+        let a = tfhpc_tensor::rng::random_uniform(DType::F64, [m, n], seed).unwrap();
+        let t = matmul::transpose(&a).unwrap();
+        let tt = matmul::transpose(&t).unwrap();
+        prop_assert_eq!(tt.as_f64().unwrap(), a.as_f64().unwrap());
+        // (A·Aᵀ) is symmetric.
+        let aat = matmul::matmul(&a, &t).unwrap();
+        let aat_t = matmul::transpose(&aat).unwrap();
+        for (x, y) in aat.as_f64().unwrap().iter().zip(aat_t.as_f64().unwrap()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn synthetic_ops_preserve_shape_metadata(
+        rows in 1usize..1000,
+        cols in 1usize..1000,
+        seed in any::<u64>(),
+    ) {
+        let a = Tensor::synthetic(DType::F32, [rows, cols], seed);
+        let b = Tensor::synthetic(DType::F32, [cols, rows], seed ^ 1);
+        let c = matmul::matmul(&a, &b).unwrap();
+        prop_assert!(c.is_synthetic());
+        prop_assert_eq!(c.shape().dims(), &[rows, rows]);
+        let s = ops::add(&a, &a).unwrap();
+        prop_assert_eq!(s.shape().dims(), &[rows, cols]);
+        // Reductions realize to dense scalars.
+        let d = ops::sum(&a).unwrap();
+        prop_assert!(!d.is_synthetic());
+    }
+}
+
+/// Copy tile (i, j) out of an n x n matrix.
+fn slice_tile(m: &Tensor, i: usize, j: usize, tile: usize, n: usize) -> Tensor {
+    let mv = m.as_f64().unwrap();
+    let mut out = Vec::with_capacity(tile * tile);
+    for r in 0..tile {
+        let row = i * tile + r;
+        out.extend_from_slice(&mv[row * n + j * tile..row * n + (j + 1) * tile]);
+    }
+    Tensor::from_f64([tile, tile], out).unwrap()
+}
