@@ -20,7 +20,9 @@
 use crate::AppError;
 use parking_lot::Mutex;
 use std::sync::Arc;
-use tfhpc_core::{CoreError, Graph, Placement, Result as CoreResult, Saver, TileStore};
+use tfhpc_core::{
+    CoreError, Graph, Placement, Result as CoreResult, Saver, SessionOptions, TileStore,
+};
 use tfhpc_dist::{
     launch_traced, launch_with_setup, ring_all_reduce, worker_all_reduce, JobSpec, LaunchConfig,
     ReduceOp, Reducer, TaskCtx, TaskKey,
@@ -209,7 +211,10 @@ fn serve_gather_round(ctx: &TaskCtx, workers: usize) -> CoreResult<()> {
         let idx = tuple[0].scalar_value_i64()? as usize;
         parts[idx] = Some(tuple[1].clone());
     }
-    let slices: Vec<Tensor> = parts.into_iter().map(|p| p.expect("gather slice")).collect();
+    let slices: Vec<Tensor> = parts
+        .into_iter()
+        .map(|p| p.expect("gather slice"))
+        .collect();
     let bytes: f64 = slices.iter().map(|s| s.byte_size() as f64).sum();
     let full = Tensor::concat_vecs(&slices)?;
     // Host-side concatenation cost on the reducer.
@@ -251,8 +256,9 @@ fn reduce_scalar(
         )?
         .scalar_value_f64()?),
         CgReduction::Ring => {
-            let group: Vec<TaskKey> =
-                (0..cfg.workers).map(|i| TaskKey::new("worker", i)).collect();
+            let group: Vec<TaskKey> = (0..cfg.workers)
+                .map(|i| TaskKey::new("worker", i))
+                .collect();
             let v = part.reshape([1])?;
             Ok(ring_all_reduce(&ctx.server, &group, w, v, Some(0))?
                 .slice_range(0, 1)?
@@ -286,8 +292,9 @@ fn gather_p(
         CgReduction::Ring => {
             // Pad the slice with zeros and ring-sum: the sum of disjoint
             // padded slices IS the concatenation.
-            let group: Vec<TaskKey> =
-                (0..cfg.workers).map(|i| TaskKey::new("worker", i)).collect();
+            let group: Vec<TaskKey> = (0..cfg.workers)
+                .map(|i| TaskKey::new("worker", i))
+                .collect();
             let mut parts: Vec<Tensor> = Vec::with_capacity(3);
             if w > 0 {
                 parts.push(Tensor::zeros(DType::F64, [w * rows]));
@@ -319,9 +326,11 @@ fn worker_task(
     if let Some(sim) = &ctx.server.devices.sim {
         sim.cluster.pfs.read(sim.node, a_block.byte_size() as u64);
         // H2D of the block through our PCIe link.
-        ctx.server
-            .devices
-            .charge_transfer(Placement::Cpu, Placement::Gpu(0), a_block.byte_size() as u64);
+        ctx.server.devices.charge_transfer(
+            Placement::Cpu,
+            Placement::Gpu(0),
+            a_block.byte_size() as u64,
+        );
         // The resident block must fit in device memory.
         if let Some(cap) = ctx.server.devices.usable_memory(Placement::Gpu(0)) {
             if a_block.byte_size() as u64 > cap {
@@ -356,9 +365,7 @@ fn worker_task(
             .resources
             .create_variable("x", Tensor::zeros(DType::F64, [rows]));
         ctx.server.resources.create_variable("r", b_w.clone());
-        ctx.server
-            .resources
-            .create_variable("p_full", p.clone());
+        ctx.server.resources.create_variable("p_full", p.clone());
         ctx.server
             .resources
             .create_variable("rs_old", Tensor::scalar_f64(0.0));
@@ -368,7 +375,9 @@ fn worker_task(
     }
 
     let wg = build_worker_graph(n, rows);
-    let sess = ctx.server.session(Arc::clone(&wg.graph));
+    let sess = ctx
+        .server
+        .session_with_options(Arc::clone(&wg.graph), SessionOptions::from_env());
 
     // Initial residual reduction: rs = Σ_w r_wᵀ r_w.
     let mut rs_old = if cfg.resume {
@@ -464,10 +473,7 @@ pub fn run_cg_with_store(
 /// Run CG with DES occupancy tracing and return the Chrome-trace JSON
 /// of the whole distributed execution — the reproduction of the paper's
 /// Fig. 3 TensorFlow Timeline for the CG solver.
-pub fn run_cg_traced(
-    platform: &Platform,
-    cfg: &CgConfig,
-) -> Result<(CgReport, String), AppError> {
+pub fn run_cg_traced(platform: &Platform, cfg: &CgConfig) -> Result<(CgReport, String), AppError> {
     run_cg_inner(platform, cfg, None, true).map(|(r, _, json)| (r, json))
 }
 
@@ -523,24 +529,24 @@ fn run_cg_inner(
         *store_slot2.lock() = Some(store);
     };
     let body = move |ctx: TaskCtx| {
-            let store = ctx.server.cluster().shared_store("cg");
-            ctx.server.resources.register_store(Arc::clone(&store));
-            if ctx.job() == "reducer" {
-                // When resuming, fewer rounds remain.
-                let done = if cfg_body.resume {
-                    store
-                        .get(&ckpt_meta_key(0))
-                        .ok()
-                        .and_then(|m| m.as_f64().ok().map(|v| v[0] as usize))
-                        .unwrap_or(0)
-                } else {
-                    0
-                };
-                let remaining = cfg_body.iterations - done;
-                reducer_task_resumable(&ctx, &cfg_body, remaining)
+        let store = ctx.server.cluster().shared_store("cg");
+        ctx.server.resources.register_store(Arc::clone(&store));
+        if ctx.job() == "reducer" {
+            // When resuming, fewer rounds remain.
+            let done = if cfg_body.resume {
+                store
+                    .get(&ckpt_meta_key(0))
+                    .ok()
+                    .and_then(|m| m.as_f64().ok().map(|v| v[0] as usize))
+                    .unwrap_or(0)
             } else {
-                worker_task(&ctx, &cfg_body, &store, &rs_out2)
-            }
+                0
+            };
+            let remaining = cfg_body.iterations - done;
+            reducer_task_resumable(&ctx, &cfg_body, remaining)
+        } else {
+            worker_task(&ctx, &cfg_body, &store, &rs_out2)
+        }
     };
     let launched = if trace {
         launch_traced(&launch_cfg, setup, body)
@@ -559,7 +565,10 @@ fn run_cg_inner(
         CgReport {
             gflops: cfg.flops() / launched.elapsed_s / 1e9,
             elapsed_s: launched.elapsed_s,
-            rs_final: { let v = *rs_out.lock(); v },
+            rs_final: {
+                let v = *rs_out.lock();
+                v
+            },
             iterations_run: cfg.iterations,
         },
         store,
@@ -669,8 +678,14 @@ mod tests {
         // the one-time A-block load, which anti-scales on shared
         // Lustre clients).
         let p = platform::kebnekaise_k80();
-        let cfg2 = CgConfig { iterations: 500, ..sim_cfg(32768, 2) };
-        let cfg4 = CgConfig { iterations: 500, ..sim_cfg(32768, 4) };
+        let cfg2 = CgConfig {
+            iterations: 500,
+            ..sim_cfg(32768, 2)
+        };
+        let cfg4 = CgConfig {
+            iterations: 500,
+            ..sim_cfg(32768, 4)
+        };
         let r2 = run_cg(&p, &cfg2).unwrap();
         let r4 = run_cg(&p, &cfg4).unwrap();
         let speedup = r4.gflops / r2.gflops;
@@ -681,10 +696,38 @@ mod tests {
     fn small_problems_scale_poorly() {
         // Paper: little scaling at 16384² (GPU under-utilization).
         let p = platform::kebnekaise_v100();
-        let small2 = run_cg(&p, &CgConfig { iterations: 50, ..sim_cfg(16384, 2) }).unwrap();
-        let small4 = run_cg(&p, &CgConfig { iterations: 50, ..sim_cfg(16384, 4) }).unwrap();
-        let big2 = run_cg(&p, &CgConfig { iterations: 50, ..sim_cfg(32768, 2) }).unwrap();
-        let big4 = run_cg(&p, &CgConfig { iterations: 50, ..sim_cfg(32768, 4) }).unwrap();
+        let small2 = run_cg(
+            &p,
+            &CgConfig {
+                iterations: 50,
+                ..sim_cfg(16384, 2)
+            },
+        )
+        .unwrap();
+        let small4 = run_cg(
+            &p,
+            &CgConfig {
+                iterations: 50,
+                ..sim_cfg(16384, 4)
+            },
+        )
+        .unwrap();
+        let big2 = run_cg(
+            &p,
+            &CgConfig {
+                iterations: 50,
+                ..sim_cfg(32768, 2)
+            },
+        )
+        .unwrap();
+        let big4 = run_cg(
+            &p,
+            &CgConfig {
+                iterations: 50,
+                ..sim_cfg(32768, 4)
+            },
+        )
+        .unwrap();
         let small_speedup = small4.gflops / small2.gflops;
         let big_speedup = big4.gflops / big2.gflops;
         assert!(
@@ -727,7 +770,10 @@ mod tests {
 
     #[test]
     fn indivisible_worker_count_rejected() {
-        let cfg = CgConfig { workers: 3, ..sim_cfg(32768, 3) };
+        let cfg = CgConfig {
+            workers: 3,
+            ..sim_cfg(32768, 3)
+        };
         assert!(matches!(
             run_cg(&platform::tegner_k80(), &cfg),
             Err(crate::AppError::Config(_))

@@ -14,7 +14,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use tfhpc_core::{
     kernels::PY_FUNC_DEFAULT_COST_FACTOR, CoreError, DatasetIterator, FifoQueue, Graph, OpKernel,
-    Placement, Resources, Result as CoreResult, TileStore,
+    Placement, Resources, Result as CoreResult, SessionOptions, TileStore,
 };
 use tfhpc_dist::{launch_with_setup, JobSpec, LaunchConfig, Server, TaskCtx, TaskKey};
 use tfhpc_sim::net::Protocol;
@@ -179,7 +179,9 @@ fn worker_task(ctx: &TaskCtx, cfg: &FftConfig, store: &Arc<TileStore>) -> CoreRe
         server: Arc::clone(&ctx.server),
     });
     let push_node = g.custom(push, &[parts[0], spectrum], &[]);
-    let sess = ctx.server.session(Arc::new(g));
+    let sess = ctx
+        .server
+        .session_with_options(Arc::new(g), SessionOptions::from_env());
     loop {
         match sess.run_no_fetch(&[push_node], &[]) {
             Ok(()) => {}
@@ -203,8 +205,7 @@ fn merger_task(
         // Serial extraction of the tile into host NumPy storage.
         if let Some(me) = tfhpc_sim::des::current() {
             me.advance(
-                MERGER_INGEST_FIXED_S
-                    + tuple[1].byte_size() as f64 / (MERGER_INGEST_GBS * 1e9),
+                MERGER_INGEST_FIXED_S + tuple[1].byte_size() as f64 / (MERGER_INGEST_GBS * 1e9),
             );
         }
         spectra[l] = Some(tuple[1].clone());
@@ -225,11 +226,9 @@ fn merger_task(
         PY_FUNC_DEFAULT_COST_FACTOR * cfg.merge_cost_factor,
         Arc::new(move |_res, ins: &[Tensor]| {
             if ins.iter().any(|t| t.is_synthetic()) {
-                let seed = ins
-                    .iter()
-                    .fold(0xFF7u64, |acc, t| {
-                        tfhpc_tensor::tensor::mix_seed(acc, t.synthetic_seed().unwrap_or(1))
-                    });
+                let seed = ins.iter().fold(0xFF7u64, |acc, t| {
+                    tfhpc_tensor::tensor::mix_seed(acc, t.synthetic_seed().unwrap_or(1))
+                });
                 let total: usize = ins.iter().map(|t| t.num_elements()).sum();
                 return Ok(vec![Tensor::synthetic(DType::C128, [total], seed)]);
             }
@@ -243,7 +242,9 @@ fn merger_task(
             Ok(vec![Tensor::from_c128([n], full)?])
         }),
     );
-    let sess = ctx.server.session(Arc::new(g));
+    let sess = ctx
+        .server
+        .session_with_options(Arc::new(g), SessionOptions::from_env());
     let out = sess.run(&[merged[0]], &[])?;
     store.put(vec![-1], out.into_iter().next().expect("merged spectrum"));
     Ok(())
@@ -376,9 +377,30 @@ mod tests {
     fn invalid_configs_are_rejected_cleanly() {
         let p = platform::tegner_k80();
         let base = sim_cfg(20, 8, 2);
-        assert!(run_fft(&p, &FftConfig { tiles: 100, ..base.clone() }).is_err());
-        assert!(run_fft(&p, &FftConfig { workers: 16, ..base.clone() }).is_err());
-        assert!(run_fft(&p, &FftConfig { log2_n: 50, ..base.clone() }).is_err());
+        assert!(run_fft(
+            &p,
+            &FftConfig {
+                tiles: 100,
+                ..base.clone()
+            }
+        )
+        .is_err());
+        assert!(run_fft(
+            &p,
+            &FftConfig {
+                workers: 16,
+                ..base.clone()
+            }
+        )
+        .is_err());
+        assert!(run_fft(
+            &p,
+            &FftConfig {
+                log2_n: 50,
+                ..base.clone()
+            }
+        )
+        .is_err());
         assert!(run_fft(&p, &FftConfig { workers: 0, ..base }).is_err());
     }
 

@@ -12,6 +12,7 @@ use crate::AppError;
 use std::sync::Arc;
 use tfhpc_core::{
     CoreError, DatasetIterator, FifoQueue, Graph, OpKernel, Resources, Result as CoreResult,
+    SessionOptions,
 };
 use tfhpc_dist::{launch_with_setup, JobSpec, LaunchConfig, Server, TaskCtx, TaskKey};
 use tfhpc_sim::net::Protocol;
@@ -147,7 +148,11 @@ impl OpKernel for PushToParityQueue {
     }
 }
 
-fn reducer_body(ctx: &TaskCtx, cfg: &MatmulConfig, store: &Arc<tfhpc_core::TileStore>) -> CoreResult<()> {
+fn reducer_body(
+    ctx: &TaskCtx,
+    cfg: &MatmulConfig,
+    store: &Arc<tfhpc_core::TileStore>,
+) -> CoreResult<()> {
     let nt = cfg.nt();
     let r = ctx.index();
     let queue = ctx.server.resources.create_queue("acc", 8);
@@ -185,7 +190,11 @@ fn reducer_body(ctx: &TaskCtx, cfg: &MatmulConfig, store: &Arc<tfhpc_core::TileS
     Ok(())
 }
 
-fn worker_body(ctx: &TaskCtx, cfg: &MatmulConfig, store: &Arc<tfhpc_core::TileStore>) -> CoreResult<()> {
+fn worker_body(
+    ctx: &TaskCtx,
+    cfg: &MatmulConfig,
+    store: &Arc<tfhpc_core::TileStore>,
+) -> CoreResult<()> {
     let nt = cfg.nt();
     let w = ctx.index();
     // The shared product list, sharded across workers.
@@ -212,8 +221,7 @@ fn worker_body(ctx: &TaskCtx, cfg: &MatmulConfig, store: &Arc<tfhpc_core::TileSt
                         .pfs
                         .read(sim.node, (a.byte_size() + b.byte_size()) as u64);
                 }
-                let target =
-                    Tensor::from_i64([2], vec![i as i64, j as i64]).expect("target key");
+                let target = Tensor::from_i64([2], vec![i as i64, j as i64]).expect("target key");
                 if pipe.enqueue(vec![a, b, target]).is_err() {
                     return; // consumer gone
                 }
@@ -245,7 +253,9 @@ fn worker_body(ctx: &TaskCtx, cfg: &MatmulConfig, store: &Arc<tfhpc_core::TileSt
         nt,
     });
     let push_node = g.custom(push, &[parts[2], c], &[]);
-    let sess = ctx.server.session(Arc::new(g));
+    let sess = ctx
+        .server
+        .session_with_options(Arc::new(g), SessionOptions::from_env());
     loop {
         match sess.run_no_fetch(&[push_node], &[]) {
             Ok(()) => {}
@@ -257,9 +267,7 @@ fn worker_body(ctx: &TaskCtx, cfg: &MatmulConfig, store: &Arc<tfhpc_core::TileSt
 
 /// The canonical per-task body (shared by the benchmark entry point and
 /// the correctness harness).
-fn matmul_body(
-    cfg: MatmulConfig,
-) -> impl Fn(TaskCtx) -> CoreResult<()> + Send + Sync + 'static {
+fn matmul_body(cfg: MatmulConfig) -> impl Fn(TaskCtx) -> CoreResult<()> + Send + Sync + 'static {
     move |ctx| {
         let store = ctx.server.cluster().shared_store("tiles");
         ctx.server.resources.register_store(Arc::clone(&store));
@@ -420,7 +428,10 @@ mod tests {
 
     #[test]
     fn indivisible_tile_rejected_cleanly() {
-        let cfg = MatmulConfig { n: 30000, ..sim_cfg(32768, 8192, 2) };
+        let cfg = MatmulConfig {
+            n: 30000,
+            ..sim_cfg(32768, 8192, 2)
+        };
         assert!(matches!(
             run_matmul(&platform::tegner_k80(), &cfg),
             Err(crate::AppError::Config(_))

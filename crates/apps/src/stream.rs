@@ -11,7 +11,7 @@
 use crate::AppError;
 use parking_lot::Mutex;
 use std::sync::Arc;
-use tfhpc_core::{Graph, OpKernel, Resources, Result as CoreResult};
+use tfhpc_core::{Graph, OpKernel, Resources, Result as CoreResult, SessionOptions};
 use tfhpc_dist::{launch, JobSpec, LaunchConfig, TaskKey};
 use tfhpc_sim::net::Protocol;
 use tfhpc_sim::platform::Platform;
@@ -126,7 +126,9 @@ pub fn run_stream(platform: &Platform, cfg: &StreamConfig) -> Result<StreamRepor
             dst_gpu: gpu,
         });
         let op = g.custom(kernel, &[], &[]);
-        let sess = ctx.server.session(Arc::new(g));
+        let sess = ctx
+            .server
+            .session_with_options(Arc::new(g), SessionOptions::from_env());
         let t0 = ctx.now();
         for _ in 0..cfg2.invocations {
             // Invoke through the session without returning the value.

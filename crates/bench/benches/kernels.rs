@@ -1,74 +1,67 @@
-//! Criterion micro-benchmarks for the host math kernels that execute
-//! the real-mode numerics (the role cuBLAS/cuFFT play on the paper's
+//! Micro-benchmarks for the host math kernels that execute the
+//! real-mode numerics (the role cuBLAS/cuFFT play on the paper's
 //! GPUs): blocked matmul, matvec, dot, FFT and elementwise ops.
+//!
+//! Plain `Instant`-based harness (`tfhpc_bench::time_case`); run with
+//! `cargo bench --bench kernels`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tfhpc_bench::{print_timing, time_case};
 use tfhpc_tensor::{fft, matmul, ops, rng, Complex64, DType, Tensor};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul_f32");
+fn bench_matmul() {
+    println!("\n== matmul_f32 ==");
     for n in [64usize, 128, 256] {
         let a = rng::random_uniform(DType::F32, [n, n], 1).unwrap();
         let b = rng::random_uniform(DType::F32, [n, n], 2).unwrap();
-        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| matmul::matmul(&a, &b).unwrap());
+        let t = time_case(&format!("matmul_f32/{n}"), || {
+            matmul::matmul(&a, &b).unwrap()
         });
+        print_timing(&t, Some((2 * n * n * n) as u64));
     }
-    group.finish();
 }
 
-fn bench_matvec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matvec_f64");
+fn bench_matvec() {
+    println!("\n== matvec_f64 ==");
     for n in [256usize, 1024] {
         let a = rng::random_uniform(DType::F64, [n, n], 1).unwrap();
         let x = rng::random_uniform(DType::F64, [n], 2).unwrap();
-        group.throughput(Throughput::Elements((2 * n * n) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| matmul::matvec(&a, &x).unwrap());
+        let t = time_case(&format!("matvec_f64/{n}"), || {
+            matmul::matvec(&a, &x).unwrap()
         });
+        print_timing(&t, Some((2 * n * n) as u64));
     }
-    group.finish();
 }
 
-fn bench_dot_and_axpy(c: &mut Criterion) {
+fn bench_dot_and_axpy() {
     let n = 1 << 18;
     let x = rng::random_uniform(DType::F64, [n], 3).unwrap();
     let y = rng::random_uniform(DType::F64, [n], 4).unwrap();
-    let mut group = c.benchmark_group("blas1");
-    group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("dot_256k", |b| {
-        b.iter(|| ops::dot(&x, &y).unwrap());
-    });
-    group.bench_function("axpy_256k", |b| {
-        b.iter(|| ops::axpy(1.5, &x, &y).unwrap());
-    });
-    group.bench_function("add_256k", |b| {
-        b.iter(|| ops::add(&x, &y).unwrap());
-    });
-    group.finish();
+    println!("\n== blas1 ==");
+    let t = time_case("dot_256k", || ops::dot(&x, &y).unwrap());
+    print_timing(&t, Some(n as u64));
+    let t = time_case("axpy_256k", || ops::axpy(1.5, &x, &y).unwrap());
+    print_timing(&t, Some(n as u64));
+    let t = time_case("add_256k", || ops::add(&x, &y).unwrap());
+    print_timing(&t, Some(n as u64));
 }
 
-fn bench_fft(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fft_c128");
+fn bench_fft() {
+    println!("\n== fft_c128 ==");
     for log2 in [10u32, 14, 16] {
         let n = 1usize << log2;
         let data: Vec<Complex64> = (0..n)
             .map(|i| Complex64::new((i as f64 * 0.1).sin(), (i as f64 * 0.2).cos()))
             .collect();
-        group.throughput(Throughput::Elements((5 * n as u64) * log2 as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
-            bench.iter(|| {
-                let mut d = data.clone();
-                fft::fft_inplace(&mut d);
-                d
-            });
+        let t = time_case(&format!("fft_c128/{n}"), || {
+            let mut d = data.clone();
+            fft::fft_inplace(&mut d);
+            d
         });
+        print_timing(&t, Some(5 * n as u64 * log2 as u64));
     }
-    group.finish();
 }
 
-fn bench_fft_merge(c: &mut Criterion) {
+fn bench_fft_merge() {
     let n = 1 << 14;
     let tiles = 16;
     let data: Vec<Complex64> = (0..n)
@@ -81,22 +74,22 @@ fn bench_fft_merge(c: &mut Criterion) {
             t
         })
         .collect();
-    c.bench_function("fft_merge_16x1k", |b| {
-        b.iter(|| fft::merge_interleaved(sub.clone()));
-    });
+    let t = time_case("fft_merge_16x1k", || fft::merge_interleaved(sub.clone()));
+    print_timing(&t, Some(n as u64));
 }
 
-fn bench_tensor_clone_is_cheap(c: &mut Criterion) {
+fn bench_tensor_clone_is_cheap() {
     // Arc-backed storage: cloning a big tensor must be O(1).
     let t = Tensor::zeros(DType::F64, [1 << 20]);
-    c.bench_function("tensor_clone_8mb", |b| {
-        b.iter(|| t.clone());
-    });
+    let timing = time_case("tensor_clone_8mb", || t.clone());
+    print_timing(&timing, None);
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul, bench_matvec, bench_dot_and_axpy, bench_fft, bench_fft_merge, bench_tensor_clone_is_cheap
+fn main() {
+    bench_matmul();
+    bench_matvec();
+    bench_dot_and_axpy();
+    bench_fft();
+    bench_fft_merge();
+    bench_tensor_clone_is_cheap();
 }
-criterion_main!(kernels);

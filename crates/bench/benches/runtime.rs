@@ -1,111 +1,157 @@
-//! Criterion micro-benchmarks for the framework runtime: session
-//! dispatch, queue throughput, wire-format round-trips, thread-pool
-//! loops and DES event rate.
+//! Micro-benchmarks for the framework runtime: session dispatch,
+//! inter-op parallel scheduling, queue throughput, wire-format
+//! round-trips, thread-pool loops and DES event rate.
+//!
+//! Plain `Instant`-based harness (`tfhpc_bench::time_case`); run with
+//! `cargo bench --bench runtime`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::sync::Arc;
-use tfhpc_core::{DeviceCtx, Graph, Resources, Session};
+use std::time::Instant;
+use tfhpc_bench::{print_timing, time_case};
+use tfhpc_core::{DeviceCtx, Graph, Resources, Session, SessionOptions, Timeline};
 use tfhpc_proto::Message;
 use tfhpc_sim::des::Sim;
 use tfhpc_tensor::{DType, Tensor};
 
-fn bench_session_dispatch(c: &mut Criterion) {
+fn bench_session_dispatch() {
     let mut g = Graph::new();
     let a = g.constant(Tensor::scalar_f64(1.0));
     let b = g.constant(Tensor::scalar_f64(2.0));
     let s1 = g.add(a, b);
     let s2 = g.mul(s1, s1);
     let sess = Session::new(Arc::new(g), Resources::new(), DeviceCtx::real(1));
-    c.bench_function("session_run_4node_graph", |bench| {
-        bench.iter(|| sess.run(&[s2], &[]).unwrap());
-    });
+    let t = time_case("session_run_4node_graph", || sess.run(&[s2], &[]).unwrap());
+    print_timing(&t, None);
 }
 
-fn bench_queue_throughput(c: &mut Criterion) {
+/// The PR's acceptance demo: a graph of 8 independent MatMuls must
+/// overlap on the inter-op pool and beat single-threaded dispatch.
+fn bench_inter_op_scaling() {
+    println!("\n== inter-op scheduling (8 independent 192x192 MatMuls) ==");
+    let n = 192usize;
+    let mut g = Graph::new();
+    let fetches: Vec<_> = (0..8)
+        .map(|i| {
+            let a = g.constant(tfhpc_tensor::rng::random_uniform(DType::F64, [n, n], i).unwrap());
+            let b =
+                g.constant(tfhpc_tensor::rng::random_uniform(DType::F64, [n, n], i ^ 64).unwrap());
+            g.matmul(a, b)
+        })
+        .collect();
+    let g = Arc::new(g);
+
+    let run_with = |inter: usize| -> f64 {
+        let opts = SessionOptions {
+            inter_op_threads: inter,
+            intra_op_threads: 1,
+        };
+        let mut sess =
+            Session::with_options(Arc::clone(&g), Resources::new(), DeviceCtx::real(0), opts);
+        let timeline = Arc::new(Timeline::new());
+        sess.set_timeline(Arc::clone(&timeline));
+        sess.run(&fetches, &[]).unwrap(); // warm-up (pool spin-up)
+        let mut best = f64::INFINITY;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            sess.run(&fetches, &[]).unwrap();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        let events = timeline.events();
+        let matmuls: Vec<_> = events
+            .iter()
+            .filter(|e| e.name.contains("MatMul"))
+            .collect();
+        let mut overlaps = 0usize;
+        for i in 0..matmuls.len() {
+            for j in i + 1..matmuls.len() {
+                if matmuls[i].overlaps(matmuls[j]) {
+                    overlaps += 1;
+                }
+            }
+        }
+        println!(
+            "  inter_op_threads={inter}: best {:.3} ms, {} overlapping MatMul pairs",
+            best * 1e3,
+            overlaps
+        );
+        best
+    };
+
+    let serial = run_with(1);
+    let parallel = run_with(4);
+    println!("  speedup (inter=1 -> inter=4): {:.2}x", serial / parallel);
+}
+
+fn bench_queue_throughput() {
     let q = tfhpc_core::FifoQueue::new("bench", 1024);
     let v = vec![Tensor::scalar_f64(1.0)];
-    let mut group = c.benchmark_group("queue");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("enqueue_dequeue", |bench| {
-        bench.iter(|| {
-            q.enqueue(v.clone()).unwrap();
-            q.dequeue().unwrap()
-        });
+    let t = time_case("queue/enqueue_dequeue", || {
+        q.enqueue(v.clone()).unwrap();
+        q.dequeue().unwrap()
     });
-    group.finish();
+    print_timing(&t, Some(1));
 }
 
-fn bench_proto_roundtrip(c: &mut Criterion) {
+fn bench_proto_roundtrip() {
     let t = Tensor::from_f64([1024], (0..1024).map(|i| i as f64).collect()).unwrap();
-    let mut group = c.benchmark_group("proto");
-    group.throughput(Throughput::Bytes(8 * 1024));
-    group.bench_function("tensor_8k_roundtrip", |bench| {
-        bench.iter(|| {
-            let bytes = tfhpc_core::TensorProto(t.clone()).to_bytes().unwrap();
-            tfhpc_core::TensorProto::decode(&bytes).unwrap().0
-        });
+    let timing = time_case("proto/tensor_8k_roundtrip", || {
+        let bytes = tfhpc_core::TensorProto(t.clone()).to_bytes().unwrap();
+        tfhpc_core::TensorProto::decode(&bytes).unwrap().0
     });
-    group.finish();
+    print_timing(&timing, Some(8 * 1024));
 }
 
-fn bench_parallel_for(c: &mut Criterion) {
+fn bench_parallel_for() {
     let n = 1 << 20;
     let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
-    let mut group = c.benchmark_group("parallel");
-    group.throughput(Throughput::Elements(n as u64));
-    group.bench_function("reduce_1m", |bench| {
-        bench.iter(|| {
-            tfhpc_parallel::parallel_reduce(
-                n,
-                tfhpc_parallel::default_chunk(n, tfhpc_parallel::global_pool().size()),
-                0.0f64,
-                |lo, hi| data[lo..hi].iter().sum::<f64>(),
-                |a, b| a + b,
-            )
-        });
+    let t = time_case("parallel/reduce_1m", || {
+        tfhpc_parallel::parallel_reduce(
+            n,
+            tfhpc_parallel::default_chunk(n, tfhpc_parallel::global_pool().size()),
+            0.0f64,
+            |lo, hi| data[lo..hi].iter().sum::<f64>(),
+            |a, b| a + b,
+        )
     });
-    group.finish();
+    print_timing(&t, Some(n as u64));
 }
 
-fn bench_des_event_rate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("des");
-    group.throughput(Throughput::Elements(4 * 250));
-    group.bench_function("4proc_1k_events", |bench| {
-        bench.iter(|| {
-            let sim = Sim::new();
-            for i in 0..4 {
-                sim.spawn(&format!("p{i}"), move || {
-                    let me = tfhpc_sim::des::current().unwrap();
-                    for _ in 0..250 {
-                        me.advance(0.001 * (i + 1) as f64);
-                    }
-                });
-            }
-            sim.run()
-        });
+fn bench_des_event_rate() {
+    let t = time_case("des/4proc_1k_events", || {
+        let sim = Sim::new();
+        for i in 0..4 {
+            sim.spawn(&format!("p{i}"), move || {
+                let me = tfhpc_sim::des::current().unwrap();
+                for _ in 0..250 {
+                    me.advance(0.001 * (i + 1) as f64);
+                }
+            });
+        }
+        sim.run()
     });
-    group.finish();
+    print_timing(&t, Some(4 * 250));
 }
 
-fn bench_graphdef_serialize(c: &mut Criterion) {
+fn bench_graphdef_serialize() {
     let mut g = Graph::new();
     let mut last = g.constant(Tensor::scalar_f64(0.0));
     for _ in 0..100 {
         let one = g.constant(Tensor::scalar_f64(1.0));
         last = g.add(last, one);
     }
-    c.bench_function("graphdef_201_nodes", |bench| {
-        bench.iter(|| {
-            let bytes = tfhpc_core::graph_to_bytes(&g).unwrap();
-            tfhpc_core::graph_from_bytes(&bytes).unwrap()
-        });
+    let t = time_case("graphdef_201_nodes", || {
+        let bytes = tfhpc_core::graph_to_bytes(&g).unwrap();
+        tfhpc_core::graph_from_bytes(&bytes).unwrap()
     });
-    let _ = Tensor::zeros(DType::F64, [1]);
+    print_timing(&t, None);
 }
 
-criterion_group! {
-    name = runtime;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_session_dispatch, bench_queue_throughput, bench_proto_roundtrip, bench_parallel_for, bench_des_event_rate, bench_graphdef_serialize
+fn main() {
+    bench_session_dispatch();
+    bench_inter_op_scaling();
+    bench_queue_throughput();
+    bench_proto_roundtrip();
+    bench_parallel_for();
+    bench_des_event_rate();
+    bench_graphdef_serialize();
 }
-criterion_main!(runtime);

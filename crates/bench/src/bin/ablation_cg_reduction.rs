@@ -48,8 +48,7 @@ fn main() {
     let f = |l: &str| rows.iter().find(|r| r.label == l).unwrap().measured;
     let gain16 =
         f("CG 32k / 16 GPUs / ring allreduce") / f("CG 32k / 16 GPUs / queue-pair reducer");
-    let gain2 =
-        f("CG 32k /  2 GPUs / ring allreduce") / f("CG 32k /  2 GPUs / queue-pair reducer");
+    let gain2 = f("CG 32k /  2 GPUs / ring allreduce") / f("CG 32k /  2 GPUs / queue-pair reducer");
     println!("\nring-over-reducer gain: {gain2:.2}x at 2 GPUs, {gain16:.2}x at 16 GPUs —");
     println!("the collective pays off as the worker count grows, confirming §VIII's");
     println!("expectation that MPI-style plugins lift the ps-model scalability ceiling.");

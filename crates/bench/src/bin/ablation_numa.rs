@@ -44,8 +44,6 @@ fn main() {
         &rows,
     );
     let spread = rows[0].measured / rows[2].measured;
-    println!(
-        "\nspreading 4 ranks over 4 nodes instead of 1 is {spread:.2}x faster —"
-    );
+    println!("\nspreading 4 ranks over 4 nodes instead of 1 is {spread:.2}x faster —");
     println!("the node-level contention the paper blames for Kebnekaise's sub-optimal scaling.");
 }

@@ -30,12 +30,18 @@ fn main() {
     // nt^3 products, workers ∝ problem: N = 16k→2 GPUs, 32k→16 GPUs is
     // too steep (products grow cubically); pair (N, GPUs) so that
     // products/GPU stays at 4: (16k,2c=8/2=4)... use (16384,2),(32768,16).
-    for (platform, label) in [(tegner_k80(), "Tegner K80"), (kebnekaise_k80(), "Kebnekaise K80")] {
+    for (platform, label) in [
+        (tegner_k80(), "Tegner K80"),
+        (kebnekaise_k80(), "Kebnekaise K80"),
+    ] {
         for (n, workers) in [(16384usize, 2usize), (32768, 16)] {
             let gf = measure(&platform, n, workers);
             rows.push(Row::new(
-                format!("{label} / {}k / {workers} GPUs ({} products/GPU)", n / 1024,
-                        (n / 8192usize).pow(3) / workers),
+                format!(
+                    "{label} / {}k / {workers} GPUs ({} products/GPU)",
+                    n / 1024,
+                    (n / 8192usize).pow(3) / workers
+                ),
                 gf / workers as f64,
                 None,
                 "Gflop/s per GPU",

@@ -32,8 +32,7 @@ fn sweep(rows: &mut Vec<Row>, platform: &Platform, n: usize, gpus: &[usize]) {
     for &w in gpus {
         let gf = measure(platform, n, w);
         // Paper anchor: >300 Gflop/s on 8 V100s (§VI-C text).
-        let paper = (platform.label == "Kebnekaise V100" && n == 32768 && w == 8)
-            .then_some(300.0);
+        let paper = (platform.label == "Kebnekaise V100" && n == 32768 && w == 8).then_some(300.0);
         series.push(Row::new(
             format!("{} / {}k / {w} GPUs", platform.label, n / 1024),
             gf,
@@ -76,8 +75,7 @@ fn main() {
     let v24 = find("Kebnekaise V100 / 32k / 4 GPUs") / find("Kebnekaise V100 / 32k / 2 GPUs");
     let v48 = find("Kebnekaise V100 / 32k / 8 GPUs") / find("Kebnekaise V100 / 32k / 4 GPUs");
     let teg24 = find("Tegner K80 / 32k / 4 GPUs") / find("Tegner K80 / 32k / 2 GPUs");
-    let small24 =
-        find("Kebnekaise V100 / 16k / 4 GPUs") / find("Kebnekaise V100 / 16k / 2 GPUs");
+    let small24 = find("Kebnekaise V100 / 16k / 4 GPUs") / find("Kebnekaise V100 / 16k / 2 GPUs");
     println!("  Keb K80 32k: 2->4 {keb24:.2}x, 4->8 {keb48:.2}x, 8->16 {keb816:.2}x");
     println!("  Keb V100 32k: 2->4 {v24:.2}x, 4->8 {v48:.2}x");
     println!("  Tegner K80 32k: 2->4 {teg24:.2}x");

@@ -59,6 +59,9 @@ fn main() {
     let s48 = find("Tegner K80 / 2^31 / 1+8") / find("Tegner K80 / 2^31 / 1+4");
     let k420_s24 = find("Tegner K420 / 2^29 / 1+4") / find("Tegner K420 / 2^29 / 1+2");
     println!("\nshape checks (paper: ~1.6-1.8x 2->4, flattening 4->8):");
-    println!("  Tegner K80 2->4: {s24:.2}x, 4->8: {s48:.2}x (flattens: {})", s48 < s24);
+    println!(
+        "  Tegner K80 2->4: {s24:.2}x, 4->8: {s48:.2}x (flattens: {})",
+        s48 < s24
+    );
     println!("  Tegner K420 2->4: {k420_s24:.2}x");
 }

@@ -32,7 +32,11 @@ fn main() {
         "20 iterations / 4 workers: {:.3} virtual s, {:.1} Gflop/s",
         report.elapsed_s, report.gflops
     );
-    println!("Chrome trace written to {} ({} bytes)", path.display(), json.len());
+    println!(
+        "Chrome trace written to {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
 
     // Per-track summary from the JSON (tid = track, dur in us).
     let mut tracks: BTreeMap<String, (usize, f64)> = BTreeMap::new();
@@ -52,7 +56,10 @@ fn main() {
         e.0 += 1;
         e.1 += dur / 1e6;
     }
-    println!("\n{:<28} {:>8} {:>12}", "timeline row", "events", "busy [s]");
+    println!(
+        "\n{:<28} {:>8} {:>12}",
+        "timeline row", "events", "busy [s]"
+    );
     println!("{}", "-".repeat(52));
     for (track, (events, busy)) in &tracks {
         println!("{track:<28} {events:>8} {busy:>12.3}");

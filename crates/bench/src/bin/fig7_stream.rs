@@ -35,14 +35,15 @@ fn measure(platform: &Platform, on_gpu: bool, protocol: Protocol, mb: u64, repea
 
 fn main() {
     // Paper-reported anchor points (§VI-A text).
-    let paper: fn(&str, Protocol, u64) -> Option<f64> = |series, proto, mb| match (series, proto, mb) {
-        ("Tegner CPU", Protocol::Rdma, 128) => Some(6000.0), // ">6 GB/s"
-        ("Tegner GPU", Protocol::Rdma, 128) => Some(1300.0), // "saturates ~1300 MB/s"
-        ("Kebnekaise GPU", Protocol::Rdma, 128) => Some(2300.0), // "below 2300 MB/s"
-        ("Tegner GPU", Protocol::Mpi, 128) => Some(318.0),
-        ("Kebnekaise GPU", Protocol::Mpi, 128) => Some(480.0),
-        _ => None,
-    };
+    let paper: fn(&str, Protocol, u64) -> Option<f64> =
+        |series, proto, mb| match (series, proto, mb) {
+            ("Tegner CPU", Protocol::Rdma, 128) => Some(6000.0), // ">6 GB/s"
+            ("Tegner GPU", Protocol::Rdma, 128) => Some(1300.0), // "saturates ~1300 MB/s"
+            ("Kebnekaise GPU", Protocol::Rdma, 128) => Some(2300.0), // "below 2300 MB/s"
+            ("Tegner GPU", Protocol::Mpi, 128) => Some(318.0),
+            ("Kebnekaise GPU", Protocol::Mpi, 128) => Some(480.0),
+            _ => None,
+        };
 
     let series: [(&str, Platform, bool); 3] = [
         ("Tegner GPU", tegner_k420(), true),

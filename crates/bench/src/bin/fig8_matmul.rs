@@ -39,8 +39,8 @@ fn print_utilization() {
         simulated: true,
         prefetch: 3,
     };
-    let report = tfhpc_apps::matmul::run_matmul_with_sim(&kebnekaise_k80(), &cfg)
-        .expect("matmul run");
+    let report =
+        tfhpc_apps::matmul::run_matmul_with_sim(&kebnekaise_k80(), &cfg).expect("matmul run");
     println!(
         "== resource utilization: Kebnekaise K80 / 32k / 8 GPUs ({:.1}s virtual) ==",
         report.0.elapsed_s
@@ -56,8 +56,7 @@ fn sweep(rows: &mut Vec<Row>, platform: &Platform, n: usize, tile: usize, gpus: 
         let gf = measure(platform, n, tile, w);
         let label = format!("{} / {}k / 2+{w}", platform.label, n / 1024);
         // Paper anchor: Kebnekaise K80 peak 2478 Gflop/s at 16 GPUs, 32k.
-        let paper = (platform.label == "Kebnekaise K80" && n == 32768 && w == 16)
-            .then_some(2478.0);
+        let paper = (platform.label == "Kebnekaise K80" && n == 32768 && w == 16).then_some(2478.0);
         series.push(Row::new(label, gf, paper, "Gflop/s"));
     }
     print_scaling(&series);
@@ -100,12 +99,9 @@ fn main() {
     print_table("Fig. 8: tiled matmul performance", &rows);
 
     let find = |label: &str| rows.iter().find(|r| r.label == label).unwrap().measured;
-    let teg_speedup =
-        find("Tegner K420 / 32k / 2+4") / find("Tegner K420 / 32k / 2+2");
-    let teg80_speedup =
-        find("Tegner K80 / 64k / 2+4") / find("Tegner K80 / 64k / 2+2");
-    let keb_speedup =
-        find("Kebnekaise K80 / 32k / 2+4") / find("Kebnekaise K80 / 32k / 2+2");
+    let teg_speedup = find("Tegner K420 / 32k / 2+4") / find("Tegner K420 / 32k / 2+2");
+    let teg80_speedup = find("Tegner K80 / 64k / 2+4") / find("Tegner K80 / 64k / 2+2");
+    let keb_speedup = find("Kebnekaise K80 / 32k / 2+4") / find("Kebnekaise K80 / 32k / 2+2");
     println!("\nshape checks (paper: ~2x K420@32k, ~1.8x K80@65k, ~1.4x Kebnekaise@32k):");
     println!("  Tegner K420 32k 2->4 GPUs: {teg_speedup:.2}x");
     println!("  Tegner K80  64k 2->4 GPUs: {teg80_speedup:.2}x");

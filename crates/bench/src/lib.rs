@@ -81,6 +81,88 @@ pub fn print_scaling(rows: &[Row]) {
     }
 }
 
+/// Result of timing one micro-benchmark case.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Case label.
+    pub label: String,
+    /// Best (minimum) iteration time in seconds.
+    pub best_s: f64,
+    /// Mean iteration time in seconds.
+    pub mean_s: f64,
+    /// Iterations measured.
+    pub iters: usize,
+}
+
+/// Time `body` adaptively: warm up, then run enough iterations to fill
+/// roughly `budget_s` seconds (at least `min_iters`), and report the
+/// best and mean per-iteration time. Plain `Instant`-based measurement —
+/// the offline build has no external bench harness.
+pub fn time_case<R>(label: &str, mut body: impl FnMut() -> R) -> Timing {
+    use std::time::Instant;
+    let budget_s = 0.2f64;
+    let min_iters = 5usize;
+
+    // Warm-up + calibration pass.
+    let t0 = Instant::now();
+    std::hint::black_box(body());
+    let first = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((budget_s / first) as usize).clamp(min_iters, 10_000);
+
+    let mut best = f64::INFINITY;
+    let mut total = 0.0;
+    for _ in 0..iters {
+        let t = Instant::now();
+        std::hint::black_box(body());
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        total += dt;
+    }
+    Timing {
+        label: label.to_string(),
+        best_s: best,
+        mean_s: total / iters as f64,
+        iters,
+    }
+}
+
+/// Format a seconds value with an auto-selected unit.
+pub fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Print one timing row, with optional throughput (elements/sec based
+/// on the best time).
+pub fn print_timing(t: &Timing, elements: Option<u64>) {
+    let thrpt = elements
+        .map(|e| {
+            let per_s = e as f64 / t.best_s;
+            if per_s >= 1e9 {
+                format!("  {:>10.2} Gelem/s", per_s / 1e9)
+            } else if per_s >= 1e6 {
+                format!("  {:>10.2} Melem/s", per_s / 1e6)
+            } else {
+                format!("  {:>10.0} elem/s", per_s)
+            }
+        })
+        .unwrap_or_default();
+    println!(
+        "{:<36} best {:>12}  mean {:>12}  ({} iters){thrpt}",
+        t.label,
+        fmt_time(t.best_s),
+        fmt_time(t.mean_s),
+        t.iters
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +187,17 @@ mod tests {
             Row::new("2", 10.0, None, "gf"),
             Row::new("4", 18.0, None, "gf"),
         ]);
+    }
+
+    #[test]
+    fn time_case_measures_something() {
+        let t = time_case("noop", || 1 + 1);
+        assert!(t.best_s >= 0.0);
+        assert!(t.mean_s >= t.best_s);
+        assert!(t.iters >= 5);
+        print_timing(&t, Some(1));
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
     }
 }

@@ -156,9 +156,7 @@ mod tests {
     use super::*;
 
     fn elems(n: usize) -> Vec<Vec<Tensor>> {
-        (0..n)
-            .map(|i| vec![Tensor::scalar_i64(i as i64)])
-            .collect()
+        (0..n).map(|i| vec![Tensor::scalar_i64(i as i64)]).collect()
     }
 
     fn drain(it: &DatasetIterator) -> Vec<i64> {

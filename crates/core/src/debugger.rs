@@ -65,12 +65,7 @@ fn float_stats(t: &Tensor) -> (Option<f64>, Option<f64>, Option<f64>, usize) {
     if finite == 0 {
         (None, None, None, nonfinite)
     } else {
-        (
-            Some(min),
-            Some(max),
-            Some(sum / finite as f64),
-            nonfinite,
-        )
+        (Some(min), Some(max), Some(sum / finite as f64), nonfinite)
     }
 }
 
@@ -224,16 +219,8 @@ mod tests {
     #[test]
     fn synthetic_tensors_recorded_as_metadata() {
         let mut g = Graph::new();
-        let a = g.constant(Tensor::synthetic(
-            tfhpc_tensor::DType::F32,
-            [1024, 1024],
-            7,
-        ));
-        let b = g.constant(Tensor::synthetic(
-            tfhpc_tensor::DType::F32,
-            [1024, 1024],
-            8,
-        ));
+        let a = g.constant(Tensor::synthetic(tfhpc_tensor::DType::F32, [1024, 1024], 7));
+        let b = g.constant(Tensor::synthetic(tfhpc_tensor::DType::F32, [1024, 1024], 8));
         let c = g.matmul(a, b);
         let (sess, dbg) = traced_session(g);
         sess.run(&[c], &[]).unwrap();
@@ -249,7 +236,8 @@ mod tests {
         let one = g.constant(Tensor::scalar_f64(1.0));
         let bump = g.assign_add("v", one);
         let (sess, dbg) = traced_session(g);
-        sess.resources().create_variable("v", Tensor::scalar_f64(0.0));
+        sess.resources()
+            .create_variable("v", Tensor::scalar_f64(0.0));
         for _ in 0..3 {
             sess.run(&[bump], &[]).unwrap();
         }

@@ -31,9 +31,7 @@ impl Placement {
     /// `"/device:GPU:0"`).
     pub fn parse(s: &str) -> Result<Placement> {
         let lower = s.to_ascii_lowercase();
-        let lower = lower
-            .trim_start_matches('/')
-            .replace("device:", "");
+        let lower = lower.trim_start_matches('/').replace("device:", "");
         if lower.is_empty() {
             return Ok(Placement::Auto);
         }
@@ -244,7 +242,10 @@ mod tests {
     fn parse_device_strings() {
         assert_eq!(Placement::parse("/cpu:0").unwrap(), Placement::Cpu);
         assert_eq!(Placement::parse("/gpu:1").unwrap(), Placement::Gpu(1));
-        assert_eq!(Placement::parse("/device:GPU:0").unwrap(), Placement::Gpu(0));
+        assert_eq!(
+            Placement::parse("/device:GPU:0").unwrap(),
+            Placement::Gpu(0)
+        );
         assert_eq!(Placement::parse("").unwrap(), Placement::Auto);
         assert!(Placement::parse("/tpu:0").is_err());
         assert!(Placement::parse("/gpu:x").is_err());
@@ -297,7 +298,10 @@ mod tests {
             ctx.charge_kernel(Placement::Gpu(0), &Cost::bytes(1e9), false),
             0.0
         );
-        assert_eq!(ctx.charge_transfer(Placement::Cpu, Placement::Gpu(0), 1 << 30), 0.0);
+        assert_eq!(
+            ctx.charge_transfer(Placement::Cpu, Placement::Gpu(0), 1 << 30),
+            0.0
+        );
         assert!(ctx.usable_memory(Placement::Gpu(0)).is_none());
     }
 

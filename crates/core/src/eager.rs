@@ -138,7 +138,10 @@ impl EagerContext {
 
     /// `var += value`.
     pub fn assign_add(&self, name: &str, value: &Tensor) -> Result<Tensor> {
-        self.one(&Op::AssignAdd { var: name.into() }, std::slice::from_ref(value))
+        self.one(
+            &Op::AssignAdd { var: name.into() },
+            std::slice::from_ref(value),
+        )
     }
 }
 
@@ -155,10 +158,7 @@ mod tests {
         let c = ctx.add(&a, &b).unwrap();
         let d = ctx.mul(&c, &c).unwrap();
         assert_eq!(d.as_f64().unwrap(), &[16.0, 36.0]);
-        assert_eq!(
-            ctx.dot(&a, &b).unwrap().scalar_value_f64().unwrap(),
-            11.0
-        );
+        assert_eq!(ctx.dot(&a, &b).unwrap().scalar_value_f64().unwrap(), 11.0);
     }
 
     #[test]
@@ -191,11 +191,7 @@ mod tests {
         let ca = g.constant(a);
         let cb = g.constant(b);
         let cc = g.matmul(ca, cb);
-        let sess = crate::session::Session::new(
-            Arc::new(g),
-            Resources::new(),
-            DeviceCtx::real(0),
-        );
+        let sess = crate::session::Session::new(Arc::new(g), Resources::new(), DeviceCtx::real(0));
         let graph = sess.run(&[cc], &[]).unwrap().remove(0);
         assert_eq!(eager.as_f64().unwrap(), graph.as_f64().unwrap());
     }
@@ -233,8 +229,7 @@ mod tests {
                 let x = g.matmul(ca, ca);
                 let y = g.matmul(x, ca);
                 let z = g.matmul(y, ca);
-                let sess =
-                    crate::session::Session::new(Arc::new(g), Resources::new(), devices);
+                let sess = crate::session::Session::new(Arc::new(g), Resources::new(), devices);
                 let t1 = me.now();
                 sess.run(&[z], &[]).unwrap();
                 let graph_t = me.now() - t1;

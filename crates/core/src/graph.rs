@@ -130,7 +130,9 @@ impl Graph {
         }
         for c in &control_inputs {
             if c.0 >= id.0 {
-                return Err(CoreError::Graph("control input does not precede node".into()));
+                return Err(CoreError::Graph(
+                    "control input does not precede node".into(),
+                ));
             }
         }
         let name = self.fresh_name(&op);
@@ -343,7 +345,8 @@ impl Graph {
 
     /// Group control dependencies into one no-output node.
     pub fn group(&mut self, deps: &[NodeId]) -> NodeId {
-        self.add_node(Op::NoOp, vec![], deps.to_vec()).expect("builder")
+        self.add_node(Op::NoOp, vec![], deps.to_vec())
+            .expect("builder")
     }
 
     // ---- queues / datasets / tiles ----------------------------------------

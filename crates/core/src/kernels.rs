@@ -23,7 +23,11 @@ pub fn cast(t: &Tensor, to: DType) -> Result<Tensor> {
         return Ok(t.clone());
     }
     if let Some(seed) = t.synthetic_seed() {
-        return Ok(Tensor::synthetic(to, t.shape().clone(), mix_seed(seed, 0xCA57)));
+        return Ok(Tensor::synthetic(
+            to,
+            t.shape().clone(),
+            mix_seed(seed, 0xCA57),
+        ));
     }
     match (t.dtype(), to) {
         (DType::F32, DType::F64) => {
@@ -88,11 +92,7 @@ pub fn execute(
             if inputs.is_empty() {
                 return Err(CoreError::Graph("AddN with no inputs".into()));
             }
-            let mut acc = inputs[0].clone();
-            for x in &inputs[1..] {
-                acc = ops::add(&acc, x)?;
-            }
-            Ok(vec![acc])
+            Ok(vec![ops::add_n(inputs)?])
         }
         Op::MatMul => Ok(vec![matmul::matmul(&inputs[0], &inputs[1])?]),
         Op::MatVec => Ok(vec![matmul::matvec(&inputs[0], &inputs[1])?]),
@@ -190,6 +190,66 @@ pub fn execute(
     }
 }
 
+/// Bytes of output `op` will produce given `inputs`, for the session's
+/// pre-dispatch device-memory feasibility check. Returns 0 for ops
+/// whose output size cannot be known without running them (dequeues,
+/// tile reads, py_funcs, custom kernels) — the session re-checks those
+/// against the actual outputs after execution.
+pub fn infer_output_bytes(op: &Op, inputs: &[Tensor]) -> u64 {
+    let elem = |t: &Tensor| t.dtype().size_bytes() as u64;
+    let first = |inputs: &[Tensor]| inputs.first().map(|t| t.byte_size() as u64).unwrap_or(0);
+    match op {
+        Op::Const { value } => value.byte_size() as u64,
+        Op::RandomUniform { dtype, shape, .. } | Op::RandomNormal { dtype, shape, .. } => {
+            (shape.num_elements() * dtype.size_bytes()) as u64
+        }
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Neg
+        | Op::Scale { .. }
+        | Op::MulScalar
+        | Op::AddN
+        | Op::Sqrt
+        | Op::Fft
+        | Op::Assign { .. }
+        | Op::AssignAdd { .. }
+        | Op::Identity
+        | Op::Reshape { .. }
+        | Op::Transpose => first(inputs),
+        Op::MatMul => match (inputs.first(), inputs.get(1)) {
+            (Some(a), Some(b)) if a.shape().rank() == 2 && b.shape().rank() == 2 => {
+                (a.shape().dims()[0] * b.shape().dims()[1]) as u64 * elem(a)
+            }
+            _ => 0,
+        },
+        Op::MatVec => match inputs.first() {
+            Some(a) if a.shape().rank() == 2 => a.shape().dims()[0] as u64 * elem(a),
+            _ => 0,
+        },
+        Op::Dot | Op::Sum | Op::Norm2 | Op::Max => inputs.first().map(elem).unwrap_or(8),
+        Op::SliceRange { start, end } => {
+            (end.saturating_sub(*start)) as u64 * inputs.first().map(elem).unwrap_or(0)
+        }
+        Op::SliceRows { start, end } => match inputs.first() {
+            Some(a) if a.shape().rank() == 2 => {
+                (end.saturating_sub(*start) * a.shape().dims()[1]) as u64 * elem(a)
+            }
+            _ => 0,
+        },
+        Op::ConcatVecs => inputs.iter().map(|t| t.byte_size() as u64).sum(),
+        Op::Cast { to } => inputs
+            .first()
+            .map(|t| (t.shape().num_elements() * to.size_bytes()) as u64)
+            .unwrap_or(0),
+        Op::QueueSize { .. } => 8,
+        // Reference-like or size-unknown: VarRead returns an existing
+        // (Arc-shared) value; the rest are covered by the post-check.
+        _ => 0,
+    }
+}
+
 /// Device cost of one execution of `op` given its inputs and outputs.
 pub fn cost_of(op: &Op, inputs: &[Tensor], outputs: &[Tensor]) -> Cost {
     let in_refs: Vec<&Tensor> = inputs.iter().collect();
@@ -201,12 +261,7 @@ pub fn cost_of(op: &Op, inputs: &[Tensor], outputs: &[Tensor]) -> Cost {
                 [m, k] => (*m as f64, *k as f64),
                 _ => (0.0, 0.0),
             };
-            let n = inputs[1]
-                .shape()
-                .dims()
-                .get(1)
-                .copied()
-                .unwrap_or(0) as f64;
+            let n = inputs[1].shape().dims().get(1).copied().unwrap_or(0) as f64;
             Cost {
                 flops: 2.0 * m * k * n,
                 bytes: io_bytes,
@@ -236,13 +291,19 @@ pub fn cost_of(op: &Op, inputs: &[Tensor], outputs: &[Tensor]) -> Cost {
             bytes: io_bytes,
             class: KernelClass::Blas1,
         },
-        Op::Neg | Op::Scale { .. } | Op::MulScalar | Op::Sqrt | Op::Sum | Op::Norm2 | Op::Max => Cost {
-            flops: inputs[0].num_elements() as f64,
-            bytes: io_bytes,
-            class: KernelClass::Blas1,
-        },
+        Op::Neg | Op::Scale { .. } | Op::MulScalar | Op::Sqrt | Op::Sum | Op::Norm2 | Op::Max => {
+            Cost {
+                flops: inputs[0].num_elements() as f64,
+                bytes: io_bytes,
+                class: KernelClass::Blas1,
+            }
+        }
         Op::RandomUniform { .. } | Op::RandomNormal { .. } => Cost {
-            flops: outputs.first().map(|t| t.num_elements() as f64).unwrap_or(0.0) * 8.0,
+            flops: outputs
+                .first()
+                .map(|t| t.num_elements() as f64)
+                .unwrap_or(0.0)
+                * 8.0,
             bytes: bytes_of(&out_refs),
             class: KernelClass::Elementwise,
         },
@@ -433,7 +494,13 @@ mod tests {
     fn slice_and_concat_kernels() {
         let res = r();
         let v = Tensor::from_f64([6], vec![0., 1., 2., 3., 4., 5.]).unwrap();
-        let out = execute(&Op::SliceRange { start: 2, end: 5 }, std::slice::from_ref(&v), &res, 0).unwrap();
+        let out = execute(
+            &Op::SliceRange { start: 2, end: 5 },
+            std::slice::from_ref(&v),
+            &res,
+            0,
+        )
+        .unwrap();
         assert_eq!(out[0].as_f64().unwrap(), &[2., 3., 4.]);
         let m = Tensor::from_f64([3, 2], vec![1., 2., 3., 4., 5., 6.]).unwrap();
         let out = execute(&Op::SliceRows { start: 1, end: 2 }, &[m], &res, 0).unwrap();
@@ -450,7 +517,13 @@ mod tests {
     fn cast_kernels_convert_precision() {
         let res = r();
         let f32s = Tensor::from_f32([3], vec![1.5, -2.0, 0.25]).unwrap();
-        let out = execute(&Op::Cast { to: DType::F64 }, std::slice::from_ref(&f32s), &res, 0).unwrap();
+        let out = execute(
+            &Op::Cast { to: DType::F64 },
+            std::slice::from_ref(&f32s),
+            &res,
+            0,
+        )
+        .unwrap();
         assert_eq!(out[0].dtype(), DType::F64);
         assert_eq!(out[0].as_f64().unwrap(), &[1.5, -2.0, 0.25]);
         // Round trip through f64 -> f32 is lossless for representables.

@@ -48,10 +48,10 @@ pub use eager::EagerContext;
 pub use error::{CoreError, Result};
 pub use graph::{Graph, NodeId};
 pub use op::{Op, OpKernel};
-pub use optimizer::{optimize, optimize_for, Optimized, OptimizeStats};
+pub use optimizer::{optimize, optimize_for, OptimizeStats, Optimized};
 pub use queue::FifoQueue;
 pub use queue_runner::{Coordinator, QueueRunner};
 pub use resources::{Resources, TileStore, Variable};
 pub use serialize::{graph_from_bytes, graph_to_bytes, Saver, TensorProto};
-pub use session::{RunMetadata, Session};
+pub use session::{RunMetadata, Session, SessionOptions};
 pub use timeline::Timeline;

@@ -297,6 +297,25 @@ impl Op {
         }
     }
 
+    /// Whether the op can block on external progress (queue ops waiting
+    /// for space/items) or consumes from a shared ordered stream
+    /// (dataset iterators). Runs containing such ops execute on the
+    /// sequential path: a blocking kernel must not tie up inter-op pool
+    /// workers, and stream consumption order must stay deterministic.
+    /// `PyFunc` and `Custom` kernels run arbitrary host code (the dist
+    /// Send/Recv kernels and app reducers block on remote queues), so
+    /// they are conservatively treated as blocking too.
+    pub fn may_block(&self) -> bool {
+        matches!(
+            self,
+            Op::QueueEnqueue { .. }
+                | Op::QueueDequeue { .. }
+                | Op::DatasetNext { .. }
+                | Op::PyFunc { .. }
+                | Op::Custom(_)
+        )
+    }
+
     /// Whether the op has side effects (must not be pruned and must
     /// execute even if its outputs are unused).
     pub fn stateful(&self) -> bool {

@@ -168,8 +168,7 @@ pub fn optimize(graph: &Graph) -> Result<Optimized> {
             .iter()
             .map(|(src, idx)| (mapping[src], *idx))
             .collect();
-        let new_controls: Vec<NodeId> =
-            node.control_inputs.iter().map(|c| mapping[c]).collect();
+        let new_controls: Vec<NodeId> = node.control_inputs.iter().map(|c| mapping[c]).collect();
 
         // Identity elimination: bypass same-device pass-throughs with
         // no control obligations of their own.
@@ -343,7 +342,10 @@ mod tests {
         // Still computes -2x.
         let sess = Session::new(Arc::new(opt.graph), Resources::new(), DeviceCtx::real(0));
         let out = sess
-            .run(&[opt.mapping[&s]], &[(opt.mapping[&p], Tensor::scalar_f64(4.0))])
+            .run(
+                &[opt.mapping[&s]],
+                &[(opt.mapping[&p], Tensor::scalar_f64(4.0))],
+            )
             .unwrap();
         assert_eq!(out[0].scalar_value_f64().unwrap(), -8.0);
     }

@@ -178,24 +178,32 @@ impl FifoQueue {
         }
     }
 
-    /// Non-blocking dequeue.
-    pub fn try_dequeue(&self) -> Option<Vec<Tensor>> {
-        let mut st = self.state.lock();
-        let out = st.items.pop_front();
-        drop(st);
+    /// Non-blocking dequeue. `Ok(Some(tuple))` when an element was
+    /// available (even on a closed queue — closing drains), `Ok(None)`
+    /// when the queue is momentarily empty but open, and
+    /// `Err(QueueClosed)` once closed *and* drained — the same terminal
+    /// signal [`FifoQueue::dequeue`] gives, so pollers can tell "retry
+    /// later" from "no more elements will ever arrive".
+    pub fn try_dequeue(&self) -> Result<Option<Vec<Tensor>>> {
+        let out = {
+            let mut st = self.state.lock();
+            match st.items.pop_front() {
+                Some(tuple) => Some(tuple),
+                None if st.closed => return Err(CoreError::QueueClosed(self.name.clone())),
+                None => None,
+            }
+        };
         if out.is_some() {
             match &self.waiters {
                 Waiters::Real { not_full, .. } => {
                     not_full.notify_one();
                 }
                 Waiters::Sim { not_full, .. } => {
-                    if tfhpc_sim::des::current().is_some() {
-                        not_full.notify_all();
-                    }
+                    self.notify_sim(not_full);
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// Close the queue: wake all waiters; enqueues fail from now on.
@@ -215,12 +223,25 @@ impl FifoQueue {
                 not_empty,
                 not_full,
             } => {
-                if tfhpc_sim::des::current().is_some() {
-                    not_empty.notify_all();
-                    not_full.notify_all();
-                }
+                self.notify_sim(not_empty);
+                self.notify_sim(not_full);
             }
         }
+    }
+
+    /// Notify one of a sim-bound queue's condvars. A sim condvar can
+    /// only be notified from inside a simulated process; silently
+    /// dropping the wakeup would leave parked sim processes blocked
+    /// forever, so a non-sim caller is a bug worth failing loudly on.
+    fn notify_sim(&self, cv: &SimCondvar) {
+        assert!(
+            tfhpc_sim::des::current().is_some(),
+            "queue `{}` is bound to a simulation but was signalled from a \
+             non-simulated thread; sim-bound queues must only be used from \
+             inside simulated processes",
+            self.name
+        );
+        cv.notify_all();
     }
 }
 
@@ -276,10 +297,7 @@ mod tests {
         let q = FifoQueue::new("q", 4);
         q.enqueue(t(1.0)).unwrap();
         q.close();
-        assert!(matches!(
-            q.enqueue(t(2.0)),
-            Err(CoreError::QueueClosed(_))
-        ));
+        assert!(matches!(q.enqueue(t(2.0)), Err(CoreError::QueueClosed(_))));
         assert!(q.dequeue().is_ok()); // drain
         assert!(matches!(q.dequeue(), Err(CoreError::QueueClosed(_))));
     }
@@ -297,9 +315,21 @@ mod tests {
     #[test]
     fn try_dequeue_nonblocking() {
         let q = FifoQueue::new("q", 4);
-        assert!(q.try_dequeue().is_none());
+        assert!(q.try_dequeue().unwrap().is_none());
         q.enqueue(t(3.0)).unwrap();
-        assert!(q.try_dequeue().is_some());
+        assert!(q.try_dequeue().unwrap().is_some());
+    }
+
+    #[test]
+    fn try_dequeue_surfaces_closed() {
+        let q = FifoQueue::new("q", 4);
+        q.enqueue(t(1.0)).unwrap();
+        q.close();
+        // Drain still succeeds after close...
+        let drained = q.try_dequeue().unwrap().unwrap();
+        assert_eq!(drained[0].scalar_value_f64().unwrap(), 1.0);
+        // ...then the closed state is an error, not a silent None.
+        assert!(matches!(q.try_dequeue(), Err(CoreError::QueueClosed(_))));
     }
 
     #[test]

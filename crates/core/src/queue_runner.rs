@@ -137,9 +137,8 @@ mod tests {
         let next = g.dataset_next("src", 1);
         let enq = g.queue_enqueue("work", &[next[0]]);
         let resources = Resources::new();
-        let ds = Dataset::from_elements(
-            (0..n).map(|i| vec![Tensor::scalar_i64(i as i64)]).collect(),
-        );
+        let ds =
+            Dataset::from_elements((0..n).map(|i| vec![Tensor::scalar_i64(i as i64)]).collect());
         resources.create_iterator("src", &ds);
         resources.create_queue("work", 4);
         let sess = Arc::new(Session::new(
@@ -192,8 +191,11 @@ mod tests {
         // Keep draining until the runner exits: it may be parked on a
         // full queue and needs space to notice the stop request.
         while !handle.is_finished() {
-            if q.try_dequeue().is_none() {
-                std::thread::yield_now();
+            match q.try_dequeue() {
+                Ok(Some(_)) => {}
+                Ok(None) => std::thread::yield_now(),
+                Err(CoreError::QueueClosed(_)) => break,
+                Err(e) => panic!("{e}"),
             }
         }
         let n = handle.join().unwrap();

@@ -225,9 +225,7 @@ impl Resources {
 
     /// Register a shared tile store (cluster-wide Lustre namespace).
     pub fn register_store(&self, store: Arc<TileStore>) {
-        self.stores
-            .write()
-            .insert(store.name().to_string(), store);
+        self.stores.write().insert(store.name().to_string(), store);
     }
 
     /// Look up a tile store.
@@ -272,7 +270,10 @@ mod tests {
     fn queue_registry() {
         let r = Resources::new();
         r.create_queue("q", 4);
-        r.queue("q").unwrap().enqueue(vec![Tensor::scalar_i64(1)]).unwrap();
+        r.queue("q")
+            .unwrap()
+            .enqueue(vec![Tensor::scalar_i64(1)])
+            .unwrap();
         assert_eq!(r.queue("q").unwrap().len(), 1);
         assert!(r.queue("nope").is_err());
     }
@@ -282,10 +283,7 @@ mod tests {
         let r = Resources::new();
         let s = r.create_store("tiles");
         s.put(vec![1, 2], Tensor::scalar_f32(9.0));
-        assert_eq!(
-            s.get(&[1, 2]).unwrap().scalar_value_f64().unwrap(),
-            9.0
-        );
+        assert_eq!(s.get(&[1, 2]).unwrap().scalar_value_f64().unwrap(), 9.0);
         assert!(s.get(&[0, 0]).is_err());
         assert_eq!(s.keys(), vec![vec![1, 2]]);
         // create_store is idempotent — same instance.

@@ -28,7 +28,14 @@ impl Message for TensorProto {
     fn encode(&self, enc: &mut Encoder) -> std::result::Result<(), ProtoError> {
         let t = &self.0;
         enc.put_u64(1, t.dtype().wire_id());
-        enc.put_packed_u64(2, &t.shape().dims().iter().map(|d| *d as u64).collect::<Vec<_>>());
+        enc.put_packed_u64(
+            2,
+            &t.shape()
+                .dims()
+                .iter()
+                .map(|d| *d as u64)
+                .collect::<Vec<_>>(),
+        );
         match t.storage() {
             Storage::Synthetic { seed } => {
                 enc.put_bool(3, true);
@@ -40,22 +47,18 @@ impl Message for TensorProto {
                     TensorData::F32(v) => enc.put_packed_f32(5, v),
                     TensorData::F64(v) => enc.put_packed_f64(6, v),
                     TensorData::C128(v) => {
-                        let flat: Vec<f64> =
-                            v.iter().flat_map(|c| [c.re, c.im]).collect();
+                        let flat: Vec<f64> = v.iter().flat_map(|c| [c.re, c.im]).collect();
                         enc.put_packed_f64(7, &flat);
                     }
                     TensorData::I64(v) => {
                         enc.put_packed_u64(8, &v.iter().map(|x| *x as u64).collect::<Vec<_>>())
                     }
-                    TensorData::I32(v) => enc.put_packed_u64(
-                        9,
-                        &v.iter().map(|x| *x as u32 as u64).collect::<Vec<_>>(),
-                    ),
+                    TensorData::I32(v) => enc
+                        .put_packed_u64(9, &v.iter().map(|x| *x as u32 as u64).collect::<Vec<_>>()),
                     TensorData::U8(v) => enc.put_bytes(10, v),
-                    TensorData::Bool(v) => enc.put_bytes(
-                        11,
-                        &v.iter().map(|b| *b as u8).collect::<Vec<_>>(),
-                    ),
+                    TensorData::Bool(v) => {
+                        enc.put_bytes(11, &v.iter().map(|b| *b as u8).collect::<Vec<_>>())
+                    }
                 }
             }
         }
@@ -90,20 +93,26 @@ impl Message for TensorProto {
                             .collect(),
                     ));
                 }
-                8 => data = Some(TensorData::I64(
-                    value.as_packed_u64()?.iter().map(|x| *x as i64).collect(),
-                )),
-                9 => data = Some(TensorData::I32(
-                    value
-                        .as_packed_u64()?
-                        .iter()
-                        .map(|x| *x as u32 as i32)
-                        .collect(),
-                )),
+                8 => {
+                    data = Some(TensorData::I64(
+                        value.as_packed_u64()?.iter().map(|x| *x as i64).collect(),
+                    ))
+                }
+                9 => {
+                    data = Some(TensorData::I32(
+                        value
+                            .as_packed_u64()?
+                            .iter()
+                            .map(|x| *x as u32 as i32)
+                            .collect(),
+                    ))
+                }
                 10 => data = Some(TensorData::U8(value.as_bytes()?.to_vec())),
-                11 => data = Some(TensorData::Bool(
-                    value.as_bytes()?.iter().map(|b| *b != 0).collect(),
-                )),
+                11 => {
+                    data = Some(TensorData::Bool(
+                        value.as_bytes()?.iter().map(|b| *b != 0).collect(),
+                    ))
+                }
                 _ => {}
             }
         }
@@ -168,14 +177,17 @@ fn encode_node(g: &Graph, id: NodeId, enc: &mut Encoder) -> Result<()> {
         }
         Op::RandomUniform { dtype, shape, seed } | Op::RandomNormal { dtype, shape, seed } => {
             enc.put_u64(7, dtype.wire_id());
-            enc.put_packed_u64(8, &shape.dims().iter().map(|d| *d as u64).collect::<Vec<_>>());
+            enc.put_packed_u64(
+                8,
+                &shape.dims().iter().map(|d| *d as u64).collect::<Vec<_>>(),
+            );
             enc.put_u64(9, *seed);
         }
         Op::Scale { factor } => enc.put_f64(10, *factor),
         Op::VarRead { var } | Op::Assign { var } | Op::AssignAdd { var } => enc.put_str(11, var),
-        Op::QueueEnqueue { queue }
-        | Op::QueueClose { queue }
-        | Op::QueueSize { queue } => enc.put_str(11, queue),
+        Op::QueueEnqueue { queue } | Op::QueueClose { queue } | Op::QueueSize { queue } => {
+            enc.put_str(11, queue)
+        }
         Op::QueueDequeue { queue, arity } => {
             enc.put_str(11, queue);
             enc.put_u64(12, *arity as u64);
@@ -185,9 +197,10 @@ fn encode_node(g: &Graph, id: NodeId, enc: &mut Encoder) -> Result<()> {
             enc.put_u64(12, *arity as u64);
         }
         Op::ReadTile { store } | Op::WriteTile { store } => enc.put_str(11, store),
-        Op::Reshape { shape } => {
-            enc.put_packed_u64(8, &shape.dims().iter().map(|d| *d as u64).collect::<Vec<_>>())
-        }
+        Op::Reshape { shape } => enc.put_packed_u64(
+            8,
+            &shape.dims().iter().map(|d| *d as u64).collect::<Vec<_>>(),
+        ),
         Op::SliceRange { start, end } | Op::SliceRows { start, end } => {
             enc.put_u64(15, *start as u64);
             enc.put_u64(16, *end as u64);
@@ -238,8 +251,10 @@ fn decode_node(bytes: &[u8], g: &mut Graph) -> Result<()> {
             4 => in_outs = value.as_packed_u64()?,
             5 => controls = value.as_packed_u64()?,
             6 => device = Placement::parse(value.as_str()?).unwrap_or(Placement::Auto),
-            7 => dtype = DType::from_wire_id(value.as_u64()?)
-                .ok_or(ProtoError::InvalidField("dtype"))?,
+            7 => {
+                dtype =
+                    DType::from_wire_id(value.as_u64()?).ok_or(ProtoError::InvalidField("dtype"))?
+            }
             8 => {
                 dims = value.as_packed_u64()?.iter().map(|v| *v as usize).collect();
                 have_shape = true;
@@ -321,11 +336,7 @@ fn decode_node(bytes: &[u8], g: &mut Graph) -> Result<()> {
         },
         "ReadTile" => Op::ReadTile { store: resource },
         "WriteTile" => Op::WriteTile { store: resource },
-        other => {
-            return Err(CoreError::Graph(format!(
-                "cannot deserialize op `{other}`"
-            )))
-        }
+        other => return Err(CoreError::Graph(format!("cannot deserialize op `{other}`"))),
     };
     let inputs = in_nodes
         .iter()
@@ -556,7 +567,11 @@ mod tests {
         let res2 = Resources::new();
         assert_eq!(Saver::restore(&res2, &path).unwrap(), 1);
         assert_eq!(
-            res2.variable("w").unwrap().read().scalar_value_f64().unwrap(),
+            res2.variable("w")
+                .unwrap()
+                .read()
+                .scalar_value_f64()
+                .unwrap(),
             7.5
         );
         std::fs::remove_file(&path).ok();

@@ -1,24 +1,31 @@
 //! The Session: deferred execution of graph subsets.
 //!
 //! `Session::run(fetches, feeds)` resolves the subgraph required for
-//! the fetches, executes it in topological order with simple/soft
-//! device placement, and returns the fetched tensors — TensorFlow's
-//! Graph-mode contract. In simulated runs every kernel, host↔device
-//! transfer and tile read is charged to the bound node's virtual
-//! hardware.
+//! the fetches, executes it with simple/soft device placement, and
+//! returns the fetched tensors — TensorFlow's Graph-mode contract.
+//!
+//! Real-mode runs go through a ready-set dataflow scheduler: per-node
+//! dependency counts over data + control edges, zero-in-degree nodes
+//! dispatched onto the session's inter-op thread pool, consumers
+//! decremented as producers finish. Independent ops therefore overlap,
+//! exactly like TensorFlow's `inter_op_parallelism_threads` executor.
+//! Simulated runs keep the single-stepped sequential path — the DES
+//! owns virtual time, so calibration numbers are unchanged.
 
+use crate::debugger::Debugger;
 use crate::device::{DeviceCtx, Placement};
 use crate::error::{CoreError, Result};
 use crate::graph::{Graph, NodeId};
 use crate::kernels;
 use crate::op::Op;
-use crate::debugger::Debugger;
 use crate::resources::Resources;
 use crate::timeline::Timeline;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
+use tfhpc_parallel::ThreadPool;
 use tfhpc_tensor::Tensor;
 
 /// Effective throughput of feeding placeholders through the Python
@@ -27,6 +34,57 @@ use tfhpc_tensor::Tensor;
 /// pay this tax while Dataset pipelines (matmul, FFT) do not — exactly
 /// the asymmetry between Fig. 8's and Fig. 10's overhead profiles.
 pub const FEED_GBS: f64 = 0.08;
+
+/// Threading knobs for a [`Session`] — the analogue of TensorFlow's
+/// `ConfigProto.inter_op_parallelism_threads` /
+/// `intra_op_parallelism_threads`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOptions {
+    /// Worker threads for the inter-op scheduler (independent graph
+    /// nodes run concurrently). `1` selects the sequential executor.
+    pub inter_op_threads: usize,
+    /// Cap on pool workers a single kernel may use for its data-parallel
+    /// loops (`0` = no cap, use the whole host pool).
+    pub intra_op_threads: usize,
+}
+
+impl Default for SessionOptions {
+    fn default() -> SessionOptions {
+        SessionOptions {
+            inter_op_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            intra_op_threads: 0,
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Options selecting the sequential executor (no inter-op overlap).
+    pub fn sequential() -> SessionOptions {
+        SessionOptions {
+            inter_op_threads: 1,
+            intra_op_threads: 0,
+        }
+    }
+
+    /// Defaults overridden by `TFHPC_INTER_OP_THREADS` /
+    /// `TFHPC_INTRA_OP_THREADS`, when set to valid integers.
+    pub fn from_env() -> SessionOptions {
+        let mut opts = SessionOptions::default();
+        if let Some(n) = env_usize("TFHPC_INTER_OP_THREADS") {
+            opts.inter_op_threads = n.max(1);
+        }
+        if let Some(n) = env_usize("TFHPC_INTRA_OP_THREADS") {
+            opts.intra_op_threads = n;
+        }
+        opts
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
 
 /// Statistics of one `Session::run` (TensorFlow's `RunMetadata`).
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -41,29 +99,84 @@ pub struct RunMetadata {
     pub elapsed_s: f64,
 }
 
+/// Concurrency-safe accumulator behind [`RunMetadata`]: executor
+/// workers update it from many threads; `kernel_seconds` is an `f64`
+/// accumulated through its bit pattern with a CAS loop.
+#[derive(Default)]
+struct MetaAcc {
+    ops_executed: AtomicUsize,
+    output_bytes: AtomicU64,
+    kernel_seconds_bits: AtomicU64,
+}
+
+impl MetaAcc {
+    fn add_kernel_seconds(&self, v: f64) {
+        if v == 0.0 {
+            return;
+        }
+        let mut cur = self.kernel_seconds_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.kernel_seconds_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn into_metadata(self, elapsed_s: f64) -> RunMetadata {
+        RunMetadata {
+            ops_executed: self.ops_executed.into_inner(),
+            output_bytes: self.output_bytes.into_inner(),
+            kernel_seconds: f64::from_bits(self.kernel_seconds_bits.into_inner()),
+            elapsed_s,
+        }
+    }
+}
+
 /// An execution handle over a graph (TensorFlow's `tf.Session`).
 pub struct Session {
     graph: Arc<Graph>,
     resources: Arc<Resources>,
     devices: DeviceCtx,
+    options: SessionOptions,
     timeline: Option<Arc<Timeline>>,
     debugger: Option<Arc<Debugger>>,
     run_counter: AtomicU64,
     created: Instant,
+    /// Inter-op worker pool, spun up lazily on the first parallel run.
+    inter_pool: OnceLock<ThreadPool>,
 }
 
 impl Session {
     /// Create a session over `graph` with the given resource manager
-    /// and device context.
+    /// and device context, using default threading options.
     pub fn new(graph: Arc<Graph>, resources: Arc<Resources>, devices: DeviceCtx) -> Session {
+        Session::with_options(graph, resources, devices, SessionOptions::default())
+    }
+
+    /// [`Session::new`] with explicit threading options.
+    pub fn with_options(
+        graph: Arc<Graph>,
+        resources: Arc<Resources>,
+        devices: DeviceCtx,
+        options: SessionOptions,
+    ) -> Session {
         Session {
             graph,
             resources,
             devices,
+            options,
             timeline: None,
             debugger: None,
             run_counter: AtomicU64::new(0),
             created: Instant::now(),
+            inter_pool: OnceLock::new(),
         }
     }
 
@@ -92,11 +205,21 @@ impl Session {
         &self.devices
     }
 
+    /// The session's threading options.
+    pub fn options(&self) -> &SessionOptions {
+        &self.options
+    }
+
     fn now(&self) -> f64 {
         match tfhpc_sim::des::current() {
             Some(me) => me.now(),
             None => self.created.elapsed().as_secs_f64(),
         }
+    }
+
+    fn inter_pool(&self) -> &ThreadPool {
+        self.inter_pool
+            .get_or_init(|| ThreadPool::new(self.options.inter_op_threads))
     }
 
     /// Execute the subgraph required for `fetches`, feeding
@@ -118,9 +241,9 @@ impl Session {
             .iter()
             .map(|f| {
                 let node = self.graph.node(*f);
-                let (outs, _) = computed
-                    .get(f)
-                    .ok_or_else(|| CoreError::Graph(format!("fetch `{}` not computed", node.name)))?;
+                let (outs, _) = computed.get(f).ok_or_else(|| {
+                    CoreError::Graph(format!("fetch `{}` not computed", node.name))
+                })?;
                 outs.first().cloned().ok_or_else(|| {
                     CoreError::Graph(format!(
                         "fetch `{}` has no outputs (op `{}`)",
@@ -140,17 +263,14 @@ impl Session {
         self.exec_subgraph(targets, feeds).map(|_| ())
     }
 
-    /// The single executor behind every run flavour: dispatch + feed
-    /// costs, topological execution with transfer/PFS/kernel charging,
-    /// memory feasibility, timeline/debugger hooks.
+    /// The single entry behind every run flavour: dispatch + feed
+    /// costs, then either the sequential or the parallel executor.
     #[allow(clippy::type_complexity)]
     fn exec_subgraph(
         &self,
         targets: &[NodeId],
         feeds: &[(NodeId, Tensor)],
     ) -> Result<(HashMap<NodeId, (Vec<Tensor>, Placement)>, RunMetadata)> {
-        let fetches = targets;
-        let mut meta = RunMetadata::default();
         let run_t0 = self.now();
         let run_seed = self.run_counter.fetch_add(1, Ordering::Relaxed) + 1;
 
@@ -166,47 +286,43 @@ impl Session {
         }
 
         let feed_map: HashMap<NodeId, &Tensor> = feeds.iter().map(|(id, t)| (*id, t)).collect();
-        let needed = self.graph.required_for(fetches);
+        let needed = self.graph.required_for(targets);
+        let meta = MetaAcc::default();
 
-        // node id -> (outputs, resolved placement)
+        // Simulated runs stay sequential (the DES owns time, and one
+        // sim process steps the whole run); blocking ops must not tie
+        // up inter-op workers, so queue/dataset graphs do too.
+        let parallel = self.options.inter_op_threads > 1
+            && needed.len() > 1
+            && self.devices.sim.is_none()
+            && tfhpc_sim::des::current().is_none()
+            && !needed.iter().any(|id| self.graph.node(*id).op.may_block());
+
+        let computed = if parallel {
+            self.exec_parallel(&needed, &feed_map, run_seed, &meta)?
+        } else {
+            self.exec_sequential(&needed, &feed_map, run_seed, &meta)?
+        };
+
+        Ok((computed, meta.into_metadata(self.now() - run_t0)))
+    }
+
+    /// In-order executor: walks `needed` in (valid topological)
+    /// ascending-id order on the calling thread. Used for simulated
+    /// runs and when `inter_op_threads == 1`.
+    #[allow(clippy::type_complexity)]
+    fn exec_sequential(
+        &self,
+        needed: &[NodeId],
+        feed_map: &HashMap<NodeId, &Tensor>,
+        run_seed: u64,
+        meta: &MetaAcc,
+    ) -> Result<HashMap<NodeId, (Vec<Tensor>, Placement)>> {
         let mut computed: HashMap<NodeId, (Vec<Tensor>, Placement)> = HashMap::new();
-
         for id in needed {
-            let node = self.graph.node(id);
-
-            // Placeholders resolve straight from feeds.
-            if let Op::Placeholder { dtype, shape } = &node.op {
-                let fed = feed_map.get(&id).ok_or_else(|| {
-                    CoreError::Graph(format!("placeholder `{}` was not fed", node.name))
-                })?;
-                if fed.dtype() != *dtype {
-                    return Err(CoreError::Graph(format!(
-                        "placeholder `{}` fed {} but declared {}",
-                        node.name,
-                        fed.dtype(),
-                        dtype
-                    )));
-                }
-                if let Some(s) = shape {
-                    if fed.shape() != s {
-                        return Err(CoreError::Graph(format!(
-                            "placeholder `{}` fed shape {} but declared {}",
-                            node.name,
-                            fed.shape(),
-                            s
-                        )));
-                    }
-                }
-                computed.insert(id, (vec![(*fed).clone()], Placement::Cpu));
-                meta.ops_executed += 1;
-                continue;
-            }
-
-            let placement = self.devices.resolve(node.device, node.op.gpu_capable())?;
-
-            // Gather inputs, charging host↔device transfers when the
-            // producer sat on a different device.
+            let node = self.graph.node(*id);
             let mut inputs = Vec::with_capacity(node.inputs.len());
+            let mut placements = Vec::with_capacity(node.inputs.len());
             for (src, out_idx) in &node.inputs {
                 let (outs, src_placement) = computed
                     .get(src)
@@ -215,69 +331,321 @@ impl Session {
                     .get(*out_idx)
                     .ok_or_else(|| CoreError::Graph("missing producer output".into()))?
                     .clone();
-                self.devices
-                    .charge_transfer(*src_placement, placement, t.byte_size() as u64);
                 inputs.push(t);
+                placements.push(*src_placement);
             }
+            let out = self.exec_node(node, inputs, &placements, feed_map, run_seed, meta)?;
+            computed.insert(*id, out);
+        }
+        Ok(computed)
+    }
 
-            // PFS traffic for tile I/O in simulated runs.
-            if let (Some(sim), Op::ReadTile { store }) = (self.devices.sim.as_ref(), &node.op) {
-                if let Ok(key) = inputs[0].as_i64() {
-                    if let Ok(tile) = self.resources.store(store)?.get(key) {
-                        sim.cluster.pfs.read(sim.node, tile.byte_size() as u64);
-                    }
-                }
-            }
-            if let (Some(sim), Op::WriteTile { .. }) = (self.devices.sim.as_ref(), &node.op) {
-                sim.cluster
-                    .pfs
-                    .write(sim.node, inputs[1].byte_size() as u64);
-            }
+    /// Ready-set dataflow executor: dependency counts over data +
+    /// control edges, zero-in-degree nodes dispatched onto the inter-op
+    /// pool, consumers decremented as producers finish. The first error
+    /// stops scheduling new nodes; in-flight kernels drain before the
+    /// error is returned.
+    #[allow(clippy::type_complexity)]
+    fn exec_parallel(
+        &self,
+        needed: &[NodeId],
+        feed_map: &HashMap<NodeId, &Tensor>,
+        run_seed: u64,
+        meta: &MetaAcc,
+    ) -> Result<HashMap<NodeId, (Vec<Tensor>, Placement)>> {
+        let n = needed.len();
+        let index: HashMap<NodeId, usize> =
+            needed.iter().enumerate().map(|(i, id)| (*id, i)).collect();
 
-            let start = self.now();
-            let outputs = kernels::execute(&node.op, &inputs, &self.resources, run_seed)?;
-
-            // Device-memory feasibility: the op's working set must fit.
-            if let Some(capacity) = self.devices.usable_memory(placement) {
-                let working_set: u64 = inputs
-                    .iter()
-                    .chain(outputs.iter())
-                    .map(|t| t.byte_size() as u64)
-                    .sum();
-                if working_set > capacity {
-                    return Err(CoreError::OutOfMemory {
-                        device: self.devices.device_name(placement),
-                        needed: working_set,
-                        capacity,
-                    });
-                }
+        // Dependency counts + consumer lists. Duplicate edges (a node
+        // consuming the same producer twice) count twice on both sides
+        // so decrements stay balanced.
+        let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, id) in needed.iter().enumerate() {
+            let node = self.graph.node(*id);
+            let mut count = 0usize;
+            for (src, _) in &node.inputs {
+                consumers[index[src]].push(i);
+                count += 1;
             }
-
-            let cost = kernels::cost_of(&node.op, &inputs, &outputs);
-            let dp = kernels::is_double_precision(&inputs, &outputs);
-            let dur = self.devices.charge_kernel(placement, &cost, dp);
-            if let Some(tl) = &self.timeline {
-                let end = self.now();
-                let dur = if self.devices.sim.is_some() {
-                    dur
-                } else {
-                    end - start
-                };
-                tl.record(&node.name, &self.devices.device_name(placement), start, dur);
+            for src in &node.control_inputs {
+                consumers[index[src]].push(i);
+                count += 1;
             }
-            if let Some(dbg) = &self.debugger {
-                dbg.record(&node.name, &outputs);
-            }
-
-            meta.ops_executed += 1;
-            meta.kernel_seconds += dur;
-            meta.output_bytes += outputs.iter().map(|t| t.byte_size() as u64).sum::<u64>();
-            computed.insert(id, (outputs, placement));
+            pending.push(AtomicUsize::new(count));
         }
 
-        meta.elapsed_s = self.now() - run_t0;
-        Ok((computed, meta))
+        let results: Vec<OnceLock<(Vec<Tensor>, Placement)>> =
+            (0..n).map(|_| OnceLock::new()).collect();
+        let sched = Scheduler {
+            ready: Mutex::new(ReadySet {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            cv: Condvar::new(),
+            remaining: AtomicUsize::new(n),
+            error: Mutex::new(None),
+        };
+        {
+            let mut rs = sched.ready.lock();
+            for (i, p) in pending.iter().enumerate() {
+                if p.load(Ordering::Relaxed) == 0 {
+                    rs.queue.push_back(i);
+                }
+            }
+        }
+
+        let workers = self.options.inter_op_threads.min(n);
+        tfhpc_parallel::scope_on(self.inter_pool(), |s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    self.scheduler_worker(
+                        &sched, needed, &index, &pending, &consumers, &results, feed_map, run_seed,
+                        meta,
+                    )
+                });
+            }
+        });
+
+        if let Some(err) = sched.error.lock().take() {
+            return Err(err);
+        }
+        let mut computed = HashMap::with_capacity(n);
+        for (cell, id) in results.into_iter().zip(needed) {
+            let out = cell.into_inner().ok_or_else(|| {
+                CoreError::Graph(format!(
+                    "node `{}` was never scheduled (executor bug)",
+                    self.graph.node(*id).name
+                ))
+            })?;
+            computed.insert(*id, out);
+        }
+        Ok(computed)
     }
+
+    /// One inter-op worker: pop ready nodes, execute, release consumers.
+    #[allow(clippy::too_many_arguments)]
+    fn scheduler_worker(
+        &self,
+        sched: &Scheduler,
+        needed: &[NodeId],
+        index: &HashMap<NodeId, usize>,
+        pending: &[AtomicUsize],
+        consumers: &[Vec<usize>],
+        results: &[OnceLock<(Vec<Tensor>, Placement)>],
+        feed_map: &HashMap<NodeId, &Tensor>,
+        run_seed: u64,
+        meta: &MetaAcc,
+    ) {
+        loop {
+            let idx = {
+                let mut rs = sched.ready.lock();
+                loop {
+                    if let Some(i) = rs.queue.pop_front() {
+                        break i;
+                    }
+                    if !rs.open {
+                        return;
+                    }
+                    sched.cv.wait(&mut rs);
+                }
+            };
+
+            let node = self.graph.node(needed[idx]);
+            let result = (|| -> Result<(Vec<Tensor>, Placement)> {
+                let mut inputs = Vec::with_capacity(node.inputs.len());
+                let mut placements = Vec::with_capacity(node.inputs.len());
+                for (src, out_idx) in &node.inputs {
+                    // The producer finished before this node became
+                    // ready; OnceLock::get also publishes its writes.
+                    let (outs, src_placement) = results[index[src]].get().ok_or_else(|| {
+                        CoreError::Graph("input not computed (executor bug)".into())
+                    })?;
+                    let t = outs
+                        .get(*out_idx)
+                        .ok_or_else(|| CoreError::Graph("missing producer output".into()))?
+                        .clone();
+                    inputs.push(t);
+                    placements.push(*src_placement);
+                }
+                self.exec_node(node, inputs, &placements, feed_map, run_seed, meta)
+            })();
+
+            match result {
+                Ok(out) => {
+                    let _ = results[idx].set(out);
+                    for &c in &consumers[idx] {
+                        if pending[c].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let mut rs = sched.ready.lock();
+                            if rs.open {
+                                rs.queue.push_back(c);
+                                sched.cv.notify_one();
+                            }
+                        }
+                    }
+                    if sched.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let mut rs = sched.ready.lock();
+                        rs.open = false;
+                        sched.cv.notify_all();
+                    }
+                }
+                Err(e) => {
+                    // Record the first error, stop handing out work, and
+                    // let peers drain whatever they already started.
+                    {
+                        let mut slot = sched.error.lock();
+                        if slot.is_none() {
+                            *slot = Some(e);
+                        }
+                    }
+                    let mut rs = sched.ready.lock();
+                    rs.open = false;
+                    rs.queue.clear();
+                    sched.cv.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Execute one node: placement, transfer/PFS charging, pre-dispatch
+    /// memory feasibility, the kernel itself (under the intra-op worker
+    /// cap), cost charging and timeline/debugger hooks. Shared by both
+    /// executors; everything it touches is concurrency-safe.
+    fn exec_node(
+        &self,
+        node: &crate::graph::NodeDef,
+        inputs: Vec<Tensor>,
+        input_placements: &[Placement],
+        feed_map: &HashMap<NodeId, &Tensor>,
+        run_seed: u64,
+        meta: &MetaAcc,
+    ) -> Result<(Vec<Tensor>, Placement)> {
+        // Placeholders resolve straight from feeds.
+        if let Op::Placeholder { dtype, shape } = &node.op {
+            let fed = feed_map.get(&node.id).ok_or_else(|| {
+                CoreError::Graph(format!("placeholder `{}` was not fed", node.name))
+            })?;
+            if fed.dtype() != *dtype {
+                return Err(CoreError::Graph(format!(
+                    "placeholder `{}` fed {} but declared {}",
+                    node.name,
+                    fed.dtype(),
+                    dtype
+                )));
+            }
+            if let Some(s) = shape {
+                if fed.shape() != s {
+                    return Err(CoreError::Graph(format!(
+                        "placeholder `{}` fed shape {} but declared {}",
+                        node.name,
+                        fed.shape(),
+                        s
+                    )));
+                }
+            }
+            meta.ops_executed.fetch_add(1, Ordering::Relaxed);
+            return Ok((vec![(*fed).clone()], Placement::Cpu));
+        }
+
+        let placement = self.devices.resolve(node.device, node.op.gpu_capable())?;
+
+        // Charge host↔device transfers for inputs whose producer sat on
+        // a different device.
+        for (t, src_placement) in inputs.iter().zip(input_placements) {
+            self.devices
+                .charge_transfer(*src_placement, placement, t.byte_size() as u64);
+        }
+
+        // PFS traffic for tile I/O in simulated runs.
+        if let (Some(sim), Op::ReadTile { store }) = (self.devices.sim.as_ref(), &node.op) {
+            if let Ok(key) = inputs[0].as_i64() {
+                if let Ok(tile) = self.resources.store(store)?.get(key) {
+                    sim.cluster.pfs.read(sim.node, tile.byte_size() as u64);
+                }
+            }
+        }
+        if let (Some(sim), Op::WriteTile { .. }) = (self.devices.sim.as_ref(), &node.op) {
+            sim.cluster
+                .pfs
+                .write(sim.node, inputs[1].byte_size() as u64);
+        }
+
+        // Device-memory feasibility BEFORE dispatch: input working set
+        // plus the inferred output size must fit. Catching this up
+        // front keeps infeasible kernels from running (and mutating
+        // state) first.
+        let input_bytes: u64 = inputs.iter().map(|t| t.byte_size() as u64).sum();
+        if let Some(capacity) = self.devices.usable_memory(placement) {
+            let working_set = input_bytes + kernels::infer_output_bytes(&node.op, &inputs);
+            if working_set > capacity {
+                return Err(CoreError::OutOfMemory {
+                    device: self.devices.device_name(placement),
+                    needed: working_set,
+                    capacity,
+                });
+            }
+        }
+
+        let start = self.now();
+        let outputs = tfhpc_parallel::with_worker_limit(self.options.intra_op_threads, || {
+            kernels::execute(&node.op, &inputs, &self.resources, run_seed)
+        })?;
+
+        // Re-check with actual output sizes for ops whose outputs
+        // cannot be inferred up front (dequeues, tile reads, py_funcs).
+        if let Some(capacity) = self.devices.usable_memory(placement) {
+            let working_set =
+                input_bytes + outputs.iter().map(|t| t.byte_size() as u64).sum::<u64>();
+            if working_set > capacity {
+                return Err(CoreError::OutOfMemory {
+                    device: self.devices.device_name(placement),
+                    needed: working_set,
+                    capacity,
+                });
+            }
+        }
+
+        let cost = kernels::cost_of(&node.op, &inputs, &outputs);
+        let dp = kernels::is_double_precision(&inputs, &outputs);
+        let dur = self.devices.charge_kernel(placement, &cost, dp);
+        if let Some(tl) = &self.timeline {
+            let end = self.now();
+            let dur = if self.devices.sim.is_some() {
+                dur
+            } else {
+                end - start
+            };
+            tl.record(&node.name, &self.devices.device_name(placement), start, dur);
+        }
+        if let Some(dbg) = &self.debugger {
+            dbg.record(&node.name, &outputs);
+        }
+
+        meta.ops_executed.fetch_add(1, Ordering::Relaxed);
+        meta.add_kernel_seconds(dur);
+        meta.output_bytes.fetch_add(
+            outputs.iter().map(|t| t.byte_size() as u64).sum::<u64>(),
+            Ordering::Relaxed,
+        );
+        Ok((outputs, placement))
+    }
+}
+
+/// Shared state of one parallel run.
+struct Scheduler {
+    ready: Mutex<ReadySet>,
+    cv: Condvar,
+    remaining: AtomicUsize,
+    error: Mutex<Option<CoreError>>,
+}
+
+/// The ready queue plus its open/closed flag (closed on completion or
+/// first error; workers exit once closed and drained).
+struct ReadySet {
+    queue: VecDeque<usize>,
+    open: bool,
 }
 
 #[cfg(test)]
@@ -347,7 +715,8 @@ mod tests {
         let add = g.assign_add("counter", inc);
         let read = g.var_read("counter");
         let s = session(g);
-        s.resources().create_variable("counter", Tensor::scalar_f64(0.0));
+        s.resources()
+            .create_variable("counter", Tensor::scalar_f64(0.0));
         for _ in 0..3 {
             s.run(&[add], &[]).unwrap();
         }
@@ -446,5 +815,73 @@ mod tests {
         let n2 = g2.group(&[]);
         let s2 = session(g2);
         s2.run_no_fetch(&[n2], &[]).unwrap();
+    }
+
+    #[test]
+    fn session_options_env_and_defaults() {
+        let d = SessionOptions::default();
+        assert!(d.inter_op_threads >= 1);
+        assert_eq!(d.intra_op_threads, 0);
+        let s = SessionOptions::sequential();
+        assert_eq!(s.inter_op_threads, 1);
+    }
+
+    #[test]
+    fn explicit_options_run_same_results() {
+        for inter in [1usize, 4] {
+            let mut g = Graph::new();
+            let a = g.constant(Tensor::from_f64([3], vec![1., 2., 3.]).unwrap());
+            let b = g.neg(a);
+            let c = g.add(a, b);
+            let s = Session::with_options(
+                Arc::new(g),
+                Resources::new(),
+                DeviceCtx::real(0),
+                SessionOptions {
+                    inter_op_threads: inter,
+                    intra_op_threads: 1,
+                },
+            );
+            let out = s.run(&[c], &[]).unwrap();
+            assert_eq!(out[0].as_f64().unwrap(), &[0.0; 3]);
+        }
+    }
+
+    #[test]
+    fn parallel_metadata_matches_sequential() {
+        // 8 independent Neg chains: parallel and sequential executors
+        // must agree on every RunMetadata counter.
+        let build = || {
+            let mut g = Graph::new();
+            let fetches: Vec<NodeId> = (0..8)
+                .map(|i| {
+                    let c = g.constant(Tensor::from_f64([16], vec![i as f64; 16]).unwrap());
+                    let n1 = g.neg(c);
+                    g.neg(n1)
+                })
+                .collect();
+            (g, fetches)
+        };
+        let run = |inter: usize| {
+            let (g, fetches) = build();
+            let s = Session::with_options(
+                Arc::new(g),
+                Resources::new(),
+                DeviceCtx::real(0),
+                SessionOptions {
+                    inter_op_threads: inter,
+                    intra_op_threads: 1,
+                },
+            );
+            let (out, meta) = s.run_with_metadata(&fetches, &[]).unwrap();
+            (
+                out.iter()
+                    .map(|t| t.as_f64().unwrap().to_vec())
+                    .collect::<Vec<_>>(),
+                meta.ops_executed,
+                meta.output_bytes,
+            )
+        };
+        assert_eq!(run(1), run(4));
     }
 }

@@ -3,13 +3,13 @@
 //! Sessions can record per-op events (device, start, duration) and
 //! export them as Chrome trace-event JSON, loadable in
 //! `chrome://tracing` / Perfetto — the same workflow the paper's Fig. 3
-//! shows.
+//! shows. Recording is thread-safe: the parallel inter-op executor
+//! appends events from every worker thread.
 
 use parking_lot::Mutex;
-use serde::Serialize;
 
 /// One op execution span.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimelineEvent {
     /// Op/node name.
     pub name: String,
@@ -19,6 +19,18 @@ pub struct TimelineEvent {
     pub start_s: f64,
     /// Duration in seconds.
     pub dur_s: f64,
+}
+
+impl TimelineEvent {
+    /// End time in seconds.
+    pub fn end_s(&self) -> f64 {
+        self.start_s + self.dur_s
+    }
+
+    /// Whether this span and `other` overlap in time.
+    pub fn overlaps(&self, other: &TimelineEvent) -> bool {
+        self.start_s < other.end_s() && other.start_s < self.end_s()
+    }
 }
 
 /// Recorder of op execution spans.
@@ -61,37 +73,56 @@ impl Timeline {
     /// Export in Chrome trace-event format (the `traceEvents` array of
     /// complete events; timestamps in microseconds as the format wants).
     pub fn to_chrome_trace(&self) -> String {
-        #[derive(Serialize)]
-        struct ChromeEvent<'a> {
-            name: &'a str,
-            cat: &'a str,
-            ph: &'a str,
-            ts: f64,
-            dur: f64,
-            pid: u32,
-            tid: &'a str,
-        }
-        #[derive(Serialize)]
-        struct Trace<'a> {
-            #[serde(rename = "traceEvents")]
-            trace_events: Vec<ChromeEvent<'a>>,
-        }
         let events = self.events.lock();
-        let trace = Trace {
-            trace_events: events
-                .iter()
-                .map(|e| ChromeEvent {
-                    name: &e.name,
-                    cat: "op",
-                    ph: "X",
-                    ts: e.start_s * 1e6,
-                    dur: e.dur_s * 1e6,
-                    pid: 0,
-                    tid: &e.device,
-                })
-                .collect(),
-        };
-        serde_json::to_string_pretty(&trace).expect("timeline serialization cannot fail")
+        let mut out = String::from("{\n  \"traceEvents\": [");
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"name\": {}, ", json_string(&e.name)));
+            out.push_str("\"cat\": \"op\", \"ph\": \"X\", ");
+            out.push_str(&format!(
+                "\"ts\": {}, \"dur\": {}, ",
+                json_number(e.start_s * 1e6),
+                json_number(e.dur_s * 1e6)
+            ));
+            out.push_str(&format!("\"pid\": 0, \"tid\": {}", json_string(&e.device)));
+            out.push('}');
+        }
+        if !events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float as a JSON number (no NaN/Inf; those map to 0).
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
     }
 }
 
@@ -112,16 +143,74 @@ mod tests {
     }
 
     #[test]
-    fn chrome_trace_is_valid_json_with_microseconds() {
+    fn chrome_trace_has_complete_events_in_microseconds() {
         let t = Timeline::new();
         t.record("FFT_3", "node0:GK210", 2.0, 0.25);
         let json = t.to_chrome_trace();
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
-        let ev = &parsed["traceEvents"][0];
-        assert_eq!(ev["name"], "FFT_3");
-        assert_eq!(ev["ph"], "X");
-        assert_eq!(ev["ts"], 2e6);
-        assert_eq!(ev["dur"], 0.25e6);
-        assert_eq!(ev["tid"], "node0:GK210");
+        assert!(json.contains("\"traceEvents\": ["));
+        assert!(json.contains("\"name\": \"FFT_3\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ts\": 2000000"));
+        assert!(json.contains("\"dur\": 250000"));
+        assert!(json.contains("\"tid\": \"node0:GK210\""));
+        // Balanced braces/brackets (a cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn trace_strings_are_escaped() {
+        let t = Timeline::new();
+        t.record("weird\"name\\", "/cpu:0", 0.0, 1.0);
+        let json = t.to_chrome_trace();
+        assert!(json.contains("\"weird\\\"name\\\\\""));
+    }
+
+    #[test]
+    fn overlap_predicate() {
+        let a = TimelineEvent {
+            name: "a".into(),
+            device: "d".into(),
+            start_s: 0.0,
+            dur_s: 1.0,
+        };
+        let b = TimelineEvent {
+            name: "b".into(),
+            device: "d".into(),
+            start_s: 0.5,
+            dur_s: 1.0,
+        };
+        let c = TimelineEvent {
+            name: "c".into(),
+            device: "d".into(),
+            start_s: 1.0,
+            dur_s: 1.0,
+        };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c)); // touching endpoints do not overlap
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let t = std::sync::Arc::new(Timeline::new());
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let t = std::sync::Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        t.record(&format!("op{w}_{i}"), "/cpu:0", i as f64, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 400);
     }
 }

@@ -75,9 +75,7 @@ impl ClusterSpec {
     pub fn all_tasks(&self) -> Vec<TaskKey> {
         self.jobs
             .iter()
-            .flat_map(|(job, tasks)| {
-                (0..tasks.len()).map(move |i| TaskKey::new(job, i))
-            })
+            .flat_map(|(job, tasks)| (0..tasks.len()).map(move |i| TaskKey::new(job, i)))
             .collect()
     }
 }

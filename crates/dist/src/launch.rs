@@ -167,8 +167,8 @@ where
         .map_err(|e| CoreError::Invalid(format!("slurm: {e}")))?;
 
     // Resolve the TensorFlow cluster spec (the paper's resolver).
-    let resolved = resolve_with_policy(&alloc, &cfg.jobs, tasks_per_node, true)
-        .map_err(CoreError::Invalid)?;
+    let resolved =
+        resolve_with_policy(&alloc, &cfg.jobs, tasks_per_node, true).map_err(CoreError::Invalid)?;
 
     // Check GPU feasibility ("insufficient number of GPUs available").
     for t in &resolved.tasks {
@@ -371,9 +371,7 @@ mod tests {
             vec![JobSpec::new("worker", 1, 0)],
             Protocol::Grpc,
         );
-        let result = launch(&cfg, |_ctx| {
-            Err(CoreError::Invalid("intentional".into()))
-        });
+        let result = launch(&cfg, |_ctx| Err(CoreError::Invalid("intentional".into())));
         match result {
             Err(CoreError::Invalid(msg)) => assert!(msg.contains("intentional")),
             _ => panic!("expected launch to surface the task error"),

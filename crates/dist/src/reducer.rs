@@ -49,9 +49,7 @@ impl Reducer {
             .resources
             .create_queue(&format!("{name}.in"), n_workers.max(1) * 2);
         for w in 0..n_workers {
-            server
-                .resources
-                .create_queue(&format!("{name}.out.{w}"), 2);
+            server.resources.create_queue(&format!("{name}.out.{w}"), 2);
         }
         Reducer {
             server,
@@ -89,9 +87,12 @@ impl Reducer {
         let mut partials = Vec::with_capacity(self.n_workers);
         for _ in 0..self.n_workers {
             let tuple = in_q.dequeue()?;
-            partials.push(tuple.into_iter().next().ok_or_else(|| {
-                CoreError::Invalid("reducer received an empty tuple".into())
-            })?);
+            partials.push(
+                tuple
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| CoreError::Invalid("reducer received an empty tuple".into()))?,
+            );
         }
         // The reduction itself runs on the reducer's host CPU.
         let bytes: f64 = partials.iter().map(|t| t.byte_size() as f64).sum();

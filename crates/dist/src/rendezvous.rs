@@ -41,14 +41,22 @@ impl RendezvousKey {
 
     /// The queue name backing this key on the consumer.
     fn channel(&self) -> String {
-        format!("rendezvous:{}->{};{};{}", self.src, self.dst, self.edge, self.step)
+        format!(
+            "rendezvous:{}->{};{};{}",
+            self.src, self.dst, self.edge, self.step
+        )
     }
 }
 
 /// Send `value` to the consumer named in `key`. Charges the transfer
 /// (src residency `gpu`) and never blocks beyond transport time: the
 /// rendezvous buffers one value per key.
-pub fn send(worker: &Arc<Server>, key: &RendezvousKey, value: Tensor, gpu: Option<usize>) -> Result<()> {
+pub fn send(
+    worker: &Arc<Server>,
+    key: &RendezvousKey,
+    value: Tensor,
+    gpu: Option<usize>,
+) -> Result<()> {
     if worker.key != key.src {
         return Err(CoreError::Invalid(format!(
             "send of {} from wrong task {}",

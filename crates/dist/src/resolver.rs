@@ -198,7 +198,10 @@ mod tests {
         let ps = r.task(&TaskKey::new("ps", 0)).unwrap();
         let worker = r.task(&TaskKey::new("worker", 0)).unwrap();
         assert_ne!(ps.node_index, worker.node_index);
-        assert_eq!(r.spec.task_address(&TaskKey::new("ps", 0)).unwrap(), "t01n01:8888");
+        assert_eq!(
+            r.spec.task_address(&TaskKey::new("ps", 0)).unwrap(),
+            "t01n01:8888"
+        );
         assert_eq!(
             r.spec.task_address(&TaskKey::new("worker", 0)).unwrap(),
             "t01n02:8888"
@@ -217,8 +220,7 @@ mod tests {
             let mut ports: Vec<u16> = on_node.iter().map(|t| t.port).collect();
             ports.sort_unstable();
             assert_eq!(ports, vec![8888, 8889, 8890, 8891]);
-            let mut gpus: Vec<usize> =
-                on_node.iter().flat_map(|t| t.gpu_ids.clone()).collect();
+            let mut gpus: Vec<usize> = on_node.iter().flat_map(|t| t.gpu_ids.clone()).collect();
             gpus.sort_unstable();
             assert_eq!(gpus, vec![0, 1, 2, 3]);
         }
@@ -239,7 +241,11 @@ mod tests {
         assert_eq!(r.task(&TaskKey::new("worker", 0)).unwrap().node_index, 1);
         assert_eq!(r.task(&TaskKey::new("worker", 2)).unwrap().node_index, 2);
         // CPU-only job exposes no GPUs.
-        assert!(r.task(&TaskKey::new("reducer", 0)).unwrap().gpu_ids.is_empty());
+        assert!(r
+            .task(&TaskKey::new("reducer", 0))
+            .unwrap()
+            .gpu_ids
+            .is_empty());
     }
 
     #[test]

@@ -14,7 +14,8 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::{Arc, Weak};
 use tfhpc_core::{
-    CoreError, DeviceCtx, FifoQueue, Graph, OpKernel, Resources, Result, Session, TileStore,
+    CoreError, DeviceCtx, FifoQueue, Graph, OpKernel, Resources, Result, Session, SessionOptions,
+    TileStore,
 };
 use tfhpc_sim::device::{Cost, KernelClass};
 use tfhpc_sim::net::Protocol;
@@ -48,7 +49,12 @@ impl TfCluster {
 
     /// Create and register the server for `key`, bound to `node` with
     /// the given visible-GPU mapping.
-    pub fn start_server(self: &Arc<Self>, key: TaskKey, node: usize, gpu_map: Vec<usize>) -> Arc<Server> {
+    pub fn start_server(
+        self: &Arc<Self>,
+        key: TaskKey,
+        node: usize,
+        gpu_map: Vec<usize>,
+    ) -> Arc<Server> {
         let devices = match &self.sim {
             Some(sim) => DeviceCtx::simulated(Arc::clone(sim), node, gpu_map),
             None => DeviceCtx::real(gpu_map.len()),
@@ -117,6 +123,17 @@ impl Server {
     /// Open a session on this server over `graph`.
     pub fn session(&self, graph: Arc<Graph>) -> Session {
         Session::new(graph, Arc::clone(&self.resources), self.devices.clone())
+    }
+
+    /// [`Server::session`] with explicit threading options
+    /// (`inter_op_threads` / `intra_op_threads`).
+    pub fn session_with_options(&self, graph: Arc<Graph>, options: SessionOptions) -> Session {
+        Session::with_options(
+            graph,
+            Arc::clone(&self.resources),
+            self.devices.clone(),
+            options,
+        )
     }
 
     /// Physical location of a tensor on this task (`gpu` is the
@@ -350,7 +367,12 @@ mod tests {
             )
             .unwrap();
         assert_eq!(
-            ps.resources.variable("acc").unwrap().read().as_f64().unwrap(),
+            ps.resources
+                .variable("acc")
+                .unwrap()
+                .read()
+                .as_f64()
+                .unwrap(),
             &[3.0, 4.0]
         );
     }

@@ -193,6 +193,43 @@ where
     (ra.expect("join: first closure did not run"), rb)
 }
 
+thread_local! {
+    /// Per-thread cap on data-parallel workers (0 = no cap). Set by the
+    /// session's intra-op knob so kernels running on inter-op workers
+    /// share the machine fairly.
+    static WORKER_LIMIT: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Run `f` with this thread's data-parallel worker cap set to `limit`
+/// (0 = unlimited). The previous cap is restored on exit, including on
+/// unwind. [`parallel_for`]/[`parallel_reduce`] called from within `f`
+/// use at most `limit` pool workers.
+pub fn with_worker_limit<R>(limit: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_LIMIT.with(|l| l.set(self.0));
+        }
+    }
+    let prev = WORKER_LIMIT.with(|l| l.replace(limit));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// This thread's current data-parallel worker cap (0 = unlimited).
+pub fn current_worker_limit() -> usize {
+    WORKER_LIMIT.with(|l| l.get())
+}
+
+/// Effective worker count for a data-parallel loop on this thread:
+/// the pool size, clamped by [`current_worker_limit`].
+fn effective_workers(pool: &ThreadPool) -> usize {
+    match current_worker_limit() {
+        0 => pool.size(),
+        limit => limit.min(pool.size()),
+    }
+}
+
 /// Pick a chunk size that yields a few chunks per worker for dynamic
 /// load balance without excessive scheduling overhead.
 pub fn default_chunk(len: usize, workers: usize) -> usize {
@@ -215,7 +252,8 @@ where
     let pool = global_pool();
     let chunk = chunk.max(1);
     let n_chunks = len.div_ceil(chunk);
-    if n_chunks <= 1 || pool.size() == 1 {
+    let cap = effective_workers(pool);
+    if n_chunks <= 1 || cap == 1 {
         if len > 0 {
             body(0, len);
         }
@@ -225,7 +263,7 @@ where
     let body = &body;
     let next = &next;
     scope_on(pool, |s| {
-        let workers = pool.size().min(n_chunks);
+        let workers = cap.min(n_chunks);
         for _ in 0..workers {
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -251,14 +289,15 @@ where
     let pool = global_pool();
     let chunk = chunk.max(1);
     let n_chunks = len.div_ceil(chunk);
-    if n_chunks <= 1 || pool.size() == 1 {
+    let cap = effective_workers(pool);
+    if n_chunks <= 1 || cap == 1 {
         return if len == 0 {
             identity
         } else {
             fold(identity, map(0, len))
         };
     }
-    let workers = pool.size().min(n_chunks);
+    let workers = cap.min(n_chunks);
     let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(workers));
     let next = AtomicUsize::new(0);
     {
@@ -290,10 +329,7 @@ where
             }
         });
     }
-    partials
-        .into_inner()
-        .into_iter()
-        .fold(identity, fold)
+    partials.into_inner().into_iter().fold(identity, fold)
 }
 
 /// Data-parallel mutation of disjoint chunks of a slice.
@@ -311,22 +347,17 @@ where
     }
     let ptr = SendPtr(data.as_mut_ptr());
     let body = &body;
-    parallel_for(
-        len.div_ceil(chunk_size),
-        1,
-        move |ci_start, ci_end| {
-            let ptr = ptr; // capture the SendPtr wrapper, not its raw field
-            for ci in ci_start..ci_end {
-                let start = ci * chunk_size;
-                let end = (start + chunk_size).min(len);
-                // SAFETY: chunk windows are disjoint; `parallel_for`
-                // joins before `data`'s borrow ends.
-                let slice =
-                    unsafe { std::slice::from_raw_parts_mut(ptr.0.add(start), end - start) };
-                body(ci, slice);
-            }
-        },
-    );
+    parallel_for(len.div_ceil(chunk_size), 1, move |ci_start, ci_end| {
+        let ptr = ptr; // capture the SendPtr wrapper, not its raw field
+        for ci in ci_start..ci_end {
+            let start = ci * chunk_size;
+            let end = (start + chunk_size).min(len);
+            // SAFETY: chunk windows are disjoint; `parallel_for`
+            // joins before `data`'s borrow ends.
+            let slice = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(start), end - start) };
+            body(ci, slice);
+        }
+    });
 }
 
 /// A raw pointer wrapper asserting cross-thread transferability for the
@@ -453,6 +484,56 @@ mod tests {
         assert!((1..=1000).contains(&c));
         // Should produce roughly 4 chunks per worker.
         assert!((1000 / c) >= 8);
+    }
+
+    #[test]
+    fn worker_limit_scopes_and_restores() {
+        assert_eq!(current_worker_limit(), 0);
+        let out = with_worker_limit(3, || {
+            assert_eq!(current_worker_limit(), 3);
+            with_worker_limit(1, || assert_eq!(current_worker_limit(), 1));
+            assert_eq!(current_worker_limit(), 3);
+            7
+        });
+        assert_eq!(out, 7);
+        assert_eq!(current_worker_limit(), 0);
+        // Restored even when the body panics.
+        let _ = std::panic::catch_unwind(|| with_worker_limit(5, || panic!("boom")));
+        assert_eq!(current_worker_limit(), 0);
+    }
+
+    #[test]
+    fn worker_limit_one_runs_inline() {
+        let caller = std::thread::current().id();
+        with_worker_limit(1, || {
+            parallel_for(10_000, 16, |_, _| {
+                assert_eq!(std::thread::current().id(), caller);
+            });
+            let sum = parallel_reduce(
+                1000,
+                16,
+                0u64,
+                |s, e| {
+                    assert_eq!(std::thread::current().id(), caller);
+                    (s..e).map(|i| i as u64).sum()
+                },
+                |a, b| a + b,
+            );
+            assert_eq!(sum, 999 * 1000 / 2);
+        });
+    }
+
+    #[test]
+    fn worker_limit_caps_but_completes() {
+        with_worker_limit(2, || {
+            let hits = (0..5000).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+            parallel_for(5000, 64, |s, e| {
+                for h in &hits[s..e] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
     }
 
     #[test]

@@ -107,12 +107,10 @@ pub struct CurrentProc {
 /// The current thread's sim process, if it is one.
 pub fn current() -> Option<CurrentProc> {
     CURRENT.with(|c| {
-        c.borrow()
-            .as_ref()
-            .map(|(sim, id)| CurrentProc {
-                sim: Arc::clone(sim),
-                id: *id,
-            })
+        c.borrow().as_ref().map(|(sim, id)| CurrentProc {
+            sim: Arc::clone(sim),
+            id: *id,
+        })
     })
 }
 
@@ -260,11 +258,7 @@ impl Sim {
                 st.running = Some(i);
             }
             None => {
-                let live = st
-                    .procs
-                    .iter()
-                    .filter(|p| p.status != Status::Done)
-                    .count();
+                let live = st.procs.iter().filter(|p| p.status != Status::Done).count();
                 if live > 0 {
                     st.deadlock = true;
                 }
@@ -381,7 +375,12 @@ impl Sim {
 
     /// Add `v` to a named statistic counter.
     pub fn count(&self, key: &str, v: f64) {
-        *self.state.lock().counters.entry(key.to_string()).or_insert(0.0) += v;
+        *self
+            .state
+            .lock()
+            .counters
+            .entry(key.to_string())
+            .or_insert(0.0) += v;
     }
 
     /// Read a named statistic counter.

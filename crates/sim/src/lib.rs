@@ -31,7 +31,7 @@ pub mod sync;
 pub mod topology;
 
 pub use des::{current, CurrentProc, ProcId, Sim, SimCondvar, SimResource};
-pub use sync::{SimBarrier, SimSemaphore};
 pub use device::{Cost, DeviceModel};
 pub use net::Protocol;
 pub use platform::Platform;
+pub use sync::{SimBarrier, SimSemaphore};

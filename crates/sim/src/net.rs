@@ -125,12 +125,7 @@ impl TransferModel {
                 .fold(f64::INFINITY, f64::min);
             self.latency_s + b / (min_gbs * 1e9)
         } else {
-            self.latency_s
-                + self
-                    .stages
-                    .iter()
-                    .map(|s| b / (s.gbs * 1e9))
-                    .sum::<f64>()
+            self.latency_s + self.stages.iter().map(|s| b / (s.gbs * 1e9)).sum::<f64>()
         }
     }
 }

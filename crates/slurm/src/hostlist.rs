@@ -151,18 +151,12 @@ mod tests {
 
     #[test]
     fn expand_simple_range() {
-        assert_eq!(
-            expand("t01n[01-03]"),
-            s(&["t01n01", "t01n02", "t01n03"])
-        );
+        assert_eq!(expand("t01n[01-03]"), s(&["t01n01", "t01n02", "t01n03"]));
     }
 
     #[test]
     fn expand_mixed_ranges_and_singles() {
-        assert_eq!(
-            expand("gpu[1-2,5]"),
-            s(&["gpu1", "gpu2", "gpu5"])
-        );
+        assert_eq!(expand("gpu[1-2,5]"), s(&["gpu1", "gpu2", "gpu5"]));
     }
 
     #[test]
@@ -176,18 +170,12 @@ mod tests {
 
     #[test]
     fn compress_contiguous() {
-        assert_eq!(
-            compress(&s(&["t01n01", "t01n02", "t01n03"])),
-            "t01n[01-03]"
-        );
+        assert_eq!(compress(&s(&["t01n01", "t01n02", "t01n03"])), "t01n[01-03]");
     }
 
     #[test]
     fn compress_with_gap() {
-        assert_eq!(
-            compress(&s(&["n001", "n002", "n005"])),
-            "n[001-002,005]"
-        );
+        assert_eq!(compress(&s(&["n001", "n002", "n005"])), "n[001-002,005]");
     }
 
     #[test]

@@ -43,6 +43,17 @@ pub fn ifft_inplace(data: &mut [Complex64]) {
     }
 }
 
+/// A raw pointer wrapper asserting cross-thread transferability for the
+/// disjoint-butterfly pattern in [`transform`] (each butterfly index
+/// touches a unique pair of elements).
+struct ButterflyPtr(*mut Complex64);
+unsafe impl Send for ButterflyPtr {}
+unsafe impl Sync for ButterflyPtr {}
+
+/// Minimum butterflies per parallel chunk: below this the per-task
+/// overhead dominates and small transforms run inline on one chunk.
+const MIN_FFT_CHUNK: usize = 8192;
+
 fn transform(data: &mut [Complex64], sign: f64) {
     let n = data.len();
     assert!(is_pow2(n), "FFT length must be a power of two, got {n}");
@@ -50,20 +61,53 @@ fn transform(data: &mut [Complex64], sign: f64) {
         return;
     }
     bit_reverse_permute(data);
+    // Every stage performs n/2 independent butterflies; butterfly j
+    // lives in block `j / half` (a `len`-sized window) at offset
+    // `j % half`, touching elements `start + i` and `start + i + half`.
+    // Distinct j never share elements, so the stage parallelizes over j
+    // (subject to the caller's intra-op worker limit).
+    let n_butterflies = n / 2;
+    let chunk = tfhpc_parallel::default_chunk(n_butterflies, tfhpc_parallel::global_pool().size())
+        .max(MIN_FFT_CHUNK);
+    let ptr = ButterflyPtr(data.as_mut_ptr());
+    let ptr = &ptr;
     let mut len = 2;
     while len <= n {
+        let half = len / 2;
         let ang = sign * 2.0 * PI / len as f64;
         let wlen = Complex64::cis(ang);
-        for start in (0..n).step_by(len) {
-            let mut w = Complex64::ONE;
-            for i in 0..len / 2 {
-                let u = data[start + i];
-                let v = data[start + i + len / 2] * w;
-                data[start + i] = u + v;
-                data[start + i + len / 2] = u - v;
-                w *= wlen;
+        tfhpc_parallel::parallel_for(n_butterflies, chunk, move |lo, hi| {
+            let mut j = lo;
+            while j < hi {
+                let block = j / half;
+                let start = block * len;
+                let i0 = j % half;
+                // Run to the end of this block or of the range.
+                let stop = hi.min((block + 1) * half);
+                // Twiddle at the entry offset, then incremental. Block
+                // starts (the common case) skip the trig call.
+                let mut w = if i0 == 0 {
+                    Complex64::ONE
+                } else {
+                    Complex64::cis(ang * i0 as f64)
+                };
+                for i in i0..(i0 + stop - j) {
+                    // SAFETY: butterfly (start+i, start+i+half) pairs
+                    // are disjoint across j; parallel_for joins before
+                    // `data`'s mutable borrow ends.
+                    unsafe {
+                        let a = ptr.0.add(start + i);
+                        let b = ptr.0.add(start + i + half);
+                        let u = *a;
+                        let v = *b * w;
+                        *a = u + v;
+                        *b = u - v;
+                    }
+                    w *= wlen;
+                }
+                j = stop;
             }
-        }
+        });
         len <<= 1;
     }
 }
@@ -168,8 +212,8 @@ pub fn dft2_naive(input: &[Complex64], rows: usize, cols: usize) -> Vec<Complex6
             let mut acc = Complex64::ZERO;
             for r in 0..rows {
                 for c in 0..cols {
-                    let phase = -2.0 * PI
-                        * ((u * r) as f64 / rows as f64 + (v * c) as f64 / cols as f64);
+                    let phase =
+                        -2.0 * PI * ((u * r) as f64 / rows as f64 + (v * c) as f64 / cols as f64);
                     acc += input[r * cols + c] * Complex64::cis(phase);
                 }
             }

@@ -10,7 +10,11 @@ use tfhpc_parallel::par_chunks_mut;
 /// Cache-block edge for the k/j dimensions of the micro-kernel.
 const BLOCK: usize = 64;
 
-fn mm_shapes(op: &'static str, a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize), TensorError> {
+fn mm_shapes(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+) -> Result<(usize, usize, usize), TensorError> {
     if a.shape().rank() != 2 || b.shape().rank() != 2 {
         return Err(TensorError::InvalidArgument(format!(
             "{op}: operands must be rank-2, got {} and {}",
@@ -176,7 +180,11 @@ pub fn transpose(a: &Tensor) -> Result<Tensor, TensorError> {
     let (m, n) = (a.shape().dim(0), a.shape().dim(1));
     let out_shape = Shape::matrix(n, m);
     if let Some(seed) = a.synthetic_seed() {
-        return Ok(Tensor::synthetic(a.dtype(), out_shape, mix_seed(seed, 0xD7)));
+        return Ok(Tensor::synthetic(
+            a.dtype(),
+            out_shape,
+            mix_seed(seed, 0xD7),
+        ));
     }
     match a.data()? {
         TensorData::F64(v) => {
@@ -311,7 +319,9 @@ mod tests {
         let bt_at = matmul(&transpose(&b).unwrap(), &transpose(&a).unwrap()).unwrap();
         assert_eq!(ab_t.as_f64().unwrap(), bt_at.as_f64().unwrap());
         // synthetic + errors
-        assert!(transpose(&Tensor::synthetic(DType::F32, [8, 4], 1)).unwrap().is_synthetic());
+        assert!(transpose(&Tensor::synthetic(DType::F32, [8, 4], 1))
+            .unwrap()
+            .is_synthetic());
         assert!(transpose(&Tensor::zeros(DType::F64, [3])).is_err());
     }
 

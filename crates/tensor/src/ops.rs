@@ -109,6 +109,89 @@ zip_elementwise!(sub, 0xA1, |a, b| a - b, |a, b| a - b, |a, b| a - b);
 zip_elementwise!(mul, 0xA2, |a, b| a * b, |a, b| a * b, |a, b| a * b);
 zip_elementwise!(div, 0xA3, |a, b| a / b, |a, b| a / b, |a, b| a / b);
 
+/// Sum of N same-shape, same-dtype tensors in one pass over the output
+/// (TensorFlow's `AddN`) — no intermediate allocations, unlike folding
+/// `add` pairwise.
+pub fn add_n(inputs: &[Tensor]) -> Result<Tensor, TensorError> {
+    let first = inputs.first().ok_or(TensorError::ShapeMismatch {
+        op: "add_n",
+        lhs: crate::Shape::scalar(),
+        rhs: crate::Shape::scalar(),
+    })?;
+    for t in &inputs[1..] {
+        binary_shape_check("add_n", first, t)?;
+    }
+    if inputs.len() == 1 {
+        return Ok(first.clone());
+    }
+    if inputs.iter().any(|t| t.is_synthetic()) {
+        let seed = inputs.iter().fold(0xA4u64, |acc, t| {
+            mix_seed(acc, t.synthetic_seed().unwrap_or(0x5eed))
+        });
+        return Ok(Tensor::synthetic(
+            first.dtype(),
+            first.shape().clone(),
+            seed,
+        ));
+    }
+    let n = first.num_elements();
+    let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+    match first.dtype() {
+        DType::F32 => {
+            let xs: Vec<&[f32]> = inputs
+                .iter()
+                .map(|t| t.as_f32())
+                .collect::<Result<_, _>>()?;
+            let mut out = vec![0f32; n];
+            par_chunks_mut(&mut out, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for x in &xs {
+                    for (i, o) in slice.iter_mut().enumerate() {
+                        *o += x[start + i];
+                    }
+                }
+            });
+            Tensor::from_f32(first.shape().clone(), out)
+        }
+        DType::F64 => {
+            let xs: Vec<&[f64]> = inputs
+                .iter()
+                .map(|t| t.as_f64())
+                .collect::<Result<_, _>>()?;
+            let mut out = vec![0f64; n];
+            par_chunks_mut(&mut out, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for x in &xs {
+                    for (i, o) in slice.iter_mut().enumerate() {
+                        *o += x[start + i];
+                    }
+                }
+            });
+            Tensor::from_f64(first.shape().clone(), out)
+        }
+        DType::C128 => {
+            let xs: Vec<&[Complex64]> = inputs
+                .iter()
+                .map(|t| t.as_c128())
+                .collect::<Result<_, _>>()?;
+            let mut out = vec![Complex64::ZERO; n];
+            par_chunks_mut(&mut out, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for x in &xs {
+                    for (i, o) in slice.iter_mut().enumerate() {
+                        *o += x[start + i];
+                    }
+                }
+            });
+            Tensor::from_c128(first.shape().clone(), out)
+        }
+        other => Err(TensorError::UnsupportedDType {
+            op: "add_n",
+            dtype: other,
+        }),
+    }
+}
+
 /// Elementwise negation.
 pub fn neg(a: &Tensor) -> Result<Tensor, TensorError> {
     scale(a, -1.0)
@@ -406,7 +489,10 @@ mod tests {
         assert_eq!(add(&a, &b).unwrap().as_f64().unwrap(), &[5., 5., 5., 5.]);
         assert_eq!(sub(&a, &b).unwrap().as_f64().unwrap(), &[-3., -1., 1., 3.]);
         assert_eq!(mul(&a, &b).unwrap().as_f64().unwrap(), &[4., 6., 6., 4.]);
-        assert_eq!(div(&a, &b).unwrap().as_f64().unwrap(), &[0.25, 2. / 3., 1.5, 4.]);
+        assert_eq!(
+            div(&a, &b).unwrap().as_f64().unwrap(),
+            &[0.25, 2. / 3., 1.5, 4.]
+        );
     }
 
     #[test]

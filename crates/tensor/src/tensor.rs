@@ -174,10 +174,7 @@ impl Tensor {
     }
 
     /// Dense complex tensor from a buffer.
-    pub fn from_c128(
-        shape: impl Into<Shape>,
-        data: Vec<Complex64>,
-    ) -> Result<Tensor, TensorError> {
+    pub fn from_c128(shape: impl Into<Shape>, data: Vec<Complex64>) -> Result<Tensor, TensorError> {
         Tensor::dense(shape.into(), TensorData::C128(data))
     }
 

@@ -50,8 +50,7 @@ fn main() {
         reduction: CgReduction::QueuePair,
         ..base.clone()
     };
-    let (r2, store) =
-        run_cg_with_store(&platform, &second_half, Some(store)).expect("resumed run");
+    let (r2, store) = run_cg_with_store(&platform, &second_half, Some(store)).expect("resumed run");
     println!(
         "restarted job: resumed at iteration 12, ran to 24, |r|^2 = {:.3e}",
         r2.rs_final

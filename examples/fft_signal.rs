@@ -38,7 +38,10 @@ fn main() {
     peaks.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ndominant frequency bins (positive half):");
     for (k, mag) in peaks.iter().take(3) {
-        println!("  bin {k:>5}  |X| = {mag:.1}  (f = {:.4} cycles/sample)", *k as f64 / n as f64);
+        println!(
+            "  bin {k:>5}  |X| = {mag:.1}  (f = {:.4} cycles/sample)",
+            *k as f64 / n as f64
+        );
     }
     // The generator mixes sin(0.37 t) and 0.5 cos(1.7 t) (plus an
     // imaginary cos(0.11 t)): the bins nearest those frequencies must
@@ -52,9 +55,7 @@ fn main() {
         let local = (bin.saturating_sub(1)..=bin + 1)
             .map(|k| sv[k].abs())
             .fold(0.0, f64::max);
-        println!(
-            "  tone omega={omega:.2} -> bin {bin}: |X| = {local:.1} (avg level {avg:.1})"
-        );
+        println!("  tone omega={omega:.2} -> bin {bin}: |X| = {local:.1} (avg level {avg:.1})");
         assert!(
             local > 20.0 * avg,
             "tone at omega={omega} not prominent: {local} vs avg {avg}"

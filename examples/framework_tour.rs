@@ -36,8 +36,13 @@ fn main() {
     let fetch = opt.remap(out);
     let fed = opt.remap(x);
     let sess = Session::new(Arc::new(opt.graph), Resources::new(), DeviceCtx::real(0));
-    let v = sess.run(&[fetch], &[(fed, Tensor::scalar_f64(5.0))]).unwrap();
-    println!("optimized graph: 6*x + 6*x at x=5 -> {}", v[0].scalar_value_f64().unwrap());
+    let v = sess
+        .run(&[fetch], &[(fed, Tensor::scalar_f64(5.0))])
+        .unwrap();
+    println!(
+        "optimized graph: 6*x + 6*x at x=5 -> {}",
+        v[0].scalar_value_f64().unwrap()
+    );
     assert_eq!(v[0].scalar_value_f64().unwrap(), 60.0);
 
     // ---- 2. tfdbg-style debugger -------------------------------------------
@@ -76,7 +81,11 @@ fn main() {
     let resources = Resources::new();
     resources.create_iterator(
         "src",
-        &Dataset::from_elements((1..=5).map(|i| vec![Tensor::scalar_f64(i as f64)]).collect()),
+        &Dataset::from_elements(
+            (1..=5)
+                .map(|i| vec![Tensor::scalar_f64(i as f64)])
+                .collect(),
+        ),
     );
     let work = resources.create_queue("work", 2);
     let sess = Arc::new(Session::new(Arc::new(g), resources, DeviceCtx::real(0)));

@@ -55,7 +55,12 @@ fn main() {
     let mut devices = Vec::new();
     for ev in timeline.events() {
         if ev.name.starts_with("MatMul") {
-            println!("  {:<12} on {:<14} ({:.2} ms)", ev.name, ev.device, ev.dur_s * 1e3);
+            println!(
+                "  {:<12} on {:<14} ({:.2} ms)",
+                ev.name,
+                ev.device,
+                ev.dur_s * 1e3
+            );
             devices.push(ev.device.clone());
         }
     }

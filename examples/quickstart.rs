@@ -49,7 +49,12 @@ fn main() {
     // The TensorFlow-Timeline analogue (paper Fig. 3): a Chrome trace.
     println!("\nop timeline ({} events):", timeline.len());
     for ev in timeline.events() {
-        println!("  {:<20} on {:<8} ({:.1} us)", ev.name, ev.device, ev.dur_s * 1e6);
+        println!(
+            "  {:<20} on {:<8} ({:.1} us)",
+            ev.name,
+            ev.device,
+            ev.dur_s * 1e6
+        );
     }
     let trace_path = std::env::temp_dir().join("tfhpc_quickstart_trace.json");
     std::fs::write(&trace_path, timeline.to_chrome_trace()).expect("write trace");

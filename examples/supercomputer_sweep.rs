@@ -34,7 +34,12 @@ fn main() {
                 },
             )
             .expect("stream");
-            println!("  {:<16} {:<5} {:>8.0} MB/s", platform.label, proto.name(), r.mbs);
+            println!(
+                "  {:<16} {:<5} {:>8.0} MB/s",
+                platform.label,
+                proto.name(),
+                r.mbs
+            );
         }
     }
 
@@ -61,9 +66,7 @@ fn main() {
                 platform.label,
                 r.gflops,
                 r.elapsed_s,
-                speedup
-                    .map(|s| format!("  ({s:.2}x)"))
-                    .unwrap_or_default()
+                speedup.map(|s| format!("  ({s:.2}x)")).unwrap_or_default()
             );
             prev = Some(r.gflops);
         }

@@ -88,11 +88,16 @@ fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first().cloned() else { usage() };
+    let Some(cmd) = args.first().cloned() else {
+        usage()
+    };
     let (flags, _bare) = parse_flags(&args[1..]);
 
     if cmd == "platforms" {
-        println!("{:<18} {:<8} {:>10} {:>16}", "name", "gpu", "gpus/node", "tf-instances");
+        println!(
+            "{:<18} {:<8} {:>10} {:>16}",
+            "name", "gpu", "gpus/node", "tf-instances"
+        );
         for (name, p) in [
             ("tegner-k420", platform::tegner_k420()),
             ("tegner-k80", platform::tegner_k80()),
@@ -108,7 +113,10 @@ fn main() {
     }
 
     let platform = match platform_by_name(
-        flags.get("platform").map(String::as_str).unwrap_or("tegner-k80"),
+        flags
+            .get("platform")
+            .map(String::as_str)
+            .unwrap_or("tegner-k80"),
     ) {
         Some(p) => p,
         None => {

@@ -2,7 +2,9 @@
 //! run through the full stack (Slurm allocation → resolver → servers →
 //! dataflow sessions → queues/reducers), in both execution modes.
 
-use tfhpc_apps::cg::{gather_solution, run_cg, run_cg_with_store, serial_cg, CgConfig, CgReduction};
+use tfhpc_apps::cg::{
+    gather_solution, run_cg, run_cg_with_store, serial_cg, CgConfig, CgReduction,
+};
 use tfhpc_apps::fft::{run_fft, run_fft_with_store, FftConfig};
 use tfhpc_apps::matmul::{run_matmul, verify_small, MatmulConfig};
 use tfhpc_apps::stream::{run_stream, StreamConfig};

@@ -98,10 +98,7 @@ fn deadlocked_protocol_is_detected_not_hung() {
         sim.run();
     });
     let err = result.expect_err("deadlock must panic");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .unwrap_or_default();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
     assert!(msg.contains("deadlock"), "got: {msg}");
     assert!(msg.contains("waiting on"), "diagnostic dump missing: {msg}");
 }

@@ -3,7 +3,9 @@
 //! plumbing, timelines, and the virtual-time accounting of full runs.
 
 use std::sync::Arc;
-use tfhpc_core::{graph_from_bytes, graph_to_bytes, DeviceCtx, Graph, Resources, Session, Timeline};
+use tfhpc_core::{
+    graph_from_bytes, graph_to_bytes, DeviceCtx, Graph, Resources, Session, Timeline,
+};
 use tfhpc_dist::{launch, resolve, JobSpec, LaunchConfig, TaskKey};
 use tfhpc_sim::net::Protocol;
 use tfhpc_sim::platform::{kebnekaise_k80, tegner_k420};
@@ -58,7 +60,10 @@ fn graphdef_roundtrip_executes_on_new_session() {
     sess.resources()
         .create_variable("w", Tensor::from_f64([2], vec![1.0, 2.0]).unwrap());
     let out = sess
-        .run(&[bump], &[(p, Tensor::from_f64([2], vec![3.0, 3.0]).unwrap())])
+        .run(
+            &[bump],
+            &[(p, Tensor::from_f64([2], vec![3.0, 3.0]).unwrap())],
+        )
         .unwrap();
     // w + w*p = [1,2] + [3,6] = [4,8]
     assert_eq!(out[0].as_f64().unwrap(), &[4.0, 8.0]);
@@ -155,7 +160,10 @@ fn timeline_spans_simulated_ops() {
     let events = timeline.events();
     assert!(events.iter().any(|e| e.name.starts_with("MatMul")));
     // GPU op events carry the simulated device name.
-    let mm = events.iter().find(|e| e.name.starts_with("MatMul")).unwrap();
+    let mm = events
+        .iter()
+        .find(|e| e.name.starts_with("MatMul"))
+        .unwrap();
     assert!(mm.device.contains("GK210"), "device = {}", mm.device);
     let json = timeline.to_chrome_trace();
     assert!(json.contains("traceEvents"));
@@ -171,9 +179,7 @@ fn gpu_visibility_masks_are_disjoint_per_node() {
     let masks = Arc::new(parking_lot::Mutex::new(Vec::new()));
     let masks2 = Arc::clone(&masks);
     let launched = launch(&cfg, move |ctx| {
-        masks2
-            .lock()
-            .push((ctx.server.node, ctx.gpu_ids.clone()));
+        masks2.lock().push((ctx.server.node, ctx.gpu_ids.clone()));
         Ok(())
     })
     .unwrap();
