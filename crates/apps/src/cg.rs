@@ -17,7 +17,7 @@
 //! Optional checkpoint/restart via the framework `Saver` — the
 //! capability §II-B highlights.
 
-use crate::AppError;
+use crate::{AppError, FaultSetup};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use tfhpc_core::{
@@ -92,6 +92,8 @@ pub struct CgReport {
     pub rs_final: f64,
     /// Iterations actually executed (differs from config when resuming).
     pub iterations_run: usize,
+    /// Gang restarts the supervisor performed (fault-injected runs).
+    pub restarts: usize,
 }
 
 fn amat_key(w: usize) -> Vec<i64> {
@@ -114,9 +116,35 @@ fn ckpt_meta_key(w: usize) -> Vec<i64> {
     vec![4, w as i64]
 }
 
+/// The checkpoint iteration common to *every* worker: `Some(k)` only
+/// when each worker's checkpoint meta is present and they all agree.
+/// A crash can interrupt the gang mid-checkpoint, leaving a partial
+/// set; resuming from it would put workers at different iterations, so
+/// a restart ignores it and recomputes from scratch — either way the
+/// trajectory is the uninterrupted one, bit for bit.
+fn common_checkpoint(store: &TileStore, workers: usize) -> Option<usize> {
+    let mut common = None;
+    for w in 0..workers {
+        let meta = store.get(&ckpt_meta_key(w)).ok()?;
+        let vals = meta.as_f64().ok()?;
+        let k = vals[0] as usize;
+        match common {
+            None => common = Some(k),
+            Some(c) if c != k => return None,
+            Some(_) => {}
+        }
+    }
+    common
+}
+
 /// Populate the shared store with the row blocks of a seeded SPD matrix
 /// and the right-hand side `b` (offline pre-processing).
 pub fn populate_problem(store: &TileStore, cfg: &CgConfig, seed: u64) {
+    if store.get(&b_key()).is_ok() {
+        // Already populated — a supervised rerun over the same PFS
+        // namespace must not regenerate (and re-time) the inputs.
+        return;
+    }
     let rows = cfg.rows_per_worker();
     if cfg.simulated {
         for w in 0..cfg.workers {
@@ -209,12 +237,22 @@ fn serve_gather_round(ctx: &TaskCtx, workers: usize) -> CoreResult<()> {
     for _ in 0..workers {
         let tuple = in_q.dequeue()?;
         let idx = tuple[0].scalar_value_i64()? as usize;
+        if idx >= workers {
+            return Err(CoreError::Invalid(format!(
+                "gather index {idx} out of range for {workers} workers"
+            )));
+        }
         parts[idx] = Some(tuple[1].clone());
     }
     let slices: Vec<Tensor> = parts
         .into_iter()
-        .map(|p| p.expect("gather slice"))
-        .collect();
+        .enumerate()
+        .map(|(w, p)| {
+            p.ok_or_else(|| {
+                CoreError::Invalid(format!("gather round missing the slice of worker {w}"))
+            })
+        })
+        .collect::<CoreResult<_>>()?;
     let bytes: f64 = slices.iter().map(|s| s.byte_size() as f64).sum();
     let full = Tensor::concat_vecs(&slices)?;
     // Host-side concatenation cost on the reducer.
@@ -287,7 +325,9 @@ fn gather_p(
             let full = ctx
                 .server
                 .remote_dequeue(&reducer, &format!("gather.out.{w}"), Some(0))?;
-            Ok(full.into_iter().next().expect("gathered p"))
+            full.into_iter().next().ok_or_else(|| {
+                CoreError::Invalid("gather broadcast returned an empty tuple".into())
+            })
         }
         CgReduction::Ring => {
             // Pad the slice with zeros and ring-sum: the sum of disjoint
@@ -351,15 +391,26 @@ fn worker_task(
         .create_variable("q", Tensor::zeros(DType::F64, [rows]));
 
     // Mutable driver state (host side): full p and scalar bookkeeping.
+    // Resume point: an explicit `cfg.resume` trusts this worker's own
+    // checkpoint (it must exist); a supervisor restart resumes only
+    // from a checkpoint common to every worker ([`common_checkpoint`]),
+    // cold-starting otherwise.
+    let resume_from: Option<usize> = if cfg.resume {
+        let meta = store.get(&ckpt_meta_key(w))?;
+        Some(meta.as_f64()?[0] as usize)
+    } else if ctx.attempt() > 0 {
+        common_checkpoint(store, cfg.workers)
+    } else {
+        None
+    };
     let mut p = b.clone();
     let mut start_iter = 0usize;
-    if cfg.resume {
+    if let Some(k) = resume_from {
         // Restore variables + driver state from the shared checkpoint.
         let blob = store.get(&ckpt_key(w))?;
         Saver::restore_from_bytes(&ctx.server.resources, blob.as_u8()?)?;
-        let meta = store.get(&ckpt_meta_key(w))?;
-        let meta = meta.as_f64()?;
-        start_iter = meta[0] as usize;
+        start_iter = k;
+        p = ctx.server.resources.variable("p_full")?.read();
     } else {
         ctx.server
             .resources
@@ -370,9 +421,6 @@ fn worker_task(
             .resources
             .create_variable("rs_old", Tensor::scalar_f64(0.0));
     }
-    if cfg.resume {
-        p = ctx.server.resources.variable("p_full")?.read();
-    }
 
     let wg = build_worker_graph(n, rows);
     let sess = ctx
@@ -380,7 +428,7 @@ fn worker_task(
         .session_with_options(Arc::clone(&wg.graph), SessionOptions::from_env());
 
     // Initial residual reduction: rs = Σ_w r_wᵀ r_w.
-    let mut rs_old = if cfg.resume {
+    let mut rs_old = if resume_from.is_some() {
         ctx.server
             .resources
             .variable("rs_old")?
@@ -393,6 +441,7 @@ fn worker_task(
     };
 
     for iter in start_iter..cfg.iterations {
+        ctx.check_faults()?;
         let p_w = p.slice_range(w * rows, (w + 1) * rows)?;
 
         // Phase 1: q = A p (GPU), partial pᵀAp, reduce.
@@ -467,14 +516,29 @@ pub fn run_cg_with_store(
     cfg: &CgConfig,
     external: Option<Arc<TileStore>>,
 ) -> Result<(CgReport, Arc<TileStore>), AppError> {
-    run_cg_inner(platform, cfg, external, false).map(|(r, s, _)| (r, s))
+    run_cg_inner(platform, cfg, external, false, None).map(|(r, s, _)| (r, s))
+}
+
+/// [`run_cg`] under fault injection with checkpoint-restart
+/// supervision: injected crashes gang-restart the solver at the exact
+/// virtual fault instant, every task resumes from the latest
+/// checkpoint common to all workers (cold-starting when none exists),
+/// and the report carries the restart count. Because checkpoints are
+/// bit-preserving, the final residual is identical to a fault-free run
+/// of the same configuration.
+pub fn run_cg_supervised(
+    platform: &Platform,
+    cfg: &CgConfig,
+    faults: &FaultSetup,
+) -> Result<(CgReport, Arc<TileStore>), AppError> {
+    run_cg_inner(platform, cfg, None, false, Some(faults)).map(|(r, s, _)| (r, s))
 }
 
 /// Run CG with DES occupancy tracing and return the Chrome-trace JSON
 /// of the whole distributed execution — the reproduction of the paper's
 /// Fig. 3 TensorFlow Timeline for the CG solver.
 pub fn run_cg_traced(platform: &Platform, cfg: &CgConfig) -> Result<(CgReport, String), AppError> {
-    run_cg_inner(platform, cfg, None, true).map(|(r, _, json)| (r, json))
+    run_cg_inner(platform, cfg, None, true, None).map(|(r, _, json)| (r, json))
 }
 
 fn run_cg_inner(
@@ -482,6 +546,7 @@ fn run_cg_inner(
     cfg: &CgConfig,
     external: Option<Arc<TileStore>>,
     trace: bool,
+    faults: Option<&FaultSetup>,
 ) -> Result<(CgReport, Arc<TileStore>, String), AppError> {
     if cfg.workers == 0 {
         return Err(AppError::Config("workers must be > 0".into()));
@@ -505,12 +570,14 @@ fn run_cg_inner(
         // Horovod-style: workers only, no dedicated reducer task.
         CgReduction::Ring => vec![JobSpec::new("worker", cfg.workers, 1)],
     };
-    let launch_cfg = LaunchConfig {
-        platform: platform.clone(),
-        jobs,
-        protocol: cfg.protocol,
-        simulated: cfg.simulated,
+    let mut launch_cfg = if cfg.simulated {
+        LaunchConfig::simulated(platform.clone(), jobs, cfg.protocol)
+    } else {
+        LaunchConfig::real(platform.clone(), jobs, cfg.protocol)
     };
+    if let Some(f) = faults {
+        launch_cfg = f.apply(launch_cfg);
+    }
     let cfg2 = cfg.clone();
     let rs_out = Arc::new(Mutex::new(f64::NAN));
     let rs_out2 = Arc::clone(&rs_out);
@@ -532,18 +599,20 @@ fn run_cg_inner(
         let store = ctx.server.cluster().shared_store("cg");
         ctx.server.resources.register_store(Arc::clone(&store));
         if ctx.job() == "reducer" {
-            // When resuming, fewer rounds remain.
+            // When resuming, fewer rounds remain and the initial
+            // residual reduction was already served. The decision must
+            // mirror the workers' exactly (see `worker_task`).
             let done = if cfg_body.resume {
                 store
                     .get(&ckpt_meta_key(0))
                     .ok()
                     .and_then(|m| m.as_f64().ok().map(|v| v[0] as usize))
-                    .unwrap_or(0)
+            } else if ctx.attempt() > 0 {
+                common_checkpoint(&store, cfg_body.workers)
             } else {
-                0
+                None
             };
-            let remaining = cfg_body.iterations - done;
-            reducer_task_resumable(&ctx, &cfg_body, remaining)
+            reducer_task_resumable(&ctx, &cfg_body, done)
         } else {
             worker_task(&ctx, &cfg_body, &store, &rs_out2)
         }
@@ -570,13 +639,14 @@ fn run_cg_inner(
                 v
             },
             iterations_run: cfg.iterations,
+            restarts: launched.restarts,
         },
         store,
         json,
     ))
 }
 
-fn reducer_task_resumable(ctx: &TaskCtx, cfg: &CgConfig, remaining: usize) -> CoreResult<()> {
+fn reducer_task_resumable(ctx: &TaskCtx, cfg: &CgConfig, done: Option<usize>) -> CoreResult<()> {
     let workers = cfg.workers;
     let pap = Reducer::new(Arc::clone(&ctx.server), "pap", workers, ReduceOp::Sum);
     let rs = Reducer::new(Arc::clone(&ctx.server), "rs", workers, ReduceOp::Sum);
@@ -586,10 +656,10 @@ fn reducer_task_resumable(ctx: &TaskCtx, cfg: &CgConfig, remaining: usize) -> Co
             .resources
             .create_queue(&format!("gather.out.{w}"), 2);
     }
-    if !cfg.resume {
+    if done.is_none() {
         rs.serve_round()?; // initial residual reduction
     }
-    for _ in 0..remaining {
+    for _ in 0..cfg.iterations - done.unwrap_or(0) {
         pap.serve_round()?;
         rs.serve_round()?;
         serve_gather_round(ctx, workers)?;
@@ -778,6 +848,30 @@ mod tests {
             run_cg(&platform::tegner_k80(), &cfg),
             Err(crate::AppError::Config(_))
         ));
+    }
+
+    #[test]
+    fn supervised_crash_restart_reproduces_residual() {
+        use tfhpc_sim::fault::FaultPlan;
+        let cfg = CgConfig {
+            iterations: 16,
+            checkpoint_every: Some(4),
+            ..sim_cfg(1024, 2)
+        };
+        let p = platform::tegner_k420();
+        let (clean, _) = run_cg_with_store(&p, &cfg, None).unwrap();
+        assert_eq!(clean.restarts, 0);
+
+        // Worker 1 lives on node 2 (reducer node 0, worker 0 node 1);
+        // crash it mid-run and let the supervisor restart the gang
+        // from the latest common checkpoint.
+        let faults = crate::FaultSetup::new(FaultPlan::new().crash(2, clean.elapsed_s * 0.5), 2);
+        let (faulty, _) = run_cg_supervised(&p, &cfg, &faults).unwrap();
+        assert_eq!(faulty.restarts, 1);
+        // Bit-identical residual: the checkpoint preserves the exact
+        // trajectory, and the rerun costs extra virtual time.
+        assert_eq!(faulty.rs_final.to_bits(), clean.rs_final.to_bits());
+        assert!(faulty.elapsed_s > clean.elapsed_s, "{}", faulty.elapsed_s);
     }
 
     #[test]

@@ -183,6 +183,7 @@ fn worker_task(ctx: &TaskCtx, cfg: &FftConfig, store: &Arc<TileStore>) -> CoreRe
         .server
         .session_with_options(Arc::new(g), SessionOptions::from_env());
     loop {
+        ctx.check_faults()?;
         match sess.run_no_fetch(&[push_node], &[]) {
             Ok(()) => {}
             Err(CoreError::EndOfSequence) => return Ok(()),
@@ -283,11 +284,10 @@ pub fn run_fft_with_store(
         JobSpec::new("merger", 1, 0),
         JobSpec::new("worker", cfg.workers, 1),
     ];
-    let launch_cfg = LaunchConfig {
-        platform: platform.clone(),
-        jobs,
-        protocol: cfg.protocol,
-        simulated: cfg.simulated,
+    let launch_cfg = if cfg.simulated {
+        LaunchConfig::simulated(platform.clone(), jobs, cfg.protocol)
+    } else {
+        LaunchConfig::real(platform.clone(), jobs, cfg.protocol)
     };
     let cfg2 = cfg.clone();
     let collect_time = Arc::new(Mutex::new(0.0f64));

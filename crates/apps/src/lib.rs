@@ -24,10 +24,64 @@ pub mod fft;
 pub mod matmul;
 pub mod stream;
 
-pub use cg::{run_cg, run_cg_with_store, CgConfig, CgReduction, CgReport};
+pub use cg::{run_cg, run_cg_supervised, run_cg_with_store, CgConfig, CgReduction, CgReport};
 pub use fft::{run_fft, run_fft_with_store, FftConfig, FftReport};
 pub use matmul::{run_matmul, MatmulConfig, MatmulReport};
 pub use stream::{run_stream, StreamConfig, StreamReport};
+
+use tfhpc_core::RetryConfig;
+use tfhpc_dist::{LaunchConfig, SupervisorConfig};
+use tfhpc_sim::fault::FaultPlan;
+
+/// A fault-injection experiment bundle for an application run: the
+/// injected schedule, the supervisor's restart budget and the retry
+/// policy the cluster's remote primitives run under.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSetup {
+    /// Injected fault schedule (virtual-time, deterministic).
+    pub plan: FaultPlan,
+    /// Gang restarts the supervisor may perform before a failure
+    /// becomes fatal.
+    pub max_restarts: usize,
+    /// Virtual seconds the supervisor waits before each gang restart.
+    pub restart_backoff_s: f64,
+    /// Retry policy for transient (`Unavailable`) remote failures.
+    pub retry: RetryConfig,
+}
+
+impl FaultSetup {
+    /// `plan` under a restart budget, no backoff, no retries.
+    pub fn new(plan: FaultPlan, max_restarts: usize) -> FaultSetup {
+        FaultSetup {
+            plan,
+            max_restarts,
+            restart_backoff_s: 0.0,
+            retry: RetryConfig::disabled(),
+        }
+    }
+
+    /// Set the retry policy for transient remote failures.
+    pub fn with_retry(mut self, retry: RetryConfig) -> FaultSetup {
+        self.retry = retry;
+        self
+    }
+
+    /// Set the supervisor's restart backoff.
+    pub fn with_backoff(mut self, secs: f64) -> FaultSetup {
+        self.restart_backoff_s = secs;
+        self
+    }
+
+    /// Attach the whole bundle to a launch config.
+    pub fn apply(&self, cfg: LaunchConfig) -> LaunchConfig {
+        cfg.with_faults(self.plan.clone())
+            .with_supervisor(SupervisorConfig {
+                max_restarts: self.max_restarts,
+                restart_backoff_s: self.restart_backoff_s,
+            })
+            .with_retry(self.retry.clone())
+    }
+}
 
 /// Application-level errors.
 #[derive(Debug)]

@@ -257,6 +257,7 @@ fn worker_body(
         .server
         .session_with_options(Arc::new(g), SessionOptions::from_env());
     loop {
+        ctx.check_faults()?;
         match sess.run_no_fetch(&[push_node], &[]) {
             Ok(()) => {}
             Err(CoreError::EndOfSequence) => return Ok(()),
@@ -280,14 +281,14 @@ fn matmul_body(cfg: MatmulConfig) -> impl Fn(TaskCtx) -> CoreResult<()> + Send +
 }
 
 fn launch_cfg(platform: &Platform, cfg: &MatmulConfig) -> LaunchConfig {
-    LaunchConfig {
-        platform: platform.clone(),
-        jobs: vec![
-            JobSpec::new("reducer", cfg.reducers, 0),
-            JobSpec::new("worker", cfg.workers, 1),
-        ],
-        protocol: cfg.protocol,
-        simulated: cfg.simulated,
+    let jobs = vec![
+        JobSpec::new("reducer", cfg.reducers, 0),
+        JobSpec::new("worker", cfg.workers, 1),
+    ];
+    if cfg.simulated {
+        LaunchConfig::simulated(platform.clone(), jobs, cfg.protocol)
+    } else {
+        LaunchConfig::real(platform.clone(), jobs, cfg.protocol)
     }
 }
 

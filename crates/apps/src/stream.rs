@@ -88,11 +88,10 @@ pub fn run_stream(platform: &Platform, cfg: &StreamConfig) -> Result<StreamRepor
     let n = (cfg.size_bytes / 8).max(1) as usize; // f64 elements
     let gpus = usize::from(cfg.on_gpu);
     let jobs = vec![JobSpec::new("ps", 1, gpus), JobSpec::new("worker", 1, gpus)];
-    let launch_cfg = LaunchConfig {
-        platform: platform.clone(),
-        jobs,
-        protocol: cfg.protocol,
-        simulated: cfg.simulated,
+    let launch_cfg = if cfg.simulated {
+        LaunchConfig::simulated(platform.clone(), jobs, cfg.protocol)
+    } else {
+        LaunchConfig::real(platform.clone(), jobs, cfg.protocol)
     };
 
     let elapsed = Arc::new(Mutex::new(0.0f64));
@@ -131,6 +130,7 @@ pub fn run_stream(platform: &Platform, cfg: &StreamConfig) -> Result<StreamRepor
             .session_with_options(Arc::new(g), SessionOptions::from_env());
         let t0 = ctx.now();
         for _ in 0..cfg2.invocations {
+            ctx.check_faults()?;
             // Invoke through the session without returning the value.
             sess.run_no_fetch(&[op], &[])?;
         }

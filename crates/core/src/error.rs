@@ -30,8 +30,34 @@ pub enum CoreError {
     },
     /// Named resource (variable, queue, iterator, tile) not found.
     NotFound(String),
+    /// A peer task or link is (possibly temporarily) unreachable —
+    /// TensorFlow's `UnavailableError`. The only transient code: safe
+    /// to retry with backoff.
+    Unavailable(String),
+    /// A blocking operation's deadline expired before it completed —
+    /// TensorFlow's `DeadlineExceededError`.
+    DeadlineExceeded(String),
+    /// The operation was torn down mid-flight (injected crash, stale
+    /// server generation after a supervisor restart) — TensorFlow's
+    /// `AbortedError`. Not retryable at the op level; the supervisor
+    /// handles it by restarting the gang from a checkpoint.
+    Aborted(String),
+    /// The operation was cancelled before it ran — TensorFlow's
+    /// `CancelledError`.
+    Cancelled(String),
     /// Anything else.
     Invalid(String),
+}
+
+impl CoreError {
+    /// TF-style transience classification: `true` only for errors a
+    /// retry-with-backoff policy may safely re-attempt (`Unavailable`).
+    /// `DeadlineExceeded` is the caller's budget expiring (retrying
+    /// cannot help), and `Aborted`/`Cancelled` require recovery above
+    /// the op level.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CoreError::Unavailable(_))
+    }
 }
 
 impl std::fmt::Display for CoreError {
@@ -52,6 +78,10 @@ impl std::fmt::Display for CoreError {
                 "out of memory on {device}: need {needed} bytes, capacity {capacity}"
             ),
             CoreError::NotFound(s) => write!(f, "not found: {s}"),
+            CoreError::Unavailable(s) => write!(f, "unavailable: {s}"),
+            CoreError::DeadlineExceeded(s) => write!(f, "deadline exceeded: {s}"),
+            CoreError::Aborted(s) => write!(f, "aborted: {s}"),
+            CoreError::Cancelled(s) => write!(f, "cancelled: {s}"),
             CoreError::Invalid(s) => write!(f, "invalid: {s}"),
         }
     }

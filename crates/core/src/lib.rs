@@ -37,6 +37,7 @@ pub mod optimizer;
 pub mod queue;
 pub mod queue_runner;
 pub mod resources;
+pub mod retry;
 pub mod serialize;
 pub mod session;
 pub mod timeline;
@@ -52,6 +53,7 @@ pub use optimizer::{optimize, optimize_for, OptimizeStats, Optimized};
 pub use queue::FifoQueue;
 pub use queue_runner::{Coordinator, QueueRunner};
 pub use resources::{Resources, TileStore, Variable};
+pub use retry::RetryConfig;
 pub use serialize::{graph_from_bytes, graph_to_bytes, Saver, TensorProto};
 pub use session::{RunMetadata, Session, SessionOptions};
 pub use timeline::Timeline;

@@ -24,6 +24,11 @@ use tfhpc_tensor::Tensor;
 struct QueueState {
     items: VecDeque<Vec<Tensor>>,
     closed: bool,
+    /// Sticky abort (TensorFlow's queue cancellation): once set, every
+    /// operation — including draining — fails with a clone of this
+    /// error. Set when the owning task dies or the supervisor tears a
+    /// generation down.
+    aborted: Option<CoreError>,
 }
 
 enum Waiters {
@@ -65,6 +70,7 @@ impl FifoQueue {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 closed: false,
+                aborted: None,
             }),
             waiters,
         })
@@ -103,8 +109,11 @@ impl FifoQueue {
                 not_full,
             } => {
                 let mut st = self.state.lock();
-                while st.items.len() >= self.capacity && !st.closed {
+                while st.items.len() >= self.capacity && !st.closed && st.aborted.is_none() {
                     not_full.wait(&mut st);
+                }
+                if let Some(err) = &st.aborted {
+                    return Err(err.clone());
                 }
                 if st.closed {
                     return Err(CoreError::QueueClosed(self.name.clone()));
@@ -120,6 +129,9 @@ impl FifoQueue {
                 loop {
                     {
                         let mut st = self.state.lock();
+                        if let Some(err) = &st.aborted {
+                            return Err(err.clone());
+                        }
                         if st.closed {
                             return Err(CoreError::QueueClosed(self.name.clone()));
                         }
@@ -139,7 +151,8 @@ impl FifoQueue {
     }
 
     /// Blocking dequeue of one tuple. Errors with `QueueClosed` once
-    /// the queue is closed *and* drained.
+    /// the queue is closed *and* drained, or with the abort error once
+    /// aborted (aborting cancels pending elements, it does not drain).
     pub fn dequeue(&self) -> Result<Vec<Tensor>> {
         match &self.waiters {
             Waiters::Real {
@@ -148,6 +161,9 @@ impl FifoQueue {
             } => {
                 let mut st = self.state.lock();
                 loop {
+                    if let Some(err) = &st.aborted {
+                        return Err(err.clone());
+                    }
                     if let Some(tuple) = st.items.pop_front() {
                         not_full.notify_one();
                         return Ok(tuple);
@@ -164,6 +180,9 @@ impl FifoQueue {
             } => loop {
                 {
                     let mut st = self.state.lock();
+                    if let Some(err) = &st.aborted {
+                        return Err(err.clone());
+                    }
                     if let Some(tuple) = st.items.pop_front() {
                         drop(st);
                         not_full.notify_all();
@@ -178,6 +197,81 @@ impl FifoQueue {
         }
     }
 
+    /// [`FifoQueue::dequeue`] with a deadline: gives up with
+    /// `DeadlineExceeded` after `timeout_s` seconds — *virtual* seconds
+    /// when the queue is sim-bound (the caller's clock then sits at
+    /// exactly `now + timeout_s`), wall-clock seconds otherwise. This
+    /// is the primitive that keeps consumers from parking forever on a
+    /// dead producer.
+    pub fn dequeue_timeout(&self, timeout_s: f64) -> Result<Vec<Tensor>> {
+        match &self.waiters {
+            Waiters::Real {
+                not_empty,
+                not_full,
+            } => {
+                let deadline =
+                    std::time::Instant::now() + std::time::Duration::from_secs_f64(timeout_s);
+                let mut st = self.state.lock();
+                loop {
+                    if let Some(err) = &st.aborted {
+                        return Err(err.clone());
+                    }
+                    if let Some(tuple) = st.items.pop_front() {
+                        not_full.notify_one();
+                        return Ok(tuple);
+                    }
+                    if st.closed {
+                        return Err(CoreError::QueueClosed(self.name.clone()));
+                    }
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Err(CoreError::DeadlineExceeded(format!(
+                            "dequeue on `{}` after {timeout_s}s",
+                            self.name
+                        )));
+                    }
+                    not_empty.wait_for(&mut st, deadline - now);
+                }
+            }
+            Waiters::Sim {
+                not_empty,
+                not_full,
+            } => {
+                let me = tfhpc_sim::des::current().ok_or_else(|| {
+                    CoreError::Invalid(format!(
+                        "queue `{}` is sim-bound but dequeue_timeout was called \
+                         from a non-simulated thread",
+                        self.name
+                    ))
+                })?;
+                let deadline = me.now() + timeout_s;
+                loop {
+                    {
+                        let mut st = self.state.lock();
+                        if let Some(err) = &st.aborted {
+                            return Err(err.clone());
+                        }
+                        if let Some(tuple) = st.items.pop_front() {
+                            drop(st);
+                            not_full.notify_all();
+                            return Ok(tuple);
+                        }
+                        if st.closed {
+                            return Err(CoreError::QueueClosed(self.name.clone()));
+                        }
+                    }
+                    if me.now() >= deadline {
+                        return Err(CoreError::DeadlineExceeded(format!(
+                            "dequeue on `{}` at virtual t={deadline:.6}",
+                            self.name
+                        )));
+                    }
+                    not_empty.wait_until(deadline);
+                }
+            }
+        }
+    }
+
     /// Non-blocking dequeue. `Ok(Some(tuple))` when an element was
     /// available (even on a closed queue — closing drains), `Ok(None)`
     /// when the queue is momentarily empty but open, and
@@ -187,6 +281,9 @@ impl FifoQueue {
     pub fn try_dequeue(&self) -> Result<Option<Vec<Tensor>>> {
         let out = {
             let mut st = self.state.lock();
+            if let Some(err) = &st.aborted {
+                return Err(err.clone());
+            }
             match st.items.pop_front() {
                 Some(tuple) => Some(tuple),
                 None if st.closed => return Err(CoreError::QueueClosed(self.name.clone())),
@@ -227,6 +324,42 @@ impl FifoQueue {
                 self.notify_sim(not_full);
             }
         }
+    }
+
+    /// Abort the queue with `err` (first abort wins, later calls are
+    /// no-ops): every pending and future operation — enqueue, dequeue,
+    /// drain — fails with a clone of `err`, and all parked waiters wake
+    /// immediately. This is how a dead peer or a supervisor teardown
+    /// unblocks tasks parked on the dead task's queues.
+    pub fn abort(&self, err: CoreError) {
+        {
+            let mut st = self.state.lock();
+            if st.aborted.is_some() {
+                return;
+            }
+            st.aborted = Some(err);
+        }
+        match &self.waiters {
+            Waiters::Real {
+                not_empty,
+                not_full,
+            } => {
+                not_empty.notify_all();
+                not_full.notify_all();
+            }
+            Waiters::Sim {
+                not_empty,
+                not_full,
+            } => {
+                self.notify_sim(not_empty);
+                self.notify_sim(not_full);
+            }
+        }
+    }
+
+    /// The sticky abort error, when aborted.
+    pub fn abort_error(&self) -> Option<CoreError> {
+        self.state.lock().aborted.clone()
     }
 
     /// Notify one of a sim-bound queue's condvars. A sim condvar can
@@ -362,6 +495,81 @@ mod tests {
         sim.run();
         // Consumer was blocked until the producer's t=3.
         assert!(*consumer_time.lock() >= 3.0);
+    }
+
+    #[test]
+    fn abort_wakes_blocked_consumer_with_error() {
+        let q = FifoQueue::new("q", 4);
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.dequeue());
+        thread::sleep(Duration::from_millis(20));
+        q.abort(CoreError::Unavailable("peer died".into()));
+        assert!(matches!(h.join().unwrap(), Err(CoreError::Unavailable(_))));
+        // Sticky: later operations fail the same way, no drain.
+        assert!(matches!(q.enqueue(t(1.0)), Err(CoreError::Unavailable(_))));
+        assert!(matches!(q.try_dequeue(), Err(CoreError::Unavailable(_))));
+    }
+
+    #[test]
+    fn abort_cancels_pending_elements() {
+        let q = FifoQueue::new("q", 4);
+        q.enqueue(t(1.0)).unwrap();
+        q.abort(CoreError::Aborted("gang restart".into()));
+        // Unlike close(), abort does not drain.
+        assert!(matches!(q.dequeue(), Err(CoreError::Aborted(_))));
+        // First abort wins.
+        q.abort(CoreError::Unavailable("second".into()));
+        assert!(matches!(q.abort_error(), Some(CoreError::Aborted(_))));
+    }
+
+    #[test]
+    fn dequeue_timeout_expires_then_succeeds() {
+        let q = FifoQueue::new("q", 4);
+        assert!(matches!(
+            q.dequeue_timeout(0.02),
+            Err(CoreError::DeadlineExceeded(_))
+        ));
+        q.enqueue(t(8.0)).unwrap();
+        assert_eq!(
+            q.dequeue_timeout(0.02).unwrap()[0]
+                .scalar_value_f64()
+                .unwrap(),
+            8.0
+        );
+    }
+
+    #[test]
+    fn dequeue_timeout_woken_by_late_producer() {
+        let q = FifoQueue::new("q", 4);
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.dequeue_timeout(5.0));
+        thread::sleep(Duration::from_millis(20));
+        q.enqueue(t(3.0)).unwrap();
+        assert_eq!(
+            h.join().unwrap().unwrap()[0].scalar_value_f64().unwrap(),
+            3.0
+        );
+    }
+
+    #[test]
+    fn sim_dequeue_timeout_fires_at_exact_virtual_time() {
+        use tfhpc_sim::des::{current, Sim};
+        let sim = Sim::new();
+        let out = Arc::new(Mutex::new((0.0f64, false)));
+        {
+            let out = Arc::clone(&out);
+            sim.spawn("consumer", move || {
+                let q = FifoQueue::new("simq", 4);
+                let me = current().unwrap();
+                me.advance(1.0);
+                let r = q.dequeue_timeout(2.5);
+                *out.lock() = (me.now(), matches!(r, Err(CoreError::DeadlineExceeded(_))));
+            });
+        }
+        sim.run();
+        let (now, deadline_hit) = *out.lock();
+        assert!(deadline_hit);
+        assert_eq!(now, 3.5); // exactly start + timeout
     }
 
     #[test]

@@ -7,6 +7,7 @@ use crate::error::{CoreError, Result};
 use crate::queue::FifoQueue;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tfhpc_tensor::{Tensor, TensorError};
 
@@ -103,6 +104,16 @@ pub struct Resources {
     queues: RwLock<HashMap<String, Arc<FifoQueue>>>,
     iterators: RwLock<HashMap<String, Arc<DatasetIterator>>>,
     stores: RwLock<HashMap<String, Arc<TileStore>>>,
+    /// Sticky task-level fault: once set (dead task, supervisor
+    /// teardown), every existing queue is aborted with it and queues
+    /// created afterwards are *born* aborted — so a straggler process
+    /// of a torn-down generation can never park forever on a queue it
+    /// conjures after the abort swept through.
+    fault: Mutex<Option<CoreError>>,
+    /// Transparent retries performed against this manager's owner
+    /// (incremented by the distributed runtime's retry policy, read
+    /// into `RunMetadata`).
+    retries: AtomicU64,
 }
 
 impl Resources {
@@ -146,6 +157,9 @@ impl Resources {
     /// Create a FIFO queue (binds to the current sim, if any).
     pub fn create_queue(&self, name: &str, capacity: usize) -> Arc<FifoQueue> {
         let q = FifoQueue::new(name, capacity);
+        if let Some(err) = self.fault.lock().clone() {
+            q.abort(err);
+        }
         self.queues.write().insert(name.to_string(), Arc::clone(&q));
         q
     }
@@ -165,7 +179,13 @@ impl Resources {
         let mut queues = self.queues.write();
         queues
             .entry(name.to_string())
-            .or_insert_with(|| FifoQueue::new(name, capacity))
+            .or_insert_with(|| {
+                let q = FifoQueue::new(name, capacity);
+                if let Some(err) = self.fault.lock().clone() {
+                    q.abort(err);
+                }
+                q
+            })
             .clone()
     }
 
@@ -176,6 +196,38 @@ impl Resources {
             .get(name)
             .cloned()
             .ok_or_else(|| CoreError::NotFound(format!("queue `{name}`")))
+    }
+
+    /// Abort every queue of this manager with `err`, and poison future
+    /// queue creation the same way (sticky). Waiters parked on any of
+    /// the queues wake immediately with a clone of `err`. Idempotent:
+    /// the first fault wins.
+    pub fn abort_all_queues(&self, err: CoreError) {
+        {
+            let mut fault = self.fault.lock();
+            if fault.is_none() {
+                *fault = Some(err.clone());
+            }
+        }
+        let queues: Vec<Arc<FifoQueue>> = self.queues.read().values().cloned().collect();
+        for q in queues {
+            q.abort(err.clone());
+        }
+    }
+
+    /// The sticky task-level fault, when set.
+    pub fn fault(&self) -> Option<CoreError> {
+        self.fault.lock().clone()
+    }
+
+    /// Record one transparent retry against this task.
+    pub fn note_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total transparent retries recorded so far.
+    pub fn retries_total(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     // ---- dataset iterators ---------------------------------------------------

@@ -1,0 +1,193 @@
+//! Retry with exponential backoff on transient errors — the policy
+//! TensorFlow's distributed runtime applies to `UnavailableError`
+//! (worker preempted, link flapping) while letting every other error
+//! code propagate.
+//!
+//! Backoff sleeps advance the *virtual* clock when the caller is a
+//! simulated process, and jitter is a deterministic hash of the
+//! operation name and attempt number — never the wall clock — so a
+//! retried run under the DES replays byte-for-byte.
+
+use crate::error::Result;
+use crate::resources::Resources;
+
+#[cfg(test)]
+use crate::error::CoreError;
+
+/// Retry policy for transient ([`CoreError::is_transient`]) failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryConfig {
+    /// Total attempts including the first (1 = no retry).
+    pub max_attempts: usize,
+    /// Backoff before the first retry, seconds; doubles per attempt.
+    pub base_backoff_s: f64,
+    /// Backoff ceiling, seconds.
+    pub max_backoff_s: f64,
+    /// Jitter fraction in `[0, 1]`: each backoff is stretched by up to
+    /// this fraction, by a deterministic hash of (operation, attempt).
+    pub jitter: f64,
+}
+
+impl Default for RetryConfig {
+    /// Retries disabled — the seed runtime's behavior.
+    fn default() -> Self {
+        RetryConfig::disabled()
+    }
+}
+
+/// FNV-1a over the salt and attempt, mapped to `[0, 1)` — the
+/// deterministic stand-in for random jitter.
+fn unit_hash(salt: &str, attempt: usize) -> f64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in salt.bytes().chain(attempt.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Sleep `secs` in the caller's time domain: virtual time inside a
+/// simulated process, wall clock otherwise.
+fn backoff_sleep(secs: f64) {
+    if secs <= 0.0 {
+        return;
+    }
+    match tfhpc_sim::des::current() {
+        Some(me) => me.advance(secs),
+        None => std::thread::sleep(std::time::Duration::from_secs_f64(secs)),
+    }
+}
+
+impl RetryConfig {
+    /// No retries: every error propagates on the first attempt.
+    pub fn disabled() -> RetryConfig {
+        RetryConfig {
+            max_attempts: 1,
+            base_backoff_s: 0.0,
+            max_backoff_s: 0.0,
+            jitter: 0.0,
+        }
+    }
+
+    /// Retry up to `max_attempts` total attempts, starting the backoff
+    /// at `base_backoff_s` (doubling, capped at 100×, 10% jitter).
+    pub fn new(max_attempts: usize, base_backoff_s: f64) -> RetryConfig {
+        RetryConfig {
+            max_attempts: max_attempts.max(1),
+            base_backoff_s,
+            max_backoff_s: base_backoff_s * 100.0,
+            jitter: 0.1,
+        }
+    }
+
+    /// True when the policy can retry at all.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Backoff before retry number `attempt` (0-based) of `what`.
+    pub fn backoff_s(&self, attempt: usize, what: &str) -> f64 {
+        let exp = self.base_backoff_s * 2f64.powi(attempt.min(62) as i32);
+        let capped = exp.min(self.max_backoff_s.max(self.base_backoff_s));
+        capped * (1.0 + self.jitter * unit_hash(what, attempt))
+    }
+
+    /// Run `f`, retrying transient errors with exponential backoff up
+    /// to the attempt budget. Each retry is counted on `resources`
+    /// (surfacing in `RunMetadata::retries`) when provided.
+    /// Non-transient errors and budget exhaustion propagate the last
+    /// error unchanged.
+    pub fn run<T>(
+        &self,
+        what: &str,
+        resources: Option<&Resources>,
+        mut f: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
+        let mut attempt = 0usize;
+        loop {
+            match f() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt + 1 < self.max_attempts => {
+                    if let Some(r) = resources {
+                        r.note_retry();
+                    }
+                    backoff_sleep(self.backoff_s(attempt, what));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn disabled_policy_fails_on_first_transient() {
+        let calls = AtomicUsize::new(0);
+        let r: Result<()> = RetryConfig::disabled().run("op", None, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(CoreError::Unavailable("flap".into()))
+        });
+        assert!(matches!(r, Err(CoreError::Unavailable(_))));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn transient_errors_retried_until_success() {
+        let res = Resources::new();
+        let calls = AtomicUsize::new(0);
+        let cfg = RetryConfig::new(5, 1e-6);
+        let v = cfg
+            .run("op", Some(&res), || {
+                if calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(CoreError::Unavailable("flap".into()))
+                } else {
+                    Ok(7)
+                }
+            })
+            .unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(res.retries_total(), 2);
+    }
+
+    #[test]
+    fn non_transient_errors_never_retried() {
+        let calls = AtomicUsize::new(0);
+        let r: Result<()> = RetryConfig::new(5, 1e-6).run("op", None, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(CoreError::Aborted("crash".into()))
+        });
+        assert!(matches!(r, Err(CoreError::Aborted(_))));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_last_error() {
+        let calls = AtomicUsize::new(0);
+        let r: Result<()> = RetryConfig::new(3, 1e-6).run("op", None, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(CoreError::Unavailable("still down".into()))
+        });
+        assert!(matches!(r, Err(CoreError::Unavailable(_))));
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn backoff_grows_deterministically() {
+        let cfg = RetryConfig::new(8, 0.01);
+        let b0 = cfg.backoff_s(0, "remote_enqueue");
+        let b1 = cfg.backoff_s(1, "remote_enqueue");
+        let b2 = cfg.backoff_s(2, "remote_enqueue");
+        assert!(b0 < b1 && b1 < b2, "{b0} {b1} {b2}");
+        // Deterministic: same inputs, same jittered value.
+        assert_eq!(b1, cfg.backoff_s(1, "remote_enqueue"));
+        // Jitter differs across operations but stays bounded.
+        let other = cfg.backoff_s(1, "remote_dequeue");
+        assert!((0.02..=0.02 * 1.1 + 1e-12).contains(&other));
+    }
+}

@@ -97,6 +97,9 @@ pub struct RunMetadata {
     pub kernel_seconds: f64,
     /// Elapsed seconds for the run (virtual or wall).
     pub elapsed_s: f64,
+    /// Transparent retries the distributed runtime performed on this
+    /// task's behalf during the run (0 unless a retry policy is set).
+    pub retries: u64,
 }
 
 /// Concurrency-safe accumulator behind [`RunMetadata`]: executor
@@ -129,12 +132,13 @@ impl MetaAcc {
         }
     }
 
-    fn into_metadata(self, elapsed_s: f64) -> RunMetadata {
+    fn into_metadata(self, elapsed_s: f64, retries: u64) -> RunMetadata {
         RunMetadata {
             ops_executed: self.ops_executed.into_inner(),
             output_bytes: self.output_bytes.into_inner(),
             kernel_seconds: f64::from_bits(self.kernel_seconds_bits.into_inner()),
             elapsed_s,
+            retries,
         }
     }
 }
@@ -272,6 +276,7 @@ impl Session {
         feeds: &[(NodeId, Tensor)],
     ) -> Result<(HashMap<NodeId, (Vec<Tensor>, Placement)>, RunMetadata)> {
         let run_t0 = self.now();
+        let retries_t0 = self.resources.retries_total();
         let run_seed = self.run_counter.fetch_add(1, Ordering::Relaxed) + 1;
 
         // Every invocation goes through the client→server dispatch the
@@ -304,7 +309,13 @@ impl Session {
             self.exec_sequential(&needed, &feed_map, run_seed, &meta)?
         };
 
-        Ok((computed, meta.into_metadata(self.now() - run_t0)))
+        Ok((
+            computed,
+            meta.into_metadata(
+                self.now() - run_t0,
+                self.resources.retries_total() - retries_t0,
+            ),
+        ))
     }
 
     /// In-order executor: walks `needed` in (valid topological)

@@ -1,5 +1,5 @@
 //! End-to-end distributed launch: Slurm allocation → resolver →
-//! servers → one process per task.
+//! servers → one supervised process per task.
 //!
 //! This is the experiment driver: given a platform preset, a job list
 //! and a transport, it allocates simulated nodes, resolves the cluster
@@ -7,6 +7,21 @@
 //! task body — as a DES process per task in simulated mode, or as an
 //! OS thread per task in real mode. The returned elapsed time is
 //! virtual (simulated) or wall-clock (real).
+//!
+//! ## Supervision
+//!
+//! Task bodies return `Result`; a failure never panics the launch.
+//! In simulated mode a supervisor records every task exit and, when a
+//! restart budget is configured ([`SupervisorConfig::max_restarts`]),
+//! reacts to a failure with a *gang restart*: the cluster generation
+//! is bumped (fencing stale processes with `Aborted`), every queue is
+//! aborted to unblock parked peers, fresh servers come up at the
+//! current virtual time and all task bodies re-run — resuming from
+//! their latest checkpoint if they saved one. With the budget
+//! exhausted the failed task is marked dead (peers observe
+//! `Unavailable`), the gang is drained and [`launch`] returns the
+//! error. Injected node crashes from a [`FaultPlan`] are driven by a
+//! fault-daemon process firing at the exact scheduled virtual time.
 
 use crate::cluster_spec::TaskKey;
 use crate::resolver::{resolve_with_policy, JobSpec, Resolved};
@@ -14,12 +29,44 @@ use crate::server::{Server, TfCluster};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
-use tfhpc_core::{CoreError, Result};
+use tfhpc_core::{CoreError, Result, RetryConfig};
 use tfhpc_sim::des::Sim;
+use tfhpc_sim::fault::{FaultEvent, FaultPlan};
 use tfhpc_sim::net::Protocol;
 use tfhpc_sim::platform::Platform;
 use tfhpc_sim::topology::ClusterSim;
 use tfhpc_slurm::{Distribution, JobRequest, SlurmCluster};
+
+/// Checkpoint-restart supervision policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorConfig {
+    /// Gang restarts allowed before a failure becomes fatal (0 = any
+    /// task failure fails the launch — the seed behavior, minus the
+    /// panic).
+    pub max_restarts: usize,
+    /// Virtual (sim) / wall (real) seconds the supervisor waits before
+    /// bringing the gang back up.
+    pub restart_backoff_s: f64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 0,
+            restart_backoff_s: 0.0,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Allow up to `max_restarts` gang restarts (no backoff).
+    pub fn restarting(max_restarts: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            max_restarts,
+            restart_backoff_s: 0.0,
+        }
+    }
+}
 
 /// A distributed run request.
 #[derive(Clone)]
@@ -32,27 +79,53 @@ pub struct LaunchConfig {
     pub protocol: Protocol,
     /// Run on the simulated cluster (virtual time) or on host threads.
     pub simulated: bool,
+    /// Injected fault schedule (crashes fire only in simulated mode;
+    /// link faults and delay spikes are evaluated lazily by remote ops).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Checkpoint-restart supervision policy.
+    pub supervisor: SupervisorConfig,
+    /// Retry policy the cluster's remote primitives run under.
+    pub retry: RetryConfig,
 }
 
 impl LaunchConfig {
-    /// Simulated-run config.
+    /// Simulated-run config (no faults, no restarts, no retries).
     pub fn simulated(platform: Platform, jobs: Vec<JobSpec>, protocol: Protocol) -> LaunchConfig {
         LaunchConfig {
             platform,
             jobs,
             protocol,
             simulated: true,
+            faults: None,
+            supervisor: SupervisorConfig::default(),
+            retry: RetryConfig::disabled(),
         }
     }
 
     /// Real-mode (host threads, wall clock) config.
     pub fn real(platform: Platform, jobs: Vec<JobSpec>, protocol: Protocol) -> LaunchConfig {
         LaunchConfig {
-            platform,
-            jobs,
-            protocol,
             simulated: false,
+            ..LaunchConfig::simulated(platform, jobs, protocol)
         }
+    }
+
+    /// Install an injected fault schedule.
+    pub fn with_faults(mut self, plan: FaultPlan) -> LaunchConfig {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Install a supervision policy.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> LaunchConfig {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Install a retry policy for remote primitives.
+    pub fn with_retry(mut self, retry: RetryConfig) -> LaunchConfig {
+        self.retry = retry;
+        self
     }
 }
 
@@ -65,6 +138,7 @@ pub struct TaskCtx {
     /// GPU ids visible to this task.
     pub gpu_ids: Vec<usize>,
     start: Instant,
+    attempt: u64,
 }
 
 impl TaskCtx {
@@ -83,6 +157,22 @@ impl TaskCtx {
         self.server.cluster().spec.num_tasks(job)
     }
 
+    /// Which gang incarnation this body belongs to: 0 on the first
+    /// start, `n` after the n-th supervisor restart. Bodies use this
+    /// to decide whether to resume from a checkpoint.
+    pub fn attempt(&self) -> u64 {
+        self.attempt
+    }
+
+    /// Poll the failure plane: `Err(Aborted)` when this task's
+    /// incarnation is fenced off (superseded by a gang restart, or its
+    /// node crashed per the injected fault plan). Long compute loops
+    /// call this once per iteration so an injected crash is observed
+    /// even between remote operations.
+    pub fn check_faults(&self) -> Result<()> {
+        self.server.check_alive()
+    }
+
     /// Seconds since launch: virtual time in simulated mode, wall time
     /// otherwise.
     pub fn now(&self) -> f64 {
@@ -91,6 +181,17 @@ impl TaskCtx {
             None => self.start.elapsed().as_secs_f64(),
         }
     }
+}
+
+/// How one task body invocation ended.
+#[derive(Debug, Clone)]
+pub struct TaskExit {
+    /// Task identity.
+    pub key: TaskKey,
+    /// Gang generation the body ran under.
+    pub generation: u64,
+    /// `None` on success, the error text otherwise.
+    pub error: Option<String>,
 }
 
 /// Result of a distributed run.
@@ -103,6 +204,11 @@ pub struct Launched {
     pub sim: Option<Arc<Sim>>,
     /// The runtime cluster (servers remain queryable after the run).
     pub cluster: Arc<TfCluster>,
+    /// Every recorded task body exit, in completion order (includes
+    /// failed attempts that were later restarted).
+    pub task_exits: Vec<TaskExit>,
+    /// Gang restarts the supervisor performed.
+    pub restarts: usize,
 }
 
 /// Nodes needed for `jobs` at `tasks_per_node`, one fresh start per job.
@@ -141,6 +247,182 @@ where
     F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
 {
     launch_inner(cfg, setup, body, true)
+}
+
+/// Shared supervisor state for one simulated launch.
+struct SupShared<F> {
+    sim: Arc<Sim>,
+    cluster: Arc<TfCluster>,
+    /// (key, node, gpu_ids) per task — the gang roster.
+    tasks: Vec<(TaskKey, usize, Vec<usize>)>,
+    body: Arc<F>,
+    sup: SupervisorConfig,
+    start: Instant,
+    state: Mutex<SupState>,
+}
+
+#[derive(Default)]
+struct SupState {
+    /// Current gang generation; task failures from older generations
+    /// are collateral of a restart already in flight, not new faults.
+    generation: u64,
+    restarts_used: usize,
+    /// Fatal failures (budget exhausted) — non-empty fails the launch.
+    failures: Vec<String>,
+    exits: Vec<TaskExit>,
+}
+
+impl<F> SupShared<F> {
+    fn record(&self, key: TaskKey, generation: u64, error: Option<String>) {
+        self.state.lock().exits.push(TaskExit {
+            key,
+            generation,
+            error,
+        });
+    }
+}
+
+/// Start (or restart) every task of `generation`: fresh servers for
+/// restarts, then one sim process per task whose wrapper routes the
+/// body's exit into the supervisor.
+fn start_generation<F>(shared: &Arc<SupShared<F>>, generation: u64)
+where
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    if generation > 0 {
+        for (key, node, gpus) in &shared.tasks {
+            shared
+                .cluster
+                .start_server(key.clone(), *node, gpus.clone());
+        }
+    }
+    for (key, _node, gpus) in shared.tasks.clone() {
+        let sh = Arc::clone(shared);
+        let name = if generation == 0 {
+            key.to_string()
+        } else {
+            format!("{key}@g{generation}")
+        };
+        shared.sim.spawn(&name, move || {
+            let server = match sh.cluster.server(&key) {
+                Ok(s) => s,
+                Err(e) => {
+                    sh.record(key.clone(), generation, Some(e.to_string()));
+                    return;
+                }
+            };
+            let ctx = TaskCtx {
+                server,
+                key: key.clone(),
+                gpu_ids: gpus.clone(),
+                start: sh.start,
+                attempt: generation,
+            };
+            match (sh.body)(ctx) {
+                Ok(()) => sh.record(key.clone(), generation, None),
+                Err(e) => {
+                    sh.record(key.clone(), generation, Some(e.to_string()));
+                    supervise(&sh, generation, format!("{key}: {e}"), std::slice::from_ref(&key));
+                }
+            }
+        });
+    }
+}
+
+/// React to a failure observed at `generation`: gang-restart while
+/// budget remains, else mark the culprits dead and drain the gang.
+/// Runs inside a sim process (the failing task's, or a fault daemon).
+fn supervise<F>(shared: &Arc<SupShared<F>>, generation: u64, what: String, failed: &[TaskKey])
+where
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    let next_gen = {
+        let mut st = shared.state.lock();
+        if generation != st.generation {
+            // Collateral of a restart already in flight; the exit is
+            // recorded, nothing more to do.
+            return;
+        }
+        if st.restarts_used < shared.sup.max_restarts {
+            st.restarts_used += 1;
+            st.generation += 1;
+            Some(st.generation)
+        } else {
+            st.failures.push(what.clone());
+            None
+        }
+    };
+    match next_gen {
+        Some(gen) => {
+            // Fence the old generation, wake everything it parked, and
+            // bring the gang back up at the current virtual time.
+            shared.cluster.advance_epoch();
+            shared.cluster.abort_all(CoreError::Aborted(format!(
+                "gang restart (generation {gen}): {what}"
+            )));
+            shared.cluster.clear_dead();
+            if shared.sup.restart_backoff_s > 0.0 {
+                if let Some(me) = tfhpc_sim::des::current() {
+                    me.advance(shared.sup.restart_backoff_s);
+                }
+            }
+            start_generation(shared, gen);
+        }
+        None => {
+            for k in failed {
+                shared.cluster.mark_dead(k, &what);
+            }
+            shared.cluster.abort_all(CoreError::Unavailable(format!(
+                "gang draining after fatal failure: {what}"
+            )));
+        }
+    }
+}
+
+/// Fault-daemon body: at the scheduled instant, fail every
+/// current-generation task hosted on the crashed node. Runs as its own
+/// sim process so a crash fires at exactly `at_s` even when every task
+/// is parked (push-based injection — no poll required).
+fn crash_node<F>(shared: &Arc<SupShared<F>>, node: usize, at_s: f64)
+where
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    let generation = {
+        let st = shared.state.lock();
+        // A job that already fully exited has nothing left to crash.
+        let exited = st
+            .exits
+            .iter()
+            .filter(|e| e.generation == st.generation)
+            .count();
+        if exited == shared.tasks.len() {
+            return;
+        }
+        st.generation
+    };
+    let mut failed = Vec::new();
+    for (key, n, _) in &shared.tasks {
+        if *n != node {
+            continue;
+        }
+        if let Ok(server) = shared.cluster.server(key) {
+            // Only incarnations born strictly before the crash die; a
+            // server restarted at/after `at_s` runs on the "rebooted"
+            // node.
+            if server.born_at() < at_s && server.epoch() == shared.cluster.epoch() {
+                failed.push(key.clone());
+            }
+        }
+    }
+    if failed.is_empty() {
+        return;
+    }
+    supervise(
+        shared,
+        generation,
+        format!("node {node} crashed at t={at_s:.6} (injected)"),
+        &failed,
+    );
 }
 
 fn launch_inner<S, F>(cfg: &LaunchConfig, setup: S, body: F, trace: bool) -> Result<Launched>
@@ -193,6 +475,8 @@ where
         .as_ref()
         .map(|s| Arc::new(ClusterSim::new(s, cfg.platform.clone(), n_nodes)));
     let cluster = TfCluster::new(resolved.spec.clone(), cfg.protocol, cluster_sim);
+    cluster.set_faults(cfg.faults.clone());
+    cluster.set_retry(cfg.retry.clone());
 
     let servers: Vec<(TaskKey, Arc<Server>, Vec<usize>)> = resolved
         .tasks
@@ -208,42 +492,81 @@ where
     let body = Arc::new(body);
     let start = Instant::now();
 
-    let elapsed_s = match &sim {
+    let (elapsed_s, task_exits, restarts) = match &sim {
         Some(sim) => {
-            for (key, server, gpu_ids) in servers {
-                let body = Arc::clone(&body);
-                let ctx = TaskCtx {
-                    server,
-                    key: key.clone(),
-                    gpu_ids,
-                    start,
-                };
-                sim.spawn(&key.to_string(), move || {
-                    if let Err(e) = body(ctx) {
-                        panic!("task failed: {e}");
+            let shared = Arc::new(SupShared {
+                sim: Arc::clone(sim),
+                cluster: Arc::clone(&cluster),
+                tasks: resolved
+                    .tasks
+                    .iter()
+                    .map(|t| (t.key.clone(), t.node_index, t.gpu_ids.clone()))
+                    .collect(),
+                body: Arc::clone(&body),
+                sup: cfg.supervisor.clone(),
+                start,
+                state: Mutex::new(SupState::default()),
+            });
+            start_generation(&shared, 0);
+            // One fault daemon per scheduled crash: fires the failure at
+            // the exact virtual instant even if every task is parked.
+            if let Some(plan) = &cfg.faults {
+                for ev in &plan.events {
+                    if let FaultEvent::NodeCrash { node, at_s } = *ev {
+                        let sh = Arc::clone(&shared);
+                        sim.spawn(&format!("fault-daemon:node{node}"), move || {
+                            tfhpc_sim::des::current()
+                                .expect("fault daemon is a sim process")
+                                .advance(at_s);
+                            crash_node(&sh, node, at_s);
+                        });
                     }
-                });
+                }
             }
-            sim.run()
+            let elapsed = sim.run();
+            let mut st = shared.state.lock();
+            if !st.failures.is_empty() {
+                return Err(CoreError::Invalid(st.failures.join("; ")));
+            }
+            let exits = std::mem::take(&mut st.exits);
+            (elapsed, exits, st.restarts_used)
         }
         None => {
             let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+            let exits: Arc<Mutex<Vec<TaskExit>>> = Arc::new(Mutex::new(Vec::new()));
             let mut handles = Vec::new();
             for (key, server, gpu_ids) in servers {
                 let body = Arc::clone(&body);
                 let errors = Arc::clone(&errors);
+                let exits = Arc::clone(&exits);
+                let cluster = Arc::clone(&cluster);
                 let ctx = TaskCtx {
                     server,
                     key: key.clone(),
                     gpu_ids,
                     start,
+                    attempt: 0,
                 };
                 handles.push(
                     std::thread::Builder::new()
                         .name(key.to_string())
-                        .spawn(move || {
-                            if let Err(e) = body(ctx) {
+                        .spawn(move || match body(ctx) {
+                            Ok(()) => exits.lock().push(TaskExit {
+                                key,
+                                generation: 0,
+                                error: None,
+                            }),
+                            Err(e) => {
+                                // Mark the task dead so peers parked on
+                                // its queues wake with `Unavailable`
+                                // instead of riding out the grace period.
+                                cluster.mark_dead(&key, &e.to_string());
                                 errors.lock().push(format!("{key}: {e}"));
+                                exits.lock().push(TaskExit {
+                                    key,
+                                    generation: 0,
+                                    error: Some(e.to_string()),
+                                });
                             }
                         })
                         .expect("spawn task thread"),
@@ -296,7 +619,8 @@ where
             if !errs.is_empty() {
                 return Err(CoreError::Invalid(errs.join("; ")));
             }
-            start.elapsed().as_secs_f64()
+            let exits = std::mem::take(&mut *exits.lock());
+            (start.elapsed().as_secs_f64(), exits, 0)
         }
     };
 
@@ -305,6 +629,8 @@ where
         resolved,
         sim,
         cluster,
+        task_exits,
+        restarts,
     })
 }
 
@@ -334,6 +660,7 @@ mod tests {
         let c2 = Arc::clone(&counter);
         let out = launch(&cfg, move |ctx| {
             assert_eq!(ctx.job(), "worker");
+            assert_eq!(ctx.attempt(), 0);
             c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             // Spend some virtual time.
             if let Some(me) = tfhpc_sim::des::current() {
@@ -346,6 +673,9 @@ mod tests {
         // Slowest task advanced 4 seconds.
         assert!((out.elapsed_s - 4.0).abs() < 1e-9);
         assert_eq!(out.resolved.spec.num_tasks("worker"), 4);
+        assert_eq!(out.task_exits.len(), 4);
+        assert!(out.task_exits.iter().all(|e| e.error.is_none()));
+        assert_eq!(out.restarts, 0);
     }
 
     #[test]
@@ -375,6 +705,114 @@ mod tests {
         match result {
             Err(CoreError::Invalid(msg)) => assert!(msg.contains("intentional")),
             _ => panic!("expected launch to surface the task error"),
+        }
+    }
+
+    #[test]
+    fn body_error_fails_launch_in_sim_mode_without_panicking() {
+        let cfg = LaunchConfig::simulated(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 2, 1)],
+            Protocol::Rdma,
+        );
+        let result = launch(&cfg, |ctx| {
+            if ctx.index() == 1 {
+                Err(CoreError::Invalid("intentional".into()))
+            } else {
+                Ok(())
+            }
+        });
+        match result {
+            Err(CoreError::Invalid(msg)) => assert!(msg.contains("intentional"), "{msg}"),
+            other => panic!(
+                "expected launch to surface the task error, got {:?}",
+                other.map(|l| l.elapsed_s)
+            ),
+        }
+    }
+
+    #[test]
+    fn supervisor_restarts_failed_gang() {
+        let cfg = LaunchConfig::simulated(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 2, 1)],
+            Protocol::Rdma,
+        )
+        .with_supervisor(SupervisorConfig {
+            max_restarts: 2,
+            restart_backoff_s: 0.5,
+        });
+        let out = launch(&cfg, |ctx| {
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(1.0);
+            }
+            // First incarnation of worker 0 fails; all later ones work.
+            if ctx.index() == 0 && ctx.attempt() == 0 {
+                return Err(CoreError::Aborted("simulated fault".into()));
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.restarts, 1);
+        // Gen 0: one failure + possibly one clean sibling; gen 1: two Ok.
+        let g1_ok = out
+            .task_exits
+            .iter()
+            .filter(|e| e.generation == 1 && e.error.is_none())
+            .count();
+        assert_eq!(g1_ok, 2, "{:?}", out.task_exits);
+        // Failure at t=1.0 + 0.5 backoff + 1.0 rerun.
+        assert!((out.elapsed_s - 2.5).abs() < 1e-9, "{}", out.elapsed_s);
+    }
+
+    #[test]
+    fn injected_crash_restarts_at_exact_virtual_time() {
+        let cfg = LaunchConfig::simulated(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 2, 1)],
+            Protocol::Rdma,
+        )
+        .with_faults(FaultPlan::new().crash(1, 0.25))
+        .with_supervisor(SupervisorConfig::restarting(1));
+        let out = launch(&cfg, |ctx| {
+            // Park both workers past the crash instant; the fault
+            // daemon must fire mid-sleep and gang-restart.
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(1.0);
+            }
+            ctx.check_faults()?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.restarts, 1);
+        // Restart at t=0.25 + 1.0 rerun.
+        assert!((out.elapsed_s - 1.25).abs() < 1e-9, "{}", out.elapsed_s);
+        let g1_ok = out
+            .task_exits
+            .iter()
+            .filter(|e| e.generation == 1 && e.error.is_none())
+            .count();
+        assert_eq!(g1_ok, 2, "{:?}", out.task_exits);
+    }
+
+    #[test]
+    fn crash_without_budget_fails_launch() {
+        let cfg = LaunchConfig::simulated(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 2, 1)],
+            Protocol::Rdma,
+        )
+        .with_faults(FaultPlan::new().crash(1, 0.25));
+        let result = launch(&cfg, |ctx| {
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(1.0);
+            }
+            ctx.check_faults()?;
+            Ok(())
+        });
+        match result {
+            Err(e) => assert!(e.to_string().contains("crashed"), "{e}"),
+            Ok(_) => panic!("expected the crash to fail the launch"),
         }
     }
 

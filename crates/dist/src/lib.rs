@@ -20,8 +20,11 @@ pub mod server;
 
 pub use cluster_spec::{ClusterSpec, TaskKey};
 pub use collective::ring_all_reduce;
-pub use launch::{launch, launch_traced, launch_with_setup, LaunchConfig, Launched, TaskCtx};
+pub use launch::{
+    launch, launch_traced, launch_with_setup, LaunchConfig, Launched, SupervisorConfig, TaskCtx,
+    TaskExit,
+};
 pub use reducer::{worker_all_reduce, ReduceOp, Reducer};
-pub use rendezvous::{recv, send, RecvKernel, RendezvousKey, SendKernel};
+pub use rendezvous::{recv, recv_deadline, send, RecvKernel, RendezvousKey, SendKernel};
 pub use resolver::{resolve, resolve_with_policy, JobSpec, Resolved, ResolvedTask};
 pub use server::{Server, TfCluster};

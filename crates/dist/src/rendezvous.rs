@@ -64,7 +64,14 @@ pub fn send(
             worker.key
         )));
     }
-    let peer = worker.cluster().server(&key.dst)?;
+    let cluster = worker.cluster();
+    if let Some(reason) = cluster.death_reason(&key.dst) {
+        return Err(CoreError::Unavailable(format!(
+            "consumer {} is down: {reason}",
+            key.dst
+        )));
+    }
+    let peer = cluster.server(&key.dst)?;
     worker.charge_transfer_to(&peer, gpu, None, value.byte_size() as u64);
     let q = peer.resources.get_or_create_queue(&key.channel(), 1);
     q.enqueue(vec![value])
@@ -72,6 +79,34 @@ pub fn send(
 
 /// Receive the tensor for `key`, blocking until the producer sent it.
 pub fn recv(worker: &Arc<Server>, key: &RendezvousKey, gpu: Option<usize>) -> Result<Tensor> {
+    let q = recv_queue(worker, key)?;
+    finish_recv(worker, q.dequeue()?, gpu)
+}
+
+/// [`recv`] with a deadline: waits at most `timeout_s` (virtual
+/// seconds under the DES, wall seconds otherwise). On expiry, returns
+/// `Unavailable` when the producer is marked dead in the cluster (the
+/// value will never arrive — callers may retry against a restarted
+/// producer), else `DeadlineExceeded` (the producer may just be slow).
+pub fn recv_deadline(
+    worker: &Arc<Server>,
+    key: &RendezvousKey,
+    gpu: Option<usize>,
+    timeout_s: f64,
+) -> Result<Tensor> {
+    let q = recv_queue(worker, key)?;
+    match q.dequeue_timeout(timeout_s) {
+        Ok(tuple) => finish_recv(worker, tuple, gpu),
+        Err(CoreError::DeadlineExceeded(msg)) if worker.cluster().is_dead(&key.src) => Err(
+            CoreError::Unavailable(format!("producer {} is down; {msg}", key.src)),
+        ),
+        Err(e) => Err(e),
+    }
+}
+
+/// The consumer-side queue for `key` (validates the caller is the
+/// consumer; the receiver always parks on its *own* queue).
+fn recv_queue(worker: &Arc<Server>, key: &RendezvousKey) -> Result<Arc<tfhpc_core::FifoQueue>> {
     if worker.key != key.dst {
         return Err(CoreError::Invalid(format!(
             "recv of {} on wrong task {}",
@@ -79,17 +114,20 @@ pub fn recv(worker: &Arc<Server>, key: &RendezvousKey, gpu: Option<usize>) -> Re
             worker.key
         )));
     }
-    let q = worker.resources.get_or_create_queue(&key.channel(), 1);
-    let tuple = q.dequeue()?;
+    Ok(worker.resources.get_or_create_queue(&key.channel(), 1))
+}
+
+/// Unwrap a rendezvous tuple and land it on the consumer's GPU.
+fn finish_recv(worker: &Arc<Server>, tuple: Vec<Tensor>, gpu: Option<usize>) -> Result<Tensor> {
     let value = tuple
         .into_iter()
         .next()
         .ok_or_else(|| CoreError::Invalid("empty rendezvous message".into()))?;
-    if gpu.is_some() {
+    if let Some(g) = gpu {
         // Land the tensor on the consumer's GPU.
         worker.devices.charge_transfer(
             tfhpc_core::Placement::Cpu,
-            tfhpc_core::Placement::Gpu(gpu.unwrap_or(0)),
+            tfhpc_core::Placement::Gpu(g),
             value.byte_size() as u64,
         );
     }
@@ -227,6 +265,30 @@ mod tests {
             let got = recv(&b, &key, None).unwrap();
             assert_eq!(got.scalar_value_i64().unwrap(), step as i64);
         }
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_succeeds() {
+        let (_c, a, b) = pair();
+        let key = RendezvousKey::new(a.key.clone(), b.key.clone(), "slow", 0);
+        let err = recv_deadline(&b, &key, None, 0.02).unwrap_err();
+        assert!(matches!(err, CoreError::DeadlineExceeded(_)), "{err}");
+        send(&a, &key, Tensor::scalar_f64(4.0), None).unwrap();
+        let got = recv_deadline(&b, &key, None, 0.02).unwrap();
+        assert_eq!(got.scalar_value_f64().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn recv_deadline_reports_dead_producer_as_unavailable() {
+        let (c, a, b) = pair();
+        let key = RendezvousKey::new(a.key.clone(), b.key.clone(), "gone", 0);
+        c.mark_dead(&a.key, "crashed");
+        let err = recv_deadline(&b, &key, None, 0.02).unwrap_err();
+        assert!(matches!(err, CoreError::Unavailable(_)), "{err}");
+        // And sending *to* a dead consumer fails fast.
+        c.mark_dead(&b.key, "crashed too");
+        let err = send(&a, &key, Tensor::scalar_f64(0.0), None).unwrap_err();
+        assert!(matches!(err, CoreError::Unavailable(_)), "{err}");
     }
 
     #[test]

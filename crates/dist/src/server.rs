@@ -12,12 +12,14 @@
 use crate::cluster_spec::{ClusterSpec, TaskKey};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use tfhpc_core::{
-    CoreError, DeviceCtx, FifoQueue, Graph, OpKernel, Resources, Result, Session, SessionOptions,
-    TileStore,
+    CoreError, DeviceCtx, FifoQueue, Graph, OpKernel, Resources, Result, RetryConfig, Session,
+    SessionOptions, TileStore,
 };
 use tfhpc_sim::device::{Cost, KernelClass};
+use tfhpc_sim::fault::FaultPlan;
 use tfhpc_sim::net::Protocol;
 use tfhpc_sim::topology::{ClusterSim, Loc};
 use tfhpc_tensor::Tensor;
@@ -33,6 +35,19 @@ pub struct TfCluster {
     pub sim: Option<Arc<ClusterSim>>,
     servers: RwLock<HashMap<TaskKey, Arc<Server>>>,
     stores: RwLock<HashMap<String, Arc<TileStore>>>,
+    /// Tasks known to be down, with the reason — remote ops targeting
+    /// them fail fast with `Unavailable` instead of parking forever.
+    dead: RwLock<HashMap<TaskKey, String>>,
+    /// Cluster generation, bumped on gang restart. Servers remember
+    /// the generation they were started under; a server from an older
+    /// generation is fenced off (its remote ops return `Aborted`) so a
+    /// straggler process cannot corrupt the restarted computation.
+    epoch: AtomicU64,
+    /// Injected fault schedule (node crashes, link faults, delay
+    /// spikes), evaluated against virtual time.
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+    /// Retry policy applied to the remote primitives.
+    retry: RwLock<RetryConfig>,
 }
 
 impl TfCluster {
@@ -44,11 +59,18 @@ impl TfCluster {
             sim,
             servers: RwLock::new(HashMap::new()),
             stores: RwLock::new(HashMap::new()),
+            dead: RwLock::new(HashMap::new()),
+            epoch: AtomicU64::new(0),
+            faults: RwLock::new(None),
+            retry: RwLock::new(RetryConfig::disabled()),
         })
     }
 
     /// Create and register the server for `key`, bound to `node` with
-    /// the given visible-GPU mapping.
+    /// the given visible-GPU mapping. Re-starting an existing key
+    /// replaces the old server (checkpoint-restart): the new
+    /// incarnation is stamped with the current cluster generation and
+    /// virtual time, and any stale death mark for the key is cleared.
     pub fn start_server(
         self: &Arc<Self>,
         key: TaskKey,
@@ -65,7 +87,10 @@ impl TfCluster {
             resources: Resources::new(),
             devices,
             cluster: Arc::downgrade(self),
+            epoch: self.epoch.load(Ordering::SeqCst),
+            born_at: tfhpc_sim::des::current().map(|p| p.now()).unwrap_or(0.0),
         });
+        self.dead.write().remove(&key);
         self.servers.write().insert(key, Arc::clone(&server));
         server
     }
@@ -77,6 +102,79 @@ impl TfCluster {
             .get(key)
             .cloned()
             .ok_or_else(|| CoreError::NotFound(format!("server {key}")))
+    }
+
+    // ---- failure plane -----------------------------------------------------
+
+    /// Install an injected fault schedule.
+    pub fn set_faults(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.faults.write() = plan;
+    }
+
+    /// The injected fault schedule, when one is installed.
+    pub fn faults(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.read().clone()
+    }
+
+    /// Install the retry policy the remote primitives run under.
+    pub fn set_retry(&self, retry: RetryConfig) {
+        *self.retry.write() = retry;
+    }
+
+    /// The retry policy the remote primitives run under.
+    pub fn retry_config(&self) -> RetryConfig {
+        self.retry.read().clone()
+    }
+
+    /// Current cluster generation.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Bump the cluster generation (gang restart); returns the new
+    /// generation. Servers started before the bump are fenced off.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Declare `key` down: record the reason and abort every queue on
+    /// its server with `Unavailable`, waking peers parked on it.
+    pub fn mark_dead(&self, key: &TaskKey, reason: &str) {
+        self.dead
+            .write()
+            .entry(key.clone())
+            .or_insert_with(|| reason.to_string());
+        if let Some(server) = self.servers.read().get(key).cloned() {
+            server
+                .resources
+                .abort_all_queues(CoreError::Unavailable(format!(
+                    "task {key} is down: {reason}"
+                )));
+        }
+    }
+
+    /// True when `key` has been declared down.
+    pub fn is_dead(&self, key: &TaskKey) -> bool {
+        self.dead.read().contains_key(key)
+    }
+
+    /// Why `key` is down, when it is.
+    pub fn death_reason(&self, key: &TaskKey) -> Option<String> {
+        self.dead.read().get(key).cloned()
+    }
+
+    /// Forget all death marks (gang restart brings every task back).
+    pub fn clear_dead(&self) {
+        self.dead.write().clear();
+    }
+
+    /// Abort every queue of every registered server with `err` —
+    /// the supervisor's gang teardown, unblocking all parked tasks.
+    pub fn abort_all(&self, err: CoreError) {
+        let servers: Vec<Arc<Server>> = self.servers.read().values().cloned().collect();
+        for s in servers {
+            s.resources.abort_all_queues(err.clone());
+        }
     }
 
     /// Mount an existing tile store into this cluster's shared
@@ -112,12 +210,102 @@ pub struct Server {
     /// The task's device context.
     pub devices: DeviceCtx,
     cluster: Weak<TfCluster>,
+    /// Cluster generation this incarnation was started under.
+    epoch: u64,
+    /// Virtual time this incarnation was started at — crashes injected
+    /// before it (i.e. the crash that *caused* a restart) don't kill
+    /// the replacement server on the same node.
+    born_at: f64,
 }
 
 impl Server {
     /// The owning runtime cluster.
     pub fn cluster(&self) -> Arc<TfCluster> {
         self.cluster.upgrade().expect("cluster dropped")
+    }
+
+    /// Cluster generation this incarnation belongs to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Virtual time this incarnation came up (0 in real mode).
+    pub fn born_at(&self) -> f64 {
+        self.born_at
+    }
+
+    /// Current virtual time as seen from the calling process (0 when
+    /// not inside a simulated process).
+    fn now_s(&self) -> f64 {
+        tfhpc_sim::des::current().map(|p| p.now()).unwrap_or(0.0)
+    }
+
+    /// Fencing check: fail with `Aborted` when this incarnation has
+    /// been superseded by a gang restart, or when the injected fault
+    /// plan has crashed this incarnation's node.
+    pub fn check_alive(&self) -> Result<()> {
+        let cluster = self.cluster();
+        let epoch = cluster.epoch();
+        if self.epoch != epoch {
+            return Err(CoreError::Aborted(format!(
+                "task {} generation {} superseded by generation {epoch}",
+                self.key, self.epoch
+            )));
+        }
+        if let Some(plan) = cluster.faults() {
+            let now = self.now_s();
+            if plan.crashed(self.node, self.born_at, now) {
+                return Err(CoreError::Aborted(format!(
+                    "task {} lost: node {} crashed (injected, t={now:.6})",
+                    self.key, self.node
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve `target` for a remote op, applying the failure plane:
+    /// fences this server ([`Server::check_alive`]), fails fast with
+    /// `Unavailable` when the target is marked dead, its node is
+    /// crashed, or a link fault is active on either endpoint, and
+    /// charges active delay spikes to the caller's virtual clock.
+    fn peer_checked(&self, target: &TaskKey) -> Result<Arc<Server>> {
+        self.check_alive()?;
+        let cluster = self.cluster();
+        if let Some(reason) = cluster.death_reason(target) {
+            return Err(CoreError::Unavailable(format!(
+                "task {target} is down: {reason}"
+            )));
+        }
+        let peer = cluster.server(target)?;
+        if let Some(plan) = cluster.faults() {
+            let now = self.now_s();
+            if plan.crashed(peer.node, peer.born_at, now) {
+                return Err(CoreError::Unavailable(format!(
+                    "task {target} unreachable: node {} crashed (injected, t={now:.6})",
+                    peer.node
+                )));
+            }
+            for node in [self.node, peer.node] {
+                if let Some(until) = plan.link_fault_until(node, now) {
+                    return Err(CoreError::Unavailable(format!(
+                        "link to node {node} faulted until t={until:.6} (injected, t={now:.6})"
+                    )));
+                }
+            }
+            let extra = plan.extra_delay(self.node, now) + plan.extra_delay(peer.node, now);
+            if extra > 0.0 {
+                if let Some(me) = tfhpc_sim::des::current() {
+                    me.advance(extra);
+                }
+            }
+        }
+        Ok(peer)
+    }
+
+    /// The cluster's retry policy (cheap clone).
+    fn retry(&self) -> RetryConfig {
+        self.cluster().retry_config()
     }
 
     /// Open a session on this server over `graph`.
@@ -164,12 +352,9 @@ impl Server {
         path.transfer(bytes)
     }
 
-    fn peer(&self, target: &TaskKey) -> Result<Arc<Server>> {
-        self.cluster().server(target)
-    }
-
     /// Push a tuple into a queue owned by `target`, paying the transfer
-    /// from this task (optionally from GPU-resident memory).
+    /// from this task (optionally from GPU-resident memory). Transient
+    /// (`Unavailable`) failures are retried per the cluster's policy.
     pub fn remote_enqueue(
         &self,
         target: &TaskKey,
@@ -177,22 +362,47 @@ impl Server {
         tuple: Vec<Tensor>,
         src_gpu: Option<usize>,
     ) -> Result<()> {
-        let peer = self.peer(target)?;
-        let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
-        self.charge_transfer_to(&peer, src_gpu, None, bytes);
-        peer.resources.queue(queue)?.enqueue(tuple)
+        self.retry()
+            .run("remote_enqueue", Some(&self.resources), || {
+                let peer = self.peer_checked(target)?;
+                let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
+                self.charge_transfer_to(&peer, src_gpu, None, bytes);
+                peer.resources.queue(queue)?.enqueue(tuple.clone())
+            })
     }
 
     /// Pop a tuple from a queue owned by `target`, paying the return
-    /// transfer to this task.
+    /// transfer to this task. Transient failures are retried per the
+    /// cluster's policy.
     pub fn remote_dequeue(
         &self,
         target: &TaskKey,
         queue: &str,
         dst_gpu: Option<usize>,
     ) -> Result<Vec<Tensor>> {
-        let peer = self.peer(target)?;
-        let tuple = peer.resources.queue(queue)?.dequeue()?;
+        self.retry()
+            .run("remote_dequeue", Some(&self.resources), || {
+                let peer = self.peer_checked(target)?;
+                let tuple = peer.resources.queue(queue)?.dequeue()?;
+                let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
+                peer.charge_transfer_to(self, None, dst_gpu, bytes);
+                Ok(tuple)
+            })
+    }
+
+    /// [`Server::remote_dequeue`] with a deadline: waits at most
+    /// `timeout_s` (virtual seconds under the DES, wall seconds
+    /// otherwise) and returns `DeadlineExceeded` on expiry instead of
+    /// blocking forever. Deadline expiry is not retried.
+    pub fn remote_dequeue_deadline(
+        &self,
+        target: &TaskKey,
+        queue: &str,
+        dst_gpu: Option<usize>,
+        timeout_s: f64,
+    ) -> Result<Vec<Tensor>> {
+        let peer = self.peer_checked(target)?;
+        let tuple = peer.resources.queue(queue)?.dequeue_timeout(timeout_s)?;
         let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
         peer.charge_transfer_to(self, None, dst_gpu, bytes);
         Ok(tuple)
@@ -200,7 +410,8 @@ impl Server {
 
     /// `target_var += value` on the parameter server `target` — the
     /// paper's STREAM operation. `dst_gpu` says where the variable
-    /// lives on the target.
+    /// lives on the target. Transient failures are retried per the
+    /// cluster's policy.
     pub fn remote_assign_add(
         &self,
         target: &TaskKey,
@@ -209,37 +420,45 @@ impl Server {
         src_gpu: Option<usize>,
         dst_gpu: Option<usize>,
     ) -> Result<()> {
-        let peer = self.peer(target)?;
-        self.charge_transfer_to(&peer, src_gpu, dst_gpu, value.byte_size() as u64);
-        peer.resources.variable(var)?.assign_add(value)?;
-        // The add itself executes on the target's device.
-        let placement = match dst_gpu {
-            Some(g) => tfhpc_core::Placement::Gpu(g),
-            None => tfhpc_core::Placement::Cpu,
-        };
-        // The accumulate streams through the target's memory as data
-        // lands (pipelined with the receive), so charge one pass.
-        let cost = Cost {
-            flops: value.num_elements() as f64,
-            bytes: value.byte_size() as f64,
-            class: KernelClass::Blas1,
-        };
-        let dp = !matches!(value.dtype(), tfhpc_tensor::DType::F32);
-        peer.devices.charge_kernel(placement, &cost, dp);
-        Ok(())
+        self.retry()
+            .run("remote_assign_add", Some(&self.resources), || {
+                let peer = self.peer_checked(target)?;
+                self.charge_transfer_to(&peer, src_gpu, dst_gpu, value.byte_size() as u64);
+                peer.resources.variable(var)?.assign_add(value)?;
+                // The add itself executes on the target's device.
+                let placement = match dst_gpu {
+                    Some(g) => tfhpc_core::Placement::Gpu(g),
+                    None => tfhpc_core::Placement::Cpu,
+                };
+                // The accumulate streams through the target's memory as
+                // data lands (pipelined with the receive), so charge one
+                // pass.
+                let cost = Cost {
+                    flops: value.num_elements() as f64,
+                    bytes: value.byte_size() as f64,
+                    class: KernelClass::Blas1,
+                };
+                let dp = !matches!(value.dtype(), tfhpc_tensor::DType::F32);
+                peer.devices.charge_kernel(placement, &cost, dp);
+                Ok(())
+            })
     }
 
     /// Read a variable from `target`, paying the transfer back.
+    /// Transient failures are retried per the cluster's policy.
     pub fn remote_var_read(
         &self,
         target: &TaskKey,
         var: &str,
         dst_gpu: Option<usize>,
     ) -> Result<Tensor> {
-        let peer = self.peer(target)?;
-        let value = peer.resources.variable(var)?.read();
-        peer.charge_transfer_to(self, None, dst_gpu, value.byte_size() as u64);
-        Ok(value)
+        self.retry()
+            .run("remote_var_read", Some(&self.resources), || {
+                let peer = self.peer_checked(target)?;
+                let value = peer.resources.variable(var)?.read();
+                peer.charge_transfer_to(self, None, dst_gpu, value.byte_size() as u64);
+                Ok(value)
+            })
     }
 
     /// A graph kernel that enqueues its inputs into `target`'s queue.
@@ -433,5 +652,77 @@ mod tests {
             .remote_var_read(&TaskKey::new("ps", 0), "w", None)
             .unwrap();
         assert_eq!(v.scalar_value_f64().unwrap(), 3.5);
+    }
+
+    #[test]
+    fn dead_peer_fails_fast_with_unavailable() {
+        let (c, ps, worker) = two_task_cluster();
+        ps.resources.create_variable("w", Tensor::scalar_f64(3.5));
+        c.mark_dead(&TaskKey::new("ps", 0), "supervisor observed exit");
+        let err = worker
+            .remote_var_read(&TaskKey::new("ps", 0), "w", None)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Unavailable(_)), "{err}");
+        assert!(err.is_transient());
+        assert!(c.is_dead(&TaskKey::new("ps", 0)));
+        // Restarting the server clears the mark.
+        c.start_server(TaskKey::new("ps", 0), 0, vec![]);
+        assert!(!c.is_dead(&TaskKey::new("ps", 0)));
+    }
+
+    #[test]
+    fn marking_dead_unblocks_parked_dequeue() {
+        let (c, ps, worker) = two_task_cluster();
+        create_task_queue(&ps, "results", 4);
+        let w2 = Arc::clone(&worker);
+        let c2 = Arc::clone(&c);
+        let h =
+            std::thread::spawn(move || w2.remote_dequeue(&TaskKey::new("ps", 0), "results", None));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        c2.mark_dead(&TaskKey::new("ps", 0), "crashed");
+        let err = h.join().unwrap().unwrap_err();
+        assert!(matches!(err, CoreError::Unavailable(_)), "{err}");
+    }
+
+    #[test]
+    fn stale_generation_is_fenced_with_aborted() {
+        let (c, _ps, worker) = two_task_cluster();
+        c.advance_epoch();
+        let err = worker
+            .remote_var_read(&TaskKey::new("ps", 0), "w", None)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Aborted(_)), "{err}");
+        assert!(!err.is_transient());
+        // A server started after the bump belongs to the new generation.
+        let w2 = c.start_server(TaskKey::new("worker", 0), 1, vec![0]);
+        assert_eq!(w2.epoch(), c.epoch());
+        assert!(w2.check_alive().is_ok());
+    }
+
+    #[test]
+    fn retry_policy_counts_attempts_on_dead_peer() {
+        let (c, _ps, worker) = two_task_cluster();
+        c.set_retry(tfhpc_core::RetryConfig {
+            max_attempts: 3,
+            base_backoff_s: 0.0,
+            max_backoff_s: 0.0,
+            jitter: 0.0,
+        });
+        c.mark_dead(&TaskKey::new("ps", 0), "down for good");
+        let err = worker
+            .remote_var_read(&TaskKey::new("ps", 0), "w", None)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Unavailable(_)), "{err}");
+        assert_eq!(worker.resources.retries_total(), 2);
+    }
+
+    #[test]
+    fn remote_dequeue_deadline_expires_in_real_mode() {
+        let (_c, ps, worker) = two_task_cluster();
+        create_task_queue(&ps, "empty", 4);
+        let err = worker
+            .remote_dequeue_deadline(&TaskKey::new("ps", 0), "empty", None, 0.02)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DeadlineExceeded(_)), "{err}");
     }
 }

@@ -49,6 +49,13 @@ struct ProcState {
     time: f64,
     status: Status,
     waiting_on: Option<String>,
+    /// Virtual deadline of a `wait_until` in progress: when no process
+    /// is Ready, the scheduler fires the earliest such timer instead of
+    /// declaring deadlock.
+    wake_at: Option<f64>,
+    /// Set by the scheduler when the process was resumed by its timer
+    /// rather than a notify; consumed by `wait_until`.
+    timed_out: bool,
 }
 
 struct SchedState {
@@ -190,6 +197,8 @@ impl Sim {
                 time: t0,
                 status: Status::Ready,
                 waiting_on: None,
+                wake_at: None,
+                timed_out: false,
             });
         }
         let sim = Arc::clone(self);
@@ -236,11 +245,14 @@ impl Sim {
         id
     }
 
-    /// Pick the minimum-time Ready process and mark it Running.
-    /// Must be called with no process Running.
+    /// Pick the minimum-time Ready process and mark it Running; when a
+    /// blocked process's `wait_until` deadline precedes every Ready
+    /// process, fire that timer instead (its clock jumps to exactly the
+    /// deadline — this is what makes `DeadlineExceeded` land at the
+    /// precise virtual instant). Must be called with no process Running.
     fn schedule(st: &mut SchedState) {
         debug_assert!(st.running.is_none());
-        let next = st
+        let next_ready = st
             .procs
             .iter()
             .enumerate()
@@ -251,9 +263,40 @@ impl Sim {
                     .unwrap_or(std::cmp::Ordering::Equal)
                     .then(ia.cmp(ib))
             })
-            .map(|(i, _)| i);
-        match next {
-            Some(i) => {
+            .map(|(i, p)| (i, p.time));
+        let next_timer = st
+            .procs
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.status == Status::Blocked)
+            .filter_map(|(i, p)| p.wake_at.map(|t| (i, t)))
+            .min_by(|(ia, ta), (ib, tb)| {
+                ta.partial_cmp(tb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(ia.cmp(ib))
+            });
+        // A Ready process at the same instant runs first: a notify that
+        // already happened beats a timeout that would fire concurrently.
+        let fire_timer = match (next_ready, next_timer) {
+            (Some((_, tr)), Some((_, tt))) => tt < tr,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        if fire_timer {
+            let (i, deadline) = next_timer.unwrap();
+            for waiters in st.cv_waiters.iter_mut() {
+                waiters.retain(|w| *w != i);
+            }
+            let p = &mut st.procs[i];
+            p.time = p.time.max(deadline);
+            p.wake_at = None;
+            p.timed_out = true;
+            p.status = Status::Running;
+            st.running = Some(i);
+            return;
+        }
+        match next_ready {
+            Some((i, _)) => {
                 st.procs[i].status = Status::Running;
                 st.running = Some(i);
             }
@@ -489,6 +532,41 @@ impl SimCondvar {
         st.procs[id].waiting_on = None;
     }
 
+    /// Like [`SimCondvar::wait`] but with an absolute virtual-time
+    /// deadline: returns `true` when the deadline fired before any
+    /// notify (the process's clock then sits at exactly `deadline`),
+    /// `false` when a notify woke it first. Callers re-check their
+    /// predicate either way.
+    pub fn wait_until(&self, deadline: f64) -> bool {
+        let me = current().expect("SimCondvar::wait_until outside a sim process");
+        assert!(
+            Arc::ptr_eq(&me.sim, &self.sim),
+            "condvar used across simulations"
+        );
+        let mut st = self.sim.state.lock();
+        let id = me.id;
+        debug_assert_eq!(st.running, Some(id));
+        st.procs[id].status = Status::Blocked;
+        let cv_name = st.cv_names[self.id].clone();
+        st.procs[id].waiting_on = Some(format!("{cv_name} (deadline t={deadline:.6})"));
+        st.procs[id].wake_at = Some(deadline);
+        st.procs[id].timed_out = false;
+        st.cv_waiters[self.id].push(id);
+        st.running = None;
+        Sim::schedule(&mut st);
+        self.sim.cv.notify_all();
+        while st.running != Some(id) && !st.deadlock {
+            self.sim.cv.wait(&mut st);
+        }
+        if st.deadlock && st.running != Some(id) {
+            drop(st);
+            panic!("simulation aborted");
+        }
+        st.procs[id].waiting_on = None;
+        st.procs[id].wake_at = None;
+        std::mem::take(&mut st.procs[id].timed_out)
+    }
+
     /// Wake every waiter; their clocks jump to at least the notifier's.
     pub fn notify_all(&self) {
         let me = current().expect("SimCondvar::notify_all outside a sim process");
@@ -498,6 +576,7 @@ impl SimCondvar {
         for w in waiters {
             st.procs[w].status = Status::Ready;
             st.procs[w].time = st.procs[w].time.max(now);
+            st.procs[w].wake_at = None;
         }
     }
 
@@ -510,6 +589,7 @@ impl SimCondvar {
             let w = st.cv_waiters[self.id].remove(0);
             st.procs[w].status = Status::Ready;
             st.procs[w].time = st.procs[w].time.max(now);
+            st.procs[w].wake_at = None;
         }
     }
 }
@@ -707,6 +787,62 @@ mod tests {
         let mut starts: Vec<f64> = spans.iter().map(|s| s.0).collect();
         starts.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert_eq!(starts, vec![0.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn wait_until_fires_at_exact_deadline() {
+        let sim = Sim::new();
+        let cv = sim.condvar("never-notified");
+        let end = Arc::new(Mutex::new((false, 0.0f64)));
+        {
+            let end = Arc::clone(&end);
+            sim.spawn("waiter", move || {
+                let timed_out = cv.wait_until(2.5);
+                *end.lock() = (timed_out, current().unwrap().now());
+            });
+        }
+        sim.run();
+        let (timed_out, now) = *end.lock();
+        assert!(timed_out);
+        assert_eq!(now, 2.5); // exact, not approximate
+    }
+
+    #[test]
+    fn wait_until_notify_beats_timer() {
+        let sim = Sim::new();
+        let cv = sim.condvar("data");
+        let end = Arc::new(Mutex::new((true, 0.0f64)));
+        {
+            let cv = cv.clone();
+            let end = Arc::clone(&end);
+            sim.spawn("waiter", move || {
+                let timed_out = cv.wait_until(10.0);
+                *end.lock() = (timed_out, current().unwrap().now());
+            });
+        }
+        {
+            sim.spawn("notifier", move || {
+                current().unwrap().advance(1.0);
+                cv.notify_all();
+            });
+        }
+        sim.run();
+        let (timed_out, now) = *end.lock();
+        assert!(!timed_out);
+        assert_eq!(now, 1.0);
+    }
+
+    #[test]
+    fn timer_prevents_false_deadlock() {
+        // Every process blocked, but one holds a timer: the scheduler
+        // must fire it rather than declare deadlock.
+        let sim = Sim::new();
+        let cv = sim.condvar("q");
+        sim.spawn("only", move || {
+            assert!(cv.wait_until(0.75));
+        });
+        let end = sim.run();
+        assert_eq!(end, 0.75);
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! The fault-injection plane: deterministic failure schedules charged
+//! through the DES.
+//!
+//! A [`FaultPlan`] is a pure, immutable schedule of failure events in
+//! *virtual* time — node crashes, transient link-fault windows, and
+//! message delay spikes. The plan itself holds no state and is only
+//! *queried* (`crashed at time t?`, `extra delay at time t?`) by the
+//! distributed runtime as it executes remote operations, so an injected
+//! fault costs exactly what the DES says it costs and two runs with the
+//! same plan produce byte-identical traces regardless of host thread
+//! scheduling.
+//!
+//! Seeded schedules ([`FaultPlan::seeded`]) derive every event from a
+//! splitmix64 stream over the seed — no wall clock, no global RNG —
+//! which is what makes the CI fault matrix reproducible.
+
+/// One scheduled failure event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEvent {
+    /// Node `node` crashes at virtual time `at_s`: every task hosted on
+    /// it fails its next remote operation with `Aborted`, and peers
+    /// addressing it see `Unavailable`. A supervisor restart after
+    /// `at_s` "reboots" the node (the crash only applies to server
+    /// incarnations started before it).
+    NodeCrash {
+        /// Crashing node index.
+        node: usize,
+        /// Virtual crash instant, seconds.
+        at_s: f64,
+    },
+    /// The links of `node` drop traffic during `[from_s, until_s)`:
+    /// remote operations touching the node fail with `Unavailable`
+    /// (transient — a retry after the window succeeds).
+    LinkFault {
+        /// Affected node index.
+        node: usize,
+        /// Window start, virtual seconds (inclusive).
+        from_s: f64,
+        /// Window end, virtual seconds (exclusive).
+        until_s: f64,
+    },
+    /// Messages touching `node` during `[from_s, until_s)` incur
+    /// `extra_s` additional latency (congestion spike) — charged to the
+    /// caller's virtual clock, not an error.
+    DelaySpike {
+        /// Affected node index.
+        node: usize,
+        /// Window start, virtual seconds (inclusive).
+        from_s: f64,
+        /// Window end, virtual seconds (exclusive).
+        until_s: f64,
+        /// Added one-way latency, seconds.
+        extra_s: f64,
+    },
+}
+
+/// A deterministic schedule of injected faults (empty = fault-free).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Scheduled events, in insertion order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// The splitmix64 step — the only entropy source of seeded plans.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A unit-interval draw from the splitmix64 stream.
+fn unit(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultPlan {
+    /// Empty (fault-free) plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add a node crash at virtual time `at_s`.
+    pub fn crash(mut self, node: usize, at_s: f64) -> FaultPlan {
+        self.events.push(FaultEvent::NodeCrash { node, at_s });
+        self
+    }
+
+    /// Add a transient link-fault window on `node`.
+    pub fn link_fault(mut self, node: usize, from_s: f64, until_s: f64) -> FaultPlan {
+        self.events.push(FaultEvent::LinkFault {
+            node,
+            from_s,
+            until_s,
+        });
+        self
+    }
+
+    /// Add a delay spike on `node`.
+    pub fn delay_spike(
+        mut self,
+        node: usize,
+        from_s: f64,
+        until_s: f64,
+        extra_s: f64,
+    ) -> FaultPlan {
+        self.events.push(FaultEvent::DelaySpike {
+            node,
+            from_s,
+            until_s,
+            extra_s,
+        });
+        self
+    }
+
+    /// Derive a transient-fault schedule over `n_nodes` nodes and a
+    /// `horizon_s` run window from `seed`: each node gets, with
+    /// probability ~1/2 each, one link-fault window (~2–7% of the
+    /// horizon) and one delay-spike window. No crashes — add those
+    /// explicitly with [`FaultPlan::crash`] so the restart budget is a
+    /// conscious choice of the experiment.
+    pub fn seeded(seed: u64, n_nodes: usize, horizon_s: f64) -> FaultPlan {
+        let mut state = seed ^ 0xA5A5_5A5A_F00D_CAFE;
+        let mut plan = FaultPlan::new();
+        for node in 0..n_nodes {
+            if unit(&mut state) < 0.5 {
+                let start = (0.1 + 0.7 * unit(&mut state)) * horizon_s;
+                let dur = (0.02 + 0.05 * unit(&mut state)) * horizon_s;
+                plan = plan.link_fault(node, start, start + dur);
+            }
+            if unit(&mut state) < 0.5 {
+                let start = (0.1 + 0.7 * unit(&mut state)) * horizon_s;
+                let dur = (0.05 + 0.1 * unit(&mut state)) * horizon_s;
+                let extra = (1.0 + 9.0 * unit(&mut state)) * 1e-3;
+                plan = plan.delay_spike(node, start, start + dur, extra);
+            }
+        }
+        plan
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Earliest crash of `node` strictly after `after_s`, if any — a
+    /// crash *at or before* a server incarnation started is a rebooted
+    /// node, not a live fault (a gang restarted at exactly the crash
+    /// instant comes up on the rebooted node).
+    pub fn next_crash(&self, node: usize, after_s: f64) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::NodeCrash { node: n, at_s } if *n == node && *at_s > after_s => {
+                    Some(*at_s)
+                }
+                _ => None,
+            })
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })
+    }
+
+    /// Has a crash scheduled in `[born_s, now_s]` taken `node` down?
+    pub fn crashed(&self, node: usize, born_s: f64, now_s: f64) -> bool {
+        self.next_crash(node, born_s).is_some_and(|t| now_s >= t)
+    }
+
+    /// Is a link-fault window on `node` active at `now_s`? Returns the
+    /// window end when so (useful for retry diagnostics).
+    pub fn link_fault_until(&self, node: usize, now_s: f64) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::LinkFault {
+                    node: n,
+                    from_s,
+                    until_s,
+                } if *n == node && now_s >= *from_s && now_s < *until_s => Some(*until_s),
+                _ => None,
+            })
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
+    }
+
+    /// Total extra latency active on `node` at `now_s`.
+    pub fn extra_delay(&self, node: usize, now_s: f64) -> f64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                FaultEvent::DelaySpike {
+                    node: n,
+                    from_s,
+                    until_s,
+                    extra_s,
+                } if *n == node && now_s >= *from_s && now_s < *until_s => *extra_s,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_events() {
+        let p = FaultPlan::new()
+            .crash(2, 5.0)
+            .link_fault(0, 1.0, 2.0)
+            .delay_spike(1, 0.5, 1.5, 0.01);
+        assert_eq!(p.events.len(), 3);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn crash_respects_incarnation_start() {
+        let p = FaultPlan::new().crash(0, 5.0);
+        assert!(!p.crashed(0, 0.0, 4.9));
+        assert!(p.crashed(0, 0.0, 5.0));
+        // A server born at or after the crash sees a rebooted node
+        // (restarting at exactly the crash instant must not re-crash).
+        assert!(!p.crashed(0, 5.0, 100.0));
+        assert!(!p.crashed(0, 6.0, 100.0));
+        assert!(!p.crashed(1, 0.0, 100.0));
+    }
+
+    #[test]
+    fn link_fault_window_is_half_open() {
+        let p = FaultPlan::new().link_fault(3, 1.0, 2.0);
+        assert_eq!(p.link_fault_until(3, 0.99), None);
+        assert_eq!(p.link_fault_until(3, 1.0), Some(2.0));
+        assert_eq!(p.link_fault_until(3, 2.0), None);
+        assert_eq!(p.link_fault_until(0, 1.5), None);
+    }
+
+    #[test]
+    fn delay_spikes_stack() {
+        let p = FaultPlan::new()
+            .delay_spike(0, 0.0, 10.0, 0.002)
+            .delay_spike(0, 5.0, 10.0, 0.003);
+        assert_eq!(p.extra_delay(0, 1.0), 0.002);
+        assert_eq!(p.extra_delay(0, 6.0), 0.005);
+        assert_eq!(p.extra_delay(0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(42, 8, 100.0);
+        let b = FaultPlan::seeded(42, 8, 100.0);
+        let c = FaultPlan::seeded(43, 8, 100.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Events stay inside the horizon and never include crashes.
+        for e in &a.events {
+            match e {
+                FaultEvent::NodeCrash { .. } => panic!("seeded plans must not crash nodes"),
+                FaultEvent::LinkFault {
+                    from_s, until_s, ..
+                }
+                | FaultEvent::DelaySpike {
+                    from_s, until_s, ..
+                } => {
+                    assert!(*from_s >= 0.0 && until_s > from_s && *until_s <= 100.0);
+                }
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod des;
 pub mod device;
+pub mod fault;
 pub mod net;
 pub mod pfs;
 pub mod platform;
@@ -32,6 +33,7 @@ pub mod topology;
 
 pub use des::{current, CurrentProc, ProcId, Sim, SimCondvar, SimResource};
 pub use device::{Cost, DeviceModel};
+pub use fault::{FaultEvent, FaultPlan};
 pub use net::Protocol;
 pub use platform::Platform;
 pub use sync::{SimBarrier, SimSemaphore};

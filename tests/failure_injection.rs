@@ -1,11 +1,23 @@
 //! Failure injection: the framework must fail loudly and accurately —
 //! closed queues, deadlocks (detected by the DES), device OOM, GPU
-//! over-subscription, unserializable graphs and unfed placeholders.
+//! over-subscription, unserializable graphs and unfed placeholders —
+//! and recover deterministically from *injected* faults: peer death
+//! unblocks parked consumers with `Unavailable`, deadlines expire at
+//! the exact virtual instant, transient link faults are retried (and
+//! counted in `RunMetadata`), and a crash-injected CG run restarts
+//! from its checkpoint to the bit-identical residual.
+//!
+//! The seeded tests honor `TFHPC_FAULT_SEED` (CI sweeps 17/42/1337).
 
 use std::sync::Arc;
-use tfhpc_core::{CoreError, DeviceCtx, Graph, Placement, Resources, Session};
-use tfhpc_dist::{launch, JobSpec, LaunchConfig, TaskKey};
+use tfhpc_apps::{run_cg_supervised, run_cg_with_store, CgConfig, CgReduction, FaultSetup};
+use tfhpc_core::{
+    CoreError, DeviceCtx, Graph, OpKernel, Placement, Resources, Result as CoreResult, RetryConfig,
+    Session,
+};
+use tfhpc_dist::{launch, recv_deadline, send, JobSpec, LaunchConfig, RendezvousKey, TaskKey};
 use tfhpc_sim::des::Sim;
+use tfhpc_sim::fault::FaultPlan;
 use tfhpc_sim::net::Protocol;
 use tfhpc_sim::platform::{tegner_k420, tegner_k80};
 use tfhpc_tensor::{DType, Tensor};
@@ -113,21 +125,19 @@ fn k420_oom_on_oversized_working_set() {
         vec![JobSpec::new("worker", 1, 1)],
         Protocol::Rdma,
     );
-    let result = std::panic::catch_unwind(|| {
-        launch(&cfg, |ctx| {
-            let mut g = Graph::new();
-            let n = 12000; // 12000^2 f32 = 576 MB per operand
-            let a = g.constant(Tensor::synthetic(DType::F32, [n, n], 1));
-            let b = g.constant(Tensor::synthetic(DType::F32, [n, n], 2));
-            let c = g.with_device(Placement::Gpu(0), |g| g.matmul(a, b));
-            let sess = ctx.server.session(Arc::new(g));
-            sess.run(&[c], &[]).map(|_| ())
-        })
-        .unwrap();
+    let result = launch(&cfg, |ctx| {
+        let mut g = Graph::new();
+        let n = 12000; // 12000^2 f32 = 576 MB per operand
+        let a = g.constant(Tensor::synthetic(DType::F32, [n, n], 1));
+        let b = g.constant(Tensor::synthetic(DType::F32, [n, n], 2));
+        let c = g.with_device(Placement::Gpu(0), |g| g.matmul(a, b));
+        let sess = ctx.server.session(Arc::new(g));
+        sess.run(&[c], &[]).map(|_| ())
     });
-    let err = result.expect_err("OOM must abort the run");
-    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
-    assert!(msg.contains("out of memory"), "got: {msg}");
+    match result {
+        Err(err) => assert!(err.to_string().contains("out of memory"), "got: {err}"),
+        Ok(_) => panic!("OOM must fail the launch (without panicking it)"),
+    }
 }
 
 #[test]
@@ -194,4 +204,238 @@ fn missing_resources_reported_by_name() {
         Err(CoreError::NotFound(msg)) => assert!(msg.contains("not_created")),
         other => panic!("expected NotFound, got {other:?}"),
     }
+}
+
+// ---- the injected-fault plane ------------------------------------------
+
+#[test]
+fn peer_death_unblocks_parked_dequeue_with_unavailable() {
+    // Consumer parks on an empty queue; the producer dies at t=0.5.
+    // Instead of a DES deadlock, the supervisor drains the gang and the
+    // parked dequeue wakes with `Unavailable`.
+    let cfg = LaunchConfig::simulated(
+        tegner_k420(),
+        vec![JobSpec::new("cons", 1, 0), JobSpec::new("prod", 1, 0)],
+        Protocol::Rdma,
+    );
+    let observed = Arc::new(parking_lot::Mutex::new(String::new()));
+    let obs = Arc::clone(&observed);
+    let result = launch(&cfg, move |ctx| {
+        if ctx.job() == "cons" {
+            let q = ctx.server.resources.create_queue("work", 4);
+            match q.dequeue() {
+                Err(e @ CoreError::Unavailable(_)) => {
+                    *obs.lock() = e.to_string();
+                    Err(e)
+                }
+                other => Err(CoreError::Invalid(format!(
+                    "expected Unavailable, got {other:?}"
+                ))),
+            }
+        } else {
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(0.5);
+            }
+            Err(CoreError::Invalid("producer exploded".into()))
+        }
+    });
+    match result {
+        Err(err) => assert!(err.to_string().contains("producer exploded"), "{err}"),
+        Ok(_) => panic!("producer death must fail the launch"),
+    }
+    let seen = observed.lock().clone();
+    assert!(seen.contains("gang draining"), "consumer saw: {seen}");
+}
+
+#[test]
+fn recv_deadline_expires_at_the_exact_virtual_instant() {
+    // The producer sends at t=1.0; a 0.25 s deadline on the consumer
+    // must expire at *exactly* t=0.25 virtual (timers jump the clock to
+    // the deadline, not past it), and a second wait sees the value.
+    let cfg = LaunchConfig::simulated(
+        tegner_k420(),
+        vec![JobSpec::new("src", 1, 0), JobSpec::new("dst", 1, 0)],
+        Protocol::Rdma,
+    );
+    let observed = Arc::new(parking_lot::Mutex::new(f64::NAN));
+    let obs = Arc::clone(&observed);
+    launch(&cfg, move |ctx| {
+        let key = RendezvousKey::new(TaskKey::new("src", 0), TaskKey::new("dst", 0), "edge", 7);
+        if ctx.job() == "dst" {
+            match recv_deadline(&ctx.server, &key, None, 0.25) {
+                Err(CoreError::DeadlineExceeded(_)) => *obs.lock() = ctx.now(),
+                other => {
+                    return Err(CoreError::Invalid(format!(
+                        "expected DeadlineExceeded, got {other:?}"
+                    )))
+                }
+            }
+            let v = recv_deadline(&ctx.server, &key, None, 10.0)?;
+            assert_eq!(v.scalar_value_f64()?, 42.0);
+            Ok(())
+        } else {
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(1.0);
+            }
+            send(&ctx.server, &key, Tensor::scalar_f64(42.0), None)
+        }
+    })
+    .unwrap();
+    let t = *observed.lock();
+    assert_eq!(t.to_bits(), 0.25f64.to_bits(), "deadline expired at t={t}");
+}
+
+/// Worker-side kernel pushing one scalar into the ps accumulator —
+/// routed through a session so the retry shows up in `RunMetadata`.
+struct PushAcc {
+    server: Arc<tfhpc_dist::Server>,
+}
+
+impl OpKernel for PushAcc {
+    fn name(&self) -> &str {
+        "PushAcc"
+    }
+
+    fn compute(&self, _res: &Resources, _inputs: &[Tensor]) -> CoreResult<Vec<Tensor>> {
+        self.server.remote_assign_add(
+            &TaskKey::new("ps", 0),
+            "acc",
+            &Tensor::scalar_f64(1.0),
+            None,
+            None,
+        )?;
+        Ok(vec![Tensor::scalar_f64(1.0)])
+    }
+}
+
+#[test]
+fn transient_link_fault_is_retried_and_counted_in_run_metadata() {
+    // The ps node's links drop traffic during [0, 0.2): the worker's
+    // remote push at t≈0.05 fails with `Unavailable`, the retry policy
+    // backs off past the window, and the second attempt lands. The
+    // transparent retry is visible in the run's `RunMetadata`.
+    let cfg = LaunchConfig::simulated(
+        tegner_k420(),
+        vec![JobSpec::new("ps", 1, 0), JobSpec::new("worker", 1, 0)],
+        Protocol::Rdma,
+    )
+    .with_faults(FaultPlan::new().link_fault(0, 0.0, 0.2))
+    .with_retry(RetryConfig::new(5, 0.2));
+    let retries = Arc::new(parking_lot::Mutex::new(0u64));
+    let r2 = Arc::clone(&retries);
+    let out = launch(&cfg, move |ctx| {
+        if ctx.job() == "ps" {
+            ctx.server
+                .resources
+                .create_variable("acc", Tensor::scalar_f64(0.0));
+            return Ok(());
+        }
+        if let Some(me) = tfhpc_sim::des::current() {
+            me.advance(0.05);
+        }
+        let mut g = Graph::new();
+        let kernel: Arc<dyn OpKernel> = Arc::new(PushAcc {
+            server: Arc::clone(&ctx.server),
+        });
+        let op = g.custom(kernel, &[], &[]);
+        let sess = ctx.server.session(Arc::new(g));
+        let (_, meta) = sess.run_with_metadata(&[op], &[])?;
+        *r2.lock() = meta.retries;
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(*retries.lock(), 1, "exactly one transparent retry");
+    let ps = out.cluster.server(&TaskKey::new("ps", 0)).unwrap();
+    assert_eq!(
+        ps.resources
+            .variable("acc")
+            .unwrap()
+            .read()
+            .scalar_value_f64()
+            .unwrap(),
+        1.0,
+        "the retried push must land exactly once"
+    );
+}
+
+fn crash_cg_cfg(iterations: usize) -> CgConfig {
+    CgConfig {
+        n: 256,
+        workers: 2,
+        iterations,
+        protocol: Protocol::Rdma,
+        simulated: true,
+        checkpoint_every: Some(4),
+        resume: false,
+        reduction: CgReduction::QueuePair,
+    }
+}
+
+#[test]
+fn crash_injected_cg_restarts_from_checkpoint_bit_exactly() {
+    // The tentpole demonstration: crash worker 1's node (node 2 —
+    // reducer on 0, worker 0 on 1) halfway through a checkpointed CG
+    // run. The supervisor gang-restarts from the latest common
+    // checkpoint and the final residual is bit-identical to the
+    // uninterrupted run; the whole faulty schedule is byte-for-byte
+    // reproducible across repeats.
+    let p = tegner_k420();
+    let cfg = crash_cg_cfg(16);
+    let (clean, _) = run_cg_with_store(&p, &cfg, None).unwrap();
+    assert_eq!(clean.restarts, 0);
+
+    let faults = FaultSetup::new(FaultPlan::new().crash(2, clean.elapsed_s * 0.5), 2);
+    let (a, _) = run_cg_supervised(&p, &cfg, &faults).unwrap();
+    let (b, _) = run_cg_supervised(&p, &cfg, &faults).unwrap();
+    assert_eq!(a.restarts, 1, "one gang restart expected");
+    assert_eq!(
+        a.rs_final.to_bits(),
+        clean.rs_final.to_bits(),
+        "checkpoint restart must reproduce the uninterrupted residual: {} vs {}",
+        a.rs_final,
+        clean.rs_final
+    );
+    assert!(
+        a.elapsed_s > clean.elapsed_s,
+        "the rerun costs virtual time"
+    );
+    // Determinism of the injected schedule itself.
+    assert_eq!(b.restarts, a.restarts);
+    assert_eq!(b.rs_final.to_bits(), a.rs_final.to_bits());
+    assert_eq!(b.elapsed_s.to_bits(), a.elapsed_s.to_bits());
+}
+
+#[test]
+fn seeded_fault_plan_perturbs_timing_not_results() {
+    // A seeded transient-fault schedule (link faults + delay spikes, no
+    // crashes) under a generous retry policy: the residual matches the
+    // fault-free run bit for bit — transient faults cost time, never
+    // correctness — and two runs of the same seed are byte-identical.
+    // CI sweeps TFHPC_FAULT_SEED over {17, 42, 1337}.
+    let seed: u64 = std::env::var("TFHPC_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let p = tegner_k420();
+    let cfg = crash_cg_cfg(12);
+    let (clean, _) = run_cg_with_store(&p, &cfg, None).unwrap();
+
+    let plan = FaultPlan::seeded(seed, 3, clean.elapsed_s);
+    let setup = FaultSetup::new(plan, 0).with_retry(RetryConfig::new(10, clean.elapsed_s * 0.05));
+    let (a, _) = run_cg_supervised(&p, &cfg, &setup).unwrap();
+    let (b, _) = run_cg_supervised(&p, &cfg, &setup).unwrap();
+    assert_eq!(a.restarts, 0, "transient faults must not consume restarts");
+    assert_eq!(
+        a.rs_final.to_bits(),
+        clean.rs_final.to_bits(),
+        "seed {seed}: transient faults changed the residual"
+    );
+    assert_eq!(a.elapsed_s.to_bits(), b.elapsed_s.to_bits());
+    assert_eq!(a.rs_final.to_bits(), b.rs_final.to_bits());
+    assert!(
+        a.elapsed_s >= clean.elapsed_s,
+        "seed {seed}: faults cannot make the run faster ({} vs {})",
+        a.elapsed_s,
+        clean.elapsed_s
+    );
 }
