@@ -440,41 +440,62 @@ fn worker_task(
         reduce_scalar(ctx, cfg, "rs", w, part)?
     };
 
+    let tr = tfhpc_obs::trace::global();
     for iter in start_iter..cfg.iterations {
+        let _iteration = tr.span("cg.iteration");
         ctx.check_faults()?;
         let p_w = p.slice_range(w * rows, (w + 1) * rows)?;
 
         // Phase 1: q = A p (GPU), partial pᵀAp, reduce.
-        let out = sess.run(
-            &[wg.pap_part, wg.assign_q],
-            &[(wg.ph_p, p.clone()), (wg.ph_pw, p_w.clone())],
-        )?;
-        let pap = reduce_scalar(ctx, cfg, "pap", w, out[0].clone())?;
+        let out = {
+            let _s = tr.span("cg.phase1.matvec");
+            sess.run(
+                &[wg.pap_part, wg.assign_q],
+                &[(wg.ph_p, p.clone()), (wg.ph_pw, p_w.clone())],
+            )?
+        };
+        let pap = {
+            let _s = tr.span("cg.reduce.pap");
+            reduce_scalar(ctx, cfg, "pap", w, out[0].clone())?
+        };
         let alpha = rs_old / pap;
 
         // Phase 2: x, r updates + partial rᵀr, reduce.
-        let out = sess.run(
-            &[wg.rs_part],
-            &[
-                (wg.ph_pw, p_w.clone()),
-                (wg.ph_alpha, Tensor::scalar_f64(alpha)),
-            ],
-        )?;
-        let rs_new = reduce_scalar(ctx, cfg, "rs", w, out[0].clone())?;
+        let out = {
+            let _s = tr.span("cg.phase2.update");
+            sess.run(
+                &[wg.rs_part],
+                &[
+                    (wg.ph_pw, p_w.clone()),
+                    (wg.ph_alpha, Tensor::scalar_f64(alpha)),
+                ],
+            )?
+        };
+        let rs_new = {
+            let _s = tr.span("cg.reduce.rs");
+            reduce_scalar(ctx, cfg, "rs", w, out[0].clone())?
+        };
         let beta = rs_new / rs_old;
         rs_old = rs_new;
 
         // Phase 3: p_w ← r + β p_w, all-gather the new p.
-        let out = sess.run(
-            &[wg.p_new],
-            &[(wg.ph_pw, p_w), (wg.ph_beta, Tensor::scalar_f64(beta))],
-        )?;
-        p = gather_p(ctx, cfg, w, rows, out[0].clone())?;
+        let out = {
+            let _s = tr.span("cg.phase3.direction");
+            sess.run(
+                &[wg.p_new],
+                &[(wg.ph_pw, p_w), (wg.ph_beta, Tensor::scalar_f64(beta))],
+            )?
+        };
+        p = {
+            let _s = tr.span("cg.gather_p");
+            gather_p(ctx, cfg, w, rows, out[0].clone())?
+        };
         let _ = gpu;
 
         // Checkpoint: variables + driver state into the shared store.
         if let Some(k) = cfg.checkpoint_every {
             if (iter + 1) % k == 0 {
+                let _s = tr.span("cg.checkpoint");
                 ctx.server.resources.variable("p_full")?.assign(p.clone())?;
                 ctx.server
                     .resources
@@ -548,6 +569,7 @@ fn run_cg_inner(
     trace: bool,
     faults: Option<&FaultSetup>,
 ) -> Result<(CgReport, Arc<TileStore>, String), AppError> {
+    crate::observe::run_started();
     if cfg.workers == 0 {
         return Err(AppError::Config("workers must be > 0".into()));
     }
@@ -624,11 +646,7 @@ fn run_cg_inner(
     }
     .map_err(AppError::Core)?;
 
-    let json = launched
-        .sim
-        .as_ref()
-        .map(|s| s.trace_chrome_json())
-        .unwrap_or_default();
+    let json = crate::observe::run_finished("cg", launched.sim.as_ref(), trace);
     let store = store_slot.lock().take().expect("store captured");
     Ok((
         CgReport {
@@ -656,13 +674,25 @@ fn reducer_task_resumable(ctx: &TaskCtx, cfg: &CgConfig, done: Option<usize>) ->
             .resources
             .create_queue(&format!("gather.out.{w}"), 2);
     }
+    let tr = tfhpc_obs::trace::global();
     if done.is_none() {
+        let _s = tr.span("cg.reduce.rs");
         rs.serve_round()?; // initial residual reduction
     }
     for _ in 0..cfg.iterations - done.unwrap_or(0) {
-        pap.serve_round()?;
-        rs.serve_round()?;
-        serve_gather_round(ctx, workers)?;
+        let _round = tr.span("cg.reducer_round");
+        {
+            let _s = tr.span("cg.reduce.pap");
+            pap.serve_round()?;
+        }
+        {
+            let _s = tr.span("cg.reduce.rs");
+            rs.serve_round()?;
+        }
+        {
+            let _s = tr.span("cg.gather.serve");
+            serve_gather_round(ctx, workers)?;
+        }
     }
     Ok(())
 }

@@ -182,8 +182,10 @@ fn worker_task(ctx: &TaskCtx, cfg: &FftConfig, store: &Arc<TileStore>) -> CoreRe
     let sess = ctx
         .server
         .session_with_options(Arc::new(g), SessionOptions::from_env());
+    let tr = tfhpc_obs::trace::global();
     loop {
         ctx.check_faults()?;
+        let _s = tr.span("fft.tile");
         match sess.run_no_fetch(&[push_node], &[]) {
             Ok(()) => {}
             Err(CoreError::EndOfSequence) => return Ok(()),
@@ -200,7 +202,9 @@ fn merger_task(
 ) -> CoreResult<()> {
     let queue = ctx.server.resources.create_queue("spectra", 16);
     let mut spectra: Vec<Option<Tensor>> = vec![None; cfg.tiles];
+    let tr = tfhpc_obs::trace::global();
     for _ in 0..cfg.tiles {
+        let _s = tr.span("fft.collect");
         let tuple = queue.dequeue()?;
         let l = tuple[0].scalar_value_i64()? as usize;
         // Serial extraction of the tile into host NumPy storage.
@@ -216,6 +220,7 @@ fn merger_task(
 
     // Serial host merge with twiddle factors — "performed locally with
     // Python" (modeled with the Python tax).
+    let _merge = tr.span("fft.merge");
     let tiles: Vec<Tensor> = spectra.into_iter().map(|s| s.expect("tile")).collect();
     let mut g = Graph::new();
     let inputs: Vec<tfhpc_core::NodeId> = tiles.iter().map(|t| g.constant(t.clone())).collect();
@@ -263,6 +268,7 @@ pub fn run_fft_with_store(
     platform: &Platform,
     cfg: &FftConfig,
 ) -> Result<(FftReport, Arc<TileStore>), AppError> {
+    crate::observe::run_started();
     if cfg.workers == 0 {
         return Err(AppError::Config("workers must be > 0".into()));
     }
@@ -315,6 +321,7 @@ pub fn run_fft_with_store(
     )
     .map_err(AppError::Core)?;
 
+    crate::observe::run_finished("fft", launched.sim.as_ref(), false);
     let collect_s = *collect_time.lock();
     let store = store_slot.lock().take().expect("store captured");
     Ok((

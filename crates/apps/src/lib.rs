@@ -22,6 +22,7 @@
 pub mod cg;
 pub mod fft;
 pub mod matmul;
+pub(crate) mod observe;
 pub mod stream;
 
 pub use cg::{run_cg, run_cg_supervised, run_cg_with_store, CgConfig, CgReduction, CgReport};

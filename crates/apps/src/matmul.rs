@@ -163,7 +163,9 @@ fn reducer_body(
     let expected = my_targets * nt; // one partial per k
     let mut acc: std::collections::HashMap<(usize, usize), Tensor> =
         std::collections::HashMap::new();
+    let tr = tfhpc_obs::trace::global();
     for _ in 0..expected {
+        let _s = tr.span("matmul.accumulate");
         let tuple = queue.dequeue()?;
         let key = tuple[0].as_i64()?.to_vec();
         let (i, j) = (key[0] as usize, key[1] as usize);
@@ -181,6 +183,7 @@ fn reducer_body(
         }
     }
     // Store the finished output tiles (Lustre writes).
+    let _s = tr.span("matmul.store_tiles");
     for ((i, j), tile) in acc {
         if let Some(sim) = &ctx.server.devices.sim {
             sim.cluster.pfs.write(sim.node, tile.byte_size() as u64);
@@ -256,8 +259,10 @@ fn worker_body(
     let sess = ctx
         .server
         .session_with_options(Arc::new(g), SessionOptions::from_env());
+    let tr = tfhpc_obs::trace::global();
     loop {
         ctx.check_faults()?;
+        let _s = tr.span("matmul.step");
         match sess.run_no_fetch(&[push_node], &[]) {
             Ok(()) => {}
             Err(CoreError::EndOfSequence) => return Ok(()),
@@ -303,6 +308,7 @@ pub fn run_matmul_with_sim(
     platform: &Platform,
     cfg: &MatmulConfig,
 ) -> Result<(MatmulReport, Vec<(String, f64)>), AppError> {
+    crate::observe::run_started();
     if cfg.workers == 0 || cfg.reducers == 0 {
         return Err(AppError::Config("workers and reducers must be > 0".into()));
     }
@@ -322,6 +328,7 @@ pub fn run_matmul_with_sim(
     )
     .map_err(AppError::Core)?;
 
+    crate::observe::run_finished("matmul", launched.sim.as_ref(), false);
     let utilization = launched
         .sim
         .as_ref()

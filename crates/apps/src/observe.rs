@@ -1,0 +1,51 @@
+//! Shared observability wiring for the four applications.
+//!
+//! Every app entry point calls [`run_started`] (wires the env sinks,
+//! enabling the global tracer when `TFHPC_TRACE_DIR` is set) and
+//! [`run_finished`] (merges the DES occupancy segments with the
+//! structured tracer's nested spans and flow events into one Chrome
+//! trace document, then flushes the configured sinks).
+
+use std::sync::Arc;
+use tfhpc_obs::trace::{chrome_trace_json, global};
+use tfhpc_obs::TraceEvent;
+use tfhpc_sim::des::Sim;
+
+/// Wire the env-configured sinks. Idempotent; called once per app run.
+/// Pre-registers the fault counters so a snapshot exposes them at zero
+/// even before the first retry or restart.
+pub(crate) fn run_started() {
+    tfhpc_obs::sink::init_from_env();
+    let reg = tfhpc_obs::global();
+    reg.counter("tfhpc_retries_total");
+    reg.counter("tfhpc_supervisor_restarts_total");
+}
+
+/// Close out a run's observability: build the merged Chrome trace
+/// (DES segments + structured spans/flows/counters, sorted by start
+/// time), write it to `TFHPC_TRACE_DIR` when configured, flush the
+/// metrics snapshot to `TFHPC_METRICS` when configured, and return the
+/// trace JSON (empty when neither tracing source was active, matching
+/// the untraced return shape of the app entry points).
+pub(crate) fn run_finished(app: &str, sim: Option<&Arc<Sim>>, want_json: bool) -> String {
+    let tr = global();
+    let json = if want_json || tr.is_enabled() {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        if let Some(s) = sim {
+            for seg in s.trace() {
+                events.push(TraceEvent::span(&seg.label, &seg.track, seg.start, seg.dur));
+            }
+        }
+        let dropped = tr.dropped();
+        events.extend(tr.drain());
+        events.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+        Some(chrome_trace_json(&events, dropped))
+    } else {
+        None
+    };
+    if let (Some(doc), Some(dir)) = (&json, tfhpc_obs::sink::trace_dir()) {
+        let _ = tfhpc_obs::sink::write_trace_json_to(&dir.join(format!("{app}.trace.json")), doc);
+    }
+    let _ = tfhpc_obs::sink::flush_metrics();
+    json.unwrap_or_default()
+}

@@ -85,6 +85,7 @@ impl OpKernel for AssignAddRemote {
 
 /// Run STREAM on `platform` and report bandwidth.
 pub fn run_stream(platform: &Platform, cfg: &StreamConfig) -> Result<StreamReport, AppError> {
+    crate::observe::run_started();
     let n = (cfg.size_bytes / 8).max(1) as usize; // f64 elements
     let gpus = usize::from(cfg.on_gpu);
     let jobs = vec![JobSpec::new("ps", 1, gpus), JobSpec::new("worker", 1, gpus)];
@@ -128,16 +129,19 @@ pub fn run_stream(platform: &Platform, cfg: &StreamConfig) -> Result<StreamRepor
         let sess = ctx
             .server
             .session_with_options(Arc::new(g), SessionOptions::from_env());
+        let tr = tfhpc_obs::trace::global();
         let t0 = ctx.now();
         for _ in 0..cfg2.invocations {
             ctx.check_faults()?;
             // Invoke through the session without returning the value.
+            let _s = tr.span("stream.assign_add");
             sess.run_no_fetch(&[op], &[])?;
         }
         *elapsed2.lock() = ctx.now() - t0;
         Ok(())
     })
-    .map_err(AppError::Core)?;
+    .map_err(AppError::Core)
+    .map(|launched| crate::observe::run_finished("stream", launched.sim.as_ref(), false))?;
 
     let elapsed_s = *elapsed.lock();
     let total_bytes = cfg.size_bytes as f64 * cfg.invocations as f64;

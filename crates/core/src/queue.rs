@@ -17,12 +17,15 @@
 use crate::error::{CoreError, Result};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tfhpc_sim::des::SimCondvar;
 use tfhpc_tensor::Tensor;
 
 struct QueueState {
-    items: VecDeque<Vec<Tensor>>,
+    /// Tuples paired with their enqueue timestamp (observability
+    /// clock), so dequeues can charge residency.
+    items: VecDeque<(f64, Vec<Tensor>)>,
     closed: bool,
     /// Sticky abort (TensorFlow's queue cancellation): once set, every
     /// operation — including draining — fails with a clone of this
@@ -42,12 +45,50 @@ enum Waiters {
     },
 }
 
+/// Always-on activity counters backing `StepStats` and the global
+/// metrics registry. Updates are relaxed atomics — never a lock, never
+/// a clock advance — so collection cannot perturb a simulated run.
+struct QueueStats {
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    /// Summed residency seconds of dequeued elements, as f64 bits.
+    residency_bits: AtomicU64,
+    /// Flow correlation id stitching enqueue→dequeue arrows in traces.
+    flow: u64,
+    m_enqueued: Arc<tfhpc_obs::Counter>,
+    m_dequeued: Arc<tfhpc_obs::Counter>,
+    m_depth: Arc<tfhpc_obs::Gauge>,
+    m_residency: Arc<tfhpc_obs::Histogram>,
+}
+
+impl QueueStats {
+    fn new(name: &str) -> QueueStats {
+        let reg = tfhpc_obs::global();
+        let labels = [("queue", name)];
+        QueueStats {
+            enqueued: AtomicU64::new(0),
+            dequeued: AtomicU64::new(0),
+            residency_bits: AtomicU64::new(0),
+            flow: tfhpc_obs::trace::flow_id(name),
+            m_enqueued: reg.counter_with("tfhpc_queue_enqueued_total", &labels),
+            m_dequeued: reg.counter_with("tfhpc_queue_dequeued_total", &labels),
+            m_depth: reg.gauge_with("tfhpc_queue_depth", &labels),
+            m_residency: reg.histogram_with(
+                "tfhpc_queue_residency_seconds",
+                &labels,
+                &tfhpc_obs::metrics::duration_buckets(),
+            ),
+        }
+    }
+}
+
 /// A bounded FIFO queue of tensor tuples.
 pub struct FifoQueue {
     name: String,
     capacity: usize,
     state: Mutex<QueueState>,
     waiters: Waiters,
+    stats: QueueStats,
 }
 
 impl FifoQueue {
@@ -73,7 +114,60 @@ impl FifoQueue {
                 aborted: None,
             }),
             waiters,
+            stats: QueueStats::new(name),
         })
+    }
+
+    /// Record an enqueue that left the queue `depth` deep.
+    fn note_enqueue(&self, depth: usize) {
+        self.stats.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.stats.m_enqueued.inc();
+        self.stats.m_depth.set(depth as f64);
+        let tr = tfhpc_obs::trace::global();
+        if tr.is_enabled() {
+            tr.counter(&format!("queue.{}.depth", self.name), depth as f64);
+            tr.flow_start(&format!("queue.{}", self.name), self.stats.flow);
+        }
+    }
+
+    /// Record a dequeue of an element enqueued at `ts` that left the
+    /// queue `depth` deep.
+    fn note_dequeue(&self, ts: f64, depth: usize) {
+        let residency = (tfhpc_obs::now_seconds() - ts).max(0.0);
+        self.stats.dequeued.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.stats.residency_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + residency).to_bits();
+            match self.stats.residency_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.stats.m_dequeued.inc();
+        self.stats.m_depth.set(depth as f64);
+        self.stats.m_residency.observe(residency);
+        let tr = tfhpc_obs::trace::global();
+        if tr.is_enabled() {
+            tr.counter(&format!("queue.{}.depth", self.name), depth as f64);
+            tr.flow_end(&format!("queue.{}", self.name), self.stats.flow);
+        }
+    }
+
+    /// Snapshot this queue's activity for `StepStats`.
+    pub fn step_stat(&self) -> tfhpc_obs::QueueStat {
+        let depth = self.state.lock().items.len() as u64;
+        tfhpc_obs::QueueStat {
+            name: self.name.clone(),
+            enqueued: self.stats.enqueued.load(Ordering::Relaxed),
+            dequeued: self.stats.dequeued.load(Ordering::Relaxed),
+            depth,
+            residency_seconds: f64::from_bits(self.stats.residency_bits.load(Ordering::Relaxed)),
+        }
     }
 
     /// Queue name.
@@ -118,8 +212,11 @@ impl FifoQueue {
                 if st.closed {
                     return Err(CoreError::QueueClosed(self.name.clone()));
                 }
-                st.items.push_back(tuple);
+                st.items.push_back((tfhpc_obs::now_seconds(), tuple));
+                let depth = st.items.len();
                 not_empty.notify_one();
+                drop(st);
+                self.note_enqueue(depth);
                 Ok(())
             }
             Waiters::Sim {
@@ -136,7 +233,10 @@ impl FifoQueue {
                             return Err(CoreError::QueueClosed(self.name.clone()));
                         }
                         if st.items.len() < self.capacity {
-                            st.items.push_back(tuple);
+                            st.items.push_back((tfhpc_obs::now_seconds(), tuple));
+                            let depth = st.items.len();
+                            drop(st);
+                            self.note_enqueue(depth);
                             break;
                         }
                     }
@@ -164,8 +264,11 @@ impl FifoQueue {
                     if let Some(err) = &st.aborted {
                         return Err(err.clone());
                     }
-                    if let Some(tuple) = st.items.pop_front() {
+                    if let Some((ts, tuple)) = st.items.pop_front() {
+                        let depth = st.items.len();
                         not_full.notify_one();
+                        drop(st);
+                        self.note_dequeue(ts, depth);
                         return Ok(tuple);
                     }
                     if st.closed {
@@ -183,8 +286,10 @@ impl FifoQueue {
                     if let Some(err) = &st.aborted {
                         return Err(err.clone());
                     }
-                    if let Some(tuple) = st.items.pop_front() {
+                    if let Some((ts, tuple)) = st.items.pop_front() {
+                        let depth = st.items.len();
                         drop(st);
+                        self.note_dequeue(ts, depth);
                         not_full.notify_all();
                         return Ok(tuple);
                     }
@@ -216,8 +321,11 @@ impl FifoQueue {
                     if let Some(err) = &st.aborted {
                         return Err(err.clone());
                     }
-                    if let Some(tuple) = st.items.pop_front() {
+                    if let Some((ts, tuple)) = st.items.pop_front() {
+                        let depth = st.items.len();
                         not_full.notify_one();
+                        drop(st);
+                        self.note_dequeue(ts, depth);
                         return Ok(tuple);
                     }
                     if st.closed {
@@ -251,8 +359,10 @@ impl FifoQueue {
                         if let Some(err) = &st.aborted {
                             return Err(err.clone());
                         }
-                        if let Some(tuple) = st.items.pop_front() {
+                        if let Some((ts, tuple)) = st.items.pop_front() {
+                            let depth = st.items.len();
                             drop(st);
+                            self.note_dequeue(ts, depth);
                             not_full.notify_all();
                             return Ok(tuple);
                         }
@@ -285,7 +395,12 @@ impl FifoQueue {
                 return Err(err.clone());
             }
             match st.items.pop_front() {
-                Some(tuple) => Some(tuple),
+                Some((ts, tuple)) => {
+                    let depth = st.items.len();
+                    drop(st);
+                    self.note_dequeue(ts, depth);
+                    Some(tuple)
+                }
                 None if st.closed => return Err(CoreError::QueueClosed(self.name.clone())),
                 None => None,
             }
@@ -570,6 +685,20 @@ mod tests {
         let (now, deadline_hit) = *out.lock();
         assert!(deadline_hit);
         assert_eq!(now, 3.5); // exactly start + timeout
+    }
+
+    #[test]
+    fn step_stat_counts_activity() {
+        let q = FifoQueue::new("stats-q", 4);
+        q.enqueue(t(1.0)).unwrap();
+        q.enqueue(t(2.0)).unwrap();
+        q.dequeue().unwrap();
+        let s = q.step_stat();
+        assert_eq!(s.name, "stats-q");
+        assert_eq!(s.enqueued, 2);
+        assert_eq!(s.dequeued, 1);
+        assert_eq!(s.depth, 1);
+        assert!(s.residency_seconds >= 0.0);
     }
 
     #[test]

@@ -198,6 +198,37 @@ impl Resources {
             .ok_or_else(|| CoreError::NotFound(format!("queue `{name}`")))
     }
 
+    /// Look up a queue, waiting up to `timeout_s` for it to appear.
+    ///
+    /// Remote queue ops resolve names on the *owner's* manager, and the
+    /// owner may still be executing its startup code when the first
+    /// request lands — in real mode gang tasks are free-running OS
+    /// threads, so "arrived before the queue was registered" is a brief
+    /// stall, not an error. The wait polls in the caller's time domain
+    /// (virtual seconds under the DES, wall seconds otherwise); a
+    /// sticky task fault aborts it immediately, and a queue that never
+    /// appears still surfaces as `NotFound` once the budget is spent.
+    pub fn queue_wait(&self, name: &str, timeout_s: f64) -> Result<Arc<FifoQueue>> {
+        const POLL_S: f64 = 500e-6;
+        let mut waited = 0.0;
+        loop {
+            if let Some(q) = self.queues.read().get(name).cloned() {
+                return Ok(q);
+            }
+            if let Some(err) = self.fault.lock().clone() {
+                return Err(err);
+            }
+            if waited >= timeout_s {
+                return Err(CoreError::NotFound(format!("queue `{name}`")));
+            }
+            match tfhpc_sim::des::current() {
+                Some(me) => me.advance(POLL_S),
+                None => std::thread::sleep(std::time::Duration::from_secs_f64(POLL_S)),
+            }
+            waited += POLL_S;
+        }
+    }
+
     /// Abort every queue of this manager with `err`, and poison future
     /// queue creation the same way (sticky). Waiters parked on any of
     /// the queues wake immediately with a clone of `err`. Idempotent:
@@ -220,14 +251,25 @@ impl Resources {
         self.fault.lock().clone()
     }
 
-    /// Record one transparent retry against this task.
+    /// Record one transparent retry against this task (also counted on
+    /// the process-wide `tfhpc_retries_total` metric).
     pub fn note_retry(&self) {
         self.retries.fetch_add(1, Ordering::Relaxed);
+        tfhpc_obs::global().counter("tfhpc_retries_total").inc();
     }
 
     /// Total transparent retries recorded so far.
     pub fn retries_total(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Per-queue activity snapshots, sorted by queue name — the
+    /// `queues` section of a run's `StepStats`.
+    pub fn queue_step_stats(&self) -> Vec<tfhpc_obs::QueueStat> {
+        let mut stats: Vec<tfhpc_obs::QueueStat> =
+            self.queues.read().values().map(|q| q.step_stat()).collect();
+        stats.sort_by(|a, b| a.name.cmp(&b.name));
+        stats
     }
 
     // ---- dataset iterators ---------------------------------------------------
@@ -316,6 +358,25 @@ mod tests {
         assert!(v.assign(Tensor::zeros(DType::F64, [4])).is_err());
         assert!(v.assign(Tensor::zeros(DType::F32, [3])).is_err());
         assert!(v.assign(Tensor::zeros(DType::F64, [3])).is_ok());
+    }
+
+    #[test]
+    fn queue_wait_rides_out_late_creation() {
+        let r = Arc::new(Resources::new());
+        let r2 = Arc::clone(&r);
+        let creator = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            r2.create_queue("late", 1);
+        });
+        let q = r.queue_wait("late", 5.0).unwrap();
+        assert_eq!(q.name(), "late");
+        creator.join().unwrap();
+        // A queue that never appears still fails once the budget is
+        // spent.
+        assert!(matches!(
+            r.queue_wait("absent", 0.002),
+            Err(CoreError::NotFound(_))
+        ));
     }
 
     #[test]

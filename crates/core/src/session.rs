@@ -21,7 +21,7 @@ use crate::op::Op;
 use crate::resources::Resources;
 use crate::timeline::Timeline;
 use parking_lot::{Condvar, Mutex};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -86,6 +86,50 @@ fn env_usize(key: &str) -> Option<usize> {
     std::env::var(key).ok()?.trim().parse().ok()
 }
 
+/// Snapshot of the ambient simulation's link-traffic counters
+/// (`bytes.*` / `msgs.*` keys), empty outside a simulated process.
+/// Reading counters never advances virtual time.
+fn sim_link_counters() -> Vec<(String, f64)> {
+    match tfhpc_sim::des::current() {
+        Some(me) => me
+            .sim()
+            .counters()
+            .into_iter()
+            .filter(|(k, _)| k.starts_with("bytes.") || k.starts_with("msgs."))
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+/// Per-link traffic deltas between two [`sim_link_counters`]
+/// snapshots, folded into `LinkStat`s sorted by link name.
+fn link_deltas(before: &[(String, f64)], after: &[(String, f64)]) -> Vec<tfhpc_obs::LinkStat> {
+    let prior: HashMap<&str, f64> = before.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let mut links: BTreeMap<String, tfhpc_obs::LinkStat> = BTreeMap::new();
+    for (key, total) in after {
+        let delta = total - prior.get(key.as_str()).copied().unwrap_or(0.0);
+        if delta <= 0.0 {
+            continue;
+        }
+        let (kind, link) = match key.split_once('.') {
+            Some(parts) => parts,
+            None => continue,
+        };
+        let entry = links
+            .entry(link.to_string())
+            .or_insert_with(|| tfhpc_obs::LinkStat {
+                name: link.to_string(),
+                ..Default::default()
+            });
+        match kind {
+            "bytes" => entry.bytes += delta as u64,
+            "msgs" => entry.messages += delta as u64,
+            _ => {}
+        }
+    }
+    links.into_values().collect()
+}
+
 /// Statistics of one `Session::run` (TensorFlow's `RunMetadata`).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunMetadata {
@@ -100,6 +144,11 @@ pub struct RunMetadata {
     /// Transparent retries the distributed runtime performed on this
     /// task's behalf during the run (0 unless a retry policy is set).
     pub retries: u64,
+    /// Per-op / per-queue / per-link statistics for the run
+    /// (TensorFlow's `StepStats`). Always collected — it is derived
+    /// purely from work the executor does anyway, so it is identical
+    /// whether or not any observability sink is enabled.
+    pub step_stats: tfhpc_obs::StepStats,
 }
 
 /// Concurrency-safe accumulator behind [`RunMetadata`]: executor
@@ -110,6 +159,9 @@ struct MetaAcc {
     ops_executed: AtomicUsize,
     output_bytes: AtomicU64,
     kernel_seconds_bits: AtomicU64,
+    /// Per-op execution count and charged device seconds, keyed by
+    /// node name (sorted — StepStats order is deterministic).
+    per_op: Mutex<BTreeMap<String, (u64, f64)>>,
 }
 
 impl MetaAcc {
@@ -132,13 +184,44 @@ impl MetaAcc {
         }
     }
 
-    fn into_metadata(self, elapsed_s: f64, retries: u64) -> RunMetadata {
+    /// Record one executed op (`dev_secs` of charged device time) for
+    /// the per-op step stats.
+    fn note_op(&self, name: &str, dev_secs: f64) {
+        let mut per_op = self.per_op.lock();
+        let entry = per_op.entry(name.to_string()).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += dev_secs;
+    }
+
+    fn into_metadata(
+        self,
+        elapsed_s: f64,
+        retries: u64,
+        queues: Vec<tfhpc_obs::QueueStat>,
+        links: Vec<tfhpc_obs::LinkStat>,
+    ) -> RunMetadata {
+        let ops = self
+            .per_op
+            .into_inner()
+            .into_iter()
+            .map(|(name, (count, device_seconds))| tfhpc_obs::OpStat {
+                name,
+                count,
+                device_seconds,
+            })
+            .collect();
         RunMetadata {
             ops_executed: self.ops_executed.into_inner(),
             output_bytes: self.output_bytes.into_inner(),
             kernel_seconds: f64::from_bits(self.kernel_seconds_bits.into_inner()),
             elapsed_s,
             retries,
+            step_stats: tfhpc_obs::StepStats {
+                ops,
+                queues,
+                links,
+                retries,
+            },
         }
     }
 }
@@ -277,6 +360,7 @@ impl Session {
     ) -> Result<(HashMap<NodeId, (Vec<Tensor>, Placement)>, RunMetadata)> {
         let run_t0 = self.now();
         let retries_t0 = self.resources.retries_total();
+        let links_t0 = sim_link_counters();
         let run_seed = self.run_counter.fetch_add(1, Ordering::Relaxed) + 1;
 
         // Every invocation goes through the client→server dispatch the
@@ -309,13 +393,18 @@ impl Session {
             self.exec_sequential(&needed, &feed_map, run_seed, &meta)?
         };
 
-        Ok((
-            computed,
-            meta.into_metadata(
-                self.now() - run_t0,
-                self.resources.retries_total() - retries_t0,
-            ),
-        ))
+        let metadata = meta.into_metadata(
+            self.now() - run_t0,
+            self.resources.retries_total() - retries_t0,
+            self.resources.queue_step_stats(),
+            link_deltas(&links_t0, &sim_link_counters()),
+        );
+        let reg = tfhpc_obs::global();
+        reg.counter("tfhpc_ops_executed_total")
+            .add(metadata.ops_executed as u64);
+        reg.counter("tfhpc_output_bytes_total")
+            .add(metadata.output_bytes);
+        Ok((computed, metadata))
     }
 
     /// In-order executor: walks `needed` in (valid topological)
@@ -557,6 +646,7 @@ impl Session {
                 }
             }
             meta.ops_executed.fetch_add(1, Ordering::Relaxed);
+            meta.note_op(&node.name, 0.0);
             return Ok((vec![(*fed).clone()], Placement::Cpu));
         }
 
@@ -621,20 +711,36 @@ impl Session {
         let cost = kernels::cost_of(&node.op, &inputs, &outputs);
         let dp = kernels::is_double_precision(&inputs, &outputs);
         let dur = self.devices.charge_kernel(placement, &cost, dp);
+        // Charged time in sim mode, measured wall time otherwise —
+        // what the timeline, the tracer and the per-op stats all show.
+        let dev_secs = if self.devices.sim.is_some() {
+            dur
+        } else {
+            self.now() - start
+        };
         if let Some(tl) = &self.timeline {
-            let end = self.now();
-            let dur = if self.devices.sim.is_some() {
-                dur
-            } else {
-                end - start
-            };
-            tl.record(&node.name, &self.devices.device_name(placement), start, dur);
+            tl.record(
+                &node.name,
+                &self.devices.device_name(placement),
+                start,
+                dev_secs,
+            );
+        }
+        let tr = tfhpc_obs::trace::global();
+        if tr.is_enabled() {
+            tr.record(tfhpc_obs::TraceEvent::span(
+                &node.name,
+                &self.devices.device_name(placement),
+                start,
+                dev_secs,
+            ));
         }
         if let Some(dbg) = &self.debugger {
             dbg.record(&node.name, &outputs);
         }
 
         meta.ops_executed.fetch_add(1, Ordering::Relaxed);
+        meta.note_op(&node.name, dev_secs);
         meta.add_kernel_seconds(dur);
         meta.output_bytes.fetch_add(
             outputs.iter().map(|t| t.byte_size() as u64).sum::<u64>(),
@@ -813,6 +919,37 @@ mod tests {
         s.run_no_fetch(&[enq], &[]).unwrap();
         let out = s.run(&[deq[0]], &[]).unwrap();
         assert_eq!(out[0].scalar_value_f64().unwrap(), 5.0);
+    }
+
+    #[test]
+    fn step_stats_cover_ops_and_queues() {
+        let mut g = Graph::new();
+        let v = g.constant(Tensor::scalar_f64(5.0));
+        let n = g.neg(v);
+        let enq = g.queue_enqueue("sq", &[n]);
+        let deq = g.queue_dequeue("sq", 1);
+        let s = session(g);
+        s.resources().create_queue("sq", 4);
+        s.run_no_fetch(&[enq], &[]).unwrap();
+        let (_, meta) = s.run_with_metadata(&[deq[0]], &[]).unwrap();
+        let ss = &meta.step_stats;
+        // One OpStat per node of the dequeue subgraph, sorted by name,
+        // counts summing to ops_executed.
+        assert!(!ss.ops.is_empty());
+        assert!(ss.ops.windows(2).all(|w| w[0].name < w[1].name));
+        assert_eq!(
+            ss.ops.iter().map(|o| o.count).sum::<u64>() as usize,
+            meta.ops_executed
+        );
+        // The queue shows the earlier enqueue and this run's dequeue.
+        let q = ss.queues.iter().find(|q| q.name == "sq").unwrap();
+        assert_eq!(q.enqueued, 1);
+        assert_eq!(q.dequeued, 1);
+        assert_eq!(q.depth, 0);
+        assert!(q.residency_seconds >= 0.0);
+        // Real mode, no dist traffic: no links, no retries.
+        assert!(ss.links.is_empty());
+        assert_eq!(ss.retries, 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! appends events from every worker thread.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One op execution span.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,26 +34,57 @@ impl TimelineEvent {
     }
 }
 
+/// Default cap on recorded events — beyond it, events are dropped and
+/// counted rather than growing the vector unboundedly on long runs.
+pub const DEFAULT_EVENT_CAP: usize = 1_000_000;
+
 /// Recorder of op execution spans.
-#[derive(Default)]
 pub struct Timeline {
     events: Mutex<Vec<TimelineEvent>>,
+    cap: usize,
+    dropped: AtomicU64,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Timeline::new()
+    }
 }
 
 impl Timeline {
-    /// Fresh, empty timeline.
+    /// Fresh, empty timeline with the default event cap.
     pub fn new() -> Timeline {
-        Timeline::default()
+        Timeline::with_capacity(DEFAULT_EVENT_CAP)
     }
 
-    /// Append an event.
+    /// Fresh timeline holding at most `cap` events; further records
+    /// are dropped and counted ([`Timeline::dropped`]).
+    pub fn with_capacity(cap: usize) -> Timeline {
+        Timeline {
+            events: Mutex::new(Vec::new()),
+            cap: cap.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Append an event (dropped and counted once the cap is reached).
     pub fn record(&self, name: &str, device: &str, start_s: f64, dur_s: f64) {
-        self.events.lock().push(TimelineEvent {
+        let mut events = self.events.lock();
+        if events.len() >= self.cap {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(TimelineEvent {
             name: name.to_string(),
             device: device.to_string(),
             start_s,
             dur_s,
         });
+    }
+
+    /// Events dropped at the cap so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Snapshot of recorded events.
@@ -90,7 +122,18 @@ impl Timeline {
             out.push_str(&format!("\"pid\": 0, \"tid\": {}", json_string(&e.device)));
             out.push('}');
         }
-        if !events.is_empty() {
+        let dropped = self.dropped();
+        if dropped > 0 {
+            if !events.is_empty() {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"timeline_events_dropped\", \"ph\": \"i\", \
+                 \"s\": \"g\", \"ts\": 0, \"pid\": 0, \"tid\": \"timeline\", \
+                 \"args\": {{\"count\": {dropped}}}}}"
+            ));
+        }
+        if !events.is_empty() || dropped > 0 {
             out.push_str("\n  ");
         }
         out.push_str("]\n}");
@@ -168,6 +211,23 @@ mod tests {
         t.record("weird\"name\\", "/cpu:0", 0.0, 1.0);
         let json = t.to_chrome_trace();
         assert!(json.contains("\"weird\\\"name\\\\\""));
+    }
+
+    #[test]
+    fn cap_drops_and_counts_excess_events() {
+        let t = Timeline::with_capacity(3);
+        for i in 0..10 {
+            t.record(&format!("op{i}"), "/cpu:0", i as f64, 1.0);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let json = t.to_chrome_trace();
+        assert!(json.contains("timeline_events_dropped"), "{json}");
+        assert!(json.contains("\"count\": 7"), "{json}");
+        // Still well-formed.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The drop marker parses as part of the trace document.
+        assert!(tfhpc_obs::json::parse(&json).is_ok(), "{json}");
     }
 
     #[test]

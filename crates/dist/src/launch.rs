@@ -303,7 +303,11 @@ where
         } else {
             format!("{key}@g{generation}")
         };
+        let track = name.clone();
         shared.sim.spawn(&name, move || {
+            // One trace track per task (re-named per generation so a
+            // restarted task gets its own lane in the viewer).
+            tfhpc_obs::set_track(&track);
             let server = match sh.cluster.server(&key) {
                 Ok(s) => s,
                 Err(e) => {
@@ -322,7 +326,12 @@ where
                 Ok(()) => sh.record(key.clone(), generation, None),
                 Err(e) => {
                     sh.record(key.clone(), generation, Some(e.to_string()));
-                    supervise(&sh, generation, format!("{key}: {e}"), std::slice::from_ref(&key));
+                    supervise(
+                        &sh,
+                        generation,
+                        format!("{key}: {e}"),
+                        std::slice::from_ref(&key),
+                    );
                 }
             }
         });
@@ -346,6 +355,9 @@ where
         if st.restarts_used < shared.sup.max_restarts {
             st.restarts_used += 1;
             st.generation += 1;
+            tfhpc_obs::global()
+                .counter("tfhpc_supervisor_restarts_total")
+                .inc();
             Some(st.generation)
         } else {
             st.failures.push(what.clone());
@@ -470,6 +482,9 @@ where
         if let Some(s) = &sim {
             s.enable_tracing();
         }
+        // Traced launches also record structured scopes (nested spans,
+        // queue flows) on the process-wide tracer.
+        tfhpc_obs::trace::global().enable();
     }
     let cluster_sim = sim
         .as_ref()

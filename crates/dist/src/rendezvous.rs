@@ -74,13 +74,24 @@ pub fn send(
     let peer = cluster.server(&key.dst)?;
     worker.charge_transfer_to(&peer, gpu, None, value.byte_size() as u64);
     let q = peer.resources.get_or_create_queue(&key.channel(), 1);
-    q.enqueue(vec![value])
+    q.enqueue(vec![value])?;
+    tfhpc_obs::global()
+        .counter("tfhpc_rendezvous_sends_total")
+        .inc();
+    let tr = tfhpc_obs::trace::global();
+    if tr.is_enabled() {
+        let channel = key.channel();
+        tr.flow_start(&channel, tfhpc_obs::flow_id(&channel));
+    }
+    Ok(())
 }
 
 /// Receive the tensor for `key`, blocking until the producer sent it.
 pub fn recv(worker: &Arc<Server>, key: &RendezvousKey, gpu: Option<usize>) -> Result<Tensor> {
     let q = recv_queue(worker, key)?;
-    finish_recv(worker, q.dequeue()?, gpu)
+    let tuple = q.dequeue()?;
+    note_recv(key);
+    finish_recv(worker, tuple, gpu)
 }
 
 /// [`recv`] with a deadline: waits at most `timeout_s` (virtual
@@ -96,7 +107,10 @@ pub fn recv_deadline(
 ) -> Result<Tensor> {
     let q = recv_queue(worker, key)?;
     match q.dequeue_timeout(timeout_s) {
-        Ok(tuple) => finish_recv(worker, tuple, gpu),
+        Ok(tuple) => {
+            note_recv(key);
+            finish_recv(worker, tuple, gpu)
+        }
         Err(CoreError::DeadlineExceeded(msg)) if worker.cluster().is_dead(&key.src) => Err(
             CoreError::Unavailable(format!("producer {} is down; {msg}", key.src)),
         ),
@@ -115,6 +129,19 @@ fn recv_queue(worker: &Arc<Server>, key: &RendezvousKey) -> Result<Arc<tfhpc_cor
         )));
     }
     Ok(worker.resources.get_or_create_queue(&key.channel(), 1))
+}
+
+/// Count a completed receive and close its trace flow (the arrow from
+/// the producer's send to this dequeue in the trace viewer).
+fn note_recv(key: &RendezvousKey) {
+    tfhpc_obs::global()
+        .counter("tfhpc_rendezvous_recvs_total")
+        .inc();
+    let tr = tfhpc_obs::trace::global();
+    if tr.is_enabled() {
+        let channel = key.channel();
+        tr.flow_end(&channel, tfhpc_obs::flow_id(&channel));
+    }
 }
 
 /// Unwrap a rendezvous tuple and land it on the consumer's GPU.

@@ -308,6 +308,12 @@ impl Server {
         self.cluster().retry_config()
     }
 
+    /// How long a remote queue op waits for the owner to register the
+    /// queue before reporting `NotFound` — rides out the startup race
+    /// where a gang task's first request lands while the peer is still
+    /// in its setup code.
+    const QUEUE_RESOLVE_TIMEOUT_S: f64 = 5.0;
+
     /// Open a session on this server over `graph`.
     pub fn session(&self, graph: Arc<Graph>) -> Session {
         Session::new(graph, Arc::clone(&self.resources), self.devices.clone())
@@ -348,6 +354,11 @@ impl Server {
     ) -> f64 {
         let cluster = self.cluster();
         let Some(sim) = &cluster.sim else { return 0.0 };
+        let labels = [("protocol", cluster.protocol.name())];
+        let reg = tfhpc_obs::global();
+        reg.counter_with("tfhpc_link_bytes_total", &labels)
+            .add(bytes);
+        reg.counter_with("tfhpc_link_messages_total", &labels).inc();
         let path = sim.path(self.loc(src_gpu), dst.loc(dst_gpu), cluster.protocol);
         path.transfer(bytes)
     }
@@ -367,7 +378,9 @@ impl Server {
                 let peer = self.peer_checked(target)?;
                 let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
                 self.charge_transfer_to(&peer, src_gpu, None, bytes);
-                peer.resources.queue(queue)?.enqueue(tuple.clone())
+                peer.resources
+                    .queue_wait(queue, Self::QUEUE_RESOLVE_TIMEOUT_S)?
+                    .enqueue(tuple.clone())
             })
     }
 
@@ -383,7 +396,10 @@ impl Server {
         self.retry()
             .run("remote_dequeue", Some(&self.resources), || {
                 let peer = self.peer_checked(target)?;
-                let tuple = peer.resources.queue(queue)?.dequeue()?;
+                let tuple = peer
+                    .resources
+                    .queue_wait(queue, Self::QUEUE_RESOLVE_TIMEOUT_S)?
+                    .dequeue()?;
                 let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
                 peer.charge_transfer_to(self, None, dst_gpu, bytes);
                 Ok(tuple)
@@ -402,7 +418,10 @@ impl Server {
         timeout_s: f64,
     ) -> Result<Vec<Tensor>> {
         let peer = self.peer_checked(target)?;
-        let tuple = peer.resources.queue(queue)?.dequeue_timeout(timeout_s)?;
+        let tuple = peer
+            .resources
+            .queue_wait(queue, timeout_s.min(Self::QUEUE_RESOLVE_TIMEOUT_S))?
+            .dequeue_timeout(timeout_s)?;
         let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
         peer.charge_transfer_to(self, None, dst_gpu, bytes);
         Ok(tuple)

@@ -1,0 +1,153 @@
+//! Environment-configured sinks: where the registry and the global
+//! tracer go when the process exits an instrumented run.
+//!
+//! * `TFHPC_METRICS=<path>` — [`flush_metrics`] writes a snapshot of
+//!   the global registry there: JSON when the path ends in `.json`,
+//!   Prometheus text otherwise.
+//! * `TFHPC_TRACE_DIR=<dir>` — [`init_from_env`] enables the global
+//!   tracer, and [`write_trace`] drops Chrome trace files into the
+//!   directory (created if missing).
+//!
+//! Both unset means no I/O and no recording — the disabled cost of the
+//! whole subsystem is one relaxed atomic load per instrumentation
+//! point. Explicit-path variants exist so tests never have to mutate
+//! process-global environment variables.
+
+use crate::{metrics, trace};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Target of `TFHPC_METRICS`, if set and non-empty.
+pub fn metrics_path() -> Option<PathBuf> {
+    match std::env::var("TFHPC_METRICS") {
+        Ok(p) if !p.is_empty() => Some(PathBuf::from(p)),
+        _ => None,
+    }
+}
+
+/// Target of `TFHPC_TRACE_DIR`, if set and non-empty.
+pub fn trace_dir() -> Option<PathBuf> {
+    match std::env::var("TFHPC_TRACE_DIR") {
+        Ok(p) if !p.is_empty() => Some(PathBuf::from(p)),
+        _ => None,
+    }
+}
+
+/// Wire the sinks from the environment: enables the global tracer when
+/// `TFHPC_TRACE_DIR` is set. Idempotent; call once near process start
+/// (the apps' entry points do).
+pub fn init_from_env() {
+    if trace_dir().is_some() {
+        trace::global().enable();
+    }
+}
+
+/// Write `registry` to `path`: JSON when the extension is `json`,
+/// Prometheus text otherwise. Parent directories are created.
+pub fn write_metrics_to(path: &Path, registry: &metrics::Registry) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let body = if path.extension().is_some_and(|e| e == "json") {
+        registry.to_json()
+    } else {
+        registry.to_prometheus()
+    };
+    std::fs::write(path, body)
+}
+
+/// Snapshot the global registry to the `TFHPC_METRICS` path. Returns
+/// the path written, or `None` when the variable is unset.
+pub fn flush_metrics() -> io::Result<Option<PathBuf>> {
+    match metrics_path() {
+        Some(p) => {
+            write_metrics_to(&p, metrics::global())?;
+            Ok(Some(p))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Write a prepared Chrome trace JSON document to `path`, creating
+/// parent directories.
+pub fn write_trace_json_to(path: &Path, trace_json: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, trace_json)
+}
+
+/// Drain the global tracer into `<TFHPC_TRACE_DIR>/<name>.trace.json`.
+/// Returns the path written, or `None` when the variable is unset (the
+/// tracer is left untouched in that case).
+pub fn write_trace(name: &str) -> io::Result<Option<PathBuf>> {
+    match trace_dir() {
+        Some(dir) => {
+            let t = trace::global();
+            let dropped = t.dropped();
+            let events = t.drain();
+            let doc = trace::chrome_trace_json(&events, dropped);
+            let path = dir.join(format!("{name}.trace.json"));
+            write_trace_json_to(&path, &doc)?;
+            Ok(Some(path))
+        }
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, JsonValue};
+    use crate::metrics::Registry;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tfhpc-obs-sink-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn explicit_metrics_paths_pick_format_by_extension() {
+        let r = Registry::new();
+        r.counter("written_total").add(2);
+
+        let prom = tmp("m.prom");
+        write_metrics_to(&prom, &r).unwrap();
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(text.contains("# TYPE written_total counter"), "{text}");
+
+        let jsonp = tmp("m.json");
+        write_metrics_to(&jsonp, &r).unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&jsonp).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("written_total")
+                .and_then(|f| f.get("value"))
+                .and_then(JsonValue::as_f64),
+            Some(2.0)
+        );
+
+        let _ = std::fs::remove_file(prom);
+        let _ = std::fs::remove_file(jsonp);
+    }
+
+    #[test]
+    fn trace_json_writes_through_nested_dirs() {
+        let dir = tmp("traces");
+        let path = dir.join("nested").join("run.trace.json");
+        let events = vec![crate::trace::TraceEvent::span("op", "t0", 0.0, 1.0)];
+        write_trace_json_to(&path, &crate::trace::chrome_trace_json(&events, 0)).unwrap();
+        let doc = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(JsonValue::as_array)
+                .map(<[JsonValue]>::len),
+            Some(1)
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

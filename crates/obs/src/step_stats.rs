@@ -1,0 +1,189 @@
+//! Per-`Session::run` statistics — the analogue of TensorFlow's
+//! `StepStats` proto, folded into the core `RunMetadata`: per-op
+//! device time, per-queue enqueue/dequeue counts and residency,
+//! per-link bytes and message counts, and retry/fault counters.
+//!
+//! Collection is *always on*: every field is derived from work the
+//! executor already does (one map insert per op, counters the queues
+//! keep anyway), never from the sinks or the tracer. That is what
+//! makes a run with observability enabled byte-identical to one with
+//! it off — the stats are part of the run's result, not a side effect
+//! of watching it.
+
+use crate::json;
+use std::fmt::Write as _;
+
+/// Accumulated execution stats for one op over a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpStat {
+    /// Op name.
+    pub name: String,
+    /// Times the op executed.
+    pub count: u64,
+    /// Total charged device time, seconds.
+    pub device_seconds: f64,
+}
+
+/// One queue's activity over a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueueStat {
+    /// Queue name.
+    pub name: String,
+    /// Elements enqueued since creation.
+    pub enqueued: u64,
+    /// Elements dequeued since creation.
+    pub dequeued: u64,
+    /// Depth at snapshot time.
+    pub depth: u64,
+    /// Summed residency (enqueue→dequeue) of dequeued elements,
+    /// seconds.
+    pub residency_seconds: f64,
+}
+
+/// Traffic over one simulated link/protocol (e.g. `rdma`, `ipoib`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkStat {
+    /// Link/protocol name.
+    pub name: String,
+    /// Payload bytes transferred.
+    pub bytes: u64,
+    /// Messages transferred.
+    pub messages: u64,
+}
+
+/// Per-run statistics block carried in `RunMetadata`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepStats {
+    /// Per-op device time and execution counts, sorted by op name.
+    pub ops: Vec<OpStat>,
+    /// Per-queue counters, sorted by queue name.
+    pub queues: Vec<QueueStat>,
+    /// Per-link traffic deltas over the run, sorted by link name.
+    pub links: Vec<LinkStat>,
+    /// Transient-error retries during the run.
+    pub retries: u64,
+}
+
+impl StepStats {
+    /// True when nothing was recorded (e.g. an empty run).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty() && self.queues.is_empty() && self.links.is_empty() && self.retries == 0
+    }
+
+    /// Total device seconds across all ops.
+    pub fn total_device_seconds(&self) -> f64 {
+        self.ops.iter().map(|o| o.device_seconds).sum()
+    }
+
+    /// Total bytes across all links.
+    pub fn total_link_bytes(&self) -> u64 {
+        self.links.iter().map(|l| l.bytes).sum()
+    }
+
+    /// Render as a JSON object (deterministic field and entry order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"ops\":[");
+        for (i, o) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"count\":{},\"device_seconds\":{}}}",
+                json::escape(&o.name),
+                o.count,
+                json::number(o.device_seconds)
+            );
+        }
+        out.push_str("],\"queues\":[");
+        for (i, q) in self.queues.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"enqueued\":{},\"dequeued\":{},\"depth\":{},\"residency_seconds\":{}}}",
+                json::escape(&q.name),
+                q.enqueued,
+                q.dequeued,
+                q.depth,
+                json::number(q.residency_seconds)
+            );
+        }
+        out.push_str("],\"links\":[");
+        for (i, l) in self.links.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"bytes\":{},\"messages\":{}}}",
+                json::escape(&l.name),
+                l.bytes,
+                l.messages
+            );
+        }
+        let _ = write!(out, "],\"retries\":{}}}", self.retries);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn sample() -> StepStats {
+        StepStats {
+            ops: vec![
+                OpStat {
+                    name: "MatMul".into(),
+                    count: 4,
+                    device_seconds: 0.25,
+                },
+                OpStat {
+                    name: "Sub\"tract".into(),
+                    count: 1,
+                    device_seconds: 0.01,
+                },
+            ],
+            queues: vec![QueueStat {
+                name: "acc".into(),
+                enqueued: 8,
+                dequeued: 6,
+                depth: 2,
+                residency_seconds: 1.5,
+            }],
+            links: vec![LinkStat {
+                name: "rdma".into(),
+                bytes: 4096,
+                messages: 2,
+            }],
+            retries: 3,
+        }
+    }
+
+    #[test]
+    fn totals_sum_across_entries() {
+        let s = sample();
+        assert!(!s.is_empty());
+        assert!((s.total_device_seconds() - 0.26).abs() < 1e-12);
+        assert_eq!(s.total_link_bytes(), 4096);
+        assert!(StepStats::default().is_empty());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let s = sample();
+        let doc = json::parse(&s.to_json()).expect("valid JSON");
+        let ops = doc.get("ops").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(
+            ops[1].get("name").and_then(JsonValue::as_str),
+            Some("Sub\"tract")
+        );
+        let q = &doc.get("queues").and_then(JsonValue::as_array).unwrap()[0];
+        assert_eq!(q.get("enqueued").and_then(JsonValue::as_f64), Some(8.0));
+        assert_eq!(doc.get("retries").and_then(JsonValue::as_f64), Some(3.0));
+    }
+}

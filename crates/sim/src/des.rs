@@ -431,6 +431,18 @@ impl Sim {
         self.state.lock().counters.get(key).copied().unwrap_or(0.0)
     }
 
+    /// Snapshot of every statistic counter, sorted by key — the
+    /// deterministic bulk form of [`Sim::counter`], used to fold link
+    /// traffic into per-run step stats.
+    pub fn counters(&self) -> Vec<(String, f64)> {
+        let st = self.state.lock();
+        let mut out: Vec<(String, f64)> =
+            st.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        drop(st);
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
     /// Total busy time accumulated on a resource (utilization probe).
     pub fn resource_busy(&self, res: &SimResource) -> f64 {
         self.state.lock().res_busy[res.id]

@@ -80,6 +80,13 @@ impl TransferModel {
         let Some(me) = current() else { return 0.0 };
         if let Some(key) = self.counter {
             me.sim().count(key, bytes as f64);
+            // Mirror the byte counter with a message counter
+            // (`bytes.rdma` → `msgs.rdma`): per-link message counts are
+            // part of the step stats the paper's transport analysis
+            // needs.
+            if let Some(link) = key.strip_prefix("bytes.") {
+                me.sim().count(&format!("msgs.{link}"), 1.0);
+            }
         }
         let t0 = me.now();
         me.advance(self.latency_s);

@@ -70,6 +70,7 @@
 pub use tfhpc_apps as apps;
 pub use tfhpc_core as core;
 pub use tfhpc_dist as dist;
+pub use tfhpc_obs as obs;
 pub use tfhpc_parallel as parallel;
 pub use tfhpc_proto as proto;
 pub use tfhpc_sim as sim;
