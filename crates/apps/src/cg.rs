@@ -723,15 +723,18 @@ pub fn serial_cg(a: &Tensor, b: &Tensor, iterations: usize) -> Result<(Tensor, f
             .scalar_value_f64()
             .map_err(|e| AppError::Core(e.into()))?;
         let alpha = rs_old / pap;
-        x = ops::axpy(alpha, &p, &x).map_err(|e| AppError::Core(e.into()))?;
-        r = ops::axpy(-alpha, &q, &r).map_err(|e| AppError::Core(e.into()))?;
+        // Owned axpy variants: dead operands (x, q, p) are moved so
+        // the update happens in place; still-live ones are cloned.
+        // Bit-identical to the borrowing forms either way.
+        x = ops::axpy_owned(alpha, p.clone(), x).map_err(|e| AppError::Core(e.into()))?;
+        r = ops::axpy_owned(-alpha, q, r).map_err(|e| AppError::Core(e.into()))?;
         let rs_new = ops::dot(&r, &r)
             .map_err(|e| AppError::Core(e.into()))?
             .scalar_value_f64()
             .map_err(|e| AppError::Core(e.into()))?;
         let beta = rs_new / rs_old;
         rs_old = rs_new;
-        p = ops::axpy(beta, &p, &r).map_err(|e| AppError::Core(e.into()))?;
+        p = ops::axpy_owned(beta, p, r.clone()).map_err(|e| AppError::Core(e.into()))?;
     }
     Ok((x, rs_old))
 }

@@ -1,0 +1,477 @@
+//! `bench_runtime` — per-step executor overhead of the step-replay
+//! fast path (cached execution plans + in-place buffer forwarding)
+//! against the naive rebuild-and-clone path, with a counting global
+//! allocator.
+//!
+//! Three steady-state workloads run the *same* fixed-seed graph in
+//! both modes: an unrolled CG step (matvec + vector updates), a block
+//! matmul step and a batched FFT step. For each, the kernel floor —
+//! the identical math done with direct tensor ops, in place — is
+//! subtracted from the per-step wall time to isolate what the
+//! executor itself costs. Results (per-step nanoseconds, allocation
+//! counts, net allocated-byte growth, overhead ratio) are written to
+//! `BENCH_runtime.json`.
+//!
+//! Flags:
+//!   --smoke          short run (CI); fewer measured steps
+//!   --out <path>     where to write the JSON (default BENCH_runtime.json)
+//!   --check <path>   compare against a committed baseline instead of
+//!                    writing: exit 1 if the CG speedup regressed by
+//!                    more than 25%. Machine-portable because it
+//!                    compares naive/fast *ratios*, not wall times.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tfhpc_core::{DeviceCtx, Graph, NodeId, Resources, Session, SessionOptions};
+use tfhpc_tensor::{fft, matmul, ops, rng, Complex64, DType, Shape, Tensor};
+
+/// Counting wrapper around the system allocator: total allocation
+/// events plus gross allocated/freed bytes, so steady-state steps can
+/// be checked for zero net growth.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static BYTES_ALLOCATED: AtomicU64 = AtomicU64::new(0);
+static BYTES_FREED: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        BYTES_FREED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        BYTES_ALLOCATED.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        BYTES_FREED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const WARMUP_STEPS: usize = 20;
+
+/// Per-mode steady-state measurements.
+#[derive(Clone, Copy)]
+struct ModeStats {
+    step_ns: f64,
+    allocs_per_step: f64,
+    net_bytes_per_step: f64,
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    nodes: usize,
+    steps: usize,
+    floor_ns: f64,
+    naive: ModeStats,
+    fast: ModeStats,
+    /// naive/fast per-step wall-time ratio (the stable CI gate).
+    speedup: f64,
+    /// naive/fast ratio of (step − kernel floor): executor overhead.
+    overhead_ratio: f64,
+}
+
+/// Time `step` for `steps` iterations after warmup, with allocator
+/// counters sampled around the measured window.
+fn measure(mut step: impl FnMut(), steps: usize) -> ModeStats {
+    for _ in 0..WARMUP_STEPS {
+        step();
+    }
+    let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    let in0 = BYTES_ALLOCATED.load(Ordering::Relaxed);
+    let out0 = BYTES_FREED.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        step();
+    }
+    let elapsed = t0.elapsed();
+    let calls = ALLOC_CALLS.load(Ordering::Relaxed) - calls0;
+    let net = (BYTES_ALLOCATED.load(Ordering::Relaxed) - in0) as i64
+        - (BYTES_FREED.load(Ordering::Relaxed) - out0) as i64;
+    ModeStats {
+        step_ns: elapsed.as_nanos() as f64 / steps as f64,
+        allocs_per_step: calls as f64 / steps as f64,
+        net_bytes_per_step: net as f64 / steps as f64,
+    }
+}
+
+/// Exact (bitwise) tensor comparison for the cached-vs-naive identity
+/// check.
+fn assert_bit_identical(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dtype(), b.dtype(), "{what}: dtype");
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    match a.dtype() {
+        DType::F64 => {
+            let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+            assert!(
+                x.iter().zip(y).all(|(u, v)| u.to_bits() == v.to_bits()),
+                "{what}: f64 bits differ"
+            );
+        }
+        DType::C128 => {
+            let (x, y) = (a.as_c128().unwrap(), b.as_c128().unwrap());
+            assert!(
+                x.iter()
+                    .zip(y)
+                    .all(|(u, v)| u.re.to_bits() == v.re.to_bits()
+                        && u.im.to_bits() == v.im.to_bits()),
+                "{what}: c128 bits differ"
+            );
+        }
+        other => panic!("{what}: unexpected dtype {other}"),
+    }
+}
+
+fn session_for(g: Graph, step_replay: bool) -> Session {
+    Session::with_options(
+        Arc::new(g),
+        Resources::new(),
+        DeviceCtx::real(0),
+        SessionOptions {
+            inter_op_threads: 1,
+            intra_op_threads: 1,
+            step_replay,
+        },
+    )
+}
+
+/// One workload: build a fresh (identical) graph per mode, measure
+/// both modes and the kernel floor, and verify bit-identity of the
+/// fetched outputs between modes.
+#[allow(clippy::type_complexity)]
+fn bench_workload(
+    name: &'static str,
+    build: &dyn Fn() -> (Graph, Vec<NodeId>, Vec<(NodeId, Tensor)>),
+    floor: &mut dyn FnMut(),
+    steps: usize,
+) -> WorkloadResult {
+    let mut stats = Vec::new();
+    let mut outs = Vec::new();
+    let mut nodes = 0;
+    for step_replay in [false, true] {
+        let (g, fetches, feeds) = build();
+        nodes = g.len();
+        let sess = session_for(g, step_replay);
+        stats.push(measure(
+            || {
+                sess.run(&fetches, &feeds).unwrap();
+            },
+            steps,
+        ));
+        outs.push(sess.run(&fetches, &feeds).unwrap());
+    }
+    for (a, b) in outs[0].iter().zip(&outs[1]) {
+        assert_bit_identical(a, b, name);
+    }
+    let floor_stats = measure(floor, steps);
+    let (naive, fast) = (stats[0], stats[1]);
+    let overhead = |m: &ModeStats| (m.step_ns - floor_stats.step_ns).max(1.0);
+    WorkloadResult {
+        name,
+        nodes,
+        steps,
+        floor_ns: floor_stats.step_ns,
+        naive,
+        fast,
+        speedup: naive.step_ns / fast.step_ns,
+        overhead_ratio: overhead(&naive) / overhead(&fast),
+    }
+}
+
+/// CG step: `unroll` conjugate-gradient iterations (matvec, dots,
+/// scalar updates of x/r/p) over fixed-seed data, fed through
+/// placeholders each step like the distributed solver's worker graphs.
+fn cg_inputs(n: usize) -> (Tensor, Tensor, Tensor, Tensor) {
+    let a = rng::random_uniform(DType::F64, [n, n], 7).unwrap();
+    let x0 = rng::random_uniform(DType::F64, [n], 11).unwrap();
+    let r0 = rng::random_uniform(DType::F64, [n], 13).unwrap();
+    let p0 = r0.clone();
+    (a, x0, r0, p0)
+}
+
+fn build_cg(n: usize, unroll: usize) -> (Graph, Vec<NodeId>, Vec<(NodeId, Tensor)>) {
+    let (a_t, x0, r0, p0) = cg_inputs(n);
+    let mut g = Graph::new();
+    let a = g.constant(a_t);
+    let ph_x = g.placeholder(DType::F64, Some(Shape::vector(n)));
+    let ph_r = g.placeholder(DType::F64, Some(Shape::vector(n)));
+    let ph_p = g.placeholder(DType::F64, Some(Shape::vector(n)));
+    let (mut x, mut r, mut p) = (ph_x, ph_r, ph_p);
+    let mut rs = g.dot(r, r);
+    for _ in 0..unroll {
+        let q = g.matvec(a, p);
+        let pap = g.dot(p, q);
+        let alpha = g.div(rs, pap);
+        let xa = g.mul_scalar(p, alpha);
+        x = g.add(x, xa);
+        let ra = g.mul_scalar(q, alpha);
+        r = g.sub(r, ra);
+        let rs1 = g.dot(r, r);
+        let beta = g.div(rs1, rs);
+        let pb = g.mul_scalar(p, beta);
+        p = g.add(r, pb);
+        rs = rs1;
+    }
+    (
+        g,
+        vec![x, r, p, rs],
+        vec![(ph_x, x0), (ph_r, r0), (ph_p, p0)],
+    )
+}
+
+fn cg_floor(n: usize, unroll: usize) -> impl FnMut() {
+    let (a, x0, r0, p0) = cg_inputs(n);
+    move || {
+        let mut x = x0.clone();
+        let mut r = r0.clone();
+        let mut p = p0.clone();
+        let mut rs = ops::dot(&r, &r).unwrap().scalar_value_f64().unwrap();
+        for _ in 0..unroll {
+            let q = matmul::matvec(&a, &p).unwrap();
+            let pap = ops::dot(&p, &q).unwrap().scalar_value_f64().unwrap();
+            let alpha = rs / pap;
+            x = ops::axpy_owned(alpha, p.clone(), x).unwrap();
+            r = ops::axpy_owned(-alpha, q, r).unwrap();
+            let rs1 = ops::dot(&r, &r).unwrap().scalar_value_f64().unwrap();
+            let beta = rs1 / rs;
+            p = ops::axpy_owned(beta, p, r.clone()).unwrap();
+            rs = rs1;
+        }
+        std::hint::black_box((x, r, p, rs));
+    }
+}
+
+/// Matmul step: `k` independent block products combined with AddN and
+/// rescaled — the shape of one tiled-matmul reduction step.
+fn matmul_inputs(n: usize, k: usize) -> Vec<(Tensor, Tensor)> {
+    (0..k)
+        .map(|i| {
+            (
+                rng::random_uniform(DType::F64, [n, n], 100 + i as u64).unwrap(),
+                rng::random_uniform(DType::F64, [n, n], 200 + i as u64).unwrap(),
+            )
+        })
+        .collect()
+}
+
+fn build_matmul(n: usize, k: usize) -> (Graph, Vec<NodeId>, Vec<(NodeId, Tensor)>) {
+    let pairs = matmul_inputs(n, k);
+    let mut g = Graph::new();
+    let mms: Vec<NodeId> = pairs
+        .into_iter()
+        .map(|(a, b)| {
+            let a = g.constant(a);
+            let b = g.constant(b);
+            g.matmul(a, b)
+        })
+        .collect();
+    let sum = g.add_n(&mms);
+    let out = g.scale(sum, 0.5);
+    (g, vec![out], vec![])
+}
+
+fn matmul_floor(n: usize, k: usize) -> impl FnMut() {
+    let pairs = matmul_inputs(n, k);
+    move || {
+        let mms: Vec<Tensor> = pairs
+            .iter()
+            .map(|(a, b)| matmul::matmul(a, b).unwrap())
+            .collect();
+        let out = ops::scale_owned(ops::add_n_owned(mms).unwrap(), 0.5).unwrap();
+        std::hint::black_box(out);
+    }
+}
+
+/// FFT step: `k` fed signals transformed and accumulated — the shape
+/// of one interleaved-tile FFT worker step.
+fn fft_signal(m: usize, seed: u64) -> Tensor {
+    let re = rng::random_uniform(DType::F64, [m], seed).unwrap();
+    let im = rng::random_uniform(DType::F64, [m], seed ^ 0x9e37_79b9).unwrap();
+    let data: Vec<Complex64> = re
+        .as_f64()
+        .unwrap()
+        .iter()
+        .zip(im.as_f64().unwrap())
+        .map(|(a, b)| Complex64::new(*a, *b))
+        .collect();
+    Tensor::from_c128(Shape::vector(m), data).unwrap()
+}
+
+fn build_fft(m: usize, k: usize) -> (Graph, Vec<NodeId>, Vec<(NodeId, Tensor)>) {
+    let mut g = Graph::new();
+    let mut feeds = Vec::with_capacity(k);
+    let ffts: Vec<NodeId> = (0..k)
+        .map(|i| {
+            let ph = g.placeholder(DType::C128, Some(Shape::vector(m)));
+            feeds.push((ph, fft_signal(m, 300 + i as u64)));
+            g.fft(ph)
+        })
+        .collect();
+    let sum = g.add_n(&ffts);
+    let out = g.scale(sum, 1.0 / m as f64);
+    (g, vec![out], feeds)
+}
+
+fn fft_floor(m: usize, k: usize) -> impl FnMut() {
+    let signals: Vec<Tensor> = (0..k).map(|i| fft_signal(m, 300 + i as u64)).collect();
+    move || {
+        let ffts: Vec<Tensor> = signals
+            .iter()
+            .map(|s| fft::fft_tensor(s).unwrap())
+            .collect();
+        let out = ops::scale_owned(ops::add_n_owned(ffts).unwrap(), 1.0 / m as f64).unwrap();
+        std::hint::black_box(out);
+    }
+}
+
+fn mode_json(m: &ModeStats) -> String {
+    format!(
+        "{{\"step_ns\": {:.1}, \"allocs_per_step\": {:.1}, \"net_bytes_per_step\": {:.1}}}",
+        m.step_ns, m.allocs_per_step, m.net_bytes_per_step
+    )
+}
+
+fn workload_json(w: &WorkloadResult) -> String {
+    format!(
+        "    {{\n      \"name\": \"{}\",\n      \"nodes\": {},\n      \"steps\": {},\n      \"floor_ns\": {:.1},\n      \"naive\": {},\n      \"fast\": {},\n      \"speedup\": {:.3},\n      \"overhead_ratio\": {:.3}\n    }}",
+        w.name,
+        w.nodes,
+        w.steps,
+        w.floor_ns,
+        mode_json(&w.naive),
+        mode_json(&w.fast),
+        w.speedup,
+        w.overhead_ratio
+    )
+}
+
+/// Pull a numeric field out of a previously emitted baseline: finds
+/// the workload object by name, then the field after it. Good enough
+/// for the format this binary writes.
+fn extract_field(json: &str, workload: &str, field: &str) -> Option<f64> {
+    let at = json.find(&format!("\"name\": \"{workload}\""))?;
+    let rest = &json[at..];
+    let f = rest.find(&format!("\"{field}\":"))?;
+    let tail = &rest[f + field.len() + 3..];
+    let end = tail.find([',', '}', '\n'])?;
+    tail[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_runtime.json".to_string());
+    let check_path = flag_value("--check");
+
+    let (cg_steps, mm_steps, fft_steps) = if smoke {
+        (300, 60, 60)
+    } else {
+        (3000, 400, 400)
+    };
+
+    let results = vec![
+        bench_workload("cg", &|| build_cg(64, 4), &mut cg_floor(64, 4), cg_steps),
+        bench_workload(
+            "matmul",
+            &|| build_matmul(32, 4),
+            &mut matmul_floor(32, 4),
+            mm_steps,
+        ),
+        bench_workload(
+            "fft",
+            &|| build_fft(256, 4),
+            &mut fft_floor(256, 4),
+            fft_steps,
+        ),
+    ];
+
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>12} {:>9} {:>9} {:>10} {:>10}",
+        "workload",
+        "nodes",
+        "naive ns",
+        "fast ns",
+        "floor ns",
+        "speedup",
+        "ovh x",
+        "allocs/st",
+        "net B/st"
+    );
+    for w in &results {
+        println!(
+            "{:<8} {:>6} {:>12.0} {:>12.0} {:>12.0} {:>8.2}x {:>8.2}x {:>10.1} {:>10.1}",
+            w.name,
+            w.nodes,
+            w.naive.step_ns,
+            w.fast.step_ns,
+            w.floor_ns,
+            w.speedup,
+            w.overhead_ratio,
+            w.fast.allocs_per_step,
+            w.fast.net_bytes_per_step
+        );
+        // Steady state must not leak: net allocated-byte growth per
+        // step stays at noise level in the fast path.
+        assert!(
+            w.fast.net_bytes_per_step.abs() < 1024.0,
+            "{}: fast path grows {} bytes/step",
+            w.name,
+            w.fast.net_bytes_per_step
+        );
+    }
+
+    let body = format!(
+        "{{\n  \"schema\": \"tfhpc-bench-runtime-v1\",\n  \"smoke\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        smoke,
+        results
+            .iter()
+            .map(workload_json)
+            .collect::<Vec<_>>()
+            .join(",\n")
+    );
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap();
+        }
+    }
+    std::fs::write(&out_path, &body).unwrap();
+    println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let base =
+            extract_field(&baseline, "cg", "speedup").expect("baseline has no cg speedup field");
+        let cur = results[0].speedup;
+        let floor = base * 0.75;
+        println!("cg speedup: current {cur:.3} vs baseline {base:.3} (floor {floor:.3})");
+        if cur < floor {
+            eprintln!("FAIL: step-replay speedup regressed more than 25% vs baseline");
+            std::process::exit(1);
+        }
+        println!("OK: within 25% of baseline");
+    }
+}

@@ -8,6 +8,7 @@
 use crate::device::Placement;
 use crate::error::{CoreError, Result};
 use crate::op::Op;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tfhpc_tensor::{DType, Shape, Tensor};
 
@@ -44,6 +45,9 @@ pub struct Graph {
     nodes: Vec<NodeDef>,
     default_device: Vec<Placement>,
     name_seq: u64,
+    /// Mutation counter: bumped by every structural change so cached
+    /// execution plans keyed on it invalidate (TF's "graph version").
+    generation: AtomicU64,
 }
 
 impl Default for Graph {
@@ -59,7 +63,23 @@ impl Graph {
             nodes: Vec::new(),
             default_device: vec![Placement::Auto],
             name_seq: 0,
+            generation: AtomicU64::new(0),
         }
+    }
+
+    /// Current mutation generation. A [`crate::session::Session`]
+    /// stamps this into every cached execution plan; a mismatch at
+    /// lookup time means the graph changed and the plan is rebuilt.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Force every cached execution plan over this graph stale.
+    /// Structural mutators call this automatically; it is public for
+    /// out-of-band changes (and for tests exercising invalidation on a
+    /// graph already shared behind an `Arc`).
+    pub fn invalidate_plans(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
     }
 
     /// All nodes, in creation order (a valid topological order).
@@ -145,6 +165,7 @@ impl Graph {
             control_inputs,
             device,
         });
+        self.invalidate_plans();
         Ok(id)
     }
 
@@ -519,6 +540,7 @@ impl Graph {
             control_inputs,
             device,
         });
+        self.invalidate_plans();
         id
     }
 
@@ -530,6 +552,7 @@ impl Graph {
             ));
         }
         self.nodes[after.0].control_inputs.push(before);
+        self.invalidate_plans();
         Ok(())
     }
 

@@ -48,7 +48,7 @@ pub fn cast(t: &Tensor, to: DType) -> Result<Tensor> {
     }
 }
 
-fn bytes_of(ts: &[&Tensor]) -> f64 {
+fn bytes_of(ts: &[Tensor]) -> f64 {
     ts.iter().map(|t| t.byte_size() as f64).sum()
 }
 
@@ -190,6 +190,78 @@ pub fn execute(
     }
 }
 
+/// Whether [`execute_owned`] has an in-place fast path for `op` —
+/// the elementwise family whose output matches an input's shape and
+/// dtype, plus pure move-throughs (`Identity`, enqueue). Cost and
+/// precision accounting for every op listed here reads only tensor
+/// *metadata* (shape + dtype), which is what lets the session compute
+/// the charge after the input buffers have been consumed.
+pub fn forwardable(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Neg
+            | Op::Scale { .. }
+            | Op::MulScalar
+            | Op::AddN
+            | Op::Identity
+            | Op::QueueEnqueue { .. }
+    )
+}
+
+/// Like [`execute`] but taking inputs by value: elementwise ops reuse
+/// a uniquely-held input buffer instead of allocating a fresh output
+/// (TensorFlow's output-buffer forwarding). Every other op delegates
+/// to [`execute`]. Results are bit-identical to the borrowing path —
+/// the in-place kernels evaluate the same per-element expressions with
+/// the same chunking, only the destination differs.
+pub fn execute_owned(
+    op: &Op,
+    mut inputs: Vec<Tensor>,
+    resources: &Resources,
+    run_seed: u64,
+) -> Result<Vec<Tensor>> {
+    match op {
+        Op::Add | Op::Sub | Op::Mul | Op::Div if inputs.len() == 2 => {
+            let b = inputs.pop().expect("len checked");
+            let a = inputs.pop().expect("len checked");
+            let out = match op {
+                Op::Add => ops::add_owned(a, b)?,
+                Op::Sub => ops::sub_owned(a, b)?,
+                Op::Mul => ops::mul_owned(a, b)?,
+                Op::Div => ops::div_owned(a, b)?,
+                _ => unreachable!("matched above"),
+            };
+            Ok(vec![out])
+        }
+        Op::Neg if inputs.len() == 1 => {
+            Ok(vec![ops::neg_owned(inputs.pop().expect("len checked"))?])
+        }
+        Op::Scale { factor } if inputs.len() == 1 => Ok(vec![ops::scale_owned(
+            inputs.pop().expect("len checked"),
+            *factor,
+        )?]),
+        Op::MulScalar if inputs.len() == 2 => {
+            let s = inputs[1].scalar_value_f64()?;
+            inputs.truncate(1);
+            Ok(vec![ops::scale_owned(
+                inputs.pop().expect("len checked"),
+                s,
+            )?])
+        }
+        Op::AddN if !inputs.is_empty() => Ok(vec![ops::add_n_owned(inputs)?]),
+        Op::Identity if inputs.len() == 1 => Ok(vec![inputs.pop().expect("len checked")]),
+        Op::QueueEnqueue { queue } => {
+            resources.queue(queue)?.enqueue(inputs)?;
+            Ok(vec![])
+        }
+        _ => execute(op, &inputs, resources, run_seed),
+    }
+}
+
 /// Bytes of output `op` will produce given `inputs`, for the session's
 /// pre-dispatch device-memory feasibility check. Returns 0 for ops
 /// whose output size cannot be known without running them (dequeues,
@@ -252,9 +324,7 @@ pub fn infer_output_bytes(op: &Op, inputs: &[Tensor]) -> u64 {
 
 /// Device cost of one execution of `op` given its inputs and outputs.
 pub fn cost_of(op: &Op, inputs: &[Tensor], outputs: &[Tensor]) -> Cost {
-    let in_refs: Vec<&Tensor> = inputs.iter().collect();
-    let out_refs: Vec<&Tensor> = outputs.iter().collect();
-    let io_bytes = bytes_of(&in_refs) + bytes_of(&out_refs);
+    let io_bytes = bytes_of(inputs) + bytes_of(outputs);
     match op {
         Op::MatMul => {
             let (m, k) = match inputs[0].shape().dims() {
@@ -304,7 +374,7 @@ pub fn cost_of(op: &Op, inputs: &[Tensor], outputs: &[Tensor]) -> Cost {
                 .map(|t| t.num_elements() as f64)
                 .unwrap_or(0.0)
                 * 8.0,
-            bytes: bytes_of(&out_refs),
+            bytes: bytes_of(outputs),
             class: KernelClass::Elementwise,
         },
         Op::Assign { .. }
@@ -317,7 +387,7 @@ pub fn cost_of(op: &Op, inputs: &[Tensor], outputs: &[Tensor]) -> Cost {
         Op::VarRead { .. } | Op::Identity => Cost::zero(),
         Op::PyFunc {
             host_cost_factor, ..
-        } => Cost::bytes(bytes_of(&in_refs) * host_cost_factor),
+        } => Cost::bytes(bytes_of(inputs) * host_cost_factor),
         Op::Custom(k) => k.cost(inputs),
         // Queues, datasets, tiles, reshape and control ops are charged
         // elsewhere (transfers/PFS) or are free metadata ops.
@@ -325,7 +395,34 @@ pub fn cost_of(op: &Op, inputs: &[Tensor], outputs: &[Tensor]) -> Cost {
     }
 }
 
+/// [`cost_of`] for ops accepted by [`forwardable`], computed from the
+/// inputs alone so the session can charge the cost *before* moving the
+/// inputs into [`execute_owned`]. Bit-exact with
+/// `cost_of(op, inputs, outputs)`: every forwardable op either produces
+/// no output (enqueue), is charged zero (`Identity`), or produces one
+/// output with the dtype and shape of `inputs[0]`.
+pub fn forward_cost(op: &Op, inputs: &[Tensor]) -> Cost {
+    debug_assert!(forwardable(op));
+    match op {
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::AddN => Cost {
+            flops: inputs.iter().map(|t| t.num_elements() as f64).sum(),
+            bytes: bytes_of(inputs) + inputs.first().map(|t| t.byte_size() as f64).unwrap_or(0.0),
+            class: KernelClass::Blas1,
+        },
+        Op::Neg | Op::Scale { .. } | Op::MulScalar => Cost {
+            flops: inputs[0].num_elements() as f64,
+            bytes: bytes_of(inputs) + inputs[0].byte_size() as f64,
+            class: KernelClass::Blas1,
+        },
+        // Identity hands out a reference; enqueues are charged at the
+        // queue. Both are `Cost::zero()` in `cost_of` too.
+        _ => Cost::zero(),
+    }
+}
+
 /// Whether the op computes in double precision (drives the DP peak).
+/// For forwardable ops the outputs' dtypes are drawn from the inputs',
+/// so `is_double_precision(inputs, &[])` is exact.
 pub fn is_double_precision(inputs: &[Tensor], outputs: &[Tensor]) -> bool {
     inputs
         .iter()

@@ -46,6 +46,12 @@ pub struct SessionOptions {
     /// Cap on pool workers a single kernel may use for its data-parallel
     /// loops (`0` = no cap, use the whole host pool).
     pub intra_op_threads: usize,
+    /// Step-replay fast path: memoize execution plans across runs and
+    /// forward dead input buffers into kernel outputs. `false` rebuilds
+    /// the plan and copies every tensor on every run (the pre-cache
+    /// cost profile — kept selectable for A/B benchmarking and
+    /// bit-identity tests). Results are identical either way.
+    pub step_replay: bool,
 }
 
 impl Default for SessionOptions {
@@ -55,6 +61,7 @@ impl Default for SessionOptions {
                 .map(|n| n.get())
                 .unwrap_or(1),
             intra_op_threads: 0,
+            step_replay: true,
         }
     }
 }
@@ -65,11 +72,13 @@ impl SessionOptions {
         SessionOptions {
             inter_op_threads: 1,
             intra_op_threads: 0,
+            step_replay: true,
         }
     }
 
     /// Defaults overridden by `TFHPC_INTER_OP_THREADS` /
-    /// `TFHPC_INTRA_OP_THREADS`, when set to valid integers.
+    /// `TFHPC_INTRA_OP_THREADS` (integers) and `TFHPC_STEP_REPLAY`
+    /// (`0`/`false`/`off` disables the fast path), when set.
     pub fn from_env() -> SessionOptions {
         let mut opts = SessionOptions::default();
         if let Some(n) = env_usize("TFHPC_INTER_OP_THREADS") {
@@ -77,6 +86,11 @@ impl SessionOptions {
         }
         if let Some(n) = env_usize("TFHPC_INTRA_OP_THREADS") {
             opts.intra_op_threads = n;
+        }
+        if let Ok(v) = std::env::var("TFHPC_STEP_REPLAY") {
+            let v = v.trim();
+            opts.step_replay =
+                !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"));
         }
         opts
     }
@@ -145,9 +159,12 @@ pub struct RunMetadata {
     /// task's behalf during the run (0 unless a retry policy is set).
     pub retries: u64,
     /// Per-op / per-queue / per-link statistics for the run
-    /// (TensorFlow's `StepStats`). Always collected — it is derived
-    /// purely from work the executor does anyway, so it is identical
-    /// whether or not any observability sink is enabled.
+    /// (TensorFlow's `StepStats`). Derived purely from work the
+    /// executor does anyway, so it is identical whether or not any
+    /// observability sink is enabled. The per-op breakdown is only
+    /// accumulated when metadata is actually requested
+    /// ([`Session::run_with_metadata`]) — plain [`Session::run`] skips
+    /// the per-node bookkeeping on the hot path.
     pub step_stats: tfhpc_obs::StepStats,
 }
 
@@ -159,12 +176,23 @@ struct MetaAcc {
     ops_executed: AtomicUsize,
     output_bytes: AtomicU64,
     kernel_seconds_bits: AtomicU64,
+    /// Whether the per-op breakdown is collected. Off when the caller
+    /// discards metadata (`Session::run`) — the name lookup and lock
+    /// are pure per-node overhead then.
+    per_op_enabled: bool,
     /// Per-op execution count and charged device seconds, keyed by
     /// node name (sorted — StepStats order is deterministic).
     per_op: Mutex<BTreeMap<String, (u64, f64)>>,
 }
 
 impl MetaAcc {
+    fn new(per_op_enabled: bool) -> Self {
+        MetaAcc {
+            per_op_enabled,
+            ..MetaAcc::default()
+        }
+    }
+
     fn add_kernel_seconds(&self, v: f64) {
         if v == 0.0 {
             return;
@@ -187,6 +215,9 @@ impl MetaAcc {
     /// Record one executed op (`dev_secs` of charged device time) for
     /// the per-op step stats.
     fn note_op(&self, name: &str, dev_secs: f64) {
+        if !self.per_op_enabled {
+            return;
+        }
         let mut per_op = self.per_op.lock();
         let entry = per_op.entry(name.to_string()).or_insert((0, 0.0));
         entry.0 += 1;
@@ -226,6 +257,120 @@ impl MetaAcc {
     }
 }
 
+/// Slot sentinel for graph nodes outside the pruned subgraph.
+const NO_SLOT: u32 = u32::MAX;
+
+/// A memoized, pruned execution schedule — everything `Session::run`
+/// used to re-derive per step (TensorFlow's per-signature executor
+/// cache). Keyed in the session by (fetch set, feed-node set) and
+/// stamped with the graph generation it was built against; a stale
+/// stamp at lookup time forces a rebuild.
+struct ExecutionPlan {
+    /// Graph generation this plan was built against.
+    generation: u64,
+    /// Pruned node ids, ascending (a valid topological order).
+    nodes: Vec<NodeId>,
+    /// Graph node index → slot in `nodes` (`NO_SLOT` if pruned away).
+    slot_of: Vec<u32>,
+    /// Per-slot data inputs resolved to (producer slot, output index).
+    inputs: Vec<Vec<(u32, u32)>>,
+    /// Per-slot consumer slots over data + control edges (duplicate
+    /// edges kept so pending-count decrements stay balanced).
+    consumers: Vec<Vec<u32>>,
+    /// Initial dependency count per slot.
+    pending_init: Vec<u32>,
+    /// Resolved device placement per slot (placeholders: CPU).
+    placements: Vec<Placement>,
+    /// Per-slot placements of each data input's producer — gathered
+    /// once at plan time so the executors don't rebuild the vector on
+    /// every node visit of every step.
+    input_placements: Vec<Vec<Placement>>,
+    /// Prefix offsets into `use_init`: outputs of slot `i` occupy
+    /// `out_offset[i] .. out_offset[i + 1]`.
+    out_offset: Vec<u32>,
+    /// Data-edge read count per (slot, output) — the executor's
+    /// last-consumer bookkeeping for buffer forwarding starts here.
+    use_init: Vec<u32>,
+    /// Whether any planned op may block (forces the sequential path).
+    any_may_block: bool,
+}
+
+impl ExecutionPlan {
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn slot(&self, id: NodeId) -> Option<usize> {
+        match self.slot_of.get(id.index()).copied() {
+            Some(s) if s != NO_SLOT => Some(s as usize),
+            _ => None,
+        }
+    }
+}
+
+/// Plan-cache key: the run signature (sorted + deduped fetch and
+/// feed-node id sets). Graph generation is checked at lookup, not
+/// keyed, so a mutated graph replaces rather than leaks entries.
+type PlanKey = (Vec<NodeId>, Vec<NodeId>);
+
+fn plan_key(fetches: &[NodeId], feeds: &[(NodeId, Tensor)]) -> PlanKey {
+    let mut f: Vec<NodeId> = fetches.to_vec();
+    f.sort_unstable();
+    f.dedup();
+    let mut d: Vec<NodeId> = feeds.iter().map(|(id, _)| *id).collect();
+    d.sort_unstable();
+    d.dedup();
+    (f, d)
+}
+
+/// The tensors a finished run left behind, plus the bookkeeping to
+/// hand fetches out by move instead of clone.
+struct RunOutputs {
+    plan: Arc<ExecutionPlan>,
+    arena: Vec<Option<Vec<Tensor>>>,
+    /// Outstanding reads per (slot, output): data edges (sequential
+    /// runs decrement them while executing) plus one per fetch
+    /// occurrence.
+    remaining: Vec<u32>,
+    /// Fetches may be moved out (sequential step-replay runs only).
+    may_move: bool,
+}
+
+/// Allocation-free placeholder left behind when a tensor is moved out
+/// of the run arena (scalar shape ⇒ no dims buffer).
+fn taken_marker() -> Tensor {
+    Tensor::synthetic(tfhpc_tensor::DType::F32, tfhpc_tensor::Shape::scalar(), 0)
+}
+
+impl RunOutputs {
+    /// Extract the value of fetch `f` (output 0 of the node): moved out
+    /// of the arena on its last outstanding read, cloned otherwise.
+    fn take_fetch(&mut self, graph: &Graph, f: NodeId) -> Result<Tensor> {
+        let node = graph.node(f);
+        let slot = self
+            .plan
+            .slot(f)
+            .ok_or_else(|| CoreError::Graph(format!("fetch `{}` not computed", node.name)))?;
+        let outs = self.arena[slot]
+            .as_mut()
+            .ok_or_else(|| CoreError::Graph(format!("fetch `{}` not computed", node.name)))?;
+        if outs.is_empty() {
+            return Err(CoreError::Graph(format!(
+                "fetch `{}` has no outputs (op `{}`)",
+                node.name,
+                node.op.name()
+            )));
+        }
+        let use_idx = self.plan.out_offset[slot] as usize;
+        self.remaining[use_idx] -= 1;
+        if self.may_move && self.remaining[use_idx] == 0 {
+            Ok(std::mem::replace(&mut outs[0], taken_marker()))
+        } else {
+            Ok(outs[0].clone())
+        }
+    }
+}
+
 /// An execution handle over a graph (TensorFlow's `tf.Session`).
 pub struct Session {
     graph: Arc<Graph>,
@@ -238,6 +383,10 @@ pub struct Session {
     created: Instant,
     /// Inter-op worker pool, spun up lazily on the first parallel run.
     inter_pool: OnceLock<ThreadPool>,
+    /// Memoized execution plans keyed by run signature.
+    plans: Mutex<HashMap<PlanKey, Arc<ExecutionPlan>>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
 }
 
 impl Session {
@@ -264,6 +413,9 @@ impl Session {
             run_counter: AtomicU64::new(0),
             created: Instant::now(),
             inter_pool: OnceLock::new(),
+            plans: Mutex::new(HashMap::new()),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
         }
     }
 
@@ -312,7 +464,11 @@ impl Session {
     /// Execute the subgraph required for `fetches`, feeding
     /// placeholders from `feeds`. Returns one tensor per fetch.
     pub fn run(&self, fetches: &[NodeId], feeds: &[(NodeId, Tensor)]) -> Result<Vec<Tensor>> {
-        self.run_with_metadata(fetches, feeds).map(|(out, _)| out)
+        let (mut outputs, _) = self.exec_subgraph(fetches, feeds, false)?;
+        fetches
+            .iter()
+            .map(|f| outputs.take_fetch(&self.graph, *f))
+            .collect()
     }
 
     /// [`Session::run`] additionally returning per-run statistics
@@ -323,41 +479,156 @@ impl Session {
         fetches: &[NodeId],
         feeds: &[(NodeId, Tensor)],
     ) -> Result<(Vec<Tensor>, RunMetadata)> {
-        let (computed, meta) = self.exec_subgraph(fetches, feeds)?;
+        let (mut outputs, meta) = self.exec_subgraph(fetches, feeds, true)?;
         let fetched: Result<Vec<Tensor>> = fetches
             .iter()
-            .map(|f| {
-                let node = self.graph.node(*f);
-                let (outs, _) = computed.get(f).ok_or_else(|| {
-                    CoreError::Graph(format!("fetch `{}` not computed", node.name))
-                })?;
-                outs.first().cloned().ok_or_else(|| {
-                    CoreError::Graph(format!(
-                        "fetch `{}` has no outputs (op `{}`)",
-                        node.name,
-                        node.op.name()
-                    ))
-                })
-            })
+            .map(|f| outputs.take_fetch(&self.graph, *f))
             .collect();
         Ok((fetched?, meta))
+    }
+
+    /// Cache statistics of the memoized-plan store: `(hits, misses)`
+    /// since the session was created. A run with `step_replay` off
+    /// always counts as a miss (the plan is rebuilt from scratch).
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (
+            self.plan_hits.load(Ordering::Relaxed),
+            self.plan_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Run with no fetch value needed (side effects only) — the
     /// "do not return the evaluated value" mode the paper's STREAM
     /// benchmark uses to avoid measuring the client transfer.
     pub fn run_no_fetch(&self, targets: &[NodeId], feeds: &[(NodeId, Tensor)]) -> Result<()> {
-        self.exec_subgraph(targets, feeds).map(|_| ())
+        self.exec_subgraph(targets, feeds, false).map(|_| ())
+    }
+
+    /// Look up (or build) the execution plan for a run signature.
+    /// With `step_replay` off every run rebuilds from scratch and is
+    /// counted as a miss — the pre-cache cost profile.
+    fn plan_for(
+        &self,
+        targets: &[NodeId],
+        feeds: &[(NodeId, Tensor)],
+    ) -> Result<Arc<ExecutionPlan>> {
+        let key = plan_key(targets, feeds);
+        let reg = tfhpc_obs::global();
+        if !self.options.step_replay {
+            self.plan_misses.fetch_add(1, Ordering::Relaxed);
+            reg.counter("tfhpc_plan_cache_misses_total").add(1);
+            return Ok(Arc::new(self.build_plan(&key.0)?));
+        }
+        let generation = self.graph.generation();
+        {
+            let plans = self.plans.lock();
+            if let Some(plan) = plans.get(&key) {
+                if plan.generation == generation {
+                    self.plan_hits.fetch_add(1, Ordering::Relaxed);
+                    reg.counter("tfhpc_plan_cache_hits_total").add(1);
+                    return Ok(Arc::clone(plan));
+                }
+            }
+        }
+        let plan = Arc::new(self.build_plan(&key.0)?);
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        reg.counter("tfhpc_plan_cache_misses_total").add(1);
+        self.plans.lock().insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Derive the pruned schedule, dependency counts, consumer lists,
+    /// per-output use counts and device placements for `fetches` —
+    /// everything both executors need that does not change between
+    /// identical runs. Placement resolution is deterministic, so
+    /// resolving here (once) is equivalent to resolving per step.
+    fn build_plan(&self, fetches: &[NodeId]) -> Result<ExecutionPlan> {
+        // Stamp first: a concurrent invalidation after this point makes
+        // the plan look stale and forces a rebuild, never a stale hit.
+        let generation = self.graph.generation();
+        let nodes = self.graph.required_for(fetches);
+        let n = nodes.len();
+        let cap = nodes.last().map(|id| id.index() + 1).unwrap_or(0);
+        let mut slot_of = vec![NO_SLOT; cap];
+        for (i, id) in nodes.iter().enumerate() {
+            slot_of[id.index()] = i as u32;
+        }
+        let mut inputs: Vec<Vec<(u32, u32)>> = Vec::with_capacity(n);
+        let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut pending_init = vec![0u32; n];
+        let mut placements = Vec::with_capacity(n);
+        let mut out_offset = Vec::with_capacity(n + 1);
+        let mut use_init: Vec<u32> = Vec::new();
+        let mut any_may_block = false;
+        out_offset.push(0u32);
+        for (i, id) in nodes.iter().enumerate() {
+            let node = self.graph.node(*id);
+            any_may_block |= node.op.may_block();
+            let mut ins = Vec::with_capacity(node.inputs.len());
+            for (src, out_idx) in &node.inputs {
+                let s = slot_of[src.index()];
+                if s == NO_SLOT {
+                    return Err(CoreError::Graph("input not computed (cycle?)".into()));
+                }
+                ins.push((s, *out_idx as u32));
+                consumers[s as usize].push(i as u32);
+                pending_init[i] += 1;
+            }
+            for src in &node.control_inputs {
+                let s = slot_of[src.index()];
+                if s == NO_SLOT {
+                    return Err(CoreError::Graph("input not computed (cycle?)".into()));
+                }
+                consumers[s as usize].push(i as u32);
+                pending_init[i] += 1;
+            }
+            inputs.push(ins);
+            placements.push(if matches!(node.op, Op::Placeholder { .. }) {
+                Placement::Cpu
+            } else {
+                self.devices.resolve(node.device, node.op.gpu_capable())?
+            });
+            let n_out = node.op.n_outputs();
+            out_offset.push(out_offset[i] + n_out as u32);
+            use_init.resize(use_init.len() + n_out, 0);
+        }
+        for ins in &inputs {
+            for &(src, out_idx) in ins {
+                use_init[out_offset[src as usize] as usize + out_idx as usize] += 1;
+            }
+        }
+        let input_placements: Vec<Vec<Placement>> = inputs
+            .iter()
+            .map(|ins| {
+                ins.iter()
+                    .map(|&(src, _)| placements[src as usize])
+                    .collect()
+            })
+            .collect();
+        Ok(ExecutionPlan {
+            generation,
+            nodes,
+            slot_of,
+            inputs,
+            consumers,
+            pending_init,
+            placements,
+            input_placements,
+            out_offset,
+            use_init,
+            any_may_block,
+        })
     }
 
     /// The single entry behind every run flavour: dispatch + feed
-    /// costs, then either the sequential or the parallel executor.
-    #[allow(clippy::type_complexity)]
+    /// costs, then either the sequential or the parallel executor
+    /// driven off the (cached) execution plan.
     fn exec_subgraph(
         &self,
         targets: &[NodeId],
         feeds: &[(NodeId, Tensor)],
-    ) -> Result<(HashMap<NodeId, (Vec<Tensor>, Placement)>, RunMetadata)> {
+        want_stats: bool,
+    ) -> Result<(RunOutputs, RunMetadata)> {
         let run_t0 = self.now();
         let retries_t0 = self.resources.retries_total();
         let links_t0 = sim_link_counters();
@@ -375,22 +646,35 @@ impl Session {
         }
 
         let feed_map: HashMap<NodeId, &Tensor> = feeds.iter().map(|(id, t)| (*id, t)).collect();
-        let needed = self.graph.required_for(targets);
-        let meta = MetaAcc::default();
+        let plan = self.plan_for(targets, feeds)?;
+        let meta = MetaAcc::new(want_stats);
 
         // Simulated runs stay sequential (the DES owns time, and one
         // sim process steps the whole run); blocking ops must not tie
         // up inter-op workers, so queue/dataset graphs do too.
         let parallel = self.options.inter_op_threads > 1
-            && needed.len() > 1
+            && plan.len() > 1
             && self.devices.sim.is_none()
             && tfhpc_sim::des::current().is_none()
-            && !needed.iter().any(|id| self.graph.node(*id).op.may_block());
+            && !plan.any_may_block;
 
-        let computed = if parallel {
-            self.exec_parallel(&needed, &feed_map, run_seed, &meta)?
+        // Outstanding reads per (slot, output): the plan's data-edge
+        // counts plus one per fetch occurrence, reserved up front so a
+        // consumer can never forward a buffer a fetch still needs.
+        let mut remaining = plan.use_init.clone();
+        for t in targets {
+            if let Some(slot) = plan.slot(*t) {
+                let o = plan.out_offset[slot] as usize;
+                if (plan.out_offset[slot + 1] as usize) > o {
+                    remaining[o] += 1;
+                }
+            }
+        }
+
+        let outputs = if parallel {
+            self.exec_parallel(&plan, remaining, &feed_map, run_seed, &meta)?
         } else {
-            self.exec_sequential(&needed, &feed_map, run_seed, &meta)?
+            self.exec_sequential(&plan, remaining, &feed_map, run_seed, &meta)?
         };
 
         let metadata = meta.into_metadata(
@@ -404,80 +688,90 @@ impl Session {
             .add(metadata.ops_executed as u64);
         reg.counter("tfhpc_output_bytes_total")
             .add(metadata.output_bytes);
-        Ok((computed, metadata))
+        Ok((outputs, metadata))
     }
 
-    /// In-order executor: walks `needed` in (valid topological)
-    /// ascending-id order on the calling thread. Used for simulated
-    /// runs and when `inter_op_threads == 1`.
-    #[allow(clippy::type_complexity)]
+    /// In-order executor: walks the plan's slots (a valid topological
+    /// order) on the calling thread. Used for simulated runs and when
+    /// `inter_op_threads == 1`. This is the only executor that
+    /// forwards buffers: a last-consumer read moves the producer's
+    /// output out of the arena instead of cloning it, which lets
+    /// elementwise kernels reuse the allocation in place.
     fn exec_sequential(
         &self,
-        needed: &[NodeId],
+        plan: &Arc<ExecutionPlan>,
+        mut remaining: Vec<u32>,
         feed_map: &HashMap<NodeId, &Tensor>,
         run_seed: u64,
         meta: &MetaAcc,
-    ) -> Result<HashMap<NodeId, (Vec<Tensor>, Placement)>> {
-        let mut computed: HashMap<NodeId, (Vec<Tensor>, Placement)> = HashMap::new();
-        for id in needed {
-            let node = self.graph.node(*id);
-            let mut inputs = Vec::with_capacity(node.inputs.len());
-            let mut placements = Vec::with_capacity(node.inputs.len());
-            for (src, out_idx) in &node.inputs {
-                let (outs, src_placement) = computed
-                    .get(src)
+    ) -> Result<RunOutputs> {
+        let n = plan.len();
+        let forward = self.options.step_replay;
+        let mut arena: Vec<Option<Vec<Tensor>>> = (0..n).map(|_| None).collect();
+        for slot in 0..n {
+            let node = self.graph.node(plan.nodes[slot]);
+            let n_in = plan.inputs[slot].len();
+            let mut inputs = Vec::with_capacity(n_in);
+            for &(src, out_idx) in &plan.inputs[slot] {
+                let (src, out_idx) = (src as usize, out_idx as usize);
+                let outs = arena[src]
+                    .as_mut()
                     .ok_or_else(|| CoreError::Graph("input not computed (cycle?)".into()))?;
                 let t = outs
-                    .get(*out_idx)
-                    .ok_or_else(|| CoreError::Graph("missing producer output".into()))?
-                    .clone();
-                inputs.push(t);
-                placements.push(*src_placement);
+                    .get_mut(out_idx)
+                    .ok_or_else(|| CoreError::Graph("missing producer output".into()))?;
+                let use_idx = plan.out_offset[src] as usize + out_idx;
+                remaining[use_idx] -= 1;
+                inputs.push(if forward && remaining[use_idx] == 0 {
+                    // Last outstanding read: hand the kernel the actual
+                    // buffer (possibly uniquely held) instead of a copy.
+                    std::mem::replace(t, taken_marker())
+                } else {
+                    t.clone()
+                });
             }
-            let out = self.exec_node(node, inputs, &placements, feed_map, run_seed, meta)?;
-            computed.insert(*id, out);
+            let outputs = self.exec_node(
+                node,
+                plan.placements[slot],
+                inputs,
+                &plan.input_placements[slot],
+                feed_map,
+                run_seed,
+                meta,
+                forward,
+            )?;
+            arena[slot] = Some(outputs);
         }
-        Ok(computed)
+        Ok(RunOutputs {
+            plan: Arc::clone(plan),
+            arena,
+            remaining,
+            may_move: forward,
+        })
     }
 
-    /// Ready-set dataflow executor: dependency counts over data +
-    /// control edges, zero-in-degree nodes dispatched onto the inter-op
-    /// pool, consumers decremented as producers finish. The first error
-    /// stops scheduling new nodes; in-flight kernels drain before the
-    /// error is returned.
-    #[allow(clippy::type_complexity)]
+    /// Ready-set dataflow executor: the plan's dependency counts seed
+    /// per-run atomics, zero-in-degree nodes are dispatched onto the
+    /// inter-op pool, consumers decremented as producers finish. The
+    /// first error stops scheduling new nodes; in-flight kernels drain
+    /// before the error is returned. Inputs are cloned (never moved):
+    /// a `OnceLock` result may be read concurrently by several
+    /// consumers, so buffer forwarding is sequential-executor-only.
     fn exec_parallel(
         &self,
-        needed: &[NodeId],
+        plan: &Arc<ExecutionPlan>,
+        remaining: Vec<u32>,
         feed_map: &HashMap<NodeId, &Tensor>,
         run_seed: u64,
         meta: &MetaAcc,
-    ) -> Result<HashMap<NodeId, (Vec<Tensor>, Placement)>> {
-        let n = needed.len();
-        let index: HashMap<NodeId, usize> =
-            needed.iter().enumerate().map(|(i, id)| (*id, i)).collect();
-
-        // Dependency counts + consumer lists. Duplicate edges (a node
-        // consuming the same producer twice) count twice on both sides
-        // so decrements stay balanced.
-        let mut pending: Vec<AtomicUsize> = Vec::with_capacity(n);
-        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for (i, id) in needed.iter().enumerate() {
-            let node = self.graph.node(*id);
-            let mut count = 0usize;
-            for (src, _) in &node.inputs {
-                consumers[index[src]].push(i);
-                count += 1;
-            }
-            for src in &node.control_inputs {
-                consumers[index[src]].push(i);
-                count += 1;
-            }
-            pending.push(AtomicUsize::new(count));
-        }
-
-        let results: Vec<OnceLock<(Vec<Tensor>, Placement)>> =
-            (0..n).map(|_| OnceLock::new()).collect();
+    ) -> Result<RunOutputs> {
+        let n = plan.len();
+        let pending: Vec<AtomicUsize> = plan
+            .pending_init
+            .iter()
+            .map(|&c| AtomicUsize::new(c as usize))
+            .collect();
+        let results: Vec<OnceLock<Vec<Tensor>>> = (0..n).map(|_| OnceLock::new()).collect();
         let sched = Scheduler {
             ready: Mutex::new(ReadySet {
                 queue: VecDeque::new(),
@@ -501,8 +795,7 @@ impl Session {
             for _ in 0..workers {
                 s.spawn(|| {
                     self.scheduler_worker(
-                        &sched, needed, &index, &pending, &consumers, &results, feed_map, run_seed,
-                        meta,
+                        &sched, plan, &pending, &results, feed_map, run_seed, meta,
                     )
                 });
             }
@@ -511,29 +804,32 @@ impl Session {
         if let Some(err) = sched.error.lock().take() {
             return Err(err);
         }
-        let mut computed = HashMap::with_capacity(n);
-        for (cell, id) in results.into_iter().zip(needed) {
+        let mut arena = Vec::with_capacity(n);
+        for (slot, cell) in results.into_iter().enumerate() {
             let out = cell.into_inner().ok_or_else(|| {
                 CoreError::Graph(format!(
                     "node `{}` was never scheduled (executor bug)",
-                    self.graph.node(*id).name
+                    self.graph.node(plan.nodes[slot]).name
                 ))
             })?;
-            computed.insert(*id, out);
+            arena.push(Some(out));
         }
-        Ok(computed)
+        Ok(RunOutputs {
+            plan: Arc::clone(plan),
+            arena,
+            remaining,
+            may_move: false,
+        })
     }
 
-    /// One inter-op worker: pop ready nodes, execute, release consumers.
+    /// One inter-op worker: pop ready slots, execute, release consumers.
     #[allow(clippy::too_many_arguments)]
     fn scheduler_worker(
         &self,
         sched: &Scheduler,
-        needed: &[NodeId],
-        index: &HashMap<NodeId, usize>,
+        plan: &ExecutionPlan,
         pending: &[AtomicUsize],
-        consumers: &[Vec<usize>],
-        results: &[OnceLock<(Vec<Tensor>, Placement)>],
+        results: &[OnceLock<Vec<Tensor>>],
         feed_map: &HashMap<NodeId, &Tensor>,
         run_seed: u64,
         meta: &MetaAcc,
@@ -552,34 +848,42 @@ impl Session {
                 }
             };
 
-            let node = self.graph.node(needed[idx]);
-            let result = (|| -> Result<(Vec<Tensor>, Placement)> {
-                let mut inputs = Vec::with_capacity(node.inputs.len());
-                let mut placements = Vec::with_capacity(node.inputs.len());
-                for (src, out_idx) in &node.inputs {
+            let node = self.graph.node(plan.nodes[idx]);
+            let result = (|| -> Result<Vec<Tensor>> {
+                let n_in = plan.inputs[idx].len();
+                let mut inputs = Vec::with_capacity(n_in);
+                for &(src, out_idx) in &plan.inputs[idx] {
                     // The producer finished before this node became
                     // ready; OnceLock::get also publishes its writes.
-                    let (outs, src_placement) = results[index[src]].get().ok_or_else(|| {
+                    let outs = results[src as usize].get().ok_or_else(|| {
                         CoreError::Graph("input not computed (executor bug)".into())
                     })?;
                     let t = outs
-                        .get(*out_idx)
+                        .get(out_idx as usize)
                         .ok_or_else(|| CoreError::Graph("missing producer output".into()))?
                         .clone();
                     inputs.push(t);
-                    placements.push(*src_placement);
                 }
-                self.exec_node(node, inputs, &placements, feed_map, run_seed, meta)
+                self.exec_node(
+                    node,
+                    plan.placements[idx],
+                    inputs,
+                    &plan.input_placements[idx],
+                    feed_map,
+                    run_seed,
+                    meta,
+                    false,
+                )
             })();
 
             match result {
                 Ok(out) => {
                     let _ = results[idx].set(out);
-                    for &c in &consumers[idx] {
-                        if pending[c].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    for &c in &plan.consumers[idx] {
+                        if pending[c as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
                             let mut rs = sched.ready.lock();
                             if rs.open {
-                                rs.queue.push_back(c);
+                                rs.queue.push_back(c as usize);
                                 sched.cv.notify_one();
                             }
                         }
@@ -609,19 +913,25 @@ impl Session {
         }
     }
 
-    /// Execute one node: placement, transfer/PFS charging, pre-dispatch
-    /// memory feasibility, the kernel itself (under the intra-op worker
-    /// cap), cost charging and timeline/debugger hooks. Shared by both
-    /// executors; everything it touches is concurrency-safe.
+    /// Execute one node: transfer/PFS charging, pre-dispatch memory
+    /// feasibility, the kernel itself (under the intra-op worker cap),
+    /// cost charging and timeline/debugger hooks. Placement comes
+    /// precomputed from the plan. With `forward` set, ops on the
+    /// forwardable list take inputs by value so a uniquely-held buffer
+    /// can be reused in place. Shared by both executors; everything it
+    /// touches is concurrency-safe.
+    #[allow(clippy::too_many_arguments)]
     fn exec_node(
         &self,
         node: &crate::graph::NodeDef,
+        placement: Placement,
         inputs: Vec<Tensor>,
         input_placements: &[Placement],
         feed_map: &HashMap<NodeId, &Tensor>,
         run_seed: u64,
         meta: &MetaAcc,
-    ) -> Result<(Vec<Tensor>, Placement)> {
+        forward: bool,
+    ) -> Result<Vec<Tensor>> {
         // Placeholders resolve straight from feeds.
         if let Op::Placeholder { dtype, shape } = &node.op {
             let fed = feed_map.get(&node.id).ok_or_else(|| {
@@ -647,10 +957,8 @@ impl Session {
             }
             meta.ops_executed.fetch_add(1, Ordering::Relaxed);
             meta.note_op(&node.name, 0.0);
-            return Ok((vec![(*fed).clone()], Placement::Cpu));
+            return Ok(vec![(*fed).clone()]);
         }
-
-        let placement = self.devices.resolve(node.device, node.op.gpu_capable())?;
 
         // Charge host↔device transfers for inputs whose producer sat on
         // a different device.
@@ -689,10 +997,35 @@ impl Session {
             }
         }
 
-        let start = self.now();
-        let outputs = tfhpc_parallel::with_worker_limit(self.options.intra_op_threads, || {
-            kernels::execute(&node.op, &inputs, &self.resources, run_seed)
-        })?;
+        // Clock reads only when someone consumes the span: per-op
+        // stats, the timeline, or the tracer. Sim mode always counts
+        // as timed — `dev_secs` is the charged virtual duration there
+        // and timeline spans use virtual timestamps.
+        let tr = tfhpc_obs::trace::global();
+        let timed = self.devices.sim.is_some()
+            || meta.per_op_enabled
+            || self.timeline.is_some()
+            || tr.is_enabled();
+        let start = if timed { self.now() } else { 0.0 };
+        let (outputs, cost, dp) = if forward && kernels::forwardable(&node.op) {
+            // By-value dispatch: the kernel may consume input buffers
+            // in place. Forwardable ops' cost depends only on input
+            // metadata, so charge it before the buffers move — no
+            // shell tensors, no extra allocation on the fast path.
+            let cost = kernels::forward_cost(&node.op, &inputs);
+            let dp = kernels::is_double_precision(&inputs, &[]);
+            let outputs = tfhpc_parallel::with_worker_limit(self.options.intra_op_threads, || {
+                kernels::execute_owned(&node.op, inputs, &self.resources, run_seed)
+            })?;
+            (outputs, cost, dp)
+        } else {
+            let outputs = tfhpc_parallel::with_worker_limit(self.options.intra_op_threads, || {
+                kernels::execute(&node.op, &inputs, &self.resources, run_seed)
+            })?;
+            let cost = kernels::cost_of(&node.op, &inputs, &outputs);
+            let dp = kernels::is_double_precision(&inputs, &outputs);
+            (outputs, cost, dp)
+        };
 
         // Re-check with actual output sizes for ops whose outputs
         // cannot be inferred up front (dequeues, tile reads, py_funcs).
@@ -708,15 +1041,15 @@ impl Session {
             }
         }
 
-        let cost = kernels::cost_of(&node.op, &inputs, &outputs);
-        let dp = kernels::is_double_precision(&inputs, &outputs);
         let dur = self.devices.charge_kernel(placement, &cost, dp);
         // Charged time in sim mode, measured wall time otherwise —
         // what the timeline, the tracer and the per-op stats all show.
         let dev_secs = if self.devices.sim.is_some() {
             dur
-        } else {
+        } else if timed {
             self.now() - start
+        } else {
+            0.0
         };
         if let Some(tl) = &self.timeline {
             tl.record(
@@ -726,7 +1059,6 @@ impl Session {
                 dev_secs,
             );
         }
-        let tr = tfhpc_obs::trace::global();
         if tr.is_enabled() {
             tr.record(tfhpc_obs::TraceEvent::span(
                 &node.name,
@@ -746,7 +1078,7 @@ impl Session {
             outputs.iter().map(|t| t.byte_size() as u64).sum::<u64>(),
             Ordering::Relaxed,
         );
-        Ok((outputs, placement))
+        Ok(outputs)
     }
 }
 
@@ -988,6 +1320,7 @@ mod tests {
                 SessionOptions {
                     inter_op_threads: inter,
                     intra_op_threads: 1,
+                    step_replay: true,
                 },
             );
             let out = s.run(&[c], &[]).unwrap();
@@ -1019,6 +1352,7 @@ mod tests {
                 SessionOptions {
                     inter_op_threads: inter,
                     intra_op_threads: 1,
+                    step_replay: true,
                 },
             );
             let (out, meta) = s.run_with_metadata(&fetches, &[]).unwrap();

@@ -25,6 +25,8 @@ pub use launch::{
     TaskExit,
 };
 pub use reducer::{worker_all_reduce, ReduceOp, Reducer};
-pub use rendezvous::{recv, recv_deadline, send, RecvKernel, RendezvousKey, SendKernel};
+pub use rendezvous::{
+    recv, recv_deadline, send, RecvKernel, RendezvousEdge, RendezvousKey, SendKernel,
+};
 pub use resolver::{resolve, resolve_with_policy, JobSpec, Resolved, ResolvedTask};
 pub use server::{Server, TfCluster};

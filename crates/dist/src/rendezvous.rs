@@ -48,6 +48,72 @@ impl RendezvousKey {
     }
 }
 
+/// One graph edge's rendezvous identity with the channel-name prefix
+/// (`rendezvous:src->dst;edge;`) formatted once at construction.
+/// Per-step channel names append only the step counter, so kernels
+/// firing every step skip the repeated `TaskKey` Display formatting
+/// that [`RendezvousKey::channel`] pays.
+#[derive(Debug, Clone)]
+pub struct RendezvousEdge {
+    /// Producing task.
+    pub src: TaskKey,
+    /// Consuming task.
+    pub dst: TaskKey,
+    /// Edge name (tensor name in the producing graph).
+    pub edge: String,
+    /// Precomputed channel prefix — everything but the step counter.
+    prefix: String,
+}
+
+impl RendezvousEdge {
+    /// Build an edge, formatting the channel prefix once.
+    pub fn new(src: TaskKey, dst: TaskKey, edge: &str) -> RendezvousEdge {
+        let prefix = format!("rendezvous:{src}->{dst};{edge};");
+        RendezvousEdge {
+            src,
+            dst,
+            edge: edge.to_string(),
+            prefix,
+        }
+    }
+
+    /// The channel name for one step (prefix + step digits).
+    fn channel(&self, step: u64) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(self.prefix.len() + 20);
+        s.push_str(&self.prefix);
+        let _ = write!(s, "{step}");
+        s
+    }
+
+    /// [`send`] for this edge at `step`.
+    pub fn send(
+        &self,
+        worker: &Arc<Server>,
+        step: u64,
+        value: Tensor,
+        gpu: Option<usize>,
+    ) -> Result<()> {
+        send_channel(
+            worker,
+            &self.src,
+            &self.dst,
+            &self.channel(step),
+            value,
+            gpu,
+        )
+    }
+
+    /// [`recv`] for this edge at `step`.
+    pub fn recv(&self, worker: &Arc<Server>, step: u64, gpu: Option<usize>) -> Result<Tensor> {
+        let channel = self.channel(step);
+        let q = recv_queue_channel(worker, &self.dst, &channel)?;
+        let tuple = q.dequeue()?;
+        note_recv_channel(&channel);
+        finish_recv(worker, tuple, gpu)
+    }
+}
+
 /// Send `value` to the consumer named in `key`. Charges the transfer
 /// (src residency `gpu`) and never blocks beyond transport time: the
 /// rendezvous buffers one value per key.
@@ -57,40 +123,50 @@ pub fn send(
     value: Tensor,
     gpu: Option<usize>,
 ) -> Result<()> {
-    if worker.key != key.src {
+    send_channel(worker, &key.src, &key.dst, &key.channel(), value, gpu)
+}
+
+/// [`send`] body over a pre-formatted channel name.
+fn send_channel(
+    worker: &Arc<Server>,
+    src: &TaskKey,
+    dst: &TaskKey,
+    channel: &str,
+    value: Tensor,
+    gpu: Option<usize>,
+) -> Result<()> {
+    if worker.key != *src {
         return Err(CoreError::Invalid(format!(
-            "send of {} from wrong task {}",
-            key.channel(),
+            "send of {channel} from wrong task {}",
             worker.key
         )));
     }
     let cluster = worker.cluster();
-    if let Some(reason) = cluster.death_reason(&key.dst) {
+    if let Some(reason) = cluster.death_reason(dst) {
         return Err(CoreError::Unavailable(format!(
-            "consumer {} is down: {reason}",
-            key.dst
+            "consumer {dst} is down: {reason}"
         )));
     }
-    let peer = cluster.server(&key.dst)?;
+    let peer = cluster.server(dst)?;
     worker.charge_transfer_to(&peer, gpu, None, value.byte_size() as u64);
-    let q = peer.resources.get_or_create_queue(&key.channel(), 1);
+    let q = peer.resources.get_or_create_queue(channel, 1);
     q.enqueue(vec![value])?;
     tfhpc_obs::global()
         .counter("tfhpc_rendezvous_sends_total")
         .inc();
     let tr = tfhpc_obs::trace::global();
     if tr.is_enabled() {
-        let channel = key.channel();
-        tr.flow_start(&channel, tfhpc_obs::flow_id(&channel));
+        tr.flow_start(channel, tfhpc_obs::flow_id(channel));
     }
     Ok(())
 }
 
 /// Receive the tensor for `key`, blocking until the producer sent it.
 pub fn recv(worker: &Arc<Server>, key: &RendezvousKey, gpu: Option<usize>) -> Result<Tensor> {
-    let q = recv_queue(worker, key)?;
+    let channel = key.channel();
+    let q = recv_queue_channel(worker, &key.dst, &channel)?;
     let tuple = q.dequeue()?;
-    note_recv(key);
+    note_recv_channel(&channel);
     finish_recv(worker, tuple, gpu)
 }
 
@@ -105,10 +181,11 @@ pub fn recv_deadline(
     gpu: Option<usize>,
     timeout_s: f64,
 ) -> Result<Tensor> {
-    let q = recv_queue(worker, key)?;
+    let channel = key.channel();
+    let q = recv_queue_channel(worker, &key.dst, &channel)?;
     match q.dequeue_timeout(timeout_s) {
         Ok(tuple) => {
-            note_recv(key);
+            note_recv_channel(&channel);
             finish_recv(worker, tuple, gpu)
         }
         Err(CoreError::DeadlineExceeded(msg)) if worker.cluster().is_dead(&key.src) => Err(
@@ -118,29 +195,31 @@ pub fn recv_deadline(
     }
 }
 
-/// The consumer-side queue for `key` (validates the caller is the
+/// The consumer-side queue for a channel (validates the caller is the
 /// consumer; the receiver always parks on its *own* queue).
-fn recv_queue(worker: &Arc<Server>, key: &RendezvousKey) -> Result<Arc<tfhpc_core::FifoQueue>> {
-    if worker.key != key.dst {
+fn recv_queue_channel(
+    worker: &Arc<Server>,
+    dst: &TaskKey,
+    channel: &str,
+) -> Result<Arc<tfhpc_core::FifoQueue>> {
+    if worker.key != *dst {
         return Err(CoreError::Invalid(format!(
-            "recv of {} on wrong task {}",
-            key.channel(),
+            "recv of {channel} on wrong task {}",
             worker.key
         )));
     }
-    Ok(worker.resources.get_or_create_queue(&key.channel(), 1))
+    Ok(worker.resources.get_or_create_queue(channel, 1))
 }
 
 /// Count a completed receive and close its trace flow (the arrow from
 /// the producer's send to this dequeue in the trace viewer).
-fn note_recv(key: &RendezvousKey) {
+fn note_recv_channel(channel: &str) {
     tfhpc_obs::global()
         .counter("tfhpc_rendezvous_recvs_total")
         .inc();
     let tr = tfhpc_obs::trace::global();
     if tr.is_enabled() {
-        let channel = key.channel();
-        tr.flow_end(&channel, tfhpc_obs::flow_id(&channel));
+        tr.flow_end(channel, tfhpc_obs::flow_id(channel));
     }
 }
 
@@ -162,14 +241,14 @@ fn finish_recv(worker: &Arc<Server>, tuple: Vec<Tensor>, gpu: Option<usize>) -> 
 }
 
 /// Graph kernel sending its single input through the rendezvous (the
-/// `_Send` node TensorFlow splits cross-device edges into).
+/// `_Send` node TensorFlow splits cross-device edges into). The edge's
+/// channel prefix is formatted once at construction; each step only
+/// appends the counter — key construction stays off the hot loop.
 pub struct SendKernel {
     /// Local server.
     pub server: Arc<Server>,
-    /// Destination task.
-    pub dst: TaskKey,
-    /// Edge name.
-    pub edge: String,
+    /// The rendezvous edge (this task → consumer).
+    pub edge: RendezvousEdge,
     /// Source GPU residency.
     pub gpu: Option<usize>,
     /// Per-execution step counter.
@@ -179,10 +258,10 @@ pub struct SendKernel {
 impl SendKernel {
     /// Build a `_Send` kernel.
     pub fn new(server: Arc<Server>, dst: TaskKey, edge: &str, gpu: Option<usize>) -> SendKernel {
+        let edge = RendezvousEdge::new(server.key.clone(), dst, edge);
         SendKernel {
             server,
-            dst,
-            edge: edge.to_string(),
+            edge,
             gpu,
             step: std::sync::atomic::AtomicU64::new(0),
         }
@@ -196,20 +275,19 @@ impl OpKernel for SendKernel {
 
     fn compute(&self, _res: &Resources, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
         let step = self.step.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        let key = RendezvousKey::new(self.server.key.clone(), self.dst.clone(), &self.edge, step);
-        send(&self.server, &key, inputs[0].clone(), self.gpu)?;
+        self.edge
+            .send(&self.server, step, inputs[0].clone(), self.gpu)?;
         Ok(vec![])
     }
 }
 
-/// Graph kernel receiving one tensor from the rendezvous (`_Recv`).
+/// Graph kernel receiving one tensor from the rendezvous (`_Recv`),
+/// with the channel prefix precomputed like [`SendKernel`]'s.
 pub struct RecvKernel {
     /// Local server.
     pub server: Arc<Server>,
-    /// Producing task.
-    pub src: TaskKey,
-    /// Edge name.
-    pub edge: String,
+    /// The rendezvous edge (producer → this task).
+    pub edge: RendezvousEdge,
     /// Destination GPU residency.
     pub gpu: Option<usize>,
     step: std::sync::atomic::AtomicU64,
@@ -218,10 +296,10 @@ pub struct RecvKernel {
 impl RecvKernel {
     /// Build a `_Recv` kernel.
     pub fn new(server: Arc<Server>, src: TaskKey, edge: &str, gpu: Option<usize>) -> RecvKernel {
+        let edge = RendezvousEdge::new(src, server.key.clone(), edge);
         RecvKernel {
             server,
-            src,
-            edge: edge.to_string(),
+            edge,
             gpu,
             step: std::sync::atomic::AtomicU64::new(0),
         }
@@ -235,8 +313,7 @@ impl OpKernel for RecvKernel {
 
     fn compute(&self, _res: &Resources, _inputs: &[Tensor]) -> Result<Vec<Tensor>> {
         let step = self.step.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-        let key = RendezvousKey::new(self.src.clone(), self.server.key.clone(), &self.edge, step);
-        Ok(vec![recv(&self.server, &key, self.gpu)?])
+        Ok(vec![self.edge.recv(&self.server, step, self.gpu)?])
     }
 }
 

@@ -166,18 +166,39 @@ impl Encoder {
     }
 
     /// Packed array of f32 (little-endian), as protobuf packed repeated.
+    /// On little-endian hosts the element bytes already are wire order,
+    /// so the whole payload is appended in one bulk slice copy instead
+    /// of a per-element bits round-trip.
     pub fn put_packed_f32(&mut self, field: u32, vs: &[f32]) {
         self.tag(field, WireType::LengthDelimited);
         wire::put_uvarint(&mut self.buf, (vs.len() * 4) as u64);
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: f32 has no padding and every bit pattern is a
+            // valid byte sequence; u8 has alignment 1.
+            let bytes =
+                unsafe { std::slice::from_raw_parts(vs.as_ptr() as *const u8, vs.len() * 4) };
+            self.buf.put_slice(bytes);
+        }
+        #[cfg(not(target_endian = "little"))]
         for v in vs {
             self.buf.put_u32_le(v.to_bits());
         }
     }
 
-    /// Packed array of f64 (little-endian).
+    /// Packed array of f64 (little-endian); bulk-copied like
+    /// [`Encoder::put_packed_f32`].
     pub fn put_packed_f64(&mut self, field: u32, vs: &[f64]) {
         self.tag(field, WireType::LengthDelimited);
         wire::put_uvarint(&mut self.buf, (vs.len() * 8) as u64);
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: as in put_packed_f32.
+            let bytes =
+                unsafe { std::slice::from_raw_parts(vs.as_ptr() as *const u8, vs.len() * 8) };
+            self.buf.put_slice(bytes);
+        }
+        #[cfg(not(target_endian = "little"))]
         for v in vs {
             self.buf.put_u64_le(v.to_bits());
         }
@@ -264,23 +285,51 @@ impl<'a> FieldValue<'a> {
         std::str::from_utf8(self.as_bytes()?).map_err(|_| ProtoError::InvalidUtf8)
     }
 
-    /// Interpret as packed f32 array.
+    /// Interpret as packed f32 array. On little-endian hosts the wire
+    /// payload is byte-copied straight into the result vector (one
+    /// `memcpy`, no per-element decode or intermediate buffer).
     pub fn as_packed_f32(&self) -> Result<Vec<f32>, ProtoError> {
         let b = self.as_bytes()?;
         if b.len() % 4 != 0 {
             return Err(ProtoError::Truncated);
         }
+        #[cfg(target_endian = "little")]
+        {
+            let n = b.len() / 4;
+            let mut out: Vec<f32> = Vec::with_capacity(n);
+            // SAFETY: destination capacity holds exactly `n` f32s; the
+            // LE wire bytes are each element's in-memory bit pattern.
+            unsafe {
+                std::ptr::copy_nonoverlapping(b.as_ptr(), out.as_mut_ptr() as *mut u8, b.len());
+                out.set_len(n);
+            }
+            Ok(out)
+        }
+        #[cfg(not(target_endian = "little"))]
         Ok(b.chunks_exact(4)
             .map(|c| f32::from_bits(u32::from_le_bytes([c[0], c[1], c[2], c[3]])))
             .collect())
     }
 
-    /// Interpret as packed f64 array.
+    /// Interpret as packed f64 array; bulk-copied like
+    /// [`FieldValue::as_packed_f32`].
     pub fn as_packed_f64(&self) -> Result<Vec<f64>, ProtoError> {
         let b = self.as_bytes()?;
         if b.len() % 8 != 0 {
             return Err(ProtoError::Truncated);
         }
+        #[cfg(target_endian = "little")]
+        {
+            let n = b.len() / 8;
+            let mut out: Vec<f64> = Vec::with_capacity(n);
+            // SAFETY: as in as_packed_f32.
+            unsafe {
+                std::ptr::copy_nonoverlapping(b.as_ptr(), out.as_mut_ptr() as *mut u8, b.len());
+                out.set_len(n);
+            }
+            Ok(out)
+        }
+        #[cfg(not(target_endian = "little"))]
         Ok(b.chunks_exact(8)
             .map(|c| {
                 f64::from_bits(u64::from_le_bytes([

@@ -284,6 +284,329 @@ pub fn axpy(alpha: f64, x: &Tensor, y: &Tensor) -> Result<Tensor, TensorError> {
     }
 }
 
+// ---- by-value (forwarding) variants ------------------------------------
+//
+// Each `*_owned` function computes exactly the same per-element
+// expression as its borrowing counterpart — only the destination
+// buffer changes — so results are bit-identical. An operand's buffer
+// is reused only when `Arc::get_mut` proves the tensor is the sole
+// owner; any other live reference (a Variable's stored value, a queued
+// tuple, a caller-held feed, a reshape view, the same tensor passed
+// twice) keeps the refcount above 1 and forces the allocating path.
+
+macro_rules! zip_elementwise_owned {
+    ($name:ident, $borrowed:ident, $op_tag:expr, $f32op:expr, $f64op:expr, $c128op:expr) => {
+        /// By-value variant of the elementwise op: forwards an operand's
+        /// buffer when uniquely held, else falls back to allocating.
+        #[allow(clippy::redundant_closure_call)]
+        pub fn $name(mut a: Tensor, mut b: Tensor) -> Result<Tensor, TensorError> {
+            binary_shape_check(stringify!($borrowed), &a, &b)?;
+            if let Some(t) = synthetic_binary($op_tag, &a, &b) {
+                return Ok(t);
+            }
+            let n = a.num_elements();
+            let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+            let into_a = match a.try_unique_data() {
+                Some(TensorData::F32(x)) => {
+                    let y = b.as_f32()?;
+                    par_chunks_mut(x, chunk, |ci, slice| {
+                        let start = ci * chunk;
+                        for (i, o) in slice.iter_mut().enumerate() {
+                            let f: fn(f32, f32) -> f32 = $f32op;
+                            *o = f(*o, y[start + i]);
+                        }
+                    });
+                    true
+                }
+                Some(TensorData::F64(x)) => {
+                    let y = b.as_f64()?;
+                    par_chunks_mut(x, chunk, |ci, slice| {
+                        let start = ci * chunk;
+                        for (i, o) in slice.iter_mut().enumerate() {
+                            let f: fn(f64, f64) -> f64 = $f64op;
+                            *o = f(*o, y[start + i]);
+                        }
+                    });
+                    true
+                }
+                Some(TensorData::C128(x)) => {
+                    let y = b.as_c128()?;
+                    par_chunks_mut(x, chunk, |ci, slice| {
+                        let start = ci * chunk;
+                        for (i, o) in slice.iter_mut().enumerate() {
+                            let f: fn(Complex64, Complex64) -> Complex64 = $c128op;
+                            *o = f(*o, y[start + i]);
+                        }
+                    });
+                    true
+                }
+                _ => false,
+            };
+            if into_a {
+                return Ok(a);
+            }
+            let into_b = match b.try_unique_data() {
+                Some(TensorData::F32(y)) => {
+                    let x = a.as_f32()?;
+                    par_chunks_mut(y, chunk, |ci, slice| {
+                        let start = ci * chunk;
+                        for (i, o) in slice.iter_mut().enumerate() {
+                            let f: fn(f32, f32) -> f32 = $f32op;
+                            *o = f(x[start + i], *o);
+                        }
+                    });
+                    true
+                }
+                Some(TensorData::F64(y)) => {
+                    let x = a.as_f64()?;
+                    par_chunks_mut(y, chunk, |ci, slice| {
+                        let start = ci * chunk;
+                        for (i, o) in slice.iter_mut().enumerate() {
+                            let f: fn(f64, f64) -> f64 = $f64op;
+                            *o = f(x[start + i], *o);
+                        }
+                    });
+                    true
+                }
+                Some(TensorData::C128(y)) => {
+                    let x = a.as_c128()?;
+                    par_chunks_mut(y, chunk, |ci, slice| {
+                        let start = ci * chunk;
+                        for (i, o) in slice.iter_mut().enumerate() {
+                            let f: fn(Complex64, Complex64) -> Complex64 = $c128op;
+                            *o = f(x[start + i], *o);
+                        }
+                    });
+                    true
+                }
+                _ => false,
+            };
+            if into_b {
+                return Ok(b);
+            }
+            $borrowed(&a, &b)
+        }
+    };
+}
+
+zip_elementwise_owned!(add_owned, add, 0xA0, |a, b| a + b, |a, b| a + b, |a, b| a
+    + b);
+zip_elementwise_owned!(sub_owned, sub, 0xA1, |a, b| a - b, |a, b| a - b, |a, b| a
+    - b);
+zip_elementwise_owned!(mul_owned, mul, 0xA2, |a, b| a * b, |a, b| a * b, |a, b| a
+    * b);
+zip_elementwise_owned!(div_owned, div, 0xA3, |a, b| a / b, |a, b| a / b, |a, b| a
+    / b);
+
+/// By-value [`add_n`]: sums into `inputs[0]`'s buffer when it is
+/// uniquely held, starting from the same `0 + x₀[i]` the allocating
+/// path performs so `-0.0` inputs round-trip identically.
+// Spelled as `*o = 0 + *o`, not `+=`: the expression must mirror the
+// borrowing kernel term for term to keep the bit-identity argument
+// auditable.
+#[allow(clippy::assign_op_pattern)]
+pub fn add_n_owned(mut inputs: Vec<Tensor>) -> Result<Tensor, TensorError> {
+    let first = inputs.first().ok_or(TensorError::ShapeMismatch {
+        op: "add_n",
+        lhs: crate::Shape::scalar(),
+        rhs: crate::Shape::scalar(),
+    })?;
+    for t in &inputs[1..] {
+        binary_shape_check("add_n", first, t)?;
+    }
+    if inputs.len() == 1 {
+        return Ok(inputs.pop().expect("len checked"));
+    }
+    if inputs.iter().any(|t| t.is_synthetic()) {
+        let seed = inputs.iter().fold(0xA4u64, |acc, t| {
+            mix_seed(acc, t.synthetic_seed().unwrap_or(0x5eed))
+        });
+        let first = &inputs[0];
+        return Ok(Tensor::synthetic(
+            first.dtype(),
+            first.shape().clone(),
+            seed,
+        ));
+    }
+    let n = inputs[0].num_elements();
+    let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+    let (head, tail) = inputs.split_at_mut(1);
+    let forwarded = match head[0].try_unique_data() {
+        Some(TensorData::F32(x0)) => {
+            let xs: Vec<&[f32]> = tail.iter().map(|t| t.as_f32()).collect::<Result<_, _>>()?;
+            par_chunks_mut(x0, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for o in slice.iter_mut() {
+                    *o = 0f32 + *o;
+                }
+                for x in &xs {
+                    for (i, o) in slice.iter_mut().enumerate() {
+                        *o += x[start + i];
+                    }
+                }
+            });
+            true
+        }
+        Some(TensorData::F64(x0)) => {
+            let xs: Vec<&[f64]> = tail.iter().map(|t| t.as_f64()).collect::<Result<_, _>>()?;
+            par_chunks_mut(x0, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for o in slice.iter_mut() {
+                    *o = 0f64 + *o;
+                }
+                for x in &xs {
+                    for (i, o) in slice.iter_mut().enumerate() {
+                        *o += x[start + i];
+                    }
+                }
+            });
+            true
+        }
+        Some(TensorData::C128(x0)) => {
+            let xs: Vec<&[Complex64]> =
+                tail.iter().map(|t| t.as_c128()).collect::<Result<_, _>>()?;
+            par_chunks_mut(x0, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for o in slice.iter_mut() {
+                    *o = Complex64::ZERO + *o;
+                }
+                for x in &xs {
+                    for (i, o) in slice.iter_mut().enumerate() {
+                        *o += x[start + i];
+                    }
+                }
+            });
+            true
+        }
+        _ => false,
+    };
+    if forwarded {
+        return Ok(inputs.swap_remove(0));
+    }
+    add_n(&inputs)
+}
+
+/// By-value [`scale`]: scales in place when the buffer is uniquely
+/// held.
+pub fn scale_owned(mut a: Tensor, s: f64) -> Result<Tensor, TensorError> {
+    if let Storage::Synthetic { seed } = a.storage() {
+        return Ok(Tensor::synthetic(
+            a.dtype(),
+            a.shape().clone(),
+            mix_seed(*seed, 0xB0 ^ s.to_bits()),
+        ));
+    }
+    let n = a.num_elements();
+    let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+    let forwarded = match a.try_unique_data() {
+        Some(TensorData::F32(x)) => {
+            let s32 = s as f32;
+            par_chunks_mut(x, chunk, |_ci, slice| {
+                for o in slice.iter_mut() {
+                    *o *= s32;
+                }
+            });
+            true
+        }
+        Some(TensorData::F64(x)) => {
+            par_chunks_mut(x, chunk, |_ci, slice| {
+                for o in slice.iter_mut() {
+                    *o *= s;
+                }
+            });
+            true
+        }
+        Some(TensorData::C128(x)) => {
+            par_chunks_mut(x, chunk, |_ci, slice| {
+                for o in slice.iter_mut() {
+                    *o = o.scale(s);
+                }
+            });
+            true
+        }
+        _ => false,
+    };
+    if forwarded {
+        return Ok(a);
+    }
+    scale(&a, s)
+}
+
+/// By-value [`neg`].
+pub fn neg_owned(a: Tensor) -> Result<Tensor, TensorError> {
+    scale_owned(a, -1.0)
+}
+
+/// By-value [`axpy`]: writes `alpha·x + y` into `y`'s (or `x`'s)
+/// buffer when uniquely held.
+// `*o = alpha * x[i] + *o`, not `+=`: the expression mirrors the
+// borrowing kernel's `alpha * x[i] + y[i]` term for term to keep the
+// bit-identity argument auditable.
+#[allow(clippy::assign_op_pattern)]
+pub fn axpy_owned(alpha: f64, mut x: Tensor, mut y: Tensor) -> Result<Tensor, TensorError> {
+    binary_shape_check("axpy", &x, &y)?;
+    if let Some(t) = synthetic_binary(0xB1 ^ alpha.to_bits(), &x, &y) {
+        return Ok(t);
+    }
+    let n = x.num_elements();
+    let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
+    let into_y = match y.try_unique_data() {
+        Some(TensorData::F64(yv)) => {
+            let xv = x.as_f64()?;
+            par_chunks_mut(yv, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for (i, o) in slice.iter_mut().enumerate() {
+                    *o = alpha * xv[start + i] + *o;
+                }
+            });
+            true
+        }
+        Some(TensorData::F32(yv)) => {
+            let a32 = alpha as f32;
+            let xv = x.as_f32()?;
+            par_chunks_mut(yv, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for (i, o) in slice.iter_mut().enumerate() {
+                    *o = a32 * xv[start + i] + *o;
+                }
+            });
+            true
+        }
+        _ => false,
+    };
+    if into_y {
+        return Ok(y);
+    }
+    let into_x = match x.try_unique_data() {
+        Some(TensorData::F64(xv)) => {
+            let yv = y.as_f64()?;
+            par_chunks_mut(xv, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for (i, o) in slice.iter_mut().enumerate() {
+                    *o = alpha * *o + yv[start + i];
+                }
+            });
+            true
+        }
+        Some(TensorData::F32(xv)) => {
+            let a32 = alpha as f32;
+            let yv = y.as_f32()?;
+            par_chunks_mut(xv, chunk, |ci, slice| {
+                let start = ci * chunk;
+                for (i, o) in slice.iter_mut().enumerate() {
+                    *o = a32 * *o + yv[start + i];
+                }
+            });
+            true
+        }
+        _ => false,
+    };
+    if into_x {
+        return Ok(x);
+    }
+    axpy(alpha, &x, &y)
+}
+
 /// Deterministic pseudo-value standing in for a reduction over
 /// synthetic data: positive, O(1), and stable in the seed. Scalar
 /// reduction results are *materialized* even for synthetic inputs so
@@ -597,5 +920,127 @@ mod tests {
         let b = t64(&[1., 2.]);
         assert!(add(&a, &b).unwrap().is_synthetic());
         assert!(add(&b, &a).unwrap().is_synthetic());
+    }
+
+    #[test]
+    fn owned_forwards_unique_buffer() {
+        let a = t64(&[1., 2., 3.]);
+        let b = t64(&[4., 5., 6.]);
+        let pa = a.dense_ptr().unwrap();
+        let out = add_owned(a, b).unwrap();
+        assert_eq!(out.dense_ptr(), Some(pa), "uniquely held lhs reused");
+        assert_eq!(out.as_f64().unwrap(), &[5., 7., 9.]);
+
+        // Second operand forwards when the first is shared.
+        let a = t64(&[1., 2., 3.]);
+        let a_held = a.clone();
+        let b = t64(&[4., 5., 6.]);
+        let pb = b.dense_ptr().unwrap();
+        let out = sub_owned(a, b).unwrap();
+        assert_eq!(out.dense_ptr(), Some(pb), "uniquely held rhs reused");
+        assert_eq!(out.as_f64().unwrap(), &[-3., -3., -3.]);
+        assert_eq!(a_held.as_f64().unwrap(), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn owned_copies_when_shared() {
+        let a = t64(&[1., 2.]);
+        let b = t64(&[3., 4.]);
+        let (ha, hb) = (a.clone(), b.clone());
+        let out = mul_owned(a, b).unwrap();
+        assert_ne!(out.dense_ptr(), ha.dense_ptr());
+        assert_ne!(out.dense_ptr(), hb.dense_ptr());
+        assert_eq!(ha.as_f64().unwrap(), &[1., 2.]);
+        assert_eq!(hb.as_f64().unwrap(), &[3., 4.]);
+        assert_eq!(out.as_f64().unwrap(), &[3., 8.]);
+    }
+
+    #[test]
+    fn owned_same_tensor_twice_never_aliases_wrong() {
+        // add(t, t): both operands share one Arc, so neither is
+        // uniquely held mid-op; the fallback must produce 2t.
+        let t = t64(&[1., 2., 3.]);
+        let out = add_owned(t.clone(), t.clone()).unwrap();
+        assert_eq!(out.as_f64().unwrap(), &[2., 4., 6.]);
+        assert_eq!(t.as_f64().unwrap(), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn owned_bit_identical_to_borrowed() {
+        let vals: Vec<f64> = (0..257).map(|i| (i as f64).sin() * 1e3).collect();
+        let ws: Vec<f64> = (0..257).map(|i| (i as f64).cos() + 0.5).collect();
+        let a = Tensor::from_f64([257], vals).unwrap();
+        let b = Tensor::from_f64([257], ws).unwrap();
+        for (owned, borrowed) in [
+            (add_owned(a.clone(), b.clone()), add(&a, &b)),
+            (sub_owned(a.clone(), b.clone()), sub(&a, &b)),
+            (mul_owned(a.clone(), b.clone()), mul(&a, &b)),
+            (div_owned(a.clone(), b.clone()), div(&a, &b)),
+        ] {
+            let o = owned.unwrap();
+            let r = borrowed.unwrap();
+            let ob: Vec<u64> = o.as_f64().unwrap().iter().map(|v| v.to_bits()).collect();
+            let rb: Vec<u64> = r.as_f64().unwrap().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ob, rb);
+        }
+        let o = axpy_owned(1.75, a.clone(), b.clone()).unwrap();
+        let r = axpy(1.75, &a, &b).unwrap();
+        assert_eq!(o.as_f64().unwrap(), r.as_f64().unwrap());
+        let o = scale_owned(a.clone(), -3.25).unwrap();
+        let r = scale(&a, -3.25).unwrap();
+        assert_eq!(o.as_f64().unwrap(), r.as_f64().unwrap());
+    }
+
+    #[test]
+    fn add_n_owned_matches_including_negative_zero() {
+        // The allocating path starts each element at literal 0.0, so
+        // a -0.0 input yields +0.0 (0.0 + -0.0 == +0.0); the forwarding
+        // path must reproduce that exactly.
+        let x = t64(&[-0.0, 1.0]);
+        let y = t64(&[0.0, 2.0]);
+        let naive = add_n(&[x.clone(), y.clone()]).unwrap();
+        let px = x.dense_ptr().unwrap();
+        let owned = add_n_owned(vec![x, y]).unwrap();
+        assert_eq!(owned.dense_ptr(), Some(px), "forwarded into inputs[0]");
+        let nb: Vec<u64> = naive
+            .as_f64()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let ob: Vec<u64> = owned
+            .as_f64()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(nb, ob);
+        assert_eq!(owned.as_f64().unwrap()[0].to_bits(), 0f64.to_bits());
+    }
+
+    #[test]
+    fn owned_synthetic_seeds_match_borrowed() {
+        let a = Tensor::synthetic(DType::F64, [8], 1);
+        let b = Tensor::synthetic(DType::F64, [8], 2);
+        assert_eq!(
+            add_owned(a.clone(), b.clone()).unwrap().synthetic_seed(),
+            add(&a, &b).unwrap().synthetic_seed()
+        );
+        assert_eq!(
+            add_n_owned(vec![a.clone(), b.clone()])
+                .unwrap()
+                .synthetic_seed(),
+            add_n(&[a.clone(), b.clone()]).unwrap().synthetic_seed()
+        );
+        assert_eq!(
+            scale_owned(a.clone(), 2.0).unwrap().synthetic_seed(),
+            scale(&a, 2.0).unwrap().synthetic_seed()
+        );
+        assert_eq!(
+            axpy_owned(0.5, a.clone(), b.clone())
+                .unwrap()
+                .synthetic_seed(),
+            axpy(0.5, &a, &b).unwrap().synthetic_seed()
+        );
     }
 }

@@ -305,6 +305,30 @@ impl Tensor {
         }
     }
 
+    /// Mutable access to the dense payload, only when this tensor is
+    /// the *sole* owner of its buffer (`Arc` refcount 1). Any other
+    /// live reference — a `Variable`'s stored value, a queued tuple, a
+    /// caller-held feed, a `reshape` view — keeps the refcount above 1
+    /// and makes this return `None`, which is exactly the safety rule
+    /// buffer forwarding relies on.
+    pub fn try_unique_data(&mut self) -> Option<&mut TensorData> {
+        match &mut self.storage {
+            Storage::Dense(d) => Arc::get_mut(d),
+            Storage::Synthetic { .. } => None,
+        }
+    }
+
+    /// Address identity of the dense buffer (`None` for synthetic).
+    /// Two tensors with equal `dense_ptr` share storage — used by tests
+    /// asserting that forwarding never aliases a still-referenced
+    /// buffer.
+    pub fn dense_ptr(&self) -> Option<usize> {
+        match &self.storage {
+            Storage::Dense(d) => Some(Arc::as_ptr(d) as usize),
+            Storage::Synthetic { .. } => None,
+        }
+    }
+
     /// View as `&[f32]`.
     pub fn as_f32(&self) -> Result<&[f32], TensorError> {
         match self.data()? {

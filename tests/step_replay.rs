@@ -1,0 +1,372 @@
+//! Step-replay fast path: memoized execution plans + in-place buffer
+//! forwarding. Covers plan-cache hit/miss accounting and generation
+//! invalidation, per-signature plan separation, bit-identity of the
+//! cached/forwarding executor against the rebuild-every-step path
+//! (session-level, across the paper's apps in both execution modes,
+//! observability on and off, and under a seeded fault schedule), and
+//! the forwarding safety invariant: an in-place kernel never mutates a
+//! buffer a variable, a queue or a rendezvous table still references.
+//!
+//! The seeded test honors `TFHPC_FAULT_SEED` (CI sweeps 17/42/1337).
+
+use std::sync::Arc;
+use tfhpc_apps::cg::gather_solution;
+use tfhpc_apps::{
+    run_cg_supervised, run_cg_with_store, run_fft, run_matmul, run_stream, CgConfig, CgReduction,
+    FaultSetup, FftConfig, MatmulConfig, StreamConfig,
+};
+use tfhpc_core::{DeviceCtx, Graph, Resources, RetryConfig, Session, SessionOptions};
+use tfhpc_dist::{recv, send, ClusterSpec, RendezvousKey, TaskKey, TfCluster};
+use tfhpc_sim::fault::FaultPlan;
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::{tegner_k420, tegner_k80};
+use tfhpc_tensor::{ops, rng, DType, Shape, Tensor};
+
+fn session_for(g: Arc<Graph>, step_replay: bool) -> Session {
+    Session::with_options(
+        g,
+        Resources::new(),
+        DeviceCtx::real(0),
+        SessionOptions {
+            inter_op_threads: 1,
+            // Single-threaded kernels keep float reductions bitwise
+            // reproducible across the two executors under test.
+            intra_op_threads: 1,
+            step_replay,
+        },
+    )
+}
+
+fn vec_f64(n: usize, seed: u64) -> Tensor {
+    rng::random_uniform(DType::F64, [n], seed).unwrap()
+}
+
+#[test]
+fn plan_cache_hits_and_graph_mutation_invalidates() {
+    let mut gb = Graph::new();
+    let a = gb.constant(vec_f64(32, 1));
+    let b = gb.constant(vec_f64(32, 2));
+    let c = gb.add(a, b);
+    let d = gb.scale(c, 2.0);
+    let g = Arc::new(gb);
+    let s = session_for(Arc::clone(&g), true);
+
+    let r1 = s.run(&[d], &[]).unwrap();
+    let r2 = s.run(&[d], &[]).unwrap();
+    assert_eq!(s.plan_cache_stats(), (1, 1), "second run must hit");
+
+    // Out-of-band mutation: the stamped generation goes stale and the
+    // next run rebuilds, after which the fresh plan is cached again.
+    g.invalidate_plans();
+    let r3 = s.run(&[d], &[]).unwrap();
+    assert_eq!(s.plan_cache_stats(), (1, 2), "stale plan must rebuild");
+    let r4 = s.run(&[d], &[]).unwrap();
+    assert_eq!(s.plan_cache_stats(), (2, 2));
+
+    for r in [&r2, &r3, &r4] {
+        assert_eq!(
+            r[0].as_f64().unwrap(),
+            r1[0].as_f64().unwrap(),
+            "cache churn must not change results"
+        );
+    }
+}
+
+#[test]
+fn replay_disabled_rebuilds_every_step() {
+    let mut gb = Graph::new();
+    let a = gb.constant(vec_f64(8, 3));
+    let b = gb.neg(a);
+    let s = session_for(Arc::new(gb), false);
+    for _ in 0..3 {
+        s.run(&[b], &[]).unwrap();
+    }
+    assert_eq!(
+        s.plan_cache_stats(),
+        (0, 3),
+        "step_replay off must never hit the plan cache"
+    );
+}
+
+#[test]
+fn distinct_run_signatures_get_distinct_plans() {
+    let mut gb = Graph::new();
+    let p = gb.placeholder(DType::F64, Some(Shape::vector(16)));
+    let q = gb.placeholder(DType::F64, Some(Shape::vector(16)));
+    let sum = gb.add(p, q);
+    let scaled = gb.scale(sum, 3.0);
+    let s = session_for(Arc::new(gb), true);
+
+    let x = vec_f64(16, 10);
+    let y = vec_f64(16, 11);
+    let feeds = [(p, x.clone()), (q, y.clone())];
+
+    // Three signatures: fetch {sum}, fetch {scaled}, fetch {sum} with a
+    // larger feed set. Each gets its own cached plan; repeats hit.
+    s.run(&[sum], &feeds).unwrap();
+    s.run(&[sum], &feeds).unwrap();
+    s.run(&[scaled], &feeds).unwrap();
+    s.run(&[scaled], &feeds).unwrap();
+    assert_eq!(s.plan_cache_stats(), (2, 2));
+
+    let mut gb2 = Graph::new();
+    let p2 = gb2.placeholder(DType::F64, Some(Shape::vector(16)));
+    let q2 = gb2.placeholder(DType::F64, Some(Shape::vector(16)));
+    let c2 = gb2.add(p2, p2);
+    let _ = q2;
+    let s2 = session_for(Arc::new(gb2), true);
+    // Same fetch, different feed-node sets: the unused extra feed still
+    // changes the run signature, so a separate plan is built.
+    s2.run(&[c2], &[(p2, x.clone())]).unwrap();
+    s2.run(&[c2], &[(p2, x.clone()), (q2, y.clone())]).unwrap();
+    assert_eq!(s2.plan_cache_stats(), (0, 2));
+    s2.run(&[c2], &[(p2, x)]).unwrap();
+    assert_eq!(s2.plan_cache_stats(), (1, 2));
+}
+
+/// A CG-shaped elementwise mix (shared operands, an intermediate that
+/// is both fetched and consumed downstream, duplicate fetches) run for
+/// several steps through both executors: every fetched tensor must
+/// match bit for bit.
+#[test]
+fn cached_forwarding_executor_is_bit_identical_to_naive() {
+    let build = || {
+        let mut gb = Graph::new();
+        let x = gb.placeholder(DType::F64, Some(Shape::vector(256)));
+        let y = gb.placeholder(DType::F64, Some(Shape::vector(256)));
+        let t1 = gb.add(x, y);
+        let t2 = gb.mul(t1, x);
+        let t3 = gb.neg(t2);
+        let t4 = gb.scale(t1, 0.5);
+        let t5 = gb.sub(t3, t4);
+        let t6 = gb.add_n(&[t1, t3, t5]);
+        let t7 = gb.dot(t6, t6);
+        (gb, x, y, vec![t4, t6, t6, t7])
+    };
+    let (g1, x1, y1, f1) = build();
+    let (g2, x2, y2, f2) = build();
+    let fast = session_for(Arc::new(g1), true);
+    let naive = session_for(Arc::new(g2), false);
+
+    for step in 0..5u64 {
+        let xv = vec_f64(256, 100 + step);
+        let yv = vec_f64(256, 200 + step);
+        let a = fast
+            .run(&f1, &[(x1, xv.clone()), (y1, yv.clone())])
+            .unwrap();
+        let b = naive.run(&f2, &[(x2, xv), (y2, yv)]).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.iter().zip(&b) {
+            let (va, vb) = (ta.as_f64().unwrap(), tb.as_f64().unwrap());
+            assert_eq!(va.len(), vb.len());
+            for (ea, eb) in va.iter().zip(vb) {
+                assert_eq!(ea.to_bits(), eb.to_bits(), "step {step} diverged");
+            }
+        }
+    }
+    let (hits, misses) = fast.plan_cache_stats();
+    assert_eq!((hits, misses), (4, 1), "steady state must replay the plan");
+}
+
+#[test]
+fn forwarding_never_aliases_variable_storage() {
+    let mut gb = Graph::new();
+    let r = gb.var_read("v");
+    // The read is this run's last (only) consumer of the variable's
+    // tensor — forwarding hands it to scale_owned by value, but the
+    // store still holds a reference, so the kernel must copy.
+    let doubled = gb.scale(r, 2.0);
+    let s = session_for(Arc::new(gb), true);
+    s.resources()
+        .create_variable("v", Tensor::from_f64([8], vec![1.0; 8]).unwrap());
+    let held = s.resources().variable("v").unwrap().read();
+
+    let out = s.run(&[doubled], &[]).unwrap();
+    assert_eq!(out[0].as_f64().unwrap(), &[2.0; 8]);
+    let after = s.resources().variable("v").unwrap().read();
+    assert_eq!(
+        after.as_f64().unwrap(),
+        &[1.0; 8],
+        "variable mutated in place"
+    );
+    assert_eq!(
+        after.dense_ptr(),
+        held.dense_ptr(),
+        "variable storage must be untouched"
+    );
+    assert_ne!(
+        out[0].dense_ptr(),
+        held.dense_ptr(),
+        "forwarded result must not share the variable's buffer"
+    );
+}
+
+#[test]
+fn forwarding_never_aliases_queued_tensors() {
+    let mut gb = Graph::new();
+    let c = gb.constant(Tensor::from_f64([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+    let enq = gb.queue_enqueue("q", &[c]);
+    let tripled = gb.scale(c, 3.0);
+    let s = session_for(Arc::new(gb), true);
+    s.resources().create_queue("q", 8);
+
+    s.run_no_fetch(&[enq, tripled], &[]).unwrap();
+    s.run_no_fetch(&[enq, tripled], &[]).unwrap();
+    let q = s.resources().queue("q").unwrap();
+    for _ in 0..2 {
+        let tuple = q.dequeue().unwrap();
+        assert_eq!(
+            tuple[0].as_f64().unwrap(),
+            &[1.0, 2.0, 3.0, 4.0],
+            "queued tensor was mutated by an in-place consumer"
+        );
+    }
+}
+
+#[test]
+fn forwarding_never_aliases_rendezvous_held_tensors() {
+    let spec = ClusterSpec::new([
+        ("a".to_string(), vec!["a:1".to_string()]),
+        ("b".to_string(), vec!["b:1".to_string()]),
+    ]);
+    let c = TfCluster::new(spec, Protocol::Rdma, None);
+    let a = c.start_server(TaskKey::new("a", 0), 0, vec![]);
+    let b = c.start_server(TaskKey::new("b", 0), 1, vec![]);
+    let key = RendezvousKey::new(a.key.clone(), b.key.clone(), "x", 0);
+
+    let v = Tensor::from_f64([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+    send(&a, &key, v.clone(), None).unwrap();
+    // The rendezvous table still references `v`'s buffer; the owned
+    // kernel must fall back to a copy rather than scaling in place.
+    let doubled = ops::scale_owned(v, 2.0).unwrap();
+    let got = recv(&b, &key, None).unwrap();
+    assert_eq!(got.as_f64().unwrap(), &[1.0, 2.0, 3.0, 4.0]);
+    assert_eq!(doubled.as_f64().unwrap(), &[2.0, 4.0, 6.0, 8.0]);
+    assert_ne!(got.dense_ptr(), doubled.dense_ptr());
+}
+
+/// One test (not several) flips the process-global `TFHPC_STEP_REPLAY`
+/// switch, so concurrently running tests never observe a transient
+/// value. Covers: all four apps in sim mode (virtual times and results
+/// bit-identical with replay on/off, trace sink on and off), real-mode
+/// CG solutions bit-identical, and a seeded transient-fault CG run
+/// (`TFHPC_FAULT_SEED` sweep) equal across both executors.
+#[test]
+fn apps_bit_identical_with_replay_on_and_off() {
+    let p80 = tegner_k80();
+    let cg_cfg = CgConfig {
+        n: 64,
+        workers: 2,
+        iterations: 6,
+        protocol: Protocol::Rdma,
+        simulated: true,
+        checkpoint_every: None,
+        resume: false,
+        reduction: CgReduction::QueuePair,
+    };
+    let sim_sweep = || {
+        let (cg, _) = run_cg_with_store(&p80, &cg_cfg, None).unwrap();
+        let mm = run_matmul(
+            &p80,
+            &MatmulConfig {
+                n: 16384,
+                tile: 8192,
+                workers: 2,
+                reducers: 1,
+                protocol: Protocol::Rdma,
+                simulated: true,
+                prefetch: 2,
+            },
+        )
+        .unwrap();
+        let ff = run_fft(
+            &p80,
+            &FftConfig {
+                log2_n: 20,
+                tiles: 4,
+                workers: 2,
+                protocol: Protocol::Rdma,
+                simulated: true,
+                merge_cost_factor: 0.0,
+            },
+        )
+        .unwrap();
+        let st = run_stream(
+            &p80,
+            &StreamConfig {
+                size_bytes: 1 << 20,
+                invocations: 4,
+                on_gpu: true,
+                protocol: Protocol::Rdma,
+                simulated: true,
+            },
+        )
+        .unwrap();
+        [
+            cg.elapsed_s.to_bits(),
+            cg.rs_final.to_bits(),
+            cg.gflops.to_bits(),
+            mm.elapsed_s.to_bits(),
+            mm.gflops.to_bits(),
+            ff.collect_s.to_bits(),
+            ff.total_s.to_bits(),
+            st.elapsed_s.to_bits(),
+            st.mbs.to_bits(),
+        ]
+    };
+    let real_cg = || {
+        let cfg = CgConfig {
+            simulated: false,
+            ..cg_cfg.clone()
+        };
+        let (r, store) = run_cg_with_store(&p80, &cfg, None).unwrap();
+        let x = gather_solution(&store, &cfg).unwrap();
+        let bits: Vec<u64> = x.as_f64().unwrap().iter().map(|v| v.to_bits()).collect();
+        (r.rs_final.to_bits(), bits)
+    };
+    let seeded_faults = || {
+        let seed: u64 = std::env::var("TFHPC_FAULT_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        let p = tegner_k420();
+        let cfg = CgConfig {
+            n: 128,
+            workers: 2,
+            iterations: 8,
+            protocol: Protocol::Rdma,
+            simulated: true,
+            checkpoint_every: Some(4),
+            resume: false,
+            reduction: CgReduction::QueuePair,
+        };
+        let (clean, _) = run_cg_with_store(&p, &cfg, None).unwrap();
+        let plan = FaultPlan::seeded(seed, 3, clean.elapsed_s);
+        let setup =
+            FaultSetup::new(plan, 0).with_retry(RetryConfig::new(10, clean.elapsed_s * 0.05));
+        let (r, _) = run_cg_supervised(&p, &cfg, &setup).unwrap();
+        (r.rs_final.to_bits(), r.elapsed_s.to_bits(), r.restarts)
+    };
+
+    std::env::set_var("TFHPC_STEP_REPLAY", "1");
+    let sim_on = sim_sweep();
+    let real_on = real_cg();
+    let fault_on = seeded_faults();
+
+    // Trace sink on for the replay-off pass: observability must not
+    // perturb results either.
+    tfhpc_obs::trace::global().enable();
+    std::env::set_var("TFHPC_STEP_REPLAY", "off");
+    let sim_off = sim_sweep();
+    let real_off = real_cg();
+    let fault_off = seeded_faults();
+    tfhpc_obs::trace::global().disable();
+    std::env::remove_var("TFHPC_STEP_REPLAY");
+
+    assert_eq!(
+        sim_on, sim_off,
+        "sim-mode reports diverged across executors"
+    );
+    assert_eq!(real_on, real_off, "real-mode CG solution diverged");
+    assert_eq!(fault_on, fault_off, "seeded fault run diverged");
+}
