@@ -17,6 +17,7 @@
 //! Optional checkpoint/restart via the framework `Saver` — the
 //! capability §II-B highlights.
 
+use crate::supervised::{common_resume, Checkpointer, CKPT_KEEP};
 use crate::{AppError, FaultSetup};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -106,35 +107,6 @@ fn b_key() -> Vec<i64> {
 
 fn x_key(w: usize) -> Vec<i64> {
     vec![2, w as i64]
-}
-
-fn ckpt_key(w: usize) -> Vec<i64> {
-    vec![3, w as i64]
-}
-
-fn ckpt_meta_key(w: usize) -> Vec<i64> {
-    vec![4, w as i64]
-}
-
-/// The checkpoint iteration common to *every* worker: `Some(k)` only
-/// when each worker's checkpoint meta is present and they all agree.
-/// A crash can interrupt the gang mid-checkpoint, leaving a partial
-/// set; resuming from it would put workers at different iterations, so
-/// a restart ignores it and recomputes from scratch — either way the
-/// trajectory is the uninterrupted one, bit for bit.
-fn common_checkpoint(store: &TileStore, workers: usize) -> Option<usize> {
-    let mut common = None;
-    for w in 0..workers {
-        let meta = store.get(&ckpt_meta_key(w)).ok()?;
-        let vals = meta.as_f64().ok()?;
-        let k = vals[0] as usize;
-        match common {
-            None => common = Some(k),
-            Some(c) if c != k => return None,
-            Some(_) => {}
-        }
-    }
-    common
 }
 
 /// Populate the shared store with the row blocks of a seeded SPD matrix
@@ -349,6 +321,39 @@ fn gather_p(
     }
 }
 
+/// Broadcast the gang's resume decision (`Some(k)` = restore the common
+/// checkpoint of iteration `k`, `None` = cold start) to workers
+/// `first..workers`. Exactly one task per generation decides (the
+/// reducer in QueuePair mode, worker 0 under Ring) so every task acts
+/// on the same snapshot of the store — a dying generation's last
+/// checkpoint write landing between two independent `common_resume`
+/// reads would otherwise split the gang across resume points and
+/// deadlock the reduction protocol.
+fn publish_resume_decision(
+    ctx: &TaskCtx,
+    first: usize,
+    workers: usize,
+    decision: Option<u64>,
+) -> CoreResult<()> {
+    let msg = match decision {
+        Some(k) => vec![1i64, k as i64],
+        None => vec![0, 0],
+    };
+    for w in first..workers {
+        let t = Tensor::from_i64([2], msg.clone())?;
+        ctx.server
+            .remote_enqueue(&TaskKey::new("worker", w), "resume", vec![t], None)?;
+    }
+    Ok(())
+}
+
+/// Receive the generation's broadcast resume decision.
+fn recv_resume_decision(ctx: &TaskCtx) -> CoreResult<Option<u64>> {
+    let resume = ctx.server.resources.create_queue("resume", 1);
+    let v = resume.dequeue()?[0].as_i64()?.to_vec();
+    Ok((v[0] == 1).then(|| v[1] as u64))
+}
+
 fn worker_task(
     ctx: &TaskCtx,
     cfg: &CgConfig,
@@ -392,23 +397,48 @@ fn worker_task(
 
     // Mutable driver state (host side): full p and scalar bookkeeping.
     // Resume point: an explicit `cfg.resume` trusts this worker's own
-    // checkpoint (it must exist); a supervisor restart resumes only
-    // from a checkpoint common to every worker ([`common_checkpoint`]),
-    // cold-starting otherwise.
-    let resume_from: Option<usize> = if cfg.resume {
-        let meta = store.get(&ckpt_meta_key(w))?;
-        Some(meta.as_f64()?[0] as usize)
+    // newest valid checkpoint (it must exist); a supervisor restart
+    // follows the generation's broadcast decision (the newest
+    // checkpoint valid for every worker, decided once — see
+    // [`publish_resume_decision`]), cold-starting otherwise. Torn or
+    // stale checkpoint generations fail validation and are skipped by
+    // both paths — a corrupted latest never aborts the run.
+    let ckpt = Checkpointer::new(Arc::clone(store), w, CKPT_KEEP);
+    let restored: Option<(usize, Vec<u8>)> = if cfg.resume {
+        let (k, payload) = ckpt.latest_valid(ctx).ok_or_else(|| {
+            CoreError::data_loss(format!(
+                "resume requested but worker {w} has no valid checkpoint"
+            ))
+        })?;
+        Some((k as usize, payload))
     } else if ctx.attempt() > 0 {
-        common_checkpoint(store, cfg.workers)
+        let decision = if matches!(cfg.reduction, CgReduction::Ring) && w == 0 {
+            let d = common_resume(ctx, store, cfg.workers, CKPT_KEEP);
+            publish_resume_decision(ctx, 1, cfg.workers, d)?;
+            d
+        } else {
+            recv_resume_decision(ctx)?
+        };
+        match decision {
+            None => None,
+            Some(k) => {
+                let payload = ckpt.restore_at(ctx, k).ok_or_else(|| {
+                    CoreError::data_loss(format!(
+                        "worker {w}: agreed resume checkpoint (iter {k}) failed validation"
+                    ))
+                })?;
+                Some((k as usize, payload))
+            }
+        }
     } else {
         None
     };
+    let resume_from = restored.as_ref().map(|(k, _)| *k);
     let mut p = b.clone();
     let mut start_iter = 0usize;
-    if let Some(k) = resume_from {
+    if let Some((k, payload)) = restored {
         // Restore variables + driver state from the shared checkpoint.
-        let blob = store.get(&ckpt_key(w))?;
-        Saver::restore_from_bytes(&ctx.server.resources, blob.as_u8()?)?;
+        Saver::restore_from_bytes(&ctx.server.resources, &payload)?;
         start_iter = k;
         p = ctx.server.resources.variable("p_full")?.read();
     } else {
@@ -502,15 +532,7 @@ fn worker_task(
                     .variable("rs_old")?
                     .assign(Tensor::scalar_f64(rs_old))?;
                 let blob = Saver::save_to_bytes(&ctx.server.resources)?;
-                let len = blob.len();
-                store.put(ckpt_key(w), Tensor::from_u8([len], blob)?);
-                store.put(
-                    ckpt_meta_key(w),
-                    Tensor::from_f64([1], vec![(iter + 1) as f64])?,
-                );
-                if let Some(sim) = &ctx.server.devices.sim {
-                    sim.cluster.pfs.write(sim.node, len as u64);
-                }
+                ckpt.save(ctx, ((iter + 1) / k) as u64, (iter + 1) as u64, &blob)?;
             }
         }
     }
@@ -622,15 +644,18 @@ fn run_cg_inner(
         ctx.server.resources.register_store(Arc::clone(&store));
         if ctx.job() == "reducer" {
             // When resuming, fewer rounds remain and the initial
-            // residual reduction was already served. The decision must
-            // mirror the workers' exactly (see `worker_task`).
+            // residual reduction was already served. The reducer is the
+            // generation's single decider: it reads the common resume
+            // point once and broadcasts it so every worker mirrors this
+            // decision exactly (see `publish_resume_decision`).
             let done = if cfg_body.resume {
-                store
-                    .get(&ckpt_meta_key(0))
-                    .ok()
-                    .and_then(|m| m.as_f64().ok().map(|v| v[0] as usize))
+                Checkpointer::new(Arc::clone(&store), 0, CKPT_KEEP)
+                    .latest_valid(&ctx)
+                    .map(|(k, _)| k as usize)
             } else if ctx.attempt() > 0 {
-                common_checkpoint(&store, cfg_body.workers)
+                let d = common_resume(&ctx, &store, cfg_body.workers, CKPT_KEEP);
+                publish_resume_decision(&ctx, 0, cfg_body.workers, d)?;
+                d.map(|k| k as usize)
             } else {
                 None
             };

@@ -9,14 +9,16 @@
 //! `py_func`-style host callback whose cost model carries the Python
 //! tax the paper's §VIII discusses.
 
-use crate::AppError;
+use crate::supervised::{stats_of, Checkpointer, SupervisedStats, CKPT_KEEP};
+use crate::{AppError, FaultSetup};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use tfhpc_core::{
     kernels::PY_FUNC_DEFAULT_COST_FACTOR, CoreError, DatasetIterator, FifoQueue, Graph, OpKernel,
-    Placement, Resources, Result as CoreResult, SessionOptions, TileStore,
+    Placement, Resources, Result as CoreResult, SessionOptions, TensorProto, TileStore,
 };
 use tfhpc_dist::{launch_with_setup, JobSpec, LaunchConfig, Server, TaskCtx, TaskKey};
+use tfhpc_proto::{Decoder, Encoder, Message};
 use tfhpc_sim::net::Protocol;
 use tfhpc_sim::platform::Platform;
 use tfhpc_tensor::{fft, Complex64, DType, Tensor};
@@ -136,9 +138,29 @@ impl OpKernel for PushToMerger {
     }
 }
 
-fn worker_task(ctx: &TaskCtx, cfg: &FftConfig, store: &Arc<TileStore>) -> CoreResult<()> {
+fn worker_task(
+    ctx: &TaskCtx,
+    cfg: &FftConfig,
+    store: &Arc<TileStore>,
+    supervised: bool,
+) -> CoreResult<()> {
     let w = ctx.index();
-    let my_tiles: Vec<usize> = (0..cfg.tiles).filter(|l| l % cfg.workers == w).collect();
+    // Under supervision, wait for the merger's done-set before producing
+    // anything, and skip tiles whose spectra already survived in a
+    // checkpoint.
+    let mut skip: std::collections::HashSet<usize> = std::collections::HashSet::new();
+    if supervised {
+        let resume = ctx.server.resources.create_queue("resume", 1);
+        let tuple = resume.dequeue()?;
+        let list = tuple[0].as_i64()?.to_vec();
+        let n_done = list[0] as usize;
+        for d in 0..n_done {
+            skip.insert(list[1 + d] as usize);
+        }
+    }
+    let my_tiles: Vec<usize> = (0..cfg.tiles)
+        .filter(|l| l % cfg.workers == w && !skip.contains(l))
+        .collect();
 
     // Prefetched input pipeline loading tiles from the PFS.
     let pipe = FifoQueue::new(&format!("fft.pipe.{w}"), 2);
@@ -170,7 +192,7 @@ fn worker_task(ctx: &TaskCtx, cfg: &FftConfig, store: &Arc<TileStore>) -> CoreRe
     }
     ctx.server
         .resources
-        .register_iterator("pipe", DatasetIterator::from_queue(pipe));
+        .register_iterator("pipe", DatasetIterator::from_queue(Arc::clone(&pipe)));
 
     let mut g = Graph::new();
     let parts = g.dataset_next("pipe", 2);
@@ -183,7 +205,7 @@ fn worker_task(ctx: &TaskCtx, cfg: &FftConfig, store: &Arc<TileStore>) -> CoreRe
         .server
         .session_with_options(Arc::new(g), SessionOptions::from_env());
     let tr = tfhpc_obs::trace::global();
-    loop {
+    let result = (|| loop {
         ctx.check_faults()?;
         let _s = tr.span("fft.tile");
         match sess.run_no_fetch(&[push_node], &[]) {
@@ -191,7 +213,61 @@ fn worker_task(ctx: &TaskCtx, cfg: &FftConfig, store: &Arc<TileStore>) -> CoreRe
             Err(CoreError::EndOfSequence) => return Ok(()),
             Err(e) => return Err(e),
         }
+    })();
+    // A crash mid-run leaves this generation's filler parked on a full
+    // pipe with its only consumer gone; cancel the queue so the filler
+    // errors out instead of deadlocking the simulation.
+    pipe.close_with_cancel(true);
+    result
+}
+
+/// Encode the merger's collected spectra as a checkpoint payload:
+/// repeated nested messages `{1: tile index, 2: TensorProto bytes}`.
+fn encode_spectra(spectra: &[Option<Tensor>]) -> CoreResult<Vec<u8>> {
+    let mut outer = Encoder::new();
+    for (l, spectrum) in spectra.iter().enumerate() {
+        if let Some(spectrum) = spectrum {
+            let mut inner = Encoder::new();
+            inner.put_u64(1, l as u64);
+            inner.put_bytes(
+                2,
+                &TensorProto(spectrum.clone())
+                    .to_bytes()
+                    .map_err(CoreError::from)?,
+            );
+            outer.put_bytes(1, &inner.finish().map_err(CoreError::from)?);
+        }
     }
+    outer.finish().map_err(CoreError::from)
+}
+
+fn decode_spectra(payload: &[u8], tiles: usize) -> CoreResult<Vec<Option<Tensor>>> {
+    let mut spectra: Vec<Option<Tensor>> = vec![None; tiles];
+    let mut outer = Decoder::new(payload).map_err(CoreError::from)?;
+    while let Some((field, value)) = outer.next_field().map_err(CoreError::from)? {
+        if field != 1 {
+            continue;
+        }
+        let mut inner =
+            Decoder::new(value.as_bytes().map_err(CoreError::from)?).map_err(CoreError::from)?;
+        let (mut l, mut spectrum) = (None, None);
+        while let Some((f, v)) = inner.next_field().map_err(CoreError::from)? {
+            match f {
+                1 => l = Some(v.as_u64().map_err(CoreError::from)? as usize),
+                2 => {
+                    let bytes = v.as_bytes().map_err(CoreError::from)?;
+                    spectrum = Some(TensorProto::decode(bytes).map_err(CoreError::from)?.0);
+                }
+                _ => {}
+            }
+        }
+        if let (Some(l), Some(spectrum)) = (l, spectrum) {
+            if l < tiles {
+                spectra[l] = Some(spectrum);
+            }
+        }
+    }
+    Ok(spectra)
 }
 
 fn merger_task(
@@ -199,11 +275,37 @@ fn merger_task(
     cfg: &FftConfig,
     store: &Arc<TileStore>,
     collect_time: &Arc<Mutex<f64>>,
+    ckpt_every: Option<usize>,
 ) -> CoreResult<()> {
     let queue = ctx.server.resources.create_queue("spectra", 16);
     let mut spectra: Vec<Option<Tensor>> = vec![None; cfg.tiles];
+    // Under supervision, reinstate the newest valid checkpoint and tell
+    // every worker which tiles are already collected. The handshake runs
+    // on every attempt (cold starts publish an empty set) so workers can
+    // block on it unconditionally.
+    let ckpt = ckpt_every.map(|_| Checkpointer::new(Arc::clone(store), 0, CKPT_KEEP));
+    if let Some(ckpt) = &ckpt {
+        if ctx.attempt() > 0 {
+            if let Some((_, payload)) = ckpt.latest_valid(ctx) {
+                spectra = decode_spectra(&payload, cfg.tiles)?;
+            }
+        }
+        let done: Vec<usize> = (0..cfg.tiles).filter(|&l| spectra[l].is_some()).collect();
+        let mut list = vec![done.len() as i64];
+        list.extend(done.iter().map(|&l| l as i64));
+        let tensor = Tensor::from_i64([list.len()], list)?;
+        for w in 0..cfg.workers {
+            ctx.server.remote_enqueue(
+                &TaskKey::new("worker", w),
+                "resume",
+                vec![tensor.clone()],
+                None,
+            )?;
+        }
+    }
+    let restored = spectra.iter().filter(|s| s.is_some()).count();
     let tr = tfhpc_obs::trace::global();
-    for _ in 0..cfg.tiles {
+    for received in 1..=(cfg.tiles - restored) {
         let _s = tr.span("fft.collect");
         let tuple = queue.dequeue()?;
         let l = tuple[0].scalar_value_i64()? as usize;
@@ -214,6 +316,13 @@ fn merger_task(
             );
         }
         spectra[l] = Some(tuple[1].clone());
+        if let (Some(ckpt), Some(every)) = (&ckpt, ckpt_every) {
+            if received.is_multiple_of(every) {
+                let ordinal = (received / every) as u64;
+                let iter = (restored + received) as u64;
+                ckpt.save(ctx, ordinal, iter, &encode_spectra(&spectra)?)?;
+            }
+        }
     }
     // All tiles collected: this ends the paper's timed region.
     *collect_time.lock() = ctx.now();
@@ -268,6 +377,35 @@ pub fn run_fft_with_store(
     platform: &Platform,
     cfg: &FftConfig,
 ) -> Result<(FftReport, Arc<TileStore>), AppError> {
+    run_fft_inner(platform, cfg, None, &FaultSetup::default()).map(|(r, _, s)| (r, s))
+}
+
+/// Run the distributed FFT under checkpoint-restart supervision with
+/// fault injection: the merger checkpoints its collected spectra
+/// (sealed, torn/stale-injectable) every `ckpt_every` receipts, and
+/// after a gang restart it restores the newest valid generation and
+/// hands every worker the set of already-collected tiles to skip. The
+/// merge is l-ordered, so the recovered spectrum is bit-identical to a
+/// fault-free run's. Returns the report, the integrity-plane stats and
+/// the shared store (merged spectrum under key `[-1]`).
+pub fn run_fft_supervised(
+    platform: &Platform,
+    cfg: &FftConfig,
+    ckpt_every: usize,
+    faults: &FaultSetup,
+) -> Result<(FftReport, SupervisedStats, Arc<TileStore>), AppError> {
+    if ckpt_every == 0 {
+        return Err(AppError::Config("ckpt_every must be > 0".into()));
+    }
+    run_fft_inner(platform, cfg, Some(ckpt_every), faults)
+}
+
+fn run_fft_inner(
+    platform: &Platform,
+    cfg: &FftConfig,
+    ckpt_every: Option<usize>,
+    faults: &FaultSetup,
+) -> Result<(FftReport, SupervisedStats, Arc<TileStore>), AppError> {
     crate::observe::run_started();
     if cfg.workers == 0 {
         return Err(AppError::Config("workers must be > 0".into()));
@@ -290,11 +428,11 @@ pub fn run_fft_with_store(
         JobSpec::new("merger", 1, 0),
         JobSpec::new("worker", cfg.workers, 1),
     ];
-    let launch_cfg = if cfg.simulated {
+    let launch_cfg = faults.apply(if cfg.simulated {
         LaunchConfig::simulated(platform.clone(), jobs, cfg.protocol)
     } else {
         LaunchConfig::real(platform.clone(), jobs, cfg.protocol)
-    };
+    });
     let cfg2 = cfg.clone();
     let collect_time = Arc::new(Mutex::new(0.0f64));
     let collect2 = Arc::clone(&collect_time);
@@ -313,15 +451,16 @@ pub fn run_fft_with_store(
             let store = ctx.server.cluster().shared_store("fft");
             ctx.server.resources.register_store(Arc::clone(&store));
             if ctx.job() == "merger" {
-                merger_task(&ctx, &cfg_body, &store, &collect2)
+                merger_task(&ctx, &cfg_body, &store, &collect2, ckpt_every)
             } else {
-                worker_task(&ctx, &cfg_body, &store)
+                worker_task(&ctx, &cfg_body, &store, ckpt_every.is_some())
             }
         },
     )
     .map_err(AppError::Core)?;
 
     crate::observe::run_finished("fft", launched.sim.as_ref(), false);
+    let stats = stats_of(&launched);
     let collect_s = *collect_time.lock();
     let store = store_slot.lock().take().expect("store captured");
     Ok((
@@ -330,6 +469,7 @@ pub fn run_fft_with_store(
             collect_s,
             total_s: launched.elapsed_s,
         },
+        stats,
         store,
     ))
 }
@@ -409,6 +549,52 @@ mod tests {
         )
         .is_err());
         assert!(run_fft(&p, &FftConfig { workers: 0, ..base }).is_err());
+    }
+
+    #[test]
+    fn supervised_crash_and_corruption_reproduce_spectrum() {
+        use tfhpc_core::RetryConfig;
+        use tfhpc_sim::fault::FaultPlan;
+        let p = platform::tegner_k80();
+        let cfg = sim_cfg(26, 16, 2);
+        let (clean_report, clean_stats, clean_store) =
+            run_fft_supervised(&p, &cfg, 2, &crate::FaultSetup::default()).unwrap();
+        assert_eq!(clean_stats.restarts, 0);
+
+        // Tegner K80 packs 2 tasks per node: the merger sits on node 0,
+        // both workers on node 1. Crash the worker node mid-collection,
+        // then corrupt its link for a window the retries can ride out.
+        let t = clean_report.collect_s;
+        let plan = FaultPlan::new()
+            .crash(1, t * 0.5)
+            .link_corrupt(1, t * 0.6, t * 1.0);
+        let faults = crate::FaultSetup::new(plan, 2).with_retry(RetryConfig::new(6, t * 0.02));
+        let (_, stats, store) = run_fft_supervised(&p, &cfg, 2, &faults).unwrap();
+        assert!(stats.restarts >= 1, "restarts {}", stats.restarts);
+        assert!(stats.corruption_detected > 0, "{stats:?}");
+        let got = store.get(&[-1]).unwrap();
+        let want = clean_store.get(&[-1]).unwrap();
+        assert_eq!(
+            TensorProto(got).to_bytes().unwrap(),
+            TensorProto(want).to_bytes().unwrap(),
+            "recovered spectrum differs from fault-free run"
+        );
+    }
+
+    #[test]
+    fn checkpoint_spectra_payload_round_trips() {
+        let mut spectra: Vec<Option<Tensor>> = vec![None; 4];
+        spectra[1] = Some(Tensor::synthetic(DType::C128, [8], 3));
+        spectra[3] = Some(Tensor::synthetic(DType::C128, [8], 5));
+        let payload = encode_spectra(&spectra).unwrap();
+        let back = decode_spectra(&payload, 4).unwrap();
+        assert!(back[0].is_none() && back[2].is_none());
+        for l in [1usize, 3] {
+            assert_eq!(
+                TensorProto(back[l].clone().unwrap()).to_bytes().unwrap(),
+                TensorProto(spectra[l].clone().unwrap()).to_bytes().unwrap()
+            );
+        }
     }
 
     #[test]

@@ -24,11 +24,13 @@ pub mod fft;
 pub mod matmul;
 pub(crate) mod observe;
 pub mod stream;
+pub mod supervised;
 
 pub use cg::{run_cg, run_cg_supervised, run_cg_with_store, CgConfig, CgReduction, CgReport};
-pub use fft::{run_fft, run_fft_with_store, FftConfig, FftReport};
-pub use matmul::{run_matmul, MatmulConfig, MatmulReport};
-pub use stream::{run_stream, StreamConfig, StreamReport};
+pub use fft::{run_fft, run_fft_supervised, run_fft_with_store, FftConfig, FftReport};
+pub use matmul::{run_matmul, run_matmul_supervised, MatmulConfig, MatmulReport};
+pub use stream::{run_stream, run_stream_supervised, StreamConfig, StreamReport};
+pub use supervised::{common_resume, stats_of, Checkpointer, SupervisedStats, CKPT_KEEP};
 
 use tfhpc_core::RetryConfig;
 use tfhpc_dist::{LaunchConfig, SupervisorConfig};

@@ -8,13 +8,16 @@
 //! does with two reducers for odd/even targets); reducers accumulate
 //! partials into the output tiles and store them.
 
-use crate::AppError;
+use crate::supervised::{stats_of, Checkpointer, SupervisedStats, CKPT_KEEP};
+use crate::{AppError, FaultSetup};
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 use tfhpc_core::{
     CoreError, DatasetIterator, FifoQueue, Graph, OpKernel, Resources, Result as CoreResult,
-    SessionOptions,
+    SessionOptions, TensorProto,
 };
 use tfhpc_dist::{launch_with_setup, JobSpec, LaunchConfig, Server, TaskCtx, TaskKey};
+use tfhpc_proto::{Decoder, Encoder, Message};
 use tfhpc_sim::net::Protocol;
 use tfhpc_sim::platform::Platform;
 use tfhpc_tensor::{tensor::mix_seed, DType, Tensor};
@@ -148,10 +151,83 @@ impl OpKernel for PushToParityQueue {
     }
 }
 
+/// Encode a reducer's finished output tiles as a checkpoint payload:
+/// repeated nested messages `{1: i, 2: j, 3: TensorProto bytes}`.
+fn encode_tiles(tiles: &BTreeMap<(usize, usize), Tensor>) -> CoreResult<Vec<u8>> {
+    let mut outer = Encoder::new();
+    for (&(i, j), tile) in tiles {
+        let mut inner = Encoder::new();
+        inner.put_u64(1, i as u64);
+        inner.put_u64(2, j as u64);
+        inner.put_bytes(
+            3,
+            &TensorProto(tile.clone())
+                .to_bytes()
+                .map_err(CoreError::from)?,
+        );
+        outer.put_bytes(1, &inner.finish().map_err(CoreError::from)?);
+    }
+    outer.finish().map_err(CoreError::from)
+}
+
+fn decode_tiles(payload: &[u8]) -> CoreResult<BTreeMap<(usize, usize), Tensor>> {
+    let mut tiles = BTreeMap::new();
+    let mut outer = Decoder::new(payload).map_err(CoreError::from)?;
+    while let Some((field, value)) = outer.next_field().map_err(CoreError::from)? {
+        if field != 1 {
+            continue;
+        }
+        let mut inner =
+            Decoder::new(value.as_bytes().map_err(CoreError::from)?).map_err(CoreError::from)?;
+        let (mut i, mut j, mut tile) = (None, None, None);
+        while let Some((f, v)) = inner.next_field().map_err(CoreError::from)? {
+            match f {
+                1 => i = Some(v.as_u64().map_err(CoreError::from)? as usize),
+                2 => j = Some(v.as_u64().map_err(CoreError::from)? as usize),
+                3 => {
+                    let bytes = v.as_bytes().map_err(CoreError::from)?;
+                    tile = Some(TensorProto::decode(bytes).map_err(CoreError::from)?.0);
+                }
+                _ => {}
+            }
+        }
+        if let (Some(i), Some(j), Some(tile)) = (i, j, tile) {
+            tiles.insert((i, j), tile);
+        }
+    }
+    Ok(tiles)
+}
+
+/// Publish this reducer's set of already-finished target tiles to every
+/// worker's `resume` queue as a count-prefixed `[len, i0, j0, ...]` i64
+/// list, so restarted workers skip the corresponding products.
+fn publish_done(
+    ctx: &TaskCtx,
+    cfg: &MatmulConfig,
+    done: &BTreeMap<(usize, usize), Tensor>,
+) -> CoreResult<()> {
+    let mut list = vec![done.len() as i64];
+    for &(i, j) in done.keys() {
+        list.push(i as i64);
+        list.push(j as i64);
+    }
+    let tensor = Tensor::from_i64([list.len()], list)?;
+    for w in 0..cfg.workers {
+        ctx.server.remote_enqueue(
+            &TaskKey::new("worker", w),
+            "resume",
+            vec![tensor.clone()],
+            None,
+        )?;
+    }
+    Ok(())
+}
+
 fn reducer_body(
     ctx: &TaskCtx,
     cfg: &MatmulConfig,
     store: &Arc<tfhpc_core::TileStore>,
+    ckpt_every: Option<usize>,
 ) -> CoreResult<()> {
     let nt = cfg.nt();
     let r = ctx.index();
@@ -160,31 +236,69 @@ fn reducer_body(
         .flat_map(|i| (0..nt).map(move |j| (i, j)))
         .filter(|(i, j)| (i * nt + j) % cfg.reducers == r)
         .count();
-    let expected = my_targets * nt; // one partial per k
-    let mut acc: std::collections::HashMap<(usize, usize), Tensor> =
+    // Under supervision, reinstate the newest valid checkpoint and tell
+    // the workers which targets are already finished. The handshake runs
+    // on every attempt (cold starts publish an empty set) so workers can
+    // block on it unconditionally.
+    let ckpt = ckpt_every.map(|_| Checkpointer::new(Arc::clone(store), r, CKPT_KEEP));
+    let mut finished: BTreeMap<(usize, usize), Tensor> = BTreeMap::new();
+    if let Some(ckpt) = &ckpt {
+        if ctx.attempt() > 0 {
+            if let Some((_, payload)) = ckpt.latest_valid(ctx) {
+                finished = decode_tiles(&payload)?;
+            }
+        }
+        publish_done(ctx, cfg, &finished)?;
+    }
+    let restored = finished.len();
+    let expected = (my_targets - restored) * nt; // one partial per k
+                                                 // Partials buffered per target, keyed by k: summing in ascending-k
+                                                 // order makes the result independent of arrival order, so a
+                                                 // restarted run reproduces the uninterrupted one bit for bit.
+    let mut pending: std::collections::HashMap<(usize, usize), BTreeMap<usize, Tensor>> =
         std::collections::HashMap::new();
     let tr = tfhpc_obs::trace::global();
     for _ in 0..expected {
         let _s = tr.span("matmul.accumulate");
         let tuple = queue.dequeue()?;
         let key = tuple[0].as_i64()?.to_vec();
-        let (i, j) = (key[0] as usize, key[1] as usize);
+        let (i, j, k) = (key[0] as usize, key[1] as usize, key[2] as usize);
         let part = tuple[1].clone();
         // NumPy-style accumulation on the reducer's host: dequeue,
         // deserialize and add, at Python rates rather than memcpy rates.
         let bytes = part.byte_size() as f64;
-        let entry = match acc.remove(&(i, j)) {
-            Some(cur) => tfhpc_tensor::ops::add(&cur, &part)?,
-            None => part,
-        };
-        acc.insert((i, j), entry);
+        let slot = pending.entry((i, j)).or_default();
+        slot.insert(k, part);
+        if slot.len() == nt {
+            let parts = pending.remove(&(i, j)).expect("just inserted");
+            let mut sum: Option<Tensor> = None;
+            for (_, p) in parts {
+                sum = Some(match sum {
+                    Some(cur) => tfhpc_tensor::ops::add(&cur, &p)?,
+                    None => p,
+                });
+            }
+            finished.insert((i, j), sum.expect("nt > 0"));
+            if let (Some(ckpt), Some(every)) = (&ckpt, ckpt_every) {
+                let done = finished.len() - restored;
+                if done.is_multiple_of(every) {
+                    let ordinal = (done / every) as u64;
+                    ckpt.save(
+                        ctx,
+                        ordinal,
+                        finished.len() as u64,
+                        &encode_tiles(&finished)?,
+                    )?;
+                }
+            }
+        }
         if let Some(me) = tfhpc_sim::des::current() {
             me.advance(bytes / (REDUCER_ACCUM_GBS * 1e9));
         }
     }
     // Store the finished output tiles (Lustre writes).
     let _s = tr.span("matmul.store_tiles");
-    for ((i, j), tile) in acc {
+    for ((i, j), tile) in finished {
         if let Some(sim) = &ctx.server.devices.sim {
             sim.cluster.pfs.write(sim.node, tile.byte_size() as u64);
         }
@@ -197,14 +311,33 @@ fn worker_body(
     ctx: &TaskCtx,
     cfg: &MatmulConfig,
     store: &Arc<tfhpc_core::TileStore>,
+    supervised: bool,
 ) -> CoreResult<()> {
     let nt = cfg.nt();
     let w = ctx.index();
+    // Under supervision, wait for every reducer's done-set before
+    // producing anything, and skip products whose target tile already
+    // survived in a checkpoint.
+    let mut skip: HashSet<(usize, usize)> = HashSet::new();
+    if supervised {
+        let resume = ctx
+            .server
+            .resources
+            .create_queue("resume", cfg.reducers.max(1));
+        for _ in 0..cfg.reducers {
+            let tuple = resume.dequeue()?;
+            let list = tuple[0].as_i64()?.to_vec();
+            let n_done = list[0] as usize;
+            for d in 0..n_done {
+                skip.insert((list[1 + 2 * d] as usize, list[2 + 2 * d] as usize));
+            }
+        }
+    }
     // The shared product list, sharded across workers.
     let elements: Vec<(usize, usize, usize)> = (0..nt)
         .flat_map(|i| (0..nt).flat_map(move |j| (0..nt).map(move |k| (i, j, k))))
         .enumerate()
-        .filter(|(e, _)| e % cfg.workers == w)
+        .filter(|(e, t)| e % cfg.workers == w && !skip.contains(&(t.0, t.1)))
         .map(|(_, t)| t)
         .collect();
 
@@ -224,7 +357,8 @@ fn worker_body(
                         .pfs
                         .read(sim.node, (a.byte_size() + b.byte_size()) as u64);
                 }
-                let target = Tensor::from_i64([2], vec![i as i64, j as i64]).expect("target key");
+                let target =
+                    Tensor::from_i64([3], vec![i as i64, j as i64, k as i64]).expect("target key");
                 if pipe.enqueue(vec![a, b, target]).is_err() {
                     return; // consumer gone
                 }
@@ -242,7 +376,7 @@ fn worker_body(
     }
     ctx.server
         .resources
-        .register_iterator("pipe", DatasetIterator::from_queue(pipe));
+        .register_iterator("pipe", DatasetIterator::from_queue(Arc::clone(&pipe)));
 
     // The per-step graph: next tile pair -> GPU matmul -> push.
     let mut g = Graph::new();
@@ -260,7 +394,7 @@ fn worker_body(
         .server
         .session_with_options(Arc::new(g), SessionOptions::from_env());
     let tr = tfhpc_obs::trace::global();
-    loop {
+    let result = (|| loop {
         ctx.check_faults()?;
         let _s = tr.span("matmul.step");
         match sess.run_no_fetch(&[push_node], &[]) {
@@ -268,19 +402,28 @@ fn worker_body(
             Err(CoreError::EndOfSequence) => return Ok(()),
             Err(e) => return Err(e),
         }
-    }
+    })();
+    // A crash mid-run leaves this generation's filler parked on a full
+    // pipe with its only consumer gone; cancel the queue so the filler
+    // errors out instead of deadlocking the simulation.
+    pipe.close_with_cancel(true);
+    result
 }
 
 /// The canonical per-task body (shared by the benchmark entry point and
-/// the correctness harness).
-fn matmul_body(cfg: MatmulConfig) -> impl Fn(TaskCtx) -> CoreResult<()> + Send + Sync + 'static {
+/// the correctness harness). `ckpt_every = Some(n)` enables the
+/// supervised checkpoint/resume protocol.
+fn matmul_body(
+    cfg: MatmulConfig,
+    ckpt_every: Option<usize>,
+) -> impl Fn(TaskCtx) -> CoreResult<()> + Send + Sync + 'static {
     move |ctx| {
         let store = ctx.server.cluster().shared_store("tiles");
         ctx.server.resources.register_store(Arc::clone(&store));
         if ctx.job() == "reducer" {
-            reducer_body(&ctx, &cfg, &store)
+            reducer_body(&ctx, &cfg, &store, ckpt_every)
         } else {
-            worker_body(&ctx, &cfg, &store)
+            worker_body(&ctx, &cfg, &store, ckpt_every.is_some())
         }
     }
 }
@@ -324,7 +467,7 @@ pub fn run_matmul_with_sim(
         move |cluster| {
             populate_tiles(&cluster.shared_store("tiles"), &cfg2, 0xA17);
         },
-        matmul_body(cfg.clone()),
+        matmul_body(cfg.clone(), None),
     )
     .map_err(AppError::Core)?;
 
@@ -342,6 +485,63 @@ pub fn run_matmul_with_sim(
             workers: cfg.workers,
         },
         utilization,
+    ))
+}
+
+/// Run the tiled matmul under checkpoint-restart supervision with fault
+/// injection: each reducer checkpoints its finished output tiles (sealed,
+/// torn/stale-injectable) every `ckpt_every` completions, and after a
+/// gang restart it restores the newest valid generation and hands every
+/// worker the set of already-finished targets to skip. Partials are
+/// summed in ascending-k order, so the recovered product is bit-identical
+/// to a fault-free run's. Returns the report, the integrity-plane stats
+/// and the shared tile store (output tiles under [`c_key`]).
+pub fn run_matmul_supervised(
+    platform: &Platform,
+    cfg: &MatmulConfig,
+    ckpt_every: usize,
+    faults: &FaultSetup,
+) -> Result<(MatmulReport, SupervisedStats, Arc<tfhpc_core::TileStore>), AppError> {
+    crate::observe::run_started();
+    if cfg.workers == 0 || cfg.reducers == 0 {
+        return Err(AppError::Config("workers and reducers must be > 0".into()));
+    }
+    if ckpt_every == 0 {
+        return Err(AppError::Config("ckpt_every must be > 0".into()));
+    }
+    if !cfg.n.is_multiple_of(cfg.tile) {
+        return Err(AppError::Config(format!(
+            "matrix dim {} must be divisible by tile {}",
+            cfg.n, cfg.tile
+        )));
+    }
+    let cfg2 = cfg.clone();
+    let store_slot: Arc<parking_lot::Mutex<Option<Arc<tfhpc_core::TileStore>>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+    let store_slot2 = Arc::clone(&store_slot);
+    let launched = launch_with_setup(
+        &faults.apply(launch_cfg(platform, cfg)),
+        move |cluster| {
+            let store = cluster.shared_store("tiles");
+            populate_tiles(&store, &cfg2, 0xA17);
+            *store_slot2.lock() = Some(store);
+        },
+        matmul_body(cfg.clone(), Some(ckpt_every)),
+    )
+    .map_err(AppError::Core)?;
+
+    crate::observe::run_finished("matmul", launched.sim.as_ref(), false);
+    let stats = stats_of(&launched);
+    let store = store_slot.lock().take().expect("store captured in setup");
+    Ok((
+        MatmulReport {
+            gflops: cfg.flops() / launched.elapsed_s / 1e9,
+            elapsed_s: launched.elapsed_s,
+            n: cfg.n,
+            workers: cfg.workers,
+        },
+        stats,
+        store,
     ))
 }
 
@@ -369,7 +569,7 @@ pub fn verify_small(n: usize, tile: usize, workers: usize) -> Result<f64, AppErr
             populate_tiles(&store, &cfg2, 0xA17);
             *store_slot2.lock() = Some(store);
         },
-        matmul_body(cfg.clone()),
+        matmul_body(cfg.clone(), None),
     )
     .map_err(AppError::Core)?;
 
@@ -486,5 +686,57 @@ mod tests {
     fn real_mode_produces_correct_product() {
         let err = verify_small(64, 16, 2).unwrap();
         assert!(err < 1e-3, "max abs error {err}");
+    }
+
+    #[test]
+    fn supervised_crash_and_corruption_reproduce_tiles() {
+        use tfhpc_core::RetryConfig;
+        use tfhpc_sim::fault::FaultPlan;
+        let p = platform::tegner_k80();
+        let cfg = sim_cfg(16384, 4096, 2); // nt=4, 64 products, 2 reducers
+        let (clean_report, clean_stats, clean_store) =
+            run_matmul_supervised(&p, &cfg, 2, &crate::FaultSetup::default()).unwrap();
+        assert_eq!(clean_stats.restarts, 0);
+
+        // Tegner K80 packs 2 tasks per node: both reducers on node 0,
+        // both workers on node 1. Crash the worker node mid-run, then
+        // corrupt its link for a window the retries can ride out.
+        let t = clean_report.elapsed_s;
+        let plan = FaultPlan::new()
+            .crash(1, t * 0.5)
+            .link_corrupt(1, t * 0.6, t * 1.0);
+        let faults = crate::FaultSetup::new(plan, 2).with_retry(RetryConfig::new(6, t * 0.02));
+        let (_, stats, store) = run_matmul_supervised(&p, &cfg, 2, &faults).unwrap();
+        assert!(stats.restarts >= 1, "restarts {}", stats.restarts);
+        assert!(stats.corruption_detected > 0, "{stats:?}");
+        let nt = cfg.nt();
+        for i in 0..nt {
+            for j in 0..nt {
+                let got = store.get(&c_key(i, j)).unwrap();
+                let want = clean_store.get(&c_key(i, j)).unwrap();
+                assert_eq!(
+                    TensorProto(got).to_bytes().unwrap(),
+                    TensorProto(want).to_bytes().unwrap(),
+                    "recovered C[{i},{j}] differs from fault-free run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_tile_payload_round_trips() {
+        let mut tiles = BTreeMap::new();
+        tiles.insert((0usize, 1usize), Tensor::synthetic(DType::F32, [4, 4], 7));
+        tiles.insert((3, 2), Tensor::synthetic(DType::F32, [4, 4], 9));
+        let payload = encode_tiles(&tiles).unwrap();
+        let back = decode_tiles(&payload).unwrap();
+        assert_eq!(back.len(), 2);
+        for (k, tile) in &tiles {
+            let got = back.get(k).unwrap();
+            assert_eq!(
+                TensorProto(got.clone()).to_bytes().unwrap(),
+                TensorProto(tile.clone()).to_bytes().unwrap()
+            );
+        }
     }
 }

@@ -8,11 +8,15 @@
 //! paper). The fetched value is *not* returned to the client — the
 //! paper explicitly suppresses that extra transfer.
 
-use crate::AppError;
+use crate::supervised::{stats_of, Checkpointer, SupervisedStats, CKPT_KEEP};
+use crate::{AppError, FaultSetup};
 use parking_lot::Mutex;
 use std::sync::Arc;
-use tfhpc_core::{Graph, OpKernel, Resources, Result as CoreResult, SessionOptions};
+use tfhpc_core::{
+    CoreError, Graph, OpKernel, Resources, Result as CoreResult, SessionOptions, TensorProto,
+};
 use tfhpc_dist::{launch, JobSpec, LaunchConfig, TaskKey};
+use tfhpc_proto::Message;
 use tfhpc_sim::net::Protocol;
 use tfhpc_sim::platform::Platform;
 use tfhpc_tensor::{DType, Tensor};
@@ -153,6 +157,122 @@ pub fn run_stream(platform: &Platform, cfg: &StreamConfig) -> Result<StreamRepor
     })
 }
 
+/// Run STREAM under checkpoint-restart supervision with fault
+/// injection: every `ckpt_every` invocations the worker snapshots the
+/// ps-resident accumulator through its [`Checkpointer`] (sealed,
+/// torn/stale-injectable), and after a gang restart it reinstates the
+/// newest valid snapshot on the rebuilt parameter server and replays
+/// the remaining invocations. Returns the report, the integrity-plane
+/// stats and the final accumulator tensor — bit-identical to a
+/// fault-free run's under any injected corruption + crash schedule.
+pub fn run_stream_supervised(
+    platform: &Platform,
+    cfg: &StreamConfig,
+    ckpt_every: usize,
+    faults: &FaultSetup,
+) -> Result<(StreamReport, SupervisedStats, Tensor), AppError> {
+    crate::observe::run_started();
+    if ckpt_every == 0 {
+        return Err(AppError::Config("ckpt_every must be > 0".into()));
+    }
+    let n = (cfg.size_bytes / 8).max(1) as usize;
+    let gpus = usize::from(cfg.on_gpu);
+    let jobs = vec![JobSpec::new("ps", 1, gpus), JobSpec::new("worker", 1, gpus)];
+    let launch_cfg = faults.apply(if cfg.simulated {
+        LaunchConfig::simulated(platform.clone(), jobs, cfg.protocol)
+    } else {
+        LaunchConfig::real(platform.clone(), jobs, cfg.protocol)
+    });
+
+    let cfg2 = cfg.clone();
+    let launched = launch(&launch_cfg, move |ctx| {
+        let store = ctx.server.cluster().shared_store("stream");
+        ctx.server.resources.register_store(Arc::clone(&store));
+        let gpu = cfg2.on_gpu.then_some(0usize);
+        if ctx.job() == "ps" {
+            // A gang restart rebuilds the server, so the accumulator
+            // comes back at its initial value; the worker reinstates
+            // the checkpointed state before replaying.
+            let init = if cfg2.simulated {
+                Tensor::synthetic(DType::F64, [n], 0xACC)
+            } else {
+                Tensor::zeros(DType::F64, [n])
+            };
+            ctx.server.resources.create_variable("stream_acc", init);
+            return Ok(());
+        }
+        let ps = TaskKey::new("ps", 0);
+        let ckpt = Checkpointer::new(Arc::clone(&store), 0, CKPT_KEEP);
+        let mut start_iter = 0usize;
+        if ctx.attempt() > 0 {
+            if let Some((it, payload)) = ckpt.latest_valid(&ctx) {
+                let acc = TensorProto::decode(&payload).map_err(CoreError::from)?.0;
+                ctx.server
+                    .remote_assign(&ps, "stream_acc", &acc, gpu, gpu)?;
+                start_iter = it as usize;
+            }
+        }
+        let vector = if cfg2.simulated {
+            Tensor::synthetic(DType::F64, [n], 0x57EA)
+        } else {
+            Tensor::full_f64([n], 1.0)
+        };
+        let mut g = Graph::new();
+        let kernel: Arc<dyn OpKernel> = Arc::new(AssignAddRemote {
+            worker: Arc::clone(&ctx.server),
+            ps: ps.clone(),
+            vector,
+            src_gpu: gpu,
+            dst_gpu: gpu,
+        });
+        let op = g.custom(kernel, &[], &[]);
+        let sess = ctx
+            .server
+            .session_with_options(Arc::new(g), SessionOptions::from_env());
+        let tr = tfhpc_obs::trace::global();
+        for it in start_iter..cfg2.invocations {
+            ctx.check_faults()?;
+            let _s = tr.span("stream.assign_add");
+            sess.run_no_fetch(&[op], &[])?;
+            if (it + 1) % ckpt_every == 0 {
+                let _c = tr.span("stream.checkpoint");
+                let acc = ctx.server.remote_var_read(&ps, "stream_acc", gpu)?;
+                let payload = TensorProto(acc).to_bytes().map_err(CoreError::from)?;
+                ckpt.save(
+                    &ctx,
+                    ((it + 1) / ckpt_every) as u64,
+                    (it + 1) as u64,
+                    &payload,
+                )?;
+            }
+        }
+        // Publish the final accumulator for bit-exact verification.
+        let final_acc = ctx.server.remote_var_read(&ps, "stream_acc", gpu)?;
+        store.put(vec![-1], final_acc);
+        Ok(())
+    })
+    .map_err(AppError::Core)?;
+
+    crate::observe::run_finished("stream", launched.sim.as_ref(), false);
+    let stats = stats_of(&launched);
+    let final_acc = launched
+        .cluster
+        .shared_store("stream")
+        .get(&[-1])
+        .map_err(AppError::Core)?;
+    let total_bytes = cfg.size_bytes as f64 * cfg.invocations as f64;
+    Ok((
+        StreamReport {
+            mbs: total_bytes / launched.elapsed_s / 1e6,
+            elapsed_s: launched.elapsed_s,
+            size_bytes: cfg.size_bytes,
+            protocol: cfg.protocol,
+        },
+        stats,
+        final_acc,
+    ))
+}
+
 /// Results of the classic four-kernel device STREAM (McCalpin) run
 /// against a device model — used to validate the simulator's memory
 /// bandwidth constants rather than the network (which the paper's
@@ -284,6 +404,50 @@ mod tests {
         let small = run_device_stream(&p, 1 << 10);
         let large = run_device_stream(&p, 1 << 24);
         assert!(small.triad_gbs < large.triad_gbs * 0.9);
+    }
+
+    #[test]
+    fn supervised_crash_and_corruption_reproduce_accumulator() {
+        use tfhpc_core::RetryConfig;
+        use tfhpc_sim::fault::FaultPlan;
+        let p = platform::tegner_k420();
+        let cfg = StreamConfig {
+            size_bytes: 1 << 16,
+            invocations: 12,
+            on_gpu: true,
+            protocol: Protocol::Rdma,
+            simulated: true,
+        };
+        let (clean_report, clean_stats, clean_acc) =
+            run_stream_supervised(&p, &cfg, 3, &crate::FaultSetup::default()).unwrap();
+        assert_eq!(clean_stats.restarts, 0);
+
+        // The worker lives on node 1 (ps node 0). Crash it mid-run and
+        // corrupt its link for a window the retries can ride out.
+        let t = clean_report.elapsed_s;
+        let plan = FaultPlan::new()
+            .crash(1, t * 0.5)
+            .link_corrupt(1, t * 0.6, t * 1.0);
+        let faults = crate::FaultSetup::new(plan, 2).with_retry(RetryConfig::new(6, t * 0.05));
+        let (_, stats, acc) = run_stream_supervised(&p, &cfg, 3, &faults).unwrap();
+        assert!(stats.restarts >= 1, "restarts {}", stats.restarts);
+        assert!(stats.corruption_detected > 0, "{stats:?}");
+        assert_eq!(
+            TensorProto(acc).to_bytes().unwrap(),
+            TensorProto(clean_acc).to_bytes().unwrap(),
+            "recovered accumulator differs from fault-free run"
+        );
+    }
+
+    #[test]
+    fn supervised_rejects_zero_checkpoint_interval() {
+        let r = run_stream_supervised(
+            &platform::tegner_k420(),
+            &StreamConfig::default(),
+            0,
+            &crate::FaultSetup::default(),
+        );
+        assert!(matches!(r, Err(crate::AppError::Config(_))));
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //!   --out <path>     where to write the JSON (default BENCH_runtime.json)
 //!   --check <path>   compare against a committed baseline instead of
 //!                    writing: exit 1 if the CG speedup regressed by
-//!                    more than 25%. Machine-portable because it
+//!                    more than 25%, or if the integrity plane (wire
+//!                    checksums, see `measure_integrity`) costs ≥5% of
+//!                    the cached CG step. Machine-portable because it
 //!                    compares naive/fast *ratios*, not wall times.
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -341,6 +343,46 @@ fn fft_floor(m: usize, k: usize) -> impl FnMut() {
     }
 }
 
+/// The wire tensors one CG worker moves per unrolled bench step: per
+/// iteration, two scalar reduction contributions and two reduction
+/// results, its own `p` slice and the full gathered `p`.
+fn cg_wire_payloads(n: usize, unroll: usize, workers: usize) -> Vec<Tensor> {
+    let full = rng::random_uniform(DType::F64, [n], 17).unwrap();
+    let slice = full.slice_range(0, n / workers).unwrap();
+    let mut payloads = Vec::new();
+    for i in 0..unroll {
+        for s in 0..4 {
+            payloads.push(Tensor::scalar_f64(1.0 + (i * 4 + s) as f64));
+        }
+        payloads.push(slice.clone());
+        payloads.push(full.clone());
+    }
+    payloads
+}
+
+/// Per-step cost of the data-integrity plane on the CG step's wire
+/// traffic: checksum every payload's raw storage bytes at both
+/// endpoints and compare — exactly what `tfhpc-dist`'s wire layer adds
+/// per fast-path transfer with `TFHPC_WIRE_CHECKSUM=1` (the default)
+/// and skips entirely with `=0`. (The framed encode/verify/decode slow
+/// path only runs inside an injected corruption window, so it is not
+/// part of the steady-state price.)
+fn measure_integrity(n: usize, unroll: usize, workers: usize, steps: usize) -> ModeStats {
+    use tfhpc_dist::wire::payload_crc;
+    let payloads = cg_wire_payloads(n, unroll, workers);
+    measure(
+        || {
+            for t in &payloads {
+                let sent = payload_crc(t);
+                let received = payload_crc(t);
+                assert_eq!(sent, received);
+                std::hint::black_box(received);
+            }
+        },
+        steps,
+    )
+}
+
 fn mode_json(m: &ModeStats) -> String {
     format!(
         "{{\"step_ns\": {:.1}, \"allocs_per_step\": {:.1}, \"net_bytes_per_step\": {:.1}}}",
@@ -442,9 +484,20 @@ fn main() {
         );
     }
 
+    // Integrity plane: checksumming the CG step's wire payloads must
+    // stay marginal next to the cached step it rides on.
+    let integrity = measure_integrity(64, 4, 2, cg_steps);
+    let integrity_pct = 100.0 * integrity.step_ns / results[0].fast.step_ns;
+    println!(
+        "integrity: {:.0} ns/step of wire checksums = {:.2}% of the cached cg step",
+        integrity.step_ns, integrity_pct
+    );
+
     let body = format!(
-        "{{\n  \"schema\": \"tfhpc-bench-runtime-v1\",\n  \"smoke\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"tfhpc-bench-runtime-v1\",\n  \"smoke\": {},\n  \"integrity\": {{\"wire_ns_per_step\": {:.1}, \"pct_of_fast_cg_step\": {:.2}}},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         smoke,
+        integrity.step_ns,
+        integrity_pct,
         results
             .iter()
             .map(workload_json)
@@ -473,5 +526,14 @@ fn main() {
             std::process::exit(1);
         }
         println!("OK: within 25% of baseline");
+        // Hard gate, not baseline-relative: the integrity plane must
+        // cost less than 5% of the cached CG step.
+        if integrity_pct >= 5.0 {
+            eprintln!(
+                "FAIL: wire-checksum overhead {integrity_pct:.2}% of the cached cg step (gate: <5%)"
+            );
+            std::process::exit(1);
+        }
+        println!("OK: integrity plane {integrity_pct:.2}% < 5% of the cached cg step");
     }
 }

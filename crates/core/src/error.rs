@@ -45,18 +45,60 @@ pub enum CoreError {
     /// The operation was cancelled before it ran — TensorFlow's
     /// `CancelledError`.
     Cancelled(String),
+    /// Unrecoverable data corruption or loss was detected — a failed
+    /// frame checksum, a torn checkpoint, a missing shard —
+    /// TensorFlow's `DataLossError`. Non-transient by default (the
+    /// stored bytes are gone); transient when a *link* raised it, since
+    /// the sender still holds the pristine copy and a retry is a
+    /// retransmission.
+    DataLoss {
+        /// What was corrupted and where.
+        what: String,
+        /// True when a retry can retransmit the data (wire corruption);
+        /// false when the authoritative copy itself is damaged (disk).
+        transient: bool,
+    },
     /// Anything else.
     Invalid(String),
 }
 
 impl CoreError {
     /// TF-style transience classification: `true` only for errors a
-    /// retry-with-backoff policy may safely re-attempt (`Unavailable`).
+    /// retry-with-backoff policy may safely re-attempt (`Unavailable`,
+    /// and `DataLoss` raised by a link — the sender still has the
+    /// pristine bytes, so a retry is a retransmission).
     /// `DeadlineExceeded` is the caller's budget expiring (retrying
     /// cannot help), and `Aborted`/`Cancelled` require recovery above
     /// the op level.
     pub fn is_transient(&self) -> bool {
-        matches!(self, CoreError::Unavailable(_))
+        matches!(
+            self,
+            CoreError::Unavailable(_)
+                | CoreError::DataLoss {
+                    transient: true,
+                    ..
+                }
+        )
+    }
+
+    /// Data-loss constructor for corrupted *stored* bytes (checkpoint,
+    /// manifest): retrying re-reads the same damaged data, so the error
+    /// is non-transient.
+    pub fn data_loss(what: impl Into<String>) -> CoreError {
+        CoreError::DataLoss {
+            what: what.into(),
+            transient: false,
+        }
+    }
+
+    /// Data-loss constructor for corrupted *in-flight* bytes: the
+    /// sender still holds the pristine copy, so the error is transient
+    /// and a retry policy will retransmit.
+    pub fn link_data_loss(what: impl Into<String>) -> CoreError {
+        CoreError::DataLoss {
+            what: what.into(),
+            transient: true,
+        }
     }
 }
 
@@ -82,6 +124,14 @@ impl std::fmt::Display for CoreError {
             CoreError::DeadlineExceeded(s) => write!(f, "deadline exceeded: {s}"),
             CoreError::Aborted(s) => write!(f, "aborted: {s}"),
             CoreError::Cancelled(s) => write!(f, "cancelled: {s}"),
+            CoreError::DataLoss { what, transient } => {
+                let kind = if *transient {
+                    "retransmittable"
+                } else {
+                    "permanent"
+                };
+                write!(f, "data loss ({kind}): {what}")
+            }
             CoreError::Invalid(s) => write!(f, "invalid: {s}"),
         }
     }
@@ -97,7 +147,13 @@ impl From<TensorError> for CoreError {
 
 impl From<ProtoError> for CoreError {
     fn from(e: ProtoError) -> Self {
-        CoreError::Proto(e)
+        match e {
+            // A failed frame checksum is data loss, not a format error.
+            // Non-transient here; link paths that can retransmit remap
+            // it with `CoreError::link_data_loss`.
+            ProtoError::ChecksumMismatch => CoreError::data_loss(e.to_string()),
+            other => CoreError::Proto(other),
+        }
     }
 }
 

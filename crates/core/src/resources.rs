@@ -114,6 +114,10 @@ pub struct Resources {
     /// (incremented by the distributed runtime's retry policy, read
     /// into `RunMetadata`).
     retries: AtomicU64,
+    /// Corrupted frames detected on receive paths (checksum failures).
+    corruption_detected: AtomicU64,
+    /// Retransmissions triggered by detected corruption.
+    retransmits: AtomicU64,
 }
 
 impl Resources {
@@ -261,6 +265,32 @@ impl Resources {
     /// Total transparent retries recorded so far.
     pub fn retries_total(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// Record one detected frame corruption (also counted on the
+    /// process-wide `tfhpc_corruption_detected_total` metric).
+    pub fn note_corruption(&self) {
+        self.corruption_detected.fetch_add(1, Ordering::Relaxed);
+        tfhpc_obs::global()
+            .counter("tfhpc_corruption_detected_total")
+            .inc();
+    }
+
+    /// Total detected frame corruptions recorded so far.
+    pub fn corruption_detected_total(&self) -> u64 {
+        self.corruption_detected.load(Ordering::Relaxed)
+    }
+
+    /// Record one retransmission of a corrupted transfer (also counted
+    /// on the process-wide `tfhpc_retransmits_total` metric).
+    pub fn note_retransmit(&self) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+        tfhpc_obs::global().counter("tfhpc_retransmits_total").inc();
+    }
+
+    /// Total retransmissions recorded so far.
+    pub fn retransmits_total(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
     }
 
     /// Per-queue activity snapshots, sorted by queue name — the

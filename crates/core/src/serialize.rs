@@ -14,9 +14,9 @@ use crate::error::{CoreError, Result};
 use crate::graph::{Graph, NodeId};
 use crate::op::Op;
 use crate::resources::Resources;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use tfhpc_proto::{Decoder, Encoder, Message, ProtoError};
+use tfhpc_proto::{frame, Decoder, Encoder, Message, ProtoError};
 use tfhpc_tensor::{Complex64, DType, Shape, Storage, Tensor, TensorData};
 
 // ---- TensorProto -----------------------------------------------------------
@@ -391,11 +391,13 @@ impl Saver {
         Ok(enc.finish()?)
     }
 
-    /// Restore variables from bytes into `resources` (creates or
-    /// overwrites).
-    pub fn restore_from_bytes(resources: &Arc<Resources>, bytes: &[u8]) -> Result<usize> {
+    /// Parse a checkpoint payload into `(name, tensor)` pairs without
+    /// touching any [`Resources`]. Used to fully validate a candidate
+    /// checkpoint *before* applying it, so a corrupt generation can
+    /// never leave variables half-restored.
+    fn parse_checkpoint(bytes: &[u8]) -> Result<Vec<(String, Tensor)>> {
         let mut d = Decoder::new(bytes)?;
-        let mut count = 0;
+        let mut entries = Vec::new();
         while let Some((field, value)) = d.next_field()? {
             if field != 1 {
                 continue;
@@ -411,24 +413,247 @@ impl Saver {
                 }
             }
             let tensor = tensor.ok_or(ProtoError::InvalidField("checkpoint tensor"))?;
+            entries.push((name, tensor));
+        }
+        Ok(entries)
+    }
+
+    /// Restore variables from bytes into `resources` (creates or
+    /// overwrites).
+    pub fn restore_from_bytes(resources: &Arc<Resources>, bytes: &[u8]) -> Result<usize> {
+        let entries = Self::parse_checkpoint(bytes)?;
+        let count = entries.len();
+        for (name, tensor) in entries {
             resources.create_variable(&name, tensor);
-            count += 1;
         }
         Ok(count)
     }
 
-    /// Save variables to a file.
+    /// Save variables to a file: the payload is sealed in a checksummed
+    /// frame and written atomically (temp file + rename), so a reader
+    /// never observes a half-written checkpoint and any later
+    /// corruption is detected on restore.
     pub fn save(resources: &Resources, path: &Path) -> Result<()> {
-        let bytes = Self::save_to_bytes(resources)?;
-        std::fs::write(path, bytes)
-            .map_err(|e| CoreError::Invalid(format!("checkpoint write failed: {e}")))
+        let bytes = frame::seal(&Self::save_to_bytes(resources)?);
+        atomic_write(path, &bytes)
     }
 
     /// Restore variables from a file; returns how many were restored.
+    /// A failed frame checksum (torn or bit-flipped file) reports
+    /// [`CoreError::DataLoss`] naming the file.
     pub fn restore(resources: &Arc<Resources>, path: &Path) -> Result<usize> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| CoreError::Invalid(format!("checkpoint read failed: {e}")))?;
-        Self::restore_from_bytes(resources, &bytes)
+        let bytes = std::fs::read(path).map_err(|e| {
+            CoreError::data_loss(format!("checkpoint `{}` unreadable: {e}", path.display()))
+        })?;
+        let payload = frame::open(&bytes).map_err(|_| {
+            CoreError::data_loss(format!(
+                "checkpoint `{}` failed checksum verification",
+                path.display()
+            ))
+        })?;
+        Self::restore_from_bytes(resources, payload)
+    }
+
+    /// Save variables as the next generation in `dir`'s checkpoint
+    /// chain, updating the sealed `MANIFEST`. Both the generation file
+    /// and the manifest are written atomically; the generation number
+    /// is embedded in the sealed payload so a stale file swapped in
+    /// under a newer manifest entry is detected on restore. Returns the
+    /// generation number written.
+    pub fn save_generation(resources: &Resources, dir: &Path) -> Result<u64> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            CoreError::Invalid(format!(
+                "checkpoint dir `{}` unavailable: {e}",
+                dir.display()
+            ))
+        })?;
+        let entries = match read_manifest(dir) {
+            Ok(entries) => entries,
+            Err(CoreError::NotFound(_)) => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let generation = entries.last().map(|e| e.generation + 1).unwrap_or(0);
+        let file = generation_file_name(generation);
+
+        let mut payload = Encoder::new();
+        payload.put_u64(1, generation);
+        payload.put_bytes(2, &Self::save_to_bytes(resources)?);
+        atomic_write(&dir.join(&file), &frame::seal(&payload.finish()?))?;
+
+        let mut chain = entries;
+        chain.push(ManifestEntry { generation, file });
+        write_manifest(dir, &chain)?;
+        Ok(generation)
+    }
+
+    /// Restore the newest *valid* generation from `dir`'s checkpoint
+    /// chain. Walks the manifest newest-first, skipping generations
+    /// whose file fails checksum verification or carries a mismatched
+    /// embedded generation (stale file), so a torn latest checkpoint
+    /// falls back to the previous good one instead of aborting. A
+    /// manifest entry whose file is *missing* is unrecoverable external
+    /// damage and reports [`CoreError::DataLoss`] naming the path.
+    /// Returns the generation restored.
+    pub fn restore_latest(resources: &Arc<Resources>, dir: &Path) -> Result<u64> {
+        let entries = read_manifest(dir)?;
+        for entry in entries.iter().rev() {
+            let path = dir.join(&entry.file);
+            let bytes = match std::fs::read(&path) {
+                Ok(b) => b,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Err(CoreError::data_loss(format!(
+                        "manifest `{}` references missing checkpoint `{}`",
+                        dir.join(MANIFEST_FILE).display(),
+                        path.display()
+                    )));
+                }
+                Err(_) => continue,
+            };
+            let Ok(payload) = frame::open(&bytes) else {
+                continue; // torn or bit-flipped: fall back to older gen
+            };
+            let Ok((embedded_gen, saver_bytes)) = decode_generation_payload(payload) else {
+                continue;
+            };
+            if embedded_gen != entry.generation {
+                continue; // stale file under a newer manifest entry
+            }
+            let Ok(parsed) = Self::parse_checkpoint(&saver_bytes) else {
+                continue;
+            };
+            for (name, tensor) in parsed {
+                resources.create_variable(&name, tensor);
+            }
+            return Ok(entry.generation);
+        }
+        Err(CoreError::data_loss(format!(
+            "no valid checkpoint generation in `{}`",
+            dir.display()
+        )))
+    }
+
+    /// Newest generation number recorded in `dir`'s manifest, if any.
+    pub fn latest_generation(dir: &Path) -> Result<Option<u64>> {
+        match read_manifest(dir) {
+            Ok(entries) => Ok(entries.last().map(|e| e.generation)),
+            Err(CoreError::NotFound(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+// ---- Checkpoint generation chain ------------------------------------------
+
+const MANIFEST_FILE: &str = "MANIFEST";
+
+struct ManifestEntry {
+    generation: u64,
+    file: String,
+}
+
+fn generation_file_name(generation: u64) -> String {
+    format!("ckpt-{generation:08}.tfhf")
+}
+
+/// Write `bytes` to `path` atomically: write a sibling temp file, then
+/// rename over the destination. A crash mid-write leaves either the old
+/// file or no file — never a torn one — and the rename is the commit
+/// point of the checkpoint.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut tmp: PathBuf = path.to_path_buf();
+    let mut name = tmp
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    tmp.set_file_name(name);
+    std::fs::write(&tmp, bytes).map_err(|e| {
+        CoreError::Invalid(format!("checkpoint write `{}` failed: {e}", tmp.display()))
+    })?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        CoreError::Invalid(format!(
+            "checkpoint rename `{}` -> `{}` failed: {e}",
+            tmp.display(),
+            path.display()
+        ))
+    })
+}
+
+fn write_manifest(dir: &Path, entries: &[ManifestEntry]) -> Result<()> {
+    let mut enc = Encoder::new();
+    for entry in entries {
+        let mut inner = Encoder::new();
+        inner.put_u64(1, entry.generation);
+        inner.put_str(2, &entry.file);
+        enc.put_bytes(1, &inner.finish()?);
+    }
+    atomic_write(&dir.join(MANIFEST_FILE), &frame::seal(&enc.finish()?))
+}
+
+fn read_manifest(dir: &Path) -> Result<Vec<ManifestEntry>> {
+    let path = dir.join(MANIFEST_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(CoreError::NotFound(format!(
+                "checkpoint manifest `{}`",
+                path.display()
+            )));
+        }
+        Err(e) => {
+            return Err(CoreError::Invalid(format!(
+                "manifest `{}` unreadable: {e}",
+                path.display()
+            )));
+        }
+    };
+    let payload = frame::open(&bytes).map_err(|_| {
+        CoreError::data_loss(format!(
+            "manifest `{}` failed checksum verification",
+            path.display()
+        ))
+    })?;
+    let mut d = Decoder::new(payload)?;
+    let mut entries = Vec::new();
+    while let Some((field, value)) = d.next_field()? {
+        if field != 1 {
+            continue;
+        }
+        let mut inner = Decoder::new(value.as_bytes()?)?;
+        let mut generation = 0u64;
+        let mut file = String::new();
+        while let Some((f, v)) = inner.next_field()? {
+            match f {
+                1 => generation = v.as_u64()?,
+                2 => file = v.as_str()?.to_string(),
+                _ => {}
+            }
+        }
+        if file.is_empty() {
+            return Err(CoreError::data_loss(format!(
+                "manifest `{}` entry for generation {generation} has no file",
+                path.display()
+            )));
+        }
+        entries.push(ManifestEntry { generation, file });
+    }
+    Ok(entries)
+}
+
+fn decode_generation_payload(payload: &[u8]) -> Result<(u64, Vec<u8>)> {
+    let mut d = Decoder::new(payload)?;
+    let mut generation = None;
+    let mut bytes = None;
+    while let Some((field, value)) = d.next_field()? {
+        match field {
+            1 => generation = Some(value.as_u64()?),
+            2 => bytes = Some(value.as_bytes()?.to_vec()),
+            _ => {}
+        }
+    }
+    match (generation, bytes) {
+        (Some(g), Some(b)) => Ok((g, b)),
+        _ => Err(CoreError::data_loss("generation payload missing fields")),
     }
 }
 
@@ -575,5 +800,144 @@ mod tests {
             7.5
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    fn fresh_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tfhpc-ckpt-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn corrupted_checkpoint_file_reports_data_loss() {
+        let dir = fresh_dir("corrupt");
+        let path = dir.join("model.ckpt");
+        let res = Resources::new();
+        res.create_variable("w", Tensor::scalar_f64(1.25));
+        Saver::save(&res, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Saver::restore(&Resources::new(), &path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::DataLoss {
+                    transient: false,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generation_chain_restores_latest_and_falls_back_when_torn() {
+        let dir = fresh_dir("chain");
+        let res = Resources::new();
+        res.create_variable("x", Tensor::scalar_f64(1.0));
+        assert_eq!(Saver::save_generation(&res, &dir).unwrap(), 0);
+        res.variable("x")
+            .unwrap()
+            .assign(Tensor::scalar_f64(2.0))
+            .unwrap();
+        assert_eq!(Saver::save_generation(&res, &dir).unwrap(), 1);
+        assert_eq!(Saver::latest_generation(&dir).unwrap(), Some(1));
+
+        // Intact chain restores the newest generation.
+        let fresh = Resources::new();
+        assert_eq!(Saver::restore_latest(&fresh, &dir).unwrap(), 1);
+        assert_eq!(
+            fresh
+                .variable("x")
+                .unwrap()
+                .read()
+                .scalar_value_f64()
+                .unwrap(),
+            2.0
+        );
+
+        // Tear the latest generation file at EVERY byte offset: the
+        // chain must always fall back to generation 0 without aborting.
+        let latest = dir.join(generation_file_name(1));
+        let pristine = std::fs::read(&latest).unwrap();
+        for cut in 0..pristine.len() {
+            std::fs::write(&latest, &pristine[..cut]).unwrap();
+            let r = Resources::new();
+            assert_eq!(
+                Saver::restore_latest(&r, &dir).unwrap(),
+                0,
+                "cut at byte {cut} should fall back to gen 0"
+            );
+            assert_eq!(
+                r.variable("x").unwrap().read().scalar_value_f64().unwrap(),
+                1.0
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_generation_file_is_skipped() {
+        let dir = fresh_dir("stale");
+        let res = Resources::new();
+        res.create_variable("x", Tensor::scalar_f64(10.0));
+        Saver::save_generation(&res, &dir).unwrap();
+        res.variable("x")
+            .unwrap()
+            .assign(Tensor::scalar_f64(20.0))
+            .unwrap();
+        Saver::save_generation(&res, &dir).unwrap();
+        // Swap the old generation's bytes in under the new file name:
+        // the frame checksum still passes, but the embedded generation
+        // number does not match the manifest entry.
+        let gen0 = std::fs::read(dir.join(generation_file_name(0))).unwrap();
+        std::fs::write(dir.join(generation_file_name(1)), &gen0).unwrap();
+        let r = Resources::new();
+        assert_eq!(Saver::restore_latest(&r, &dir).unwrap(), 0);
+        assert_eq!(
+            r.variable("x").unwrap().read().scalar_value_f64().unwrap(),
+            10.0
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_referencing_missing_file_reports_data_loss_with_path() {
+        let dir = fresh_dir("missing");
+        let res = Resources::new();
+        res.create_variable("x", Tensor::scalar_f64(3.0));
+        Saver::save_generation(&res, &dir).unwrap();
+        let victim = dir.join(generation_file_name(0));
+        std::fs::remove_file(&victim).unwrap();
+        let err = Saver::restore_latest(&Resources::new(), &dir).unwrap_err();
+        match &err {
+            CoreError::DataLoss { what, transient } => {
+                assert!(!transient);
+                assert!(
+                    what.contains(&victim.display().to_string()),
+                    "error should name the missing file, got: {what}"
+                );
+            }
+            other => panic!("expected DataLoss, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_generations_torn_reports_data_loss() {
+        let dir = fresh_dir("all-torn");
+        let res = Resources::new();
+        res.create_variable("x", Tensor::scalar_f64(5.0));
+        Saver::save_generation(&res, &dir).unwrap();
+        let path = dir.join(generation_file_name(0));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = Saver::restore_latest(&Resources::new(), &dir).unwrap_err();
+        assert!(matches!(err, CoreError::DataLoss { .. }), "got {err:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -158,6 +158,11 @@ pub struct RunMetadata {
     /// Transparent retries the distributed runtime performed on this
     /// task's behalf during the run (0 unless a retry policy is set).
     pub retries: u64,
+    /// Corrupted frames the integrity plane detected (checksum
+    /// failures on receive paths) during the run.
+    pub corruption_detected: u64,
+    /// Retransmissions of corrupted transfers during the run.
+    pub retransmits: u64,
     /// Per-op / per-queue / per-link statistics for the run
     /// (TensorFlow's `StepStats`). Derived purely from work the
     /// executor does anyway, so it is identical whether or not any
@@ -228,6 +233,8 @@ impl MetaAcc {
         self,
         elapsed_s: f64,
         retries: u64,
+        corruption_detected: u64,
+        retransmits: u64,
         queues: Vec<tfhpc_obs::QueueStat>,
         links: Vec<tfhpc_obs::LinkStat>,
     ) -> RunMetadata {
@@ -247,6 +254,8 @@ impl MetaAcc {
             kernel_seconds: f64::from_bits(self.kernel_seconds_bits.into_inner()),
             elapsed_s,
             retries,
+            corruption_detected,
+            retransmits,
             step_stats: tfhpc_obs::StepStats {
                 ops,
                 queues,
@@ -631,6 +640,8 @@ impl Session {
     ) -> Result<(RunOutputs, RunMetadata)> {
         let run_t0 = self.now();
         let retries_t0 = self.resources.retries_total();
+        let corruption_t0 = self.resources.corruption_detected_total();
+        let retransmits_t0 = self.resources.retransmits_total();
         let links_t0 = sim_link_counters();
         let run_seed = self.run_counter.fetch_add(1, Ordering::Relaxed) + 1;
 
@@ -680,6 +691,8 @@ impl Session {
         let metadata = meta.into_metadata(
             self.now() - run_t0,
             self.resources.retries_total() - retries_t0,
+            self.resources.corruption_detected_total() - corruption_t0,
+            self.resources.retransmits_total() - retransmits_t0,
             self.resources.queue_step_stats(),
             link_deltas(&links_t0, &sim_link_counters()),
         );

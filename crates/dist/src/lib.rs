@@ -17,6 +17,7 @@ pub mod reducer;
 pub mod rendezvous;
 pub mod resolver;
 pub mod server;
+pub mod wire;
 
 pub use cluster_spec::{ClusterSpec, TaskKey};
 pub use collective::ring_all_reduce;

@@ -109,6 +109,7 @@ impl RendezvousEdge {
         let channel = self.channel(step);
         let q = recv_queue_channel(worker, &self.dst, &channel)?;
         let tuple = q.dequeue()?;
+        let tuple = verify_recv(worker, &channel, tuple)?;
         note_recv_channel(&channel);
         finish_recv(worker, tuple, gpu)
     }
@@ -126,7 +127,10 @@ pub fn send(
     send_channel(worker, &key.src, &key.dst, &key.channel(), value, gpu)
 }
 
-/// [`send`] body over a pre-formatted channel name.
+/// [`send`] body over a pre-formatted channel name. The value is
+/// framed with a CRC32C trailer before it lands in the consumer's
+/// buffer; a corruption window active at send time fails verification
+/// and the cluster's retry policy retransmits from the pristine copy.
 fn send_channel(
     worker: &Arc<Server>,
     src: &TaskKey,
@@ -141,24 +145,33 @@ fn send_channel(
             worker.key
         )));
     }
-    let cluster = worker.cluster();
-    if let Some(reason) = cluster.death_reason(dst) {
-        return Err(CoreError::Unavailable(format!(
-            "consumer {dst} is down: {reason}"
-        )));
-    }
-    let peer = cluster.server(dst)?;
-    worker.charge_transfer_to(&peer, gpu, None, value.byte_size() as u64);
-    let q = peer.resources.get_or_create_queue(channel, 1);
-    q.enqueue(vec![value])?;
-    tfhpc_obs::global()
-        .counter("tfhpc_rendezvous_sends_total")
-        .inc();
-    let tr = tfhpc_obs::trace::global();
-    if tr.is_enabled() {
-        tr.flow_start(channel, tfhpc_obs::flow_id(channel));
-    }
-    Ok(())
+    let retry = worker.cluster().retry_config();
+    retry.run("rendezvous_send", Some(&worker.resources), || {
+        let cluster = worker.cluster();
+        if let Some(reason) = cluster.death_reason(dst) {
+            return Err(CoreError::Unavailable(format!(
+                "consumer {dst} is down: {reason}"
+            )));
+        }
+        let peer = cluster.server(dst)?;
+        worker.charge_transfer_to(&peer, gpu, None, value.byte_size() as u64);
+        let verified = crate::wire::transfer(
+            worker,
+            channel,
+            &[worker.node, peer.node],
+            std::slice::from_ref(&value),
+        )?;
+        let q = peer.resources.get_or_create_queue(channel, 1);
+        q.enqueue(verified)?;
+        tfhpc_obs::global()
+            .counter("tfhpc_rendezvous_sends_total")
+            .inc();
+        let tr = tfhpc_obs::trace::global();
+        if tr.is_enabled() {
+            tr.flow_start(channel, tfhpc_obs::flow_id(channel));
+        }
+        Ok(())
+    })
 }
 
 /// Receive the tensor for `key`, blocking until the producer sent it.
@@ -166,6 +179,7 @@ pub fn recv(worker: &Arc<Server>, key: &RendezvousKey, gpu: Option<usize>) -> Re
     let channel = key.channel();
     let q = recv_queue_channel(worker, &key.dst, &channel)?;
     let tuple = q.dequeue()?;
+    let tuple = verify_recv(worker, &channel, tuple)?;
     note_recv_channel(&channel);
     finish_recv(worker, tuple, gpu)
 }
@@ -185,6 +199,7 @@ pub fn recv_deadline(
     let q = recv_queue_channel(worker, &key.dst, &channel)?;
     match q.dequeue_timeout(timeout_s) {
         Ok(tuple) => {
+            let tuple = verify_recv(worker, &channel, tuple)?;
             note_recv_channel(&channel);
             finish_recv(worker, tuple, gpu)
         }
@@ -209,6 +224,19 @@ fn recv_queue_channel(
         )));
     }
     Ok(worker.resources.get_or_create_queue(channel, 1))
+}
+
+/// Verify a dequeued rendezvous tuple on the consumer side: the frame
+/// check runs under the cluster's retry policy, so a corruption window
+/// active at delivery time is ridden out by retransmitting from the
+/// buffered pristine tuple instead of popping the queue again.
+fn verify_recv(worker: &Arc<Server>, channel: &str, tuple: Vec<Tensor>) -> Result<Vec<Tensor>> {
+    worker
+        .cluster()
+        .retry_config()
+        .run("rendezvous_recv", Some(&worker.resources), || {
+            crate::wire::transfer(worker, channel, &[worker.node], &tuple)
+        })
 }
 
 /// Count a completed receive and close its trace flow (the arrow from

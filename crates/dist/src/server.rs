@@ -378,9 +378,14 @@ impl Server {
                 let peer = self.peer_checked(target)?;
                 let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
                 self.charge_transfer_to(&peer, src_gpu, None, bytes);
+                // Frame + verify before the tuple lands: a corrupted
+                // transfer is detected here and the retry retransmits
+                // without ever double-enqueueing.
+                let verified =
+                    crate::wire::transfer(self, "remote_enqueue", &[self.node, peer.node], &tuple)?;
                 peer.resources
                     .queue_wait(queue, Self::QUEUE_RESOLVE_TIMEOUT_S)?
-                    .enqueue(tuple.clone())
+                    .enqueue(verified)
             })
     }
 
@@ -393,16 +398,24 @@ impl Server {
         queue: &str,
         dst_gpu: Option<usize>,
     ) -> Result<Vec<Tensor>> {
+        let (tuple, peer_node) =
+            self.retry()
+                .run("remote_dequeue", Some(&self.resources), || {
+                    let peer = self.peer_checked(target)?;
+                    let tuple = peer
+                        .resources
+                        .queue_wait(queue, Self::QUEUE_RESOLVE_TIMEOUT_S)?
+                        .dequeue()?;
+                    let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
+                    peer.charge_transfer_to(self, None, dst_gpu, bytes);
+                    Ok((tuple, peer.node))
+                })?;
+        // Verify outside the dequeue retry: the tuple is already ours,
+        // so a corrupted delivery retransmits from the held copy
+        // instead of popping the queue a second time.
         self.retry()
-            .run("remote_dequeue", Some(&self.resources), || {
-                let peer = self.peer_checked(target)?;
-                let tuple = peer
-                    .resources
-                    .queue_wait(queue, Self::QUEUE_RESOLVE_TIMEOUT_S)?
-                    .dequeue()?;
-                let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
-                peer.charge_transfer_to(self, None, dst_gpu, bytes);
-                Ok(tuple)
+            .run("remote_dequeue/verify", Some(&self.resources), || {
+                crate::wire::transfer(self, "remote_dequeue", &[peer_node, self.node], &tuple)
             })
     }
 
@@ -424,7 +437,18 @@ impl Server {
             .dequeue_timeout(timeout_s)?;
         let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
         peer.charge_transfer_to(self, None, dst_gpu, bytes);
-        Ok(tuple)
+        self.retry().run(
+            "remote_dequeue_deadline/verify",
+            Some(&self.resources),
+            || {
+                crate::wire::transfer(
+                    self,
+                    "remote_dequeue_deadline",
+                    &[peer.node, self.node],
+                    &tuple,
+                )
+            },
+        )
     }
 
     /// `target_var += value` on the parameter server `target` — the
@@ -443,7 +467,15 @@ impl Server {
             .run("remote_assign_add", Some(&self.resources), || {
                 let peer = self.peer_checked(target)?;
                 self.charge_transfer_to(&peer, src_gpu, dst_gpu, value.byte_size() as u64);
-                peer.resources.variable(var)?.assign_add(value)?;
+                // Verify before applying: the add happens at most once,
+                // on checksum-verified bytes.
+                let verified = crate::wire::transfer(
+                    self,
+                    "remote_assign_add",
+                    &[self.node, peer.node],
+                    std::slice::from_ref(value),
+                )?;
+                peer.resources.variable(var)?.assign_add(&verified[0])?;
                 // The add itself executes on the target's device.
                 let placement = match dst_gpu {
                     Some(g) => tfhpc_core::Placement::Gpu(g),
@@ -463,6 +495,47 @@ impl Server {
             })
     }
 
+    /// Overwrite `target_var` with `value` — used to reinstate a
+    /// checkpointed accumulator on a restarted parameter server.
+    /// Transient failures are retried per the cluster's policy.
+    pub fn remote_assign(
+        &self,
+        target: &TaskKey,
+        var: &str,
+        value: &Tensor,
+        src_gpu: Option<usize>,
+        dst_gpu: Option<usize>,
+    ) -> Result<()> {
+        self.retry()
+            .run("remote_assign", Some(&self.resources), || {
+                let peer = self.peer_checked(target)?;
+                self.charge_transfer_to(&peer, src_gpu, dst_gpu, value.byte_size() as u64);
+                // Verify before applying, like remote_assign_add: the
+                // overwrite lands at most once, on verified bytes.
+                let mut verified = crate::wire::transfer(
+                    self,
+                    "remote_assign",
+                    &[self.node, peer.node],
+                    std::slice::from_ref(value),
+                )?;
+                peer.resources
+                    .variable(var)?
+                    .assign(verified.pop().expect("transfer preserves arity"))?;
+                let placement = match dst_gpu {
+                    Some(g) => tfhpc_core::Placement::Gpu(g),
+                    None => tfhpc_core::Placement::Cpu,
+                };
+                // A plain store: one pass through the target's memory.
+                let cost = Cost {
+                    flops: 0.0,
+                    bytes: value.byte_size() as f64,
+                    class: KernelClass::Elementwise,
+                };
+                peer.devices.charge_kernel(placement, &cost, true);
+                Ok(())
+            })
+    }
+
     /// Read a variable from `target`, paying the transfer back.
     /// Transient failures are retried per the cluster's policy.
     pub fn remote_var_read(
@@ -476,7 +549,16 @@ impl Server {
                 let peer = self.peer_checked(target)?;
                 let value = peer.resources.variable(var)?.read();
                 peer.charge_transfer_to(self, None, dst_gpu, value.byte_size() as u64);
-                Ok(value)
+                // Reads are idempotent: a corrupted return transfer
+                // retries the whole read, recharging the wire like a
+                // real retransmission.
+                let mut verified = crate::wire::transfer(
+                    self,
+                    "remote_var_read",
+                    &[peer.node, self.node],
+                    std::slice::from_ref(&value),
+                )?;
+                Ok(verified.pop().expect("transfer preserves arity"))
             })
     }
 
@@ -733,6 +815,71 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, CoreError::Unavailable(_)), "{err}");
         assert_eq!(worker.resources.retries_total(), 2);
+    }
+
+    #[test]
+    fn wire_transfer_roundtrips_bit_exactly_without_faults() {
+        let (_c, _ps, worker) = two_task_cluster();
+        let dense = Tensor::from_f64([3], vec![1.0 / 3.0, f64::MIN_POSITIVE, -0.0]).unwrap();
+        let synth = Tensor::synthetic(tfhpc_tensor::DType::F32, [1 << 20], 0xABCD);
+        let out = crate::wire::transfer(&worker, "test", &[0, 1], &[dense.clone(), synth]).unwrap();
+        assert_eq!(out[0].as_f64().unwrap(), dense.as_f64().unwrap());
+        assert!(out[1].is_synthetic());
+        assert_eq!(out[1].synthetic_seed(), Some(0xABCD));
+        assert_eq!(worker.resources.corruption_detected_total(), 0);
+    }
+
+    #[test]
+    fn corruption_window_is_detected_and_counted_as_retransmittable() {
+        let (c, ps, worker) = two_task_cluster();
+        ps.resources.create_variable("w", Tensor::scalar_f64(2.5));
+        // Real mode pins virtual time at 0: a window starting at 0
+        // is active for every attempt, and with retries disabled the
+        // transient DataLoss reaches the caller.
+        c.set_faults(Some(Arc::new(FaultPlan::new().link_corrupt(0, 0.0, 1.0))));
+        let err = worker
+            .remote_var_read(&TaskKey::new("ps", 0), "w", None)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CoreError::DataLoss {
+                    transient: true,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(err.is_transient());
+        assert_eq!(worker.resources.corruption_detected_total(), 1);
+        assert_eq!(worker.resources.retransmits_total(), 1);
+        // Clearing the plan restores clean reads, bit-exactly.
+        c.set_faults(None);
+        let v = worker
+            .remote_var_read(&TaskKey::new("ps", 0), "w", None)
+            .unwrap();
+        assert_eq!(v.scalar_value_f64().unwrap(), 2.5);
+    }
+
+    #[test]
+    fn corruption_detection_counts_each_retry_attempt() {
+        let (c, ps, worker) = two_task_cluster();
+        ps.resources.create_variable("w", Tensor::scalar_f64(1.0));
+        c.set_faults(Some(Arc::new(FaultPlan::new().link_corrupt(1, 0.0, 1.0))));
+        c.set_retry(tfhpc_core::RetryConfig {
+            max_attempts: 4,
+            base_backoff_s: 0.0,
+            max_backoff_s: 0.0,
+            jitter: 0.0,
+        });
+        let err = worker
+            .remote_var_read(&TaskKey::new("ps", 0), "w", None)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DataLoss { .. }), "{err}");
+        // Every attempt hit the (never-closing, in real mode) window.
+        assert_eq!(worker.resources.corruption_detected_total(), 4);
+        assert_eq!(worker.resources.retransmits_total(), 4);
+        assert_eq!(worker.resources.retries_total(), 3);
     }
 
     #[test]

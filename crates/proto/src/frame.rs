@@ -1,0 +1,338 @@
+//! Checksummed framing for wire transfers and checkpoint files.
+//!
+//! A frame wraps an opaque payload with a magic marker, a length and a
+//! CRC32C (Castagnoli) trailer computed over header *and* payload, so a
+//! receiver can tell a pristine message from one that was bit-flipped
+//! or truncated in flight (the silent-corruption failure mode of RDMA
+//! verbs and torn PFS writes). The checksum is implemented in-tree
+//! because the build environment is offline: the SSE4.2 `crc32`
+//! instruction when the CPU has it (detected at runtime), falling back
+//! to slicing-by-8 over compile-time tables.
+//!
+//! Layout: `magic (4) | uvarint payload_len | payload | crc32c (4, LE)`
+//! with the CRC covering everything before it.
+
+use crate::{wire, ProtoError};
+use bytes::{BufMut, BytesMut};
+
+/// Frame marker: any payload not starting with it is rejected outright.
+pub const FRAME_MAGIC: [u8; 4] = *b"TFHF";
+
+/// CRC32C (Castagnoli) polynomial, reflected form.
+const POLY: u32 = 0x82F6_3B78;
+
+/// Slicing-by-8 lookup tables, generated at compile time.
+static CRC_TABLES: [[u32; 256]; 8] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; 8] {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            k += 1;
+        }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+}
+
+/// CRC32C of `data` (full init/finalize; standard Castagnoli check
+/// value: `crc32c(b"123456789") == 0xE306_9283`).
+#[inline]
+pub fn crc32c(data: &[u8]) -> u32 {
+    crc32c_append(0, data)
+}
+
+/// Continue a CRC32C over `data`, starting from a previous result.
+#[inline]
+pub fn crc32c_append(seed: u32, data: &[u8]) -> u32 {
+    !crc_update(!seed, data)
+}
+
+/// Advance the raw (pre-finalize) CRC state over `data`, using the
+/// SSE4.2 `crc32` instruction when the CPU has it and the slicing-by-8
+/// tables otherwise. Both paths compute the identical function (the
+/// instruction implements the same Castagnoli polynomial), which the
+/// agreement test pins.
+#[inline]
+fn crc_update(crc: u32, data: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if hw_crc_available() {
+        // SAFETY: gated on runtime SSE4.2 detection.
+        return unsafe { crc_update_hw(crc, data) };
+    }
+    crc_update_sw(crc, data)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn hw_crc_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| std::arch::is_x86_feature_detected!("sse4.2"))
+}
+
+/// Bytes per lane of the 3-way interleaved hardware path. The `crc32`
+/// instruction has a 3-cycle latency but 1-cycle throughput, so three
+/// independent chains run ~3x faster than one; lane results are merged
+/// with a precomputed shift-by-`LANE`-zero-bytes table.
+#[cfg(target_arch = "x86_64")]
+const LANE: usize = 80;
+
+#[cfg(target_arch = "x86_64")]
+static SHIFT_LANE: [[u32; 256]; 4] = build_shift_tables(LANE);
+
+/// Tables applying the linear operator "advance the CRC state over
+/// `len` zero bytes", one per state byte, built at compile time. CRC
+/// updates are linear over GF(2), so
+/// `update(s, A || B) = shift(update(s, A)) ^ update(0, B)`.
+#[cfg(target_arch = "x86_64")]
+const fn build_shift_tables(len: usize) -> [[u32; 256]; 4] {
+    let mut tables = [[0u32; 256]; 4];
+    let mut byte = 0;
+    while byte < 4 {
+        let mut v = 0;
+        while v < 256 {
+            let mut state = (v as u32) << (8 * byte);
+            let mut k = 0;
+            while k < len {
+                state = (state >> 8) ^ CRC_TABLES[0][(state & 0xFF) as usize];
+                k += 1;
+            }
+            tables[byte][v] = state;
+            v += 1;
+        }
+        byte += 1;
+    }
+    tables
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn shift_lane(s: u32) -> u32 {
+    SHIFT_LANE[0][(s & 0xFF) as usize]
+        ^ SHIFT_LANE[1][((s >> 8) & 0xFF) as usize]
+        ^ SHIFT_LANE[2][((s >> 16) & 0xFF) as usize]
+        ^ SHIFT_LANE[3][(s >> 24) as usize]
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse4.2")]
+unsafe fn crc_update_hw(crc: u32, data: &[u8]) -> u32 {
+    use std::arch::x86_64::{_mm_crc32_u64, _mm_crc32_u8};
+    let mut state = crc as u64;
+    let mut rest = data;
+    while rest.len() >= 3 * LANE {
+        let (head, tail) = rest.split_at(3 * LANE);
+        let (mut sb, mut sc) = (0u64, 0u64);
+        // SAFETY: `head` is exactly 3*LANE bytes, so lane `i` reads
+        // stay within `[i*LANE, (i+1)*LANE)`; unaligned reads are fine
+        // on x86_64 and skip the per-word bounds checks the slice
+        // indexing forms would carry into this hot loop.
+        let p = head.as_ptr();
+        let mut k = 0;
+        while k < LANE {
+            let a = (p.add(k) as *const u64).read_unaligned();
+            let b = (p.add(LANE + k) as *const u64).read_unaligned();
+            let c = (p.add(2 * LANE + k) as *const u64).read_unaligned();
+            state = _mm_crc32_u64(state, u64::from_le(a));
+            sb = _mm_crc32_u64(sb, u64::from_le(b));
+            sc = _mm_crc32_u64(sc, u64::from_le(c));
+            k += 8;
+        }
+        state = (shift_lane(shift_lane(state as u32) ^ sb as u32) ^ sc as u32) as u64;
+        rest = tail;
+    }
+    let mut chunks = rest.chunks_exact(8);
+    for c in chunks.by_ref() {
+        state = _mm_crc32_u64(state, u64::from_le_bytes(c.try_into().unwrap()));
+    }
+    let mut crc = state as u32;
+    for &b in chunks.remainder() {
+        crc = _mm_crc32_u8(crc, b);
+    }
+    crc
+}
+
+fn crc_update_sw(mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Wrap `payload` in a checksummed frame.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(payload.len() + 16);
+    buf.put_slice(&FRAME_MAGIC);
+    wire::put_uvarint(&mut buf, payload.len() as u64);
+    buf.put_slice(payload);
+    let crc = crc32c(&buf);
+    buf.put_u32_le(crc);
+    buf.to_vec()
+}
+
+/// Verify a frame and return a view of its payload.
+///
+/// Any deviation — missing/wrong magic, bad length, trailing garbage,
+/// or a checksum mismatch — returns [`ProtoError::ChecksumMismatch`]
+/// (truncation that cuts into the header returns
+/// [`ProtoError::Truncated`]). Never panics, whatever the input.
+pub fn open(frame: &[u8]) -> Result<&[u8], ProtoError> {
+    if frame.len() < FRAME_MAGIC.len() + 1 + 4 {
+        return Err(ProtoError::Truncated);
+    }
+    if frame[..FRAME_MAGIC.len()] != FRAME_MAGIC {
+        return Err(ProtoError::ChecksumMismatch);
+    }
+    let (len, rest) = wire::get_uvarint(&frame[FRAME_MAGIC.len()..])?;
+    let len = len as usize;
+    if rest.len() != len + 4 {
+        return Err(ProtoError::ChecksumMismatch);
+    }
+    let (payload, trailer) = rest.split_at(len);
+    let want = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+    let got = crc32c(&frame[..frame.len() - 4]);
+    if got != want {
+        return Err(ProtoError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+/// Deterministically corrupt a frame copy: flip one bit chosen by
+/// `entropy`, somewhere past the magic (so [`open`] reports a checksum
+/// mismatch rather than a missing frame). Used by the fault-injection
+/// plane to model link bit-flips reproducibly.
+pub fn flip_bit(frame: &mut [u8], entropy: u64) {
+    if frame.len() <= FRAME_MAGIC.len() {
+        return;
+    }
+    let span = frame.len() - FRAME_MAGIC.len();
+    let byte = FRAME_MAGIC.len() + (entropy as usize % span);
+    let bit = (entropy >> 32) % 8;
+    frame[byte] ^= 1 << bit;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32c_check_value() {
+        // The standard Castagnoli test vector.
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+    }
+
+    #[test]
+    fn crc32c_empty_and_incremental() {
+        assert_eq!(crc32c(b""), 0);
+        // Byte-at-a-time must agree with the sliced bulk path.
+        let data: Vec<u8> = (0..=255u8).cycle().take(1027).collect();
+        let bulk = crc32c(&data);
+        let mut slow = 0xFFFF_FFFFu32;
+        for &b in &data {
+            slow = (slow >> 8) ^ CRC_TABLES[0][((slow ^ b as u32) & 0xFF) as usize];
+        }
+        assert_eq!(bulk, !slow);
+    }
+
+    #[test]
+    fn hw_and_sw_paths_agree() {
+        // Both CRC implementations must compute the identical function
+        // across every chunk-boundary alignment, so a frame sealed on a
+        // CPU with SSE4.2 opens on one without it (and vice versa).
+        let data: Vec<u8> = (0..2048u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        for start in [0usize, 1, 3, 7, 8] {
+            for len in [
+                0usize, 1, 7, 8, 9, 63, 64, 65, 239, 240, 241, 480, 512, 1024,
+            ] {
+                let slice = &data[start..start + len];
+                let sw = !crc_update_sw(!0, slice);
+                assert_eq!(crc32c(slice), sw, "start {start} len {len}");
+                #[cfg(target_arch = "x86_64")]
+                if hw_crc_available() {
+                    // SAFETY: gated on runtime SSE4.2 detection.
+                    let hw = !unsafe { crc_update_hw(!0, slice) };
+                    assert_eq!(hw, sw, "hw/sw divergence at start {start} len {len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        for n in [0usize, 1, 7, 8, 9, 255, 4096] {
+            let payload: Vec<u8> = (0..n).map(|i| (i * 31) as u8).collect();
+            let frame = seal(&payload);
+            assert_eq!(open(&frame).unwrap(), payload.as_slice());
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_detected() {
+        let frame = seal(b"the quick brown fox");
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(open(&bad).is_err(), "flip at {byte}:{bit} went undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let frame = seal(b"payload under test");
+        for cut in 0..frame.len() {
+            assert!(open(&frame[..cut]).is_err(), "truncation at {cut}");
+        }
+        // Trailing garbage too.
+        let mut long = frame.clone();
+        long.push(0);
+        assert!(open(&long).is_err());
+    }
+
+    #[test]
+    fn flip_bit_always_invalidates() {
+        let frame = seal(b"abcdef");
+        for entropy in [0u64, 1, 0xDEAD_BEEF, u64::MAX, 0x1234_5678_9ABC_DEF0] {
+            let mut bad = frame.clone();
+            flip_bit(&mut bad, entropy);
+            assert_ne!(bad, frame);
+            assert_eq!(open(&bad), Err(ProtoError::ChecksumMismatch));
+        }
+    }
+}

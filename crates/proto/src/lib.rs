@@ -11,6 +11,7 @@
 //! * the 2 GB message-size ceiling the paper calls out as a real
 //!   TensorFlow graph limitation ([`MAX_MESSAGE_BYTES`]).
 
+pub mod frame;
 pub mod wire;
 
 use bytes::{BufMut, BytesMut};
@@ -36,6 +37,9 @@ pub enum ProtoError {
     InvalidField(&'static str),
     /// A UTF-8 string field held invalid bytes.
     InvalidUtf8,
+    /// A checksummed frame failed verification: the payload was
+    /// bit-flipped, truncated or otherwise altered after sealing.
+    ChecksumMismatch,
 }
 
 impl fmt::Display for ProtoError {
@@ -49,6 +53,9 @@ impl fmt::Display for ProtoError {
             }
             ProtoError::InvalidField(name) => write!(f, "invalid or missing field `{name}`"),
             ProtoError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtoError::ChecksumMismatch => {
+                write!(f, "frame checksum mismatch (corrupted or truncated data)")
+            }
         }
     }
 }
@@ -429,6 +436,16 @@ pub trait Message: Sized {
         let mut enc = Encoder::new();
         self.encode(&mut enc)?;
         enc.finish()
+    }
+
+    /// Encode into a CRC32C-checksummed frame ([`frame::seal`]).
+    fn to_framed_bytes(&self) -> Result<Vec<u8>, ProtoError> {
+        Ok(frame::seal(&self.to_bytes()?))
+    }
+
+    /// Verify a checksummed frame and decode the payload within.
+    fn decode_framed(bytes: &[u8]) -> Result<Self, ProtoError> {
+        Self::decode(frame::open(bytes)?)
     }
 }
 

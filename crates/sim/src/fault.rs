@@ -52,6 +52,44 @@ pub enum FaultEvent {
         /// Added one-way latency, seconds.
         extra_s: f64,
     },
+    /// Frames crossing the links of `node` during `[from_s, until_s)`
+    /// arrive silently corrupted (a bit flip or truncation the NIC did
+    /// not catch): receivers see a checksum mismatch and must
+    /// retransmit. The sender's copy stays pristine, so the fault is
+    /// transient — a retry after the window delivers clean bytes.
+    LinkCorrupt {
+        /// Affected node index.
+        node: usize,
+        /// Window start, virtual seconds (inclusive).
+        from_s: f64,
+        /// Window end, virtual seconds (exclusive).
+        until_s: f64,
+    },
+    /// Checkpoint writes issued from `node` during `[from_s, until_s)`
+    /// are torn: only a prefix of the blob reaches stable storage (the
+    /// classic partial-write crash failure). Detected on restore by the
+    /// checkpoint frame checksum; recovery falls back to the previous
+    /// valid generation.
+    CkptTorn {
+        /// Affected node index.
+        node: usize,
+        /// Window start, virtual seconds (inclusive).
+        from_s: f64,
+        /// Window end, virtual seconds (exclusive).
+        until_s: f64,
+    },
+    /// Checkpoint writes issued from `node` during `[from_s, until_s)`
+    /// are silently dropped — the write "succeeds" but the previous
+    /// file stays in place (lost-update / stale-file failure). Detected
+    /// on restore by the generation chain in the manifest.
+    CkptStale {
+        /// Affected node index.
+        node: usize,
+        /// Window start, virtual seconds (inclusive).
+        from_s: f64,
+        /// Window end, virtual seconds (exclusive).
+        until_s: f64,
+    },
 }
 
 /// A deterministic schedule of injected faults (empty = fault-free).
@@ -114,6 +152,36 @@ impl FaultPlan {
         self
     }
 
+    /// Add a silent link-corruption window on `node`.
+    pub fn link_corrupt(mut self, node: usize, from_s: f64, until_s: f64) -> FaultPlan {
+        self.events.push(FaultEvent::LinkCorrupt {
+            node,
+            from_s,
+            until_s,
+        });
+        self
+    }
+
+    /// Add a torn-checkpoint-write window on `node`.
+    pub fn ckpt_torn(mut self, node: usize, from_s: f64, until_s: f64) -> FaultPlan {
+        self.events.push(FaultEvent::CkptTorn {
+            node,
+            from_s,
+            until_s,
+        });
+        self
+    }
+
+    /// Add a stale-checkpoint-write window on `node`.
+    pub fn ckpt_stale(mut self, node: usize, from_s: f64, until_s: f64) -> FaultPlan {
+        self.events.push(FaultEvent::CkptStale {
+            node,
+            from_s,
+            until_s,
+        });
+        self
+    }
+
     /// Derive a transient-fault schedule over `n_nodes` nodes and a
     /// `horizon_s` run window from `seed`: each node gets, with
     /// probability ~1/2 each, one link-fault window (~2–7% of the
@@ -137,6 +205,40 @@ impl FaultPlan {
             }
         }
         plan
+    }
+
+    /// Derive a corruption schedule over `n_nodes` nodes and a
+    /// `horizon_s` run window from `seed`: each node gets, with
+    /// probability ~1/2 each, one link-corruption window (~5–20% of the
+    /// horizon) and one torn- or stale-checkpoint window. Like
+    /// [`FaultPlan::seeded`], the splitmix64 stream is the only entropy
+    /// source and no crashes are scheduled.
+    pub fn seeded_corruption(seed: u64, n_nodes: usize, horizon_s: f64) -> FaultPlan {
+        let mut state = seed ^ 0x05EE_DC0D_EBAD_BEEF;
+        let mut plan = FaultPlan::new();
+        for node in 0..n_nodes {
+            if unit(&mut state) < 0.5 {
+                let start = (0.05 + 0.6 * unit(&mut state)) * horizon_s;
+                let dur = (0.05 + 0.15 * unit(&mut state)) * horizon_s;
+                plan = plan.link_corrupt(node, start, start + dur);
+            }
+            if unit(&mut state) < 0.5 {
+                let start = (0.05 + 0.6 * unit(&mut state)) * horizon_s;
+                let dur = (0.1 + 0.2 * unit(&mut state)) * horizon_s;
+                plan = if unit(&mut state) < 0.5 {
+                    plan.ckpt_torn(node, start, start + dur)
+                } else {
+                    plan.ckpt_stale(node, start, start + dur)
+                };
+            }
+        }
+        plan
+    }
+
+    /// Merge another plan's events into this one.
+    pub fn merged(mut self, other: FaultPlan) -> FaultPlan {
+        self.events.extend(other.events);
+        self
     }
 
     /// True when the plan schedules nothing.
@@ -183,6 +285,42 @@ impl FaultPlan {
             .fold(None, |acc: Option<f64>, t| {
                 Some(acc.map_or(t, |a| a.max(t)))
             })
+    }
+
+    /// Is a link-corruption window on `node` active at `now_s`?
+    pub fn link_corrupt_at(&self, node: usize, now_s: f64) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::LinkCorrupt { node: n, from_s, until_s }
+                if *n == node && now_s >= *from_s && now_s < *until_s)
+        })
+    }
+
+    /// Is a torn-checkpoint-write window on `node` active at `now_s`?
+    pub fn ckpt_torn_at(&self, node: usize, now_s: f64) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::CkptTorn { node: n, from_s, until_s }
+                if *n == node && now_s >= *from_s && now_s < *until_s)
+        })
+    }
+
+    /// Is a stale-checkpoint-write window on `node` active at `now_s`?
+    pub fn ckpt_stale_at(&self, node: usize, now_s: f64) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::CkptStale { node: n, from_s, until_s }
+                if *n == node && now_s >= *from_s && now_s < *until_s)
+        })
+    }
+
+    /// Deterministic per-event entropy for corruption effects (which
+    /// bit to flip, how much of a torn write survives): a splitmix64
+    /// hash of the node and the exact virtual instant, so identical
+    /// runs corrupt identically and different instants corrupt
+    /// differently.
+    pub fn corruption_entropy(&self, node: usize, now_s: f64) -> u64 {
+        let mut state = (node as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(now_s.to_bits());
+        splitmix64(&mut state)
     }
 
     /// Total extra latency active on `node` at `now_s`.
@@ -263,10 +401,75 @@ mod tests {
                 }
                 | FaultEvent::DelaySpike {
                     from_s, until_s, ..
+                }
+                | FaultEvent::LinkCorrupt {
+                    from_s, until_s, ..
+                }
+                | FaultEvent::CkptTorn {
+                    from_s, until_s, ..
+                }
+                | FaultEvent::CkptStale {
+                    from_s, until_s, ..
                 } => {
                     assert!(*from_s >= 0.0 && until_s > from_s && *until_s <= 100.0);
                 }
             }
         }
+    }
+
+    #[test]
+    fn corruption_windows_are_half_open() {
+        let p = FaultPlan::new()
+            .link_corrupt(1, 2.0, 3.0)
+            .ckpt_torn(0, 1.0, 4.0)
+            .ckpt_stale(2, 0.5, 0.75);
+        assert!(!p.link_corrupt_at(1, 1.99));
+        assert!(p.link_corrupt_at(1, 2.0));
+        assert!(!p.link_corrupt_at(1, 3.0));
+        assert!(!p.link_corrupt_at(0, 2.5));
+        assert!(p.ckpt_torn_at(0, 1.0));
+        assert!(!p.ckpt_torn_at(0, 4.0));
+        assert!(p.ckpt_stale_at(2, 0.6));
+        assert!(!p.ckpt_stale_at(2, 0.75));
+    }
+
+    #[test]
+    fn seeded_corruption_is_deterministic_and_crash_free() {
+        let a = FaultPlan::seeded_corruption(7, 6, 50.0);
+        let b = FaultPlan::seeded_corruption(7, 6, 50.0);
+        let c = FaultPlan::seeded_corruption(8, 6, 50.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a
+            .events
+            .iter()
+            .all(|e| !matches!(e, FaultEvent::NodeCrash { .. })));
+        assert!(a.events.iter().any(|e| matches!(
+            e,
+            FaultEvent::LinkCorrupt { .. }
+                | FaultEvent::CkptTorn { .. }
+                | FaultEvent::CkptStale { .. }
+        )));
+    }
+
+    #[test]
+    fn corruption_entropy_is_reproducible_and_instant_sensitive() {
+        let p = FaultPlan::new();
+        assert_eq!(p.corruption_entropy(3, 1.5), p.corruption_entropy(3, 1.5));
+        assert_ne!(
+            p.corruption_entropy(3, 1.5),
+            p.corruption_entropy(3, 1.5000001)
+        );
+        assert_ne!(p.corruption_entropy(3, 1.5), p.corruption_entropy(4, 1.5));
+    }
+
+    #[test]
+    fn merged_concatenates_events() {
+        let a = FaultPlan::new().crash(0, 1.0);
+        let b = FaultPlan::new().link_corrupt(1, 2.0, 3.0);
+        let m = a.merged(b);
+        assert_eq!(m.events.len(), 2);
+        assert!(m.link_corrupt_at(1, 2.5));
+        assert!(m.crashed(0, 0.0, 2.0));
     }
 }

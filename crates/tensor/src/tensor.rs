@@ -58,6 +58,17 @@ impl TensorData {
     }
 }
 
+/// Reinterpret a slice of plain-old-data elements as its underlying
+/// bytes, in host (little-endian) order — the same convention as the
+/// packed proto encoders.
+fn pod_bytes<T: Copy>(v: &[T]) -> &[u8] {
+    // SAFETY: every element type passed here (`f32`/`f64`/`i32`/`i64`/
+    // `u8`/`bool`/`#[repr(C)] Complex64`) has no padding and every bit
+    // pattern of the buffer is a valid byte, so the reinterpretation is
+    // sound for the buffer's exact length in bytes.
+    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const u8, std::mem::size_of_val(v)) }
+}
+
 /// Where a tensor's payload lives.
 #[derive(Debug, Clone)]
 pub enum Storage {
@@ -295,6 +306,74 @@ impl Tensor {
     /// The storage backing this tensor.
     pub fn storage(&self) -> &Storage {
         &self.storage
+    }
+
+    /// Visit this tensor's identity bytes — dtype tag, shape dims, and
+    /// the raw host-endian payload (the dense element buffer, or the
+    /// generator seed for synthetic tensors) — as borrowed chunks,
+    /// without serializing. Transports use this to checksum a tensor's
+    /// wire payload with zero allocation; two tensors that visit the
+    /// same byte stream carry the same logical value.
+    #[inline]
+    pub fn visit_payload_bytes(&self, mut f: impl FnMut(&[u8])) {
+        // Pack dtype + rank + dims into one stack buffer, padded to a
+        // multiple of 8 bytes, so the common low-rank case costs a
+        // single visit and the checksum's word-at-a-time path covers
+        // the whole header; small payloads are fused into the same
+        // buffer (per-chunk and per-byte costs dominate on small
+        // tensors — scalars are most of a CG step's wire traffic).
+        const MAX_INLINE_DIMS: usize = 8;
+        const INLINE_PAYLOAD: usize = 64;
+        let dims = self.shape.dims();
+        let seed_bytes;
+        let payload: &[u8] = match &self.storage {
+            Storage::Synthetic { seed } => {
+                seed_bytes = seed.to_le_bytes();
+                &seed_bytes
+            }
+            Storage::Dense(data) => match &**data {
+                TensorData::F32(v) => pod_bytes(v),
+                TensorData::F64(v) => pod_bytes(v),
+                TensorData::C128(v) => pod_bytes(v),
+                TensorData::I32(v) => pod_bytes(v),
+                TensorData::I64(v) => pod_bytes(v),
+                TensorData::U8(v) => v,
+                TensorData::Bool(v) => pod_bytes(v),
+            },
+        };
+        if dims.len() <= MAX_INLINE_DIMS {
+            // Build the buffer out of whole u64 stores: the checksum
+            // reads it back as u64 words immediately, and matching
+            // store/load widths avoids store-forwarding stalls.
+            let mut hdr = [0u64; 1 + MAX_INLINE_DIMS + INLINE_PAYLOAD / 8];
+            hdr[0] = (self.dtype as u64) | ((dims.len() as u64) << 8);
+            for (i, &d) in dims.iter().enumerate() {
+                hdr[1 + i] = d as u64;
+            }
+            let hlen = 8 * (1 + dims.len());
+            if payload.len() <= INLINE_PAYLOAD {
+                // SAFETY: `hdr` has INLINE_PAYLOAD spare bytes past
+                // `hlen` and `payload` fits them; regions are disjoint.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        payload.as_ptr(),
+                        (hdr.as_mut_ptr() as *mut u8).add(hlen),
+                        payload.len(),
+                    );
+                }
+                f(&pod_bytes(&hdr)[..hlen + payload.len()]);
+            } else {
+                f(&pod_bytes(&hdr)[..hlen]);
+                f(payload);
+            }
+        } else {
+            f(&[self.dtype as u8, 0xFF, 0, 0, 0, 0, 0, 0]);
+            f(&(dims.len() as u64).to_le_bytes());
+            for &d in dims {
+                f(&(d as u64).to_le_bytes());
+            }
+            f(payload);
+        }
     }
 
     /// The dense payload, or `SyntheticValue` error.
@@ -596,6 +675,31 @@ pub fn mix_seed(a: u64, b: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn payload_bytes_distinguish_values_and_cover_every_byte() {
+        let t = Tensor::from_f64([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let collect = |t: &Tensor| {
+            let mut bytes = Vec::new();
+            t.visit_payload_bytes(|c| bytes.extend_from_slice(c));
+            bytes
+        };
+        let a = collect(&t);
+        // padded header (dtype + rank + one dim) + 4×8 payload bytes
+        assert_eq!(a.len(), 8 + 8 + t.byte_size());
+        assert_eq!(a, collect(&t.clone()));
+        // Any value, shape, or dtype change must alter the stream.
+        let b = collect(&Tensor::from_f64([4], vec![1.0, 2.0, 3.0, 5.0]).unwrap());
+        assert_ne!(a, b);
+        let c = collect(&Tensor::from_f64([2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+        assert_ne!(a, c);
+        let d = collect(&Tensor::from_i64([4], vec![1, 2, 3, 4]).unwrap());
+        assert_ne!(a, d);
+        // Synthetic tensors visit their seed, not materialized data.
+        let s1 = collect(&Tensor::synthetic(DType::F64, [4], 7));
+        let s2 = collect(&Tensor::synthetic(DType::F64, [4], 8));
+        assert_ne!(s1, s2);
+    }
 
     #[test]
     fn construct_and_access() {
