@@ -383,6 +383,114 @@ fn measure_integrity(n: usize, unroll: usize, workers: usize, steps: usize) -> M
     )
 }
 
+/// One compute micro-kernel measured on both dispatch paths (forced
+/// scalar, then forced SIMD) in the same process via
+/// `simd::set_forced`. `rate` columns are G-units per second (GB/s for
+/// bandwidth kernels, GFLOP/s for compute kernels); `ratio` is the
+/// SIMD/scalar rate — the machine-portable CI gate.
+struct KernelResult {
+    name: &'static str,
+    unit: &'static str,
+    scalar_rate: f64,
+    simd_rate: f64,
+    ratio: f64,
+}
+
+fn bench_kernel(
+    name: &'static str,
+    unit: &'static str,
+    work_per_call: f64,
+    iters: usize,
+    mut f: impl FnMut(),
+) -> KernelResult {
+    use tfhpc_tensor::simd;
+    let mut rate = [0.0f64; 2];
+    // Best of three windows per path: on a shared core a single window
+    // can absorb a preemption and skew the ratio either way.
+    for (i, force) in [false, true].into_iter().enumerate() {
+        simd::set_forced(Some(force));
+        let best_ns = (0..3)
+            .map(|_| measure(&mut f, iters).step_ns)
+            .fold(f64::INFINITY, f64::min);
+        // work per nanosecond == G-work per second.
+        rate[i] = work_per_call / best_ns;
+    }
+    simd::set_forced(None);
+    KernelResult {
+        name,
+        unit,
+        scalar_rate: rate[0],
+        simd_rate: rate[1],
+        ratio: rate[1] / rate[0],
+    }
+}
+
+/// Per-kernel bandwidth/throughput on the scalar and SIMD paths.
+/// Sizes are cache-resident on purpose: the gate measures
+/// vectorization, not the memory bus.
+fn bench_kernels(smoke: bool) -> Vec<KernelResult> {
+    use tfhpc_tensor::simd;
+    let (triad_it, dot_it, mm_it, fft_it) = if smoke {
+        (50_000, 50_000, 20, 300)
+    } else {
+        (400_000, 400_000, 100, 2000)
+    };
+
+    // STREAM triad: out[i] = y[i] + alpha * x[i] — 2 loads + 1 store —
+    // and dot, both over the parallel crate's 64-byte-aligned scratch
+    // arena, L1-resident (8 KiB per stream): the ratio gate isolates
+    // the vector units from alignment splits and the (virtualized)
+    // memory system.
+    let n = 1024usize;
+    let (triad, dot) = tfhpc_parallel::arena::with_scratch(3 * n * 8, |buf| {
+        let all = buf.as_f64_mut(3 * n);
+        for (i, v) in all.iter_mut().enumerate() {
+            *v = (i as f64 * 0.37).sin();
+        }
+        let (xv, rest) = all.split_at_mut(n);
+        let (yv, out) = rest.split_at_mut(n);
+        let triad = bench_kernel("triad_f64", "GB/s", (n * 24) as f64, triad_it, || {
+            simd::axpy_f64(3.0, xv, yv, out);
+            std::hint::black_box(&mut *out);
+        });
+        let dot = bench_kernel("dot_f64", "GB/s", (n * 16) as f64, dot_it, || {
+            std::hint::black_box(simd::dot_f64(xv, yv));
+        });
+        (triad, dot)
+    });
+
+    // matmul: 192³ f64 block product (B panel ≈ 295 KiB, L2-resident),
+    // output recycled through the tensor arena each call.
+    let m = 192usize;
+    let a = rng::random_uniform(DType::F64, [m, m], 47).unwrap();
+    let b = rng::random_uniform(DType::F64, [m, m], 53).unwrap();
+    let mm_flops = 2.0 * (m * m * m) as f64;
+    let mm = bench_kernel("matmul_f64", "GFLOP/s", mm_flops, mm_it, || {
+        let c = matmul::matmul(&a, &b).unwrap();
+        tfhpc_tensor::arena::recycle_tensor(std::hint::black_box(c));
+    });
+
+    // fft: 4096-point in-place transform, 5·n·log2(n) nominal flops.
+    let fn_ = 4096usize;
+    let base = fft_signal(fn_, 59);
+    let mut buf = base.as_c128().unwrap().to_vec();
+    let fft_flops = 5.0 * fn_ as f64 * (fn_ as f64).log2();
+    let fftk = bench_kernel("fft_c128", "GFLOP/s", fft_flops, fft_it, || {
+        buf.copy_from_slice(base.as_c128().unwrap());
+        fft::fft_inplace(&mut buf);
+        std::hint::black_box(&mut buf);
+    });
+
+    vec![triad, dot, mm, fftk]
+}
+
+fn kernel_json(k: &KernelResult) -> String {
+    format!(
+        "    {{\"name\": \"{}\", \"unit\": \"{}\", \"scalar_rate\": {:.3}, \"simd_rate\": {:.3}, \"ratio\": {:.3}}}",
+        k.name, k.unit, k.scalar_rate, k.simd_rate, k.ratio
+    )
+}
+
 fn mode_json(m: &ModeStats) -> String {
     format!(
         "{{\"step_ns\": {:.1}, \"allocs_per_step\": {:.1}, \"net_bytes_per_step\": {:.1}}}",
@@ -493,11 +601,35 @@ fn main() {
         integrity.step_ns, integrity_pct
     );
 
+    // Compute kernels: scalar vs SIMD path, same process.
+    let simd_avail = tfhpc_tensor::simd::available();
+    let kernels = bench_kernels(smoke);
+    println!(
+        "kernels (vector path {}):",
+        if simd_avail { "avx2" } else { "unavailable" }
+    );
+    println!(
+        "{:<12} {:>14} {:>14} {:>8}",
+        "kernel", "scalar", "simd", "ratio"
+    );
+    for k in &kernels {
+        println!(
+            "{:<12} {:>6.2} {:<7} {:>6.2} {:<7} {:>7.2}x",
+            k.name, k.scalar_rate, k.unit, k.simd_rate, k.unit, k.ratio
+        );
+    }
+
     let body = format!(
-        "{{\n  \"schema\": \"tfhpc-bench-runtime-v1\",\n  \"smoke\": {},\n  \"integrity\": {{\"wire_ns_per_step\": {:.1}, \"pct_of_fast_cg_step\": {:.2}}},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"tfhpc-bench-runtime-v2\",\n  \"smoke\": {},\n  \"simd\": \"{}\",\n  \"integrity\": {{\"wire_ns_per_step\": {:.1}, \"pct_of_fast_cg_step\": {:.2}}},\n  \"kernels\": [\n{}\n  ],\n  \"workloads\": [\n{}\n  ]\n}}\n",
         smoke,
+        if simd_avail { "avx2" } else { "none" },
         integrity.step_ns,
         integrity_pct,
+        kernels
+            .iter()
+            .map(kernel_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
         results
             .iter()
             .map(workload_json)
@@ -535,5 +667,36 @@ fn main() {
             std::process::exit(1);
         }
         println!("OK: integrity plane {integrity_pct:.2}% < 5% of the cached cg step");
+
+        // Per-kernel vectorization floors: in-run SIMD/scalar rate
+        // ratios, so the gate is machine-portable. Only meaningful
+        // when the host actually has the vector path.
+        if simd_avail {
+            // Typical measured ratios here: matmul ≈ 2.2–3.5, triad
+            // ≈ 1.45–2.0. Floors sit below the observed worst case so
+            // scheduler noise on shared runners doesn't flake the job.
+            let floors = [("matmul_f64", 2.0), ("triad_f64", 1.4)];
+            let mut failed = false;
+            for (name, floor) in floors {
+                let k = kernels.iter().find(|k| k.name == name).unwrap();
+                if k.ratio < floor {
+                    eprintln!(
+                        "FAIL: {} simd/scalar ratio {:.2} below floor {:.1}",
+                        name, k.ratio, floor
+                    );
+                    failed = true;
+                } else {
+                    println!(
+                        "OK: {} simd/scalar ratio {:.2} >= floor {:.1}",
+                        name, k.ratio, floor
+                    );
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        } else {
+            println!("kernel floors skipped: no AVX2+FMA on this host");
+        }
     }
 }

@@ -351,6 +351,19 @@ fn taken_marker() -> Tensor {
     Tensor::synthetic(tfhpc_tensor::DType::F32, tfhpc_tensor::Shape::scalar(), 0)
 }
 
+impl Drop for RunOutputs {
+    /// End of run: every tensor still in the arena is dead (fetches
+    /// were extracted first), so uniquely-held buffers go back to the
+    /// tensor recycle pool for the next run's outputs.
+    fn drop(&mut self) {
+        for outs in self.arena.iter_mut().flatten() {
+            for t in outs.drain(..) {
+                tfhpc_tensor::arena::recycle_tensor(t);
+            }
+        }
+    }
+}
+
 impl RunOutputs {
     /// Extract the value of fetch `f` (output 0 of the node): moved out
     /// of the arena on its last outstanding read, cloned otherwise.
@@ -735,9 +748,12 @@ impl Session {
                     .ok_or_else(|| CoreError::Graph("missing producer output".into()))?;
                 let use_idx = plan.out_offset[src] as usize + out_idx;
                 remaining[use_idx] -= 1;
-                inputs.push(if forward && remaining[use_idx] == 0 {
-                    // Last outstanding read: hand the kernel the actual
-                    // buffer (possibly uniquely held) instead of a copy.
+                inputs.push(if remaining[use_idx] == 0 {
+                    // Last outstanding read (fetches hold their own
+                    // count, so zero means truly dead): hand the kernel
+                    // the actual buffer instead of a copy. With
+                    // forwarding on it may be reused in place; either
+                    // way it is recycled rather than freed when it dies.
                     std::mem::replace(t, taken_marker())
                 } else {
                     t.clone()
@@ -1037,6 +1053,12 @@ impl Session {
             })?;
             let cost = kernels::cost_of(&node.op, &inputs, &outputs);
             let dp = kernels::is_double_precision(&inputs, &outputs);
+            // Inputs moved in by a last-consumer read die here; donate
+            // uniquely-held buffers to the tensor arena instead of the
+            // allocator (shared/synthetic ones just drop).
+            for t in inputs {
+                tfhpc_tensor::arena::recycle_tensor(t);
+            }
             (outputs, cost, dp)
         };
 

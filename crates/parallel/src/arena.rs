@@ -1,0 +1,165 @@
+//! Cache-aligned, thread-local scratch buffers for kernel internals.
+//!
+//! Compute kernels need short-lived working storage — packed matmul
+//! panels, per-stage FFT twiddle tables — that must not ping-pong
+//! cache lines between intra-op workers. Every buffer handed out here
+//! is 64-byte aligned (one full cache line), so a worker's tile never
+//! straddles a line owned by another worker's tile, and the freelist is
+//! thread-local so two workers never contend on the allocator for the
+//! same block.
+//!
+//! Buffers are *scratch*: contents are unspecified on acquisition (a
+//! recycled buffer keeps its previous bytes) and every user is expected
+//! to fully overwrite what it reads. The float views are sound either
+//! way — any bit pattern is a valid `f64`/`f32`.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::cell::RefCell;
+use std::ptr::NonNull;
+
+/// Cache-line size the arena aligns to.
+pub const CACHE_LINE: usize = 64;
+
+/// Freelist bounds: buffers above `MAX_CACHED_BYTES` or beyond
+/// `MAX_CACHED_BUFS` entries are returned to the system instead of
+/// cached, so a one-off huge transform cannot pin memory forever.
+const MAX_CACHED_BYTES: usize = 64 << 20;
+const MAX_CACHED_BUFS: usize = 16;
+
+/// A 64-byte-aligned heap buffer with unspecified contents.
+pub struct AlignedBuf {
+    ptr: NonNull<u8>,
+    bytes: usize,
+}
+
+impl AlignedBuf {
+    fn new(bytes: usize) -> AlignedBuf {
+        let bytes = bytes.max(CACHE_LINE).next_multiple_of(CACHE_LINE);
+        let layout = Layout::from_size_align(bytes, CACHE_LINE).expect("arena layout");
+        // SAFETY: layout has nonzero size.
+        let raw = unsafe { alloc(layout) };
+        let ptr = NonNull::new(raw).unwrap_or_else(|| handle_alloc_error(layout));
+        AlignedBuf { ptr, bytes }
+    }
+
+    /// Capacity in bytes (always a multiple of the cache line).
+    pub fn capacity(&self) -> usize {
+        self.bytes
+    }
+
+    /// View the first `n` elements as a mutable `f64` slice.
+    /// Contents are whatever the previous user left behind.
+    pub fn as_f64_mut(&mut self, n: usize) -> &mut [f64] {
+        assert!(n * 8 <= self.bytes, "arena buffer too small");
+        // SAFETY: the allocation is 64-byte aligned (≥ align_of::<f64>),
+        // covers `n * 8` bytes, and any bit pattern is a valid f64.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr() as *mut f64, n) }
+    }
+
+    /// View the first `n` elements as a mutable `f32` slice.
+    pub fn as_f32_mut(&mut self, n: usize) -> &mut [f32] {
+        assert!(n * 4 <= self.bytes, "arena buffer too small");
+        // SAFETY: as above; any bit pattern is a valid f32.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr() as *mut f32, n) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.bytes, CACHE_LINE).expect("arena layout");
+        // SAFETY: allocated with this exact layout in `new`.
+        unsafe { dealloc(self.ptr.as_ptr(), layout) };
+    }
+}
+
+thread_local! {
+    static FREELIST: RefCell<Vec<AlignedBuf>> = const { RefCell::new(Vec::new()) };
+}
+
+fn take(bytes: usize) -> AlignedBuf {
+    FREELIST.with(|fl| {
+        let mut fl = fl.borrow_mut();
+        // Smallest cached buffer that fits, to keep big blocks for big
+        // requests.
+        let mut best: Option<usize> = None;
+        for (i, b) in fl.iter().enumerate() {
+            if b.bytes >= bytes && best.is_none_or(|j| b.bytes < fl[j].bytes) {
+                best = Some(i);
+            }
+        }
+        match best {
+            Some(i) => fl.swap_remove(i),
+            None => AlignedBuf::new(bytes),
+        }
+    })
+}
+
+fn give(buf: AlignedBuf) {
+    if buf.bytes > MAX_CACHED_BYTES {
+        return;
+    }
+    FREELIST.with(|fl| {
+        let mut fl = fl.borrow_mut();
+        if fl.len() < MAX_CACHED_BUFS {
+            fl.push(buf);
+        }
+    });
+}
+
+/// Run `f` with a 64-byte-aligned scratch buffer of at least `bytes`
+/// bytes, recycled through this thread's freelist. Contents are
+/// unspecified on entry; the buffer returns to the freelist afterwards
+/// (even on unwind the allocation is reclaimed by `Drop`).
+pub fn with_scratch<R>(bytes: usize, f: impl FnOnce(&mut AlignedBuf) -> R) -> R {
+    let mut buf = take(bytes);
+    let out = f(&mut buf);
+    give(buf);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_cache_aligned() {
+        for n in [1usize, 63, 64, 65, 4096, 1 << 20] {
+            with_scratch(n, |b| {
+                assert_eq!(b.ptr.as_ptr() as usize % CACHE_LINE, 0);
+                assert!(b.capacity() >= n);
+                assert_eq!(b.capacity() % CACHE_LINE, 0);
+            });
+        }
+    }
+
+    #[test]
+    fn float_views_cover_request() {
+        with_scratch(1024 * 8, |b| {
+            let s = b.as_f64_mut(1024);
+            s.iter_mut().for_each(|v| *v = 1.5);
+            assert_eq!(s.len(), 1024);
+            assert!(s.iter().all(|v| *v == 1.5));
+        });
+        with_scratch(100 * 4, |b| {
+            assert_eq!(b.as_f32_mut(100).len(), 100);
+        });
+    }
+
+    #[test]
+    fn freelist_recycles_same_allocation() {
+        // Warm the freelist, then the same-size request must reuse it.
+        let p1 = with_scratch(8192, |b| b.ptr.as_ptr() as usize);
+        let p2 = with_scratch(8192, |b| b.ptr.as_ptr() as usize);
+        assert_eq!(p1, p2, "freelist did not recycle");
+    }
+
+    #[test]
+    fn nested_scratch_buffers_are_distinct() {
+        with_scratch(256, |a| {
+            let pa = a.ptr.as_ptr() as usize;
+            with_scratch(256, |b| {
+                assert_ne!(pa, b.ptr.as_ptr() as usize);
+            });
+        });
+    }
+}

@@ -24,6 +24,8 @@ use std::thread::JoinHandle;
 mod wait_group;
 pub use wait_group::WaitGroup;
 
+pub mod arena;
+
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A fixed-size pool of worker threads.
@@ -240,6 +242,16 @@ pub fn default_chunk(len: usize, workers: usize) -> usize {
     len.div_ceil(target_chunks)
 }
 
+/// [`default_chunk`] rounded up to a multiple of `line_elems` (elements
+/// per cache line for the element type). Chunk boundaries then fall on
+/// cache-line edges, so two workers writing adjacent chunks never share
+/// a line (no false sharing on the seams of `par_chunks_mut` tiles).
+pub fn aligned_chunk(len: usize, workers: usize, line_elems: usize) -> usize {
+    let base = default_chunk(len, workers);
+    let line = line_elems.max(1);
+    base.div_ceil(line) * line
+}
+
 /// Data-parallel `for` over `0..len` in chunks.
 ///
 /// `body(start, end)` is invoked for disjoint half-open ranges covering
@@ -280,6 +292,14 @@ where
 
 /// Data-parallel reduction: map each chunk with `map(start, end)` and
 /// fold the partials with `fold`, starting from `identity`.
+///
+/// Deterministic for a fixed `(len, chunk, worker count)`: chunks are
+/// assigned round-robin (worker `w` takes chunks `w, w+W, …`), each
+/// worker folds its chunks in ascending index order, and the per-worker
+/// partials are folded in worker order. Execution timing never changes
+/// the association, so floating-point reductions are bit-reproducible
+/// run to run. (The previous implementation folded partials in worker
+/// *completion* order, which raced.)
 pub fn parallel_reduce<T, M, R>(len: usize, chunk: usize, identity: T, map: M, fold: R) -> T
 where
     T: Send,
@@ -298,22 +318,18 @@ where
         };
     }
     let workers = cap.min(n_chunks);
-    let partials: Mutex<Vec<T>> = Mutex::new(Vec::with_capacity(workers));
-    let next = AtomicUsize::new(0);
+    let mut partials: Vec<Option<T>> = (0..workers).map(|_| None).collect();
     {
         let map = &map;
         let fold = &fold;
-        let partials = &partials;
-        let next = &next;
+        let slots = SendPtr(partials.as_mut_ptr());
         scope_on(pool, |s| {
-            for _ in 0..workers {
+            for w in 0..workers {
                 s.spawn(move || {
+                    let slots = slots;
                     let mut local: Option<T> = None;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n_chunks {
-                            break;
-                        }
+                    let mut i = w;
+                    while i < n_chunks {
                         let start = i * chunk;
                         let end = (start + chunk).min(len);
                         let v = map(start, end);
@@ -321,15 +337,16 @@ where
                             None => v,
                             Some(acc) => fold(acc, v),
                         });
+                        i += workers;
                     }
-                    if let Some(v) = local {
-                        partials.lock().push(v);
-                    }
+                    // SAFETY: worker `w` writes only slot `w`; the
+                    // scope joins before `partials` is read.
+                    unsafe { *slots.0.add(w) = local };
                 });
             }
         });
     }
-    partials.into_inner().into_iter().fold(identity, fold)
+    partials.into_iter().flatten().fold(identity, fold)
 }
 
 /// Data-parallel mutation of disjoint chunks of a slice.

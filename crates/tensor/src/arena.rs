@@ -1,0 +1,183 @@
+//! Thread-local recycle pools for tensor output buffers.
+//!
+//! The forwarding paths (`*_owned` ops) reuse a uniquely-held operand's
+//! buffer in place — but when *no* operand is uniquely held (the CG
+//! loop's `axpy(alpha, p, x)` where both `p` and `x` are pinned by
+//! variables), the old fallback silently allocated a fresh `Vec` every
+//! call. This arena closes that gap: dead tensors reclaimed by the
+//! executor (or any caller) donate their `Vec`s here, and allocating
+//! kernel paths draw from the pool instead of the system allocator.
+//!
+//! Complementary to `tfhpc_parallel::arena`, which hands out 64-byte
+//! *aligned scratch* that never escapes a kernel; buffers here are
+//! ordinary `Vec`s because they become tensor payloads (`Arc<TensorData>`)
+//! and must be droppable anywhere.
+//!
+//! Pools are thread-local (kernel outputs are allocated on the op's
+//! calling thread, so there is no cross-thread contention) and bounded,
+//! so one huge transform cannot pin memory forever.
+
+use crate::complex::Complex64;
+use crate::tensor::TensorData;
+use crate::Tensor;
+use std::cell::RefCell;
+
+/// Per-dtype cap on pooled buffers; beyond this, donations are dropped.
+const MAX_POOL_VECS: usize = 8;
+/// Buffers above this many bytes are never pooled.
+const MAX_POOL_BYTES: usize = 64 << 20;
+
+struct Pools {
+    f32v: Vec<Vec<f32>>,
+    f64v: Vec<Vec<f64>>,
+    c128v: Vec<Vec<Complex64>>,
+}
+
+thread_local! {
+    static POOLS: RefCell<Pools> = const {
+        RefCell::new(Pools {
+            f32v: Vec::new(),
+            f64v: Vec::new(),
+            c128v: Vec::new(),
+        })
+    };
+}
+
+fn take_from<T: Clone + Default>(pool: &mut Vec<Vec<T>>, n: usize, zeroed: bool) -> Vec<T> {
+    // Smallest pooled buffer whose capacity fits, so big blocks stay
+    // available for big requests.
+    let mut best: Option<usize> = None;
+    for (i, v) in pool.iter().enumerate() {
+        if v.capacity() >= n && best.is_none_or(|j| v.capacity() < pool[j].capacity()) {
+            best = Some(i);
+        }
+    }
+    match best {
+        Some(i) => {
+            let mut v = pool.swap_remove(i);
+            if zeroed {
+                v.clear();
+                v.resize(n, T::default());
+            } else {
+                // Stale contents are fine: callers of the non-zeroed
+                // form overwrite every element before reading any.
+                v.resize(n, T::default());
+                v.truncate(n);
+            }
+            v
+        }
+        None => vec![T::default(); n],
+    }
+}
+
+fn give_to<T>(pool: &mut Vec<Vec<T>>, v: Vec<T>) {
+    if pool.len() < MAX_POOL_VECS
+        && v.capacity() > 0
+        && v.capacity() * std::mem::size_of::<T>() <= MAX_POOL_BYTES
+    {
+        pool.push(v);
+    }
+}
+
+/// An f64 output buffer of length `n`; contents are *unspecified* (the
+/// caller must overwrite every element). Zero-filled only when freshly
+/// allocated.
+pub fn take_f64(n: usize) -> Vec<f64> {
+    POOLS.with(|p| take_from(&mut p.borrow_mut().f64v, n, false))
+}
+
+/// An f64 buffer of length `n`, guaranteed zero-filled (for accumulator
+/// outputs like `add_n` that start from `0.0`).
+pub fn take_zeroed_f64(n: usize) -> Vec<f64> {
+    POOLS.with(|p| take_from(&mut p.borrow_mut().f64v, n, true))
+}
+
+/// An f32 output buffer of length `n`; contents unspecified.
+pub fn take_f32(n: usize) -> Vec<f32> {
+    POOLS.with(|p| take_from(&mut p.borrow_mut().f32v, n, false))
+}
+
+/// An f32 buffer of length `n`, guaranteed zero-filled.
+pub fn take_zeroed_f32(n: usize) -> Vec<f32> {
+    POOLS.with(|p| take_from(&mut p.borrow_mut().f32v, n, true))
+}
+
+/// A complex output buffer of length `n`; contents unspecified.
+pub fn take_c128(n: usize) -> Vec<Complex64> {
+    POOLS.with(|p| take_from(&mut p.borrow_mut().c128v, n, false))
+}
+
+/// A complex buffer of length `n`, guaranteed zero-filled.
+pub fn take_zeroed_c128(n: usize) -> Vec<Complex64> {
+    POOLS.with(|p| take_from(&mut p.borrow_mut().c128v, n, true))
+}
+
+/// Donate a buffer back to this thread's pool.
+pub fn recycle_f64(v: Vec<f64>) {
+    POOLS.with(|p| give_to(&mut p.borrow_mut().f64v, v));
+}
+
+/// Donate a buffer back to this thread's pool.
+pub fn recycle_f32(v: Vec<f32>) {
+    POOLS.with(|p| give_to(&mut p.borrow_mut().f32v, v));
+}
+
+/// Donate a buffer back to this thread's pool.
+pub fn recycle_c128(v: Vec<Complex64>) {
+    POOLS.with(|p| give_to(&mut p.borrow_mut().c128v, v));
+}
+
+/// Reclaim a dead tensor's buffer into the pool, if this was the sole
+/// owner of a poolable dense payload. Safe to call on any tensor — a
+/// shared, synthetic, or non-float payload is simply dropped.
+pub fn recycle_tensor(t: Tensor) {
+    match t.into_unique_data() {
+        Some(TensorData::F64(v)) => recycle_f64(v),
+        Some(TensorData::F32(v)) => recycle_f32(v),
+        Some(TensorData::C128(v)) => recycle_c128(v),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_vec_is_reused() {
+        // Donate an oversized buffer, then a smaller request must
+        // reuse the same allocation.
+        let mut v = vec![7.5f64; 100];
+        let ptr = v.as_ptr() as usize;
+        v.iter_mut().for_each(|x| *x = 1.0);
+        recycle_f64(v);
+        let got = take_f64(64);
+        assert_eq!(got.len(), 64);
+        assert_eq!(got.as_ptr() as usize, ptr, "pool did not recycle");
+    }
+
+    #[test]
+    fn zeroed_take_clears_stale_contents() {
+        recycle_f64(vec![3.25f64; 32]);
+        let got = take_zeroed_f64(32);
+        assert!(got.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn recycle_tensor_reclaims_unique_payloads_only() {
+        let t = Tensor::from_f64([4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let ptr = t.as_f64().unwrap().as_ptr() as usize;
+        recycle_tensor(t);
+        let reclaimed = take_f64(4);
+        assert_eq!(reclaimed.as_ptr() as usize, ptr);
+
+        // A shared tensor must NOT be reclaimed.
+        let a = Tensor::from_f64([4], vec![9.0; 4]).unwrap();
+        let ptr = a.as_f64().unwrap().as_ptr() as usize;
+        let b = a.clone();
+        recycle_tensor(a);
+        let fresh = take_f64(4);
+        assert_ne!(fresh.as_ptr() as usize, ptr);
+        assert_eq!(b.as_f64().unwrap()[0], 9.0);
+    }
+}

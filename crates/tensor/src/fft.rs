@@ -50,9 +50,18 @@ struct ButterflyPtr(*mut Complex64);
 unsafe impl Send for ButterflyPtr {}
 unsafe impl Sync for ButterflyPtr {}
 
-/// Minimum butterflies per parallel chunk: below this the per-task
-/// overhead dominates and small transforms run inline on one chunk.
+/// Transforms with at most this many butterflies per stage run inline
+/// on the calling thread — below it, per-task overhead dominates.
+///
+/// Previously this was applied as a *floor on the chunk size*
+/// (`default_chunk(..).max(MIN_FFT_CHUNK)`), which silently collapsed
+/// mid-sized stages into a single chunk even when the pool had idle
+/// workers. It now gates sequential-vs-parallel only; parallel chunk
+/// sizing uses [`FFT_CHUNK_FLOOR`].
 const MIN_FFT_CHUNK: usize = 8192;
+
+/// Minimum butterflies per parallel chunk once a stage is parallel.
+const FFT_CHUNK_FLOOR: usize = 1024;
 
 fn transform(data: &mut [Complex64], sign: f64) {
     let n = data.len();
@@ -67,49 +76,67 @@ fn transform(data: &mut [Complex64], sign: f64) {
     // Distinct j never share elements, so the stage parallelizes over j
     // (subject to the caller's intra-op worker limit).
     let n_butterflies = n / 2;
-    let chunk = tfhpc_parallel::default_chunk(n_butterflies, tfhpc_parallel::global_pool().size())
-        .max(MIN_FFT_CHUNK);
+    let sequential = n_butterflies <= MIN_FFT_CHUNK;
+    // Chunk edges land on cache-line boundaries (4 complex = 64 bytes)
+    // so workers never write-share a line at a seam.
+    let chunk =
+        tfhpc_parallel::aligned_chunk(n_butterflies, tfhpc_parallel::global_pool().size(), 4)
+            .max(FFT_CHUNK_FLOOR);
     let ptr = ButterflyPtr(data.as_mut_ptr());
     let ptr = &ptr;
+    // Per-stage twiddle table, sized for the largest stage and drawn
+    // from the recycle arena. Entry i is built by the same incremental
+    // recurrence (`tw[i] = tw[i-1] * wlen` from `tw[0] = 1`) the old
+    // per-block loop multiplied out per butterfly, so values — and
+    // therefore transforms — are bit-identical to the block-start
+    // path of the old code, while each stage now performs `half`
+    // twiddle multiplies instead of `n/2`. (The old mid-chunk
+    // `cis(ang·i0)` re-seeding could diverge from the recurrence by an
+    // ULP when a chunk boundary fell inside a block; the table makes
+    // the twiddles chunking-invariant.)
+    let mut twbuf = crate::arena::take_c128(n / 2);
     let mut len = 2;
     while len <= n {
         let half = len / 2;
         let ang = sign * 2.0 * PI / len as f64;
         let wlen = Complex64::cis(ang);
-        tfhpc_parallel::parallel_for(n_butterflies, chunk, move |lo, hi| {
+        let tw = &mut twbuf[..half];
+        tw[0] = Complex64::ONE;
+        for i in 1..half {
+            tw[i] = tw[i - 1] * wlen;
+        }
+        let tw = &twbuf[..half];
+        let stage = |lo: usize, hi: usize| {
             let mut j = lo;
             while j < hi {
                 let block = j / half;
                 let start = block * len;
                 let i0 = j % half;
                 // Run to the end of this block or of the range.
-                let stop = hi.min((block + 1) * half);
-                // Twiddle at the entry offset, then incremental. Block
-                // starts (the common case) skip the trig call.
-                let mut w = if i0 == 0 {
-                    Complex64::ONE
-                } else {
-                    Complex64::cis(ang * i0 as f64)
-                };
-                for i in i0..(i0 + stop - j) {
-                    // SAFETY: butterfly (start+i, start+i+half) pairs
-                    // are disjoint across j; parallel_for joins before
-                    // `data`'s mutable borrow ends.
-                    unsafe {
-                        let a = ptr.0.add(start + i);
-                        let b = ptr.0.add(start + i + half);
-                        let u = *a;
-                        let v = *b * w;
-                        *a = u + v;
-                        *b = u - v;
-                    }
-                    w *= wlen;
+                let cnt = hi.min((block + 1) * half) - j;
+                // SAFETY: butterfly (start+i, start+i+half) pairs are
+                // disjoint across j, so the a-run and b-run never
+                // overlap; parallel_for joins before `data`'s mutable
+                // borrow ends; `tw` is read-only here.
+                unsafe {
+                    crate::simd::butterflies(
+                        ptr.0.add(start + i0),
+                        ptr.0.add(start + i0 + half),
+                        tw[i0..i0 + cnt].as_ptr(),
+                        cnt,
+                    );
                 }
-                j = stop;
+                j += cnt;
             }
-        });
+        };
+        if sequential {
+            stage(0, n_butterflies);
+        } else {
+            tfhpc_parallel::parallel_for(n_butterflies, chunk, stage);
+        }
         len <<= 1;
     }
+    crate::arena::recycle_c128(twbuf);
 }
 
 /// O(N²) reference DFT used by tests.
@@ -245,7 +272,8 @@ pub fn fft_tensor(t: &Tensor) -> Result<Tensor, TensorError> {
             mix_seed(seed, 0xFF7),
         ));
     }
-    let mut data = t.as_c128()?.to_vec();
+    let mut data = crate::arena::take_c128(t.num_elements());
+    data.copy_from_slice(t.as_c128()?);
     fft_inplace(&mut data);
     Tensor::from_c128(Shape::vector(data.len()), data)
 }
@@ -372,6 +400,35 @@ mod tests {
     fn fft2_non_pow2_rejected() {
         let mut x = vec![Complex64::ZERO; 12];
         fft2_inplace(&mut x, 3, 4);
+    }
+
+    #[test]
+    fn simd_and_scalar_transforms_bit_identical() {
+        // Forward and inverse, across the sequential/parallel length
+        // range, the AVX2 butterfly must reproduce the scalar path
+        // bit for bit (same twiddle table, same operation order).
+        for n in [2usize, 8, 64, 1024, 1 << 15] {
+            let x = signal(n);
+            let mut scalar_f = x.clone();
+            let mut simd_f = x.clone();
+            crate::simd::set_forced(Some(false));
+            fft_inplace(&mut scalar_f);
+            let mut scalar_i = scalar_f.clone();
+            ifft_inplace(&mut scalar_i);
+            crate::simd::set_forced(Some(true));
+            fft_inplace(&mut simd_f);
+            let mut simd_i = simd_f.clone();
+            ifft_inplace(&mut simd_i);
+            crate::simd::set_forced(None);
+            for (a, b) in scalar_f
+                .iter()
+                .zip(&simd_f)
+                .chain(scalar_i.iter().zip(&simd_i))
+            {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n}");
+            }
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //!   gigabytes is impossible. Math on synthetic tensors propagates
 //!   metadata; extracting values errors.
 
+pub mod arena;
 pub mod complex;
 pub mod dtype;
 pub mod fft;
@@ -23,6 +24,7 @@ pub mod matmul;
 pub mod ops;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use complex::Complex64;

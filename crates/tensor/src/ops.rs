@@ -6,9 +6,84 @@
 //! materializing payloads.
 
 use crate::complex::Complex64;
+use crate::simd;
 use crate::tensor::{mix_seed, Storage, Tensor, TensorData, TensorError};
 use crate::DType;
 use tfhpc_parallel::{default_chunk, par_chunks_mut, parallel_reduce};
+
+// ---- complex chunk kernels ---------------------------------------------
+//
+// Componentwise complex ops (add/sub, and real `scale`) reuse the
+// interleaved-f64 SIMD kernels through the `repr(C)` view; mul/div have
+// cross terms and stay scalar (see the bit-identity notes in `simd`).
+
+fn c128_add(x: &[Complex64], y: &[Complex64], o: &mut [Complex64]) {
+    simd::add_f64(
+        simd::c128_as_f64(x),
+        simd::c128_as_f64(y),
+        simd::c128_as_f64_mut(o),
+    );
+}
+
+fn c128_add_lhs(x: &mut [Complex64], y: &[Complex64]) {
+    simd::add_lhs_f64(simd::c128_as_f64_mut(x), simd::c128_as_f64(y));
+}
+
+fn c128_add_rhs(x: &[Complex64], y: &mut [Complex64]) {
+    simd::add_rhs_f64(simd::c128_as_f64(x), simd::c128_as_f64_mut(y));
+}
+
+fn c128_sub(x: &[Complex64], y: &[Complex64], o: &mut [Complex64]) {
+    simd::sub_f64(
+        simd::c128_as_f64(x),
+        simd::c128_as_f64(y),
+        simd::c128_as_f64_mut(o),
+    );
+}
+
+fn c128_sub_lhs(x: &mut [Complex64], y: &[Complex64]) {
+    simd::sub_lhs_f64(simd::c128_as_f64_mut(x), simd::c128_as_f64(y));
+}
+
+fn c128_sub_rhs(x: &[Complex64], y: &mut [Complex64]) {
+    simd::sub_rhs_f64(simd::c128_as_f64(x), simd::c128_as_f64_mut(y));
+}
+
+fn c128_mul(x: &[Complex64], y: &[Complex64], o: &mut [Complex64]) {
+    for i in 0..o.len() {
+        o[i] = x[i] * y[i];
+    }
+}
+
+fn c128_mul_lhs(x: &mut [Complex64], y: &[Complex64]) {
+    for (o, &b) in x.iter_mut().zip(y) {
+        *o *= b;
+    }
+}
+
+fn c128_mul_rhs(x: &[Complex64], y: &mut [Complex64]) {
+    for (&a, o) in x.iter().zip(y.iter_mut()) {
+        *o = a * *o;
+    }
+}
+
+fn c128_div(x: &[Complex64], y: &[Complex64], o: &mut [Complex64]) {
+    for i in 0..o.len() {
+        o[i] = x[i] / y[i];
+    }
+}
+
+fn c128_div_lhs(x: &mut [Complex64], y: &[Complex64]) {
+    for (o, &b) in x.iter_mut().zip(y) {
+        *o = *o / b;
+    }
+}
+
+fn c128_div_rhs(x: &[Complex64], y: &mut [Complex64]) {
+    for (&a, o) in x.iter().zip(y.iter_mut()) {
+        *o = a / *o;
+    }
+}
 
 fn binary_shape_check(op: &'static str, a: &Tensor, b: &Tensor) -> Result<(), TensorError> {
     if a.shape() != b.shape() {
@@ -45,11 +120,11 @@ fn synthetic_binary(op_tag: u64, a: &Tensor, b: &Tensor) -> Option<Tensor> {
 }
 
 macro_rules! zip_elementwise {
-    ($name:ident, $op_tag:expr, $f32op:expr, $f64op:expr, $c128op:expr) => {
-        /// Elementwise operation over two same-shape, same-dtype tensors.
-        // The fn-typed locals exist so the macro accepts any closure
-        // literal per dtype; calling them immediately is the point.
-        #[allow(clippy::redundant_closure_call)]
+    ($name:ident, $op_tag:expr, $f32k:path, $f64k:path, $c128k:path) => {
+        /// Elementwise operation over two same-shape, same-dtype
+        /// tensors. Each worker chunk runs a runtime-dispatched SIMD
+        /// kernel (scalar fallback bit-identical, see `simd`); the
+        /// output buffer comes from the thread-local recycle arena.
         pub fn $name(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
             binary_shape_check(stringify!($name), a, b)?;
             if let Some(t) = synthetic_binary($op_tag, a, b) {
@@ -58,40 +133,30 @@ macro_rules! zip_elementwise {
             let n = a.num_elements();
             let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
             match (a.data()?, b.data()?) {
-                (TensorData::F32(x), TensorData::F64(_)) => {
-                    let _ = x;
-                    unreachable!("dtype checked")
-                }
                 (TensorData::F32(x), TensorData::F32(y)) => {
-                    let mut out = vec![0f32; n];
+                    let mut out = crate::arena::take_f32(n);
                     par_chunks_mut(&mut out, chunk, |ci, slice| {
                         let start = ci * chunk;
-                        for (i, o) in slice.iter_mut().enumerate() {
-                            let f: fn(f32, f32) -> f32 = $f32op;
-                            *o = f(x[start + i], y[start + i]);
-                        }
+                        let end = start + slice.len();
+                        $f32k(&x[start..end], &y[start..end], slice);
                     });
                     Tensor::from_f32(a.shape().clone(), out)
                 }
                 (TensorData::F64(x), TensorData::F64(y)) => {
-                    let mut out = vec![0f64; n];
+                    let mut out = crate::arena::take_f64(n);
                     par_chunks_mut(&mut out, chunk, |ci, slice| {
                         let start = ci * chunk;
-                        for (i, o) in slice.iter_mut().enumerate() {
-                            let f: fn(f64, f64) -> f64 = $f64op;
-                            *o = f(x[start + i], y[start + i]);
-                        }
+                        let end = start + slice.len();
+                        $f64k(&x[start..end], &y[start..end], slice);
                     });
                     Tensor::from_f64(a.shape().clone(), out)
                 }
                 (TensorData::C128(x), TensorData::C128(y)) => {
-                    let mut out = vec![Complex64::ZERO; n];
+                    let mut out = crate::arena::take_c128(n);
                     par_chunks_mut(&mut out, chunk, |ci, slice| {
                         let start = ci * chunk;
-                        for (i, o) in slice.iter_mut().enumerate() {
-                            let f: fn(Complex64, Complex64) -> Complex64 = $c128op;
-                            *o = f(x[start + i], y[start + i]);
-                        }
+                        let end = start + slice.len();
+                        $c128k(&x[start..end], &y[start..end], slice);
                     });
                     Tensor::from_c128(a.shape().clone(), out)
                 }
@@ -104,10 +169,10 @@ macro_rules! zip_elementwise {
     };
 }
 
-zip_elementwise!(add, 0xA0, |a, b| a + b, |a, b| a + b, |a, b| a + b);
-zip_elementwise!(sub, 0xA1, |a, b| a - b, |a, b| a - b, |a, b| a - b);
-zip_elementwise!(mul, 0xA2, |a, b| a * b, |a, b| a * b, |a, b| a * b);
-zip_elementwise!(div, 0xA3, |a, b| a / b, |a, b| a / b, |a, b| a / b);
+zip_elementwise!(add, 0xA0, simd::add_f32, simd::add_f64, c128_add);
+zip_elementwise!(sub, 0xA1, simd::sub_f32, simd::sub_f64, c128_sub);
+zip_elementwise!(mul, 0xA2, simd::mul_f32, simd::mul_f64, c128_mul);
+zip_elementwise!(div, 0xA3, simd::div_f32, simd::div_f64, c128_div);
 
 /// Sum of N same-shape, same-dtype tensors in one pass over the output
 /// (TensorFlow's `AddN`) — no intermediate allocations, unlike folding
@@ -142,13 +207,12 @@ pub fn add_n(inputs: &[Tensor]) -> Result<Tensor, TensorError> {
                 .iter()
                 .map(|t| t.as_f32())
                 .collect::<Result<_, _>>()?;
-            let mut out = vec![0f32; n];
+            let mut out = crate::arena::take_zeroed_f32(n);
             par_chunks_mut(&mut out, chunk, |ci, slice| {
                 let start = ci * chunk;
+                let end = start + slice.len();
                 for x in &xs {
-                    for (i, o) in slice.iter_mut().enumerate() {
-                        *o += x[start + i];
-                    }
+                    simd::add_lhs_f32(slice, &x[start..end]);
                 }
             });
             Tensor::from_f32(first.shape().clone(), out)
@@ -158,13 +222,12 @@ pub fn add_n(inputs: &[Tensor]) -> Result<Tensor, TensorError> {
                 .iter()
                 .map(|t| t.as_f64())
                 .collect::<Result<_, _>>()?;
-            let mut out = vec![0f64; n];
+            let mut out = crate::arena::take_zeroed_f64(n);
             par_chunks_mut(&mut out, chunk, |ci, slice| {
                 let start = ci * chunk;
+                let end = start + slice.len();
                 for x in &xs {
-                    for (i, o) in slice.iter_mut().enumerate() {
-                        *o += x[start + i];
-                    }
+                    simd::add_lhs_f64(slice, &x[start..end]);
                 }
             });
             Tensor::from_f64(first.shape().clone(), out)
@@ -174,13 +237,12 @@ pub fn add_n(inputs: &[Tensor]) -> Result<Tensor, TensorError> {
                 .iter()
                 .map(|t| t.as_c128())
                 .collect::<Result<_, _>>()?;
-            let mut out = vec![Complex64::ZERO; n];
+            let mut out = crate::arena::take_zeroed_c128(n);
             par_chunks_mut(&mut out, chunk, |ci, slice| {
                 let start = ci * chunk;
+                let end = start + slice.len();
                 for x in &xs {
-                    for (i, o) in slice.iter_mut().enumerate() {
-                        *o += x[start + i];
-                    }
+                    c128_add_lhs(slice, &x[start..end]);
                 }
             });
             Tensor::from_c128(first.shape().clone(), out)
@@ -211,32 +273,32 @@ pub fn scale(a: &Tensor, s: f64) -> Result<Tensor, TensorError> {
     match a.data()? {
         TensorData::F32(x) => {
             let s32 = s as f32;
-            let mut out = vec![0f32; n];
+            let mut out = crate::arena::take_f32(n);
             par_chunks_mut(&mut out, chunk, |ci, slice| {
                 let start = ci * chunk;
-                for (i, o) in slice.iter_mut().enumerate() {
-                    *o = x[start + i] * s32;
-                }
+                simd::scale_f32(&x[start..start + slice.len()], s32, slice);
             });
             Tensor::from_f32(a.shape().clone(), out)
         }
         TensorData::F64(x) => {
-            let mut out = vec![0f64; n];
+            let mut out = crate::arena::take_f64(n);
             par_chunks_mut(&mut out, chunk, |ci, slice| {
                 let start = ci * chunk;
-                for (i, o) in slice.iter_mut().enumerate() {
-                    *o = x[start + i] * s;
-                }
+                simd::scale_f64(&x[start..start + slice.len()], s, slice);
             });
             Tensor::from_f64(a.shape().clone(), out)
         }
         TensorData::C128(x) => {
-            let mut out = vec![Complex64::ZERO; n];
+            // `Complex64::scale` is componentwise `* s` — exactly the
+            // interleaved-f64 scale kernel.
+            let mut out = crate::arena::take_c128(n);
             par_chunks_mut(&mut out, chunk, |ci, slice| {
                 let start = ci * chunk;
-                for (i, o) in slice.iter_mut().enumerate() {
-                    *o = x[start + i].scale(s);
-                }
+                simd::scale_f64(
+                    simd::c128_as_f64(&x[start..start + slice.len()]),
+                    s,
+                    simd::c128_as_f64_mut(slice),
+                );
             });
             Tensor::from_c128(a.shape().clone(), out)
         }
@@ -257,23 +319,21 @@ pub fn axpy(alpha: f64, x: &Tensor, y: &Tensor) -> Result<Tensor, TensorError> {
     let chunk = default_chunk(n, tfhpc_parallel::global_pool().size());
     match (x.data()?, y.data()?) {
         (TensorData::F64(xv), TensorData::F64(yv)) => {
-            let mut out = vec![0f64; n];
+            let mut out = crate::arena::take_f64(n);
             par_chunks_mut(&mut out, chunk, |ci, slice| {
                 let start = ci * chunk;
-                for (i, o) in slice.iter_mut().enumerate() {
-                    *o = alpha * xv[start + i] + yv[start + i];
-                }
+                let end = start + slice.len();
+                simd::axpy_f64(alpha, &xv[start..end], &yv[start..end], slice);
             });
             Tensor::from_f64(x.shape().clone(), out)
         }
         (TensorData::F32(xv), TensorData::F32(yv)) => {
             let a32 = alpha as f32;
-            let mut out = vec![0f32; n];
+            let mut out = crate::arena::take_f32(n);
             par_chunks_mut(&mut out, chunk, |ci, slice| {
                 let start = ci * chunk;
-                for (i, o) in slice.iter_mut().enumerate() {
-                    *o = a32 * xv[start + i] + yv[start + i];
-                }
+                let end = start + slice.len();
+                simd::axpy_f32(a32, &xv[start..end], &yv[start..end], slice);
             });
             Tensor::from_f32(x.shape().clone(), out)
         }
@@ -295,10 +355,12 @@ pub fn axpy(alpha: f64, x: &Tensor, y: &Tensor) -> Result<Tensor, TensorError> {
 // twice) keeps the refcount above 1 and forces the allocating path.
 
 macro_rules! zip_elementwise_owned {
-    ($name:ident, $borrowed:ident, $op_tag:expr, $f32op:expr, $f64op:expr, $c128op:expr) => {
+    ($name:ident, $borrowed:ident, $op_tag:expr,
+     $f32lhs:path, $f64lhs:path, $c128lhs:path,
+     $f32rhs:path, $f64rhs:path, $c128rhs:path) => {
         /// By-value variant of the elementwise op: forwards an operand's
-        /// buffer when uniquely held, else falls back to allocating.
-        #[allow(clippy::redundant_closure_call)]
+        /// buffer when uniquely held, else falls back to allocating
+        /// (through the recycle arena), reclaiming the dead operands.
         pub fn $name(mut a: Tensor, mut b: Tensor) -> Result<Tensor, TensorError> {
             binary_shape_check(stringify!($borrowed), &a, &b)?;
             if let Some(t) = synthetic_binary($op_tag, &a, &b) {
@@ -311,10 +373,7 @@ macro_rules! zip_elementwise_owned {
                     let y = b.as_f32()?;
                     par_chunks_mut(x, chunk, |ci, slice| {
                         let start = ci * chunk;
-                        for (i, o) in slice.iter_mut().enumerate() {
-                            let f: fn(f32, f32) -> f32 = $f32op;
-                            *o = f(*o, y[start + i]);
-                        }
+                        $f32lhs(slice, &y[start..start + slice.len()]);
                     });
                     true
                 }
@@ -322,10 +381,7 @@ macro_rules! zip_elementwise_owned {
                     let y = b.as_f64()?;
                     par_chunks_mut(x, chunk, |ci, slice| {
                         let start = ci * chunk;
-                        for (i, o) in slice.iter_mut().enumerate() {
-                            let f: fn(f64, f64) -> f64 = $f64op;
-                            *o = f(*o, y[start + i]);
-                        }
+                        $f64lhs(slice, &y[start..start + slice.len()]);
                     });
                     true
                 }
@@ -333,16 +389,14 @@ macro_rules! zip_elementwise_owned {
                     let y = b.as_c128()?;
                     par_chunks_mut(x, chunk, |ci, slice| {
                         let start = ci * chunk;
-                        for (i, o) in slice.iter_mut().enumerate() {
-                            let f: fn(Complex64, Complex64) -> Complex64 = $c128op;
-                            *o = f(*o, y[start + i]);
-                        }
+                        $c128lhs(slice, &y[start..start + slice.len()]);
                     });
                     true
                 }
                 _ => false,
             };
             if into_a {
+                crate::arena::recycle_tensor(b);
                 return Ok(a);
             }
             let into_b = match b.try_unique_data() {
@@ -350,10 +404,7 @@ macro_rules! zip_elementwise_owned {
                     let x = a.as_f32()?;
                     par_chunks_mut(y, chunk, |ci, slice| {
                         let start = ci * chunk;
-                        for (i, o) in slice.iter_mut().enumerate() {
-                            let f: fn(f32, f32) -> f32 = $f32op;
-                            *o = f(x[start + i], *o);
-                        }
+                        $f32rhs(&x[start..start + slice.len()], slice);
                     });
                     true
                 }
@@ -361,10 +412,7 @@ macro_rules! zip_elementwise_owned {
                     let x = a.as_f64()?;
                     par_chunks_mut(y, chunk, |ci, slice| {
                         let start = ci * chunk;
-                        for (i, o) in slice.iter_mut().enumerate() {
-                            let f: fn(f64, f64) -> f64 = $f64op;
-                            *o = f(x[start + i], *o);
-                        }
+                        $f64rhs(&x[start..start + slice.len()], slice);
                     });
                     true
                 }
@@ -372,31 +420,68 @@ macro_rules! zip_elementwise_owned {
                     let x = a.as_c128()?;
                     par_chunks_mut(y, chunk, |ci, slice| {
                         let start = ci * chunk;
-                        for (i, o) in slice.iter_mut().enumerate() {
-                            let f: fn(Complex64, Complex64) -> Complex64 = $c128op;
-                            *o = f(x[start + i], *o);
-                        }
+                        $c128rhs(&x[start..start + slice.len()], slice);
                     });
                     true
                 }
                 _ => false,
             };
             if into_b {
+                crate::arena::recycle_tensor(a);
                 return Ok(b);
             }
-            $borrowed(&a, &b)
+            let out = $borrowed(&a, &b);
+            crate::arena::recycle_tensor(a);
+            crate::arena::recycle_tensor(b);
+            out
         }
     };
 }
 
-zip_elementwise_owned!(add_owned, add, 0xA0, |a, b| a + b, |a, b| a + b, |a, b| a
-    + b);
-zip_elementwise_owned!(sub_owned, sub, 0xA1, |a, b| a - b, |a, b| a - b, |a, b| a
-    - b);
-zip_elementwise_owned!(mul_owned, mul, 0xA2, |a, b| a * b, |a, b| a * b, |a, b| a
-    * b);
-zip_elementwise_owned!(div_owned, div, 0xA3, |a, b| a / b, |a, b| a / b, |a, b| a
-    / b);
+zip_elementwise_owned!(
+    add_owned,
+    add,
+    0xA0,
+    simd::add_lhs_f32,
+    simd::add_lhs_f64,
+    c128_add_lhs,
+    simd::add_rhs_f32,
+    simd::add_rhs_f64,
+    c128_add_rhs
+);
+zip_elementwise_owned!(
+    sub_owned,
+    sub,
+    0xA1,
+    simd::sub_lhs_f32,
+    simd::sub_lhs_f64,
+    c128_sub_lhs,
+    simd::sub_rhs_f32,
+    simd::sub_rhs_f64,
+    c128_sub_rhs
+);
+zip_elementwise_owned!(
+    mul_owned,
+    mul,
+    0xA2,
+    simd::mul_lhs_f32,
+    simd::mul_lhs_f64,
+    c128_mul_lhs,
+    simd::mul_rhs_f32,
+    simd::mul_rhs_f64,
+    c128_mul_rhs
+);
+zip_elementwise_owned!(
+    div_owned,
+    div,
+    0xA3,
+    simd::div_lhs_f32,
+    simd::div_lhs_f64,
+    c128_div_lhs,
+    simd::div_rhs_f32,
+    simd::div_rhs_f64,
+    c128_div_rhs
+);
 
 /// By-value [`add_n`]: sums into `inputs[0]`'s buffer when it is
 /// uniquely held, starting from the same `0 + x₀[i]` the allocating
@@ -440,9 +525,7 @@ pub fn add_n_owned(mut inputs: Vec<Tensor>) -> Result<Tensor, TensorError> {
                     *o = 0f32 + *o;
                 }
                 for x in &xs {
-                    for (i, o) in slice.iter_mut().enumerate() {
-                        *o += x[start + i];
-                    }
+                    simd::add_lhs_f32(slice, &x[start..start + slice.len()]);
                 }
             });
             true
@@ -455,9 +538,7 @@ pub fn add_n_owned(mut inputs: Vec<Tensor>) -> Result<Tensor, TensorError> {
                     *o = 0f64 + *o;
                 }
                 for x in &xs {
-                    for (i, o) in slice.iter_mut().enumerate() {
-                        *o += x[start + i];
-                    }
+                    simd::add_lhs_f64(slice, &x[start..start + slice.len()]);
                 }
             });
             true
@@ -471,9 +552,7 @@ pub fn add_n_owned(mut inputs: Vec<Tensor>) -> Result<Tensor, TensorError> {
                     *o = Complex64::ZERO + *o;
                 }
                 for x in &xs {
-                    for (i, o) in slice.iter_mut().enumerate() {
-                        *o += x[start + i];
-                    }
+                    c128_add_lhs(slice, &x[start..start + slice.len()]);
                 }
             });
             true
@@ -481,9 +560,17 @@ pub fn add_n_owned(mut inputs: Vec<Tensor>) -> Result<Tensor, TensorError> {
         _ => false,
     };
     if forwarded {
-        return Ok(inputs.swap_remove(0));
+        let out = inputs.swap_remove(0);
+        for t in inputs {
+            crate::arena::recycle_tensor(t);
+        }
+        return Ok(out);
     }
-    add_n(&inputs)
+    let out = add_n(&inputs);
+    for t in inputs {
+        crate::arena::recycle_tensor(t);
+    }
+    out
 }
 
 /// By-value [`scale`]: scales in place when the buffer is uniquely
@@ -502,25 +589,19 @@ pub fn scale_owned(mut a: Tensor, s: f64) -> Result<Tensor, TensorError> {
         Some(TensorData::F32(x)) => {
             let s32 = s as f32;
             par_chunks_mut(x, chunk, |_ci, slice| {
-                for o in slice.iter_mut() {
-                    *o *= s32;
-                }
+                simd::scale_in_f32(slice, s32);
             });
             true
         }
         Some(TensorData::F64(x)) => {
             par_chunks_mut(x, chunk, |_ci, slice| {
-                for o in slice.iter_mut() {
-                    *o *= s;
-                }
+                simd::scale_in_f64(slice, s);
             });
             true
         }
         Some(TensorData::C128(x)) => {
             par_chunks_mut(x, chunk, |_ci, slice| {
-                for o in slice.iter_mut() {
-                    *o = o.scale(s);
-                }
+                simd::scale_in_f64(simd::c128_as_f64_mut(slice), s);
             });
             true
         }
@@ -529,7 +610,9 @@ pub fn scale_owned(mut a: Tensor, s: f64) -> Result<Tensor, TensorError> {
     if forwarded {
         return Ok(a);
     }
-    scale(&a, s)
+    let out = scale(&a, s);
+    crate::arena::recycle_tensor(a);
+    out
 }
 
 /// By-value [`neg`].
@@ -555,9 +638,7 @@ pub fn axpy_owned(alpha: f64, mut x: Tensor, mut y: Tensor) -> Result<Tensor, Te
             let xv = x.as_f64()?;
             par_chunks_mut(yv, chunk, |ci, slice| {
                 let start = ci * chunk;
-                for (i, o) in slice.iter_mut().enumerate() {
-                    *o = alpha * xv[start + i] + *o;
-                }
+                simd::axpy_into_y_f64(alpha, &xv[start..start + slice.len()], slice);
             });
             true
         }
@@ -566,15 +647,14 @@ pub fn axpy_owned(alpha: f64, mut x: Tensor, mut y: Tensor) -> Result<Tensor, Te
             let xv = x.as_f32()?;
             par_chunks_mut(yv, chunk, |ci, slice| {
                 let start = ci * chunk;
-                for (i, o) in slice.iter_mut().enumerate() {
-                    *o = a32 * xv[start + i] + *o;
-                }
+                simd::axpy_into_y_f32(a32, &xv[start..start + slice.len()], slice);
             });
             true
         }
         _ => false,
     };
     if into_y {
+        crate::arena::recycle_tensor(x);
         return Ok(y);
     }
     let into_x = match x.try_unique_data() {
@@ -582,9 +662,7 @@ pub fn axpy_owned(alpha: f64, mut x: Tensor, mut y: Tensor) -> Result<Tensor, Te
             let yv = y.as_f64()?;
             par_chunks_mut(xv, chunk, |ci, slice| {
                 let start = ci * chunk;
-                for (i, o) in slice.iter_mut().enumerate() {
-                    *o = alpha * *o + yv[start + i];
-                }
+                simd::axpy_into_x_f64(alpha, slice, &yv[start..start + slice.len()]);
             });
             true
         }
@@ -593,18 +671,23 @@ pub fn axpy_owned(alpha: f64, mut x: Tensor, mut y: Tensor) -> Result<Tensor, Te
             let yv = y.as_f32()?;
             par_chunks_mut(xv, chunk, |ci, slice| {
                 let start = ci * chunk;
-                for (i, o) in slice.iter_mut().enumerate() {
-                    *o = a32 * *o + yv[start + i];
-                }
+                simd::axpy_into_x_f32(a32, slice, &yv[start..start + slice.len()]);
             });
             true
         }
         _ => false,
     };
     if into_x {
+        crate::arena::recycle_tensor(y);
         return Ok(x);
     }
-    axpy(alpha, &x, &y)
+    // No uniquely-held operand (both pinned by variables, as in the CG
+    // loop): allocate through the recycle arena rather than the system
+    // allocator, and reclaim the dead operand handles.
+    let out = axpy(alpha, &x, &y);
+    crate::arena::recycle_tensor(x);
+    crate::arena::recycle_tensor(y);
+    out
 }
 
 /// Deterministic pseudo-value standing in for a reduction over
@@ -641,7 +724,7 @@ pub fn dot(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
                 n,
                 chunk,
                 0f64,
-                |lo, hi| (lo..hi).map(|i| x[i] * y[i]).sum::<f64>(),
+                |lo, hi| simd::dot_f64(&x[lo..hi], &y[lo..hi]),
                 |p, q| p + q,
             );
             Ok(Tensor::scalar_f64(s))
@@ -652,7 +735,7 @@ pub fn dot(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
                 n,
                 chunk,
                 0f64,
-                |lo, hi| (lo..hi).map(|i| x[i] as f64 * y[i] as f64).sum::<f64>(),
+                |lo, hi| simd::dot_f32(&x[lo..hi], &y[lo..hi]),
                 |p, q| p + q,
             );
             Ok(Tensor::scalar_f32(s as f32))
@@ -682,7 +765,7 @@ pub fn sum(a: &Tensor) -> Result<Tensor, TensorError> {
                 n,
                 chunk,
                 0f64,
-                |lo, hi| x[lo..hi].iter().sum::<f64>(),
+                |lo, hi| simd::sum_f64(&x[lo..hi]),
                 |p, q| p + q,
             );
             Ok(Tensor::scalar_f64(s))
@@ -692,7 +775,7 @@ pub fn sum(a: &Tensor) -> Result<Tensor, TensorError> {
                 n,
                 chunk,
                 0f64,
-                |lo, hi| x[lo..hi].iter().map(|v| *v as f64).sum::<f64>(),
+                |lo, hi| simd::sum_f32(&x[lo..hi]),
                 |p, q| p + q,
             );
             Ok(Tensor::scalar_f32(s as f32))
@@ -728,21 +811,23 @@ pub fn norm2(a: &Tensor) -> Result<Tensor, TensorError> {
             n,
             chunk,
             0f64,
-            |lo, hi| x[lo..hi].iter().map(|v| v * v).sum::<f64>(),
+            |lo, hi| simd::sumsq_f64(&x[lo..hi]),
             |p, q| p + q,
         ),
         TensorData::F32(x) => parallel_reduce(
             n,
             chunk,
             0f64,
-            |lo, hi| x[lo..hi].iter().map(|v| (*v as f64) * (*v as f64)).sum(),
+            |lo, hi| simd::sumsq_f32(&x[lo..hi]),
             |p, q| p + q,
         ),
+        // |z|² summed as the flat interleaved squares — same value set,
+        // blocked association shared bit-for-bit by both dispatch paths.
         TensorData::C128(x) => parallel_reduce(
             n,
             chunk,
             0f64,
-            |lo, hi| x[lo..hi].iter().map(|v| v.norm_sqr()).sum(),
+            |lo, hi| simd::sumsq_f64(simd::c128_as_f64(&x[lo..hi])),
             |p, q| p + q,
         ),
         other => {

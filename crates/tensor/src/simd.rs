@@ -1,0 +1,1014 @@
+//! Runtime-dispatched SIMD kernels for the dense compute layer.
+//!
+//! Follows the same detection/fallback pattern as the SSE4.2 CRC32C
+//! path in `tfhpc-proto::frame`: feature support is probed once at
+//! runtime (`is_x86_feature_detected!`), the vector path is compiled
+//! with `#[target_feature(enable = "avx2")]` so the crate still builds
+//! and runs on any x86-64 (or non-x86) host, and a software fallback
+//! implements the identical computation.
+//!
+//! ## The bit-identity rule
+//!
+//! Every kernel here has a scalar twin that performs *the same IEEE
+//! operations in the same order*, so `TFHPC_SIMD=0` and `TFHPC_SIMD=1`
+//! produce bit-for-bit equal results (`tests/simd_parity.rs` enforces
+//! this):
+//!
+//! * Elementwise kernels (add/sub/mul/div, scale, axpy, the add-n
+//!   accumulation, FFT butterflies) keep one independent expression per
+//!   output element, so lane width cannot change results. FMA
+//!   contraction is *never* used: the scalar twin computes
+//!   multiply-then-add as two roundings, so the vector path issues
+//!   separate `mul` and `add` too.
+//! * Reductions (dot/sum/sumsq) are restructured — in **both** paths —
+//!   into an 8-wide blocked form: eight independent accumulators fed
+//!   strided, combined as `(acc[j] + acc[j+4])` per lane and then
+//!   `(l0 + l2) + (l1 + l3)` horizontally, with a sequential tail.
+//!   The scalar twin mirrors the vector lane structure exactly.
+//!
+//! Kernels that cannot keep bit-identity cheaply stay scalar: complex
+//! mul/div (cross-term shuffles are used only in the FFT butterfly,
+//! where they are pinned by parity tests) and `max` (AVX `vmaxpd`
+//! NaN/−0.0 semantics differ from `f64::max`).
+//!
+//! ## Dispatch control
+//!
+//! The path is chosen once from CPU detection and the `TFHPC_SIMD` env
+//! var (`0`/`off`/`false`/`no` force scalar) and cached in an atomic;
+//! [`set_forced`] overrides it at runtime for parity tests and for
+//! benchmarking both paths in one process.
+
+use crate::complex::Complex64;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+// ---- dispatch control --------------------------------------------------
+
+const MODE_UNINIT: u8 = 0;
+const MODE_SCALAR: u8 = 1;
+const MODE_SIMD: u8 = 2;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+/// True when the host CPU supports the vector path (AVX2 + FMA probed
+/// at runtime, like the CRC32C SSE4.2 probe). FMA presence is required
+/// by the detection contract even though kernels never contract — see
+/// the bit-identity rule above.
+pub fn available() -> bool {
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    })
+}
+
+fn env_allows() -> bool {
+    match std::env::var("TFHPC_SIMD") {
+        Err(_) => true,
+        Ok(v) => !matches!(v.trim(), "0" | "off" | "false" | "no"),
+    }
+}
+
+/// Whether the vector path is active for the next kernel call.
+#[inline]
+pub fn enabled() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_SCALAR => false,
+        MODE_SIMD => true,
+        _ => {
+            let on = available() && env_allows();
+            MODE.store(if on { MODE_SIMD } else { MODE_SCALAR }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+/// Override the dispatch decision: `Some(false)` forces scalar,
+/// `Some(true)` requests the vector path (silently staying scalar when
+/// the CPU lacks it), `None` reverts to detection + `TFHPC_SIMD`.
+/// Exists so parity tests and `bench_runtime` can drive both paths in
+/// one process.
+pub fn set_forced(force: Option<bool>) {
+    let m = match force {
+        Some(false) => MODE_SCALAR,
+        Some(true) => {
+            if available() {
+                MODE_SIMD
+            } else {
+                MODE_SCALAR
+            }
+        }
+        None => MODE_UNINIT,
+    };
+    MODE.store(m, Ordering::Relaxed);
+}
+
+/// Human-readable label of the active path (for bench/diagnostics).
+pub fn path_label() -> &'static str {
+    if enabled() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
+// ---- c128 reinterpretation ---------------------------------------------
+//
+// `Complex64` is `#[repr(C)] { re: f64, im: f64 }`, so a complex slice
+// is exactly an interleaved f64 slice of twice the length. Complex
+// add/sub/scale are componentwise and reuse the f64 kernels through
+// these views; complex mul/div are not and stay scalar.
+
+/// View a complex slice as its interleaved `[re, im, re, im, ..]` f64
+/// representation.
+pub fn c128_as_f64(x: &[Complex64]) -> &[f64] {
+    // SAFETY: Complex64 is repr(C) with two f64 fields — same layout.
+    unsafe { std::slice::from_raw_parts(x.as_ptr() as *const f64, x.len() * 2) }
+}
+
+/// Mutable interleaved-f64 view of a complex slice.
+pub fn c128_as_f64_mut(x: &mut [Complex64]) -> &mut [f64] {
+    // SAFETY: as above; any f64 bit pattern is a valid field value.
+    unsafe { std::slice::from_raw_parts_mut(x.as_mut_ptr() as *mut f64, x.len() * 2) }
+}
+
+// ---- scalar cores ------------------------------------------------------
+//
+// Raw-pointer cores shared by the out-of-place and both in-place forms
+// (the output pointer may alias either input; every element is read
+// before its slot is written).
+
+macro_rules! scalar_binary_core {
+    ($name:ident, $t:ty, $op:tt) => {
+        unsafe fn $name(xp: *const $t, yp: *const $t, out: *mut $t, n: usize) {
+            for i in 0..n {
+                *out.add(i) = *xp.add(i) $op *yp.add(i);
+            }
+        }
+    };
+}
+
+scalar_binary_core!(sc_add_f64, f64, +);
+scalar_binary_core!(sc_sub_f64, f64, -);
+scalar_binary_core!(sc_mul_f64, f64, *);
+scalar_binary_core!(sc_div_f64, f64, /);
+scalar_binary_core!(sc_add_f32, f32, +);
+scalar_binary_core!(sc_sub_f32, f32, -);
+scalar_binary_core!(sc_mul_f32, f32, *);
+scalar_binary_core!(sc_div_f32, f32, /);
+
+unsafe fn sc_scale_f64(xp: *const f64, s: f64, out: *mut f64, n: usize) {
+    for i in 0..n {
+        *out.add(i) = *xp.add(i) * s;
+    }
+}
+
+unsafe fn sc_scale_f32(xp: *const f32, s: f32, out: *mut f32, n: usize) {
+    for i in 0..n {
+        *out.add(i) = *xp.add(i) * s;
+    }
+}
+
+// No `mul_add`: two roundings, exactly like the pre-SIMD kernels.
+unsafe fn sc_axpy_f64(alpha: f64, xp: *const f64, yp: *const f64, out: *mut f64, n: usize) {
+    for i in 0..n {
+        *out.add(i) = alpha * *xp.add(i) + *yp.add(i);
+    }
+}
+
+unsafe fn sc_axpy_f32(alpha: f32, xp: *const f32, yp: *const f32, out: *mut f32, n: usize) {
+    for i in 0..n {
+        *out.add(i) = alpha * *xp.add(i) + *yp.add(i);
+    }
+}
+
+// Blocked reductions: the scalar twin of the AVX lane structure. Eight
+// accumulators take elements `8k + j`; the combine mirrors the vector
+// reduce exactly — vertical `acc[j] + acc[j+4]`, horizontal
+// `(l0 + l2) + (l1 + l3)` — then a sequential tail.
+macro_rules! scalar_reduce_core {
+    ($name:ident, $t:ty, ($a:ident, $b:ident) => $term:expr) => {
+        unsafe fn $name(xp: *const $t, yp: *const $t, n: usize) -> f64 {
+            let mut acc = [0f64; 8];
+            let mut i = 0usize;
+            while i + 8 <= n {
+                let mut j = 0;
+                while j < 8 {
+                    let $a = *xp.add(i + j) as f64;
+                    let $b = *yp.add(i + j) as f64;
+                    acc[j] += $term;
+                    j += 1;
+                }
+                i += 8;
+            }
+            let l0 = acc[0] + acc[4];
+            let l1 = acc[1] + acc[5];
+            let l2 = acc[2] + acc[6];
+            let l3 = acc[3] + acc[7];
+            let mut s = (l0 + l2) + (l1 + l3);
+            while i < n {
+                let $a = *xp.add(i) as f64;
+                let $b = *yp.add(i) as f64;
+                s += $term;
+                i += 1;
+            }
+            s
+        }
+    };
+}
+
+scalar_reduce_core!(sc_dot_f64, f64, (a, b) => a * b);
+scalar_reduce_core!(sc_sum_f64, f64, (a, _b) => a);
+scalar_reduce_core!(sc_dot_f32, f32, (a, b) => a * b);
+scalar_reduce_core!(sc_sum_f32, f32, (a, _b) => a);
+
+/// Scalar FFT butterfly sweep: `n` butterflies pairing `a[i]`/`b[i]`
+/// with twiddle `tw[i]`, the exact legacy expression
+/// `u = a; v = b * w; a = u + v; b = u - v` (operand order of
+/// `Complex64::mul` preserved).
+///
+/// # Safety
+/// `a`, `b`, `tw` must each be valid for `n` elements; the `a` and `b`
+/// ranges must not overlap.
+unsafe fn sc_butterflies(a: *mut Complex64, b: *mut Complex64, tw: *const Complex64, n: usize) {
+    for i in 0..n {
+        let u = *a.add(i);
+        let v = *b.add(i) * *tw.add(i);
+        *a.add(i) = u + v;
+        *b.add(i) = u - v;
+    }
+}
+
+// ---- AVX2 cores --------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use super::Complex64;
+    use core::arch::x86_64::*;
+
+    // Elementwise results don't depend on where vector blocks start,
+    // so the cores may peel scalar iterations until the *output* is
+    // 32-byte aligned and then stream aligned stores two vectors per
+    // iteration — pure throughput, zero bit impact. (Reductions must
+    // NOT peel: their blocking is part of the value contract.)
+    macro_rules! avx_binary_core_f64 {
+        ($name:ident, $vop:ident, $op:tt) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(xp: *const f64, yp: *const f64, out: *mut f64, n: usize) {
+                let mut i = 0usize;
+                let mis = (out as usize) & 31;
+                if mis & 7 == 0 {
+                    let peel = (((32 - mis) & 31) >> 3).min(n);
+                    while i < peel {
+                        *out.add(i) = *xp.add(i) $op *yp.add(i);
+                        i += 1;
+                    }
+                    while i + 8 <= n {
+                        let a0 = _mm256_loadu_pd(xp.add(i));
+                        let b0 = _mm256_loadu_pd(yp.add(i));
+                        let a1 = _mm256_loadu_pd(xp.add(i + 4));
+                        let b1 = _mm256_loadu_pd(yp.add(i + 4));
+                        _mm256_store_pd(out.add(i), $vop(a0, b0));
+                        _mm256_store_pd(out.add(i + 4), $vop(a1, b1));
+                        i += 8;
+                    }
+                }
+                while i + 4 <= n {
+                    let a = _mm256_loadu_pd(xp.add(i));
+                    let b = _mm256_loadu_pd(yp.add(i));
+                    _mm256_storeu_pd(out.add(i), $vop(a, b));
+                    i += 4;
+                }
+                while i < n {
+                    *out.add(i) = *xp.add(i) $op *yp.add(i);
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    avx_binary_core_f64!(add_f64, _mm256_add_pd, +);
+    avx_binary_core_f64!(sub_f64, _mm256_sub_pd, -);
+    avx_binary_core_f64!(mul_f64, _mm256_mul_pd, *);
+    avx_binary_core_f64!(div_f64, _mm256_div_pd, /);
+
+    macro_rules! avx_binary_core_f32 {
+        ($name:ident, $vop:ident, $op:tt) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(xp: *const f32, yp: *const f32, out: *mut f32, n: usize) {
+                let mut i = 0usize;
+                let mis = (out as usize) & 31;
+                if mis & 3 == 0 {
+                    let peel = (((32 - mis) & 31) >> 2).min(n);
+                    while i < peel {
+                        *out.add(i) = *xp.add(i) $op *yp.add(i);
+                        i += 1;
+                    }
+                    while i + 16 <= n {
+                        let a0 = _mm256_loadu_ps(xp.add(i));
+                        let b0 = _mm256_loadu_ps(yp.add(i));
+                        let a1 = _mm256_loadu_ps(xp.add(i + 8));
+                        let b1 = _mm256_loadu_ps(yp.add(i + 8));
+                        _mm256_store_ps(out.add(i), $vop(a0, b0));
+                        _mm256_store_ps(out.add(i + 8), $vop(a1, b1));
+                        i += 16;
+                    }
+                }
+                while i + 8 <= n {
+                    let a = _mm256_loadu_ps(xp.add(i));
+                    let b = _mm256_loadu_ps(yp.add(i));
+                    _mm256_storeu_ps(out.add(i), $vop(a, b));
+                    i += 8;
+                }
+                while i < n {
+                    *out.add(i) = *xp.add(i) $op *yp.add(i);
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    avx_binary_core_f32!(add_f32, _mm256_add_ps, +);
+    avx_binary_core_f32!(sub_f32, _mm256_sub_ps, -);
+    avx_binary_core_f32!(mul_f32, _mm256_mul_ps, *);
+    avx_binary_core_f32!(div_f32, _mm256_div_ps, /);
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_f64(xp: *const f64, s: f64, out: *mut f64, n: usize) {
+        let vs = _mm256_set1_pd(s);
+        let mut i = 0usize;
+        let mis = (out as usize) & 31;
+        if mis & 7 == 0 {
+            let peel = (((32 - mis) & 31) >> 3).min(n);
+            while i < peel {
+                *out.add(i) = *xp.add(i) * s;
+                i += 1;
+            }
+            while i + 8 <= n {
+                let a0 = _mm256_loadu_pd(xp.add(i));
+                let a1 = _mm256_loadu_pd(xp.add(i + 4));
+                _mm256_store_pd(out.add(i), _mm256_mul_pd(a0, vs));
+                _mm256_store_pd(out.add(i + 4), _mm256_mul_pd(a1, vs));
+                i += 8;
+            }
+        }
+        while i + 4 <= n {
+            let a = _mm256_loadu_pd(xp.add(i));
+            _mm256_storeu_pd(out.add(i), _mm256_mul_pd(a, vs));
+            i += 4;
+        }
+        while i < n {
+            *out.add(i) = *xp.add(i) * s;
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale_f32(xp: *const f32, s: f32, out: *mut f32, n: usize) {
+        let vs = _mm256_set1_ps(s);
+        let mut i = 0usize;
+        while i + 8 <= n {
+            let a = _mm256_loadu_ps(xp.add(i));
+            _mm256_storeu_ps(out.add(i), _mm256_mul_ps(a, vs));
+            i += 8;
+        }
+        while i < n {
+            *out.add(i) = *xp.add(i) * s;
+            i += 1;
+        }
+    }
+
+    // Separate mul + add, NOT `_mm256_fmadd_pd`: the scalar twin rounds
+    // twice, and the bit-identity rule wins over the fused throughput.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_f64(alpha: f64, xp: *const f64, yp: *const f64, out: *mut f64, n: usize) {
+        let va = _mm256_set1_pd(alpha);
+        let mut i = 0usize;
+        let mis = (out as usize) & 31;
+        if mis & 7 == 0 {
+            let peel = (((32 - mis) & 31) >> 3).min(n);
+            while i < peel {
+                *out.add(i) = alpha * *xp.add(i) + *yp.add(i);
+                i += 1;
+            }
+            while i + 16 <= n {
+                let x0 = _mm256_loadu_pd(xp.add(i));
+                let y0 = _mm256_loadu_pd(yp.add(i));
+                let x1 = _mm256_loadu_pd(xp.add(i + 4));
+                let y1 = _mm256_loadu_pd(yp.add(i + 4));
+                let x2 = _mm256_loadu_pd(xp.add(i + 8));
+                let y2 = _mm256_loadu_pd(yp.add(i + 8));
+                let x3 = _mm256_loadu_pd(xp.add(i + 12));
+                let y3 = _mm256_loadu_pd(yp.add(i + 12));
+                _mm256_store_pd(out.add(i), _mm256_add_pd(_mm256_mul_pd(va, x0), y0));
+                _mm256_store_pd(out.add(i + 4), _mm256_add_pd(_mm256_mul_pd(va, x1), y1));
+                _mm256_store_pd(out.add(i + 8), _mm256_add_pd(_mm256_mul_pd(va, x2), y2));
+                _mm256_store_pd(out.add(i + 12), _mm256_add_pd(_mm256_mul_pd(va, x3), y3));
+                i += 16;
+            }
+        }
+        while i + 4 <= n {
+            let x = _mm256_loadu_pd(xp.add(i));
+            let y = _mm256_loadu_pd(yp.add(i));
+            _mm256_storeu_pd(out.add(i), _mm256_add_pd(_mm256_mul_pd(va, x), y));
+            i += 4;
+        }
+        while i < n {
+            *out.add(i) = alpha * *xp.add(i) + *yp.add(i);
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy_f32(alpha: f32, xp: *const f32, yp: *const f32, out: *mut f32, n: usize) {
+        let va = _mm256_set1_ps(alpha);
+        let mut i = 0usize;
+        let mis = (out as usize) & 31;
+        if mis & 3 == 0 {
+            let peel = (((32 - mis) & 31) >> 2).min(n);
+            while i < peel {
+                *out.add(i) = alpha * *xp.add(i) + *yp.add(i);
+                i += 1;
+            }
+            while i + 16 <= n {
+                let x0 = _mm256_loadu_ps(xp.add(i));
+                let y0 = _mm256_loadu_ps(yp.add(i));
+                let x1 = _mm256_loadu_ps(xp.add(i + 8));
+                let y1 = _mm256_loadu_ps(yp.add(i + 8));
+                _mm256_store_ps(out.add(i), _mm256_add_ps(_mm256_mul_ps(va, x0), y0));
+                _mm256_store_ps(out.add(i + 8), _mm256_add_ps(_mm256_mul_ps(va, x1), y1));
+                i += 16;
+            }
+        }
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(xp.add(i));
+            let y = _mm256_loadu_ps(yp.add(i));
+            _mm256_storeu_ps(out.add(i), _mm256_add_ps(_mm256_mul_ps(va, x), y));
+            i += 8;
+        }
+        while i < n {
+            *out.add(i) = alpha * *xp.add(i) + *yp.add(i);
+            i += 1;
+        }
+    }
+
+    // Horizontal reduce of the combined accumulator, mirrored term for
+    // term by the scalar twin: `(l0 + l2) + (l1 + l3)`.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hreduce(acc0: __m256d, acc1: __m256d) -> f64 {
+        let acc = _mm256_add_pd(acc0, acc1); // lane j: acc[j] + acc[j+4]
+        let lo = _mm256_castpd256_pd128(acc); // [l0, l1]
+        let hi = _mm256_extractf128_pd(acc, 1); // [l2, l3]
+        let pair = _mm_add_pd(lo, hi); // [l0+l2, l1+l3]
+        _mm_cvtsd_f64(pair) + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair))
+    }
+
+    macro_rules! avx_reduce_core_f64 {
+        ($name:ident, ($va:ident, $vb:ident) => $vterm:expr, ($a:ident, $b:ident) => $term:expr) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(xp: *const f64, yp: *const f64, n: usize) -> f64 {
+                let mut acc0 = _mm256_setzero_pd();
+                let mut acc1 = _mm256_setzero_pd();
+                let mut i = 0usize;
+                while i + 8 <= n {
+                    {
+                        let $va = _mm256_loadu_pd(xp.add(i));
+                        let $vb = _mm256_loadu_pd(yp.add(i));
+                        acc0 = _mm256_add_pd(acc0, $vterm);
+                    }
+                    {
+                        let $va = _mm256_loadu_pd(xp.add(i + 4));
+                        let $vb = _mm256_loadu_pd(yp.add(i + 4));
+                        acc1 = _mm256_add_pd(acc1, $vterm);
+                    }
+                    i += 8;
+                }
+                let mut s = hreduce(acc0, acc1);
+                while i < n {
+                    let $a = *xp.add(i);
+                    let $b = *yp.add(i);
+                    s += $term;
+                    i += 1;
+                }
+                s
+            }
+        };
+    }
+
+    avx_reduce_core_f64!(dot_f64, (va, vb) => _mm256_mul_pd(va, vb), (a, b) => a * b);
+    avx_reduce_core_f64!(sum_f64, (va, _vb) => va, (a, _b) => a);
+
+    macro_rules! avx_reduce_core_f32 {
+        ($name:ident, ($va:ident, $vb:ident) => $vterm:expr, ($a:ident, $b:ident) => $term:expr) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(xp: *const f32, yp: *const f32, n: usize) -> f64 {
+                let mut acc0 = _mm256_setzero_pd();
+                let mut acc1 = _mm256_setzero_pd();
+                let mut i = 0usize;
+                while i + 8 <= n {
+                    let x8 = _mm256_loadu_ps(xp.add(i));
+                    let y8 = _mm256_loadu_ps(yp.add(i));
+                    {
+                        let $va = _mm256_cvtps_pd(_mm256_castps256_ps128(x8));
+                        let $vb = _mm256_cvtps_pd(_mm256_castps256_ps128(y8));
+                        acc0 = _mm256_add_pd(acc0, $vterm);
+                    }
+                    {
+                        let $va = _mm256_cvtps_pd(_mm256_extractf128_ps(x8, 1));
+                        let $vb = _mm256_cvtps_pd(_mm256_extractf128_ps(y8, 1));
+                        acc1 = _mm256_add_pd(acc1, $vterm);
+                    }
+                    i += 8;
+                }
+                let mut s = hreduce(acc0, acc1);
+                while i < n {
+                    let $a = *xp.add(i) as f64;
+                    let $b = *yp.add(i) as f64;
+                    s += $term;
+                    i += 1;
+                }
+                s
+            }
+        };
+    }
+
+    avx_reduce_core_f32!(dot_f32, (va, vb) => _mm256_mul_pd(va, vb), (a, b) => a * b);
+    avx_reduce_core_f32!(sum_f32, (va, _vb) => va, (a, _b) => a);
+
+    /// Two butterflies per iteration. The complex product keeps the
+    /// exact `Complex64::mul` operand order:
+    /// `re = br·wr − bi·wi`, `im = br·wi + bi·wr` — realised as
+    /// `addsub(br·(wr,wi), bi·(wi,wr))`, which subtracts in even lanes
+    /// and adds in odd lanes, term for term the scalar expression.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn butterflies(
+        a: *mut Complex64,
+        b: *mut Complex64,
+        tw: *const Complex64,
+        n: usize,
+    ) {
+        let ap = a as *mut f64;
+        let bp = b as *mut f64;
+        let tp = tw as *const f64;
+        let mut i = 0usize;
+        while i + 2 <= n {
+            let u = _mm256_loadu_pd(ap.add(2 * i));
+            let bv = _mm256_loadu_pd(bp.add(2 * i)); // [br0, bi0, br1, bi1]
+            let w = _mm256_loadu_pd(tp.add(2 * i)); // [wr0, wi0, wr1, wi1]
+            let br = _mm256_movedup_pd(bv); // [br0, br0, br1, br1]
+            let bi = _mm256_permute_pd(bv, 0b1111); // [bi0, bi0, bi1, bi1]
+            let wswap = _mm256_permute_pd(w, 0b0101); // [wi0, wr0, wi1, wr1]
+            let t1 = _mm256_mul_pd(br, w); // [br·wr, br·wi, ..]
+            let t2 = _mm256_mul_pd(bi, wswap); // [bi·wi, bi·wr, ..]
+            let v = _mm256_addsub_pd(t1, t2); // [br·wr − bi·wi, br·wi + bi·wr, ..]
+            _mm256_storeu_pd(ap.add(2 * i), _mm256_add_pd(u, v));
+            _mm256_storeu_pd(bp.add(2 * i), _mm256_sub_pd(u, v));
+            i += 2;
+        }
+        while i < n {
+            let u = *a.add(i);
+            let v = *b.add(i) * *tw.add(i);
+            *a.add(i) = u + v;
+            *b.add(i) = u - v;
+            i += 1;
+        }
+    }
+}
+
+// ---- dispatchers -------------------------------------------------------
+
+macro_rules! dispatch {
+    ($sc:path, $av:path, ($($arg:expr),*)) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            if enabled() {
+                // SAFETY: `enabled()` implies AVX2+FMA were detected.
+                unsafe { $av($($arg),*) }
+            } else {
+                // SAFETY: pointers/lengths validated by the caller.
+                unsafe { $sc($($arg),*) }
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            // SAFETY: pointers/lengths validated by the caller.
+            unsafe { $sc($($arg),*) }
+        }
+    }};
+}
+
+macro_rules! pub_binary {
+    ($t:ty, $oop:ident, $lhs:ident, $rhs:ident, $sc:path, $av:path, $doc:literal) => {
+        #[doc = concat!("`out[i] = x[i] ", $doc, " y[i]`.")]
+        pub fn $oop(x: &[$t], y: &[$t], out: &mut [$t]) {
+            let n = out.len();
+            assert!(x.len() == n && y.len() == n, "simd kernel length mismatch");
+            dispatch!($sc, $av, (x.as_ptr(), y.as_ptr(), out.as_mut_ptr(), n))
+        }
+
+        #[doc = concat!("In-place into the left operand: `x[i] = x[i] ", $doc, " y[i]`.")]
+        pub fn $lhs(x: &mut [$t], y: &[$t]) {
+            let n = x.len();
+            assert!(y.len() == n, "simd kernel length mismatch");
+            dispatch!($sc, $av, (x.as_ptr(), y.as_ptr(), x.as_mut_ptr(), n))
+        }
+
+        #[doc = concat!("In-place into the right operand: `y[i] = x[i] ", $doc, " y[i]`.")]
+        pub fn $rhs(x: &[$t], y: &mut [$t]) {
+            let n = y.len();
+            assert!(x.len() == n, "simd kernel length mismatch");
+            dispatch!($sc, $av, (x.as_ptr(), y.as_ptr(), y.as_mut_ptr(), n))
+        }
+    };
+}
+
+pub_binary!(
+    f64,
+    add_f64,
+    add_lhs_f64,
+    add_rhs_f64,
+    sc_add_f64,
+    avx::add_f64,
+    "+"
+);
+pub_binary!(
+    f64,
+    sub_f64,
+    sub_lhs_f64,
+    sub_rhs_f64,
+    sc_sub_f64,
+    avx::sub_f64,
+    "-"
+);
+pub_binary!(
+    f64,
+    mul_f64,
+    mul_lhs_f64,
+    mul_rhs_f64,
+    sc_mul_f64,
+    avx::mul_f64,
+    "*"
+);
+pub_binary!(
+    f64,
+    div_f64,
+    div_lhs_f64,
+    div_rhs_f64,
+    sc_div_f64,
+    avx::div_f64,
+    "/"
+);
+pub_binary!(
+    f32,
+    add_f32,
+    add_lhs_f32,
+    add_rhs_f32,
+    sc_add_f32,
+    avx::add_f32,
+    "+"
+);
+pub_binary!(
+    f32,
+    sub_f32,
+    sub_lhs_f32,
+    sub_rhs_f32,
+    sc_sub_f32,
+    avx::sub_f32,
+    "-"
+);
+pub_binary!(
+    f32,
+    mul_f32,
+    mul_lhs_f32,
+    mul_rhs_f32,
+    sc_mul_f32,
+    avx::mul_f32,
+    "*"
+);
+pub_binary!(
+    f32,
+    div_f32,
+    div_lhs_f32,
+    div_rhs_f32,
+    sc_div_f32,
+    avx::div_f32,
+    "/"
+);
+
+/// `out[i] = x[i] * s`.
+pub fn scale_f64(x: &[f64], s: f64, out: &mut [f64]) {
+    let n = out.len();
+    assert!(x.len() == n, "simd kernel length mismatch");
+    dispatch!(
+        sc_scale_f64,
+        avx::scale_f64,
+        (x.as_ptr(), s, out.as_mut_ptr(), n)
+    )
+}
+
+/// `x[i] *= s` in place.
+pub fn scale_in_f64(x: &mut [f64], s: f64) {
+    let n = x.len();
+    dispatch!(
+        sc_scale_f64,
+        avx::scale_f64,
+        (x.as_ptr(), s, x.as_mut_ptr(), n)
+    )
+}
+
+/// `out[i] = x[i] * s`.
+pub fn scale_f32(x: &[f32], s: f32, out: &mut [f32]) {
+    let n = out.len();
+    assert!(x.len() == n, "simd kernel length mismatch");
+    dispatch!(
+        sc_scale_f32,
+        avx::scale_f32,
+        (x.as_ptr(), s, out.as_mut_ptr(), n)
+    )
+}
+
+/// `x[i] *= s` in place.
+pub fn scale_in_f32(x: &mut [f32], s: f32) {
+    let n = x.len();
+    dispatch!(
+        sc_scale_f32,
+        avx::scale_f32,
+        (x.as_ptr(), s, x.as_mut_ptr(), n)
+    )
+}
+
+/// `out[i] = alpha * x[i] + y[i]` (two roundings, never fused).
+pub fn axpy_f64(alpha: f64, x: &[f64], y: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    assert!(x.len() == n && y.len() == n, "simd kernel length mismatch");
+    dispatch!(
+        sc_axpy_f64,
+        avx::axpy_f64,
+        (alpha, x.as_ptr(), y.as_ptr(), out.as_mut_ptr(), n)
+    )
+}
+
+/// `y[i] = alpha * x[i] + y[i]` in place.
+pub fn axpy_into_y_f64(alpha: f64, x: &[f64], y: &mut [f64]) {
+    let n = y.len();
+    assert!(x.len() == n, "simd kernel length mismatch");
+    dispatch!(
+        sc_axpy_f64,
+        avx::axpy_f64,
+        (alpha, x.as_ptr(), y.as_ptr(), y.as_mut_ptr(), n)
+    )
+}
+
+/// `x[i] = alpha * x[i] + y[i]` in place.
+pub fn axpy_into_x_f64(alpha: f64, x: &mut [f64], y: &[f64]) {
+    let n = x.len();
+    assert!(y.len() == n, "simd kernel length mismatch");
+    dispatch!(
+        sc_axpy_f64,
+        avx::axpy_f64,
+        (alpha, x.as_ptr(), y.as_ptr(), x.as_mut_ptr(), n)
+    )
+}
+
+/// `out[i] = alpha * x[i] + y[i]`.
+pub fn axpy_f32(alpha: f32, x: &[f32], y: &[f32], out: &mut [f32]) {
+    let n = out.len();
+    assert!(x.len() == n && y.len() == n, "simd kernel length mismatch");
+    dispatch!(
+        sc_axpy_f32,
+        avx::axpy_f32,
+        (alpha, x.as_ptr(), y.as_ptr(), out.as_mut_ptr(), n)
+    )
+}
+
+/// `y[i] = alpha * x[i] + y[i]` in place.
+pub fn axpy_into_y_f32(alpha: f32, x: &[f32], y: &mut [f32]) {
+    let n = y.len();
+    assert!(x.len() == n, "simd kernel length mismatch");
+    dispatch!(
+        sc_axpy_f32,
+        avx::axpy_f32,
+        (alpha, x.as_ptr(), y.as_ptr(), y.as_mut_ptr(), n)
+    )
+}
+
+/// `x[i] = alpha * x[i] + y[i]` in place.
+pub fn axpy_into_x_f32(alpha: f32, x: &mut [f32], y: &[f32]) {
+    let n = x.len();
+    assert!(y.len() == n, "simd kernel length mismatch");
+    dispatch!(
+        sc_axpy_f32,
+        avx::axpy_f32,
+        (alpha, x.as_ptr(), y.as_ptr(), x.as_mut_ptr(), n)
+    )
+}
+
+/// Blocked dot product, f64 accumulation.
+pub fn dot_f64(x: &[f64], y: &[f64]) -> f64 {
+    assert!(x.len() == y.len(), "simd kernel length mismatch");
+    dispatch!(sc_dot_f64, avx::dot_f64, (x.as_ptr(), y.as_ptr(), x.len()))
+}
+
+/// Blocked sum, f64 accumulation.
+pub fn sum_f64(x: &[f64]) -> f64 {
+    dispatch!(sc_sum_f64, avx::sum_f64, (x.as_ptr(), x.as_ptr(), x.len()))
+}
+
+/// Blocked sum of squares (`dot(x, x)`), f64 accumulation.
+pub fn sumsq_f64(x: &[f64]) -> f64 {
+    dispatch!(sc_dot_f64, avx::dot_f64, (x.as_ptr(), x.as_ptr(), x.len()))
+}
+
+/// Blocked dot product of f32 inputs, f64 accumulation (the reduction
+/// contract the pre-SIMD kernels already had).
+pub fn dot_f32(x: &[f32], y: &[f32]) -> f64 {
+    assert!(x.len() == y.len(), "simd kernel length mismatch");
+    dispatch!(sc_dot_f32, avx::dot_f32, (x.as_ptr(), y.as_ptr(), x.len()))
+}
+
+/// Blocked sum of f32 inputs, f64 accumulation.
+pub fn sum_f32(x: &[f32]) -> f64 {
+    dispatch!(sc_sum_f32, avx::sum_f32, (x.as_ptr(), x.as_ptr(), x.len()))
+}
+
+/// Blocked sum of squares of f32 inputs, f64 accumulation.
+pub fn sumsq_f32(x: &[f32]) -> f64 {
+    dispatch!(sc_dot_f32, avx::dot_f32, (x.as_ptr(), x.as_ptr(), x.len()))
+}
+
+/// `n` FFT butterflies: `(a[i], b[i]) ← (a[i] + b[i]·tw[i], a[i] − b[i]·tw[i])`.
+///
+/// # Safety
+/// `a`, `b` and `tw` must each be valid for `n` elements and the `a`
+/// and `b` ranges must not overlap (`tw` may not alias the data).
+pub unsafe fn butterflies(a: *mut Complex64, b: *mut Complex64, tw: *const Complex64, n: usize) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if enabled() {
+            return avx::butterflies(a, b, tw, n);
+        }
+    }
+    sc_butterflies(a, b, tw, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Run `f` once forced-scalar and once forced-SIMD (when the CPU
+    /// has it), restoring auto-detection afterwards.
+    fn both_paths(mut f: impl FnMut(bool)) {
+        set_forced(Some(false));
+        f(false);
+        if available() {
+            set_forced(Some(true));
+            f(true);
+        }
+        set_forced(None);
+    }
+
+    fn data(n: usize, salt: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ salt;
+                ((h % 2048) as f64 - 1024.0) / 64.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn elementwise_matches_reference_loops() {
+        for n in [0usize, 1, 3, 4, 7, 8, 31, 257] {
+            let x = data(n, 1);
+            let y = data(n, 2).iter().map(|v| v + 17.0).collect::<Vec<_>>();
+            both_paths(|_| {
+                let mut out = vec![0f64; n];
+                add_f64(&x, &y, &mut out);
+                for i in 0..n {
+                    assert_eq!(out[i].to_bits(), (x[i] + y[i]).to_bits());
+                }
+                div_f64(&x, &y, &mut out);
+                for i in 0..n {
+                    assert_eq!(out[i].to_bits(), (x[i] / y[i]).to_bits());
+                }
+                let mut inplace = x.clone();
+                sub_lhs_f64(&mut inplace, &y);
+                for i in 0..n {
+                    assert_eq!(inplace[i].to_bits(), (x[i] - y[i]).to_bits());
+                }
+                let mut rhs = y.clone();
+                mul_rhs_f64(&x, &mut rhs);
+                for i in 0..n {
+                    assert_eq!(rhs[i].to_bits(), (x[i] * y[i]).to_bits());
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn reductions_bit_identical_across_paths() {
+        for n in [0usize, 1, 5, 8, 9, 16, 100, 1023] {
+            let x = data(n, 3);
+            let y = data(n, 4);
+            let mut seen: Vec<u64> = Vec::new();
+            both_paths(|_| {
+                seen.push(dot_f64(&x, &y).to_bits());
+                seen.push(sum_f64(&x).to_bits());
+                seen.push(sumsq_f64(&x).to_bits());
+            });
+            if seen.len() == 6 {
+                assert_eq!(&seen[..3], &seen[3..], "path divergence at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale_forms_agree() {
+        let n = 37;
+        let x = data(n, 5);
+        let y = data(n, 6);
+        let alpha = 1.75;
+        both_paths(|_| {
+            let mut out = vec![0f64; n];
+            axpy_f64(alpha, &x, &y, &mut out);
+            let mut iy = y.clone();
+            axpy_into_y_f64(alpha, &x, &mut iy);
+            let mut ix = x.clone();
+            axpy_into_x_f64(alpha, &mut ix, &y);
+            for i in 0..n {
+                let want = (alpha * x[i] + y[i]).to_bits();
+                assert_eq!(out[i].to_bits(), want);
+                assert_eq!(iy[i].to_bits(), want);
+                assert_eq!(ix[i].to_bits(), want);
+            }
+            let mut s = x.clone();
+            scale_in_f64(&mut s, alpha);
+            for i in 0..n {
+                assert_eq!(s[i].to_bits(), (x[i] * alpha).to_bits());
+            }
+        });
+    }
+
+    #[test]
+    fn butterflies_match_complex_mul() {
+        for n in [0usize, 1, 2, 3, 9] {
+            let mk = |salt: u64| -> Vec<Complex64> {
+                data(2 * n, salt)
+                    .chunks(2)
+                    .map(|c| Complex64::new(c[0], c[1]))
+                    .collect()
+            };
+            let a0 = mk(7);
+            let b0 = mk(8);
+            let tw = mk(9);
+            let mut results: Vec<Vec<u64>> = Vec::new();
+            both_paths(|_| {
+                let mut a = a0.clone();
+                let mut b = b0.clone();
+                // SAFETY: disjoint freshly-cloned buffers of length n.
+                unsafe { butterflies(a.as_mut_ptr(), b.as_mut_ptr(), tw.as_ptr(), n) };
+                for i in 0..n {
+                    let v = b0[i] * tw[i];
+                    assert_eq!((a0[i] + v).re.to_bits(), a[i].re.to_bits());
+                    assert_eq!((a0[i] - v).im.to_bits(), b[i].im.to_bits());
+                }
+                results.push(
+                    a.iter()
+                        .chain(b.iter())
+                        .flat_map(|z| [z.re.to_bits(), z.im.to_bits()])
+                        .collect(),
+                );
+            });
+            if results.len() == 2 {
+                assert_eq!(results[0], results[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn c128_views_roundtrip() {
+        let mut z = vec![Complex64::new(1.0, -2.0), Complex64::new(3.5, 4.25)];
+        assert_eq!(c128_as_f64(&z), &[1.0, -2.0, 3.5, 4.25]);
+        c128_as_f64_mut(&mut z)[3] = 9.0;
+        assert_eq!(z[1].im, 9.0);
+    }
+
+    #[test]
+    fn forced_mode_round_trips() {
+        set_forced(Some(false));
+        assert!(!enabled());
+        assert_eq!(path_label(), "scalar");
+        set_forced(Some(true));
+        assert_eq!(enabled(), available());
+        set_forced(None);
+        let _ = enabled(); // re-derives from detection + env without panicking
+    }
+}

@@ -397,6 +397,18 @@ impl Tensor {
         }
     }
 
+    /// Consume the tensor and take its payload by value, only when this
+    /// tensor is the *sole* owner (`Arc` refcount 1) — the by-value
+    /// sibling of [`Tensor::try_unique_data`]. Used by the buffer arena
+    /// to reclaim a dead tensor's allocation for the next kernel output
+    /// instead of freeing it.
+    pub fn into_unique_data(self) -> Option<TensorData> {
+        match self.storage {
+            Storage::Dense(d) => Arc::try_unwrap(d).ok(),
+            Storage::Synthetic { .. } => None,
+        }
+    }
+
     /// Address identity of the dense buffer (`None` for synthetic).
     /// Two tensors with equal `dense_ptr` share storage — used by tests
     /// asserting that forwarding never aliases a still-referenced
