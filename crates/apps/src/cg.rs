@@ -559,7 +559,7 @@ pub fn run_cg_with_store(
     cfg: &CgConfig,
     external: Option<Arc<TileStore>>,
 ) -> Result<(CgReport, Arc<TileStore>), AppError> {
-    run_cg_inner(platform, cfg, external, false, None).map(|(r, s, _)| (r, s))
+    run_cg_inner(platform, cfg, external, false, None).map(|(r, s, _, _)| (r, s))
 }
 
 /// [`run_cg`] under fault injection with checkpoint-restart
@@ -574,14 +574,26 @@ pub fn run_cg_supervised(
     cfg: &CgConfig,
     faults: &FaultSetup,
 ) -> Result<(CgReport, Arc<TileStore>), AppError> {
-    run_cg_inner(platform, cfg, None, false, Some(faults)).map(|(r, s, _)| (r, s))
+    run_cg_inner(platform, cfg, None, false, Some(faults)).map(|(r, s, _, _)| (r, s))
+}
+
+/// [`run_cg_supervised`] also returning the run's
+/// [`SupervisedStats`] — per-task attempt counters, partial-restart
+/// replacements and (when heartbeats are enabled) the liveness
+/// detector's death verdicts with their detection latencies.
+pub fn run_cg_supervised_with_stats(
+    platform: &Platform,
+    cfg: &CgConfig,
+    faults: &FaultSetup,
+) -> Result<(CgReport, Arc<TileStore>, crate::SupervisedStats), AppError> {
+    run_cg_inner(platform, cfg, None, false, Some(faults)).map(|(r, s, _, st)| (r, s, st))
 }
 
 /// Run CG with DES occupancy tracing and return the Chrome-trace JSON
 /// of the whole distributed execution — the reproduction of the paper's
 /// Fig. 3 TensorFlow Timeline for the CG solver.
 pub fn run_cg_traced(platform: &Platform, cfg: &CgConfig) -> Result<(CgReport, String), AppError> {
-    run_cg_inner(platform, cfg, None, true, None).map(|(r, _, json)| (r, json))
+    run_cg_inner(platform, cfg, None, true, None).map(|(r, _, json, _)| (r, json))
 }
 
 fn run_cg_inner(
@@ -590,7 +602,7 @@ fn run_cg_inner(
     external: Option<Arc<TileStore>>,
     trace: bool,
     faults: Option<&FaultSetup>,
-) -> Result<(CgReport, Arc<TileStore>, String), AppError> {
+) -> Result<(CgReport, Arc<TileStore>, String, crate::SupervisedStats), AppError> {
     crate::observe::run_started();
     if cfg.workers == 0 {
         return Err(AppError::Config("workers must be > 0".into()));
@@ -672,6 +684,7 @@ fn run_cg_inner(
     .map_err(AppError::Core)?;
 
     let json = crate::observe::run_finished("cg", launched.sim.as_ref(), trace);
+    let stats = crate::stats_of(&launched);
     let store = store_slot.lock().take().expect("store captured");
     Ok((
         CgReport {
@@ -686,6 +699,7 @@ fn run_cg_inner(
         },
         store,
         json,
+        stats,
     ))
 }
 
@@ -928,6 +942,42 @@ mod tests {
         assert_eq!(faulty.restarts, 1);
         // Bit-identical residual: the checkpoint preserves the exact
         // trajectory, and the rerun costs extra virtual time.
+        assert_eq!(faulty.rs_final.to_bits(), clean.rs_final.to_bits());
+        assert!(faulty.elapsed_s > clean.elapsed_s, "{}", faulty.elapsed_s);
+    }
+
+    #[test]
+    fn supervised_hang_is_detected_and_reproduces_residual() {
+        use tfhpc_sim::fault::FaultPlan;
+        let cfg = CgConfig {
+            iterations: 16,
+            checkpoint_every: Some(4),
+            ..sim_cfg(1024, 2)
+        };
+        let p = platform::tegner_k420();
+        let (clean, _) = run_cg_with_store(&p, &cfg, None).unwrap();
+
+        // Worker 1 (node 2) hangs mid-run: unlike a crash, nothing
+        // reports an error — the task parks inside its next remote op
+        // and its heartbeat daemon goes silent. Only the deadline
+        // detector can notice; it must declare the task dead within the
+        // configured timeout (plus one sweep period of quantization) in
+        // *virtual* time, and the gang restart from the latest common
+        // checkpoint must reproduce the fault-free residual bit for bit.
+        let t = clean.elapsed_s;
+        let (hang_at, period, timeout) = (t * 0.5, t * 0.05, t * 0.2);
+        let faults = crate::FaultSetup::new(FaultPlan::new().hang(2, hang_at), 2)
+            .with_heartbeats(period, timeout);
+        let (faulty, _, stats) = run_cg_supervised_with_stats(&p, &cfg, &faults).unwrap();
+        assert_eq!(faulty.restarts, 1, "{stats:?}");
+        assert_eq!(stats.deaths.len(), 1, "{stats:?}");
+        let (ref task, detected_at, silence) = stats.deaths[0];
+        assert_eq!(task, "/job:worker/task:1");
+        assert!(silence >= timeout, "{stats:?}");
+        assert!(
+            detected_at - hang_at <= timeout + 2.0 * period + 1e-9,
+            "detected at {detected_at}, hang at {hang_at}, timeout {timeout}"
+        );
         assert_eq!(faulty.rs_final.to_bits(), clean.rs_final.to_bits());
         assert!(faulty.elapsed_s > clean.elapsed_s, "{}", faulty.elapsed_s);
     }

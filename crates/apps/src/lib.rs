@@ -26,7 +26,10 @@ pub(crate) mod observe;
 pub mod stream;
 pub mod supervised;
 
-pub use cg::{run_cg, run_cg_supervised, run_cg_with_store, CgConfig, CgReduction, CgReport};
+pub use cg::{
+    run_cg, run_cg_supervised, run_cg_supervised_with_stats, run_cg_with_store, CgConfig,
+    CgReduction, CgReport,
+};
 pub use fft::{run_fft, run_fft_supervised, run_fft_with_store, FftConfig, FftReport};
 pub use matmul::{run_matmul, run_matmul_supervised, MatmulConfig, MatmulReport};
 pub use stream::{run_stream, run_stream_supervised, StreamConfig, StreamReport};
@@ -43,13 +46,21 @@ use tfhpc_sim::fault::FaultPlan;
 pub struct FaultSetup {
     /// Injected fault schedule (virtual-time, deterministic).
     pub plan: FaultPlan,
-    /// Gang restarts the supervisor may perform before a failure
-    /// becomes fatal.
+    /// Restarts (gang or partial) the supervisor may perform before a
+    /// failure becomes fatal.
     pub max_restarts: usize,
-    /// Virtual seconds the supervisor waits before each gang restart.
+    /// Virtual seconds the supervisor waits before each restart.
     pub restart_backoff_s: f64,
     /// Retry policy for transient (`Unavailable`) remote failures.
     pub retry: RetryConfig,
+    /// Heartbeat (period, death timeout) for liveness detection; `None`
+    /// leaves the launch's defaults (detection off unless the
+    /// `TFHPC_HEARTBEAT_*` env knobs say otherwise).
+    pub heartbeat: Option<(f64, f64)>,
+    /// Jobs repaired by partial restart instead of a gang restart.
+    pub partial_restart_jobs: Vec<String>,
+    /// Spare nodes reserved for partial-restart replacement.
+    pub spare_nodes: usize,
 }
 
 impl FaultSetup {
@@ -58,8 +69,7 @@ impl FaultSetup {
         FaultSetup {
             plan,
             max_restarts,
-            restart_backoff_s: 0.0,
-            retry: RetryConfig::disabled(),
+            ..FaultSetup::default()
         }
     }
 
@@ -75,13 +85,39 @@ impl FaultSetup {
         self
     }
 
+    /// Enable heartbeat liveness detection.
+    pub fn with_heartbeats(mut self, period_s: f64, timeout_s: f64) -> FaultSetup {
+        self.heartbeat = Some((period_s, timeout_s));
+        self
+    }
+
+    /// Repair failures of these jobs by restarting only the failed
+    /// task, drawing replacements from `spares` reserved nodes.
+    pub fn with_partial_restart<I, S>(mut self, jobs: I, spares: usize) -> FaultSetup
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.partial_restart_jobs = jobs.into_iter().map(Into::into).collect();
+        self.spare_nodes = spares;
+        self
+    }
+
     /// Attach the whole bundle to a launch config.
     pub fn apply(&self, cfg: LaunchConfig) -> LaunchConfig {
+        let mut sup = SupervisorConfig {
+            max_restarts: self.max_restarts,
+            restart_backoff_s: self.restart_backoff_s,
+            partial_restart_jobs: self.partial_restart_jobs.clone(),
+            spare_nodes: self.spare_nodes,
+            ..SupervisorConfig::default()
+        };
+        if let Some((period, timeout)) = self.heartbeat {
+            sup.heartbeat_period_s = period;
+            sup.heartbeat_timeout_s = timeout;
+        }
         cfg.with_faults(self.plan.clone())
-            .with_supervisor(SupervisorConfig {
-                max_restarts: self.max_restarts,
-                restart_backoff_s: self.restart_backoff_s,
-            })
+            .with_supervisor(sup)
             .with_retry(self.retry.clone())
     }
 }

@@ -141,13 +141,18 @@ impl OpKernel for PushToParityQueue {
         let target = inputs[0].as_i64()?;
         let (i, j) = (target[0] as usize, target[1] as usize);
         let parity = (i * self.nt + j) % self.reducers;
-        self.server.remote_enqueue(
+        match self.server.remote_enqueue(
             &TaskKey::new("reducer", parity),
             "acc",
             vec![inputs[0].clone(), inputs[1].clone()],
             None,
-        )?;
-        Ok(vec![])
+        ) {
+            // The reducer closes its queue once every target it owns is
+            // complete; a duplicate partial resent by a restarted worker
+            // can safely be dropped on the floor.
+            Err(CoreError::QueueClosed(_)) => Ok(vec![]),
+            other => other.map(|()| vec![]),
+        }
     }
 }
 
@@ -198,29 +203,19 @@ fn decode_tiles(payload: &[u8]) -> CoreResult<BTreeMap<(usize, usize), Tensor>> 
     Ok(tiles)
 }
 
-/// Publish this reducer's set of already-finished target tiles to every
-/// worker's `resume` queue as a count-prefixed `[len, i0, j0, ...]` i64
-/// list, so restarted workers skip the corresponding products.
-fn publish_done(
-    ctx: &TaskCtx,
-    cfg: &MatmulConfig,
-    done: &BTreeMap<(usize, usize), Tensor>,
-) -> CoreResult<()> {
+/// Reply to worker `w`'s resume probe with this reducer's set of
+/// already-finished target tiles, as a count-prefixed
+/// `[len, i0, j0, ...]` i64 list on the worker's `resume` queue, so the
+/// (re)started worker skips the corresponding products.
+fn reply_done(ctx: &TaskCtx, w: usize, done: &BTreeMap<(usize, usize), Tensor>) -> CoreResult<()> {
     let mut list = vec![done.len() as i64];
     for &(i, j) in done.keys() {
         list.push(i as i64);
         list.push(j as i64);
     }
     let tensor = Tensor::from_i64([list.len()], list)?;
-    for w in 0..cfg.workers {
-        ctx.server.remote_enqueue(
-            &TaskKey::new("worker", w),
-            "resume",
-            vec![tensor.clone()],
-            None,
-        )?;
-    }
-    Ok(())
+    ctx.server
+        .remote_enqueue(&TaskKey::new("worker", w), "resume", vec![tensor], None)
 }
 
 fn reducer_body(
@@ -236,10 +231,12 @@ fn reducer_body(
         .flat_map(|i| (0..nt).map(move |j| (i, j)))
         .filter(|(i, j)| (i * nt + j) % cfg.reducers == r)
         .count();
-    // Under supervision, reinstate the newest valid checkpoint and tell
-    // the workers which targets are already finished. The handshake runs
-    // on every attempt (cold starts publish an empty set) so workers can
-    // block on it unconditionally.
+    // Under supervision, reinstate the newest valid checkpoint. Workers
+    // learn the finished set by *pulling* (a resume probe answered
+    // inside the accumulate loop below) rather than by a push at start:
+    // a partially-restarted worker arrives mid-generation, long after
+    // any startup broadcast would have been consumed by its crashed
+    // predecessor.
     let ckpt = ckpt_every.map(|_| Checkpointer::new(Arc::clone(store), r, CKPT_KEEP));
     let mut finished: BTreeMap<(usize, usize), Tensor> = BTreeMap::new();
     if let Some(ckpt) = &ckpt {
@@ -248,52 +245,77 @@ fn reducer_body(
                 finished = decode_tiles(&payload)?;
             }
         }
-        publish_done(ctx, cfg, &finished)?;
     }
     let restored = finished.len();
-    let expected = (my_targets - restored) * nt; // one partial per k
-                                                 // Partials buffered per target, keyed by k: summing in ascending-k
-                                                 // order makes the result independent of arrival order, so a
-                                                 // restarted run reproduces the uninterrupted one bit for bit.
+    // Partials buffered per target, keyed by k: summing in ascending-k
+    // order makes the result independent of arrival order, so a
+    // restarted run reproduces the uninterrupted one bit for bit.
+    // Duplicate (i,j,k) partials resent by a restarted worker overwrite
+    // their bit-identical originals, so the loop runs on target
+    // completion rather than a fixed dequeue count.
     let mut pending: std::collections::HashMap<(usize, usize), BTreeMap<usize, Tensor>> =
         std::collections::HashMap::new();
     let tr = tfhpc_obs::trace::global();
-    for _ in 0..expected {
+    while finished.len() < my_targets {
         let _s = tr.span("matmul.accumulate");
         let tuple = queue.dequeue()?;
         let key = tuple[0].as_i64()?.to_vec();
+        if key[0] < 0 {
+            // Resume probe from worker key[1]: reply with the targets
+            // finished so far.
+            reply_done(ctx, key[1] as usize, &finished)?;
+            continue;
+        }
         let (i, j, k) = (key[0] as usize, key[1] as usize, key[2] as usize);
         let part = tuple[1].clone();
         // NumPy-style accumulation on the reducer's host: dequeue,
         // deserialize and add, at Python rates rather than memcpy rates.
         let bytes = part.byte_size() as f64;
-        let slot = pending.entry((i, j)).or_default();
-        slot.insert(k, part);
-        if slot.len() == nt {
-            let parts = pending.remove(&(i, j)).expect("just inserted");
-            let mut sum: Option<Tensor> = None;
-            for (_, p) in parts {
-                sum = Some(match sum {
-                    Some(cur) => tfhpc_tensor::ops::add(&cur, &p)?,
-                    None => p,
-                });
-            }
-            finished.insert((i, j), sum.expect("nt > 0"));
-            if let (Some(ckpt), Some(every)) = (&ckpt, ckpt_every) {
-                let done = finished.len() - restored;
-                if done.is_multiple_of(every) {
-                    let ordinal = (done / every) as u64;
-                    ckpt.save(
-                        ctx,
-                        ordinal,
-                        finished.len() as u64,
-                        &encode_tiles(&finished)?,
-                    )?;
+        // Not the entry API: the completion arm below reborrows
+        // `finished` (len + checkpoint encode) while the guard's
+        // entry would still be held.
+        #[allow(clippy::map_entry)]
+        if !finished.contains_key(&(i, j)) {
+            let slot = pending.entry((i, j)).or_default();
+            slot.insert(k, part);
+            if slot.len() == nt {
+                let parts = pending.remove(&(i, j)).expect("just inserted");
+                let mut sum: Option<Tensor> = None;
+                for (_, p) in parts {
+                    sum = Some(match sum {
+                        Some(cur) => tfhpc_tensor::ops::add(&cur, &p)?,
+                        None => p,
+                    });
+                }
+                finished.insert((i, j), sum.expect("nt > 0"));
+                if let (Some(ckpt), Some(every)) = (&ckpt, ckpt_every) {
+                    let done = finished.len() - restored;
+                    if done.is_multiple_of(every) {
+                        let ordinal = (done / every) as u64;
+                        ckpt.save(
+                            ctx,
+                            ordinal,
+                            finished.len() as u64,
+                            &encode_tiles(&finished)?,
+                        )?;
+                    }
                 }
             }
         }
         if let Some(me) = tfhpc_sim::des::current() {
             me.advance(bytes / (REDUCER_ACCUM_GBS * 1e9));
+        }
+    }
+    // Every owned target is complete: close the queue so late duplicate
+    // partials bounce (`QueueClosed`, dropped by the push kernel) and a
+    // worker probing after this point learns "everything here is done"
+    // from the same error — then answer any probe that was already
+    // buffered before the close, or its sender waits forever.
+    queue.close();
+    while let Ok(Some(tuple)) = queue.try_dequeue() {
+        let key = tuple[0].as_i64()?.to_vec();
+        if key[0] < 0 {
+            reply_done(ctx, key[1] as usize, &finished)?;
         }
     }
     // Store the finished output tiles (Lustre writes).
@@ -315,16 +337,40 @@ fn worker_body(
 ) -> CoreResult<()> {
     let nt = cfg.nt();
     let w = ctx.index();
-    // Under supervision, wait for every reducer's done-set before
-    // producing anything, and skip products whose target tile already
-    // survived in a checkpoint.
+    // Under supervision, probe every reducer for its finished-target
+    // set before producing anything, and skip products whose target
+    // tile already survived (in a checkpoint after a gang restart, or
+    // live on a surviving reducer after a partial one). A closed `acc`
+    // queue means that reducer already completed everything it owns.
     let mut skip: HashSet<(usize, usize)> = HashSet::new();
     if supervised {
         let resume = ctx
             .server
             .resources
             .create_queue("resume", cfg.reducers.max(1));
-        for _ in 0..cfg.reducers {
+        let probe = Tensor::from_i64([2], vec![-1, w as i64])?;
+        let mut awaiting = 0usize;
+        for r in 0..cfg.reducers {
+            match ctx.server.remote_enqueue(
+                &TaskKey::new("reducer", r),
+                "acc",
+                vec![probe.clone()],
+                None,
+            ) {
+                Ok(()) => awaiting += 1,
+                Err(CoreError::QueueClosed(_)) => {
+                    for i in 0..nt {
+                        for j in 0..nt {
+                            if (i * nt + j) % cfg.reducers == r {
+                                skip.insert((i, j));
+                            }
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        for _ in 0..awaiting {
             let tuple = resume.dequeue()?;
             let list = tuple[0].as_i64()?.to_vec();
             let n_done = list[0] as usize;
@@ -709,6 +755,66 @@ mod tests {
         let (_, stats, store) = run_matmul_supervised(&p, &cfg, 2, &faults).unwrap();
         assert!(stats.restarts >= 1, "restarts {}", stats.restarts);
         assert!(stats.corruption_detected > 0, "{stats:?}");
+        let nt = cfg.nt();
+        for i in 0..nt {
+            for j in 0..nt {
+                let got = store.get(&c_key(i, j)).unwrap();
+                let want = clean_store.get(&c_key(i, j)).unwrap();
+                assert_eq!(
+                    TensorProto(got).to_bytes().unwrap(),
+                    TensorProto(want).to_bytes().unwrap(),
+                    "recovered C[{i},{j}] differs from fault-free run"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_restart_spares_reducers_and_reproduces_tiles() {
+        use tfhpc_sim::fault::FaultPlan;
+        let p = platform::tegner_k80();
+        let cfg = sim_cfg(16384, 4096, 2); // nt=4, 64 products, 2 reducers
+        let (clean_report, _, clean_store) =
+            run_matmul_supervised(&p, &cfg, 2, &crate::FaultSetup::default()).unwrap();
+
+        // Tegner K80 packs 2 tasks per node: both reducers on node 0,
+        // both workers on node 1. Crash the worker node mid-run with
+        // partial restart enabled — only the two workers restart (onto
+        // the spare nodes); the reducers keep their live accumulation
+        // state and incarnation, and hand the rejoining workers their
+        // finished-target sets through the resume handshake.
+        let t = clean_report.elapsed_s;
+        let plan = FaultPlan::new().crash(1, t * 0.5);
+        let faults = crate::FaultSetup::new(plan, 2).with_partial_restart(["worker"], 2);
+        let (_, stats, store) = run_matmul_supervised(&p, &cfg, 2, &faults).unwrap();
+        assert!(stats.restarts >= 1, "{stats:?}");
+        assert_eq!(
+            stats.attempts.get("/job:reducer/task:0"),
+            Some(&0),
+            "{stats:?}"
+        );
+        assert_eq!(
+            stats.attempts.get("/job:reducer/task:1"),
+            Some(&0),
+            "{stats:?}"
+        );
+        assert_eq!(
+            stats.attempts.get("/job:worker/task:0"),
+            Some(&1),
+            "{stats:?}"
+        );
+        assert_eq!(
+            stats.attempts.get("/job:worker/task:1"),
+            Some(&1),
+            "{stats:?}"
+        );
+        // Both workers came back on spare nodes (2 and 3), off node 1.
+        assert_eq!(stats.replacements.len(), 2, "{stats:?}");
+        for (task, old, new) in &stats.replacements {
+            assert!(task.starts_with("/job:worker/"), "{stats:?}");
+            assert_eq!(*old, 1);
+            assert!(*new >= 2, "{stats:?}");
+        }
         let nt = cfg.nt();
         for i in 0..nt {
             for j in 0..nt {

@@ -205,11 +205,29 @@ pub fn run_stream_supervised(
         let ckpt = Checkpointer::new(Arc::clone(&store), 0, CKPT_KEEP);
         let mut start_iter = 0usize;
         if ctx.attempt() > 0 {
-            if let Some((it, payload)) = ckpt.latest_valid(&ctx) {
-                let acc = TensorProto::decode(&payload).map_err(CoreError::from)?.0;
-                ctx.server
-                    .remote_assign(&ps, "stream_acc", &acc, gpu, gpu)?;
-                start_iter = it as usize;
+            match ckpt.latest_valid(&ctx) {
+                Some((it, payload)) => {
+                    // Overwrite (not add): after a *partial* restart the
+                    // surviving ps still holds sums past the checkpoint.
+                    let acc = TensorProto::decode(&payload).map_err(CoreError::from)?.0;
+                    ctx.server
+                        .remote_assign(&ps, "stream_acc", &acc, gpu, gpu)?;
+                    start_iter = it as usize;
+                }
+                None => {
+                    // No checkpoint survived. A gang restart rebuilt the
+                    // ps at its initial value, but a partial restart left
+                    // the accumulator polluted with the crashed attempt's
+                    // additions — reset it before replaying from zero or
+                    // the replay double-counts.
+                    let init = if cfg2.simulated {
+                        Tensor::synthetic(DType::F64, [n], 0xACC)
+                    } else {
+                        Tensor::zeros(DType::F64, [n])
+                    };
+                    ctx.server
+                        .remote_assign(&ps, "stream_acc", &init, gpu, gpu)?;
+                }
             }
         }
         let vector = if cfg2.simulated {
@@ -437,6 +455,47 @@ mod tests {
             TensorProto(clean_acc).to_bytes().unwrap(),
             "recovered accumulator differs from fault-free run"
         );
+    }
+
+    #[test]
+    fn partial_restart_recovers_worker_without_restarting_ps() {
+        use tfhpc_sim::fault::FaultPlan;
+        let p = platform::tegner_k420();
+        let cfg = StreamConfig {
+            size_bytes: 1 << 16,
+            invocations: 12,
+            on_gpu: true,
+            protocol: Protocol::Rdma,
+            simulated: true,
+        };
+        let (clean_report, _, clean_acc) =
+            run_stream_supervised(&p, &cfg, 3, &crate::FaultSetup::default()).unwrap();
+        let clean_bytes = TensorProto(clean_acc).to_bytes().unwrap();
+
+        // Crash the worker node (node 1) twice: once late (a checkpoint
+        // exists — the worker resumes from it) and once early (none
+        // does — the worker must reset the surviving ps accumulator
+        // before replaying from zero). Either way only the worker task
+        // restarts; the ps keeps its original incarnation throughout.
+        let t = clean_report.elapsed_s;
+        for crash_frac in [0.6, 0.05] {
+            let plan = FaultPlan::new().crash(1, t * crash_frac);
+            let faults = crate::FaultSetup::new(plan, 1).with_partial_restart(["worker"], 1);
+            let (_, stats, acc) = run_stream_supervised(&p, &cfg, 3, &faults).unwrap();
+            assert_eq!(stats.restarts, 1, "{stats:?}");
+            assert_eq!(stats.attempts.get("/job:ps/task:0"), Some(&0), "{stats:?}");
+            assert_eq!(stats.attempts.get("/job:worker/task:0"), Some(&1));
+            // The replacement worker came up on the spare node (2).
+            assert_eq!(
+                stats.replacements,
+                vec![("/job:worker/task:0".into(), 1, 2)]
+            );
+            assert_eq!(
+                TensorProto(acc).to_bytes().unwrap(),
+                clean_bytes,
+                "crash at {crash_frac}: accumulator differs from fault-free run"
+            );
+        }
     }
 
     #[test]

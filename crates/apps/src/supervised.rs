@@ -24,10 +24,10 @@
 //! exactly the state a real failure would, and both are repaired by
 //! the validation-plus-fallback read path.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use tfhpc_core::{CoreError, Result as CoreResult, TileStore};
-use tfhpc_dist::{Launched, TaskCtx};
+use tfhpc_dist::{Launched, Liveness, TaskCtx};
 use tfhpc_proto::{frame, Decoder, Encoder};
 use tfhpc_tensor::Tensor;
 
@@ -180,10 +180,10 @@ pub fn common_resume(
     common.and_then(|c| c.into_iter().next_back())
 }
 
-/// Integrity-plane observations of a supervised run.
-#[derive(Debug, Clone, Copy, Default)]
+/// Integrity- and liveness-plane observations of a supervised run.
+#[derive(Debug, Clone, Default)]
 pub struct SupervisedStats {
-    /// Gang restarts the supervisor performed.
+    /// Restarts (gang + partial) the supervisor performed.
     pub restarts: usize,
     /// Frame corruptions detected by the final generation's servers.
     /// (Gang restarts bring up fresh servers, so counts from earlier
@@ -191,6 +191,21 @@ pub struct SupervisedStats {
     pub corruption_detected: u64,
     /// Retransmissions requested by the final generation's servers.
     pub retransmits: u64,
+    /// Highest body attempt recorded per task. Partial restarts bump
+    /// only the failed task's counter, so healthy tasks stay at 0 —
+    /// the assertion hook for "no collateral restarts".
+    pub attempts: HashMap<String, u64>,
+    /// Partial-restart node replacements: (task, old node, spare node).
+    pub replacements: Vec<(String, usize, usize)>,
+    /// Liveness verdicts, when heartbeats were enabled: (task, detected
+    /// at seconds, heartbeat silence at the verdict).
+    pub deaths: Vec<(String, f64, f64)>,
+    /// Restart revivals, when heartbeats were enabled: (task, revived
+    /// at seconds). Only `Membership::restarted` bumps a member's
+    /// incarnation, so an `Alive` event carrying a higher incarnation
+    /// than any earlier event for the key is exactly one restart —
+    /// whether it arrived via gang restart or spare-node replacement.
+    pub recoveries: Vec<(String, f64)>,
 }
 
 /// Collect [`SupervisedStats`] from a finished launch.
@@ -203,6 +218,29 @@ pub fn stats_of(launched: &Launched) -> SupervisedStats {
         if let Ok(server) = launched.cluster.server(&task.key) {
             stats.corruption_detected += server.resources.corruption_detected_total();
             stats.retransmits += server.resources.retransmits_total();
+        }
+    }
+    for exit in &launched.task_exits {
+        let a = stats.attempts.entry(exit.key.to_string()).or_insert(0);
+        *a = (*a).max(exit.attempt);
+    }
+    stats.replacements = launched
+        .replacements
+        .iter()
+        .map(|(key, old, new)| (key.to_string(), *old, *new))
+        .collect();
+    if let Some(membership) = &launched.membership {
+        let mut incarnations: HashMap<String, u64> = HashMap::new();
+        for ev in membership.events() {
+            let key = ev.key.to_string();
+            if ev.to == Liveness::Dead {
+                stats.deaths.push((key.clone(), ev.at_s, ev.silent_for_s));
+            }
+            let seen = incarnations.entry(key.clone()).or_insert(0);
+            if ev.to == Liveness::Alive && ev.incarnation > *seen {
+                stats.recoveries.push((key, ev.at_s));
+            }
+            *seen = (*seen).max(ev.incarnation);
         }
     }
     stats

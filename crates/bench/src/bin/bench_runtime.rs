@@ -383,6 +383,103 @@ fn measure_integrity(n: usize, unroll: usize, workers: usize, steps: usize) -> M
     )
 }
 
+/// One liveness-plane recovery drill: a small simulated CG run with a
+/// single injected fault under heartbeat detection. All numbers are
+/// *virtual* seconds from the DES clock, so they are bit-reproducible
+/// across hosts — the `--check` gates on them are exact, not
+/// noise-tolerant.
+struct RecoveryResult {
+    fault: &'static str,
+    fault_s: f64,
+    detected_s: f64,
+    detection_latency_s: f64,
+    recovered_s: f64,
+    mttr_s: f64,
+    restarts: usize,
+    residual_bit_exact: bool,
+}
+
+/// Detection latency and MTTR for the three failure modes the
+/// supervisor handles: a crash (error-driven, synchronous report), a
+/// hang (silence-driven, deadline detector) and a straggler (stretched
+/// heartbeats overshoot the death timeout, so the detector ejects the
+/// slow task exactly like a hang). Each run must still reproduce the
+/// fault-free CG residual bit for bit.
+fn measure_recovery() -> (f64, f64, Vec<RecoveryResult>) {
+    use tfhpc_apps::{
+        run_cg_supervised_with_stats, run_cg_with_store, CgConfig, CgReduction, FaultSetup,
+    };
+    use tfhpc_sim::fault::FaultPlan;
+    use tfhpc_sim::net::Protocol;
+    use tfhpc_sim::platform;
+
+    let cfg = CgConfig {
+        n: 1024,
+        workers: 2,
+        iterations: 16,
+        protocol: Protocol::Rdma,
+        simulated: true,
+        checkpoint_every: Some(4),
+        resume: false,
+        reduction: CgReduction::QueuePair,
+    };
+    let p = platform::tegner_k420();
+    let (clean, _) = run_cg_with_store(&p, &cfg, None).unwrap();
+    let t = clean.elapsed_s;
+    let (period, timeout) = (t * 0.05, t * 0.2);
+    let fault_s = t * 0.5;
+
+    // Worker 1 lives on node 2 (tegner_k420 places one task per node:
+    // reducer on 0, workers on 1 and 2). The straggler window closes
+    // at detection time, so the restarted incarnation runs at full
+    // speed.
+    let plans: [(&'static str, FaultPlan); 3] = [
+        ("crash", FaultPlan::new().crash(2, fault_s)),
+        ("hang", FaultPlan::new().hang(2, fault_s)),
+        (
+            "straggler",
+            FaultPlan::new().straggler(2, fault_s, fault_s + timeout, 8.0),
+        ),
+    ];
+    let mut out = Vec::new();
+    for (name, plan) in plans {
+        // One period of restart backoff: without it a crash recovers at
+        // the same virtual instant it was reported (the DES restart is
+        // free), which would make MTTR degenerate.
+        let faults = FaultSetup::new(plan, 2)
+            .with_heartbeats(period, timeout)
+            .with_backoff(period);
+        let (report, _, stats) = run_cg_supervised_with_stats(&p, &cfg, &faults)
+            .unwrap_or_else(|e| panic!("recovery drill {name} failed: {e}"));
+        // A crash aborts the task's server at the fault instant and the
+        // error report reaches the supervisor synchronously — there is
+        // no Dead verdict and detection latency is zero in virtual
+        // time. Hangs and stragglers are only visible as silence, so
+        // detection is the membership table's Dead event.
+        let detected_s = stats
+            .deaths
+            .first()
+            .map(|&(_, at, _)| at)
+            .unwrap_or(fault_s);
+        let recovered_s = stats
+            .recoveries
+            .first()
+            .map(|&(_, at)| at)
+            .unwrap_or(f64::NAN);
+        out.push(RecoveryResult {
+            fault: name,
+            fault_s,
+            detected_s,
+            detection_latency_s: detected_s - fault_s,
+            recovered_s,
+            mttr_s: recovered_s - fault_s,
+            restarts: report.restarts,
+            residual_bit_exact: report.rs_final.to_bits() == clean.rs_final.to_bits(),
+        });
+    }
+    (period, timeout, out)
+}
+
 /// One compute micro-kernel measured on both dispatch paths (forced
 /// scalar, then forced SIMD) in the same process via
 /// `simd::set_forced`. `rate` columns are G-units per second (GB/s for
@@ -488,6 +585,20 @@ fn kernel_json(k: &KernelResult) -> String {
     format!(
         "    {{\"name\": \"{}\", \"unit\": \"{}\", \"scalar_rate\": {:.3}, \"simd_rate\": {:.3}, \"ratio\": {:.3}}}",
         k.name, k.unit, k.scalar_rate, k.simd_rate, k.ratio
+    )
+}
+
+fn recovery_json(r: &RecoveryResult) -> String {
+    format!(
+        "    {{\"fault\": \"{}\", \"fault_s\": {:.6}, \"detected_s\": {:.6}, \"detection_latency_s\": {:.6}, \"recovered_s\": {:.6}, \"mttr_s\": {:.6}, \"restarts\": {}, \"residual_bit_exact\": {}}}",
+        r.fault,
+        r.fault_s,
+        r.detected_s,
+        r.detection_latency_s,
+        r.recovered_s,
+        r.mttr_s,
+        r.restarts,
+        r.residual_bit_exact
     )
 }
 
@@ -619,12 +730,36 @@ fn main() {
         );
     }
 
+    // Liveness plane: detection latency + MTTR for crash / hang /
+    // straggler, in deterministic virtual time.
+    let (hb_period, hb_timeout, recovery) = measure_recovery();
+    println!(
+        "recovery (virtual time; heartbeat period {hb_period:.4}s, death timeout {hb_timeout:.4}s):"
+    );
+    println!(
+        "{:<10} {:>10} {:>12} {:>10} {:>9} {:>10}",
+        "fault", "fault_s", "detect_lat_s", "mttr_s", "restarts", "bit_exact"
+    );
+    for r in &recovery {
+        println!(
+            "{:<10} {:>10.4} {:>12.4} {:>10.4} {:>9} {:>10}",
+            r.fault, r.fault_s, r.detection_latency_s, r.mttr_s, r.restarts, r.residual_bit_exact
+        );
+    }
+
     let body = format!(
-        "{{\n  \"schema\": \"tfhpc-bench-runtime-v2\",\n  \"smoke\": {},\n  \"simd\": \"{}\",\n  \"integrity\": {{\"wire_ns_per_step\": {:.1}, \"pct_of_fast_cg_step\": {:.2}}},\n  \"kernels\": [\n{}\n  ],\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"tfhpc-bench-runtime-v3\",\n  \"smoke\": {},\n  \"simd\": \"{}\",\n  \"integrity\": {{\"wire_ns_per_step\": {:.1}, \"pct_of_fast_cg_step\": {:.2}}},\n  \"recovery\": {{\n    \"heartbeat_period_s\": {:.6},\n    \"heartbeat_timeout_s\": {:.6},\n    \"scenarios\": [\n{}\n    ]\n  }},\n  \"kernels\": [\n{}\n  ],\n  \"workloads\": [\n{}\n  ]\n}}\n",
         smoke,
         if simd_avail { "avx2" } else { "none" },
         integrity.step_ns,
         integrity_pct,
+        hb_period,
+        hb_timeout,
+        recovery
+            .iter()
+            .map(|r| format!("    {}", recovery_json(r)))
+            .collect::<Vec<_>>()
+            .join(",\n"),
         kernels
             .iter()
             .map(kernel_json)
@@ -698,5 +833,44 @@ fn main() {
         } else {
             println!("kernel floors skipped: no AVX2+FMA on this host");
         }
+
+        // Liveness-plane gates. These run on the DES virtual clock, so
+        // they are exact on every host: silence-driven faults must be
+        // detected within the death timeout plus two sweep periods of
+        // quantization, every drill must restart and recover, and the
+        // recovered run must reproduce the fault-free residual bit for
+        // bit.
+        let mut failed = false;
+        for r in &recovery {
+            let silence_driven = r.fault != "crash";
+            if silence_driven && r.detection_latency_s > hb_timeout + 2.0 * hb_period + 1e-9 {
+                eprintln!(
+                    "FAIL: {} detected {:.4}s after the fault (gate: timeout {:.4}s + 2 sweeps)",
+                    r.fault, r.detection_latency_s, hb_timeout
+                );
+                failed = true;
+            }
+            if r.restarts == 0 || !r.mttr_s.is_finite() || r.mttr_s <= 0.0 {
+                eprintln!(
+                    "FAIL: {} never recovered (restarts {}, mttr {:.4}s)",
+                    r.fault, r.restarts, r.mttr_s
+                );
+                failed = true;
+            }
+            if !r.residual_bit_exact {
+                eprintln!(
+                    "FAIL: {} recovery did not reproduce the fault-free residual",
+                    r.fault
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "OK: recovery drills detected within {:.4}s and reproduced the residual bit-exactly",
+            hb_timeout + 2.0 * hb_period
+        );
     }
 }

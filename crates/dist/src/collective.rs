@@ -13,6 +13,7 @@
 //! asymmetry on the simulated clusters.
 
 use crate::cluster_spec::TaskKey;
+use crate::membership::Membership;
 use crate::server::Server;
 use std::sync::Arc;
 use tfhpc_core::{CoreError, Result};
@@ -122,6 +123,212 @@ pub fn ring_all_reduce(
     Tensor::concat_vecs(&chunks).map_err(CoreError::from)
 }
 
+/// Tuning for [`ring_all_reduce_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilientRingOptions {
+    /// Total seconds a member waits on one ring receive before
+    /// declaring the round stalled and sweeping the membership table.
+    pub recv_timeout_s: f64,
+    /// How many times the ring may re-form over survivors before the
+    /// reduction gives up with `DeadlineExceeded`.
+    pub max_reforms: usize,
+}
+
+impl Default for ResilientRingOptions {
+    fn default() -> Self {
+        ResilientRingOptions {
+            recv_timeout_s: 1.0,
+            max_reforms: 2,
+        }
+    }
+}
+
+fn resilient_queue(round: usize, step_kind: &str, to: usize) -> String {
+    format!("ring.r{round}.{step_kind}.{to}")
+}
+
+/// One attempt at a full ring round over `members` (round-scoped
+/// queues). While parked on a receive, the member keeps heartbeating
+/// `membership` in short ticks so a stalled ring never makes *healthy*
+/// members look silent — only the actual straggler misses deadlines.
+#[allow(clippy::too_many_arguments)]
+fn resilient_round(
+    worker: &Arc<Server>,
+    members: &[TaskKey],
+    my: usize,
+    my_key: &TaskKey,
+    round: usize,
+    value: &Tensor,
+    gpu: Option<usize>,
+    membership: &Membership,
+    opts: &ResilientRingOptions,
+) -> Result<Tensor> {
+    let p = members.len();
+    if p == 1 {
+        return Ok(value.clone());
+    }
+    let n = value.num_elements();
+    let bounds = chunk_bounds(n, p);
+    let right = (my + 1) % p;
+    let cluster = worker.try_cluster()?;
+    let right_server = cluster.server(&members[right])?;
+    // Capacity 2p: a member can run at most a phase ahead of a slow
+    // neighbour, so sends never block (only receives can stall).
+    let cap = 2 * p;
+    worker
+        .resources
+        .get_or_create_queue(&resilient_queue(round, "rs", my), cap);
+    worker
+        .resources
+        .get_or_create_queue(&resilient_queue(round, "ag", my), cap);
+
+    let mut chunks: Vec<Tensor> = bounds
+        .iter()
+        .map(|(s, e)| value.slice_range(*s, *e))
+        .collect::<std::result::Result<_, _>>()?;
+
+    let tick = membership.period_s().max(1e-4);
+    let send = |kind: &str, chunk: Tensor| -> Result<()> {
+        membership.beat(my_key, tfhpc_obs::now_seconds());
+        let q = right_server
+            .resources
+            .get_or_create_queue(&resilient_queue(round, kind, right), cap);
+        worker.charge_transfer_to(&right_server, gpu, None, chunk.byte_size() as u64);
+        q.enqueue(vec![chunk])
+    };
+    let recv = |kind: &str| -> Result<Tensor> {
+        let q = worker
+            .resources
+            .get_or_create_queue(&resilient_queue(round, kind, my), cap);
+        let mut waited = 0.0;
+        let tuple = loop {
+            membership.beat(my_key, tfhpc_obs::now_seconds());
+            match q.dequeue_timeout(tick) {
+                Ok(tuple) => break tuple,
+                Err(CoreError::DeadlineExceeded(_)) => {
+                    waited += tick;
+                    if waited + 1e-12 >= opts.recv_timeout_s {
+                        return Err(CoreError::DeadlineExceeded(format!(
+                            "ring round {round}: no chunk after {waited:.6}s"
+                        )));
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        tuple
+            .into_iter()
+            .next()
+            .ok_or_else(|| CoreError::Invalid("empty ring message".into()))
+    };
+
+    for step in 0..p - 1 {
+        let send_idx = (my + p - step) % p;
+        let recv_idx = (my + p - step - 1) % p;
+        send("rs", chunks[send_idx].clone())?;
+        let incoming = recv("rs")?;
+        chunks[recv_idx] = ops::add(&chunks[recv_idx], &incoming)?;
+    }
+    for step in 0..p - 1 {
+        let send_idx = (my + 1 + p - step) % p;
+        let recv_idx = (my + p - step) % p;
+        send("ag", chunks[send_idx].clone())?;
+        chunks[recv_idx] = recv("ag")?;
+    }
+    Tensor::concat_vecs(&chunks).map_err(CoreError::from)
+}
+
+/// [`ring_all_reduce`] with straggler mitigation through the membership
+/// plane.
+///
+/// Every participant calls this with the same `group` and `membership`.
+/// When a receive stalls past `opts.recv_timeout_s`, the stalled member
+/// sweeps the membership deadlines: members whose heartbeats went
+/// silent are declared `Dead` and ejected, and the ring *re-forms over
+/// the survivors* on round-scoped queues. An ejected member observes
+/// its own verdict and returns `Aborted` — its contribution is dropped
+/// from the reduction, which is the degradation (not correctness-
+/// preserving averaging) mode of Horovod-style elastic collectives.
+///
+/// Returns the reduced tensor together with the member set it was
+/// reduced over.
+pub fn ring_all_reduce_resilient(
+    worker: &Arc<Server>,
+    group: &[TaskKey],
+    my_key: &TaskKey,
+    value: Tensor,
+    gpu: Option<usize>,
+    membership: &Membership,
+    opts: &ResilientRingOptions,
+) -> Result<(Tensor, Vec<TaskKey>)> {
+    if value.shape().rank() != 1 {
+        return Err(CoreError::Invalid(
+            "ring_all_reduce expects rank-1 tensors".into(),
+        ));
+    }
+    let now = tfhpc_obs::now_seconds();
+    for k in group {
+        membership.join(k, now);
+    }
+    let mut survivors: Vec<TaskKey> = group
+        .iter()
+        .filter(|k| !membership.is_dead(k))
+        .cloned()
+        .collect();
+    let mut round = 0;
+    let mut reforms = 0;
+    loop {
+        if membership.is_dead(my_key) {
+            return Err(CoreError::Aborted(format!(
+                "{my_key} ejected from ring by the failure detector"
+            )));
+        }
+        let my = survivors
+            .iter()
+            .position(|k| k == my_key)
+            .ok_or_else(|| CoreError::Invalid(format!("{my_key} is not a ring member")))?;
+        match resilient_round(
+            worker, &survivors, my, my_key, round, &value, gpu, membership, opts,
+        ) {
+            Ok(t) => return Ok((t, survivors)),
+            Err(CoreError::DeadlineExceeded(what)) => {
+                // Deadline-sweep the detector, then drop every member
+                // it has declared dead. State (not edge) based, so all
+                // stalled survivors converge on the same next ring.
+                membership.sweep(tfhpc_obs::now_seconds());
+                if membership.is_dead(my_key) {
+                    return Err(CoreError::Aborted(format!(
+                        "{my_key} ejected from ring by the failure detector"
+                    )));
+                }
+                let next: Vec<TaskKey> = survivors
+                    .iter()
+                    .filter(|k| !membership.is_dead(k))
+                    .cloned()
+                    .collect();
+                if next.len() == survivors.len() {
+                    return Err(CoreError::DeadlineExceeded(format!(
+                        "ring stalled with no detectable failure: {what}"
+                    )));
+                }
+                reforms += 1;
+                if reforms > opts.max_reforms {
+                    return Err(CoreError::DeadlineExceeded(format!(
+                        "ring re-formed {} times without completing",
+                        reforms - 1
+                    )));
+                }
+                tfhpc_obs::global()
+                    .counter("tfhpc_ring_reforms_total")
+                    .inc();
+                survivors = next;
+                round += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +413,115 @@ mod tests {
         assert!(ring_all_reduce(&servers[0], &group(2), 5, t.clone(), None).is_err());
         let m = Tensor::zeros(tfhpc_tensor::DType::F64, [2, 2]);
         assert!(ring_all_reduce(&servers[0], &group(2), 0, m, None).is_err());
+    }
+
+    type RingResult = Result<(Tensor, Vec<TaskKey>)>;
+
+    #[test]
+    fn straggler_is_ejected_and_ring_reforms_in_sim() {
+        let sim = tfhpc_sim::des::Sim::new();
+        let (_c, servers) = workers(3);
+        let g = group(3);
+        let m = Arc::new(Membership::new(0.01, 0.05));
+        let opts = ResilientRingOptions {
+            recv_timeout_s: 0.1,
+            max_reforms: 2,
+        };
+        let results: Arc<parking_lot::Mutex<Vec<Option<RingResult>>>> =
+            Arc::new(parking_lot::Mutex::new(vec![None, None, None]));
+        for (i, s) in servers.iter().enumerate() {
+            let s = Arc::clone(s);
+            let g2 = g.clone();
+            let m2 = Arc::clone(&m);
+            let opts2 = opts.clone();
+            let results2 = Arc::clone(&results);
+            sim.spawn(&format!("w{i}"), move || {
+                let me = tfhpc_sim::des::current().unwrap();
+                if i == 2 {
+                    // The straggler: frozen for a full virtual second
+                    // before it even reaches the collective.
+                    me.advance(1.0);
+                }
+                let v: Vec<f64> = (0..6).map(|k| (i * 10 + k) as f64).collect();
+                let t = Tensor::from_f64([6], v).unwrap();
+                let r = ring_all_reduce_resilient(&s, &g2, &g2[i], t, None, &m2, &opts2);
+                results2.lock()[i] = Some(r);
+            });
+        }
+        sim.run();
+        let results = results.lock();
+        // Workers 0 and 1 eject the straggler and reduce over the
+        // survivor pair, bit-exactly.
+        let expected: Vec<f64> = (0..6).map(|k| (k + (10 + k)) as f64).collect();
+        for r in results.iter().take(2) {
+            let (t, survivors) = r.as_ref().unwrap().as_ref().unwrap();
+            assert_eq!(t.as_f64().unwrap(), &expected[..]);
+            assert_eq!(survivors, &g[..2]);
+        }
+        // The straggler observes its own verdict.
+        let err = results[2].as_ref().unwrap().as_ref().unwrap_err();
+        assert!(matches!(err, CoreError::Aborted(_)), "{err}");
+        assert!(m.is_dead(&g[2]));
+    }
+
+    #[test]
+    fn straggler_is_ejected_in_real_threads() {
+        let (_c, servers) = workers(3);
+        let g = group(3);
+        // Generous wall-clock margins so a descheduled CI thread is
+        // not mistaken for the straggler.
+        let m = Arc::new(Membership::new(0.02, 0.6));
+        let opts = ResilientRingOptions {
+            recv_timeout_s: 0.8,
+            max_reforms: 2,
+        };
+        let mut handles = Vec::new();
+        for (i, s) in servers.into_iter().enumerate() {
+            let g2 = g.clone();
+            let m2 = Arc::clone(&m);
+            let opts2 = opts.clone();
+            handles.push(std::thread::spawn(move || {
+                if i == 2 {
+                    std::thread::sleep(std::time::Duration::from_millis(3000));
+                }
+                let t = Tensor::from_f64([4], vec![i as f64; 4]).unwrap();
+                ring_all_reduce_resilient(&s, &g2, &g2[i], t, None, &m2, &opts2)
+            }));
+        }
+        let results: Vec<RingResult> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in results.iter().take(2) {
+            let (t, survivors) = r.as_ref().unwrap();
+            assert_eq!(t.as_f64().unwrap(), &[1.0; 4]);
+            assert_eq!(survivors.len(), 2);
+        }
+        let err = results[2].as_ref().unwrap_err();
+        assert!(matches!(err, CoreError::Aborted(_)), "{err}");
+    }
+
+    #[test]
+    fn resilient_ring_matches_plain_ring_when_healthy() {
+        let (_c, servers) = workers(4);
+        let g = group(4);
+        let m = Arc::new(Membership::new(0.05, 5.0));
+        let opts = ResilientRingOptions::default();
+        let mut handles = Vec::new();
+        for (i, s) in servers.into_iter().enumerate() {
+            let g2 = g.clone();
+            let m2 = Arc::clone(&m);
+            let opts2 = opts.clone();
+            handles.push(std::thread::spawn(move || {
+                let v: Vec<f64> = (0..10).map(|k| (i * 10 + k) as f64).collect();
+                let t = Tensor::from_f64([10], v).unwrap();
+                ring_all_reduce_resilient(&s, &g2, &g2[i], t, None, &m2, &opts2)
+            }));
+        }
+        let expected: Vec<f64> = (0..10)
+            .map(|k| (0..4).map(|i| (i * 10 + k) as f64).sum())
+            .collect();
+        for h in handles {
+            let (t, survivors) = h.join().unwrap().unwrap();
+            assert_eq!(t.as_f64().unwrap(), &expected[..]);
+            assert_eq!(survivors.len(), 4);
+        }
     }
 }

@@ -13,20 +13,45 @@
 //! Task bodies return `Result`; a failure never panics the launch.
 //! In simulated mode a supervisor records every task exit and, when a
 //! restart budget is configured ([`SupervisorConfig::max_restarts`]),
-//! reacts to a failure with a *gang restart*: the cluster generation
-//! is bumped (fencing stale processes with `Aborted`), every queue is
-//! aborted to unblock parked peers, fresh servers come up at the
-//! current virtual time and all task bodies re-run — resuming from
-//! their latest checkpoint if they saved one. With the budget
-//! exhausted the failed task is marked dead (peers observe
-//! `Unavailable`), the gang is drained and [`launch`] returns the
-//! error. Injected node crashes from a [`FaultPlan`] are driven by a
-//! fault-daemon process firing at the exact scheduled virtual time.
+//! reacts to a failure with a restart:
+//!
+//! - **Gang restart** (the default): the cluster generation is bumped
+//!   (fencing stale processes with `Aborted`), every queue is aborted
+//!   to unblock parked peers, fresh servers come up at the current
+//!   virtual time and all task bodies re-run — resuming from their
+//!   latest checkpoint if they saved one.
+//! - **Partial restart**: when every failed task belongs to a job
+//!   listed in [`SupervisorConfig::partial_restart_jobs`], only the
+//!   failed task(s) restart — healthy tasks keep running, the epoch is
+//!   *not* bumped, and a spare node (if budgeted via
+//!   [`SupervisorConfig::spare_nodes`]) replaces the failed one.
+//!
+//! With the budget exhausted the failed task is marked dead (peers
+//! observe `Unavailable`), the gang is drained — bounded by
+//! [`SupervisorConfig::drain_timeout_s`] in both modes — and
+//! [`launch`] returns the error.
+//!
+//! ## Liveness
+//!
+//! Exit-code supervision alone cannot see a *hung* task. When
+//! heartbeats are enabled (a positive
+//! [`SupervisorConfig::heartbeat_timeout_s`], or the
+//! `TFHPC_HEARTBEAT_TIMEOUT` env knob), every task
+//! incarnation gets a heartbeat daemon (a DES process in simulated
+//! mode, a thread in real mode) beating a [`Membership`] table, and a
+//! monitor sweeps deadlines: silence past the timeout is a death
+//! verdict routed into the same supervision paths as an exit failure.
+//! Injected [`FaultPlan`] hangs and stragglers manifest exactly here —
+//! a hung node's daemon stops beating, a straggler's beats stretch.
+//! In real mode detection is report-only: the dead task is marked so
+//! peers unblock, but no restart is attempted.
 
 use crate::cluster_spec::TaskKey;
+use crate::membership::{Liveness, Membership, MembershipEvent};
 use crate::resolver::{resolve_with_policy, JobSpec, Resolved};
 use crate::server::{Server, TfCluster};
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 use tfhpc_core::{CoreError, Result, RetryConfig};
@@ -37,16 +62,41 @@ use tfhpc_sim::platform::Platform;
 use tfhpc_sim::topology::ClusterSim;
 use tfhpc_slurm::{Distribution, JobRequest, SlurmCluster};
 
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(default)
+}
+
 /// Checkpoint-restart supervision policy.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SupervisorConfig {
-    /// Gang restarts allowed before a failure becomes fatal (0 = any
-    /// task failure fails the launch — the seed behavior, minus the
-    /// panic).
+    /// Restarts (gang or partial) allowed before a failure becomes
+    /// fatal (0 = any task failure fails the launch — the seed
+    /// behavior, minus the panic).
     pub max_restarts: usize,
     /// Virtual (sim) / wall (real) seconds the supervisor waits before
-    /// bringing the gang back up.
+    /// bringing tasks back up.
     pub restart_backoff_s: f64,
+    /// Seconds the supervisor waits for surviving tasks to unwind
+    /// after a fatal failure before detaching them (wall seconds in
+    /// real mode, virtual in simulated mode).
+    pub drain_timeout_s: f64,
+    /// Heartbeat period, seconds (`TFHPC_HEARTBEAT_PERIOD`, default
+    /// 0.05). Only meaningful while `heartbeat_timeout_s > 0`.
+    pub heartbeat_period_s: f64,
+    /// Heartbeat silence declared a death, seconds
+    /// (`TFHPC_HEARTBEAT_TIMEOUT`). 0 disables liveness detection —
+    /// the default, so fault-free runs carry no detector processes.
+    pub heartbeat_timeout_s: f64,
+    /// Jobs whose task failures are repaired by restarting *only* the
+    /// failed task (no epoch bump, healthy tasks keep running). Empty
+    /// = every failure is a gang restart.
+    pub partial_restart_jobs: Vec<String>,
+    /// Extra nodes allocated up front; a partial restart moves the
+    /// failed task onto a spare instead of its (possibly bad) node.
+    pub spare_nodes: usize,
 }
 
 impl Default for SupervisorConfig {
@@ -54,17 +104,52 @@ impl Default for SupervisorConfig {
         SupervisorConfig {
             max_restarts: 0,
             restart_backoff_s: 0.0,
+            drain_timeout_s: 5.0,
+            heartbeat_period_s: env_f64("TFHPC_HEARTBEAT_PERIOD", 0.05),
+            heartbeat_timeout_s: env_f64("TFHPC_HEARTBEAT_TIMEOUT", 0.0),
+            partial_restart_jobs: Vec::new(),
+            spare_nodes: 0,
         }
     }
 }
 
 impl SupervisorConfig {
-    /// Allow up to `max_restarts` gang restarts (no backoff).
+    /// Allow up to `max_restarts` restarts (no backoff).
     pub fn restarting(max_restarts: usize) -> SupervisorConfig {
         SupervisorConfig {
             max_restarts,
-            restart_backoff_s: 0.0,
+            ..SupervisorConfig::default()
         }
+    }
+
+    /// Enable liveness detection: beat every `period_s`, declare death
+    /// after `timeout_s` of silence.
+    pub fn with_heartbeats(mut self, period_s: f64, timeout_s: f64) -> SupervisorConfig {
+        self.heartbeat_period_s = period_s;
+        self.heartbeat_timeout_s = timeout_s;
+        self
+    }
+
+    /// Repair failures of these jobs by partial restart.
+    pub fn with_partial_restart<I, S>(mut self, jobs: I) -> SupervisorConfig
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.partial_restart_jobs = jobs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Allocate `n` spare nodes for partial-restart replacement.
+    pub fn with_spares(mut self, n: usize) -> SupervisorConfig {
+        self.spare_nodes = n;
+        self
+    }
+
+    /// Bound the post-failure drain.
+    pub fn with_drain_timeout(mut self, seconds: f64) -> SupervisorConfig {
+        self.drain_timeout_s = seconds;
+        self
     }
 }
 
@@ -79,8 +164,9 @@ pub struct LaunchConfig {
     pub protocol: Protocol,
     /// Run on the simulated cluster (virtual time) or on host threads.
     pub simulated: bool,
-    /// Injected fault schedule (crashes fire only in simulated mode;
-    /// link faults and delay spikes are evaluated lazily by remote ops).
+    /// Injected fault schedule (crashes and hangs fire only in
+    /// simulated mode; link faults and delay spikes are evaluated
+    /// lazily by remote ops).
     pub faults: Option<Arc<FaultPlan>>,
     /// Checkpoint-restart supervision policy.
     pub supervisor: SupervisorConfig,
@@ -157,20 +243,36 @@ impl TaskCtx {
         self.server.cluster().spec.num_tasks(job)
     }
 
-    /// Which gang incarnation this body belongs to: 0 on the first
-    /// start, `n` after the n-th supervisor restart. Bodies use this
-    /// to decide whether to resume from a checkpoint.
+    /// Which incarnation this body is: 0 on the first start, bumped by
+    /// every restart of *this task* (gang restarts bump every task,
+    /// partial restarts only the failed one). Bodies use this to
+    /// decide whether to resume from a checkpoint.
     pub fn attempt(&self) -> u64 {
         self.attempt
     }
 
     /// Poll the failure plane: `Err(Aborted)` when this task's
-    /// incarnation is fenced off (superseded by a gang restart, or its
-    /// node crashed per the injected fault plan). Long compute loops
-    /// call this once per iteration so an injected crash is observed
-    /// even between remote operations.
+    /// incarnation is fenced off (superseded by a gang or partial
+    /// restart, or its node crashed per the injected fault plan), and
+    /// a *hang* parks the caller until a fencing verdict unwinds it.
+    /// Long compute loops call this once per iteration so an injected
+    /// fault is observed even between remote operations.
     pub fn check_faults(&self) -> Result<()> {
         self.server.check_alive()
+    }
+
+    /// Current injected slowdown factor for this task's node (1.0 =
+    /// healthy). Compute loops multiply their virtual work time by
+    /// this so a straggler window stretches compute as well as
+    /// transfers.
+    pub fn straggler_factor(&self) -> f64 {
+        let Ok(cluster) = self.server.try_cluster() else {
+            return 1.0;
+        };
+        let Some(plan) = cluster.faults() else {
+            return 1.0;
+        };
+        plan.straggler_factor(self.server.node, self.now())
     }
 
     /// Seconds since launch: virtual time in simulated mode, wall time
@@ -190,6 +292,8 @@ pub struct TaskExit {
     pub key: TaskKey,
     /// Gang generation the body ran under.
     pub generation: u64,
+    /// Per-task incarnation counter the body ran as.
+    pub attempt: u64,
     /// `None` on success, the error text otherwise.
     pub error: Option<String>,
 }
@@ -207,8 +311,13 @@ pub struct Launched {
     /// Every recorded task body exit, in completion order (includes
     /// failed attempts that were later restarted).
     pub task_exits: Vec<TaskExit>,
-    /// Gang restarts the supervisor performed.
+    /// Restarts (gang + partial) the supervisor performed.
     pub restarts: usize,
+    /// The liveness table, when heartbeats were enabled — carries the
+    /// full transition audit log (detection latencies, MTTR).
+    pub membership: Option<Arc<Membership>>,
+    /// Partial-restart node replacements: (task, old node, spare).
+    pub replacements: Vec<(TaskKey, usize, usize)>,
 }
 
 /// Nodes needed for `jobs` at `tasks_per_node`, one fresh start per job.
@@ -249,16 +358,45 @@ where
     launch_inner(cfg, setup, body, true)
 }
 
+fn observe_detection(silent_for_s: f64) {
+    tfhpc_obs::global()
+        .histogram_with(
+            "tfhpc_detection_latency_seconds",
+            &[],
+            &tfhpc_obs::metrics::duration_buckets(),
+        )
+        .observe(silent_for_s);
+}
+
+fn observe_mttr(seconds: f64) {
+    tfhpc_obs::global()
+        .histogram_with(
+            "tfhpc_mttr_seconds",
+            &[],
+            &tfhpc_obs::metrics::duration_buckets(),
+        )
+        .observe(seconds);
+}
+
 /// Shared supervisor state for one simulated launch.
 struct SupShared<F> {
     sim: Arc<Sim>,
     cluster: Arc<TfCluster>,
-    /// (key, node, gpu_ids) per task — the gang roster.
-    tasks: Vec<(TaskKey, usize, Vec<usize>)>,
+    /// (key, node, gpu_ids) per task — the gang roster. Mutable:
+    /// partial restarts may move a task onto a spare node.
+    tasks: Mutex<Vec<(TaskKey, usize, Vec<usize>)>>,
     body: Arc<F>,
     sup: SupervisorConfig,
     start: Instant,
     state: Mutex<SupState>,
+    /// Liveness table (None = heartbeats disabled).
+    membership: Option<Arc<Membership>>,
+    /// Wakes heartbeat/monitor daemons out of their period sleeps so
+    /// they can re-check exit conditions (and stop) promptly.
+    hb_cv: Option<tfhpc_sim::des::SimCondvar>,
+    /// The workload manager, retained so partial restarts can draw
+    /// spare nodes from it.
+    slurm: Mutex<SlurmCluster>,
 }
 
 #[derive(Default)]
@@ -270,102 +408,388 @@ struct SupState {
     /// Fatal failures (budget exhausted) — non-empty fails the launch.
     failures: Vec<String>,
     exits: Vec<TaskExit>,
+    /// Current incarnation counter per task; a failure report carrying
+    /// a stale attempt is collateral of a partial restart in flight.
+    attempts: HashMap<TaskKey, u64>,
+    /// Task bodies still running, per generation — daemons exit when
+    /// their generation's count reaches zero.
+    live: HashMap<u64, usize>,
+    /// Partial-restart node replacements: (task, old node, spare).
+    replacements: Vec<(TaskKey, usize, usize)>,
 }
 
-impl<F> SupShared<F> {
-    fn record(&self, key: TaskKey, generation: u64, error: Option<String>) {
-        self.state.lock().exits.push(TaskExit {
-            key,
+/// Record one body exit and (for current incarnations that exited
+/// cleanly) retire its membership entry; failures escalate to the
+/// supervisor.
+fn finish_task<F>(
+    sh: &Arc<SupShared<F>>,
+    key: &TaskKey,
+    generation: u64,
+    attempt: u64,
+    error: Option<String>,
+) where
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    let is_current = {
+        let mut st = sh.state.lock();
+        st.exits.push(TaskExit {
+            key: key.clone(),
             generation,
-            error,
+            attempt,
+            error: error.clone(),
         });
+        if let Some(n) = st.live.get_mut(&generation) {
+            *n = n.saturating_sub(1);
+        }
+        st.generation == generation && st.attempts.get(key).copied() == Some(attempt)
+    };
+    if error.is_none() && is_current {
+        if let Some(m) = &sh.membership {
+            let now = tfhpc_sim::des::current().map(|me| me.now()).unwrap_or(0.0);
+            m.left(key, now);
+        }
+    }
+    if let Some(cv) = &sh.hb_cv {
+        cv.notify_all();
+    }
+    if let Some(e) = error {
+        supervise(
+            sh,
+            generation,
+            format!("{key}: {e}"),
+            &[(key.clone(), attempt)],
+        );
     }
 }
 
+/// Spawn one task body incarnation as a sim process.
+fn spawn_task<F>(
+    shared: &Arc<SupShared<F>>,
+    generation: u64,
+    key: TaskKey,
+    gpus: Vec<usize>,
+    attempt: u64,
+) where
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    let sh = Arc::clone(shared);
+    let name = if generation == 0 && attempt == 0 {
+        key.to_string()
+    } else {
+        format!("{key}@g{generation}.a{attempt}")
+    };
+    let track = name.clone();
+    shared.sim.spawn(&name, move || {
+        // One trace track per incarnation so a restarted task gets its
+        // own lane in the viewer.
+        tfhpc_obs::set_track(&track);
+        let server = match sh.cluster.server(&key) {
+            Ok(s) => s,
+            Err(e) => {
+                let mut st = sh.state.lock();
+                st.exits.push(TaskExit {
+                    key: key.clone(),
+                    generation,
+                    attempt,
+                    error: Some(e.to_string()),
+                });
+                if let Some(n) = st.live.get_mut(&generation) {
+                    *n = n.saturating_sub(1);
+                }
+                drop(st);
+                if let Some(cv) = &sh.hb_cv {
+                    cv.notify_all();
+                }
+                return;
+            }
+        };
+        let ctx = TaskCtx {
+            server,
+            key: key.clone(),
+            gpu_ids: gpus.clone(),
+            start: sh.start,
+            attempt,
+        };
+        let error = (sh.body)(ctx).err().map(|e| e.to_string());
+        finish_task(&sh, &key, generation, attempt, error);
+    });
+}
+
+/// Spawn the heartbeat daemon for one task incarnation. The daemon
+/// beats the membership table every period; an injected hang silences
+/// it (that silence *is* the detection signal) and a straggler window
+/// stretches its period. It exits when its incarnation is superseded,
+/// its task exits, or its generation fully drains.
+fn spawn_heartbeat<F>(
+    shared: &Arc<SupShared<F>>,
+    generation: u64,
+    key: TaskKey,
+    node: usize,
+    attempt: u64,
+) where
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    let (Some(m), Some(cv)) = (shared.membership.clone(), shared.hb_cv.clone()) else {
+        return;
+    };
+    let sh = Arc::clone(shared);
+    let name = format!("hb:{key}@g{generation}.a{attempt}");
+    shared.sim.spawn(&name, move || {
+        let me = tfhpc_sim::des::current().expect("heartbeat daemon is a sim process");
+        let epoch = sh.cluster.epoch();
+        let born = me.now();
+        let plan = sh.cluster.faults();
+        let period = m.period_s().max(1e-6);
+        let mut next = born + period;
+        loop {
+            {
+                let st = sh.state.lock();
+                if st.generation != generation
+                    || st.attempts.get(&key).copied() != Some(attempt)
+                    || st.live.get(&generation).copied().unwrap_or(0) == 0
+                    || st
+                        .exits
+                        .iter()
+                        .any(|e| e.attempt == attempt && e.generation == generation && e.key == key)
+                {
+                    return;
+                }
+            }
+            if matches!(
+                m.state(&key),
+                None | Some(Liveness::Dead) | Some(Liveness::Left)
+            ) {
+                return;
+            }
+            let timed_out = if me.now() + 1e-12 >= next {
+                true
+            } else {
+                cv.wait_until(next)
+            };
+            if !timed_out {
+                continue; // woken early — re-check exit conditions
+            }
+            let now = me.now();
+            if let Some(p) = &plan {
+                // The hang: this "process" goes silent. No beat, ever
+                // again — the monitor's deadline sweep does the rest.
+                if p.hung(node, born, now) {
+                    return;
+                }
+            }
+            m.heartbeat(&key, epoch, now);
+            let stretch = plan
+                .as_ref()
+                .map(|p| p.straggler_factor(node, now))
+                .unwrap_or(1.0);
+            next = now + period * stretch.max(1.0);
+        }
+    });
+}
+
+/// Spawn the per-generation liveness monitor: sweeps the membership
+/// table every period and routes death verdicts into [`supervise`].
+fn spawn_monitor<F>(shared: &Arc<SupShared<F>>, generation: u64)
+where
+    F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
+{
+    let (Some(m), Some(cv)) = (shared.membership.clone(), shared.hb_cv.clone()) else {
+        return;
+    };
+    let sh = Arc::clone(shared);
+    shared
+        .sim
+        .spawn(&format!("liveness-monitor@g{generation}"), move || {
+            let me = tfhpc_sim::des::current().expect("monitor is a sim process");
+            let period = m.period_s().max(1e-6);
+            let mut next = me.now() + period;
+            loop {
+                {
+                    let st = sh.state.lock();
+                    if st.generation != generation
+                        || st.live.get(&generation).copied().unwrap_or(0) == 0
+                    {
+                        return;
+                    }
+                }
+                let timed_out = if me.now() + 1e-12 >= next {
+                    true
+                } else {
+                    cv.wait_until(next)
+                };
+                if !timed_out {
+                    continue;
+                }
+                let now = me.now();
+                let dead: Vec<MembershipEvent> = m
+                    .sweep(now)
+                    .into_iter()
+                    .filter(|e| e.to == Liveness::Dead)
+                    .collect();
+                if !dead.is_empty() {
+                    for ev in &dead {
+                        observe_detection(ev.silent_for_s);
+                        tfhpc_obs::global()
+                            .counter("tfhpc_liveness_deaths_total")
+                            .inc();
+                    }
+                    let failed: Vec<(TaskKey, u64)> = {
+                        let st = sh.state.lock();
+                        dead.iter()
+                            .filter_map(|e| st.attempts.get(&e.key).map(|a| (e.key.clone(), *a)))
+                            .collect()
+                    };
+                    let names: Vec<String> = dead.iter().map(|e| e.key.to_string()).collect();
+                    supervise(
+                        &sh,
+                        generation,
+                        format!(
+                            "{} declared dead after {:.3}s of heartbeat silence",
+                            names.join(", "),
+                            dead[0].silent_for_s
+                        ),
+                        &failed,
+                    );
+                }
+                next = me.now() + period;
+            }
+        });
+}
+
 /// Start (or restart) every task of `generation`: fresh servers for
-/// restarts, then one sim process per task whose wrapper routes the
-/// body's exit into the supervisor.
+/// restarts, then one sim process per task (plus its heartbeat daemon
+/// and the generation's liveness monitor when heartbeats are on).
 fn start_generation<F>(shared: &Arc<SupShared<F>>, generation: u64)
 where
     F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
 {
+    let roster = shared.tasks.lock().clone();
     if generation > 0 {
-        for (key, node, gpus) in &shared.tasks {
+        for (key, node, gpus) in &roster {
             shared
                 .cluster
                 .start_server(key.clone(), *node, gpus.clone());
         }
     }
-    for (key, _node, gpus) in shared.tasks.clone() {
-        let sh = Arc::clone(shared);
-        let name = if generation == 0 {
-            key.to_string()
-        } else {
-            format!("{key}@g{generation}")
-        };
-        let track = name.clone();
-        shared.sim.spawn(&name, move || {
-            // One trace track per task (re-named per generation so a
-            // restarted task gets its own lane in the viewer).
-            tfhpc_obs::set_track(&track);
-            let server = match sh.cluster.server(&key) {
-                Ok(s) => s,
-                Err(e) => {
-                    sh.record(key.clone(), generation, Some(e.to_string()));
-                    return;
-                }
-            };
-            let ctx = TaskCtx {
-                server,
-                key: key.clone(),
-                gpu_ids: gpus.clone(),
-                start: sh.start,
-                attempt: generation,
-            };
-            match (sh.body)(ctx) {
-                Ok(()) => sh.record(key.clone(), generation, None),
-                Err(e) => {
-                    sh.record(key.clone(), generation, Some(e.to_string()));
-                    supervise(
-                        &sh,
-                        generation,
-                        format!("{key}: {e}"),
-                        std::slice::from_ref(&key),
-                    );
-                }
+    let attempts: Vec<u64> = {
+        let mut st = shared.state.lock();
+        st.live.insert(generation, roster.len());
+        roster
+            .iter()
+            .map(|(key, _, _)| {
+                let a = st
+                    .attempts
+                    .entry(key.clone())
+                    .and_modify(|a| *a += 1)
+                    .or_insert(0);
+                *a
+            })
+            .collect()
+    };
+    if let Some(m) = &shared.membership {
+        let now = tfhpc_sim::des::current().map(|me| me.now()).unwrap_or(0.0);
+        let epoch = shared.cluster.epoch();
+        for (key, _, _) in &roster {
+            if generation == 0 {
+                m.join(key, now);
+            } else if let Some(dead_for) = m.restarted(key, epoch, now) {
+                observe_mttr(dead_for);
             }
-        });
+        }
     }
+    for ((key, node, gpus), attempt) in roster.into_iter().zip(attempts) {
+        spawn_task(shared, generation, key.clone(), gpus, attempt);
+        spawn_heartbeat(shared, generation, key, node, attempt);
+    }
+    spawn_monitor(shared, generation);
 }
 
-/// React to a failure observed at `generation`: gang-restart while
-/// budget remains, else mark the culprits dead and drain the gang.
-/// Runs inside a sim process (the failing task's, or a fault daemon).
-fn supervise<F>(shared: &Arc<SupShared<F>>, generation: u64, what: String, failed: &[TaskKey])
-where
+/// Draw one spare node from the retained allocation; `None` when the
+/// spare pool is exhausted (the task then restarts in place).
+fn draw_spare<F>(shared: &Arc<SupShared<F>>) -> Option<usize> {
+    let mut slurm = shared.slurm.lock();
+    let alloc = slurm
+        .submit(&JobRequest {
+            nodes: 1,
+            ntasks: 1,
+            distribution: Distribution::Block,
+            gpus_per_task: 0,
+        })
+        .ok()?;
+    // Hostnames are "t01nNN" with NN = global node index + 1.
+    let host = alloc.hosts.first()?;
+    let digits: String = host.chars().skip_while(|c| !c.is_ascii_digit()).collect();
+    let tail = digits.rsplit(|c: char| !c.is_ascii_digit()).next()?;
+    tail.parse::<usize>().ok().and_then(|n| n.checked_sub(1))
+}
+
+enum SupAction {
+    Gang(u64),
+    /// (key, new attempt) per task to restart in place.
+    Partial(Vec<(TaskKey, u64)>),
+    Fatal(Vec<TaskKey>),
+}
+
+/// React to a failure observed at `generation`: restart (gang, or
+/// partial when policy allows) while budget remains, else mark the
+/// culprits dead and drain the gang. `failed` carries the incarnation
+/// each report is about — stale attempts are collateral of a repair
+/// already in flight. Runs inside a sim process (the failing task's, a
+/// fault daemon, or the liveness monitor).
+fn supervise<F>(
+    shared: &Arc<SupShared<F>>,
+    generation: u64,
+    what: String,
+    failed: &[(TaskKey, u64)],
+) where
     F: Fn(TaskCtx) -> Result<()> + Send + Sync + 'static,
 {
-    let next_gen = {
+    let action = {
         let mut st = shared.state.lock();
         if generation != st.generation {
-            // Collateral of a restart already in flight; the exit is
-            // recorded, nothing more to do.
+            // Collateral of a gang restart already in flight.
+            return;
+        }
+        let fresh: Vec<(TaskKey, u64)> = failed
+            .iter()
+            .filter(|(k, a)| st.attempts.get(k).copied() == Some(*a) && !shared.cluster.is_dead(k))
+            .cloned()
+            .collect();
+        if fresh.is_empty() {
             return;
         }
         if st.restarts_used < shared.sup.max_restarts {
             st.restarts_used += 1;
-            st.generation += 1;
             tfhpc_obs::global()
                 .counter("tfhpc_supervisor_restarts_total")
                 .inc();
-            Some(st.generation)
+            let partial_ok = !shared.sup.partial_restart_jobs.is_empty()
+                && fresh
+                    .iter()
+                    .all(|(k, _)| shared.sup.partial_restart_jobs.contains(&k.job));
+            if partial_ok {
+                let repl: Vec<(TaskKey, u64)> = fresh
+                    .iter()
+                    .map(|(k, _)| {
+                        let a = st.attempts.entry(k.clone()).or_insert(0);
+                        *a += 1;
+                        (k.clone(), *a)
+                    })
+                    .collect();
+                *st.live.entry(generation).or_insert(0) += repl.len();
+                SupAction::Partial(repl)
+            } else {
+                st.generation += 1;
+                SupAction::Gang(st.generation)
+            }
         } else {
             st.failures.push(what.clone());
-            None
+            SupAction::Fatal(fresh.into_iter().map(|(k, _)| k).collect())
         }
     };
-    match next_gen {
-        Some(gen) => {
+    let backoff = shared.sup.restart_backoff_s;
+    match action {
+        SupAction::Gang(gen) => {
             // Fence the old generation, wake everything it parked, and
             // bring the gang back up at the current virtual time.
             shared.cluster.advance_epoch();
@@ -373,20 +797,104 @@ where
                 "gang restart (generation {gen}): {what}"
             )));
             shared.cluster.clear_dead();
-            if shared.sup.restart_backoff_s > 0.0 {
+            shared.cluster.notify_hang_gate();
+            if let Some(cv) = &shared.hb_cv {
+                cv.notify_all();
+            }
+            if backoff > 0.0 {
                 if let Some(me) = tfhpc_sim::des::current() {
-                    me.advance(shared.sup.restart_backoff_s);
+                    me.advance(backoff);
                 }
             }
             start_generation(shared, gen);
         }
-        None => {
-            for k in failed {
+        SupAction::Partial(repl) => {
+            tfhpc_obs::global()
+                .counter("tfhpc_partial_restarts_total")
+                .inc();
+            // Transient death mark: peers touching the failed task see
+            // retryable `Unavailable` until its replacement server
+            // comes up (start_server clears the mark).
+            for (key, _) in &repl {
+                shared.cluster.mark_dead(key, &what);
+            }
+            if backoff > 0.0 {
+                if let Some(me) = tfhpc_sim::des::current() {
+                    me.advance(backoff);
+                }
+            }
+            let epoch = shared.cluster.epoch();
+            let now = tfhpc_sim::des::current().map(|me| me.now()).unwrap_or(0.0);
+            for (key, attempt) in repl {
+                let placement = {
+                    let mut roster = shared.tasks.lock();
+                    roster.iter_mut().find(|(k, _, _)| *k == key).map(|entry| {
+                        let old = entry.1;
+                        let moved = draw_spare(shared);
+                        if let Some(spare) = moved {
+                            entry.1 = spare;
+                        }
+                        (old, entry.1, entry.2.clone())
+                    })
+                };
+                let Some((old_node, node, gpus)) = placement else {
+                    continue;
+                };
+                if node != old_node {
+                    shared
+                        .state
+                        .lock()
+                        .replacements
+                        .push((key.clone(), old_node, node));
+                }
+                shared.cluster.start_server(key.clone(), node, gpus.clone());
+                if let Some(m) = &shared.membership {
+                    if let Some(dead_for) = m.restarted(&key, epoch, now) {
+                        observe_mttr(dead_for);
+                    }
+                }
+                spawn_task(shared, generation, key.clone(), gpus, attempt);
+                spawn_heartbeat(shared, generation, key, node, attempt);
+            }
+            // A hung corpse of the replaced incarnation wakes here,
+            // observes it is no longer current and unwinds `Aborted`.
+            shared.cluster.notify_hang_gate();
+            if let Some(cv) = &shared.hb_cv {
+                cv.notify_all();
+            }
+        }
+        SupAction::Fatal(fresh) => {
+            for k in &fresh {
                 shared.cluster.mark_dead(k, &what);
             }
             shared.cluster.abort_all(CoreError::Unavailable(format!(
                 "gang draining after fatal failure: {what}"
             )));
+            shared.cluster.notify_hang_gate();
+            if let Some(cv) = &shared.hb_cv {
+                cv.notify_all();
+            }
+            // Bounded drain: anything still parked after the timeout
+            // (a task that re-blocked after the abort broadcast) gets
+            // swept again so the simulation cannot deadlock.
+            let t = shared.sup.drain_timeout_s;
+            if t > 0.0 {
+                let sh = Arc::clone(shared);
+                shared
+                    .sim
+                    .spawn(&format!("drain-watchdog@g{generation}"), move || {
+                        tfhpc_sim::des::current()
+                            .expect("watchdog is a sim process")
+                            .advance(t);
+                        sh.cluster.abort_all(CoreError::Unavailable(format!(
+                            "drain timed out after {t}s"
+                        )));
+                        sh.cluster.notify_hang_gate();
+                        if let Some(cv) = &sh.hb_cv {
+                            cv.notify_all();
+                        }
+                    });
+            }
         }
     }
 }
@@ -401,19 +909,15 @@ where
 {
     let generation = {
         let st = shared.state.lock();
-        // A job that already fully exited has nothing left to crash.
-        let exited = st
-            .exits
-            .iter()
-            .filter(|e| e.generation == st.generation)
-            .count();
-        if exited == shared.tasks.len() {
+        // A gang that already fully exited has nothing left to crash.
+        if st.live.get(&st.generation).copied().unwrap_or(0) == 0 {
             return;
         }
         st.generation
     };
-    let mut failed = Vec::new();
-    for (key, n, _) in &shared.tasks {
+    let roster = shared.tasks.lock().clone();
+    let mut hit = Vec::new();
+    for (key, n, _) in &roster {
         if *n != node {
             continue;
         }
@@ -422,10 +926,19 @@ where
             // server restarted at/after `at_s` runs on the "rebooted"
             // node.
             if server.born_at() < at_s && server.epoch() == shared.cluster.epoch() {
-                failed.push(key.clone());
+                hit.push(key.clone());
             }
         }
     }
+    if hit.is_empty() {
+        return;
+    }
+    let failed: Vec<(TaskKey, u64)> = {
+        let st = shared.state.lock();
+        hit.into_iter()
+            .filter_map(|k| st.attempts.get(&k).map(|a| (k.clone(), *a)))
+            .collect()
+    };
     if failed.is_empty() {
         return;
     }
@@ -447,9 +960,12 @@ where
     if n_nodes == 0 {
         return Err(CoreError::Invalid("no tasks requested".into()));
     }
+    let spare_nodes = cfg.supervisor.spare_nodes;
 
-    // Allocate through the simulated workload manager.
-    let mut slurm = SlurmCluster::for_platform(&cfg.platform, n_nodes);
+    // Allocate through the simulated workload manager (spares are part
+    // of the reservation but carry no tasks until a partial restart
+    // claims one).
+    let mut slurm = SlurmCluster::for_platform(&cfg.platform, n_nodes + spare_nodes);
     let total_tasks: usize = cfg.jobs.iter().map(|j| j.tasks).sum();
     let alloc = slurm
         .submit(&JobRequest {
@@ -486,12 +1002,23 @@ where
         // queue flows) on the process-wide tracer.
         tfhpc_obs::trace::global().enable();
     }
-    let cluster_sim = sim
-        .as_ref()
-        .map(|s| Arc::new(ClusterSim::new(s, cfg.platform.clone(), n_nodes)));
+    let cluster_sim = sim.as_ref().map(|s| {
+        Arc::new(ClusterSim::new(
+            s,
+            cfg.platform.clone(),
+            n_nodes + spare_nodes,
+        ))
+    });
     let cluster = TfCluster::new(resolved.spec.clone(), cfg.protocol, cluster_sim);
     cluster.set_faults(cfg.faults.clone());
     cluster.set_retry(cfg.retry.clone());
+
+    let membership = (cfg.supervisor.heartbeat_timeout_s > 0.0).then(|| {
+        Arc::new(Membership::new(
+            cfg.supervisor.heartbeat_period_s.max(1e-6),
+            cfg.supervisor.heartbeat_timeout_s,
+        ))
+    });
 
     let servers: Vec<(TaskKey, Arc<Server>, Vec<usize>)> = resolved
         .tasks
@@ -507,20 +1034,32 @@ where
     let body = Arc::new(body);
     let start = Instant::now();
 
-    let (elapsed_s, task_exits, restarts) = match &sim {
+    let (elapsed_s, task_exits, restarts, replacements) = match &sim {
         Some(sim) => {
+            // The hang gate exists only alongside liveness detection:
+            // without a detector nobody would ever unpark a hung task,
+            // so hangs then degrade to crash-style aborts instead.
+            let hb_cv = membership.is_some().then(|| sim.condvar("heartbeats"));
+            if membership.is_some() {
+                cluster.set_hang_gate(Some(sim.condvar("hang-gate")));
+            }
             let shared = Arc::new(SupShared {
                 sim: Arc::clone(sim),
                 cluster: Arc::clone(&cluster),
-                tasks: resolved
-                    .tasks
-                    .iter()
-                    .map(|t| (t.key.clone(), t.node_index, t.gpu_ids.clone()))
-                    .collect(),
+                tasks: Mutex::new(
+                    resolved
+                        .tasks
+                        .iter()
+                        .map(|t| (t.key.clone(), t.node_index, t.gpu_ids.clone()))
+                        .collect(),
+                ),
                 body: Arc::clone(&body),
                 sup: cfg.supervisor.clone(),
                 start,
                 state: Mutex::new(SupState::default()),
+                membership: membership.clone(),
+                hb_cv,
+                slurm: Mutex::new(slurm),
             });
             start_generation(&shared, 0);
             // One fault daemon per scheduled crash: fires the failure at
@@ -544,17 +1083,76 @@ where
                 return Err(CoreError::Invalid(st.failures.join("; ")));
             }
             let exits = std::mem::take(&mut st.exits);
-            (elapsed, exits, st.restarts_used)
+            let repl = std::mem::take(&mut st.replacements);
+            (elapsed, exits, st.restarts_used, repl)
         }
         None => {
             let errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
             let exits: Arc<Mutex<Vec<TaskExit>>> = Arc::new(Mutex::new(Vec::new()));
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let mut aux: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            // Real-mode liveness is report-only: a silent task is
+            // marked dead so peers unblock, but nothing restarts it.
+            if let Some(m) = &membership {
+                let m = Arc::clone(m);
+                let stop = Arc::clone(&stop);
+                let cluster = Arc::clone(&cluster);
+                let period = m.period_s().max(1e-3);
+                aux.push(
+                    std::thread::Builder::new()
+                        .name("liveness-monitor".into())
+                        .spawn(move || {
+                            while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                                for ev in m.sweep(tfhpc_obs::now_seconds()) {
+                                    if ev.to == Liveness::Dead {
+                                        observe_detection(ev.silent_for_s);
+                                        tfhpc_obs::global()
+                                            .counter("tfhpc_liveness_deaths_total")
+                                            .inc();
+                                        cluster.mark_dead(
+                                            &ev.key,
+                                            &format!(
+                                                "missed heartbeats for {:.3}s",
+                                                ev.silent_for_s
+                                            ),
+                                        );
+                                    }
+                                }
+                                std::thread::sleep(std::time::Duration::from_secs_f64(period));
+                            }
+                        })
+                        .expect("spawn liveness monitor thread"),
+                );
+            }
             let mut handles = Vec::new();
             for (key, server, gpu_ids) in servers {
                 let body = Arc::clone(&body);
                 let errors = Arc::clone(&errors);
                 let exits = Arc::clone(&exits);
                 let cluster = Arc::clone(&cluster);
+                let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+                if let Some(m) = &membership {
+                    m.join(&key, tfhpc_obs::now_seconds());
+                    let m = Arc::clone(m);
+                    let stop = Arc::clone(&stop);
+                    let done = Arc::clone(&done);
+                    let key = key.clone();
+                    let period = m.period_s().max(1e-3);
+                    aux.push(
+                        std::thread::Builder::new()
+                            .name(format!("hb:{key}"))
+                            .spawn(move || {
+                                while !stop.load(std::sync::atomic::Ordering::SeqCst)
+                                    && !done.load(std::sync::atomic::Ordering::SeqCst)
+                                {
+                                    m.beat(&key, tfhpc_obs::now_seconds());
+                                    std::thread::sleep(std::time::Duration::from_secs_f64(period));
+                                }
+                            })
+                            .expect("spawn heartbeat thread"),
+                    );
+                }
+                let m = membership.clone();
                 let ctx = TaskCtx {
                     server,
                     key: key.clone(),
@@ -565,23 +1163,34 @@ where
                 handles.push(
                     std::thread::Builder::new()
                         .name(key.to_string())
-                        .spawn(move || match body(ctx) {
-                            Ok(()) => exits.lock().push(TaskExit {
-                                key,
-                                generation: 0,
-                                error: None,
-                            }),
-                            Err(e) => {
-                                // Mark the task dead so peers parked on
-                                // its queues wake with `Unavailable`
-                                // instead of riding out the grace period.
-                                cluster.mark_dead(&key, &e.to_string());
-                                errors.lock().push(format!("{key}: {e}"));
-                                exits.lock().push(TaskExit {
-                                    key,
-                                    generation: 0,
-                                    error: Some(e.to_string()),
-                                });
+                        .spawn(move || {
+                            let result = body(ctx);
+                            done.store(true, std::sync::atomic::Ordering::SeqCst);
+                            match result {
+                                Ok(()) => {
+                                    if let Some(m) = &m {
+                                        m.left(&key, tfhpc_obs::now_seconds());
+                                    }
+                                    exits.lock().push(TaskExit {
+                                        key,
+                                        generation: 0,
+                                        attempt: 0,
+                                        error: None,
+                                    });
+                                }
+                                Err(e) => {
+                                    // Mark the task dead so peers parked on
+                                    // its queues wake with `Unavailable`
+                                    // instead of riding out the grace period.
+                                    cluster.mark_dead(&key, &e.to_string());
+                                    errors.lock().push(format!("{key}: {e}"));
+                                    exits.lock().push(TaskExit {
+                                        key,
+                                        generation: 0,
+                                        attempt: 0,
+                                        error: Some(e.to_string()),
+                                    });
+                                }
                             }
                         })
                         .expect("spawn task thread"),
@@ -592,13 +1201,14 @@ where
             // — so after a failure is observed, give the rest a bounded
             // grace period instead of hanging the caller, and report
             // any still-running tasks in the error.
+            let drain = std::time::Duration::from_secs_f64(cfg.supervisor.drain_timeout_s.max(0.0));
             let mut handles = handles;
             let mut panicked = 0usize;
             let mut deadline: Option<Instant> = None;
             while !handles.is_empty() {
                 let failed_so_far = panicked > 0 || !errors.lock().is_empty();
                 if failed_so_far && deadline.is_none() {
-                    deadline = Some(Instant::now() + std::time::Duration::from_secs(5));
+                    deadline = Some(Instant::now() + drain);
                 }
                 if let Some(d) = deadline {
                     if Instant::now() > d {
@@ -621,6 +1231,10 @@ where
                     std::thread::sleep(std::time::Duration::from_millis(2));
                 }
             }
+            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            for h in aux {
+                let _ = h.join();
+            }
             if panicked > 0 {
                 errors.lock().push(format!("{panicked} task(s) panicked"));
             }
@@ -635,7 +1249,7 @@ where
                 return Err(CoreError::Invalid(errs.join("; ")));
             }
             let exits = std::mem::take(&mut *exits.lock());
-            (start.elapsed().as_secs_f64(), exits, 0)
+            (start.elapsed().as_secs_f64(), exits, 0, Vec::new())
         }
     };
 
@@ -646,6 +1260,8 @@ where
         cluster,
         task_exits,
         restarts,
+        membership,
+        replacements,
     })
 }
 
@@ -691,6 +1307,7 @@ mod tests {
         assert_eq!(out.task_exits.len(), 4);
         assert!(out.task_exits.iter().all(|e| e.error.is_none()));
         assert_eq!(out.restarts, 0);
+        assert!(out.membership.is_none());
     }
 
     #[test]
@@ -756,6 +1373,7 @@ mod tests {
         .with_supervisor(SupervisorConfig {
             max_restarts: 2,
             restart_backoff_s: 0.5,
+            ..SupervisorConfig::default()
         });
         let out = launch(&cfg, |ctx| {
             if let Some(me) = tfhpc_sim::des::current() {
@@ -880,5 +1498,158 @@ mod tests {
                 .unwrap(),
             2.0
         );
+    }
+
+    #[test]
+    fn hang_is_detected_by_heartbeats_and_gang_restarted() {
+        // Worker 1's node hangs at t=0.3: its heartbeat daemon goes
+        // silent (last beat 0.25) and the monitor's next sweep past
+        // last_beat + timeout declares it dead (~0.5) and gang-restarts.
+        let cfg = LaunchConfig::simulated(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 2, 1)],
+            Protocol::Rdma,
+        )
+        .with_faults(FaultPlan::new().hang(1, 0.3))
+        .with_supervisor(SupervisorConfig::restarting(1).with_heartbeats(0.05, 0.2));
+        let out = launch(&cfg, |ctx| {
+            for _ in 0..10 {
+                if let Some(me) = tfhpc_sim::des::current() {
+                    me.advance(0.1);
+                }
+                ctx.check_faults()?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.restarts, 1);
+        let g1_ok = out
+            .task_exits
+            .iter()
+            .filter(|e| e.generation == 1 && e.error.is_none())
+            .count();
+        assert_eq!(g1_ok, 2, "{:?}", out.task_exits);
+        // Detection within the configured timeout (+ one sweep period).
+        let m = out.membership.as_ref().unwrap();
+        let dead = m
+            .events()
+            .iter()
+            .find(|e| e.to == Liveness::Dead)
+            .cloned()
+            .expect("hang must produce a death verdict");
+        assert_eq!(dead.key, TaskKey::new("worker", 1));
+        assert!(
+            dead.at_s - 0.3 <= 0.2 + 2.0 * 0.05 + 1e-9,
+            "detected at {} for a hang at 0.3",
+            dead.at_s
+        );
+        // Deterministic schedule: dead at ~0.5, rerun 1.0s from there.
+        assert!((out.elapsed_s - 1.5).abs() < 1e-6, "{}", out.elapsed_s);
+    }
+
+    #[test]
+    fn hang_without_budget_fails_launch() {
+        let cfg = LaunchConfig::simulated(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 2, 1)],
+            Protocol::Rdma,
+        )
+        .with_faults(FaultPlan::new().hang(1, 0.3))
+        .with_supervisor(SupervisorConfig::default().with_heartbeats(0.05, 0.2));
+        let result = launch(&cfg, |ctx| {
+            for _ in 0..10 {
+                if let Some(me) = tfhpc_sim::des::current() {
+                    me.advance(0.1);
+                }
+                ctx.check_faults()?;
+            }
+            Ok(())
+        });
+        match result {
+            Err(e) => assert!(
+                e.to_string().contains("heartbeat silence"),
+                "expected a liveness verdict, got {e}"
+            ),
+            Ok(_) => panic!("expected the hang to fail the launch"),
+        }
+    }
+
+    #[test]
+    fn partial_restart_leaves_healthy_tasks_untouched() {
+        // Worker 1 fails once; with "worker" partial-restartable only
+        // that task re-runs — siblings keep their single attempt and
+        // the epoch is never bumped.
+        let cfg = LaunchConfig::simulated(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 3, 1)],
+            Protocol::Rdma,
+        )
+        .with_supervisor(
+            SupervisorConfig::restarting(2)
+                .with_partial_restart(["worker"])
+                .with_spares(1),
+        );
+        let out = launch(&cfg, |ctx| {
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(0.2);
+            }
+            if ctx.index() == 1 && ctx.attempt() == 0 {
+                return Err(CoreError::Aborted("simulated fault".into()));
+            }
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(0.8);
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.restarts, 1);
+        assert_eq!(out.cluster.epoch(), 0, "partial restart must not fence");
+        // Healthy workers ran exactly once, as attempt 0.
+        for idx in [0usize, 2] {
+            let exits: Vec<_> = out
+                .task_exits
+                .iter()
+                .filter(|e| e.key.index == idx)
+                .collect();
+            assert_eq!(exits.len(), 1, "{:?}", out.task_exits);
+            assert_eq!(exits[0].attempt, 0);
+            assert!(exits[0].error.is_none());
+        }
+        // The failed worker ran twice; the retry succeeded as attempt 1.
+        let w1: Vec<_> = out.task_exits.iter().filter(|e| e.key.index == 1).collect();
+        assert_eq!(w1.len(), 2, "{:?}", out.task_exits);
+        assert!(w1.iter().any(|e| e.attempt == 0 && e.error.is_some()));
+        assert!(w1.iter().any(|e| e.attempt == 1 && e.error.is_none()));
+        // The replacement came up on the spare node (3 primaries → the
+        // spare is global node 3).
+        assert_eq!(out.replacements, vec![(TaskKey::new("worker", 1), 1, 3)]);
+        assert_eq!(
+            out.cluster.server(&TaskKey::new("worker", 1)).unwrap().node,
+            3
+        );
+        // Failure at 0.2, retry runs 0.2 → 1.2.
+        assert!((out.elapsed_s - 1.2).abs() < 1e-9, "{}", out.elapsed_s);
+    }
+
+    #[test]
+    fn real_mode_heartbeats_run_clean() {
+        // Smoke: real-mode heartbeat threads + monitor produce no
+        // false positives on a healthy gang and retire members on exit.
+        let cfg = LaunchConfig::real(
+            platform::tegner_k420(),
+            vec![JobSpec::new("worker", 2, 1)],
+            Protocol::Grpc,
+        )
+        .with_supervisor(SupervisorConfig::default().with_heartbeats(0.02, 2.0));
+        let out = launch(&cfg, |_ctx| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            Ok(())
+        })
+        .unwrap();
+        let m = out.membership.expect("membership enabled");
+        assert!(m.events().iter().all(|e| e.to != Liveness::Dead));
+        for (_, rec) in m.members() {
+            assert_eq!(rec.state, Liveness::Left);
+        }
     }
 }

@@ -13,6 +13,7 @@
 pub mod cluster_spec;
 pub mod collective;
 pub mod launch;
+pub mod membership;
 pub mod reducer;
 pub mod rendezvous;
 pub mod resolver;
@@ -20,11 +21,12 @@ pub mod server;
 pub mod wire;
 
 pub use cluster_spec::{ClusterSpec, TaskKey};
-pub use collective::ring_all_reduce;
+pub use collective::{ring_all_reduce, ring_all_reduce_resilient, ResilientRingOptions};
 pub use launch::{
     launch, launch_traced, launch_with_setup, LaunchConfig, Launched, SupervisorConfig, TaskCtx,
     TaskExit,
 };
+pub use membership::{Liveness, MemberRecord, Membership, MembershipEvent};
 pub use reducer::{worker_all_reduce, ReduceOp, Reducer};
 pub use rendezvous::{
     recv, recv_deadline, send, RecvKernel, RendezvousEdge, RendezvousKey, SendKernel,

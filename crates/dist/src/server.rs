@@ -48,6 +48,11 @@ pub struct TfCluster {
     faults: RwLock<Option<Arc<FaultPlan>>>,
     /// Retry policy applied to the remote primitives.
     retry: RwLock<RetryConfig>,
+    /// Parking surface for tasks frozen by an injected hang: a hung
+    /// task blocks here instead of exiting, and supervision notifies
+    /// the gate after fencing so the corpse unwinds. Installed by the
+    /// launcher on simulated runs.
+    hang_gate: RwLock<Option<tfhpc_sim::des::SimCondvar>>,
 }
 
 impl TfCluster {
@@ -63,6 +68,7 @@ impl TfCluster {
             epoch: AtomicU64::new(0),
             faults: RwLock::new(None),
             retry: RwLock::new(RetryConfig::disabled()),
+            hang_gate: RwLock::new(None),
         })
     }
 
@@ -114,6 +120,35 @@ impl TfCluster {
     /// The injected fault schedule, when one is installed.
     pub fn faults(&self) -> Option<Arc<FaultPlan>> {
         self.faults.read().clone()
+    }
+
+    /// Install the hang-gate condvar hung tasks park on (sim only).
+    pub fn set_hang_gate(&self, gate: Option<tfhpc_sim::des::SimCondvar>) {
+        *self.hang_gate.write() = gate;
+    }
+
+    /// The hang-gate condvar, when one is installed.
+    pub fn hang_gate(&self) -> Option<tfhpc_sim::des::SimCondvar> {
+        self.hang_gate.read().clone()
+    }
+
+    /// Wake every task parked on the hang gate so it can observe its
+    /// fencing verdict (supersession or death mark) and unwind. Must be
+    /// called from inside a sim process.
+    pub fn notify_hang_gate(&self) {
+        if let Some(gate) = self.hang_gate.read().clone() {
+            gate.notify_all();
+        }
+    }
+
+    /// Is `server` still the registered incarnation for its key? False
+    /// once a partial restart replaced it — the per-task analogue of
+    /// the epoch fence.
+    pub fn is_current(&self, server: &Server) -> bool {
+        self.servers
+            .read()
+            .get(&server.key)
+            .is_some_and(|reg| std::ptr::eq(Arc::as_ptr(reg), server))
     }
 
     /// Install the retry policy the remote primitives run under.
@@ -219,9 +254,18 @@ pub struct Server {
 }
 
 impl Server {
-    /// The owning runtime cluster.
+    /// The owning runtime cluster. Panics when the cluster has been
+    /// dropped; internal paths use [`Server::try_cluster`] instead.
     pub fn cluster(&self) -> Arc<TfCluster> {
         self.cluster.upgrade().expect("cluster dropped")
+    }
+
+    /// The owning runtime cluster, or `Unavailable` when it has been
+    /// torn down under this server (shutdown race).
+    pub fn try_cluster(&self) -> Result<Arc<TfCluster>> {
+        self.cluster.upgrade().ok_or_else(|| {
+            CoreError::Unavailable(format!("task {}: cluster has been shut down", self.key))
+        })
     }
 
     /// Cluster generation this incarnation belongs to.
@@ -241,17 +285,15 @@ impl Server {
     }
 
     /// Fencing check: fail with `Aborted` when this incarnation has
-    /// been superseded by a gang restart, or when the injected fault
-    /// plan has crashed this incarnation's node.
+    /// been superseded by a gang restart or a partial restart, or when
+    /// the injected fault plan has crashed this incarnation's node. A
+    /// *hung* node does not return at all: the call parks on the
+    /// cluster hang gate until supervision fences the incarnation off —
+    /// the failure mode only the membership plane's heartbeat deadline
+    /// can catch.
     pub fn check_alive(&self) -> Result<()> {
-        let cluster = self.cluster();
-        let epoch = cluster.epoch();
-        if self.epoch != epoch {
-            return Err(CoreError::Aborted(format!(
-                "task {} generation {} superseded by generation {epoch}",
-                self.key, self.epoch
-            )));
-        }
+        let cluster = self.try_cluster()?;
+        self.fenced(&cluster)?;
         if let Some(plan) = cluster.faults() {
             let now = self.now_s();
             if plan.crashed(self.node, self.born_at, now) {
@@ -260,8 +302,55 @@ impl Server {
                     self.key, self.node
                 )));
             }
+            if plan.hung(self.node, self.born_at, now) {
+                return self.park_hung(&cluster);
+            }
         }
         Ok(())
+    }
+
+    /// The pure fencing predicates (no fault-plan consultation):
+    /// generation fence, then the per-task incarnation fence a partial
+    /// restart advances.
+    fn fenced(&self, cluster: &Arc<TfCluster>) -> Result<()> {
+        let epoch = cluster.epoch();
+        if self.epoch != epoch {
+            return Err(CoreError::Aborted(format!(
+                "task {} generation {} superseded by generation {epoch}",
+                self.key, self.epoch
+            )));
+        }
+        if !cluster.is_current(self) {
+            return Err(CoreError::Aborted(format!(
+                "task {} incarnation superseded by a partial restart",
+                self.key
+            )));
+        }
+        Ok(())
+    }
+
+    /// Freeze the calling task: block on the hang gate until a fencing
+    /// verdict (supersession, death mark) lets the corpse unwind.
+    /// Without a gate (real mode, bare clusters) the hang degrades to a
+    /// crash-style abort so the failure stays visible.
+    fn park_hung(&self, cluster: &Arc<TfCluster>) -> Result<()> {
+        let gate = cluster.hang_gate();
+        let (Some(gate), Some(_)) = (gate, tfhpc_sim::des::current()) else {
+            return Err(CoreError::Aborted(format!(
+                "task {} frozen: node {} hung (injected, no hang gate installed)",
+                self.key, self.node
+            )));
+        };
+        loop {
+            gate.wait();
+            self.fenced(cluster)?;
+            if let Some(reason) = cluster.death_reason(&self.key) {
+                return Err(CoreError::Unavailable(format!(
+                    "task {} is down: {reason}",
+                    self.key
+                )));
+            }
+        }
     }
 
     /// Resolve `target` for a remote op, applying the failure plane:
@@ -271,7 +360,7 @@ impl Server {
     /// charges active delay spikes to the caller's virtual clock.
     fn peer_checked(&self, target: &TaskKey) -> Result<Arc<Server>> {
         self.check_alive()?;
-        let cluster = self.cluster();
+        let cluster = self.try_cluster()?;
         if let Some(reason) = cluster.death_reason(target) {
             return Err(CoreError::Unavailable(format!(
                 "task {target} is down: {reason}"
@@ -303,9 +392,13 @@ impl Server {
         Ok(peer)
     }
 
-    /// The cluster's retry policy (cheap clone).
+    /// The cluster's retry policy (cheap clone); retries are disabled
+    /// when the cluster is already torn down.
     fn retry(&self) -> RetryConfig {
-        self.cluster().retry_config()
+        self.cluster
+            .upgrade()
+            .map(|c| c.retry_config())
+            .unwrap_or_else(RetryConfig::disabled)
     }
 
     /// How long a remote queue op waits for the owner to register the
@@ -352,7 +445,9 @@ impl Server {
         dst_gpu: Option<usize>,
         bytes: u64,
     ) -> f64 {
-        let cluster = self.cluster();
+        let Ok(cluster) = self.try_cluster() else {
+            return 0.0;
+        };
         let Some(sim) = &cluster.sim else { return 0.0 };
         let labels = [("protocol", cluster.protocol.name())];
         let reg = tfhpc_obs::global();
@@ -360,7 +455,23 @@ impl Server {
             .add(bytes);
         reg.counter_with("tfhpc_link_messages_total", &labels).inc();
         let path = sim.path(self.loc(src_gpu), dst.loc(dst_gpu), cluster.protocol);
-        path.transfer(bytes)
+        let t = path.transfer(bytes);
+        // An active straggler window on either endpoint stretches the
+        // effective wire time: the extra stall is charged to the
+        // caller's clock, exactly like a delay spike but multiplicative.
+        if let Some(plan) = cluster.faults() {
+            let now = self.now_s();
+            let factor = plan
+                .straggler_factor(self.node, now)
+                .max(plan.straggler_factor(dst.node, now));
+            if factor > 1.0 {
+                if let Some(me) = tfhpc_sim::des::current() {
+                    me.advance(t * (factor - 1.0));
+                }
+                return t * factor;
+            }
+        }
+        t
     }
 
     /// Push a tuple into a queue owned by `target`, paying the transfer
@@ -518,9 +629,11 @@ impl Server {
                     &[self.node, peer.node],
                     std::slice::from_ref(value),
                 )?;
-                peer.resources
-                    .variable(var)?
-                    .assign(verified.pop().expect("transfer preserves arity"))?;
+                let value = verified.pop().ok_or_else(|| {
+                    CoreError::Invalid("remote_assign: wire transfer returned no tensors".into())
+                })?;
+                let stored_bytes = value.byte_size() as f64;
+                peer.resources.variable(var)?.assign(value)?;
                 let placement = match dst_gpu {
                     Some(g) => tfhpc_core::Placement::Gpu(g),
                     None => tfhpc_core::Placement::Cpu,
@@ -528,7 +641,7 @@ impl Server {
                 // A plain store: one pass through the target's memory.
                 let cost = Cost {
                     flops: 0.0,
-                    bytes: value.byte_size() as f64,
+                    bytes: stored_bytes,
                     class: KernelClass::Elementwise,
                 };
                 peer.devices.charge_kernel(placement, &cost, true);
@@ -558,7 +671,9 @@ impl Server {
                     &[peer.node, self.node],
                     std::slice::from_ref(&value),
                 )?;
-                Ok(verified.pop().expect("transfer preserves arity"))
+                verified.pop().ok_or_else(|| {
+                    CoreError::Invalid("remote_var_read: wire transfer returned no tensors".into())
+                })
             })
     }
 
@@ -798,6 +913,41 @@ mod tests {
         let w2 = c.start_server(TaskKey::new("worker", 0), 1, vec![0]);
         assert_eq!(w2.epoch(), c.epoch());
         assert!(w2.check_alive().is_ok());
+    }
+
+    #[test]
+    fn partial_restart_supersedes_old_incarnation() {
+        let (c, _ps, worker) = two_task_cluster();
+        // Same epoch, but a replacement incarnation registered for the
+        // key: the old server is fenced per-task, not per-generation.
+        let w2 = c.start_server(TaskKey::new("worker", 0), 1, vec![0]);
+        assert!(c.is_current(&w2));
+        assert!(!c.is_current(&worker));
+        let err = worker.check_alive().unwrap_err();
+        assert!(matches!(err, CoreError::Aborted(_)), "{err}");
+        assert!(!err.is_transient());
+        assert!(w2.check_alive().is_ok());
+        assert_eq!(w2.epoch(), worker.epoch());
+    }
+
+    #[test]
+    fn hang_without_gate_degrades_to_abort() {
+        let sim = tfhpc_sim::des::Sim::new();
+        let (c, _ps, worker) = two_task_cluster();
+        c.set_faults(Some(Arc::new(FaultPlan::new().hang(1, 0.5))));
+        let got = Arc::new(parking_lot::Mutex::new(None));
+        let got2 = Arc::clone(&got);
+        sim.spawn("w", move || {
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(1.0);
+            }
+            *got2.lock() = Some(worker.check_alive());
+        });
+        sim.run();
+        // No hang gate installed: the freeze degrades to Aborted
+        // instead of deadlocking the simulation.
+        let err = got.lock().take().unwrap().unwrap_err();
+        assert!(matches!(err, CoreError::Aborted(_)), "{err}");
     }
 
     #[test]

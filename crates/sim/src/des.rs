@@ -324,11 +324,15 @@ impl Sim {
         }
         st.procs[id].time += dt;
         let my_time = st.procs[id].time;
-        // Yield if someone Ready is further behind.
-        let behind = st
-            .procs
-            .iter()
-            .any(|p| p.status == Status::Ready && p.time < my_time);
+        // Yield if someone Ready is further behind, or a blocked
+        // process holds a `wait_until` deadline this advance just
+        // crossed — otherwise a sole runner advancing in large steps
+        // starves every timer until it blocks, and an event scheduled
+        // at t1 would execute after work at t2 > t1.
+        let behind = st.procs.iter().any(|p| {
+            (p.status == Status::Ready && p.time < my_time)
+                || (p.status == Status::Blocked && p.wake_at.is_some_and(|t| t < my_time))
+        });
         if behind {
             st.procs[id].status = Status::Ready;
             st.running = None;

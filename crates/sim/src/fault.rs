@@ -90,6 +90,33 @@ pub enum FaultEvent {
         /// Window end, virtual seconds (exclusive).
         until_s: f64,
     },
+    /// Node `node` *hangs* at virtual time `at_s`: tasks hosted on it
+    /// stop making progress and stop heartbeating, but never exit — the
+    /// failure mode exit-code supervision cannot see. Only a deadline
+    /// failure detector (membership plane) catches it. Like a crash,
+    /// the hang applies to server incarnations started before `at_s`; a
+    /// replacement started after it comes up healthy.
+    Hang {
+        /// Hanging node index.
+        node: usize,
+        /// Virtual hang instant, seconds.
+        at_s: f64,
+    },
+    /// Node `node` runs slow during `[from_s, until_s)`: every
+    /// operation it participates in (transfers, heartbeat intervals,
+    /// cooperative compute that polls the plan) is stretched by
+    /// `slowdown`×. Not an error — a pure timing degradation that only
+    /// liveness monitoring or collective-layer ejection can mitigate.
+    Straggler {
+        /// Affected node index.
+        node: usize,
+        /// Window start, virtual seconds (inclusive).
+        from_s: f64,
+        /// Window end, virtual seconds (exclusive).
+        until_s: f64,
+        /// Multiplicative slowdown factor (> 1.0).
+        slowdown: f64,
+    },
 }
 
 /// A deterministic schedule of injected faults (empty = fault-free).
@@ -178,6 +205,23 @@ impl FaultPlan {
             node,
             from_s,
             until_s,
+        });
+        self
+    }
+
+    /// Add a node hang at virtual time `at_s`.
+    pub fn hang(mut self, node: usize, at_s: f64) -> FaultPlan {
+        self.events.push(FaultEvent::Hang { node, at_s });
+        self
+    }
+
+    /// Add a straggler window on `node` with a `slowdown`× stretch.
+    pub fn straggler(mut self, node: usize, from_s: f64, until_s: f64, slowdown: f64) -> FaultPlan {
+        self.events.push(FaultEvent::Straggler {
+            node,
+            from_s,
+            until_s,
+            slowdown,
         });
         self
     }
@@ -323,6 +367,71 @@ impl FaultPlan {
         splitmix64(&mut state)
     }
 
+    /// Earliest hang of `node` strictly after `after_s`, if any — like
+    /// [`FaultPlan::next_crash`], a hang at or before an incarnation's
+    /// start means the replacement came up on a recovered node.
+    pub fn next_hang(&self, node: usize, after_s: f64) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Hang { node: n, at_s } if *n == node && *at_s > after_s => Some(*at_s),
+                _ => None,
+            })
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.min(t)))
+            })
+    }
+
+    /// Has a hang scheduled in `(born_s, now_s]` frozen `node`?
+    pub fn hung(&self, node: usize, born_s: f64, now_s: f64) -> bool {
+        self.next_hang(node, born_s).is_some_and(|t| now_s >= t)
+    }
+
+    /// Multiplicative slowdown active on `node` at `now_s` (1.0 when
+    /// healthy). Overlapping windows take the worst factor rather than
+    /// compounding — a node is as slow as its slowest cause.
+    pub fn straggler_factor(&self, node: usize, now_s: f64) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Straggler {
+                    node: n,
+                    from_s,
+                    until_s,
+                    slowdown,
+                } if *n == node && now_s >= *from_s && now_s < *until_s => Some(*slowdown),
+                _ => None,
+            })
+            .fold(1.0, f64::max)
+    }
+
+    /// Derive a liveness-fault schedule over `n_nodes` nodes and a
+    /// `horizon_s` run window from `seed`: each node gets, with
+    /// probability ~1/2, one straggler window (2–6× slowdown over
+    /// 5–15% of the horizon), and exactly one node (chosen by the
+    /// stream, with probability ~3/4 overall) hangs somewhere in
+    /// 20–70% of the horizon. Splitmix64 is the only entropy source;
+    /// supervisors running these schedules need a restart budget ≥ 1
+    /// and heartbeats enabled, since a hang never exits.
+    pub fn seeded_liveness(seed: u64, n_nodes: usize, horizon_s: f64) -> FaultPlan {
+        let mut state = seed ^ 0x11FE_B0A7_DEAD_10CC;
+        let mut plan = FaultPlan::new();
+        for node in 0..n_nodes {
+            if unit(&mut state) < 0.5 {
+                let start = (0.1 + 0.6 * unit(&mut state)) * horizon_s;
+                let dur = (0.05 + 0.1 * unit(&mut state)) * horizon_s;
+                let slowdown = 2.0 + 4.0 * unit(&mut state);
+                plan = plan.straggler(node, start, start + dur, slowdown);
+            }
+        }
+        if n_nodes > 0 && unit(&mut state) < 0.75 {
+            let node = (splitmix64(&mut state) as usize) % n_nodes;
+            let at = (0.2 + 0.5 * unit(&mut state)) * horizon_s;
+            plan = plan.hang(node, at);
+        }
+        plan
+    }
+
     /// Total extra latency active on `node` at `now_s`.
     pub fn extra_delay(&self, node: usize, now_s: f64) -> f64 {
         self.events
@@ -396,6 +505,7 @@ mod tests {
         for e in &a.events {
             match e {
                 FaultEvent::NodeCrash { .. } => panic!("seeded plans must not crash nodes"),
+                FaultEvent::Hang { .. } => panic!("seeded plans must not hang nodes"),
                 FaultEvent::LinkFault {
                     from_s, until_s, ..
                 }
@@ -410,9 +520,68 @@ mod tests {
                 }
                 | FaultEvent::CkptStale {
                     from_s, until_s, ..
+                }
+                | FaultEvent::Straggler {
+                    from_s, until_s, ..
                 } => {
                     assert!(*from_s >= 0.0 && until_s > from_s && *until_s <= 100.0);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn hang_respects_incarnation_start() {
+        let p = FaultPlan::new().hang(1, 3.0);
+        assert!(!p.hung(1, 0.0, 2.9));
+        assert!(p.hung(1, 0.0, 3.0));
+        // A replacement born at or after the hang is healthy.
+        assert!(!p.hung(1, 3.0, 100.0));
+        assert!(!p.hung(0, 0.0, 100.0));
+        assert_eq!(p.next_hang(1, 0.0), Some(3.0));
+        assert_eq!(p.next_hang(1, 3.0), None);
+    }
+
+    #[test]
+    fn straggler_windows_take_worst_factor() {
+        let p = FaultPlan::new()
+            .straggler(0, 1.0, 5.0, 3.0)
+            .straggler(0, 2.0, 4.0, 2.0);
+        assert_eq!(p.straggler_factor(0, 0.5), 1.0);
+        assert_eq!(p.straggler_factor(0, 1.0), 3.0);
+        assert_eq!(p.straggler_factor(0, 2.5), 3.0);
+        assert_eq!(p.straggler_factor(0, 5.0), 1.0);
+        assert_eq!(p.straggler_factor(1, 2.5), 1.0);
+    }
+
+    #[test]
+    fn seeded_liveness_is_deterministic_and_bounded() {
+        let a = FaultPlan::seeded_liveness(42, 4, 10.0);
+        let b = FaultPlan::seeded_liveness(42, 4, 10.0);
+        let c = FaultPlan::seeded_liveness(43, 4, 10.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let hangs = a
+            .events
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::Hang { .. }))
+            .count();
+        assert!(hangs <= 1, "at most one hang per liveness schedule");
+        for e in &a.events {
+            match e {
+                FaultEvent::Hang { at_s, .. } => {
+                    assert!(*at_s >= 2.0 && *at_s <= 7.0);
+                }
+                FaultEvent::Straggler {
+                    from_s,
+                    until_s,
+                    slowdown,
+                    ..
+                } => {
+                    assert!(*from_s >= 0.0 && until_s > from_s && *until_s <= 10.0);
+                    assert!(*slowdown >= 2.0 && *slowdown <= 6.0);
+                }
+                other => panic!("unexpected event kind in liveness schedule: {other:?}"),
             }
         }
     }

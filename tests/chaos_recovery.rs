@@ -12,11 +12,16 @@
 //! Every plan also carries one deterministic link-corruption window on
 //! the crashed node so `corruption_detected > 0` holds for every seed,
 //! including `TFHPC_FAULT_CORRUPT=0`.
+//!
+//! The same seed drives the *liveness* leg
+//! (`cg_recovers_bit_identically_under_liveness_chaos`): a seeded
+//! hang/straggler schedule under heartbeat detection, where failures
+//! never report an error and only silence gives them away.
 
 use tfhpc_apps::{
-    matmul::c_key, run_cg_supervised, run_cg_with_store, run_fft_supervised, run_matmul_supervised,
-    run_stream_supervised, CgConfig, CgReduction, FaultSetup, FftConfig, MatmulConfig,
-    StreamConfig,
+    matmul::c_key, run_cg_supervised, run_cg_supervised_with_stats, run_cg_with_store,
+    run_fft_supervised, run_matmul_supervised, run_stream_supervised, CgConfig, CgReduction,
+    FaultSetup, FftConfig, MatmulConfig, StreamConfig,
 };
 use tfhpc_core::{RetryConfig, TensorProto};
 use tfhpc_proto::Message;
@@ -170,6 +175,59 @@ fn cg_recovers_bit_identically_under_chaos() {
         report.rs_final.to_bits(),
         clean.rs_final.to_bits(),
         "seed {}: CG residual diverged",
+        fault_seed()
+    );
+}
+
+#[test]
+fn cg_recovers_bit_identically_under_liveness_chaos() {
+    // The liveness leg of the chaos matrix: a seeded schedule of hangs
+    // and straggler windows (no crashes, no corruption) over all three
+    // CG nodes, with heartbeat detection on. A hang never reports an
+    // error — only the deadline detector can see it — and a straggler
+    // whose stretched heartbeat overshoots the death timeout is
+    // ejected the same way. Whatever the seed draws, the supervised
+    // run must finish and reproduce the fault-free residual bit for
+    // bit; when the schedule contains a hang, a silence-driven death
+    // verdict and at least one restart are mandatory.
+    let p = tegner_k420(); // 1 task/node: reducer 0, workers on nodes 1-2
+    let cfg = CgConfig {
+        n: 256,
+        workers: 2,
+        iterations: 12,
+        protocol: Protocol::Rdma,
+        simulated: true,
+        checkpoint_every: Some(4),
+        resume: false,
+        reduction: CgReduction::QueuePair,
+    };
+    let (clean, _) = run_cg_with_store(&p, &cfg, None).unwrap();
+
+    let t = clean.elapsed_s;
+    let plan = FaultPlan::seeded_liveness(fault_seed(), 3, t);
+    let has_hang = (0..3).any(|node| plan.hung(node, -1.0, f64::MAX));
+    // Budget: each straggler window can kill at most once (the verdict
+    // lands after the window closes, so replacements run clean) and a
+    // hang kills exactly once — 6 covers the worst draw with margin.
+    let faults = FaultSetup::new(plan, 6).with_heartbeats(t * 0.05, t * 0.2);
+    let (report, _, stats) = run_cg_supervised_with_stats(&p, &cfg, &faults).unwrap();
+    if has_hang {
+        assert!(report.restarts >= 1, "seed {}: no restart", fault_seed());
+        assert!(
+            !stats.deaths.is_empty(),
+            "seed {}: hang produced no death verdict",
+            fault_seed()
+        );
+        assert!(
+            !stats.recoveries.is_empty(),
+            "seed {}: death without revival",
+            fault_seed()
+        );
+    }
+    assert_eq!(
+        report.rs_final.to_bits(),
+        clean.rs_final.to_bits(),
+        "seed {}: CG residual diverged under liveness chaos",
         fault_seed()
     );
 }

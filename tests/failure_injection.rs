@@ -15,7 +15,9 @@ use tfhpc_core::{
     CoreError, DeviceCtx, Graph, OpKernel, Placement, Resources, Result as CoreResult, RetryConfig,
     Session,
 };
-use tfhpc_dist::{launch, recv_deadline, send, JobSpec, LaunchConfig, RendezvousKey, TaskKey};
+use tfhpc_dist::{
+    launch, recv_deadline, send, JobSpec, LaunchConfig, RendezvousKey, SupervisorConfig, TaskKey,
+};
 use tfhpc_sim::des::Sim;
 use tfhpc_sim::fault::FaultPlan;
 use tfhpc_sim::net::Protocol;
@@ -356,6 +358,158 @@ fn transient_link_fault_is_retried_and_counted_in_run_metadata() {
         1.0,
         "the retried push must land exactly once"
     );
+}
+
+#[test]
+fn partial_restart_fences_deadlines_to_exact_virtual_instants() {
+    // A healthy consumer holds timed waits (`recv_deadline`,
+    // `dequeue_timeout`) while its peer crashes and is *partially*
+    // restarted onto a spare node. The deadlines must expire at their
+    // exact virtual instants (unperturbed by the repair), the parked
+    // wait must survive the peer's replacement and then receive from
+    // the new incarnation, and the consumer's own attempt counter must
+    // stay at 0 — no collateral restart.
+    let cfg = LaunchConfig::simulated(
+        tegner_k420(),
+        vec![JobSpec::new("dst", 1, 0), JobSpec::new("src", 1, 0)],
+        Protocol::Rdma,
+    )
+    .with_faults(FaultPlan::new().crash(1, 0.5))
+    .with_supervisor(
+        SupervisorConfig::restarting(1)
+            .with_partial_restart(["src"])
+            .with_spares(1),
+    );
+    let out = launch(&cfg, move |ctx| {
+        let key = RendezvousKey::new(TaskKey::new("src", 0), TaskKey::new("dst", 0), "edge", 7);
+        if ctx.job() == "dst" {
+            let q = ctx.server.resources.create_queue("work", 4);
+            match recv_deadline(&ctx.server, &key, None, 0.25) {
+                Err(CoreError::DeadlineExceeded(_)) => {
+                    assert_eq!(ctx.now().to_bits(), 0.25f64.to_bits(), "{}", ctx.now());
+                }
+                other => {
+                    return Err(CoreError::Invalid(format!(
+                        "expected DeadlineExceeded, got {other:?}"
+                    )))
+                }
+            }
+            match q.dequeue_timeout(0.15) {
+                Err(CoreError::DeadlineExceeded(_)) => {
+                    assert_eq!(ctx.now().to_bits(), 0.4f64.to_bits(), "{}", ctx.now());
+                }
+                other => {
+                    return Err(CoreError::Invalid(format!(
+                        "expected DeadlineExceeded, got {other:?}"
+                    )))
+                }
+            }
+            // Park across the peer's crash (t=0.5) and partial repair:
+            // the replacement incarnation (attempt 1) must feed both
+            // the rendezvous and the queue.
+            let v = recv_deadline(&ctx.server, &key, None, 10.0)?;
+            assert_eq!(v.scalar_value_f64()?, 1.0, "sender was not attempt 1");
+            let tuple = q.dequeue()?;
+            assert_eq!(tuple[0].scalar_value_f64()?, 1.0);
+            Ok(())
+        } else {
+            if ctx.attempt() == 0 {
+                if let Some(me) = tfhpc_sim::des::current() {
+                    me.advance(0.6);
+                }
+                ctx.check_faults()?;
+                return Err(CoreError::Invalid("crash at 0.5 did not fire".into()));
+            }
+            let stamp = Tensor::scalar_f64(ctx.attempt() as f64);
+            send(&ctx.server, &key, stamp.clone(), None)?;
+            ctx.server
+                .remote_enqueue(&TaskKey::new("dst", 0), "work", vec![stamp], None)
+        }
+    })
+    .unwrap();
+    assert_eq!(out.restarts, 1);
+    assert_eq!(out.replacements.len(), 1, "src must move to the spare");
+    assert_eq!(out.replacements[0].0, TaskKey::new("src", 0));
+    for exit in &out.task_exits {
+        if exit.key.job == "dst" {
+            assert_eq!(exit.attempt, 0, "healthy task restarted: {:?}", exit.key);
+            assert!(exit.error.is_none());
+        }
+    }
+}
+
+#[test]
+fn hang_with_zero_budget_is_fatal_not_deadlocked() {
+    // Liveness detection with no restart budget: the hang must still be
+    // *detected* (the run cannot sit in a silent deadlock), the fatal
+    // drain must unwind a healthy peer parked in `recv_deadline`, and
+    // the launch must fail with the detector's verdict.
+    let cfg = LaunchConfig::simulated(
+        tegner_k420(),
+        vec![JobSpec::new("dst", 1, 0), JobSpec::new("src", 1, 0)],
+        Protocol::Rdma,
+    )
+    .with_faults(FaultPlan::new().hang(1, 0.3))
+    .with_supervisor(SupervisorConfig::default().with_heartbeats(0.05, 0.2));
+    let unwound = Arc::new(parking_lot::Mutex::new(false));
+    let unwound2 = Arc::clone(&unwound);
+    let result = launch(&cfg, move |ctx| {
+        let key = RendezvousKey::new(TaskKey::new("src", 0), TaskKey::new("dst", 0), "edge", 1);
+        if ctx.job() == "dst" {
+            // Nothing will ever arrive: the sender hangs at t=0.3. The
+            // fatal path must abort this wait well before its deadline.
+            match recv_deadline(&ctx.server, &key, None, 100.0) {
+                Err(e) => {
+                    assert!(ctx.now() < 1.0, "drain came too late: {}", ctx.now());
+                    *unwound2.lock() = true;
+                    Err(e)
+                }
+                Ok(_) => Err(CoreError::Invalid("received from a hung peer".into())),
+            }
+        } else {
+            loop {
+                if let Some(me) = tfhpc_sim::des::current() {
+                    me.advance(0.05);
+                }
+                ctx.check_faults()?;
+            }
+        }
+    });
+    let err = match result {
+        Err(e) => e,
+        Ok(_) => panic!("zero budget must fail the launch"),
+    };
+    assert!(err.to_string().contains("heartbeat silence"), "{err}");
+    assert!(*unwound.lock(), "parked recv was not unwound by the drain");
+}
+
+#[test]
+fn repeated_hangs_exhaust_the_restart_budget() {
+    // First hang (t=0.3) is detected and consumes the single restart;
+    // the second (t=1.0) hits the replacement generation and must turn
+    // fatal — exercising the exhausted-budget supervisor path end to
+    // end in virtual time.
+    let cfg = LaunchConfig::simulated(
+        tegner_k420(),
+        vec![JobSpec::new("worker", 2, 1)],
+        Protocol::Rdma,
+    )
+    .with_faults(FaultPlan::new().hang(1, 0.3).hang(1, 1.0))
+    .with_supervisor(SupervisorConfig::restarting(1).with_heartbeats(0.05, 0.2));
+    let result = launch(&cfg, |ctx| {
+        for _ in 0..20 {
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(0.1);
+            }
+            ctx.check_faults()?;
+        }
+        Ok(())
+    });
+    let err = match result {
+        Err(e) => e,
+        Ok(_) => panic!("second hang must exhaust the budget"),
+    };
+    assert!(err.to_string().contains("heartbeat silence"), "{err}");
 }
 
 fn crash_cg_cfg(iterations: usize) -> CgConfig {
