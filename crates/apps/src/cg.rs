@@ -455,7 +455,7 @@ fn worker_task(
     let wg = build_worker_graph(n, rows);
     let sess = ctx
         .server
-        .session_with_options(Arc::clone(&wg.graph), SessionOptions::from_env());
+        .session_with_options(Arc::clone(&wg.graph), SessionOptions::from_env()?);
 
     // Initial residual reduction: rs = Σ_w r_wᵀ r_w.
     let mut rs_old = if resume_from.is_some() {

@@ -203,7 +203,7 @@ fn worker_task(
     let push_node = g.custom(push, &[parts[0], spectrum], &[]);
     let sess = ctx
         .server
-        .session_with_options(Arc::new(g), SessionOptions::from_env());
+        .session_with_options(Arc::new(g), SessionOptions::from_env()?);
     let tr = tfhpc_obs::trace::global();
     let result = (|| loop {
         ctx.check_faults()?;
@@ -359,7 +359,7 @@ fn merger_task(
     );
     let sess = ctx
         .server
-        .session_with_options(Arc::new(g), SessionOptions::from_env());
+        .session_with_options(Arc::new(g), SessionOptions::from_env()?);
     let out = sess.run(&[merged[0]], &[])?;
     store.put(vec![-1], out.into_iter().next().expect("merged spectrum"));
     Ok(())

@@ -21,6 +21,7 @@
 
 pub mod cg;
 pub mod fft;
+pub mod jobs;
 pub mod matmul;
 pub(crate) mod observe;
 pub mod stream;
@@ -31,6 +32,7 @@ pub use cg::{
     CgReduction, CgReport,
 };
 pub use fft::{run_fft, run_fft_supervised, run_fft_with_store, FftConfig, FftReport};
+pub use jobs::{digest_tensors, RequestKind, RequestSpec, StepGraph};
 pub use matmul::{run_matmul, run_matmul_supervised, MatmulConfig, MatmulReport};
 pub use stream::{run_stream, run_stream_supervised, StreamConfig, StreamReport};
 pub use supervised::{common_resume, stats_of, Checkpointer, SupervisedStats, CKPT_KEEP};

@@ -438,7 +438,7 @@ fn worker_body(
     let push_node = g.custom(push, &[parts[2], c], &[]);
     let sess = ctx
         .server
-        .session_with_options(Arc::new(g), SessionOptions::from_env());
+        .session_with_options(Arc::new(g), SessionOptions::from_env()?);
     let tr = tfhpc_obs::trace::global();
     let result = (|| loop {
         ctx.check_faults()?;

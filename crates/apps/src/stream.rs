@@ -132,7 +132,7 @@ pub fn run_stream(platform: &Platform, cfg: &StreamConfig) -> Result<StreamRepor
         let op = g.custom(kernel, &[], &[]);
         let sess = ctx
             .server
-            .session_with_options(Arc::new(g), SessionOptions::from_env());
+            .session_with_options(Arc::new(g), SessionOptions::from_env()?);
         let tr = tfhpc_obs::trace::global();
         let t0 = ctx.now();
         for _ in 0..cfg2.invocations {
@@ -246,7 +246,7 @@ pub fn run_stream_supervised(
         let op = g.custom(kernel, &[], &[]);
         let sess = ctx
             .server
-            .session_with_options(Arc::new(g), SessionOptions::from_env());
+            .session_with_options(Arc::new(g), SessionOptions::from_env()?);
         let tr = tfhpc_obs::trace::global();
         for it in start_iter..cfg2.invocations {
             ctx.check_faults()?;

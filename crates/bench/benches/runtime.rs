@@ -44,7 +44,7 @@ fn bench_inter_op_scaling() {
         let opts = SessionOptions {
             inter_op_threads: inter,
             intra_op_threads: 1,
-            step_replay: true,
+            ..SessionOptions::default()
         };
         let mut sess =
             Session::with_options(Arc::clone(&g), Resources::new(), DeviceCtx::real(0), opts);

@@ -150,6 +150,7 @@ fn session_for(g: Graph, step_replay: bool) -> Session {
             inter_op_threads: 1,
             intra_op_threads: 1,
             step_replay,
+            ..SessionOptions::default()
         },
     )
 }

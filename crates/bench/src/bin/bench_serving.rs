@@ -1,0 +1,262 @@
+//! `bench_serving` — multi-tenant serving-plane benchmark over the
+//! simulated cluster: a seeded open/closed-loop load mix driven
+//! through the session server (admission → batching → shared plan
+//! cache → dispatch), reporting per-tenant p50/p99/p999 latency,
+//! throughput, rejection rate and batching efficiency. Every number
+//! is virtual-time, so two runs with the same `TFHPC_LOAD_SEED` write
+//! byte-identical JSON — the CI determinism check `cmp`s them.
+//!
+//! Tenants:
+//!   interactive — open-loop matmul/FFT mix at high rate: the batching
+//!                 workload (mean batch size must exceed 1).
+//!   batch-cg    — closed-loop CG step clients: the latency workload.
+//!   besteffort  — open-loop STREAM triads under a deliberately tight
+//!                 quota: the admission workload (rejections expected).
+//!
+//! Flags:
+//!   --smoke          short run (CI); fewer jobs
+//!   --out <path>     where to write the JSON (default BENCH_serving.json)
+//!   --check <path>   compare against a committed baseline: exit 1 if a
+//!                    tenant's p99 latency regressed by more than 25%,
+//!                    aggregate throughput fell below 80% of baseline,
+//!                    batching or admission stopped working, or the
+//!                    shared plan cache stopped hitting. Portable:
+//!                    virtual-time numbers are exact on every host.
+
+use tfhpc_apps::{RequestKind, RequestSpec};
+use tfhpc_serve::{run_load, Arrival, LoadReport, ServeConfig, TenantQuota, TenantSpec};
+
+fn tenants(smoke: bool) -> Vec<TenantSpec> {
+    let scale = if smoke { 1 } else { 5 };
+    vec![
+        TenantSpec {
+            name: "interactive".into(),
+            arrival: Arrival::Open { rate_hz: 2000.0 },
+            jobs: 120 * scale,
+            mix: vec![
+                RequestSpec::new(RequestKind::Matmul, 32),
+                RequestSpec::new(RequestKind::Fft, 64),
+            ],
+            quota: None,
+        },
+        TenantSpec {
+            name: "batch-cg".into(),
+            arrival: Arrival::Closed {
+                clients: 8,
+                think_s: 0.001,
+            },
+            jobs: 64 * scale,
+            mix: vec![RequestSpec::new(RequestKind::Cg, 48)],
+            quota: None,
+        },
+        TenantSpec {
+            name: "besteffort".into(),
+            arrival: Arrival::Open { rate_hz: 3000.0 },
+            jobs: 60 * scale,
+            mix: vec![RequestSpec::new(RequestKind::Stream, 256)],
+            quota: Some(TenantQuota {
+                max_in_flight: 4,
+                max_queue_depth: 4,
+                node_budget: 4,
+            }),
+        },
+    ]
+}
+
+/// Pull a numeric field out of a previously emitted baseline: finds
+/// the tenant object by name, then the field after it. `tenant = None`
+/// reads a top-level field.
+fn extract_field(json: &str, tenant: Option<&str>, field: &str) -> Option<f64> {
+    let rest = match tenant {
+        Some(t) => &json[json.find(&format!("\"tenant\": \"{t}\""))?..],
+        None => json,
+    };
+    let f = rest.find(&format!("\"{field}\":"))?;
+    let tail = &rest[f + field.len() + 3..];
+    let end = tail.find([',', '}', '\n'])?;
+    tail[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_serving.json".to_string());
+    let check_path = flag_value("--check");
+
+    let seed = tfhpc_core::env::env_u64("TFHPC_LOAD_SEED")
+        .expect("TFHPC_LOAD_SEED must be an unsigned integer")
+        .unwrap_or(42);
+    let cfg = ServeConfig::from_env().expect("malformed TFHPC_SERVE_* environment");
+    let load = tenants(smoke);
+
+    let report: LoadReport = run_load(&cfg, &load, seed).expect("load run failed");
+
+    println!(
+        "serving: seed {} | {} workers, window {:.1} ms, max batch {} | {} jobs in {:.4}s virtual = {:.0} jobs/s",
+        seed,
+        cfg.workers,
+        cfg.batch_window_s * 1e3,
+        cfg.max_batch,
+        report.completed,
+        report.makespan_s,
+        report.throughput_jobs_per_s
+    );
+    println!(
+        "plan cache: {} hits / {} misses / {} evictions ({} entries); {} dispatches carrying {} jobs (mean batch {:.2})",
+        report.plan_cache.hits,
+        report.plan_cache.misses,
+        report.plan_cache.evictions,
+        report.plan_cache.entries,
+        report.batches,
+        report.batched_jobs,
+        report.mean_batch
+    );
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10} {:>11} {:>8} {:>7}",
+        "tenant",
+        "submit",
+        "done",
+        "reject",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms",
+        "jobs/s",
+        "rej %",
+        "batch"
+    );
+    for t in &report.tenants {
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>11.1} {:>7.1}% {:>7.2}",
+            t.tenant,
+            t.submitted,
+            t.completed,
+            t.rejected,
+            t.p50_s * 1e3,
+            t.p99_s * 1e3,
+            t.p999_s * 1e3,
+            t.throughput_jobs_per_s,
+            t.rejection_rate * 100.0,
+            t.mean_batch
+        );
+    }
+
+    let body = format!(
+        "{{\n  \"schema\": \"tfhpc-bench-serving-v1\",\n  \"smoke\": {},\n  \"report\": {}}}\n",
+        smoke,
+        report.to_json()
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap();
+        }
+    }
+    std::fs::write(&out_path, &body).unwrap();
+    println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let mut failed = false;
+
+        // Tail-latency regression per tenant: virtual-time p99 is
+        // exact, so 25% headroom only covers intentional model drift.
+        for t in &report.tenants {
+            match extract_field(&baseline, Some(&t.tenant), "p99_s") {
+                Some(base) if base > 0.0 => {
+                    let ceil = base * 1.25;
+                    if t.p99_s > ceil {
+                        eprintln!(
+                            "FAIL: {} p99 {:.6}s above baseline {:.6}s + 25%",
+                            t.tenant, t.p99_s, base
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "OK: {} p99 {:.6}s within 25% of baseline {:.6}s",
+                            t.tenant, t.p99_s, base
+                        );
+                    }
+                }
+                _ => println!("note: baseline has no p99_s for {}", t.tenant),
+            }
+        }
+
+        // Aggregate throughput floor.
+        if let Some(base) = extract_field(&baseline, None, "throughput_jobs_per_s") {
+            let floor = base * 0.8;
+            if report.throughput_jobs_per_s < floor {
+                eprintln!(
+                    "FAIL: throughput {:.1} jobs/s below 80% of baseline {:.1}",
+                    report.throughput_jobs_per_s, base
+                );
+                failed = true;
+            } else {
+                println!(
+                    "OK: throughput {:.1} jobs/s >= 80% of baseline {:.1}",
+                    report.throughput_jobs_per_s, base
+                );
+            }
+        }
+
+        // The batching tenant must actually coalesce...
+        let interactive = report
+            .tenants
+            .iter()
+            .find(|t| t.tenant == "interactive")
+            .expect("interactive tenant present");
+        if interactive.mean_batch <= 1.05 {
+            eprintln!(
+                "FAIL: interactive mean batch {:.2} — batching is not coalescing",
+                interactive.mean_batch
+            );
+            failed = true;
+        } else {
+            println!(
+                "OK: interactive mean batch {:.2} > 1",
+                interactive.mean_batch
+            );
+        }
+
+        // ...and the quota tenant must actually be policed.
+        let besteffort = report
+            .tenants
+            .iter()
+            .find(|t| t.tenant == "besteffort")
+            .expect("besteffort tenant present");
+        if besteffort.rejected == 0 {
+            eprintln!("FAIL: besteffort saw no rejections — admission control inert");
+            failed = true;
+        } else {
+            println!(
+                "OK: besteffort rejected {} jobs ({:.1}%)",
+                besteffort.rejected,
+                besteffort.rejection_rate * 100.0
+            );
+        }
+
+        // Shared plan cache: thousands of jobs over a handful of
+        // request shapes must hit nearly always.
+        let total = report.plan_cache.hits + report.plan_cache.misses;
+        let hit_ratio = if total > 0 {
+            report.plan_cache.hits as f64 / total as f64
+        } else {
+            0.0
+        };
+        if hit_ratio < 0.9 {
+            eprintln!("FAIL: plan cache hit ratio {hit_ratio:.3} below 0.9");
+            failed = true;
+        } else {
+            println!("OK: plan cache hit ratio {hit_ratio:.3} >= 0.9");
+        }
+
+        if failed {
+            std::process::exit(1);
+        }
+        println!("OK: all serving gates passed");
+    }
+}

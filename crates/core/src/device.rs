@@ -108,6 +108,15 @@ impl DeviceCtx {
         }
     }
 
+    /// Compact signature of everything [`DeviceCtx::resolve`] depends
+    /// on. Cached `ExecutionPlan`s embed resolved placements, so a
+    /// shared plan cache keys on this: two contexts with equal
+    /// signatures resolve every request identically and may share
+    /// plans, regardless of which simulated node they sit on.
+    pub fn placement_signature(&self) -> u64 {
+        (self.n_gpus as u64) << 1 | self.allow_soft_placement as u64
+    }
+
     /// Resolve a requested placement into a concrete device.
     ///
     /// `gpu_capable` declares whether the op has a GPU kernel.

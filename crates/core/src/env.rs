@@ -1,0 +1,92 @@
+//! Strict environment-knob parsing.
+//!
+//! Every `TFHPC_*` knob goes through these helpers: an *unset* knob
+//! yields `None` (the caller keeps its default), a *malformed* one is
+//! a loud [`CoreError::InvalidArgument`] — never a silent fallback.
+//! The full knob table lives in the README.
+
+use crate::error::{CoreError, Result};
+
+/// Read `key` as a non-negative integer.
+pub fn env_usize(key: &str) -> Result<Option<usize>> {
+    parse_with(key, |v| v.parse().ok(), "a non-negative integer")
+}
+
+/// Read `key` as a `u64` (seeds).
+pub fn env_u64(key: &str) -> Result<Option<u64>> {
+    parse_with(key, |v| v.parse().ok(), "a non-negative integer")
+}
+
+/// Read `key` as a finite, non-negative float.
+pub fn env_f64(key: &str) -> Result<Option<f64>> {
+    parse_with(
+        key,
+        |v| v.parse().ok().filter(|x: &f64| x.is_finite() && *x >= 0.0),
+        "a finite non-negative number",
+    )
+}
+
+/// Read `key` as a boolean: `1`/`true`/`on` or `0`/`false`/`off`
+/// (case-insensitive).
+pub fn env_bool(key: &str) -> Result<Option<bool>> {
+    parse_with(
+        key,
+        |v| {
+            if v == "1" || v.eq_ignore_ascii_case("true") || v.eq_ignore_ascii_case("on") {
+                Some(true)
+            } else if v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off") {
+                Some(false)
+            } else {
+                None
+            }
+        },
+        "one of 1/true/on/0/false/off",
+    )
+}
+
+fn parse_with<T>(
+    key: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+    expected: &str,
+) -> Result<Option<T>> {
+    match std::env::var(key) {
+        Err(_) => Ok(None),
+        Ok(raw) => {
+            let v = raw.trim();
+            parse(v).map(Some).ok_or_else(|| {
+                CoreError::InvalidArgument(format!("{key}=`{raw}` is not {expected}"))
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malformed_values_fail_loudly() {
+        // Unique key names: env vars are process-global.
+        std::env::set_var("TFHPC_ENVTEST_USIZE", "banana");
+        assert!(matches!(
+            env_usize("TFHPC_ENVTEST_USIZE"),
+            Err(CoreError::InvalidArgument(_))
+        ));
+        std::env::set_var("TFHPC_ENVTEST_USIZE", " 8 ");
+        assert_eq!(env_usize("TFHPC_ENVTEST_USIZE").unwrap(), Some(8));
+        std::env::remove_var("TFHPC_ENVTEST_USIZE");
+        assert_eq!(env_usize("TFHPC_ENVTEST_USIZE").unwrap(), None);
+
+        std::env::set_var("TFHPC_ENVTEST_BOOL", "yes");
+        assert!(env_bool("TFHPC_ENVTEST_BOOL").is_err());
+        std::env::set_var("TFHPC_ENVTEST_BOOL", "OFF");
+        assert_eq!(env_bool("TFHPC_ENVTEST_BOOL").unwrap(), Some(false));
+        std::env::remove_var("TFHPC_ENVTEST_BOOL");
+
+        std::env::set_var("TFHPC_ENVTEST_F64", "-1.0");
+        assert!(env_f64("TFHPC_ENVTEST_F64").is_err());
+        std::env::set_var("TFHPC_ENVTEST_F64", "0.25");
+        assert_eq!(env_f64("TFHPC_ENVTEST_F64").unwrap(), Some(0.25));
+        std::env::remove_var("TFHPC_ENVTEST_F64");
+    }
+}

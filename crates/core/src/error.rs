@@ -58,6 +58,18 @@ pub enum CoreError {
         /// false when the authoritative copy itself is damaged (disk).
         transient: bool,
     },
+    /// A quota or capacity limit was hit — TensorFlow's
+    /// `ResourceExhaustedError`. Raised by the serving plane's
+    /// admission controller when a tenant exceeds its in-flight,
+    /// queue-depth or node budget. Not transient: retrying immediately
+    /// re-hits the same limit; the caller must shed load or wait for
+    /// its own jobs to finish.
+    ResourceExhausted(String),
+    /// A configuration value is malformed — TensorFlow's
+    /// `InvalidArgumentError`. Raised by strict env-knob parsing
+    /// (`SessionOptions::from_env`, `TFHPC_SERVE_*`) instead of
+    /// silently falling back to defaults.
+    InvalidArgument(String),
     /// Anything else.
     Invalid(String),
 }
@@ -132,6 +144,8 @@ impl std::fmt::Display for CoreError {
                 };
                 write!(f, "data loss ({kind}): {what}")
             }
+            CoreError::ResourceExhausted(s) => write!(f, "resource exhausted: {s}"),
+            CoreError::InvalidArgument(s) => write!(f, "invalid argument: {s}"),
             CoreError::Invalid(s) => write!(f, "invalid: {s}"),
         }
     }

@@ -48,7 +48,13 @@ pub struct Graph {
     /// Mutation counter: bumped by every structural change so cached
     /// execution plans keyed on it invalidate (TF's "graph version").
     generation: AtomicU64,
+    /// Process-unique id, used as the plan-cache fingerprint fallback
+    /// for graphs that cannot be serialized (e.g. `py_func` closures).
+    uid: u64,
 }
+
+/// Next [`Graph::uid`]; never reused within a process.
+static GRAPH_UID: AtomicU64 = AtomicU64::new(1);
 
 impl Default for Graph {
     fn default() -> Self {
@@ -64,7 +70,15 @@ impl Graph {
             default_device: vec![Placement::Auto],
             name_seq: 0,
             generation: AtomicU64::new(0),
+            uid: GRAPH_UID.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// Process-unique graph id. Unlike the content fingerprint, two
+    /// identically-built graphs have *different* uids — this is only
+    /// the identity of last resort for unserializable graphs.
+    pub fn uid(&self) -> u64 {
+        self.uid
     }
 
     /// Current mutation generation. A [`crate::session::Session`]

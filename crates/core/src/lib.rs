@@ -29,11 +29,13 @@ pub mod dataset;
 pub mod debugger;
 pub mod device;
 pub mod eager;
+pub mod env;
 pub mod error;
 pub mod graph;
 pub mod kernels;
 pub mod op;
 pub mod optimizer;
+pub mod plan_cache;
 pub mod queue;
 pub mod queue_runner;
 pub mod resources;
@@ -50,6 +52,7 @@ pub use error::{CoreError, Result};
 pub use graph::{Graph, NodeId};
 pub use op::{Op, OpKernel};
 pub use optimizer::{optimize, optimize_for, OptimizeStats, Optimized};
+pub use plan_cache::{PlanCacheStats, SharedPlanCache};
 pub use queue::FifoQueue;
 pub use queue_runner::{Coordinator, QueueRunner};
 pub use resources::{Resources, TileStore, Variable};

@@ -1,0 +1,187 @@
+//! Cross-session shared [`ExecutionPlan`] cache.
+//!
+//! PR 4 memoized execution plans per `Session`; the serving plane
+//! promotes that memoization behind this concurrency-safe, capacity-
+//! bounded cache so many sessions over identically-built graphs (one
+//! per server worker, or thousands of short-lived tenant sessions)
+//! build each plan once. Entries are keyed by
+//! `(graph fingerprint, device signature, run signature)`:
+//!
+//! * the *graph fingerprint* hashes the serialized GraphDef mixed with
+//!   the graph's mutation generation, so identically-built graphs
+//!   share entries while any structural change or explicit
+//!   `invalidate_plans()` call re-keys them (unserializable graphs
+//!   fall back to their process-unique uid — correct, never shared);
+//! * the *device signature* covers everything placement resolution
+//!   depends on ([`crate::DeviceCtx::placement_signature`]), since
+//!   plans embed resolved placements;
+//! * the *run signature* is the session's sorted fetch/feed-node key.
+//!
+//! Capacity `0` means unbounded — the per-`Session` default, which
+//! keeps pre-existing step-replay behavior bit-identical. A bounded
+//! cache evicts the least-recently-used entry and counts it (also in
+//! the global `tfhpc_plan_cache_evictions_total` metric).
+
+use crate::session::{ExecutionPlan, PlanKey};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Full cache key: (graph fingerprint, device signature, run signature).
+pub(crate) type SharedKey = (u64, u64, PlanKey);
+
+/// FNV-1a over a byte slice.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Fold one more `u64` into an FNV-1a state.
+pub(crate) fn mix(h: u64, v: u64) -> u64 {
+    fnv1a_word(h, v)
+}
+
+fn fnv1a_word(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Point-in-time counters of a [`SharedPlanCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that returned a cached plan.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller then built + inserted).
+    pub misses: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Entry {
+    plan: Arc<ExecutionPlan>,
+    /// LRU stamp: the cache-wide tick of the last lookup hit (or the
+    /// insert). Ticks are unique, so eviction order is total.
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<SharedKey, Entry>,
+    tick: u64,
+}
+
+/// A concurrency-safe, LRU-bounded store of built execution plans,
+/// shareable across any number of [`crate::Session`]s.
+pub struct SharedPlanCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl SharedPlanCache {
+    /// Cache holding at most `capacity` plans (`0` = unbounded).
+    pub fn new(capacity: usize) -> SharedPlanCache {
+        SharedPlanCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Unbounded cache (the per-session default).
+    pub fn unbounded() -> SharedPlanCache {
+        SharedPlanCache::new(0)
+    }
+
+    /// Configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when no plans are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/eviction counters and resident-entry count.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+
+    pub(crate) fn lookup(&self, key: &SharedKey) -> Option<Arc<ExecutionPlan>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.plan))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    pub(crate) fn insert(&self, key: SharedKey, plan: Arc<ExecutionPlan>) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(
+            key,
+            Entry {
+                plan,
+                last_used: tick,
+            },
+        );
+        if self.capacity > 0 {
+            while inner.map.len() > self.capacity {
+                // O(n) LRU scan; stamps are unique so the victim is
+                // deterministic. Plan counts are small (hundreds).
+                let victim = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(k) => {
+                        inner.map.remove(&k);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                        tfhpc_obs::global()
+                            .counter("tfhpc_plan_cache_evictions_total")
+                            .add(1);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+}

@@ -52,6 +52,11 @@ pub struct SessionOptions {
     /// cost profile — kept selectable for A/B benchmarking and
     /// bit-identity tests). Results are identical either way.
     pub step_replay: bool,
+    /// Capacity of the session's *private* plan cache, in plans
+    /// (`0` = unbounded — the default, which keeps the pre-cap
+    /// per-session behavior bit-identical). Ignored once a shared
+    /// cache is injected with [`Session::set_plan_cache`].
+    pub plan_cache_cap: usize,
 }
 
 impl Default for SessionOptions {
@@ -62,6 +67,7 @@ impl Default for SessionOptions {
                 .unwrap_or(1),
             intra_op_threads: 0,
             step_replay: true,
+            plan_cache_cap: 0,
         }
     }
 }
@@ -71,33 +77,31 @@ impl SessionOptions {
     pub fn sequential() -> SessionOptions {
         SessionOptions {
             inter_op_threads: 1,
-            intra_op_threads: 0,
-            step_replay: true,
+            ..SessionOptions::default()
         }
     }
 
     /// Defaults overridden by `TFHPC_INTER_OP_THREADS` /
-    /// `TFHPC_INTRA_OP_THREADS` (integers) and `TFHPC_STEP_REPLAY`
-    /// (`0`/`false`/`off` disables the fast path), when set.
-    pub fn from_env() -> SessionOptions {
+    /// `TFHPC_INTRA_OP_THREADS` / `TFHPC_PLAN_CACHE_CAP` (integers)
+    /// and `TFHPC_STEP_REPLAY` (booleans; `0`/`false`/`off` disables
+    /// the fast path), when set. Malformed values are a loud
+    /// [`CoreError::InvalidArgument`], never a silent default.
+    pub fn from_env() -> Result<SessionOptions> {
         let mut opts = SessionOptions::default();
-        if let Some(n) = env_usize("TFHPC_INTER_OP_THREADS") {
+        if let Some(n) = crate::env::env_usize("TFHPC_INTER_OP_THREADS")? {
             opts.inter_op_threads = n.max(1);
         }
-        if let Some(n) = env_usize("TFHPC_INTRA_OP_THREADS") {
+        if let Some(n) = crate::env::env_usize("TFHPC_INTRA_OP_THREADS")? {
             opts.intra_op_threads = n;
         }
-        if let Ok(v) = std::env::var("TFHPC_STEP_REPLAY") {
-            let v = v.trim();
-            opts.step_replay =
-                !(v == "0" || v.eq_ignore_ascii_case("false") || v.eq_ignore_ascii_case("off"));
+        if let Some(b) = crate::env::env_bool("TFHPC_STEP_REPLAY")? {
+            opts.step_replay = b;
         }
-        opts
+        if let Some(n) = crate::env::env_usize("TFHPC_PLAN_CACHE_CAP")? {
+            opts.plan_cache_cap = n;
+        }
+        Ok(opts)
     }
-}
-
-fn env_usize(key: &str) -> Option<usize> {
-    std::env::var(key).ok()?.trim().parse().ok()
 }
 
 /// Snapshot of the ambient simulation's link-traffic counters
@@ -271,12 +275,11 @@ const NO_SLOT: u32 = u32::MAX;
 
 /// A memoized, pruned execution schedule — everything `Session::run`
 /// used to re-derive per step (TensorFlow's per-signature executor
-/// cache). Keyed in the session by (fetch set, feed-node set) and
-/// stamped with the graph generation it was built against; a stale
-/// stamp at lookup time forces a rebuild.
-struct ExecutionPlan {
-    /// Graph generation this plan was built against.
-    generation: u64,
+/// cache). Stored in a [`crate::plan_cache::SharedPlanCache`] keyed by
+/// (graph fingerprint, device signature, fetch/feed signature); the
+/// fingerprint mixes in the graph generation, so a mutated graph
+/// re-keys its plans instead of hitting stale ones.
+pub(crate) struct ExecutionPlan {
     /// Pruned node ids, ascending (a valid topological order).
     nodes: Vec<NodeId>,
     /// Graph node index → slot in `nodes` (`NO_SLOT` if pruned away).
@@ -317,10 +320,10 @@ impl ExecutionPlan {
     }
 }
 
-/// Plan-cache key: the run signature (sorted + deduped fetch and
-/// feed-node id sets). Graph generation is checked at lookup, not
-/// keyed, so a mutated graph replaces rather than leaks entries.
-type PlanKey = (Vec<NodeId>, Vec<NodeId>);
+/// Plan-cache run signature: sorted + deduped fetch and feed-node id
+/// sets. The full shared-cache key prepends the graph fingerprint and
+/// device signature (see [`crate::plan_cache`]).
+pub(crate) type PlanKey = (Vec<NodeId>, Vec<NodeId>);
 
 fn plan_key(fetches: &[NodeId], feeds: &[(NodeId, Tensor)]) -> PlanKey {
     let mut f: Vec<NodeId> = fetches.to_vec();
@@ -405,8 +408,12 @@ pub struct Session {
     created: Instant,
     /// Inter-op worker pool, spun up lazily on the first parallel run.
     inter_pool: OnceLock<ThreadPool>,
-    /// Memoized execution plans keyed by run signature.
-    plans: Mutex<HashMap<PlanKey, Arc<ExecutionPlan>>>,
+    /// Memoized execution plans. Defaults to a private cache sized by
+    /// `options.plan_cache_cap`; [`Session::set_plan_cache`] swaps in a
+    /// cache shared across sessions (the serving plane's).
+    plan_cache: Arc<crate::plan_cache::SharedPlanCache>,
+    /// Cached `(generation, fingerprint)` of the session's graph.
+    fingerprint: Mutex<Option<(u64, u64)>>,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
 }
@@ -425,6 +432,9 @@ impl Session {
         devices: DeviceCtx,
         options: SessionOptions,
     ) -> Session {
+        let plan_cache = Arc::new(crate::plan_cache::SharedPlanCache::new(
+            options.plan_cache_cap,
+        ));
         Session {
             graph,
             resources,
@@ -435,7 +445,8 @@ impl Session {
             run_counter: AtomicU64::new(0),
             created: Instant::now(),
             inter_pool: OnceLock::new(),
-            plans: Mutex::new(HashMap::new()),
+            plan_cache,
+            fingerprint: Mutex::new(None),
             plan_hits: AtomicU64::new(0),
             plan_misses: AtomicU64::new(0),
         }
@@ -449,6 +460,20 @@ impl Session {
     /// Attach a `tfdbg`-style tensor debugger.
     pub fn set_debugger(&mut self, debugger: Arc<Debugger>) {
         self.debugger = Some(debugger);
+    }
+
+    /// Route this session's plan lookups through `cache` — a cache
+    /// shared across sessions, so identically-built graphs with equal
+    /// device signatures reuse each other's plans. Replaces the
+    /// private per-session cache.
+    pub fn set_plan_cache(&mut self, cache: Arc<crate::plan_cache::SharedPlanCache>) {
+        self.plan_cache = cache;
+    }
+
+    /// The plan cache this session consults (private unless a shared
+    /// one was injected with [`Session::set_plan_cache`]).
+    pub fn plan_cache(&self) -> &Arc<crate::plan_cache::SharedPlanCache> {
+        &self.plan_cache
     }
 
     /// The session's resource manager.
@@ -493,6 +518,34 @@ impl Session {
             .collect()
     }
 
+    /// Execute the same fetch set once per feed set, paying the
+    /// client→server dispatch cost a single time for the whole batch —
+    /// the serving plane's coalesced dispatch. Each request keeps its
+    /// own feed-serialization charge and its own compute, so per-
+    /// request results are bit-identical to individual [`Session::run`]
+    /// calls; only the shared administrative overhead is amortized.
+    /// Returns one result per feed set (a failed request does not
+    /// poison its batch-mates).
+    pub fn run_batch(
+        &self,
+        fetches: &[NodeId],
+        feed_sets: &[Vec<(NodeId, Tensor)>],
+    ) -> Vec<Result<Vec<Tensor>>> {
+        if let (Some(me), Some(sim)) = (tfhpc_sim::des::current(), self.devices.sim.as_ref()) {
+            me.advance(sim.cluster.platform.net.session_dispatch_s);
+        }
+        feed_sets
+            .iter()
+            .map(|feeds| {
+                let (mut outputs, _) = self.exec_subgraph_inner(fetches, feeds, false, false)?;
+                fetches
+                    .iter()
+                    .map(|f| outputs.take_fetch(&self.graph, *f))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// [`Session::run`] additionally returning per-run statistics
     /// (TensorFlow's `RunMetadata` — the raw material Fig. 3's Timeline
     /// is built from).
@@ -526,7 +579,34 @@ impl Session {
         self.exec_subgraph(targets, feeds, false).map(|_| ())
     }
 
-    /// Look up (or build) the execution plan for a run signature.
+    /// Fingerprint of the session's graph content, recomputed whenever
+    /// the graph generation changes. Serialized-GraphDef bytes mixed
+    /// with the generation — so identically-built graphs collide (the
+    /// point: they may share plans) while `invalidate_plans()` re-keys
+    /// even content-identical states. Graphs that cannot serialize
+    /// (`py_func`) fall back to their process-unique uid.
+    fn graph_fingerprint(&self) -> u64 {
+        use crate::plan_cache::{fnv1a, mix};
+        let generation = self.graph.generation();
+        if let Some((gen, fp)) = *self.fingerprint.lock() {
+            if gen == generation {
+                return fp;
+            }
+        }
+        let content = match crate::serialize::graph_to_bytes(&self.graph) {
+            Ok(bytes) => fnv1a(&bytes),
+            // Unserializable graph: process-unique identity, never
+            // shared with another graph (correct, just not reusable).
+            Err(_) => mix(0x9E37_79B9_7F4A_7C15, self.graph.uid()),
+        };
+        let fp = mix(content, generation);
+        *self.fingerprint.lock() = Some((generation, fp));
+        fp
+    }
+
+    /// Look up (or build) the execution plan for a run signature in
+    /// the session's plan cache (private by default, shared across
+    /// sessions once [`Session::set_plan_cache`] injected one).
     /// With `step_replay` off every run rebuilds from scratch and is
     /// counted as a miss — the pre-cache cost profile.
     fn plan_for(
@@ -541,21 +621,20 @@ impl Session {
             reg.counter("tfhpc_plan_cache_misses_total").add(1);
             return Ok(Arc::new(self.build_plan(&key.0)?));
         }
-        let generation = self.graph.generation();
-        {
-            let plans = self.plans.lock();
-            if let Some(plan) = plans.get(&key) {
-                if plan.generation == generation {
-                    self.plan_hits.fetch_add(1, Ordering::Relaxed);
-                    reg.counter("tfhpc_plan_cache_hits_total").add(1);
-                    return Ok(Arc::clone(plan));
-                }
-            }
+        let shared_key = (
+            self.graph_fingerprint(),
+            self.devices.placement_signature(),
+            key,
+        );
+        if let Some(plan) = self.plan_cache.lookup(&shared_key) {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            reg.counter("tfhpc_plan_cache_hits_total").add(1);
+            return Ok(plan);
         }
-        let plan = Arc::new(self.build_plan(&key.0)?);
+        let plan = Arc::new(self.build_plan(&shared_key.2 .0)?);
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
         reg.counter("tfhpc_plan_cache_misses_total").add(1);
-        self.plans.lock().insert(key, Arc::clone(&plan));
+        self.plan_cache.insert(shared_key, Arc::clone(&plan));
         Ok(plan)
     }
 
@@ -565,9 +644,6 @@ impl Session {
     /// identical runs. Placement resolution is deterministic, so
     /// resolving here (once) is equivalent to resolving per step.
     fn build_plan(&self, fetches: &[NodeId]) -> Result<ExecutionPlan> {
-        // Stamp first: a concurrent invalidation after this point makes
-        // the plan look stale and forces a rebuild, never a stale hit.
-        let generation = self.graph.generation();
         let nodes = self.graph.required_for(fetches);
         let n = nodes.len();
         let cap = nodes.last().map(|id| id.index() + 1).unwrap_or(0);
@@ -628,7 +704,6 @@ impl Session {
             })
             .collect();
         Ok(ExecutionPlan {
-            generation,
             nodes,
             slot_of,
             inputs,
@@ -651,6 +726,16 @@ impl Session {
         feeds: &[(NodeId, Tensor)],
         want_stats: bool,
     ) -> Result<(RunOutputs, RunMetadata)> {
+        self.exec_subgraph_inner(targets, feeds, want_stats, true)
+    }
+
+    fn exec_subgraph_inner(
+        &self,
+        targets: &[NodeId],
+        feeds: &[(NodeId, Tensor)],
+        want_stats: bool,
+        charge_dispatch: bool,
+    ) -> Result<(RunOutputs, RunMetadata)> {
         let run_t0 = self.now();
         let retries_t0 = self.resources.retries_total();
         let corruption_t0 = self.resources.corruption_detected_total();
@@ -660,9 +745,13 @@ impl Session {
 
         // Every invocation goes through the client→server dispatch the
         // paper measures as part of STREAM (gRPC administrative path),
-        // plus Python-side serialization of any fed tensors.
+        // plus Python-side serialization of any fed tensors. Batched
+        // runs pay the dispatch once up front (in `run_batch`) and skip
+        // it here.
         if let (Some(me), Some(sim)) = (tfhpc_sim::des::current(), self.devices.sim.as_ref()) {
-            me.advance(sim.cluster.platform.net.session_dispatch_s);
+            if charge_dispatch {
+                me.advance(sim.cluster.platform.net.session_dispatch_s);
+            }
             let feed_bytes: f64 = feeds.iter().map(|(_, t)| t.byte_size() as f64).sum();
             if feed_bytes > 0.0 {
                 me.advance(feed_bytes / (FEED_GBS * 1e9));
@@ -1355,7 +1444,7 @@ mod tests {
                 SessionOptions {
                     inter_op_threads: inter,
                     intra_op_threads: 1,
-                    step_replay: true,
+                    ..SessionOptions::default()
                 },
             );
             let out = s.run(&[c], &[]).unwrap();
@@ -1387,7 +1476,7 @@ mod tests {
                 SessionOptions {
                     inter_op_threads: inter,
                     intra_op_threads: 1,
-                    step_replay: true,
+                    ..SessionOptions::default()
                 },
             );
             let (out, meta) = s.run_with_metadata(&fetches, &[]).unwrap();

@@ -364,7 +364,7 @@ impl Registry {
 
     /// JSON exposition: an object keyed by family name, each family an
     /// object of `series label -> value` (histograms expose count, sum
-    /// and p50/p95/p99 estimates).
+    /// and p50/p95/p99/p999 estimates).
     pub fn to_json(&self) -> String {
         let fams = self.families.read();
         let mut out = String::from("{");
@@ -394,13 +394,14 @@ impl Registry {
                     Metric::Histogram(h) => {
                         let _ = write!(
                             out,
-                            ",{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                            ",{}:{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{}}}",
                             json::escape(key),
                             h.count(),
                             fmt_f64(h.sum()),
                             fmt_f64(h.quantile(0.50)),
                             fmt_f64(h.quantile(0.95)),
                             fmt_f64(h.quantile(0.99)),
+                            fmt_f64(h.quantile(0.999)),
                         );
                     }
                 }

@@ -1,0 +1,207 @@
+//! Per-tenant admission control.
+//!
+//! Every request entering the serving plane passes the admission
+//! controller before it may queue: a tenant whose in-flight jobs,
+//! queue depth or reserved node budget would exceed its quota gets a
+//! deterministic [`CoreError::ResourceExhausted`] — TensorFlow's
+//! `ResourceExhaustedError` — instead of degrading every other
+//! tenant's latency. Node budgets are reserved at admission and
+//! released when the job finishes (success *or* failure: a job whose
+//! gang dies under fault injection must not leak its reservation).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use tfhpc_core::{CoreError, Result};
+
+/// A tenant's resource limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Max jobs admitted but not yet finished (queued + running).
+    pub max_in_flight: usize,
+    /// Max jobs waiting in the queue (admitted, not yet dispatched).
+    pub max_queue_depth: usize,
+    /// Max nodes reserved by this tenant's admitted jobs at once.
+    pub node_budget: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> TenantQuota {
+        TenantQuota {
+            max_in_flight: 64,
+            max_queue_depth: 256,
+            node_budget: 64,
+        }
+    }
+}
+
+/// A snapshot of one tenant's admission state and lifetime counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantUsage {
+    /// Jobs admitted and waiting for a worker.
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Nodes reserved by admitted jobs.
+    pub nodes_in_use: usize,
+    /// Lifetime admitted count.
+    pub admitted: u64,
+    /// Lifetime rejected count.
+    pub rejected: u64,
+    /// Lifetime completed count (success or failure).
+    pub completed: u64,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    quota: Option<TenantQuota>,
+    usage: TenantUsage,
+}
+
+/// The serving plane's admission controller: quota bookkeeping for
+/// every tenant, guarded by one lock so a submit's check-and-reserve
+/// is atomic.
+#[derive(Debug)]
+pub struct AdmissionController {
+    default_quota: TenantQuota,
+    tenants: Mutex<HashMap<String, TenantState>>,
+}
+
+impl AdmissionController {
+    /// Controller where unknown tenants get `default_quota`.
+    pub fn new(default_quota: TenantQuota) -> AdmissionController {
+        AdmissionController {
+            default_quota,
+            tenants: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Override one tenant's quota (e.g. a low-priority tenant with a
+    /// tight node budget).
+    pub fn set_quota(&self, tenant: &str, quota: TenantQuota) {
+        let mut map = self.tenants.lock();
+        map.entry(tenant.to_string()).or_default().quota = Some(quota);
+    }
+
+    /// Admit a job needing `nodes` nodes, reserving quota, or reject
+    /// it with [`CoreError::ResourceExhausted`] naming the exhausted
+    /// limit. Atomic: a rejected job reserves nothing.
+    pub fn admit(&self, tenant: &str, nodes: usize) -> Result<()> {
+        let mut map = self.tenants.lock();
+        let st = map.entry(tenant.to_string()).or_default();
+        let quota = st.quota.unwrap_or(self.default_quota);
+        let u = &st.usage;
+        let verdict = if u.queued + u.running >= quota.max_in_flight {
+            Some(format!(
+                "tenant `{tenant}` at max in-flight jobs ({})",
+                quota.max_in_flight
+            ))
+        } else if u.queued >= quota.max_queue_depth {
+            Some(format!(
+                "tenant `{tenant}` at max queue depth ({})",
+                quota.max_queue_depth
+            ))
+        } else if u.nodes_in_use + nodes > quota.node_budget {
+            Some(format!(
+                "tenant `{tenant}` over node budget ({} + {nodes} > {})",
+                u.nodes_in_use, quota.node_budget
+            ))
+        } else {
+            None
+        };
+        match verdict {
+            Some(reason) => {
+                st.usage.rejected += 1;
+                tfhpc_obs::global()
+                    .counter_with("tfhpc_serve_rejected_total", &[("tenant", tenant)])
+                    .add(1);
+                Err(CoreError::ResourceExhausted(reason))
+            }
+            None => {
+                st.usage.queued += 1;
+                st.usage.nodes_in_use += nodes;
+                st.usage.admitted += 1;
+                tfhpc_obs::global()
+                    .counter_with("tfhpc_serve_admitted_total", &[("tenant", tenant)])
+                    .add(1);
+                Ok(())
+            }
+        }
+    }
+
+    /// A queued job moved onto a worker.
+    pub fn on_dispatch(&self, tenant: &str) {
+        let mut map = self.tenants.lock();
+        let u = &mut map.entry(tenant.to_string()).or_default().usage;
+        u.queued = u.queued.saturating_sub(1);
+        u.running += 1;
+    }
+
+    /// A dispatched job finished (any outcome): release its node
+    /// reservation and in-flight slot.
+    pub fn release(&self, tenant: &str, nodes: usize) {
+        let mut map = self.tenants.lock();
+        let u = &mut map.entry(tenant.to_string()).or_default().usage;
+        u.running = u.running.saturating_sub(1);
+        u.nodes_in_use = u.nodes_in_use.saturating_sub(nodes);
+        u.completed += 1;
+        tfhpc_obs::global()
+            .counter_with("tfhpc_serve_completed_total", &[("tenant", tenant)])
+            .add(1);
+    }
+
+    /// Snapshot a tenant's state.
+    pub fn usage(&self, tenant: &str) -> TenantUsage {
+        self.tenants
+            .lock()
+            .get(tenant)
+            .map(|st| st.usage.clone())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_limits_are_enforced_and_released() {
+        let adm = AdmissionController::new(TenantQuota::default());
+        adm.set_quota(
+            "t",
+            TenantQuota {
+                max_in_flight: 2,
+                max_queue_depth: 2,
+                node_budget: 3,
+            },
+        );
+        adm.admit("t", 1).unwrap();
+        adm.admit("t", 1).unwrap();
+        // In-flight limit.
+        let err = adm.admit("t", 1).unwrap_err();
+        assert!(matches!(err, CoreError::ResourceExhausted(_)), "{err}");
+        // Releasing opens a slot, but a 2-node ask can still break the
+        // node budget.
+        adm.on_dispatch("t");
+        adm.release("t", 1);
+        let err = adm.admit("t", 3).unwrap_err();
+        assert!(matches!(err, CoreError::ResourceExhausted(_)), "{err}");
+        adm.admit("t", 2).unwrap();
+        let u = adm.usage("t");
+        assert_eq!(u.admitted, 3);
+        assert_eq!(u.rejected, 2);
+        assert_eq!(u.nodes_in_use, 3);
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let adm = AdmissionController::new(TenantQuota {
+            max_in_flight: 1,
+            max_queue_depth: 1,
+            node_budget: 1,
+        });
+        adm.admit("a", 1).unwrap();
+        assert!(adm.admit("a", 1).is_err());
+        // Tenant b has its own counters.
+        adm.admit("b", 1).unwrap();
+    }
+}

@@ -1,0 +1,150 @@
+//! The request batcher.
+//!
+//! Compatible requests — same [`RequestSpec`], hence the same
+//! canonical graph, plan-cache key and feed shapes — coalesce into one
+//! executor dispatch. A batch stays open for at most the configured
+//! batching window after its first request arrives, or until it
+//! reaches the size cap, whichever comes first; then a worker takes
+//! the whole batch in one [`tfhpc_core::Session::run_batch`] call.
+//! All ordering decisions are over `(deadline, spec)` with `spec`'s
+//! total order breaking ties, so batch dispatch order is a pure
+//! function of the submission schedule.
+
+use std::collections::BTreeMap;
+use tfhpc_apps::RequestSpec;
+
+/// One admitted step request waiting in a batch.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedJob {
+    pub id: u64,
+    pub tenant: String,
+    pub seed: u64,
+    pub submitted_s: f64,
+}
+
+/// An open batch: its members plus the virtual deadline at which it
+/// dispatches even if under-full.
+#[derive(Debug)]
+pub(crate) struct PendingBatch {
+    pub jobs: Vec<QueuedJob>,
+    pub deadline: f64,
+}
+
+/// Per-spec pending batches.
+#[derive(Debug)]
+pub(crate) struct BatchQueue {
+    window_s: f64,
+    max_batch: usize,
+    pending: BTreeMap<RequestSpec, PendingBatch>,
+}
+
+impl BatchQueue {
+    pub fn new(window_s: f64, max_batch: usize) -> BatchQueue {
+        BatchQueue {
+            window_s,
+            max_batch: max_batch.max(1),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Add a job to its spec's open batch (opening one with deadline
+    /// `now + window` if none). Returns the batch's size after the
+    /// push.
+    pub fn push(&mut self, spec: RequestSpec, job: QueuedJob, now: f64) -> usize {
+        let batch = self.pending.entry(spec).or_insert_with(|| PendingBatch {
+            jobs: Vec::new(),
+            deadline: now + self.window_s,
+        });
+        batch.jobs.push(job);
+        batch.jobs.len()
+    }
+
+    /// Take the next dispatchable batch: full, or past its deadline at
+    /// `now`. Among ready batches the earliest deadline wins, with the
+    /// spec order breaking ties deterministically. A dispatch never
+    /// exceeds `max_batch` jobs: overflow (jobs that piled up before a
+    /// worker woke) stays queued under the same deadline.
+    pub fn pop_ready(&mut self, now: f64) -> Option<(RequestSpec, PendingBatch)> {
+        let spec = self
+            .pending
+            .iter()
+            .filter(|(_, b)| b.jobs.len() >= self.max_batch || b.deadline <= now)
+            .min_by(|(sa, a), (sb, b)| {
+                a.deadline
+                    .partial_cmp(&b.deadline)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(sa.cmp(sb))
+            })
+            .map(|(s, _)| *s)?;
+        let open = self.pending.get_mut(&spec)?;
+        if open.jobs.len() > self.max_batch {
+            let rest = open.jobs.split_off(self.max_batch);
+            let taken = PendingBatch {
+                jobs: std::mem::replace(&mut open.jobs, rest),
+                deadline: open.deadline,
+            };
+            Some((spec, taken))
+        } else {
+            self.pending.remove(&spec).map(|b| (spec, b))
+        }
+    }
+
+    /// Earliest deadline among pending batches — how long a worker may
+    /// sleep before an under-full batch must dispatch anyway.
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.pending
+            .values()
+            .map(|b| b.deadline)
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tfhpc_apps::RequestKind;
+
+    fn job(id: u64) -> QueuedJob {
+        QueuedJob {
+            id,
+            tenant: "t".into(),
+            seed: id,
+            submitted_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn window_and_size_cap_gate_dispatch() {
+        let mut q = BatchQueue::new(1.0, 2);
+        let spec = RequestSpec::new(RequestKind::Matmul, 8);
+        q.push(spec, job(1), 0.0);
+        // Under-full and before the deadline: nothing ready.
+        assert!(q.pop_ready(0.5).is_none());
+        assert_eq!(q.next_deadline(), Some(1.0));
+        // Reaching the cap makes it ready immediately.
+        q.push(spec, job(2), 0.5);
+        let (s, b) = q.pop_ready(0.5).unwrap();
+        assert_eq!(s, spec);
+        assert_eq!(b.jobs.len(), 2);
+        // Deadline alone also dispatches.
+        q.push(spec, job(3), 2.0);
+        assert!(q.pop_ready(2.9).is_none());
+        assert_eq!(q.pop_ready(3.0).unwrap().1.jobs.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn earliest_deadline_dispatches_first() {
+        let mut q = BatchQueue::new(1.0, 8);
+        let m = RequestSpec::new(RequestKind::Matmul, 8);
+        let f = RequestSpec::new(RequestKind::Fft, 16);
+        q.push(f, job(1), 0.0);
+        q.push(m, job(2), 0.5);
+        assert_eq!(q.pop_ready(2.0).unwrap().0, f);
+        assert_eq!(q.pop_ready(2.0).unwrap().0, m);
+    }
+}

@@ -1,0 +1,106 @@
+//! # tfhpc-serve
+//!
+//! The multi-tenant serving plane: many named tenants submit small
+//! application-step jobs to one [`SessionServer`], which runs them
+//! through the lifecycle **admission → batching → plan cache →
+//! dispatch** (design doc §12):
+//!
+//! * [`admission`] — per-tenant quotas (in-flight jobs, queue depth,
+//!   node budget); over-quota work is rejected deterministically with
+//!   [`tfhpc_core::CoreError::ResourceExhausted`].
+//! * [`batch`] — compatible requests (same [`tfhpc_apps::RequestSpec`])
+//!   coalesce into one executor dispatch within a bounded window.
+//! * the cross-session [`tfhpc_core::SharedPlanCache`] — every worker
+//!   session shares one capacity-bounded plan cache, so a request
+//!   shape is planned once for the whole server.
+//! * [`server`] — the front-end and its worker pool (OS threads in
+//!   real mode, DES processes pinned to cluster nodes in sim mode).
+//! * [`loadgen`] — splitmix64-seeded open/closed-loop traffic whose
+//!   per-tenant p50/p99/p999/throughput/rejection reports are
+//!   byte-reproducible for a given seed.
+
+pub mod admission;
+pub mod batch;
+pub mod loadgen;
+pub mod server;
+
+pub use admission::{AdmissionController, TenantQuota, TenantUsage};
+pub use loadgen::{run_load, Arrival, LoadReport, TenantSpec, TenantSummary};
+pub use server::{JobPayload, JobResult, SessionServer};
+
+use tfhpc_core::env::{env_f64, env_usize};
+use tfhpc_core::{CoreError, Result};
+
+/// Serving-plane configuration. [`ServeConfig::from_env`] reads the
+/// `TFHPC_SERVE_*` knobs (see the README's environment table) and
+/// fails loudly — [`CoreError::InvalidArgument`] — on malformed
+/// values rather than silently falling back to defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Executor workers (threads or sim processes). Must be ≥ 1.
+    pub workers: usize,
+    /// Batching window: max seconds a batch waits for company.
+    pub batch_window_s: f64,
+    /// Max requests coalesced into one dispatch. Must be ≥ 1.
+    pub max_batch: usize,
+    /// Shared plan cache capacity (entries; 0 = unbounded).
+    pub plan_cache_cap: usize,
+    /// Default quota for tenants without an explicit override.
+    pub default_quota: TenantQuota,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            batch_window_s: 0.002,
+            max_batch: 8,
+            plan_cache_cap: 256,
+            default_quota: TenantQuota::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Defaults overridden by `TFHPC_SERVE_WORKERS`,
+    /// `TFHPC_SERVE_BATCH_WINDOW_S`, `TFHPC_SERVE_MAX_BATCH`,
+    /// `TFHPC_PLAN_CACHE_CAP`, `TFHPC_SERVE_MAX_IN_FLIGHT`,
+    /// `TFHPC_SERVE_QUEUE_DEPTH` and `TFHPC_SERVE_NODE_BUDGET`.
+    /// Malformed or out-of-range values are
+    /// [`CoreError::InvalidArgument`] errors, never silent defaults.
+    pub fn from_env() -> Result<ServeConfig> {
+        let mut cfg = ServeConfig::default();
+        if let Some(w) = env_usize("TFHPC_SERVE_WORKERS")? {
+            if w == 0 {
+                return Err(CoreError::InvalidArgument(
+                    "TFHPC_SERVE_WORKERS must be >= 1".into(),
+                ));
+            }
+            cfg.workers = w;
+        }
+        if let Some(s) = env_f64("TFHPC_SERVE_BATCH_WINDOW_S")? {
+            cfg.batch_window_s = s;
+        }
+        if let Some(b) = env_usize("TFHPC_SERVE_MAX_BATCH")? {
+            if b == 0 {
+                return Err(CoreError::InvalidArgument(
+                    "TFHPC_SERVE_MAX_BATCH must be >= 1".into(),
+                ));
+            }
+            cfg.max_batch = b;
+        }
+        if let Some(c) = env_usize("TFHPC_PLAN_CACHE_CAP")? {
+            cfg.plan_cache_cap = c;
+        }
+        if let Some(m) = env_usize("TFHPC_SERVE_MAX_IN_FLIGHT")? {
+            cfg.default_quota.max_in_flight = m;
+        }
+        if let Some(d) = env_usize("TFHPC_SERVE_QUEUE_DEPTH")? {
+            cfg.default_quota.max_queue_depth = d;
+        }
+        if let Some(n) = env_usize("TFHPC_SERVE_NODE_BUDGET")? {
+            cfg.default_quota.node_budget = n;
+        }
+        Ok(cfg)
+    }
+}

@@ -30,6 +30,7 @@ pub mod pfs;
 pub mod platform;
 pub mod sync;
 pub mod topology;
+pub mod workload;
 
 pub use des::{current, CurrentProc, ProcId, Sim, SimCondvar, SimResource};
 pub use device::{Cost, DeviceModel};
@@ -37,3 +38,4 @@ pub use fault::{FaultEvent, FaultPlan};
 pub use net::Protocol;
 pub use platform::Platform;
 pub use sync::{SimBarrier, SimSemaphore};
+pub use workload::SeededStream;

@@ -131,7 +131,7 @@ fn step_stats_fingerprint() -> String {
             let n = g.neg(deq[0]);
             let sess = ctx
                 .server
-                .session_with_options(Arc::new(g), SessionOptions::from_env());
+                .session_with_options(Arc::new(g), SessionOptions::from_env().unwrap());
             let mut all = String::new();
             for _ in 0..4 {
                 let (_, md) = sess.run_with_metadata(&[n], &[])?;

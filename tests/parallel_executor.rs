@@ -15,7 +15,7 @@ fn options(inter: usize) -> SessionOptions {
         // the variable under test, and float reductions stay bitwise
         // reproducible.
         intra_op_threads: 1,
-        step_replay: true,
+        ..SessionOptions::default()
     }
 }
 

@@ -1,0 +1,371 @@
+//! Serving-plane integration tests: admission quotas under concurrent
+//! multi-tenant load, quota release on both completion and supervised
+//! death, batched-vs-unbatched bit-identity, shared plan cache
+//! behaviour, strict env parsing and load-report determinism.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tfhpc_apps::{run_cg_supervised, CgConfig, CgReduction, FaultSetup, RequestKind, RequestSpec};
+use tfhpc_core::CoreError;
+use tfhpc_serve::{
+    run_load, Arrival, JobPayload, ServeConfig, SessionServer, TenantQuota, TenantSpec,
+};
+use tfhpc_sim::fault::FaultPlan;
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::tegner_k420;
+
+/// A gate custom jobs can block on, so tests can pin a tenant's
+/// in-flight count at an exact value.
+#[derive(Default)]
+struct Gate {
+    open: parking_lot::Mutex<bool>,
+    cv: parking_lot::Condvar,
+}
+
+impl Gate {
+    fn hold(&self) {
+        let mut open = self.open.lock();
+        while !*open {
+            self.cv.wait(&mut open);
+        }
+    }
+
+    fn release(&self) {
+        *self.open.lock() = true;
+        self.cv.notify_all();
+    }
+}
+
+fn blocking_job(gate: &Arc<Gate>) -> JobPayload {
+    let g = Arc::clone(gate);
+    JobPayload::Custom {
+        label: "blocker".into(),
+        nodes: 1,
+        run: Box::new(move || {
+            g.hold();
+            Ok(1)
+        }),
+    }
+}
+
+#[test]
+fn concurrent_over_quota_submissions_get_resource_exhausted() {
+    // Two tenants, each allowed 2 in-flight jobs. Fill both quotas
+    // with jobs that block on a gate, then over-submit concurrently
+    // from separate threads: every overflow submission must fail with
+    // ResourceExhausted, deterministically, and neither tenant's
+    // overflow may eat into the other's quota.
+    let server = SessionServer::start_real(ServeConfig {
+        workers: 2,
+        batch_window_s: 0.0,
+        max_batch: 1,
+        ..ServeConfig::default()
+    });
+    let quota = TenantQuota {
+        max_in_flight: 2,
+        max_queue_depth: 2,
+        node_budget: 2,
+    };
+    server.set_quota("alice", quota);
+    server.set_quota("bob", quota);
+    let gate = Arc::new(Gate::default());
+    for tenant in ["alice", "bob"] {
+        for _ in 0..2 {
+            server.submit(tenant, blocking_job(&gate)).unwrap();
+        }
+    }
+    let handles: Vec<_> = ["alice", "bob"]
+        .into_iter()
+        .map(|tenant| {
+            let srv = Arc::clone(&server);
+            let g = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let mut rejections = 0;
+                for _ in 0..8 {
+                    match srv.submit(tenant, blocking_job(&g)) {
+                        Err(CoreError::ResourceExhausted(msg)) => {
+                            assert!(msg.contains(tenant), "reason names the tenant: {msg}");
+                            rejections += 1;
+                        }
+                        Err(other) => panic!("unexpected error kind: {other}"),
+                        Ok(_) => panic!("over-quota submission admitted"),
+                    }
+                }
+                rejections
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 8);
+    }
+    // Quota released on completion: the gate opens, everything drains,
+    // and both tenants can submit again.
+    gate.release();
+    server.quiesce();
+    for tenant in ["alice", "bob"] {
+        let u = server.usage(tenant);
+        assert_eq!((u.queued, u.running, u.nodes_in_use), (0, 0, 0), "{tenant}");
+        assert_eq!(u.admitted, 2, "only the two blockers were admitted");
+        assert_eq!(u.rejected, 8, "every overflow attempt was rejected");
+        let probe = Arc::new(Gate::default());
+        probe.release();
+        server.submit(tenant, blocking_job(&probe)).unwrap();
+    }
+    server.quiesce();
+    server.shutdown();
+    let results = server.take_results();
+    assert_eq!(results.len(), 6);
+    assert!(results.iter().all(|r| r.error.is_none()));
+}
+
+#[test]
+fn quota_released_when_supervised_gang_dies() {
+    // A custom job wraps a whole supervised CG run whose gang is
+    // killed with no restart budget: the job body returns Err. The
+    // admission controller must still release the tenant's node
+    // reservation — a Dead membership verdict must not leak quota.
+    let server = SessionServer::start_real(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    server.set_quota(
+        "hpc",
+        TenantQuota {
+            max_in_flight: 1,
+            max_queue_depth: 1,
+            node_budget: 3,
+        },
+    );
+    let id = server
+        .submit(
+            "hpc",
+            JobPayload::Custom {
+                label: "cg-doomed".into(),
+                nodes: 3,
+                run: Box::new(|| {
+                    let cfg = CgConfig {
+                        n: 256,
+                        workers: 2,
+                        iterations: 16,
+                        protocol: Protocol::Rdma,
+                        simulated: true,
+                        checkpoint_every: Some(4),
+                        resume: false,
+                        reduction: CgReduction::QueuePair,
+                    };
+                    // Crash worker 1's node early, zero restarts: fatal.
+                    let faults = FaultSetup::new(FaultPlan::new().crash(2, 0.001), 0);
+                    match run_cg_supervised(&tegner_k420(), &cfg, &faults) {
+                        Ok(_) => Err("doomed run unexpectedly survived".into()),
+                        Err(e) => Err(e.to_string()),
+                    }
+                }),
+            },
+        )
+        .unwrap();
+    let result = server.wait(id);
+    assert!(result.error.is_some(), "gang death surfaces as a job error");
+    let u = server.usage("hpc");
+    assert_eq!(
+        (u.queued, u.running, u.nodes_in_use),
+        (0, 0, 0),
+        "death released the full reservation"
+    );
+    // The freed budget is immediately usable.
+    let ok = Arc::new(Gate::default());
+    ok.release();
+    let id2 = server
+        .submit(
+            "hpc",
+            JobPayload::Custom {
+                label: "follow-up".into(),
+                nodes: 3,
+                run: Box::new(|| Ok(2)),
+            },
+        )
+        .unwrap();
+    assert!(server.wait(id2).error.is_none());
+    server.shutdown();
+}
+
+/// Run the same 24-job schedule through a real-mode server and map
+/// each job's feed seed to its result digest.
+fn digests_with(cfg: ServeConfig) -> (BTreeMap<u64, u64>, usize) {
+    let server = SessionServer::start_real(cfg);
+    let specs = [
+        RequestSpec::new(RequestKind::Matmul, 16),
+        RequestSpec::new(RequestKind::Fft, 16),
+        RequestSpec::new(RequestKind::Stream, 32),
+        RequestSpec::new(RequestKind::Cg, 12),
+    ];
+    let mut seed_of = BTreeMap::new();
+    for i in 0..24u64 {
+        let spec = specs[(i % 4) as usize];
+        let seed = 1000 + i;
+        let id = server.submit("t", JobPayload::Step { spec, seed }).unwrap();
+        seed_of.insert(id, seed);
+    }
+    server.quiesce();
+    server.shutdown();
+    let results = server.take_results();
+    assert_eq!(results.len(), 24);
+    let max_batch = results.iter().map(|r| r.batch_size).max().unwrap();
+    (
+        results
+            .into_iter()
+            .map(|r| {
+                assert!(r.error.is_none(), "{:?}", r.error);
+                (seed_of[&r.id], r.digest)
+            })
+            .collect(),
+        max_batch,
+    )
+}
+
+#[test]
+fn batched_results_are_bit_identical_to_unbatched() {
+    // Batching amortizes dispatch; it must never change numerics. The
+    // digests fold exact result bits, so equality here is bit-identity.
+    let (unbatched, max1) = digests_with(ServeConfig {
+        workers: 2,
+        batch_window_s: 0.0,
+        max_batch: 1,
+        ..ServeConfig::default()
+    });
+    let (batched, maxn) = digests_with(ServeConfig {
+        workers: 2,
+        batch_window_s: 0.05,
+        max_batch: 8,
+        ..ServeConfig::default()
+    });
+    assert_eq!(max1, 1, "max_batch=1 config must not coalesce");
+    assert!(maxn > 1, "window config must coalesce");
+    assert_eq!(unbatched, batched);
+}
+
+#[test]
+fn shared_plan_cache_is_shared_and_bounds_with_lru() {
+    use tfhpc_core::{DeviceCtx, Resources, Session, SessionOptions, SharedPlanCache};
+    let cache = Arc::new(SharedPlanCache::new(2));
+    let mk_session = |spec: RequestSpec| {
+        let built = spec.build();
+        let mut s = Session::with_options(
+            built.graph,
+            Resources::new(),
+            DeviceCtx::real(0),
+            SessionOptions {
+                step_replay: true,
+                ..SessionOptions::sequential()
+            },
+        );
+        s.set_plan_cache(Arc::clone(&cache));
+        (s, built.placeholders, built.fetches)
+    };
+    let spec = RequestSpec::new(RequestKind::Stream, 16);
+    let run = |(s, phs, fetches): &(Session, Vec<tfhpc_core::NodeId>, Vec<tfhpc_core::NodeId>),
+               seed: u64| {
+        let feeds: Vec<_> = phs.iter().copied().zip(spec.feeds(seed, false)).collect();
+        s.run(fetches, &feeds).unwrap();
+    };
+    // Two sessions over identically-built graphs share one plan.
+    let a = mk_session(spec);
+    let b = mk_session(spec);
+    run(&a, 1);
+    let after_a = cache.stats();
+    assert_eq!((after_a.hits, after_a.misses, after_a.entries), (0, 1, 1));
+    run(&b, 2);
+    let after_b = cache.stats();
+    assert_eq!(
+        (after_b.hits, after_b.misses),
+        (1, 1),
+        "second session hits the first session's plan"
+    );
+    // Three distinct shapes through a 2-entry cache: LRU evicts.
+    let c = mk_session(RequestSpec::new(RequestKind::Matmul, 8));
+    let d = mk_session(RequestSpec::new(RequestKind::Fft, 16));
+    let run2 = |(s, phs, fetches): &(Session, Vec<tfhpc_core::NodeId>, Vec<tfhpc_core::NodeId>),
+                sp: RequestSpec| {
+        let feeds: Vec<_> = phs.iter().copied().zip(sp.feeds(3, false)).collect();
+        s.run(fetches, &feeds).unwrap();
+    };
+    run2(&c, RequestSpec::new(RequestKind::Matmul, 8));
+    run2(&d, RequestSpec::new(RequestKind::Fft, 16));
+    let st = cache.stats();
+    assert_eq!(st.entries, 2, "capacity bound holds");
+    assert_eq!(st.evictions, 1, "oldest entry evicted");
+    // The stream plan (least recently used) was the victim: running it
+    // again misses and re-inserts.
+    run(&a, 4);
+    let st2 = cache.stats();
+    assert_eq!(st2.misses, st.misses + 1, "evicted plan rebuilt");
+}
+
+#[test]
+fn malformed_env_values_fail_loudly() {
+    // Strict parsing: a typo'd knob must be an InvalidArgument error,
+    // not a silently applied default. Each check uses its own variable
+    // and restores the environment afterwards.
+    std::env::set_var("TFHPC_SERVE_MAX_BATCH", "many");
+    let err = ServeConfig::from_env().unwrap_err();
+    assert!(matches!(err, CoreError::InvalidArgument(_)), "{err}");
+    assert!(err.to_string().contains("TFHPC_SERVE_MAX_BATCH"), "{err}");
+    std::env::set_var("TFHPC_SERVE_MAX_BATCH", "0");
+    let err = ServeConfig::from_env().unwrap_err();
+    assert!(matches!(err, CoreError::InvalidArgument(_)), "{err}");
+    std::env::remove_var("TFHPC_SERVE_MAX_BATCH");
+
+    std::env::set_var("TFHPC_SERVE_BATCH_WINDOW_S", "-0.5");
+    let err = ServeConfig::from_env().unwrap_err();
+    assert!(matches!(err, CoreError::InvalidArgument(_)), "{err}");
+    std::env::remove_var("TFHPC_SERVE_BATCH_WINDOW_S");
+
+    std::env::set_var("TFHPC_STEP_REPLAY", "maybe");
+    let err = tfhpc_core::SessionOptions::from_env().unwrap_err();
+    assert!(matches!(err, CoreError::InvalidArgument(_)), "{err}");
+    std::env::remove_var("TFHPC_STEP_REPLAY");
+
+    assert!(ServeConfig::from_env().is_ok());
+    assert!(tfhpc_core::SessionOptions::from_env().is_ok());
+}
+
+fn tiny_load() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec {
+            name: "open".into(),
+            arrival: Arrival::Open { rate_hz: 1500.0 },
+            jobs: 40,
+            mix: vec![
+                RequestSpec::new(RequestKind::Matmul, 16),
+                RequestSpec::new(RequestKind::Fft, 32),
+            ],
+            quota: None,
+        },
+        TenantSpec {
+            name: "closed".into(),
+            arrival: Arrival::Closed {
+                clients: 3,
+                think_s: 0.002,
+            },
+            jobs: 15,
+            mix: vec![RequestSpec::new(RequestKind::Stream, 64)],
+            quota: Some(TenantQuota {
+                max_in_flight: 8,
+                max_queue_depth: 8,
+                node_budget: 8,
+            }),
+        },
+    ]
+}
+
+#[test]
+fn same_seed_load_runs_are_byte_identical() {
+    let cfg = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let a = run_load(&cfg, &tiny_load(), 1337).unwrap().to_json();
+    let b = run_load(&cfg, &tiny_load(), 1337).unwrap().to_json();
+    assert_eq!(a, b, "same seed must reproduce the report byte-for-byte");
+    let c = run_load(&cfg, &tiny_load(), 7).unwrap().to_json();
+    assert_ne!(a, c, "different seeds must differ");
+}

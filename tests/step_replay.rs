@@ -33,6 +33,7 @@ fn session_for(g: Arc<Graph>, step_replay: bool) -> Session {
             // reproducible across the two executors under test.
             intra_op_threads: 1,
             step_replay,
+            ..SessionOptions::default()
         },
     )
 }
