@@ -25,8 +25,8 @@ use tfhpc_core::{
     CoreError, Graph, Placement, Result as CoreResult, Saver, SessionOptions, TileStore,
 };
 use tfhpc_dist::{
-    launch_traced, launch_with_setup, ring_all_reduce, worker_all_reduce, JobSpec, LaunchConfig,
-    ReduceOp, Reducer, TaskCtx, TaskKey,
+    all_reduce_auto, launch_traced, launch_with_setup, ring_all_reduce, worker_all_reduce, JobSpec,
+    LaunchConfig, ReduceOp, Reducer, TaskCtx, TaskKey,
 };
 use tfhpc_sim::net::Protocol;
 use tfhpc_sim::platform::Platform;
@@ -41,6 +41,12 @@ pub enum CgReduction {
     /// Horovod-style ring all-reduce among the workers — no dedicated
     /// reducer task (the §VIII future-work direction, implemented).
     Ring,
+    /// Like [`CgReduction::Ring`] but each reduction picks the fastest
+    /// algorithm (ring / binomial tree / recursive halving-doubling)
+    /// from its payload size, the group size and the link's α/β
+    /// profile. All candidates obey the fixed reduction-order
+    /// contract, so the choice never changes the computed bits.
+    Auto,
 }
 
 /// CG configuration.
@@ -265,14 +271,17 @@ fn reduce_scalar(
             Some(0),
         )?
         .scalar_value_f64()?),
-        CgReduction::Ring => {
+        CgReduction::Ring | CgReduction::Auto => {
             let group: Vec<TaskKey> = (0..cfg.workers)
                 .map(|i| TaskKey::new("worker", i))
                 .collect();
             let v = part.reshape([1])?;
-            Ok(ring_all_reduce(&ctx.server, &group, w, v, Some(0))?
-                .slice_range(0, 1)?
-                .scalar_value_f64()?)
+            let reduced = if matches!(cfg.reduction, CgReduction::Auto) {
+                all_reduce_auto(&ctx.server, &group, w, v, Some(0), ReduceOp::Sum)?
+            } else {
+                ring_all_reduce(&ctx.server, &group, w, v, Some(0))?
+            };
+            Ok(reduced.slice_range(0, 1)?.scalar_value_f64()?)
         }
     }
 }
@@ -301,9 +310,9 @@ fn gather_p(
                 CoreError::Invalid("gather broadcast returned an empty tuple".into())
             })
         }
-        CgReduction::Ring => {
-            // Pad the slice with zeros and ring-sum: the sum of disjoint
-            // padded slices IS the concatenation.
+        CgReduction::Ring | CgReduction::Auto => {
+            // Pad the slice with zeros and all-reduce-sum: the sum of
+            // disjoint padded slices IS the concatenation.
             let group: Vec<TaskKey> = (0..cfg.workers)
                 .map(|i| TaskKey::new("worker", i))
                 .collect();
@@ -316,7 +325,11 @@ fn gather_p(
                 parts.push(Tensor::zeros(DType::F64, [cfg.n - (w + 1) * rows]));
             }
             let padded = Tensor::concat_vecs(&parts)?;
-            ring_all_reduce(&ctx.server, &group, w, padded, Some(0))
+            if matches!(cfg.reduction, CgReduction::Auto) {
+                all_reduce_auto(&ctx.server, &group, w, padded, Some(0), ReduceOp::Sum)
+            } else {
+                ring_all_reduce(&ctx.server, &group, w, padded, Some(0))
+            }
         }
     }
 }
@@ -412,7 +425,7 @@ fn worker_task(
         })?;
         Some((k as usize, payload))
     } else if ctx.attempt() > 0 {
-        let decision = if matches!(cfg.reduction, CgReduction::Ring) && w == 0 {
+        let decision = if matches!(cfg.reduction, CgReduction::Ring | CgReduction::Auto) && w == 0 {
             let d = common_resume(ctx, store, cfg.workers, CKPT_KEEP);
             publish_resume_decision(ctx, 1, cfg.workers, d)?;
             d
@@ -624,7 +637,7 @@ fn run_cg_inner(
             JobSpec::new("worker", cfg.workers, 1),
         ],
         // Horovod-style: workers only, no dedicated reducer task.
-        CgReduction::Ring => vec![JobSpec::new("worker", cfg.workers, 1)],
+        CgReduction::Ring | CgReduction::Auto => vec![JobSpec::new("worker", cfg.workers, 1)],
     };
     let mut launch_cfg = if cfg.simulated {
         LaunchConfig::simulated(platform.clone(), jobs, cfg.protocol)
@@ -897,6 +910,41 @@ mod tests {
         let x2 = gather_solution(&s2, &mk(CgReduction::Ring)).unwrap();
         assert_eq!(x1.as_f64().unwrap(), x2.as_f64().unwrap());
         assert!((r1.rs_final - r2.rs_final).abs() < 1e-15 * (1.0 + r1.rs_final));
+    }
+
+    #[test]
+    fn auto_reduction_matches_queue_pair_bitwise() {
+        // all_reduce_auto may pick a different algorithm per payload
+        // size; the fixed reduction-order contract makes every choice
+        // bit-identical to the central reducer.
+        let mk = |reduction| CgConfig {
+            n: 64,
+            workers: 2,
+            iterations: 20,
+            protocol: Protocol::Grpc,
+            simulated: false,
+            checkpoint_every: None,
+            resume: false,
+            reduction,
+        };
+        let p = platform::tegner_k80();
+        let (r1, s1) = run_cg_with_store(&p, &mk(CgReduction::QueuePair), None).unwrap();
+        let (r2, s2) = run_cg_with_store(&p, &mk(CgReduction::Auto), None).unwrap();
+        let x1 = gather_solution(&s1, &mk(CgReduction::QueuePair)).unwrap();
+        let x2 = gather_solution(&s2, &mk(CgReduction::Auto)).unwrap();
+        assert_eq!(x1.as_f64().unwrap(), x2.as_f64().unwrap());
+        assert!((r1.rs_final - r2.rs_final).abs() < 1e-15 * (1.0 + r1.rs_final));
+    }
+
+    #[test]
+    fn auto_reduction_runs_simulated() {
+        let cfg = CgConfig {
+            reduction: CgReduction::Auto,
+            iterations: 30,
+            ..sim_cfg(16384, 4)
+        };
+        let r = run_cg(&platform::kebnekaise_k80(), &cfg).unwrap();
+        assert!(r.gflops > 0.0);
     }
 
     #[test]

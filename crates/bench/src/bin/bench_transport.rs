@@ -1,0 +1,690 @@
+//! `bench_transport` — TF-gRPC-Bench-style microbenchmark suite for
+//! the pluggable transport layer and the all-reduce algorithm family,
+//! on the simulated Kebnekaise K80 Verbs fabric.
+//!
+//! Sweeps:
+//!   p2p        payload 1 KiB–64 MiB × transport (staged vs zero-copy)
+//!              over a 1→1 stream — the "RPC Considered Harmful" fig.
+//!   fanin      P→1 incast at a fixed payload, per transport.
+//!   alltoall   P×(P−1) full exchange at a fixed payload, per transport.
+//!   allreduce  payload × group size × algorithm (ring / tree / RHD /
+//!              auto) × transport, every point checked bit-identical
+//!              to the central reducer's canonical fold.
+//!   corruption ring all-reduce under link-corruption windows of
+//!              increasing width, with retransmit accounting.
+//!
+//! Every number is DES virtual time, so two runs emit byte-identical
+//! JSON — the CI determinism check `cmp`s them.
+//!
+//! Flags:
+//!   --smoke          short run (CI): fewer sizes/groups
+//!   --out <path>     where to write the JSON (default BENCH_transport.json)
+//!   --check <path>   gate against a committed baseline: exit 1 if the
+//!                    tree is not fastest at the smallest payload, the
+//!                    ring/RHD are not fastest at the largest, zero-copy
+//!                    does not beat staged-copy on the Verbs wire, any
+//!                    sweep point lost bit-parity, or a measured time
+//!                    drifted more than 25% from the baseline.
+
+use std::sync::Arc;
+use tfhpc_bench::{print_table, Row};
+use tfhpc_core::RetryConfig;
+use tfhpc_dist::{
+    all_reduce, all_reduce_auto, canonical_reduce, launch, AllReduceAlgo, JobSpec, LaunchConfig,
+    ReduceOp, TaskKey,
+};
+use tfhpc_sim::fault::FaultPlan;
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::kebnekaise_k80;
+use tfhpc_tensor::{DType, Tensor};
+
+const TRANSPORTS: &[&str] = &["staged", "zerocopy"];
+
+fn p2p_sizes(smoke: bool) -> &'static [u64] {
+    if smoke {
+        &[1 << 10, 64 << 10, 1 << 20]
+    } else {
+        &[1 << 10, 8 << 10, 64 << 10, 1 << 20, 8 << 20, 64 << 20]
+    }
+}
+
+fn allreduce_sizes(smoke: bool) -> &'static [u64] {
+    if smoke {
+        &[1 << 10, 64 << 10]
+    } else {
+        &[1 << 10, 32 << 10, 1 << 20, 4 << 20]
+    }
+}
+
+fn allreduce_groups(smoke: bool) -> &'static [usize] {
+    if smoke {
+        &[2, 4]
+    } else {
+        &[2, 4, 6, 8]
+    }
+}
+
+/// Run `body` with `TFHPC_TRANSPORT` forced to `transport`. The knob
+/// is resolved at cluster creation, so scoping the env var around the
+/// launch is race-free (the bench drives launches sequentially).
+fn with_transport<T>(transport: &str, body: impl FnOnce() -> T) -> T {
+    std::env::set_var("TFHPC_TRANSPORT", transport);
+    let out = body();
+    std::env::remove_var("TFHPC_TRANSPORT");
+    out
+}
+
+/// Virtual seconds per message for `senders` workers each streaming
+/// `rounds` messages of `bytes` into per-sender queues on worker 0
+/// (`senders == 1` is the 1→1 sweep, more is the P→1 incast).
+fn fanin_seconds(transport: &str, senders: usize, bytes: u64, rounds: usize) -> f64 {
+    with_transport(transport, || {
+        let cfg = LaunchConfig::simulated(
+            kebnekaise_k80(),
+            vec![JobSpec::new("worker", senders + 1, 1)],
+            Protocol::Rdma,
+        );
+        let elapsed = launch(&cfg, move |ctx| {
+            let w = ctx.index();
+            if w == 0 {
+                // Create every incoming queue before touching any of
+                // them, so no sender stalls in queue resolution.
+                let queues: Vec<_> = (1..=senders)
+                    .map(|s| {
+                        ctx.server
+                            .resources
+                            .get_or_create_queue(&format!("in.{s}"), 2)
+                    })
+                    .collect();
+                for _ in 0..rounds {
+                    for q in &queues {
+                        q.dequeue()?;
+                    }
+                }
+            } else {
+                let t = Tensor::synthetic(DType::F64, [bytes as usize / 8], w as u64);
+                for _ in 0..rounds {
+                    ctx.server.remote_enqueue(
+                        &TaskKey::new("worker", 0),
+                        &format!("in.{w}"),
+                        vec![t.clone()],
+                        Some(0),
+                    )?;
+                }
+            }
+            Ok(())
+        })
+        .expect("fanin launch")
+        .elapsed_s;
+        elapsed / (rounds * senders) as f64
+    })
+}
+
+/// Virtual seconds per full exchange round for `p` workers each
+/// sending `bytes` to every peer (all-to-all personalized exchange).
+fn alltoall_seconds(transport: &str, p: usize, bytes: u64, rounds: usize) -> f64 {
+    with_transport(transport, || {
+        let cfg = LaunchConfig::simulated(
+            kebnekaise_k80(),
+            vec![JobSpec::new("worker", p, 1)],
+            Protocol::Rdma,
+        );
+        let elapsed = launch(&cfg, move |ctx| {
+            let w = ctx.index();
+            let t = Tensor::synthetic(DType::F64, [bytes as usize / 8], w as u64);
+            // Pre-create all incoming queues with headroom for the whole
+            // run: every worker sends before it drains, so undersized
+            // queues (or late creation) would deadlock the exchange.
+            let queues: Vec<_> = (0..p)
+                .filter(|&peer| peer != w)
+                .map(|peer| {
+                    ctx.server
+                        .resources
+                        .get_or_create_queue(&format!("a2a.{peer}"), rounds + 1)
+                })
+                .collect();
+            for _ in 0..rounds {
+                for peer in 0..p {
+                    if peer != w {
+                        ctx.server.remote_enqueue(
+                            &TaskKey::new("worker", peer),
+                            &format!("a2a.{w}"),
+                            vec![t.clone()],
+                            Some(0),
+                        )?;
+                    }
+                }
+                for q in &queues {
+                    q.dequeue()?;
+                }
+            }
+            Ok(())
+        })
+        .expect("alltoall launch")
+        .elapsed_s;
+        elapsed / rounds as f64
+    })
+}
+
+/// Deterministic rank-1 f64 leaf for `worker` (sign-mixed so the
+/// canonical-order contract is actually load-bearing: float addition
+/// here is order-sensitive).
+fn leaf(worker: usize, n: usize) -> Tensor {
+    let v: Vec<f64> = (0..n)
+        .map(|k| {
+            let m = ((worker * 31 + k * 7) % 1009) as f64;
+            if (worker + k).is_multiple_of(3) {
+                -1.5 * m
+            } else {
+                0.25 * m + 0.125
+            }
+        })
+        .collect();
+    Tensor::from_f64([n], v).expect("leaf tensor")
+}
+
+/// One all-reduce sweep point: virtual seconds per round, with every
+/// worker's result checked bit-identical to the canonical central
+/// fold. `algo = None` is `all_reduce_auto`. Panics on parity loss —
+/// a wrong-bits transport layer has no business emitting numbers.
+fn allreduce_seconds(
+    transport: &str,
+    p: usize,
+    bytes: u64,
+    algo: Option<AllReduceAlgo>,
+    rounds: usize,
+    faults: Option<(FaultPlan, RetryConfig)>,
+    retransmits_out: Option<Arc<std::sync::Mutex<u64>>>,
+) -> f64 {
+    let n = bytes as usize / 8;
+    let expected: Vec<u64> = canonical_reduce(ReduceOp::Sum, (0..p).map(|w| leaf(w, n)).collect())
+        .expect("canonical fold")
+        .as_f64()
+        .expect("f64 fold")
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    let expected = Arc::new(expected);
+    with_transport(transport, || {
+        let mut cfg = LaunchConfig::simulated(
+            kebnekaise_k80(),
+            vec![JobSpec::new("worker", p, 1)],
+            Protocol::Rdma,
+        );
+        if let Some((plan, retry)) = faults {
+            cfg = cfg.with_faults(plan).with_retry(retry);
+        }
+        let expected = Arc::clone(&expected);
+        let elapsed = launch(&cfg, move |ctx| {
+            let w = ctx.index();
+            let group: Vec<TaskKey> = (0..p).map(|i| TaskKey::new("worker", i)).collect();
+            let mut last = None;
+            for _ in 0..rounds {
+                let v = leaf(w, n);
+                let r = match algo {
+                    Some(a) => all_reduce(&ctx.server, &group, w, v, Some(0), ReduceOp::Sum, a)?,
+                    None => all_reduce_auto(&ctx.server, &group, w, v, Some(0), ReduceOp::Sum)?,
+                };
+                last = Some(r);
+            }
+            let got: Vec<u64> = last
+                .expect("at least one round")
+                .as_f64()?
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            if got != expected[..] {
+                return Err(tfhpc_core::CoreError::data_loss(format!(
+                    "worker {w}: all-reduce result diverged from the canonical fold"
+                )));
+            }
+            if let Some(out) = &retransmits_out {
+                *out.lock().unwrap() += ctx.server.resources.retransmits_total();
+            }
+            Ok(())
+        })
+        .expect("allreduce launch (parity holds on every sweep point)")
+        .elapsed_s;
+        elapsed / rounds as f64
+    })
+}
+
+fn algo_label(a: Option<AllReduceAlgo>) -> &'static str {
+    match a {
+        Some(a) => a.name(),
+        None => "auto",
+    }
+}
+
+struct P2pEntry {
+    pattern: &'static str,
+    transport: &'static str,
+    workers: usize,
+    bytes: u64,
+    seconds: f64,
+}
+
+struct ArEntry {
+    transport: &'static str,
+    workers: usize,
+    bytes: u64,
+    algo: &'static str,
+    seconds: f64,
+}
+
+struct CorruptionEntry {
+    window_s: f64,
+    retransmits: u64,
+    seconds: f64,
+}
+
+/// Find the JSON line containing every fragment, then parse `field`.
+fn find_entry(json: &str, fragments: &[String], field: &str) -> Option<f64> {
+    let line = json
+        .lines()
+        .find(|l| fragments.iter().all(|f| l.contains(f.as_str())))?;
+    let at = line.find(&format!("\"{field}\":"))?;
+    let tail = &line[at + field.len() + 3..];
+    let end = tail.find([',', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_transport.json".to_string());
+    let check_path = flag_value("--check");
+    let rounds = if smoke { 3 } else { 5 };
+
+    assert!(
+        std::env::var("TFHPC_TRANSPORT").is_err(),
+        "bench_transport drives TFHPC_TRANSPORT itself; unset it"
+    );
+
+    // ---- p2p / fan-in / all-to-all sweeps --------------------------------
+    let mut p2p: Vec<P2pEntry> = Vec::new();
+    for &transport in TRANSPORTS {
+        for &bytes in p2p_sizes(smoke) {
+            p2p.push(P2pEntry {
+                pattern: "1to1",
+                transport,
+                workers: 2,
+                bytes,
+                seconds: fanin_seconds(transport, 1, bytes, rounds),
+            });
+        }
+        let fanin_bytes = 1 << 20;
+        for &p in if smoke {
+            &[4usize][..]
+        } else {
+            &[4usize, 8][..]
+        } {
+            p2p.push(P2pEntry {
+                pattern: "fanin",
+                transport,
+                workers: p + 1,
+                bytes: fanin_bytes,
+                seconds: fanin_seconds(transport, p, fanin_bytes, rounds),
+            });
+        }
+        let a2a_bytes = 256 << 10;
+        p2p.push(P2pEntry {
+            pattern: "alltoall",
+            transport,
+            workers: 4,
+            bytes: a2a_bytes,
+            seconds: alltoall_seconds(transport, 4, a2a_bytes, rounds),
+        });
+    }
+
+    // ---- all-reduce algorithm sweep (bit-parity checked) -----------------
+    let mut allreduce: Vec<ArEntry> = Vec::new();
+    for &transport in TRANSPORTS {
+        for &p in allreduce_groups(smoke) {
+            for &bytes in allreduce_sizes(smoke) {
+                let mut algos: Vec<Option<AllReduceAlgo>> =
+                    vec![Some(AllReduceAlgo::Ring), Some(AllReduceAlgo::Tree)];
+                if p.is_power_of_two() {
+                    algos.push(Some(AllReduceAlgo::Rhd));
+                }
+                algos.push(None); // auto
+                for algo in algos {
+                    allreduce.push(ArEntry {
+                        transport,
+                        workers: p,
+                        bytes,
+                        algo: algo_label(algo),
+                        seconds: allreduce_seconds(transport, p, bytes, algo, rounds, None, None),
+                    });
+                }
+            }
+        }
+    }
+
+    // ---- corruption / retransmit sweep -----------------------------------
+    // Ring all-reduce with a link-corruption window of increasing width
+    // on node 0 (Kebnekaise packs 4 tasks per node, so the whole group
+    // routes through it): wider window → more detected corruptions →
+    // more retransmissions → more virtual time lost, with the delivered
+    // bits unchanged (parity is asserted inside the run).
+    let mut corruption: Vec<CorruptionEntry> = Vec::new();
+    for &window_s in &[0.0f64, 2.0e-4, 1.0e-3] {
+        let retrans = Arc::new(std::sync::Mutex::new(0u64));
+        let faults = (window_s > 0.0).then(|| {
+            (
+                FaultPlan::new().link_corrupt(0, 0.0, window_s),
+                RetryConfig::new(8, 5.0e-5),
+            )
+        });
+        let seconds = allreduce_seconds(
+            "zerocopy",
+            4,
+            64 << 10,
+            Some(AllReduceAlgo::Ring),
+            rounds,
+            faults,
+            Some(Arc::clone(&retrans)),
+        );
+        corruption.push(CorruptionEntry {
+            window_s,
+            retransmits: *retrans.lock().unwrap(),
+            seconds,
+        });
+    }
+
+    // ---- crossover extraction --------------------------------------------
+    // Per (transport, group): smallest payload where the bandwidth-
+    // optimal ring beats the latency-optimal tree — the classic
+    // latency/bandwidth tradeoff point. (RHD is excluded: on pow2
+    // groups it dominates the tree at every size by construction, so
+    // it carries no crossover information.) -1 = tree never loses in
+    // the swept range.
+    let mut crossovers: Vec<(String, usize, i64)> = Vec::new();
+    for &transport in TRANSPORTS {
+        for &p in allreduce_groups(smoke) {
+            let cross = allreduce_sizes(smoke)
+                .iter()
+                .find(|&&bytes| {
+                    let t = |name: &str| {
+                        allreduce
+                            .iter()
+                            .find(|e| {
+                                e.transport == transport
+                                    && e.workers == p
+                                    && e.bytes == bytes
+                                    && e.algo == name
+                            })
+                            .map(|e| e.seconds)
+                    };
+                    matches!((t("tree"), t("ring")), (Some(tr), Some(ri)) if ri < tr)
+                })
+                .map(|&b| b as i64)
+                .unwrap_or(-1);
+            crossovers.push((transport.to_string(), p, cross));
+        }
+    }
+
+    // ---- report ----------------------------------------------------------
+    let mut rows = Vec::new();
+    for e in &p2p {
+        rows.push(Row::new(
+            format!(
+                "{:<8} {:>9} B  {:>2}w  {}",
+                e.pattern, e.bytes, e.workers, e.transport
+            ),
+            e.seconds * 1e6,
+            None,
+            "us/msg",
+        ));
+    }
+    print_table(
+        "bench_transport: point-to-point sweeps (Kebnekaise K80, Verbs)",
+        &rows,
+    );
+    let mut rows = Vec::new();
+    for e in &allreduce {
+        rows.push(Row::new(
+            format!(
+                "{:>9} B  {}w  {:<4} {}",
+                e.bytes, e.workers, e.algo, e.transport
+            ),
+            e.seconds * 1e6,
+            None,
+            "us/round",
+        ));
+    }
+    print_table(
+        "bench_transport: all-reduce algorithms (bit-parity checked)",
+        &rows,
+    );
+    for (t, p, cross) in &crossovers {
+        match cross {
+            -1 => println!("crossover [{t}, {p}w]: tree fastest across swept range"),
+            b => println!("crossover [{t}, {p}w]: bandwidth algorithms take over at {b} B"),
+        }
+    }
+    for c in &corruption {
+        println!(
+            "corruption window {:.6}s: {} retransmits, {:.9}s/round",
+            c.window_s, c.retransmits, c.seconds
+        );
+    }
+
+    // ---- byte-deterministic JSON -----------------------------------------
+    let mut body = String::new();
+    body.push_str("{\n  \"schema\": \"tfhpc-bench-transport-v1\",\n");
+    body.push_str(&format!("  \"smoke\": {smoke},\n"));
+    body.push_str("  \"p2p\": [\n");
+    for (i, e) in p2p.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"bytes\": {}, \"pattern\": \"{}\", \"seconds_per_msg\": {:.9}, \"transport\": \"{}\", \"workers\": {}}}{}\n",
+            e.bytes,
+            e.pattern,
+            e.seconds,
+            e.transport,
+            e.workers,
+            if i + 1 < p2p.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n  \"allreduce\": [\n");
+    for (i, e) in allreduce.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"algo\": \"{}\", \"bytes\": {}, \"parity\": true, \"seconds_per_round\": {:.9}, \"transport\": \"{}\", \"workers\": {}}}{}\n",
+            e.algo,
+            e.bytes,
+            e.seconds,
+            e.transport,
+            e.workers,
+            if i + 1 < allreduce.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n  \"corruption\": [\n");
+    for (i, c) in corruption.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"retransmits\": {}, \"seconds_per_round\": {:.9}, \"window_s\": {:.9}}}{}\n",
+            c.retransmits,
+            c.seconds,
+            c.window_s,
+            if i + 1 < corruption.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ],\n  \"crossovers\": [\n");
+    for (i, (t, p, cross)) in crossovers.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"bandwidth_takeover_bytes\": {cross}, \"transport\": \"{t}\", \"workers\": {p}}}{}\n",
+            if i + 1 < crossovers.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).unwrap();
+        }
+    }
+    std::fs::write(&out_path, &body).unwrap();
+    println!("wrote {out_path}");
+
+    // ---- crossover summary for results/ (full runs only: the smoke
+    // sweep is too coarse to place crossovers meaningfully) ---------------
+    if !smoke {
+        let mut summary = String::from(
+            "bench_transport crossover summary (Kebnekaise K80, Verbs fabric)\n\
+             =================================================================\n\n\
+             Smallest payload where the bandwidth-optimal ring all-reduce\n\
+             beats the latency-optimal binomial tree; below it the tree wins.\n\
+             (RHD dominates the tree at every size on pow2 groups, so it is\n\
+             excluded from the crossover definition.)\n\n",
+        );
+        for (t, p, cross) in &crossovers {
+            summary.push_str(&match cross {
+                -1 => format!("  {t:<9} {p} workers: tree fastest across 1 KiB-4 MiB\n"),
+                b => format!("  {t:<9} {p} workers: {b} B\n"),
+            });
+        }
+        summary.push_str("\nZero-copy vs staged-copy on the Verbs wire (1->1 stream):\n");
+        for &bytes in p2p_sizes(false) {
+            let sec = |tr: &str| {
+                p2p.iter()
+                    .find(|e| e.pattern == "1to1" && e.transport == tr && e.bytes == bytes)
+                    .map(|e| e.seconds)
+            };
+            if let (Some(st), Some(zc)) = (sec("staged"), sec("zerocopy")) {
+                summary.push_str(&format!(
+                    "  {bytes:>9} B: staged {:.1} us, zero-copy {:.1} us ({:.2}x)\n",
+                    st * 1e6,
+                    zc * 1e6,
+                    st / zc
+                ));
+            }
+        }
+        std::fs::write("results/transport_crossover.txt", summary).ok();
+        println!("wrote results/transport_crossover.txt");
+    }
+
+    // ---- gates ------------------------------------------------------------
+    let Some(path) = check_path else { return };
+    let baseline = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let mut failed = false;
+
+    // Gate 1: at the smallest swept payload the tree beats the ring
+    // (latency-optimal wins small) on the largest swept group.
+    let g = *allreduce_groups(smoke).last().unwrap();
+    let s_min = *allreduce_sizes(smoke).first().unwrap();
+    let s_max = *allreduce_sizes(smoke).last().unwrap();
+    let measured = |bytes: u64, algo: &str, transport: &str| {
+        allreduce
+            .iter()
+            .find(|e| {
+                e.workers == g && e.bytes == bytes && e.algo == algo && e.transport == transport
+            })
+            .map(|e| e.seconds)
+    };
+    for &transport in TRANSPORTS {
+        let (tree_s, ring_s) = (
+            measured(s_min, "tree", transport).unwrap(),
+            measured(s_min, "ring", transport).unwrap(),
+        );
+        if tree_s >= ring_s {
+            eprintln!(
+                "FAIL[{transport}]: tree {tree_s:.9}s not faster than ring {ring_s:.9}s at {s_min} B"
+            );
+            failed = true;
+        } else {
+            println!("OK[{transport}]: tree beats ring at {s_min} B ({tree_s:.9} < {ring_s:.9})");
+        }
+        // Gate 2: at the largest payload the bandwidth-optimal
+        // algorithms beat the tree.
+        let tree_l = measured(s_max, "tree", transport).unwrap();
+        let ring_l = measured(s_max, "ring", transport).unwrap();
+        let rhd_l = measured(s_max, "rhd", transport);
+        if ring_l >= tree_l {
+            eprintln!(
+                "FAIL[{transport}]: ring {ring_l:.9}s not faster than tree {tree_l:.9}s at {s_max} B"
+            );
+            failed = true;
+        } else {
+            println!("OK[{transport}]: ring beats tree at {s_max} B ({ring_l:.9} < {tree_l:.9})");
+        }
+        if let Some(rhd_l) = rhd_l {
+            if rhd_l >= tree_l {
+                eprintln!(
+                    "FAIL[{transport}]: rhd {rhd_l:.9}s not faster than tree {tree_l:.9}s at {s_max} B"
+                );
+                failed = true;
+            } else {
+                println!("OK[{transport}]: rhd beats tree at {s_max} B ({rhd_l:.9} < {tree_l:.9})");
+            }
+        }
+    }
+
+    // Gate 3: one-sided zero-copy beats staged RPC on the Verbs wire
+    // at the largest streamed payload.
+    let p2p_max = *p2p_sizes(smoke).last().unwrap();
+    let stream = |tr: &str| {
+        p2p.iter()
+            .find(|e| e.pattern == "1to1" && e.transport == tr && e.bytes == p2p_max)
+            .map(|e| e.seconds)
+            .unwrap()
+    };
+    let (st, zc) = (stream("staged"), stream("zerocopy"));
+    if zc >= st {
+        eprintln!("FAIL: zero-copy {zc:.9}s not faster than staged {st:.9}s at {p2p_max} B");
+        failed = true;
+    } else {
+        println!(
+            "OK: zero-copy beats staged at {p2p_max} B ({:.2}x)",
+            st / zc
+        );
+    }
+
+    // Gate 4: corruption windows actually cost retransmissions, and
+    // the clean run costs none.
+    if corruption[0].retransmits != 0 {
+        eprintln!("FAIL: clean run performed retransmissions");
+        failed = true;
+    }
+    if corruption.last().unwrap().retransmits == 0 {
+        eprintln!("FAIL: widest corruption window triggered no retransmissions");
+        failed = true;
+    } else {
+        println!(
+            "OK: corruption window drives retransmits (0 -> {})",
+            corruption.last().unwrap().retransmits
+        );
+    }
+
+    // Gate 5: drift vs the committed baseline (virtual time is exact;
+    // 25% headroom only covers intentional model changes).
+    let mut compared = 0usize;
+    for e in &allreduce {
+        let frags = vec![
+            format!("\"algo\": \"{}\"", e.algo),
+            format!("\"bytes\": {},", e.bytes),
+            format!("\"transport\": \"{}\"", e.transport),
+            format!("\"workers\": {}}}", e.workers),
+        ];
+        if let Some(base) = find_entry(&baseline, &frags, "seconds_per_round") {
+            compared += 1;
+            if e.seconds > base * 1.25 {
+                eprintln!(
+                    "FAIL: allreduce[{}, {} B, {}w, {}] {:.9}s above baseline {:.9}s + 25%",
+                    e.algo, e.bytes, e.workers, e.transport, e.seconds, base
+                );
+                failed = true;
+            }
+        }
+    }
+    println!("OK: {compared} all-reduce points within 25% of baseline");
+
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: all transport gates passed");
+}

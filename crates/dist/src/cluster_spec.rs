@@ -1,5 +1,6 @@
 //! `tf.train.ClusterSpec`: named jobs mapping to task addresses.
 
+use crate::transport::Transport;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -33,6 +34,12 @@ impl fmt::Display for TaskKey {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClusterSpec {
     jobs: BTreeMap<String, Vec<String>>,
+    /// Spec-wide transport override for every link (beats the
+    /// `TFHPC_TRANSPORT` knob and the protocol default).
+    default_transport: Option<Transport>,
+    /// Per-link transport overrides, keyed by unordered job pair (a
+    /// link's transport is direction-independent). Beats everything.
+    link_transports: BTreeMap<(String, String), Transport>,
 }
 
 impl ClusterSpec {
@@ -40,7 +47,54 @@ impl ClusterSpec {
     pub fn new(jobs: impl IntoIterator<Item = (String, Vec<String>)>) -> ClusterSpec {
         ClusterSpec {
             jobs: jobs.into_iter().collect(),
+            default_transport: None,
+            link_transports: BTreeMap::new(),
         }
+    }
+
+    /// Force `transport` on every link of this cluster.
+    pub fn with_default_transport(mut self, transport: Transport) -> ClusterSpec {
+        self.default_transport = Some(transport);
+        self
+    }
+
+    /// Force `transport` on the (direction-independent) link between
+    /// two jobs — e.g. keep worker↔worker collectives zero-copy while
+    /// the ps↔worker control plane stays staged RPC.
+    pub fn with_link_transport(
+        mut self,
+        job_a: &str,
+        job_b: &str,
+        transport: Transport,
+    ) -> ClusterSpec {
+        let key = if job_a <= job_b {
+            (job_a.to_string(), job_b.to_string())
+        } else {
+            (job_b.to_string(), job_a.to_string())
+        };
+        self.link_transports.insert(key, transport);
+        self
+    }
+
+    /// The spec's transport override for a link, most-specific first
+    /// (per-link, then spec default); `None` defers to the env knob /
+    /// protocol default.
+    pub fn transport_override(&self, job_a: &str, job_b: &str) -> Option<Transport> {
+        // Allocation-free: this runs per message on the charge path
+        // and the override map is tiny (usually empty).
+        if self.link_transports.is_empty() {
+            return self.default_transport;
+        }
+        let (a, b) = if job_a <= job_b {
+            (job_a, job_b)
+        } else {
+            (job_b, job_a)
+        };
+        self.link_transports
+            .iter()
+            .find(|((x, y), _)| x == a && y == b)
+            .map(|(_, t)| *t)
+            .or(self.default_transport)
     }
 
     /// Job names, sorted.

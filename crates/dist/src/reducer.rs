@@ -9,6 +9,22 @@
 //! fast worker's next-round dequeue can steal a slow worker's copy of
 //! the previous round (TensorFlow's `SyncReplicasOptimizer` avoids the
 //! same race by tagging its token queue with the global step).
+//!
+//! ## Fixed reduction-order contract
+//!
+//! Floating-point reduction is not associative, so the *order* in which
+//! partials are combined is part of the result. Every reduction in this
+//! crate — the central reducer here and the ring/tree/RHD collectives
+//! in [`crate::collective`] — combines partials in **canonical binomial
+//! order** over worker indices ([`canonical_reduce`]): blocks
+//! `[a, a+2^k)` and `[a+2^k, min(a+2^{k+1}, P))` are combined
+//! lower-index-block first, level by level. Partials arriving out of
+//! order are slotted by their worker-index tag before folding, so the
+//! result is a pure function of the contributed values — independent of
+//! arrival order, thread scheduling, and which algorithm moved the
+//! bytes. This is what makes ring, tree, recursive halving-doubling and
+//! the queue-pair reducer bit-identical to each other (pinned by
+//! `tests/collectives.rs`).
 
 use crate::cluster_spec::TaskKey;
 use crate::server::Server;
@@ -24,12 +40,63 @@ use tfhpc_tensor::{ops, Tensor};
 pub const ROUND_OVERHEAD_S: f64 = 1.2e-3;
 
 /// Reduction operator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReduceOp {
     /// Elementwise sum.
     Sum,
-    /// Elementwise max (scalar tensors).
+    /// Elementwise max (IEEE semantics: NaN yields the other operand).
     Max,
+    /// Elementwise min (IEEE semantics: NaN yields the other operand).
+    Min,
+}
+
+impl ReduceOp {
+    /// Short name for metrics labels and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+        }
+    }
+
+    /// Combine two same-shape partials. This is the *only* pairwise
+    /// combine the reduction planes use; all orderings above it are
+    /// fixed by [`canonical_reduce`].
+    pub fn combine(self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let t = match self {
+            ReduceOp::Sum => ops::add(a, b)?,
+            ReduceOp::Max => ops::maximum(a, b)?,
+            ReduceOp::Min => ops::minimum(a, b)?,
+        };
+        Ok(t)
+    }
+}
+
+/// Fold `parts[0..P]` (one partial per worker index) in canonical
+/// binomial order: level by level, combine block `[a, a+2^k)` with
+/// block `[a+2^k, min(a+2^{k+1}, P))`, lower-index block as the left
+/// operand. This is the reduction-order contract every collective
+/// reproduces on the wire; folding here (with all partials in hand)
+/// defines the reference bits.
+pub fn canonical_reduce(op: ReduceOp, parts: Vec<Tensor>) -> Result<Tensor> {
+    let p = parts.len();
+    if p == 0 {
+        return Err(CoreError::Invalid("reduce of zero values".into()));
+    }
+    let mut slots: Vec<Option<Tensor>> = parts.into_iter().map(Some).collect();
+    let mut width = 1;
+    while width < p {
+        let mut a = 0;
+        while a + width < p {
+            let hi = slots[a + width].take().expect("binomial slot consumed");
+            let lo = slots[a].take().expect("binomial slot consumed");
+            slots[a] = Some(op.combine(&lo, &hi)?);
+            a += 2 * width;
+        }
+        width *= 2;
+    }
+    Ok(slots[0].take().expect("binomial root"))
 }
 
 /// Server-side reduction service over a queue pair.
@@ -59,45 +126,47 @@ impl Reducer {
         }
     }
 
-    fn reduce(&self, values: Vec<Tensor>) -> Result<Tensor> {
-        let mut it = values.into_iter();
-        let mut acc = it
-            .next()
-            .ok_or_else(|| CoreError::Invalid("reduce of zero values".into()))?;
-        for v in it {
-            acc = match self.op {
-                ReduceOp::Sum => ops::add(&acc, &v)?,
-                ReduceOp::Max => {
-                    let a = acc.scalar_value_f64()?;
-                    let b = v.scalar_value_f64()?;
-                    Tensor::scalar_f64(a.max(b))
-                }
-            };
-        }
-        Ok(acc)
-    }
-
-    /// Serve one reduction round: collect `n_workers` partials, reduce,
-    /// broadcast `n_workers` copies.
+    /// Serve one reduction round: collect `n_workers` tagged partials,
+    /// slot them by worker index, fold in canonical binomial order,
+    /// broadcast `n_workers` copies. The result is independent of
+    /// arrival order (see the module docs).
     pub fn serve_round(&self) -> Result<()> {
         if let Some(me) = tfhpc_sim::des::current() {
             me.advance(ROUND_OVERHEAD_S);
         }
         let in_q = self.server.resources.queue(&format!("{}.in", self.name))?;
-        let mut partials = Vec::with_capacity(self.n_workers);
+        let mut slots: Vec<Option<Tensor>> = vec![None; self.n_workers];
         for _ in 0..self.n_workers {
-            let tuple = in_q.dequeue()?;
-            partials.push(
-                tuple
-                    .into_iter()
-                    .next()
-                    .ok_or_else(|| CoreError::Invalid("reducer received an empty tuple".into()))?,
-            );
+            let mut tuple = in_q.dequeue()?.into_iter();
+            let (tag, value) = match (tuple.next(), tuple.next()) {
+                (Some(tag), Some(value)) => (tag, value),
+                _ => {
+                    return Err(CoreError::Invalid(
+                        "reducer expects [worker_index, partial] tuples".into(),
+                    ))
+                }
+            };
+            let w = tag.scalar_value_i64()? as usize;
+            if w >= self.n_workers {
+                return Err(CoreError::Invalid(format!(
+                    "reducer partial tagged for worker {w} of {}",
+                    self.n_workers
+                )));
+            }
+            if slots[w].replace(value).is_some() {
+                return Err(CoreError::Invalid(format!(
+                    "reducer received two partials from worker {w} in one round"
+                )));
+            }
         }
+        let partials: Vec<Tensor> = slots
+            .into_iter()
+            .map(|s| s.expect("all slots filled"))
+            .collect();
         // The reduction itself runs on the reducer's host CPU.
         let bytes: f64 = partials.iter().map(|t| t.byte_size() as f64).sum();
         let flops: f64 = partials.iter().map(|t| t.num_elements() as f64).sum();
-        let reduced = self.reduce(partials)?;
+        let reduced = canonical_reduce(self.op, partials)?;
         self.server.devices.charge_kernel(
             tfhpc_core::Placement::Cpu,
             &Cost {
@@ -152,9 +221,11 @@ impl Reducer {
     }
 }
 
-/// Worker-side participation in one reduction round: send `value` into
-/// the reducer's incoming queue, block on the outgoing queue, return
-/// the reduced value (paper Fig. 5's workflow).
+/// Worker-side participation in one reduction round: send the
+/// index-tagged `value` into the reducer's incoming queue, block on the
+/// outgoing queue, return the reduced value (paper Fig. 5's workflow).
+/// The tag lets the reducer fold partials in canonical order no matter
+/// how worker arrivals interleave.
 pub fn worker_all_reduce(
     worker: &Arc<Server>,
     reducer: &TaskKey,
@@ -163,7 +234,12 @@ pub fn worker_all_reduce(
     value: Tensor,
     gpu: Option<usize>,
 ) -> Result<Tensor> {
-    worker.remote_enqueue(reducer, &format!("{name}.in"), vec![value], gpu)?;
+    worker.remote_enqueue(
+        reducer,
+        &format!("{name}.in"),
+        vec![Tensor::scalar_i64(worker_index as i64), value],
+        gpu,
+    )?;
     let tuple = worker.remote_dequeue(reducer, &format!("{name}.out.{worker_index}"), gpu)?;
     tuple
         .into_iter()

@@ -160,6 +160,7 @@ fn send_channel(
             channel,
             &[worker.node, peer.node],
             std::slice::from_ref(&value),
+            worker.transport_to(&peer),
         )?;
         let q = peer.resources.get_or_create_queue(channel, 1);
         q.enqueue(verified)?;
@@ -235,7 +236,16 @@ fn verify_recv(worker: &Arc<Server>, channel: &str, tuple: Vec<Tensor>) -> Resul
         .cluster()
         .retry_config()
         .run("rendezvous_recv", Some(&worker.resources), || {
-            crate::wire::transfer(worker, channel, &[worker.node], &tuple)
+            // Consumer-side landing check on the consumer's own link
+            // (the producer job is not recoverable from the channel
+            // string; rendezvous links are intra-job in practice).
+            crate::wire::transfer(
+                worker,
+                channel,
+                &[worker.node],
+                &tuple,
+                worker.transport_to(worker),
+            )
         })
 }
 

@@ -10,6 +10,7 @@
 //! destination device residency.
 
 use crate::cluster_spec::{ClusterSpec, TaskKey};
+use crate::transport::Transport;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,8 +30,12 @@ use tfhpc_tensor::Tensor;
 pub struct TfCluster {
     /// The logical cluster specification.
     pub spec: ClusterSpec,
-    /// Transport used for inter-task tensor movement.
+    /// Wire protocol for inter-task tensor movement.
     pub protocol: Protocol,
+    /// Cluster-wide transport forced by `TFHPC_TRANSPORT`, resolved
+    /// once at creation. Per-link [`ClusterSpec`] overrides beat it;
+    /// it beats the protocol's natural default.
+    transport_env: Option<Transport>,
     /// Simulated hardware, when running on the virtual platform.
     pub sim: Option<Arc<ClusterSim>>,
     servers: RwLock<HashMap<TaskKey, Arc<Server>>>,
@@ -56,11 +61,14 @@ pub struct TfCluster {
 }
 
 impl TfCluster {
-    /// Create a runtime cluster.
+    /// Create a runtime cluster. Fails fast (panics) on a malformed
+    /// `TFHPC_TRANSPORT` value, per the strict env-knob contract.
     pub fn new(spec: ClusterSpec, protocol: Protocol, sim: Option<Arc<ClusterSim>>) -> Arc<Self> {
+        let transport_env = crate::transport::env_transport().unwrap_or_else(|e| panic!("{e}"));
         Arc::new(TfCluster {
             spec,
             protocol,
+            transport_env,
             sim,
             servers: RwLock::new(HashMap::new()),
             stores: RwLock::new(HashMap::new()),
@@ -159,6 +167,23 @@ impl TfCluster {
     /// The retry policy the remote primitives run under.
     pub fn retry_config(&self) -> RetryConfig {
         self.retry.read().clone()
+    }
+
+    /// The transport active on the (direction-independent) link
+    /// between two jobs: per-link spec override > spec default >
+    /// `TFHPC_TRANSPORT` > protocol default.
+    pub fn transport_for(&self, job_a: &str, job_b: &str) -> Transport {
+        self.spec
+            .transport_override(job_a, job_b)
+            .or(self.transport_env)
+            .unwrap_or_else(|| Transport::default_for(self.protocol))
+    }
+
+    /// The DES protocol charged on the link between two jobs under its
+    /// active transport (zero-copy always moves at Verbs costs).
+    pub fn wire_protocol(&self, job_a: &str, job_b: &str) -> Protocol {
+        self.transport_for(job_a, job_b)
+            .wire_protocol(self.protocol)
     }
 
     /// Current cluster generation.
@@ -436,8 +461,24 @@ impl Server {
         }
     }
 
+    /// The transport on the link from this task to `peer` (staged-copy
+    /// when the cluster is already gone — shutdown paths only).
+    pub fn transport_to(&self, peer: &Server) -> Transport {
+        self.try_cluster()
+            .map(|c| c.transport_for(&self.key.job, &peer.key.job))
+            .unwrap_or(Transport::StagedCopy)
+    }
+
     /// Charge the wire+staging cost of moving `bytes` from this task to
-    /// `dst` (no-op in real mode). Returns modeled seconds.
+    /// `dst` (no-op in real mode) under the link's active transport.
+    /// Returns modeled seconds.
+    ///
+    /// Zero-copy links move at Verbs costs whatever the cluster
+    /// protocol; staged-copy links move at the cluster protocol's
+    /// costs, and on a Verbs wire additionally pay the RPC staging
+    /// copy at both endpoints (`2·bytes / serialize_gbs`) — the
+    /// "RPC on RDMA" configuration whose loss to one-sided transfer
+    /// `bench_transport` measures.
     pub fn charge_transfer_to(
         &self,
         dst: &Server,
@@ -449,13 +490,27 @@ impl Server {
             return 0.0;
         };
         let Some(sim) = &cluster.sim else { return 0.0 };
-        let labels = [("protocol", cluster.protocol.name())];
+        let transport = cluster.transport_for(&self.key.job, &dst.key.job);
+        let wire_proto = transport.wire_protocol(cluster.protocol);
+        let labels = [("protocol", wire_proto.name())];
         let reg = tfhpc_obs::global();
         reg.counter_with("tfhpc_link_bytes_total", &labels)
             .add(bytes);
         reg.counter_with("tfhpc_link_messages_total", &labels).inc();
-        let path = sim.path(self.loc(src_gpu), dst.loc(dst_gpu), cluster.protocol);
-        let t = path.transfer(bytes);
+        reg.counter_with(
+            "tfhpc_transport_bytes_total",
+            &[("transport", transport.name())],
+        )
+        .add(bytes);
+        let path = sim.path(self.loc(src_gpu), dst.loc(dst_gpu), wire_proto);
+        let mut t = path.transfer(bytes);
+        if transport == Transport::StagedCopy && cluster.protocol == Protocol::Rdma {
+            let staging = 2.0 * bytes as f64 / (sim.platform.net.serialize_gbs * 1e9);
+            if let Some(me) = tfhpc_sim::des::current() {
+                me.advance(staging);
+            }
+            t += staging;
+        }
         // An active straggler window on either endpoint stretches the
         // effective wire time: the extra stall is charged to the
         // caller's clock, exactly like a delay spike but multiplicative.
@@ -492,8 +547,13 @@ impl Server {
                 // Frame + verify before the tuple lands: a corrupted
                 // transfer is detected here and the retry retransmits
                 // without ever double-enqueueing.
-                let verified =
-                    crate::wire::transfer(self, "remote_enqueue", &[self.node, peer.node], &tuple)?;
+                let verified = crate::wire::transfer(
+                    self,
+                    "remote_enqueue",
+                    &[self.node, peer.node],
+                    &tuple,
+                    self.transport_to(&peer),
+                )?;
                 peer.resources
                     .queue_wait(queue, Self::QUEUE_RESOLVE_TIMEOUT_S)?
                     .enqueue(verified)
@@ -509,7 +569,7 @@ impl Server {
         queue: &str,
         dst_gpu: Option<usize>,
     ) -> Result<Vec<Tensor>> {
-        let (tuple, peer_node) =
+        let (tuple, peer_node, transport) =
             self.retry()
                 .run("remote_dequeue", Some(&self.resources), || {
                     let peer = self.peer_checked(target)?;
@@ -519,14 +579,20 @@ impl Server {
                         .dequeue()?;
                     let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
                     peer.charge_transfer_to(self, None, dst_gpu, bytes);
-                    Ok((tuple, peer.node))
+                    Ok((tuple, peer.node, peer.transport_to(self)))
                 })?;
         // Verify outside the dequeue retry: the tuple is already ours,
         // so a corrupted delivery retransmits from the held copy
         // instead of popping the queue a second time.
         self.retry()
             .run("remote_dequeue/verify", Some(&self.resources), || {
-                crate::wire::transfer(self, "remote_dequeue", &[peer_node, self.node], &tuple)
+                crate::wire::transfer(
+                    self,
+                    "remote_dequeue",
+                    &[peer_node, self.node],
+                    &tuple,
+                    transport,
+                )
             })
     }
 
@@ -557,6 +623,7 @@ impl Server {
                     "remote_dequeue_deadline",
                     &[peer.node, self.node],
                     &tuple,
+                    peer.transport_to(self),
                 )
             },
         )
@@ -585,6 +652,7 @@ impl Server {
                     "remote_assign_add",
                     &[self.node, peer.node],
                     std::slice::from_ref(value),
+                    self.transport_to(&peer),
                 )?;
                 peer.resources.variable(var)?.assign_add(&verified[0])?;
                 // The add itself executes on the target's device.
@@ -628,6 +696,7 @@ impl Server {
                     "remote_assign",
                     &[self.node, peer.node],
                     std::slice::from_ref(value),
+                    self.transport_to(&peer),
                 )?;
                 let value = verified.pop().ok_or_else(|| {
                     CoreError::Invalid("remote_assign: wire transfer returned no tensors".into())
@@ -670,6 +739,7 @@ impl Server {
                     "remote_var_read",
                     &[peer.node, self.node],
                     std::slice::from_ref(&value),
+                    peer.transport_to(self),
                 )?;
                 verified.pop().ok_or_else(|| {
                     CoreError::Invalid("remote_var_read: wire transfer returned no tensors".into())
@@ -972,7 +1042,14 @@ mod tests {
         let (_c, _ps, worker) = two_task_cluster();
         let dense = Tensor::from_f64([3], vec![1.0 / 3.0, f64::MIN_POSITIVE, -0.0]).unwrap();
         let synth = Tensor::synthetic(tfhpc_tensor::DType::F32, [1 << 20], 0xABCD);
-        let out = crate::wire::transfer(&worker, "test", &[0, 1], &[dense.clone(), synth]).unwrap();
+        let out = crate::wire::transfer(
+            &worker,
+            "test",
+            &[0, 1],
+            &[dense.clone(), synth],
+            Transport::StagedCopy,
+        )
+        .unwrap();
         assert_eq!(out[0].as_f64().unwrap(), dense.as_f64().unwrap());
         assert!(out[1].is_synthetic());
         assert_eq!(out[1].synthetic_seed(), Some(0xABCD));

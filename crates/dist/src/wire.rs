@@ -1,7 +1,9 @@
 //! Checksummed wire verification for inter-task tensor movement.
 //!
-//! Every tensor crossing a task boundary is verified with a CRC32C
-//! over its payload bytes. Two paths compute it:
+//! Every tensor crossing a staged-copy link is verified with a CRC32C
+//! over its payload bytes; zero-copy links skip the software checksum
+//! in steady state (see [`crate::transport`]) but share the corrupted-
+//! window slow path below. Two paths compute the staged check:
 //!
 //! * **Fast path** (no corruption window active on any node the
 //!   transfer touches): sender and receiver each checksum the tensor's
@@ -34,6 +36,7 @@
 //! integrity plane's cost honest); it is on by default.
 
 use crate::server::Server;
+use crate::transport::Transport;
 use std::sync::OnceLock;
 use tfhpc_core::{CoreError, Result, TensorProto};
 use tfhpc_proto::{frame, Message};
@@ -61,15 +64,23 @@ pub fn payload_crc(t: &Tensor) -> u32 {
 }
 
 /// Verify `tensors` as they traverse the wire across `nodes` (the
-/// endpoints the transfer touches, in path order). Returns the
-/// delivered tensors — bit-exact when verification passes — or
-/// transient [`CoreError::DataLoss`] after counting the detection and
-/// the requested retransmission on `server`'s resources.
+/// endpoints the transfer touches, in path order) under `transport`.
+/// Returns the delivered tensors — bit-exact when verification passes
+/// — or transient [`CoreError::DataLoss`] after counting the
+/// detection and the requested retransmission on `server`'s
+/// resources.
+///
+/// Staged-copy links pay the software CRC on the fast path; zero-copy
+/// links only walk the registered pages (the NIC's link-layer check
+/// is modeled as free). Corruption windows are transport-independent:
+/// both fall back to the framed slow path, where the injected bit
+/// flip is detected and retransmitted.
 pub(crate) fn transfer(
     server: &Server,
     what: &str,
     nodes: &[usize],
     tensors: &[Tensor],
+    transport: Transport,
 ) -> Result<Vec<Tensor>> {
     if !checksum_enabled() {
         return Ok(tensors.to_vec());
@@ -81,17 +92,32 @@ pub(crate) fn transfer(
         .and_then(|p| nodes.iter().copied().find(|n| p.link_corrupt_at(*n, now)));
 
     let Some(node) = corrupt_node else {
-        // Fast path: checksum the raw storage at both endpoints and
-        // deliver the sender's buffer on match. The mismatch arm is
-        // unreachable without injection (same bytes hashed twice) but
-        // keeps the detection accounting uniform with the framed path.
-        for t in tensors {
-            if payload_crc(t) != payload_crc(t) {
-                server.resources.note_corruption();
-                server.resources.note_retransmit();
-                return Err(CoreError::link_data_loss(format!(
-                    "{what}: payload checksum failed in flight (t={now:.6})"
-                )));
+        match transport {
+            // Fast path, staged-copy: checksum the raw storage at both
+            // endpoints and deliver the sender's buffer on match. The
+            // mismatch arm is unreachable without injection (same
+            // bytes hashed twice) but keeps the detection accounting
+            // uniform with the framed path.
+            Transport::StagedCopy => {
+                for t in tensors {
+                    if payload_crc(t) != payload_crc(t) {
+                        server.resources.note_corruption();
+                        server.resources.note_retransmit();
+                        return Err(CoreError::link_data_loss(format!(
+                            "{what}: payload checksum failed in flight (t={now:.6})"
+                        )));
+                    }
+                }
+            }
+            // Fast path, zero-copy: one-sided handoff from the
+            // sender's registered buffer — walk the pages (the cost
+            // of registration/pinning) but never hash them.
+            Transport::ZeroCopy => {
+                let mut registered = 0usize;
+                for t in tensors {
+                    t.visit_payload_bytes(|chunk| registered += chunk.len());
+                }
+                std::hint::black_box(registered);
             }
         }
         return Ok(tensors.to_vec());

@@ -174,6 +174,45 @@ zip_elementwise!(sub, 0xA1, simd::sub_f32, simd::sub_f64, c128_sub);
 zip_elementwise!(mul, 0xA2, simd::mul_f32, simd::mul_f64, c128_mul);
 zip_elementwise!(div, 0xA3, simd::div_f32, simd::div_f64, c128_div);
 
+macro_rules! zip_minmax {
+    ($name:ident, $op_tag:expr, $sel:ident) => {
+        /// Elementwise min/max over two same-shape real tensors (IEEE
+        /// `min`/`max` semantics: a NaN operand yields the other value).
+        /// Complex tensors are unordered and rejected. Used by the
+        /// `ReduceOp::Min`/`ReduceOp::Max` collective reductions.
+        pub fn $name(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+            binary_shape_check(stringify!($name), a, b)?;
+            if let Some(t) = synthetic_binary($op_tag, a, b) {
+                return Ok(t);
+            }
+            let n = a.num_elements();
+            match (a.data()?, b.data()?) {
+                (TensorData::F32(x), TensorData::F32(y)) => {
+                    let mut out = crate::arena::take_f32(n);
+                    for i in 0..n {
+                        out[i] = x[i].$sel(y[i]);
+                    }
+                    Tensor::from_f32(a.shape().clone(), out)
+                }
+                (TensorData::F64(x), TensorData::F64(y)) => {
+                    let mut out = crate::arena::take_f64(n);
+                    for i in 0..n {
+                        out[i] = x[i].$sel(y[i]);
+                    }
+                    Tensor::from_f64(a.shape().clone(), out)
+                }
+                (other, _) => Err(TensorError::UnsupportedDType {
+                    op: stringify!($name),
+                    dtype: other.dtype(),
+                }),
+            }
+        }
+    };
+}
+
+zip_minmax!(minimum, 0xA4, min);
+zip_minmax!(maximum, 0xA5, max);
+
 /// Sum of N same-shape, same-dtype tensors in one pass over the output
 /// (TensorFlow's `AddN`) — no intermediate allocations, unlike folding
 /// `add` pairwise.
