@@ -13,18 +13,47 @@
 //!   besteffort  — open-loop STREAM triads under a deliberately tight
 //!                 quota: the admission workload (rejections expected).
 //!
+//! After the baseline phase, two robustness drills run:
+//!   overload  — the same mix with besteffort flooding at 100× rate
+//!               under an effectively unlimited quota, against an
+//!               EDF-bounded queue: load shedding must drop *only*
+//!               besteffort work and hold interactive p99 within 25%
+//!               of the in-run baseline.
+//!   partition — a 3-task gang loses a node to a symmetric partition
+//!               under heartbeats + partial restart: reports
+//!               time-to-fence (quorum loss observed → fenced park)
+//!               and time-to-heal (partition onset → the replacement
+//!               incarnation's first completed step).
+//!
 //! Flags:
 //!   --smoke          short run (CI); fewer jobs
 //!   --out <path>     where to write the JSON (default BENCH_serving.json)
 //!   --check <path>   compare against a committed baseline: exit 1 if a
 //!                    tenant's p99 latency regressed by more than 25%,
 //!                    aggregate throughput fell below 80% of baseline,
-//!                    batching or admission stopped working, or the
-//!                    shared plan cache stopped hitting. Portable:
+//!                    batching or admission stopped working, the shared
+//!                    plan cache stopped hitting, shedding touched a
+//!                    non-besteffort tenant, the flood pushed
+//!                    interactive p99 past 125% of the in-run baseline,
+//!                    or the minority task fenced later than the
+//!                    heartbeat timeout + two sweeps. Portable:
 //!                    virtual-time numbers are exact on every host.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use tfhpc_apps::{RequestKind, RequestSpec};
-use tfhpc_serve::{run_load, Arrival, LoadReport, ServeConfig, TenantQuota, TenantSpec};
+use tfhpc_dist::{launch, JobSpec, LaunchConfig, Liveness, SupervisorConfig};
+use tfhpc_serve::{
+    run_load, Arrival, LoadReport, ServeConfig, ShedPolicy, TenantQuota, TenantSpec,
+};
+use tfhpc_sim::fault::FaultPlan;
+use tfhpc_sim::net::Protocol;
+use tfhpc_sim::platform::tegner_k420;
+
+/// Total queued step jobs the overload drill tolerates before the EDF
+/// shed policy starts dropping besteffort work.
+const OVERLOAD_QUEUE_BOUND: usize = 48;
 
 fn tenants(smoke: bool) -> Vec<TenantSpec> {
     let scale = if smoke { 1 } else { 5 };
@@ -58,14 +87,153 @@ fn tenants(smoke: bool) -> Vec<TenantSpec> {
                 max_in_flight: 4,
                 max_queue_depth: 4,
                 node_budget: 4,
+                priority: -1,
             }),
         },
     ]
 }
 
+/// The overload mix: identical to [`tenants`] except besteffort floods
+/// at 100× rate and 4× the volume, and its quota stops policing — the
+/// bounded queue's shed policy becomes the only defense.
+fn flood_tenants(smoke: bool) -> Vec<TenantSpec> {
+    let mut ts = tenants(smoke);
+    for t in &mut ts {
+        if t.name == "besteffort" {
+            t.arrival = Arrival::Open { rate_hz: 300_000.0 };
+            t.jobs *= 4;
+            t.quota = Some(TenantQuota {
+                max_in_flight: 1 << 20,
+                max_queue_depth: 1 << 20,
+                node_budget: 1 << 20,
+                priority: -1,
+            });
+        }
+    }
+    ts
+}
+
+/// Virtual-time outcome of the partition drill.
+struct DrillOutcome {
+    partition_at_s: f64,
+    hb_period_s: f64,
+    hb_timeout_s: f64,
+    step_s: f64,
+    /// Partition onset → the minority task entering the fenced park.
+    time_to_fence_s: f64,
+    /// Partition onset → the replacement incarnation's first completed
+    /// step (serving capacity restored).
+    time_to_heal_s: f64,
+    fence_events: usize,
+    death_verdicts: usize,
+    replacements: usize,
+    elapsed_s: f64,
+}
+
+impl DrillOutcome {
+    /// The fencing SLO: quorum loss must be acted on within the
+    /// heartbeat timeout plus two monitor sweeps (step cadence slack).
+    fn fence_bound_s(&self) -> f64 {
+        self.hb_timeout_s + 2.0 * self.hb_period_s + self.step_s
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"partition_at_s\": {:.9},\n  \"heartbeat_period_s\": {:.9},\n  \
+             \"heartbeat_timeout_s\": {:.9},\n  \"time_to_fence_s\": {:.9},\n  \
+             \"time_to_heal_s\": {:.9},\n  \"fence_events\": {},\n  \
+             \"death_verdicts\": {},\n  \"replacements\": {},\n  \"elapsed_s\": {:.9}\n}}",
+            self.partition_at_s,
+            self.hb_period_s,
+            self.hb_timeout_s,
+            self.time_to_fence_s,
+            self.time_to_heal_s,
+            self.fence_events,
+            self.death_verdicts,
+            self.replacements,
+            self.elapsed_s
+        )
+    }
+}
+
+/// A 3-task gang steps through a fixed loop while one node is cut off
+/// by a symmetric partition; heartbeats detect the silence, the
+/// partial restart respawns the loss on a spare. All timings are
+/// virtual, hence byte-reproducible.
+fn partition_drill() -> DrillOutcome {
+    const STEPS: usize = 60;
+    const STEP_S: f64 = 0.005;
+    const PART_AT: f64 = 0.05;
+    const HB_PERIOD: f64 = 0.01;
+    const HB_TIMEOUT: f64 = 0.04;
+
+    let cfg = LaunchConfig::simulated(
+        tegner_k420(),
+        vec![JobSpec::new("worker", 3, 1)],
+        Protocol::Rdma,
+    )
+    .with_faults(FaultPlan::new().partition(vec![vec![2]], PART_AT, 10.0))
+    .with_supervisor(
+        SupervisorConfig::restarting(2)
+            .with_heartbeats(HB_PERIOD, HB_TIMEOUT)
+            .with_partial_restart(["worker"])
+            .with_spares(1),
+    );
+
+    let committed: Arc<Mutex<HashMap<usize, usize>>> = Arc::new(Mutex::new(HashMap::new()));
+    let log: Arc<Mutex<Vec<(usize, u64, f64)>>> = Arc::new(Mutex::new(Vec::new()));
+    let committed2 = Arc::clone(&committed);
+    let log2 = Arc::clone(&log);
+
+    let out = launch(&cfg, move |ctx| {
+        let me = tfhpc_sim::des::current().expect("simulated launch");
+        let idx = ctx.index();
+        let attempt = ctx.attempt();
+        let mut step = committed2.lock().unwrap().get(&idx).copied().unwrap_or(0);
+        while step < STEPS {
+            ctx.check_faults()?;
+            me.advance(STEP_S);
+            log2.lock().unwrap().push((idx, attempt, me.now()));
+            committed2.lock().unwrap().insert(idx, step + 1);
+            step += 1;
+        }
+        Ok(())
+    })
+    .expect("partition drill failed");
+
+    let fences = out.cluster.fence_events();
+    let first_fence = fences.first().map(|f| f.at_s).unwrap_or(f64::NAN);
+    let heal = log
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|(idx, attempt, _)| *idx == 2 && *attempt >= 1)
+        .map(|&(_, _, t)| t)
+        .fold(f64::INFINITY, f64::min);
+    let death_verdicts = out
+        .membership
+        .as_ref()
+        .map(|m| m.events().iter().filter(|e| e.to == Liveness::Dead).count())
+        .unwrap_or(0);
+
+    DrillOutcome {
+        partition_at_s: PART_AT,
+        hb_period_s: HB_PERIOD,
+        hb_timeout_s: HB_TIMEOUT,
+        step_s: STEP_S,
+        time_to_fence_s: first_fence - PART_AT,
+        time_to_heal_s: heal - PART_AT,
+        fence_events: fences.len(),
+        death_verdicts,
+        replacements: out.replacements.len(),
+        elapsed_s: out.elapsed_s,
+    }
+}
+
 /// Pull a numeric field out of a previously emitted baseline: finds
 /// the tenant object by name, then the field after it. `tenant = None`
-/// reads a top-level field.
+/// reads a top-level field. Always resolves against the *first*
+/// occurrence, i.e. the baseline-phase report.
 fn extract_field(json: &str, tenant: Option<&str>, field: &str) -> Option<f64> {
     let rest = match tenant {
         Some(t) => &json[json.find(&format!("\"tenant\": \"{t}\""))?..],
@@ -75,6 +243,39 @@ fn extract_field(json: &str, tenant: Option<&str>, field: &str) -> Option<f64> {
     let tail = &rest[f + field.len() + 3..];
     let end = tail.find([',', '}', '\n'])?;
     tail[..end].trim().parse().ok()
+}
+
+fn print_report(report: &LoadReport) {
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>7} {:>10} {:>10} {:>10} {:>11} {:>8} {:>7}",
+        "tenant",
+        "submit",
+        "done",
+        "reject",
+        "shed",
+        "p50 ms",
+        "p99 ms",
+        "p999 ms",
+        "jobs/s",
+        "rej %",
+        "batch"
+    );
+    for t in &report.tenants {
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>7} {:>10.3} {:>10.3} {:>10.3} {:>11.1} {:>7.1}% {:>7.2}",
+            t.tenant,
+            t.submitted,
+            t.completed,
+            t.rejected,
+            t.shed,
+            t.p50_s * 1e3,
+            t.p99_s * 1e3,
+            t.p999_s * 1e3,
+            t.throughput_jobs_per_s,
+            t.rejection_rate * 100.0,
+            t.mean_batch
+        );
+    }
 }
 
 fn main() {
@@ -116,39 +317,43 @@ fn main() {
         report.batched_jobs,
         report.mean_batch
     );
+    print_report(&report);
+
+    // Overload drill: besteffort floods while the EDF-bounded queue
+    // sheds. Always runs with shedding on, whatever the environment
+    // says — the drill *is* the shed policy's benchmark.
+    let overload_cfg = ServeConfig {
+        shed_policy: ShedPolicy::Edf,
+        queue_bound: OVERLOAD_QUEUE_BOUND,
+        ..cfg.clone()
+    };
+    let overload: LoadReport = run_load(&overload_cfg, &flood_tenants(smoke), seed ^ 0xF100D)
+        .expect("overload run failed");
     println!(
-        "{:<12} {:>9} {:>9} {:>9} {:>10} {:>10} {:>10} {:>11} {:>8} {:>7}",
-        "tenant",
-        "submit",
-        "done",
-        "reject",
-        "p50 ms",
-        "p99 ms",
-        "p999 ms",
-        "jobs/s",
-        "rej %",
-        "batch"
+        "overload drill: besteffort x100 flood, EDF queue bound {} | {} jobs in {:.4}s virtual, {} shed",
+        OVERLOAD_QUEUE_BOUND, overload.completed, overload.makespan_s, overload.shed
     );
-    for t in &report.tenants {
-        println!(
-            "{:<12} {:>9} {:>9} {:>9} {:>10.3} {:>10.3} {:>10.3} {:>11.1} {:>7.1}% {:>7.2}",
-            t.tenant,
-            t.submitted,
-            t.completed,
-            t.rejected,
-            t.p50_s * 1e3,
-            t.p99_s * 1e3,
-            t.p999_s * 1e3,
-            t.throughput_jobs_per_s,
-            t.rejection_rate * 100.0,
-            t.mean_batch
-        );
-    }
+    print_report(&overload);
+
+    // Partition drill: one node fenced out, detected and replaced.
+    let drill = partition_drill();
+    println!(
+        "partition drill: fence after {:.1} ms (bound {:.1} ms), heal after {:.1} ms | {} fence events, {} death verdicts, {} replacements",
+        drill.time_to_fence_s * 1e3,
+        drill.fence_bound_s() * 1e3,
+        drill.time_to_heal_s * 1e3,
+        drill.fence_events,
+        drill.death_verdicts,
+        drill.replacements
+    );
 
     let body = format!(
-        "{{\n  \"schema\": \"tfhpc-bench-serving-v1\",\n  \"smoke\": {},\n  \"report\": {}}}\n",
+        "{{\n  \"schema\": \"tfhpc-bench-serving-v2\",\n  \"smoke\": {},\n  \"report\": {},\n  \"overload\": {{\n    \"queue_bound\": {},\n    \"report\": {}\n  }},\n  \"partition_drill\": {}\n}}\n",
         smoke,
-        report.to_json()
+        report.to_json().trim_end(),
+        OVERLOAD_QUEUE_BOUND,
+        overload.to_json().trim_end(),
+        drill.to_json()
     );
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         if !dir.as_os_str().is_empty() {
@@ -252,6 +457,72 @@ fn main() {
             failed = true;
         } else {
             println!("OK: plan cache hit ratio {hit_ratio:.3} >= 0.9");
+        }
+
+        // Overload drill: shedding must be brownout, not blackout —
+        // only besteffort work drops, and the flood must not push
+        // interactive tail latency past 125% of the in-run baseline.
+        let ov = |name: &str| {
+            overload
+                .tenants
+                .iter()
+                .find(|t| t.tenant == name)
+                .unwrap_or_else(|| panic!("{name} tenant present in overload report"))
+        };
+        let (ov_int, ov_cg, ov_be) = (ov("interactive"), ov("batch-cg"), ov("besteffort"));
+        if ov_int.shed != 0 || ov_cg.shed != 0 {
+            eprintln!(
+                "FAIL: shed touched protected tenants (interactive {}, batch-cg {})",
+                ov_int.shed, ov_cg.shed
+            );
+            failed = true;
+        } else if ov_be.shed == 0 {
+            eprintln!("FAIL: besteffort flood saw no shedding — bounded queue inert");
+            failed = true;
+        } else {
+            println!(
+                "OK: flood shed {} besteffort jobs, zero protected",
+                ov_be.shed
+            );
+        }
+        let flood_ceil = interactive.p99_s * 1.25;
+        if ov_int.p99_s > flood_ceil {
+            eprintln!(
+                "FAIL: interactive p99 under flood {:.6}s above in-run baseline {:.6}s + 25%",
+                ov_int.p99_s, interactive.p99_s
+            );
+            failed = true;
+        } else {
+            println!(
+                "OK: interactive p99 under flood {:.6}s within 25% of baseline {:.6}s",
+                ov_int.p99_s, interactive.p99_s
+            );
+        }
+
+        // Partition drill: the minority must fence within the
+        // heartbeat timeout + 2 sweeps, and the gang must heal.
+        if !(drill.time_to_fence_s >= 0.0 && drill.time_to_fence_s <= drill.fence_bound_s()) {
+            eprintln!(
+                "FAIL: time-to-fence {:.4}s outside [0, {:.4}s]",
+                drill.time_to_fence_s,
+                drill.fence_bound_s()
+            );
+            failed = true;
+        } else {
+            println!(
+                "OK: time-to-fence {:.4}s within {:.4}s",
+                drill.time_to_fence_s,
+                drill.fence_bound_s()
+            );
+        }
+        if !drill.time_to_heal_s.is_finite() || drill.replacements == 0 {
+            eprintln!("FAIL: partition drill never healed (no replacement step)");
+            failed = true;
+        } else {
+            println!(
+                "OK: healed {:.4}s after partition onset ({} replacement)",
+                drill.time_to_heal_s, drill.replacements
+            );
         }
 
         if failed {

@@ -1,0 +1,145 @@
+//! Ambient end-to-end deadline propagation.
+//!
+//! A request that enters the runtime with a time budget must have that
+//! *remaining* budget — not a fresh per-hop timeout — bound every
+//! blocking wait on its path: `Session::run` → queue waits →
+//! rendezvous receives → remote-op retries. This module carries the
+//! budget implicitly, the way gRPC propagates deadlines through a call
+//! chain: an absolute expiry installed in a thread-local scope that
+//! every layer below can consult without plumbing a parameter through
+//! the whole stack. (Each simulated process is an OS thread, so the
+//! thread-local is also a per-sim-process local.)
+//!
+//! The expiry is absolute in the caller's time domain — virtual
+//! seconds inside a simulated process, monotonic wall seconds
+//! otherwise — so sleeping through it is impossible to miss. Scopes
+//! nest by shrinking: an inner `with_deadline` can only tighten the
+//! budget, never extend what the outer request granted.
+//!
+//! Consumers:
+//! * [`crate::queue::FifoQueue`] turns blocking waits into bounded
+//!   waits when a deadline is ambient, surfacing `DeadlineExceeded`.
+//! * [`crate::retry::RetryConfig::run`] refuses to schedule a backoff
+//!   past the remaining budget.
+//! * `tfhpc-dist` remote ops and rendezvous receives check the budget
+//!   before (and bound their parks by) every blocking step.
+
+use std::cell::Cell;
+
+use crate::error::{CoreError, Result};
+
+thread_local! {
+    static DEADLINE_S: Cell<Option<f64>> = const { Cell::new(None) };
+}
+
+/// Current time in the caller's domain: virtual seconds inside a
+/// simulated process, monotonic wall seconds (process-relative)
+/// otherwise.
+pub fn now_s() -> f64 {
+    match tfhpc_sim::des::current() {
+        Some(me) => me.now(),
+        None => {
+            use std::sync::OnceLock;
+            use std::time::Instant;
+            static EPOCH: OnceLock<Instant> = OnceLock::new();
+            EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+        }
+    }
+}
+
+/// RAII scope for an ambient deadline: restores the previous budget
+/// (if any) on drop, so scopes nest and unwind correctly.
+#[must_use = "dropping the guard immediately removes the deadline"]
+pub struct DeadlineGuard {
+    prev: Option<f64>,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        DEADLINE_S.with(|d| d.set(self.prev));
+    }
+}
+
+/// Install an ambient deadline `timeout_s` seconds from now for the
+/// current thread/sim-process. Nested scopes take the *minimum* of the
+/// inner and outer expiry — a callee can tighten the caller's budget
+/// but never extend it.
+pub fn with_deadline(timeout_s: f64) -> DeadlineGuard {
+    let abs = now_s() + timeout_s.max(0.0);
+    let prev = DEADLINE_S.with(|d| d.get());
+    let effective = match prev {
+        Some(p) => p.min(abs),
+        None => abs,
+    };
+    DEADLINE_S.with(|d| d.set(Some(effective)));
+    DeadlineGuard { prev }
+}
+
+/// The ambient absolute expiry, if a deadline scope is active.
+pub fn deadline_s() -> Option<f64> {
+    DEADLINE_S.with(|d| d.get())
+}
+
+/// Remaining budget in seconds (may be ≤ 0 once expired); `None` when
+/// no deadline scope is active.
+pub fn remaining_s() -> Option<f64> {
+    deadline_s().map(|d| d - now_s())
+}
+
+/// Fail with [`CoreError::DeadlineExceeded`] when the ambient budget
+/// has expired; a no-op without an active deadline scope.
+pub fn check(what: &str) -> Result<()> {
+    match remaining_s() {
+        Some(r) if r <= 0.0 => Err(CoreError::DeadlineExceeded(format!(
+            "{what}: request budget exhausted {:.6}s ago",
+            -r
+        ))),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_scope_means_no_deadline() {
+        assert_eq!(deadline_s(), None);
+        assert_eq!(remaining_s(), None);
+        assert!(check("op").is_ok());
+    }
+
+    #[test]
+    fn scope_installs_and_restores() {
+        {
+            let _g = with_deadline(1000.0);
+            let d = deadline_s().expect("deadline installed");
+            assert!(remaining_s().unwrap() > 0.0);
+            {
+                // Inner scopes only tighten.
+                let _g2 = with_deadline(1.0);
+                assert!(deadline_s().unwrap() < d);
+            }
+            assert_eq!(deadline_s(), Some(d), "inner scope restored");
+            assert!(check("op").is_ok());
+        }
+        assert_eq!(deadline_s(), None, "outer scope restored");
+    }
+
+    #[test]
+    fn expired_budget_fails_check() {
+        let _g = with_deadline(0.0);
+        let err = check("remote op").unwrap_err();
+        match err {
+            CoreError::DeadlineExceeded(msg) => assert!(msg.contains("remote op"), "{msg}"),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inner_scope_cannot_extend_outer() {
+        let _g = with_deadline(0.0);
+        let _g2 = with_deadline(1000.0);
+        assert!(check("op").is_err(), "outer expiry must win");
+    }
+}

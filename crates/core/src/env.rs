@@ -26,6 +26,22 @@ pub fn env_f64(key: &str) -> Result<Option<f64>> {
     )
 }
 
+/// Read `key` as a non-empty string (trimmed). The caller parses the
+/// value domain and reports its own [`CoreError::InvalidArgument`].
+pub fn env_str(key: &str) -> Result<Option<String>> {
+    parse_with(
+        key,
+        |v| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.to_string())
+            }
+        },
+        "a non-empty string",
+    )
+}
+
 /// Read `key` as a boolean: `1`/`true`/`on` or `0`/`false`/`off`
 /// (case-insensitive).
 pub fn env_bool(key: &str) -> Result<Option<bool>> {

@@ -26,6 +26,7 @@
 //!   input pipelines (§II-A / the §VIII GIL discussion).
 
 pub mod dataset;
+pub mod deadline;
 pub mod debugger;
 pub mod device;
 pub mod eager;

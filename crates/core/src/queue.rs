@@ -253,7 +253,16 @@ impl FifoQueue {
     /// Blocking dequeue of one tuple. Errors with `QueueClosed` once
     /// the queue is closed *and* drained, or with the abort error once
     /// aborted (aborting cancels pending elements, it does not drain).
+    ///
+    /// Under an ambient [`crate::deadline`] scope the park is bounded
+    /// by the request's *remaining* budget instead of being unbounded:
+    /// an available element is still popped (even at zero budget), but
+    /// an empty queue surfaces `DeadlineExceeded` once the budget runs
+    /// out rather than waiting on a partitioned or dead producer.
     pub fn dequeue(&self) -> Result<Vec<Tensor>> {
+        if let Some(remaining) = crate::deadline::remaining_s() {
+            return self.dequeue_timeout(remaining.max(0.0));
+        }
         match &self.waiters {
             Waiters::Real {
                 not_empty,

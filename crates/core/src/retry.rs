@@ -8,11 +8,8 @@
 //! operation name and attempt number — never the wall clock — so a
 //! retried run under the DES replays byte-for-byte.
 
-use crate::error::Result;
+use crate::error::{CoreError, Result};
 use crate::resources::Resources;
-
-#[cfg(test)]
-use crate::error::CoreError;
 
 /// Retry policy for transient ([`CoreError::is_transient`]) failures.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,8 +33,10 @@ impl Default for RetryConfig {
 }
 
 /// FNV-1a over the salt and attempt, mapped to `[0, 1)` — the
-/// deterministic stand-in for random jitter.
-fn unit_hash(salt: &str, attempt: usize) -> f64 {
+/// deterministic stand-in for random jitter. Shared with the
+/// circuit-breaker probe timing in `tfhpc-dist`, which jitters its
+/// half-open probes the same seedless way.
+pub fn unit_hash(salt: &str, attempt: usize) -> f64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in salt.bytes().chain(attempt.to_le_bytes()) {
         h ^= b as u64;
@@ -97,6 +96,12 @@ impl RetryConfig {
     /// (surfacing in `RunMetadata::retries`) when provided.
     /// Non-transient errors and budget exhaustion propagate the last
     /// error unchanged.
+    ///
+    /// When an ambient [`crate::deadline`] scope is active, a retry is
+    /// never scheduled past the request's remaining budget: a backoff
+    /// that would sleep through the deadline fails *now* with
+    /// `DeadlineExceeded` (carrying the transient error it gave up
+    /// on) instead of surfacing the expiry late.
     pub fn run<T>(
         &self,
         what: &str,
@@ -108,10 +113,20 @@ impl RetryConfig {
             match f() {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() && attempt + 1 < self.max_attempts => {
+                    let backoff = self.backoff_s(attempt, what);
+                    if let Some(remaining) = crate::deadline::remaining_s() {
+                        if backoff >= remaining {
+                            return Err(CoreError::DeadlineExceeded(format!(
+                                "{what}: retry backoff {backoff:.6}s exceeds remaining \
+                                 budget {:.6}s (after transient error: {e})",
+                                remaining.max(0.0)
+                            )));
+                        }
+                    }
                     if let Some(r) = resources {
                         r.note_retry();
                     }
-                    backoff_sleep(self.backoff_s(attempt, what));
+                    backoff_sleep(backoff);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -175,6 +190,41 @@ mod tests {
         });
         assert!(matches!(r, Err(CoreError::Unavailable(_))));
         assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn backoff_never_scheduled_past_deadline() {
+        // Base backoff of 1s against a 50ms budget: the retry would
+        // sleep through the deadline, so the loop must fail *now* with
+        // DeadlineExceeded instead of surfacing the expiry late.
+        let _scope = crate::deadline::with_deadline(0.05);
+        let calls = AtomicUsize::new(0);
+        let t0 = std::time::Instant::now();
+        let r: Result<()> = RetryConfig::new(5, 1.0).run("op", None, || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Err(CoreError::Unavailable("flap".into()))
+        });
+        assert!(matches!(r, Err(CoreError::DeadlineExceeded(_))), "{r:?}");
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "no retry scheduled");
+        assert!(t0.elapsed().as_secs_f64() < 0.5, "failed fast, no sleep");
+    }
+
+    #[test]
+    fn backoff_within_deadline_still_retries() {
+        let _scope = crate::deadline::with_deadline(60.0);
+        let calls = AtomicUsize::new(0);
+        let cfg = RetryConfig::new(5, 1e-6);
+        let v = cfg
+            .run("op", None, || {
+                if calls.fetch_add(1, Ordering::SeqCst) < 1 {
+                    Err(CoreError::Unavailable("flap".into()))
+                } else {
+                    Ok(3)
+                }
+            })
+            .unwrap();
+        assert_eq!(v, 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -546,6 +546,22 @@ impl Session {
             .collect()
     }
 
+    /// [`Session::run`] under an end-to-end deadline: installs an
+    /// ambient [`crate::deadline`] scope of `timeout_s` seconds so the
+    /// *remaining* budget — not a fresh per-hop timeout — bounds every
+    /// blocking wait below (queue dequeues, rendezvous receives,
+    /// remote-op retries). Nested inside an existing scope, the
+    /// tighter budget wins.
+    pub fn run_with_deadline(
+        &self,
+        fetches: &[NodeId],
+        feeds: &[(NodeId, Tensor)],
+        timeout_s: f64,
+    ) -> Result<Vec<Tensor>> {
+        let _scope = crate::deadline::with_deadline(timeout_s);
+        self.run(fetches, feeds)
+    }
+
     /// [`Session::run`] additionally returning per-run statistics
     /// (TensorFlow's `RunMetadata` — the raw material Fig. 3's Timeline
     /// is built from).
@@ -736,6 +752,9 @@ impl Session {
         want_stats: bool,
         charge_dispatch: bool,
     ) -> Result<(RunOutputs, RunMetadata)> {
+        // A request whose propagated budget is already spent fails here
+        // rather than queueing work it can no longer use.
+        crate::deadline::check("Session::run")?;
         let run_t0 = self.now();
         let retries_t0 = self.resources.retries_total();
         let corruption_t0 = self.resources.corruption_detected_total();

@@ -1,0 +1,377 @@
+//! Per-destination circuit breakers and retry budgets — the overload
+//! half of the partition/overload robustness plane.
+//!
+//! A partitioned or overloaded peer must fail *fast*: without a
+//! breaker, every caller re-runs its full retry schedule against the
+//! dead destination, and the retry traffic itself amplifies the
+//! overload ("RPC Considered Harmful"'s retry-storm collapse). The
+//! breaker gives each destination task a three-state machine:
+//!
+//! * **Closed** — healthy; calls pass through. `failure_threshold`
+//!   *consecutive* transient failures trip it.
+//! * **Open** — calls fail immediately with `ResourceExhausted`
+//!   (deliberately **not** transient, so [`RetryConfig`]'s loop
+//!   propagates it on the spot instead of burning its backoff
+//!   schedule against a peer known to be down).
+//! * **HalfOpen** — after a cooldown, exactly one probe call is let
+//!   through. Success closes the breaker and refills the retry
+//!   budget; failure re-opens it for another cooldown.
+//!
+//! Probe timing is deterministic: the cooldown is stretched by an
+//! FNV-jittered factor derived from the destination and the trip
+//! count ([`tfhpc_core::retry::unit_hash`] — the same seedless hash
+//! the retry backoff uses), so repeated trips don't probe in
+//! lockstep across callers yet replay byte-identically under the DES.
+//!
+//! Orthogonally, a **retry budget** bounds the retry *volume* toward
+//! each destination: every retry (not first attempts) consumes a
+//! token, a success refills the bucket, and exhaustion fails with
+//! `ResourceExhausted`. Budgets cap storm amplification even when the
+//! failure pattern is too intermittent to trip the breaker.
+//!
+//! [`RetryConfig`]: tfhpc_core::RetryConfig
+
+use crate::cluster_spec::TaskKey;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use tfhpc_core::env::{env_f64, env_u64, env_usize};
+use tfhpc_core::retry::unit_hash;
+use tfhpc_core::{CoreError, Result};
+
+/// Breaker/budget policy, shared by every destination in a
+/// [`BreakerSet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive transient failures that trip Closed→Open.
+    /// `usize::MAX` never trips (retry-budget-only operation).
+    pub failure_threshold: usize,
+    /// Base Open→HalfOpen cooldown, seconds; each probe is scheduled
+    /// at `opened_at + cooldown·(1 + 0.1·jitter(dest, trips))`.
+    pub cooldown_s: f64,
+    /// Per-destination retry-token bucket: each retry consumes one,
+    /// success refills. `None` leaves retry volume unbounded.
+    pub retry_budget: Option<u64>,
+}
+
+impl BreakerConfig {
+    /// Breaker tripping after `failure_threshold` consecutive
+    /// transient failures, with a `cooldown_s` probe cooldown and no
+    /// retry budget.
+    pub fn new(failure_threshold: usize, cooldown_s: f64) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: failure_threshold.max(1),
+            cooldown_s: cooldown_s.max(0.0),
+            retry_budget: None,
+        }
+    }
+
+    /// Add a per-destination retry-token budget.
+    pub fn with_retry_budget(mut self, tokens: u64) -> BreakerConfig {
+        self.retry_budget = Some(tokens);
+        self
+    }
+
+    /// Resolve the breaker policy from the environment, per the strict
+    /// env-knob contract (unset → `Ok(None)`, malformed →
+    /// `InvalidArgument`):
+    ///
+    /// * `TFHPC_BREAKER_THRESHOLD` — consecutive-failure trip count;
+    ///   set and > 0 enables the breaker (`0` explicitly disables).
+    /// * `TFHPC_BREAKER_COOLDOWN` — probe cooldown seconds
+    ///   (default 1.0 when the breaker is enabled).
+    /// * `TFHPC_RETRY_BUDGET` — per-destination retry tokens; set
+    ///   enables budgeting even without a trip threshold.
+    pub fn from_env() -> Result<Option<BreakerConfig>> {
+        let threshold = env_usize("TFHPC_BREAKER_THRESHOLD")?;
+        let cooldown = env_f64("TFHPC_BREAKER_COOLDOWN")?;
+        let budget = env_u64("TFHPC_RETRY_BUDGET")?;
+        let tripping = matches!(threshold, Some(t) if t > 0);
+        if !tripping && budget.is_none() {
+            return Ok(None);
+        }
+        Ok(Some(BreakerConfig {
+            failure_threshold: threshold.filter(|&t| t > 0).unwrap_or(usize::MAX),
+            cooldown_s: cooldown.unwrap_or(1.0),
+            retry_budget: budget,
+        }))
+    }
+}
+
+/// Breaker state for one destination task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls pass through.
+    Closed,
+    /// Tripped: calls fail fast until the probe time.
+    Open,
+    /// Cooled down: one probe in flight decides the next state.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct DestState {
+    state: BreakerState,
+    /// Consecutive transient failures since the last success.
+    consecutive_failures: usize,
+    /// Virtual/wall time the breaker last opened.
+    opened_at_s: f64,
+    /// Lifetime Closed→Open transitions (jitter salt input).
+    trips: u64,
+    /// Remaining retry tokens (`None` = unbounded).
+    retry_tokens: Option<u64>,
+    /// A HalfOpen probe has been admitted and not yet resolved.
+    probing: bool,
+}
+
+/// Per-destination breaker + retry-budget registry for one cluster.
+pub struct BreakerSet {
+    config: BreakerConfig,
+    dests: Mutex<HashMap<TaskKey, DestState>>,
+}
+
+impl BreakerSet {
+    /// An empty registry under `config`; destinations materialize
+    /// Closed with a full token bucket on first contact.
+    pub fn new(config: BreakerConfig) -> BreakerSet {
+        BreakerSet {
+            config,
+            dests: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The policy this set runs under.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// When the breaker for (`dest`, trip number `trips`) probes after
+    /// opening at `opened_at_s`.
+    fn probe_at(&self, dest: &TaskKey, opened_at_s: f64, trips: u64) -> f64 {
+        let salt = format!("breaker:{dest}");
+        opened_at_s + self.config.cooldown_s * (1.0 + 0.1 * unit_hash(&salt, trips as usize))
+    }
+
+    fn with_dest<T>(&self, dest: &TaskKey, f: impl FnOnce(&mut DestState) -> T) -> T {
+        let mut dests = self.dests.lock();
+        let st = dests.entry(dest.clone()).or_insert_with(|| DestState {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_s: 0.0,
+            trips: 0,
+            retry_tokens: self.config.retry_budget,
+            probing: false,
+        });
+        f(st)
+    }
+
+    /// Admission check before an attempt toward `dest` at time
+    /// `now_s`. Closed admits; Open fails fast with
+    /// `ResourceExhausted` (non-transient — retry loops propagate it
+    /// immediately) until the jittered probe time, when the caller is
+    /// admitted as the HalfOpen probe; a second caller during an
+    /// in-flight probe fails fast too.
+    pub fn admit(&self, dest: &TaskKey, now_s: f64) -> Result<()> {
+        let verdict = self.with_dest(dest, |st| match st.state {
+            BreakerState::Closed => Ok(()),
+            BreakerState::Open => {
+                let probe_at = self.probe_at(dest, st.opened_at_s, st.trips);
+                if now_s >= probe_at {
+                    st.state = BreakerState::HalfOpen;
+                    st.probing = true;
+                    Ok(())
+                } else {
+                    Err(probe_at)
+                }
+            }
+            BreakerState::HalfOpen => {
+                if st.probing {
+                    Err(self.probe_at(dest, st.opened_at_s, st.trips))
+                } else {
+                    st.probing = true;
+                    Ok(())
+                }
+            }
+        });
+        match verdict {
+            Ok(()) => Ok(()),
+            Err(probe_at) => {
+                tfhpc_obs::global()
+                    .counter("tfhpc_breaker_fastfail_total")
+                    .inc();
+                Err(CoreError::ResourceExhausted(format!(
+                    "circuit breaker open for {dest}: failing fast until probe at \
+                     t={probe_at:.6} (t={now_s:.6})"
+                )))
+            }
+        }
+    }
+
+    /// Charge one retry token toward `dest` (call before each retry,
+    /// never the first attempt). Exhaustion fails with
+    /// `ResourceExhausted`; success refills via [`BreakerSet::on_success`].
+    pub fn charge_retry(&self, dest: &TaskKey, what: &str) -> Result<()> {
+        let ok = self.with_dest(dest, |st| match &mut st.retry_tokens {
+            Some(0) => false,
+            Some(tokens) => {
+                *tokens -= 1;
+                true
+            }
+            None => true,
+        });
+        if ok {
+            Ok(())
+        } else {
+            tfhpc_obs::global()
+                .counter("tfhpc_retry_budget_exhausted_total")
+                .inc();
+            Err(CoreError::ResourceExhausted(format!(
+                "{what}: retry budget toward {dest} exhausted \
+                 ({} tokens spent without a success)",
+                self.config.retry_budget.unwrap_or(0)
+            )))
+        }
+    }
+
+    /// Record a successful attempt toward `dest`: closes the breaker,
+    /// clears the failure streak, refills the retry budget.
+    pub fn on_success(&self, dest: &TaskKey) {
+        self.with_dest(dest, |st| {
+            st.state = BreakerState::Closed;
+            st.consecutive_failures = 0;
+            st.retry_tokens = self.config.retry_budget;
+            st.probing = false;
+        });
+    }
+
+    /// Record a transient failure toward `dest` at `now_s`: a failed
+    /// HalfOpen probe re-opens immediately; in Closed, the
+    /// consecutive-failure streak trips at the threshold.
+    pub fn on_failure(&self, dest: &TaskKey, now_s: f64) {
+        let tripped = self.with_dest(dest, |st| {
+            st.probing = false;
+            st.consecutive_failures += 1;
+            let trip = match st.state {
+                BreakerState::HalfOpen => true,
+                BreakerState::Closed => st.consecutive_failures >= self.config.failure_threshold,
+                BreakerState::Open => false,
+            };
+            if trip {
+                st.state = BreakerState::Open;
+                st.opened_at_s = now_s;
+                st.trips += 1;
+            }
+            trip
+        });
+        if tripped {
+            tfhpc_obs::global()
+                .counter("tfhpc_breaker_open_total")
+                .inc();
+        }
+    }
+
+    /// The breaker state for `dest` (Closed for never-contacted
+    /// destinations).
+    pub fn state(&self, dest: &TaskKey) -> BreakerState {
+        self.with_dest(dest, |st| st.state)
+    }
+
+    /// Lifetime Closed→Open trips for `dest`.
+    pub fn trips(&self, dest: &TaskKey) -> u64 {
+        self.with_dest(dest, |st| st.trips)
+    }
+
+    /// Remaining retry tokens toward `dest` (`None` = unbounded).
+    pub fn retry_tokens(&self, dest: &TaskKey) -> Option<u64> {
+        self.with_dest(dest, |st| st.retry_tokens)
+    }
+
+    /// Total trips across all destinations (drill reporting).
+    pub fn total_trips(&self) -> u64 {
+        self.dests.lock().values().map(|st| st.trips).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dest() -> TaskKey {
+        TaskKey::new("worker", 1)
+    }
+
+    #[test]
+    fn closed_breaker_admits_until_threshold() {
+        let b = BreakerSet::new(BreakerConfig::new(3, 1.0));
+        let d = dest();
+        for _ in 0..2 {
+            b.admit(&d, 0.0).unwrap();
+            b.on_failure(&d, 0.0);
+        }
+        assert_eq!(b.state(&d), BreakerState::Closed);
+        b.admit(&d, 0.0).unwrap();
+        b.on_failure(&d, 0.0);
+        assert_eq!(b.state(&d), BreakerState::Open);
+        assert_eq!(b.trips(&d), 1);
+    }
+
+    #[test]
+    fn open_breaker_fails_fast_then_probes_after_cooldown() {
+        let b = BreakerSet::new(BreakerConfig::new(1, 1.0));
+        let d = dest();
+        b.on_failure(&d, 10.0);
+        assert_eq!(b.state(&d), BreakerState::Open);
+        let err = b.admit(&d, 10.5).unwrap_err();
+        assert!(matches!(err, CoreError::ResourceExhausted(_)), "{err}");
+        assert!(!err.is_transient(), "fast-fail must not be retried");
+        // Jitter stretches the cooldown by at most 10%.
+        assert!(b.admit(&d, 11.0).is_err(), "before jittered probe time");
+        b.admit(&d, 11.2).unwrap();
+        assert_eq!(b.state(&d), BreakerState::HalfOpen);
+        // A second caller during the probe still fails fast.
+        assert!(b.admit(&d, 11.2).is_err());
+        b.on_success(&d);
+        assert_eq!(b.state(&d), BreakerState::Closed);
+        b.admit(&d, 11.3).unwrap();
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_new_trip() {
+        let b = BreakerSet::new(BreakerConfig::new(1, 1.0));
+        let d = dest();
+        b.on_failure(&d, 0.0);
+        b.admit(&d, 2.0).unwrap(); // probe admitted
+        b.on_failure(&d, 2.0); // probe failed
+        assert_eq!(b.state(&d), BreakerState::Open);
+        assert_eq!(b.trips(&d), 2);
+        assert!(b.admit(&d, 2.5).is_err(), "cooldown restarted");
+    }
+
+    #[test]
+    fn probe_timing_is_deterministic_and_dest_sensitive() {
+        let b = BreakerSet::new(BreakerConfig::new(1, 1.0));
+        let a = b.probe_at(&TaskKey::new("worker", 0), 5.0, 1);
+        assert_eq!(a, b.probe_at(&TaskKey::new("worker", 0), 5.0, 1));
+        assert_ne!(a, b.probe_at(&TaskKey::new("worker", 1), 5.0, 1));
+        assert_ne!(a, b.probe_at(&TaskKey::new("worker", 0), 5.0, 2));
+        assert!((6.0..=6.1).contains(&a), "{a}");
+    }
+
+    #[test]
+    fn retry_budget_exhausts_and_refills_on_success() {
+        let b = BreakerSet::new(BreakerConfig::new(usize::MAX, 1.0).with_retry_budget(2));
+        let d = dest();
+        b.charge_retry(&d, "op").unwrap();
+        b.charge_retry(&d, "op").unwrap();
+        let err = b.charge_retry(&d, "op").unwrap_err();
+        assert!(matches!(err, CoreError::ResourceExhausted(_)), "{err}");
+        b.on_success(&d);
+        assert_eq!(b.retry_tokens(&d), Some(2));
+        b.charge_retry(&d, "op").unwrap();
+    }
+
+    #[test]
+    fn from_env_requires_a_knob() {
+        // No knobs set in the test environment: policy disabled.
+        assert_eq!(BreakerConfig::from_env().unwrap(), None);
+    }
+}

@@ -576,6 +576,16 @@ fn spawn_heartbeat<F>(
                 if p.hung(node, born, now) {
                     return;
                 }
+                // A minority partition: beats from this node can't
+                // reach the (majority-side) monitor, so skip them —
+                // the deadline sweep declares the task dead, exactly
+                // as the majority observes it. Keep looping: if the
+                // partition heals before supervision supersedes this
+                // attempt, beats resume and the task rejoins.
+                if p.has_partition_events() && !sh.cluster.has_quorum(node, now) {
+                    next = now + period;
+                    continue;
+                }
             }
             m.heartbeat(&key, epoch, now);
             let stretch = plan

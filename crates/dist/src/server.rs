@@ -9,10 +9,11 @@
 //! simulated transport (gRPC/MPI/RDMA) with the correct source and
 //! destination device residency.
 
+use crate::breaker::BreakerSet;
 use crate::cluster_spec::{ClusterSpec, TaskKey};
 use crate::transport::Transport;
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use tfhpc_core::{
@@ -58,13 +59,39 @@ pub struct TfCluster {
     /// the gate after fencing so the corpse unwinds. Installed by the
     /// launcher on simulated runs.
     hang_gate: RwLock<Option<tfhpc_sim::des::SimCondvar>>,
+    /// Per-destination circuit breakers + retry budgets, resolved from
+    /// `TFHPC_BREAKER_*` / `TFHPC_RETRY_BUDGET` at creation (None =
+    /// policy disabled).
+    breakers: RwLock<Option<Arc<BreakerSet>>>,
+    /// `TFHPC_QUORUM` override of the strict-majority quorum size.
+    quorum_override: Option<usize>,
+    /// Audit log of quorum self-fences: one entry per task entering
+    /// the `Fenced` park (the drill's time-to-fence source).
+    fence_log: Mutex<Vec<FenceEvent>>,
+}
+
+/// One task entering the quorum-fenced park.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FenceEvent {
+    /// The task that fenced itself.
+    pub key: TaskKey,
+    /// Its node index.
+    pub node: usize,
+    /// Virtual time it observed the quorum loss.
+    pub at_s: f64,
 }
 
 impl TfCluster {
     /// Create a runtime cluster. Fails fast (panics) on a malformed
-    /// `TFHPC_TRANSPORT` value, per the strict env-knob contract.
+    /// `TFHPC_TRANSPORT`, `TFHPC_BREAKER_*`, `TFHPC_RETRY_BUDGET` or
+    /// `TFHPC_QUORUM` value, per the strict env-knob contract.
     pub fn new(spec: ClusterSpec, protocol: Protocol, sim: Option<Arc<ClusterSim>>) -> Arc<Self> {
         let transport_env = crate::transport::env_transport().unwrap_or_else(|e| panic!("{e}"));
+        let breakers = crate::breaker::BreakerConfig::from_env()
+            .unwrap_or_else(|e| panic!("{e}"))
+            .map(|cfg| Arc::new(BreakerSet::new(cfg)));
+        let quorum_override =
+            tfhpc_core::env::env_usize("TFHPC_QUORUM").unwrap_or_else(|e| panic!("{e}"));
         Arc::new(TfCluster {
             spec,
             protocol,
@@ -77,6 +104,9 @@ impl TfCluster {
             faults: RwLock::new(None),
             retry: RwLock::new(RetryConfig::disabled()),
             hang_gate: RwLock::new(None),
+            breakers: RwLock::new(breakers),
+            quorum_override,
+            fence_log: Mutex::new(Vec::new()),
         })
     }
 
@@ -103,6 +133,8 @@ impl TfCluster {
             cluster: Arc::downgrade(self),
             epoch: self.epoch.load(Ordering::SeqCst),
             born_at: tfhpc_sim::des::current().map(|p| p.now()).unwrap_or(0.0),
+            send_seq: AtomicU64::new(0),
+            seen_msgs: Mutex::new(HashSet::new()),
         });
         self.dead.write().remove(&key);
         self.servers.write().insert(key, Arc::clone(&server));
@@ -157,6 +189,71 @@ impl TfCluster {
             .read()
             .get(&server.key)
             .is_some_and(|reg| std::ptr::eq(Arc::as_ptr(reg), server))
+    }
+
+    /// Install (or clear) the per-destination breaker/budget policy —
+    /// tests and benches use this in place of the env knobs.
+    pub fn set_breakers(&self, breakers: Option<Arc<BreakerSet>>) {
+        *self.breakers.write() = breakers;
+    }
+
+    /// The per-destination breaker registry, when the policy is on.
+    pub fn breakers(&self) -> Option<Arc<BreakerSet>> {
+        self.breakers.read().clone()
+    }
+
+    // ---- quorum / fencing --------------------------------------------------
+
+    /// The sorted distinct node set hosting registered servers — the
+    /// voting universe the quorum rule counts over.
+    pub fn universe(&self) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self
+            .servers
+            .read()
+            .values()
+            .map(|s| s.node)
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Nodes a partition island must bidirectionally reach to keep
+    /// deciding: strict majority of the universe (`len/2 + 1`), or the
+    /// `TFHPC_QUORUM` override (clamped to at least 1).
+    pub fn quorum_required(&self, universe_len: usize) -> usize {
+        self.quorum_override.unwrap_or(universe_len / 2 + 1).max(1)
+    }
+
+    /// Does `node` sit in a quorate partition island at `now_s`? True
+    /// when no partition fault kinds are scheduled at all (the cheap
+    /// steady-state path), or when `node` bidirectionally reaches a
+    /// quorum of the universe.
+    pub fn has_quorum(&self, node: usize, now_s: f64) -> bool {
+        let Some(plan) = self.faults() else {
+            return true;
+        };
+        if !plan.has_partition_events() {
+            return true;
+        }
+        let universe = self.universe();
+        plan.reachable_count(node, &universe, now_s) >= self.quorum_required(universe.len())
+    }
+
+    /// Record a task entering the quorum-fenced park.
+    fn note_fenced(&self, key: &TaskKey, node: usize, at_s: f64) {
+        tfhpc_obs::global().counter("tfhpc_fenced_total").inc();
+        self.fence_log.lock().push(FenceEvent {
+            key: key.clone(),
+            node,
+            at_s,
+        });
+    }
+
+    /// Audit log of quorum self-fences, in park order.
+    pub fn fence_events(&self) -> Vec<FenceEvent> {
+        self.fence_log.lock().clone()
     }
 
     /// Install the retry policy the remote primitives run under.
@@ -276,6 +373,13 @@ pub struct Server {
     /// before it (i.e. the crash that *caused* a restart) don't kill
     /// the replacement server on the same node.
     born_at: f64,
+    /// Sender-side message sequence, mixed into wire message ids so a
+    /// duplication window's redundant delivery dedups by identity.
+    send_seq: AtomicU64,
+    /// Receiver-side dedup set: ids of messages already applied. An
+    /// at-least-once transport may deliver twice; the second copy is
+    /// dropped here instead of double-applying.
+    seen_msgs: Mutex<HashSet<u64>>,
 }
 
 impl Server {
@@ -315,7 +419,10 @@ impl Server {
     /// *hung* node does not return at all: the call parks on the
     /// cluster hang gate until supervision fences the incarnation off —
     /// the failure mode only the membership plane's heartbeat deadline
-    /// can catch.
+    /// can catch. A node cut off from quorum by a partition parks as
+    /// `Fenced` ([`Server::park_fenced`]): it never becomes a second
+    /// decider, and rejoins only when the partition heals (or unwinds
+    /// once supervision supersedes it).
     pub fn check_alive(&self) -> Result<()> {
         let cluster = self.try_cluster()?;
         self.fenced(&cluster)?;
@@ -329,6 +436,9 @@ impl Server {
             }
             if plan.hung(self.node, self.born_at, now) {
                 return self.park_hung(&cluster);
+            }
+            if plan.has_partition_events() && !cluster.has_quorum(self.node, now) {
+                return self.park_fenced(&cluster, &plan);
             }
         }
         Ok(())
@@ -378,13 +488,75 @@ impl Server {
         }
     }
 
+    /// Quorum self-fence: the calling task sits in a minority
+    /// partition island, so it parks instead of deciding — the
+    /// split-brain guard that keeps a second supervised-resume decider
+    /// from ever electing itself. The park ends three ways:
+    ///
+    /// * the partition heals → `Ok(())`, the task *rejoins* and the
+    ///   interrupted op proceeds;
+    /// * supervision (driven by the missed heartbeats) supersedes or
+    ///   gang-restarts the incarnation → `Aborted` via the usual
+    ///   fencing predicates, and the corpse unwinds;
+    /// * the task is marked dead → `Unavailable`.
+    ///
+    /// Parks on the cluster hang gate when one is installed (woken by
+    /// supervision verdicts and bounded by the plan's heal time);
+    /// otherwise sleeps virtual time to the heal point, or — outside
+    /// the DES with no gate — degrades to an immediate `Unavailable`
+    /// so the fence stays visible.
+    fn park_fenced(&self, cluster: &Arc<TfCluster>, plan: &Arc<FaultPlan>) -> Result<()> {
+        cluster.note_fenced(&self.key, self.node, self.now_s());
+        let gate = cluster.hang_gate();
+        loop {
+            let now = self.now_s();
+            if cluster.has_quorum(self.node, now) {
+                return Ok(());
+            }
+            self.fenced(cluster)?;
+            if let Some(reason) = cluster.death_reason(&self.key) {
+                return Err(CoreError::Unavailable(format!(
+                    "task {} is down: {reason}",
+                    self.key
+                )));
+            }
+            let heal = plan.partition_heal_s(now).filter(|&t| t > now);
+            match (&gate, tfhpc_sim::des::current()) {
+                (Some(g), Some(_)) => match heal {
+                    Some(t) => {
+                        g.wait_until(t);
+                    }
+                    None => g.wait(),
+                },
+                (None, Some(me)) => match heal {
+                    Some(t) => me.advance(t - now),
+                    None => {
+                        return Err(CoreError::Unavailable(format!(
+                            "task {} fenced: node {} lost quorum with no heal scheduled",
+                            self.key, self.node
+                        )))
+                    }
+                },
+                _ => {
+                    return Err(CoreError::Unavailable(format!(
+                        "task {} fenced: node {} lost quorum (minority partition, t={now:.6})",
+                        self.key, self.node
+                    )))
+                }
+            }
+        }
+    }
+
     /// Resolve `target` for a remote op, applying the failure plane:
-    /// fences this server ([`Server::check_alive`]), fails fast with
+    /// fences this server ([`Server::check_alive`]), fails the request
+    /// when its propagated deadline is already spent, fails fast with
     /// `Unavailable` when the target is marked dead, its node is
-    /// crashed, or a link fault is active on either endpoint, and
-    /// charges active delay spikes to the caller's virtual clock.
+    /// crashed, the route is partitioned/blackholed, or a link fault
+    /// is active on either endpoint, and charges active delay spikes
+    /// to the caller's virtual clock.
     fn peer_checked(&self, target: &TaskKey) -> Result<Arc<Server>> {
         self.check_alive()?;
+        tfhpc_core::deadline::check("remote op")?;
         let cluster = self.try_cluster()?;
         if let Some(reason) = cluster.death_reason(target) {
             return Err(CoreError::Unavailable(format!(
@@ -399,6 +571,20 @@ impl Server {
                     "task {target} unreachable: node {} crashed (injected, t={now:.6})",
                     peer.node
                 )));
+            }
+            // Remote primitives are request/response: a partition or
+            // a one-way blackhole on *either* direction severs the op.
+            for (from, to) in [(self.node, peer.node), (peer.node, self.node)] {
+                if !plan.can_send(from, to, now) {
+                    let until = plan
+                        .partition_until(self.node, peer.node, now)
+                        .map(|u| format!(" until t={u:.6}"))
+                        .unwrap_or_default();
+                    return Err(CoreError::Unavailable(format!(
+                        "task {target} unreachable: route {from}→{to} \
+                         partitioned{until} (injected, t={now:.6})"
+                    )));
+                }
             }
             for node in [self.node, peer.node] {
                 if let Some(until) = plan.link_fault_until(node, now) {
@@ -424,6 +610,41 @@ impl Server {
             .upgrade()
             .map(|c| c.retry_config())
             .unwrap_or_else(RetryConfig::disabled)
+    }
+
+    /// The retried remote-op shell every primitive runs in: per-
+    /// destination breaker admission (Open fails fast with the
+    /// non-transient `ResourceExhausted`, which the retry loop
+    /// propagates immediately), a retry-budget token per re-attempt,
+    /// then peer resolution + the op body, with the attempt's outcome
+    /// fed back to the breaker (only *transient* failures count — a
+    /// fencing `Aborted` says this caller is dead, not the peer).
+    fn remote_op<T>(
+        &self,
+        what: &str,
+        target: &TaskKey,
+        mut f: impl FnMut(&Arc<Server>) -> Result<T>,
+    ) -> Result<T> {
+        let breakers = self.cluster.upgrade().and_then(|c| c.breakers());
+        let mut attempt = 0usize;
+        self.retry().run(what, Some(&self.resources), || {
+            if let Some(b) = &breakers {
+                b.admit(target, self.now_s())?;
+                if attempt > 0 {
+                    b.charge_retry(target, what)?;
+                }
+            }
+            attempt += 1;
+            let r = self.peer_checked(target).and_then(|peer| f(&peer));
+            if let Some(b) = &breakers {
+                match &r {
+                    Ok(_) => b.on_success(target),
+                    Err(e) if e.is_transient() => b.on_failure(target, self.now_s()),
+                    Err(_) => {}
+                }
+            }
+            r
+        })
     }
 
     /// How long a remote queue op waits for the owner to register the
@@ -529,9 +750,42 @@ impl Server {
         t
     }
 
+    /// Next wire message id from this sender toward `queue`: FNV-1a
+    /// over the sender's identity (task key + incarnation birth time)
+    /// and a per-incarnation sequence — unique per logical message,
+    /// identical across the duplicate deliveries of one message.
+    fn next_msg_id(&self, queue: &str) -> u64 {
+        let seq = self.send_seq.fetch_add(1, Ordering::SeqCst);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self
+            .key
+            .to_string()
+            .bytes()
+            .chain(queue.bytes())
+            .chain(self.born_at.to_bits().to_le_bytes())
+            .chain(seq.to_le_bytes())
+        {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// First sighting of wire message `id` on this receiver? False for
+    /// a duplicate delivery, which the caller must drop unapplied.
+    fn note_delivery(&self, id: u64) -> bool {
+        self.seen_msgs.lock().insert(id)
+    }
+
     /// Push a tuple into a queue owned by `target`, paying the transfer
     /// from this task (optionally from GPU-resident memory). Transient
     /// (`Unavailable`) failures are retried per the cluster's policy.
+    ///
+    /// Inside an injected duplication/reordering window the transport
+    /// behaves at-least-once: the same message arrives twice, and the
+    /// receiver dedups by wire message id so the enqueue applies
+    /// exactly once (the redundant copy is counted and its wire cost
+    /// charged, but it never lands).
     pub fn remote_enqueue(
         &self,
         target: &TaskKey,
@@ -539,25 +793,47 @@ impl Server {
         tuple: Vec<Tensor>,
         src_gpu: Option<usize>,
     ) -> Result<()> {
-        self.retry()
-            .run("remote_enqueue", Some(&self.resources), || {
-                let peer = self.peer_checked(target)?;
-                let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
-                self.charge_transfer_to(&peer, src_gpu, None, bytes);
-                // Frame + verify before the tuple lands: a corrupted
-                // transfer is detected here and the retry retransmits
-                // without ever double-enqueueing.
-                let verified = crate::wire::transfer(
-                    self,
-                    "remote_enqueue",
-                    &[self.node, peer.node],
-                    &tuple,
-                    self.transport_to(&peer),
-                )?;
-                peer.resources
-                    .queue_wait(queue, Self::QUEUE_RESOLVE_TIMEOUT_S)?
-                    .enqueue(verified)
-            })
+        self.remote_op("remote_enqueue", target, |peer| {
+            let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
+            self.charge_transfer_to(peer, src_gpu, None, bytes);
+            // Frame + verify before the tuple lands: a corrupted
+            // transfer is detected here and the retry retransmits
+            // without ever double-enqueueing.
+            let verified = crate::wire::transfer(
+                self,
+                "remote_enqueue",
+                &[self.node, peer.node],
+                &tuple,
+                self.transport_to(peer),
+            )?;
+            let q = peer
+                .resources
+                .queue_wait(queue, Self::QUEUE_RESOLVE_TIMEOUT_S)?;
+            let dup_window = self
+                .try_cluster()?
+                .faults()
+                .map(|plan| {
+                    let now = self.now_s();
+                    plan.dup_reorder_at(self.node, now) || plan.dup_reorder_at(peer.node, now)
+                })
+                .unwrap_or(false);
+            if !dup_window {
+                return q.enqueue(verified);
+            }
+            let msg_id = self.next_msg_id(queue);
+            let mut outcome = Ok(());
+            for _delivery in 0..2 {
+                if peer.note_delivery(msg_id) {
+                    outcome = q.enqueue(verified.clone());
+                } else {
+                    // The duplicate still crossed the wire; only the
+                    // apply is suppressed.
+                    self.charge_transfer_to(peer, src_gpu, None, bytes);
+                    tfhpc_obs::global().counter("tfhpc_dup_dropped_total").inc();
+                }
+            }
+            outcome
+        })
     }
 
     /// Pop a tuple from a queue owned by `target`, paying the return
@@ -569,18 +845,15 @@ impl Server {
         queue: &str,
         dst_gpu: Option<usize>,
     ) -> Result<Vec<Tensor>> {
-        let (tuple, peer_node, transport) =
-            self.retry()
-                .run("remote_dequeue", Some(&self.resources), || {
-                    let peer = self.peer_checked(target)?;
-                    let tuple = peer
-                        .resources
-                        .queue_wait(queue, Self::QUEUE_RESOLVE_TIMEOUT_S)?
-                        .dequeue()?;
-                    let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
-                    peer.charge_transfer_to(self, None, dst_gpu, bytes);
-                    Ok((tuple, peer.node, peer.transport_to(self)))
-                })?;
+        let (tuple, peer_node, transport) = self.remote_op("remote_dequeue", target, |peer| {
+            let tuple = peer
+                .resources
+                .queue_wait(queue, Self::QUEUE_RESOLVE_TIMEOUT_S)?
+                .dequeue()?;
+            let bytes: u64 = tuple.iter().map(|t| t.byte_size() as u64).sum();
+            peer.charge_transfer_to(self, None, dst_gpu, bytes);
+            Ok((tuple, peer.node, peer.transport_to(self)))
+        })?;
         // Verify outside the dequeue retry: the tuple is already ours,
         // so a corrupted delivery retransmits from the held copy
         // instead of popping the queue a second time.
@@ -641,37 +914,35 @@ impl Server {
         src_gpu: Option<usize>,
         dst_gpu: Option<usize>,
     ) -> Result<()> {
-        self.retry()
-            .run("remote_assign_add", Some(&self.resources), || {
-                let peer = self.peer_checked(target)?;
-                self.charge_transfer_to(&peer, src_gpu, dst_gpu, value.byte_size() as u64);
-                // Verify before applying: the add happens at most once,
-                // on checksum-verified bytes.
-                let verified = crate::wire::transfer(
-                    self,
-                    "remote_assign_add",
-                    &[self.node, peer.node],
-                    std::slice::from_ref(value),
-                    self.transport_to(&peer),
-                )?;
-                peer.resources.variable(var)?.assign_add(&verified[0])?;
-                // The add itself executes on the target's device.
-                let placement = match dst_gpu {
-                    Some(g) => tfhpc_core::Placement::Gpu(g),
-                    None => tfhpc_core::Placement::Cpu,
-                };
-                // The accumulate streams through the target's memory as
-                // data lands (pipelined with the receive), so charge one
-                // pass.
-                let cost = Cost {
-                    flops: value.num_elements() as f64,
-                    bytes: value.byte_size() as f64,
-                    class: KernelClass::Blas1,
-                };
-                let dp = !matches!(value.dtype(), tfhpc_tensor::DType::F32);
-                peer.devices.charge_kernel(placement, &cost, dp);
-                Ok(())
-            })
+        self.remote_op("remote_assign_add", target, |peer| {
+            self.charge_transfer_to(peer, src_gpu, dst_gpu, value.byte_size() as u64);
+            // Verify before applying: the add happens at most once,
+            // on checksum-verified bytes.
+            let verified = crate::wire::transfer(
+                self,
+                "remote_assign_add",
+                &[self.node, peer.node],
+                std::slice::from_ref(value),
+                self.transport_to(peer),
+            )?;
+            peer.resources.variable(var)?.assign_add(&verified[0])?;
+            // The add itself executes on the target's device.
+            let placement = match dst_gpu {
+                Some(g) => tfhpc_core::Placement::Gpu(g),
+                None => tfhpc_core::Placement::Cpu,
+            };
+            // The accumulate streams through the target's memory as
+            // data lands (pipelined with the receive), so charge one
+            // pass.
+            let cost = Cost {
+                flops: value.num_elements() as f64,
+                bytes: value.byte_size() as f64,
+                class: KernelClass::Blas1,
+            };
+            let dp = !matches!(value.dtype(), tfhpc_tensor::DType::F32);
+            peer.devices.charge_kernel(placement, &cost, dp);
+            Ok(())
+        })
     }
 
     /// Overwrite `target_var` with `value` — used to reinstate a
@@ -685,37 +956,35 @@ impl Server {
         src_gpu: Option<usize>,
         dst_gpu: Option<usize>,
     ) -> Result<()> {
-        self.retry()
-            .run("remote_assign", Some(&self.resources), || {
-                let peer = self.peer_checked(target)?;
-                self.charge_transfer_to(&peer, src_gpu, dst_gpu, value.byte_size() as u64);
-                // Verify before applying, like remote_assign_add: the
-                // overwrite lands at most once, on verified bytes.
-                let mut verified = crate::wire::transfer(
-                    self,
-                    "remote_assign",
-                    &[self.node, peer.node],
-                    std::slice::from_ref(value),
-                    self.transport_to(&peer),
-                )?;
-                let value = verified.pop().ok_or_else(|| {
-                    CoreError::Invalid("remote_assign: wire transfer returned no tensors".into())
-                })?;
-                let stored_bytes = value.byte_size() as f64;
-                peer.resources.variable(var)?.assign(value)?;
-                let placement = match dst_gpu {
-                    Some(g) => tfhpc_core::Placement::Gpu(g),
-                    None => tfhpc_core::Placement::Cpu,
-                };
-                // A plain store: one pass through the target's memory.
-                let cost = Cost {
-                    flops: 0.0,
-                    bytes: stored_bytes,
-                    class: KernelClass::Elementwise,
-                };
-                peer.devices.charge_kernel(placement, &cost, true);
-                Ok(())
-            })
+        self.remote_op("remote_assign", target, |peer| {
+            self.charge_transfer_to(peer, src_gpu, dst_gpu, value.byte_size() as u64);
+            // Verify before applying, like remote_assign_add: the
+            // overwrite lands at most once, on verified bytes.
+            let mut verified = crate::wire::transfer(
+                self,
+                "remote_assign",
+                &[self.node, peer.node],
+                std::slice::from_ref(value),
+                self.transport_to(peer),
+            )?;
+            let value = verified.pop().ok_or_else(|| {
+                CoreError::Invalid("remote_assign: wire transfer returned no tensors".into())
+            })?;
+            let stored_bytes = value.byte_size() as f64;
+            peer.resources.variable(var)?.assign(value)?;
+            let placement = match dst_gpu {
+                Some(g) => tfhpc_core::Placement::Gpu(g),
+                None => tfhpc_core::Placement::Cpu,
+            };
+            // A plain store: one pass through the target's memory.
+            let cost = Cost {
+                flops: 0.0,
+                bytes: stored_bytes,
+                class: KernelClass::Elementwise,
+            };
+            peer.devices.charge_kernel(placement, &cost, true);
+            Ok(())
+        })
     }
 
     /// Read a variable from `target`, paying the transfer back.
@@ -726,25 +995,23 @@ impl Server {
         var: &str,
         dst_gpu: Option<usize>,
     ) -> Result<Tensor> {
-        self.retry()
-            .run("remote_var_read", Some(&self.resources), || {
-                let peer = self.peer_checked(target)?;
-                let value = peer.resources.variable(var)?.read();
-                peer.charge_transfer_to(self, None, dst_gpu, value.byte_size() as u64);
-                // Reads are idempotent: a corrupted return transfer
-                // retries the whole read, recharging the wire like a
-                // real retransmission.
-                let mut verified = crate::wire::transfer(
-                    self,
-                    "remote_var_read",
-                    &[peer.node, self.node],
-                    std::slice::from_ref(&value),
-                    peer.transport_to(self),
-                )?;
-                verified.pop().ok_or_else(|| {
-                    CoreError::Invalid("remote_var_read: wire transfer returned no tensors".into())
-                })
+        self.remote_op("remote_var_read", target, |peer| {
+            let value = peer.resources.variable(var)?.read();
+            peer.charge_transfer_to(self, None, dst_gpu, value.byte_size() as u64);
+            // Reads are idempotent: a corrupted return transfer
+            // retries the whole read, recharging the wire like a
+            // real retransmission.
+            let mut verified = crate::wire::transfer(
+                self,
+                "remote_var_read",
+                &[peer.node, self.node],
+                std::slice::from_ref(&value),
+                peer.transport_to(self),
+            )?;
+            verified.pop().ok_or_else(|| {
+                CoreError::Invalid("remote_var_read: wire transfer returned no tensors".into())
             })
+        })
     }
 
     /// A graph kernel that enqueues its inputs into `target`'s queue.

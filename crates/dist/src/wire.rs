@@ -85,13 +85,19 @@ pub(crate) fn transfer(
     if !checksum_enabled() {
         return Ok(tensors.to_vec());
     }
-    let plan = server.cluster().faults();
+    let plan = server.try_cluster()?.faults();
     let now = tfhpc_sim::des::current().map(|p| p.now()).unwrap_or(0.0);
-    let corrupt_node = plan
-        .as_ref()
-        .and_then(|p| nodes.iter().copied().find(|n| p.link_corrupt_at(*n, now)));
+    // Bind the plan together with the corrupt node so the slow path
+    // can't be entered without the plan that scheduled it.
+    let corrupt = plan.as_ref().and_then(|p| {
+        nodes
+            .iter()
+            .copied()
+            .find(|n| p.link_corrupt_at(*n, now))
+            .map(|n| (p, n))
+    });
 
-    let Some(node) = corrupt_node else {
+    let Some((plan, node)) = corrupt else {
         match transport {
             // Fast path, staged-copy: checksum the raw storage at both
             // endpoints and deliver the sender's buffer on match. The
@@ -126,7 +132,6 @@ pub(crate) fn transfer(
     // Slow path: a corruption window is active on the route, so the
     // transfer must materialize real frames for the injected bit-flip
     // to land in.
-    let plan = plan.as_ref().expect("corrupt_node implies a plan");
     let mut out = Vec::with_capacity(tensors.len());
     for t in tensors {
         let mut framed = TensorProto(t.clone())

@@ -22,6 +22,11 @@ pub struct TenantQuota {
     pub max_queue_depth: usize,
     /// Max nodes reserved by this tenant's admitted jobs at once.
     pub node_budget: usize,
+    /// Brownout ordering under overload: when the server's bounded
+    /// queue sheds, lower-priority tenants' work drops first
+    /// (besteffort < 0 < interactive). Equal priorities shed by
+    /// latest batch deadline.
+    pub priority: i32,
 }
 
 impl Default for TenantQuota {
@@ -30,6 +35,7 @@ impl Default for TenantQuota {
             max_in_flight: 64,
             max_queue_depth: 256,
             node_budget: 64,
+            priority: 0,
         }
     }
 }
@@ -49,6 +55,8 @@ pub struct TenantUsage {
     pub rejected: u64,
     /// Lifetime completed count (success or failure).
     pub completed: u64,
+    /// Lifetime jobs shed from the bounded queue under overload.
+    pub shed: u64,
 }
 
 #[derive(Debug, Default)]
@@ -128,6 +136,34 @@ impl AdmissionController {
         }
     }
 
+    /// A tenant's shed priority (its quota's, or the default's).
+    pub fn priority(&self, tenant: &str) -> i32 {
+        self.tenants
+            .lock()
+            .get(tenant)
+            .and_then(|st| st.quota)
+            .unwrap_or(self.default_quota)
+            .priority
+    }
+
+    /// A queued job was shed from the bounded queue before dispatch:
+    /// release its reservation (it still counts as completed — the
+    /// submitter gets a result, just an errored one) and count the
+    /// shed against the tenant.
+    pub fn on_shed(&self, tenant: &str, nodes: usize) {
+        {
+            let mut map = self.tenants.lock();
+            let u = &mut map.entry(tenant.to_string()).or_default().usage;
+            u.queued = u.queued.saturating_sub(1);
+            u.nodes_in_use = u.nodes_in_use.saturating_sub(nodes);
+            u.completed += 1;
+            u.shed += 1;
+        }
+        tfhpc_obs::global()
+            .counter_with("tfhpc_serve_shed_total", &[("tenant", tenant)])
+            .add(1);
+    }
+
     /// A queued job moved onto a worker.
     pub fn on_dispatch(&self, tenant: &str) {
         let mut map = self.tenants.lock();
@@ -172,6 +208,7 @@ mod tests {
                 max_in_flight: 2,
                 max_queue_depth: 2,
                 node_budget: 3,
+                priority: 0,
             },
         );
         adm.admit("t", 1).unwrap();
@@ -198,6 +235,7 @@ mod tests {
             max_in_flight: 1,
             max_queue_depth: 1,
             node_budget: 1,
+            priority: 0,
         });
         adm.admit("a", 1).unwrap();
         assert!(adm.admit("a", 1).is_err());

@@ -20,6 +20,8 @@ pub(crate) struct QueuedJob {
     pub tenant: String,
     pub seed: u64,
     pub submitted_s: f64,
+    /// The tenant's shed priority at submit time (lower sheds first).
+    pub priority: i32,
 }
 
 /// An open batch: its members plus the virtual deadline at which it
@@ -101,6 +103,42 @@ impl BatchQueue {
     pub fn is_empty(&self) -> bool {
         self.pending.is_empty()
     }
+
+    /// Total queued step jobs across all pending batches.
+    pub fn total_jobs(&self) -> usize {
+        self.pending.values().map(|b| b.jobs.len()).sum()
+    }
+
+    /// Remove and return the job the shed policy sacrifices first:
+    /// lowest tenant priority, then the batch deadline furthest in the
+    /// future (earliest-deadline work survives longest), then the
+    /// highest job id (newest arrival) — a total order, so the victim
+    /// is a pure function of queue state. Empty batches left behind
+    /// are dropped so their deadline no longer wakes workers.
+    pub fn shed_victim(&mut self) -> Option<QueuedJob> {
+        let (spec, idx) = self
+            .pending
+            .iter()
+            .flat_map(|(s, b)| {
+                b.jobs
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, j)| (*s, i, j.priority, b.deadline, j.id))
+            })
+            .min_by(|a, b| {
+                // priority ascending, deadline descending, id descending.
+                a.2.cmp(&b.2)
+                    .then(b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal))
+                    .then(b.4.cmp(&a.4))
+            })
+            .map(|(s, i, ..)| (s, i))?;
+        let batch = self.pending.get_mut(&spec)?;
+        let victim = batch.jobs.remove(idx);
+        if batch.jobs.is_empty() {
+            self.pending.remove(&spec);
+        }
+        Some(victim)
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +152,14 @@ mod tests {
             tenant: "t".into(),
             seed: id,
             submitted_s: 0.0,
+            priority: 0,
+        }
+    }
+
+    fn prio_job(id: u64, priority: i32) -> QueuedJob {
+        QueuedJob {
+            priority,
+            ..job(id)
         }
     }
 
@@ -146,5 +192,26 @@ mod tests {
         q.push(m, job(2), 0.5);
         assert_eq!(q.pop_ready(2.0).unwrap().0, f);
         assert_eq!(q.pop_ready(2.0).unwrap().0, m);
+    }
+
+    #[test]
+    fn shed_victim_is_lowest_priority_then_latest_deadline() {
+        let mut q = BatchQueue::new(1.0, 8);
+        let m = RequestSpec::new(RequestKind::Matmul, 8);
+        let f = RequestSpec::new(RequestKind::Fft, 16);
+        q.push(m, prio_job(1, 0), 0.0); // interactive, deadline 1.0
+        q.push(f, prio_job(2, -1), 0.5); // besteffort, deadline 1.5
+        q.push(f, prio_job(3, -1), 0.6); // besteffort, same batch
+        assert_eq!(q.total_jobs(), 3);
+        // Besteffort sheds before interactive; within the batch the
+        // newest arrival (highest id) goes first.
+        assert_eq!(q.shed_victim().unwrap().id, 3);
+        assert_eq!(q.shed_victim().unwrap().id, 2);
+        // Only the interactive job remains; shed takes it last.
+        let v = q.shed_victim().unwrap();
+        assert_eq!((v.id, v.priority), (1, 0));
+        assert!(q.is_empty());
+        assert!(q.shed_victim().is_none());
+        assert_eq!(q.next_deadline(), None);
     }
 }

@@ -28,8 +28,34 @@ pub use admission::{AdmissionController, TenantQuota, TenantUsage};
 pub use loadgen::{run_load, Arrival, LoadReport, TenantSpec, TenantSummary};
 pub use server::{JobPayload, JobResult, SessionServer};
 
-use tfhpc_core::env::{env_f64, env_usize};
+use tfhpc_core::env::{env_f64, env_str, env_usize};
 use tfhpc_core::{CoreError, Result};
+
+/// How the serving plane responds to queue overload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Never shed: queues grow without bound (the seed behavior).
+    #[default]
+    Off,
+    /// Bounded queue with brownout shedding: when queued step jobs
+    /// exceed the bound, drop lowest-tenant-priority work first, and
+    /// among equals the job whose batch deadline is furthest away —
+    /// the earliest-deadline work is the last to go.
+    Edf,
+}
+
+impl ShedPolicy {
+    /// Parse a `TFHPC_SHED_POLICY` value (`off` | `edf`).
+    pub fn parse(v: &str) -> Result<ShedPolicy> {
+        match v.to_ascii_lowercase().as_str() {
+            "off" => Ok(ShedPolicy::Off),
+            "edf" => Ok(ShedPolicy::Edf),
+            other => Err(CoreError::InvalidArgument(format!(
+                "TFHPC_SHED_POLICY: unknown policy `{other}` (expected `off` or `edf`)"
+            ))),
+        }
+    }
+}
 
 /// Serving-plane configuration. [`ServeConfig::from_env`] reads the
 /// `TFHPC_SERVE_*` knobs (see the README's environment table) and
@@ -47,6 +73,11 @@ pub struct ServeConfig {
     pub plan_cache_cap: usize,
     /// Default quota for tenants without an explicit override.
     pub default_quota: TenantQuota,
+    /// Overload response for the step queue.
+    pub shed_policy: ShedPolicy,
+    /// Max step jobs queued across all tenants before shedding kicks
+    /// in (0 = unbounded). Only enforced under [`ShedPolicy::Edf`].
+    pub queue_bound: usize,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +88,8 @@ impl Default for ServeConfig {
             max_batch: 8,
             plan_cache_cap: 256,
             default_quota: TenantQuota::default(),
+            shed_policy: ShedPolicy::Off,
+            queue_bound: 0,
         }
     }
 }
@@ -65,7 +98,8 @@ impl ServeConfig {
     /// Defaults overridden by `TFHPC_SERVE_WORKERS`,
     /// `TFHPC_SERVE_BATCH_WINDOW_S`, `TFHPC_SERVE_MAX_BATCH`,
     /// `TFHPC_PLAN_CACHE_CAP`, `TFHPC_SERVE_MAX_IN_FLIGHT`,
-    /// `TFHPC_SERVE_QUEUE_DEPTH` and `TFHPC_SERVE_NODE_BUDGET`.
+    /// `TFHPC_SERVE_QUEUE_DEPTH`, `TFHPC_SERVE_NODE_BUDGET`,
+    /// `TFHPC_SHED_POLICY` and `TFHPC_SERVE_QUEUE_BOUND`.
     /// Malformed or out-of-range values are
     /// [`CoreError::InvalidArgument`] errors, never silent defaults.
     pub fn from_env() -> Result<ServeConfig> {
@@ -100,6 +134,12 @@ impl ServeConfig {
         }
         if let Some(n) = env_usize("TFHPC_SERVE_NODE_BUDGET")? {
             cfg.default_quota.node_budget = n;
+        }
+        if let Some(p) = env_str("TFHPC_SHED_POLICY")? {
+            cfg.shed_policy = ShedPolicy::parse(&p)?;
+        }
+        if let Some(b) = env_usize("TFHPC_SERVE_QUEUE_BOUND")? {
+            cfg.queue_bound = b;
         }
         Ok(cfg)
     }

@@ -71,6 +71,8 @@ pub struct TenantSummary {
     pub completed: u64,
     /// Jobs rejected at admission.
     pub rejected: u64,
+    /// Jobs shed from the bounded queue after admission (brownout).
+    pub shed: u64,
     /// Median latency (s).
     pub p50_s: f64,
     /// 99th-percentile latency (s).
@@ -100,6 +102,8 @@ pub struct LoadReport {
     pub completed: u64,
     /// Jobs rejected across tenants.
     pub rejected: u64,
+    /// Jobs shed from the bounded queue across tenants.
+    pub shed: u64,
     /// Aggregate completions per virtual second.
     pub throughput_jobs_per_s: f64,
     /// Per-tenant summaries, sorted by tenant name.
@@ -156,9 +160,18 @@ pub fn run_load(cfg: &ServeConfig, tenants: &[TenantSpec], seed: u64) -> Result<
                 .into_iter()
                 .rev()
                 .collect();
-            digits.parse::<usize>().unwrap_or(1) - 1
+            digits
+                .parse::<usize>()
+                .ok()
+                .and_then(|n| n.checked_sub(1))
+                .ok_or_else(|| {
+                    CoreError::Invalid(format!(
+                        "allocation hostname `{}` does not end in a 1-based node index",
+                        t.hostname
+                    ))
+                })
         })
-        .collect();
+        .collect::<Result<_>>()?;
     let server = SessionServer::start_sim(cfg.clone(), &sim, &cluster, &worker_nodes);
     for t in tenants {
         if let Some(q) = t.quota {
@@ -281,7 +294,8 @@ pub fn run_load(cfg: &ServeConfig, tenants: &[TenantSpec], seed: u64) -> Result<
     names.sort();
     names.dedup();
     let mut summaries = Vec::with_capacity(names.len());
-    let (mut all_completed, mut all_submitted, mut all_rejected) = (0u64, 0u64, 0u64);
+    let (mut all_completed, mut all_submitted, mut all_rejected, mut all_shed) =
+        (0u64, 0u64, 0u64, 0u64);
     for name in names {
         let mine: Vec<&JobResult> = results.iter().filter(|r| r.tenant == name).collect();
         let mut lat: Vec<f64> = mine
@@ -306,11 +320,13 @@ pub fn run_load(cfg: &ServeConfig, tenants: &[TenantSpec], seed: u64) -> Result<
         all_completed += completed;
         all_submitted += submitted;
         all_rejected += usage.rejected;
+        all_shed += usage.shed;
         summaries.push(TenantSummary {
             tenant: name,
             submitted,
             completed,
             rejected: usage.rejected,
+            shed: usage.shed,
             p50_s: quantile(&lat, 0.50),
             p99_s: quantile(&lat, 0.99),
             p999_s: quantile(&lat, 0.999),
@@ -335,6 +351,7 @@ pub fn run_load(cfg: &ServeConfig, tenants: &[TenantSpec], seed: u64) -> Result<
         submitted: all_submitted,
         completed: all_completed,
         rejected: all_rejected,
+        shed: all_shed,
         throughput_jobs_per_s: if makespan > 0.0 {
             all_completed as f64 / makespan
         } else {
@@ -364,6 +381,7 @@ impl LoadReport {
         s.push_str(&format!("  \"submitted\": {},\n", self.submitted));
         s.push_str(&format!("  \"completed\": {},\n", self.completed));
         s.push_str(&format!("  \"rejected\": {},\n", self.rejected));
+        s.push_str(&format!("  \"shed\": {},\n", self.shed));
         s.push_str(&format!(
             "  \"throughput_jobs_per_s\": {:.9},\n",
             self.throughput_jobs_per_s
@@ -385,6 +403,7 @@ impl LoadReport {
             s.push_str(&format!("      \"submitted\": {},\n", t.submitted));
             s.push_str(&format!("      \"completed\": {},\n", t.completed));
             s.push_str(&format!("      \"rejected\": {},\n", t.rejected));
+            s.push_str(&format!("      \"shed\": {},\n", t.shed));
             s.push_str(&format!("      \"p50_s\": {:.9},\n", t.p50_s));
             s.push_str(&format!("      \"p99_s\": {:.9},\n", t.p99_s));
             s.push_str(&format!("      \"p999_s\": {:.9},\n", t.p999_s));

@@ -29,7 +29,7 @@ use tfhpc_tensor::Tensor;
 
 use crate::admission::{AdmissionController, TenantQuota, TenantUsage};
 use crate::batch::{BatchQueue, PendingBatch, QueuedJob};
-use crate::ServeConfig;
+use crate::{ServeConfig, ShedPolicy};
 
 /// A custom job body: runs to a result digest or an error message.
 pub type CustomFn = Box<dyn FnOnce() -> std::result::Result<u64, String> + Send>;
@@ -242,6 +242,9 @@ impl SessionServer {
             JobPayload::Custom { nodes, .. } => (*nodes).max(1),
         };
         self.admission.admit(tenant, nodes)?;
+        // Resolved outside the state lock: admission has its own lock
+        // and the two are never held together.
+        let priority = self.admission.priority(tenant);
         let mut st = self.state.lock();
         if !st.open {
             // Undo the reservation: the job never queued.
@@ -253,6 +256,7 @@ impl SessionServer {
         st.next_id += 1;
         st.outstanding += 1;
         let now = self.now();
+        let mut shed: Vec<QueuedJob> = Vec::new();
         match payload {
             JobPayload::Step { spec, seed } => {
                 st.batch.push(
@@ -262,9 +266,22 @@ impl SessionServer {
                         tenant: tenant.to_string(),
                         seed,
                         submitted_s: now,
+                        priority,
                     },
                     now,
                 );
+                // Brownout: a bounded queue sheds its lowest-priority,
+                // furthest-deadline work — possibly the job we just
+                // queued, if the submitter itself is besteffort. Custom
+                // jobs carry whole app runs and are never shed.
+                if self.cfg.shed_policy == ShedPolicy::Edf && self.cfg.queue_bound > 0 {
+                    while st.batch.total_jobs() > self.cfg.queue_bound {
+                        match st.batch.shed_victim() {
+                            Some(v) => shed.push(v),
+                            None => break,
+                        }
+                    }
+                }
             }
             JobPayload::Custom { label, run, .. } => {
                 st.custom.push_back(CustomJob {
@@ -278,6 +295,30 @@ impl SessionServer {
             }
         }
         drop(st);
+        if !shed.is_empty() {
+            let results = shed
+                .into_iter()
+                .map(|v| {
+                    self.admission.on_shed(&v.tenant, 1);
+                    JobResult {
+                        id: v.id,
+                        tenant: v.tenant,
+                        kind: "shed".to_string(),
+                        digest: 0,
+                        submitted_s: v.submitted_s,
+                        finished_s: now,
+                        batch_size: 0,
+                        error: Some(format!(
+                            "shed: queue bound {} exceeded",
+                            self.cfg.queue_bound
+                        )),
+                    }
+                })
+                .collect();
+            // finish() wakes waiters, so a shed submitter unblocks
+            // immediately with the errored result.
+            self.finish(results);
+        }
         self.notify_all();
         Ok(id)
     }

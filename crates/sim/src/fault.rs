@@ -117,6 +117,51 @@ pub enum FaultEvent {
         /// Multiplicative slowdown factor (> 1.0).
         slowdown: f64,
     },
+    /// A symmetric network split during `[from_s, until_s)`: each
+    /// listed group is an isolated island, and every node absent from
+    /// all groups forms one implicit remainder island. Nodes on
+    /// different islands cannot exchange messages in either direction
+    /// (remote ops fail `Unavailable`, heartbeats are dropped); nodes
+    /// on the same island communicate normally. The window heals
+    /// cleanly at `until_s` — split-brain safety (a minority island
+    /// must self-fence rather than elect a second decider) is the
+    /// runtime's job, not the plan's.
+    Partition {
+        /// Isolated islands; unlisted nodes form the remainder island.
+        groups: Vec<Vec<usize>>,
+        /// Window start, virtual seconds (inclusive).
+        from_s: f64,
+        /// Window end, virtual seconds (exclusive).
+        until_s: f64,
+    },
+    /// An asymmetric one-way blackhole during `[from_s, until_s)`:
+    /// messages from `from_node` to `to_node` vanish while the reverse
+    /// direction stays healthy (a routing/firewall failure mode a
+    /// symmetric split cannot express). Remote ops needing the broken
+    /// direction fail `Unavailable`.
+    LinkBlackhole {
+        /// Sending side of the broken direction.
+        from_node: usize,
+        /// Receiving side of the broken direction.
+        to_node: usize,
+        /// Window start, virtual seconds (inclusive).
+        from_s: f64,
+        /// Window end, virtual seconds (exclusive).
+        until_s: f64,
+    },
+    /// Messages touching `node` during `[from_s, until_s)` may be
+    /// duplicated and reordered in flight (a flapping route delivering
+    /// the same frame twice along different paths). Receivers must
+    /// deduplicate — a duplicated delivery must never double-apply a
+    /// queue enqueue — and pay the extra delivery's wire cost.
+    DupReorder {
+        /// Affected node index.
+        node: usize,
+        /// Window start, virtual seconds (inclusive).
+        from_s: f64,
+        /// Window end, virtual seconds (exclusive).
+        until_s: f64,
+    },
 }
 
 /// A deterministic schedule of injected faults (empty = fault-free).
@@ -222,6 +267,45 @@ impl FaultPlan {
             from_s,
             until_s,
             slowdown,
+        });
+        self
+    }
+
+    /// Add a symmetric partition window: each group in `groups` is an
+    /// isolated island, unlisted nodes form the remainder island.
+    pub fn partition(mut self, groups: Vec<Vec<usize>>, from_s: f64, until_s: f64) -> FaultPlan {
+        self.events.push(FaultEvent::Partition {
+            groups,
+            from_s,
+            until_s,
+        });
+        self
+    }
+
+    /// Add an asymmetric one-way blackhole window from `from_node` to
+    /// `to_node`.
+    pub fn blackhole(
+        mut self,
+        from_node: usize,
+        to_node: usize,
+        from_s: f64,
+        until_s: f64,
+    ) -> FaultPlan {
+        self.events.push(FaultEvent::LinkBlackhole {
+            from_node,
+            to_node,
+            from_s,
+            until_s,
+        });
+        self
+    }
+
+    /// Add a message duplication/reordering window on `node`.
+    pub fn dup_reorder(mut self, node: usize, from_s: f64, until_s: f64) -> FaultPlan {
+        self.events.push(FaultEvent::DupReorder {
+            node,
+            from_s,
+            until_s,
         });
         self
     }
@@ -432,6 +516,178 @@ impl FaultPlan {
         plan
     }
 
+    /// Derive a partition schedule over `n_nodes` nodes and a
+    /// `horizon_s` run window from `seed`: one symmetric split
+    /// isolating a stream-chosen strict minority for 15–35% of the
+    /// horizon (starting in 20–50%), plus — with probability ~1/2 each
+    /// — one asymmetric one-way blackhole and one duplication/
+    /// reordering window. Splitmix64 is the only entropy source and no
+    /// crashes or hangs are scheduled, so the schedule composes with
+    /// [`FaultPlan::seeded`], [`FaultPlan::seeded_corruption`] and
+    /// [`FaultPlan::seeded_liveness`] via [`FaultPlan::merged`].
+    pub fn seeded_partition(seed: u64, n_nodes: usize, horizon_s: f64) -> FaultPlan {
+        let mut state = seed ^ 0x5EA1_ED0F_F5F1_1CED;
+        let mut plan = FaultPlan::new();
+        if n_nodes < 2 {
+            return plan;
+        }
+        // The split: isolate a strict minority so exactly one island
+        // can ever hold quorum.
+        let max_minority = ((n_nodes - 1) / 2).max(1);
+        let minority = 1 + (splitmix64(&mut state) as usize) % max_minority;
+        let mut candidates: Vec<usize> = (0..n_nodes).collect();
+        let mut isolated = Vec::with_capacity(minority);
+        for _ in 0..minority {
+            let i = (splitmix64(&mut state) as usize) % candidates.len();
+            isolated.push(candidates.swap_remove(i));
+        }
+        isolated.sort_unstable();
+        let start = (0.2 + 0.3 * unit(&mut state)) * horizon_s;
+        let dur = (0.15 + 0.2 * unit(&mut state)) * horizon_s;
+        plan = plan.partition(vec![isolated], start, start + dur);
+        if unit(&mut state) < 0.5 {
+            let from = (splitmix64(&mut state) as usize) % n_nodes;
+            let to = (from + 1 + (splitmix64(&mut state) as usize) % (n_nodes - 1)) % n_nodes;
+            let start = (0.1 + 0.5 * unit(&mut state)) * horizon_s;
+            let dur = (0.05 + 0.1 * unit(&mut state)) * horizon_s;
+            plan = plan.blackhole(from, to, start, start + dur);
+        }
+        if unit(&mut state) < 0.5 {
+            let node = (splitmix64(&mut state) as usize) % n_nodes;
+            let start = (0.1 + 0.6 * unit(&mut state)) * horizon_s;
+            let dur = (0.05 + 0.15 * unit(&mut state)) * horizon_s;
+            plan = plan.dup_reorder(node, start, start + dur);
+        }
+        plan
+    }
+
+    /// Which island `node` sits on under `groups`: the index of the
+    /// listed group containing it, or `groups.len()` for the implicit
+    /// remainder island.
+    fn island(groups: &[Vec<usize>], node: usize) -> usize {
+        groups
+            .iter()
+            .position(|g| g.contains(&node))
+            .unwrap_or(groups.len())
+    }
+
+    /// Are `a` and `b` on different islands of a partition active at
+    /// `now_s`? Symmetric; a node is never partitioned from itself.
+    pub fn partitioned(&self, a: usize, b: usize, now_s: f64) -> bool {
+        a != b
+            && self.events.iter().any(|e| {
+                matches!(e, FaultEvent::Partition { groups, from_s, until_s }
+                    if now_s >= *from_s
+                        && now_s < *until_s
+                        && Self::island(groups, a) != Self::island(groups, b))
+            })
+    }
+
+    /// Is the one-way direction `from → to` blackholed at `now_s`?
+    pub fn blackholed(&self, from: usize, to: usize, now_s: f64) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::LinkBlackhole { from_node, to_node, from_s, until_s }
+                if *from_node == from && *to_node == to && now_s >= *from_s && now_s < *until_s)
+        })
+    }
+
+    /// Can a message travel `from → to` at `now_s`? False under an
+    /// active partition separating the pair or a blackhole on this
+    /// direction. Self-sends always succeed.
+    pub fn can_send(&self, from: usize, to: usize, now_s: f64) -> bool {
+        from == to || (!self.partitioned(from, to, now_s) && !self.blackholed(from, to, now_s))
+    }
+
+    /// Latest heal instant among the active events blocking any
+    /// direction between `a` and `b` at `now_s` (for retry diagnostics
+    /// and fence wakeups). `None` when the pair communicates.
+    pub fn partition_until(&self, a: usize, b: usize, now_s: f64) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Partition {
+                    groups,
+                    from_s,
+                    until_s,
+                } if a != b
+                    && now_s >= *from_s
+                    && now_s < *until_s
+                    && Self::island(groups, a) != Self::island(groups, b) =>
+                {
+                    Some(*until_s)
+                }
+                FaultEvent::LinkBlackhole {
+                    from_node,
+                    to_node,
+                    from_s,
+                    until_s,
+                } if now_s >= *from_s
+                    && now_s < *until_s
+                    && ((*from_node == a && *to_node == b)
+                        || (*from_node == b && *to_node == a)) =>
+                {
+                    Some(*until_s)
+                }
+                _ => None,
+            })
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
+    }
+
+    /// Latest heal instant among every partition/blackhole window
+    /// active at `now_s` — the earliest time a fenced minority is
+    /// worth re-evaluating. `None` when no such window is active.
+    pub fn partition_heal_s(&self, now_s: f64) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::Partition {
+                    from_s, until_s, ..
+                }
+                | FaultEvent::LinkBlackhole {
+                    from_s, until_s, ..
+                } if now_s >= *from_s && now_s < *until_s => Some(*until_s),
+                _ => None,
+            })
+            .fold(None, |acc: Option<f64>, t| {
+                Some(acc.map_or(t, |a| a.max(t)))
+            })
+    }
+
+    /// Does the plan schedule any partition or blackhole window at all?
+    /// A cheap gate so fault-free and crash-only runs never pay the
+    /// quorum arithmetic.
+    pub fn has_partition_events(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                FaultEvent::Partition { .. } | FaultEvent::LinkBlackhole { .. }
+            )
+        })
+    }
+
+    /// Is a duplication/reordering window on `node` active at `now_s`?
+    pub fn dup_reorder_at(&self, node: usize, now_s: f64) -> bool {
+        self.events.iter().any(|e| {
+            matches!(e, FaultEvent::DupReorder { node: n, from_s, until_s }
+                if *n == node && now_s >= *from_s && now_s < *until_s)
+        })
+    }
+
+    /// How many members of `universe` node `node` can exchange
+    /// messages with *bidirectionally* at `now_s`, itself included
+    /// when listed — the reachability count quorum decisions are made
+    /// from.
+    pub fn reachable_count(&self, node: usize, universe: &[usize], now_s: f64) -> usize {
+        universe
+            .iter()
+            .filter(|&&u| {
+                u == node || (self.can_send(node, u, now_s) && self.can_send(u, node, now_s))
+            })
+            .count()
+    }
+
     /// Total extra latency active on `node` at `now_s`.
     pub fn extra_delay(&self, node: usize, now_s: f64) -> f64 {
         self.events
@@ -522,6 +778,15 @@ mod tests {
                     from_s, until_s, ..
                 }
                 | FaultEvent::Straggler {
+                    from_s, until_s, ..
+                }
+                | FaultEvent::Partition {
+                    from_s, until_s, ..
+                }
+                | FaultEvent::LinkBlackhole {
+                    from_s, until_s, ..
+                }
+                | FaultEvent::DupReorder {
                     from_s, until_s, ..
                 } => {
                     assert!(*from_s >= 0.0 && until_s > from_s && *until_s <= 100.0);
@@ -630,6 +895,109 @@ mod tests {
             p.corruption_entropy(3, 1.5000001)
         );
         assert_ne!(p.corruption_entropy(3, 1.5), p.corruption_entropy(4, 1.5));
+    }
+
+    #[test]
+    fn partition_isolates_islands_symmetrically() {
+        // Nodes 2 and 3 split off; 0, 1 and the unlisted 4 share the
+        // remainder island.
+        let p = FaultPlan::new().partition(vec![vec![2, 3]], 1.0, 2.0);
+        assert!(!p.partitioned(0, 2, 0.99));
+        assert!(p.partitioned(0, 2, 1.0));
+        assert!(p.partitioned(2, 0, 1.5));
+        assert!(!p.partitioned(0, 2, 2.0));
+        assert!(!p.partitioned(2, 3, 1.5), "same island communicates");
+        assert!(!p.partitioned(0, 4, 1.5), "remainder island is one island");
+        assert!(!p.partitioned(2, 2, 1.5), "never partitioned from self");
+        assert!(!p.can_send(0, 3, 1.5));
+        assert!(p.can_send(0, 1, 1.5));
+        assert_eq!(p.partition_until(0, 2, 1.5), Some(2.0));
+        assert_eq!(p.partition_until(0, 1, 1.5), None);
+        assert_eq!(p.partition_heal_s(1.5), Some(2.0));
+        assert_eq!(p.partition_heal_s(2.0), None);
+        assert!(p.has_partition_events());
+    }
+
+    #[test]
+    fn blackhole_is_one_way() {
+        let p = FaultPlan::new().blackhole(0, 1, 1.0, 2.0);
+        assert!(p.blackholed(0, 1, 1.0));
+        assert!(!p.blackholed(1, 0, 1.5), "reverse direction is healthy");
+        assert!(!p.blackholed(0, 1, 2.0));
+        assert!(!p.can_send(0, 1, 1.5));
+        assert!(p.can_send(1, 0, 1.5));
+        assert_eq!(p.partition_until(1, 0, 1.5), Some(2.0));
+    }
+
+    #[test]
+    fn reachable_count_drives_quorum() {
+        let p = FaultPlan::new().partition(vec![vec![2]], 1.0, 2.0);
+        let universe = [0usize, 1, 2];
+        // Before the window everyone sees everyone.
+        assert_eq!(p.reachable_count(2, &universe, 0.5), 3);
+        // Inside it the isolated node only reaches itself; the
+        // majority island keeps two of three.
+        assert_eq!(p.reachable_count(2, &universe, 1.5), 1);
+        assert_eq!(p.reachable_count(0, &universe, 1.5), 2);
+        // A one-way blackhole kills *bidirectional* reachability.
+        let b = FaultPlan::new().blackhole(0, 1, 1.0, 2.0);
+        assert_eq!(b.reachable_count(0, &universe, 1.5), 2);
+        assert_eq!(b.reachable_count(1, &universe, 1.5), 2);
+    }
+
+    #[test]
+    fn dup_reorder_window_is_half_open() {
+        let p = FaultPlan::new().dup_reorder(1, 1.0, 2.0);
+        assert!(!p.dup_reorder_at(1, 0.99));
+        assert!(p.dup_reorder_at(1, 1.0));
+        assert!(!p.dup_reorder_at(1, 2.0));
+        assert!(!p.dup_reorder_at(0, 1.5));
+        assert!(
+            !p.has_partition_events(),
+            "dup windows alone need no quorum"
+        );
+    }
+
+    #[test]
+    fn seeded_partition_is_deterministic_and_minority_only() {
+        let a = FaultPlan::seeded_partition(42, 5, 10.0);
+        let b = FaultPlan::seeded_partition(42, 5, 10.0);
+        let c = FaultPlan::seeded_partition(43, 5, 10.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        for seed in [17u64, 42, 1337] {
+            let p = FaultPlan::seeded_partition(seed, 5, 10.0);
+            assert!(p.has_partition_events());
+            for e in &p.events {
+                match e {
+                    FaultEvent::Partition {
+                        groups,
+                        from_s,
+                        until_s,
+                    } => {
+                        assert!(*from_s >= 0.0 && until_s > from_s && *until_s <= 10.0);
+                        let split: usize = groups.iter().map(|g| g.len()).sum();
+                        assert!(split * 2 < 5, "isolated island must be a strict minority");
+                    }
+                    FaultEvent::LinkBlackhole {
+                        from_node,
+                        to_node,
+                        from_s,
+                        until_s,
+                    } => {
+                        assert_ne!(from_node, to_node);
+                        assert!(*from_s >= 0.0 && until_s > from_s && *until_s <= 10.0);
+                    }
+                    FaultEvent::DupReorder {
+                        from_s, until_s, ..
+                    } => {
+                        assert!(*from_s >= 0.0 && until_s > from_s && *until_s <= 10.0);
+                    }
+                    other => panic!("unexpected event kind in partition schedule: {other:?}"),
+                }
+            }
+        }
+        assert!(FaultPlan::seeded_partition(42, 1, 10.0).is_empty());
     }
 
     #[test]

@@ -65,6 +65,7 @@ fn concurrent_over_quota_submissions_get_resource_exhausted() {
         max_in_flight: 2,
         max_queue_depth: 2,
         node_budget: 2,
+        priority: 0,
     };
     server.set_quota("alice", quota);
     server.set_quota("bob", quota);
@@ -134,6 +135,7 @@ fn quota_released_when_supervised_gang_dies() {
             max_in_flight: 1,
             max_queue_depth: 1,
             node_budget: 3,
+            priority: 0,
         },
     );
     let id = server
@@ -352,6 +354,7 @@ fn tiny_load() -> Vec<TenantSpec> {
                 max_in_flight: 8,
                 max_queue_depth: 8,
                 node_budget: 8,
+                priority: 0,
             }),
         },
     ]
